@@ -1,0 +1,154 @@
+//! Ablation benchmarks for the design choices called out in DESIGN.md §7:
+//!
+//! 1. incremental DTW rows vs from-scratch recomputation per subtrajectory
+//!    (the O(n) saving baked into ExactS, §4.1);
+//! 2. PSS suffix precomputation vs per-point recomputation;
+//! 3. RLS-Skip's simplified prefix state vs feeding skipped points;
+//! 4. UCR's lower-bound cascade vs plain banded DTW over all windows.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use simsub_core::{suffix_similarities, Ucr};
+use simsub_data::{generate, DatasetSpec};
+use simsub_measures::{dtw_distance, dtw_distance_banded, Dtw, Measure};
+use simsub_trajectory::Point;
+
+fn fixtures() -> (Vec<Point>, Vec<Point>) {
+    let spec = DatasetSpec {
+        min_len: 120,
+        max_len: 121,
+        mean_len: 120,
+        ..DatasetSpec::porto()
+    };
+    let trajs = generate(&spec, 2, 23);
+    let q = trajs[1].points()[..25].to_vec();
+    (trajs[0].points().to_vec(), q)
+}
+
+/// Ablation 1: enumerate all subtrajectory distances incrementally vs
+/// from scratch.
+fn bench_incremental_vs_scratch(c: &mut Criterion) {
+    let (data, query) = fixtures();
+    let mut group = c.benchmark_group("ablation_incremental_enumeration");
+    group.sample_size(10);
+
+    group.bench_function("incremental_rows", |ben| {
+        ben.iter(|| {
+            let mut best = f64::INFINITY;
+            let mut eval = Dtw.prefix_evaluator(&query);
+            for i in 0..data.len() {
+                eval.init(data[i]);
+                best = best.min(eval.distance());
+                for j in i + 1..data.len() {
+                    eval.extend(data[j]);
+                    best = best.min(eval.distance());
+                }
+            }
+            black_box(best)
+        })
+    });
+
+    // From-scratch is O(n³m) here — restrict to a prefix to keep the
+    // bench finite while still showing the gap per subtrajectory.
+    let short = &data[..40];
+    group.bench_function("from_scratch_n40", |ben| {
+        ben.iter(|| {
+            let mut best = f64::INFINITY;
+            for i in 0..short.len() {
+                for j in i..short.len() {
+                    best = best.min(dtw_distance(&short[i..=j], &query));
+                }
+            }
+            black_box(best)
+        })
+    });
+    group.finish();
+}
+
+/// Ablation 2: one backward suffix pass vs recomputing each suffix.
+fn bench_suffix_precompute(c: &mut Criterion) {
+    let (data, query) = fixtures();
+    let mut group = c.benchmark_group("ablation_suffix");
+    group.sample_size(10);
+
+    group.bench_function("precomputed_backward_pass", |ben| {
+        ben.iter(|| black_box(suffix_similarities(&Dtw, &data, &query)))
+    });
+
+    group.bench_function("recompute_each_suffix", |ben| {
+        ben.iter(|| {
+            let sims: Vec<f64> = (0..data.len())
+                .map(|i| Dtw.similarity(&data[i..], &query))
+                .collect();
+            black_box(sims)
+        })
+    });
+    group.finish();
+}
+
+/// Ablation 3: the RLS-Skip prefix simplification — skipping 50% of the
+/// points halves the number of Φinc extensions (state-maintenance cost).
+fn bench_skip_state_maintenance(c: &mut Criterion) {
+    let (data, query) = fixtures();
+    let mut group = c.benchmark_group("ablation_skip_state");
+    group.sample_size(20);
+
+    group.bench_function("feed_all_points", |ben| {
+        ben.iter(|| {
+            let mut eval = Dtw.prefix_evaluator(&query);
+            eval.init(data[0]);
+            for &p in &data[1..] {
+                eval.extend(p);
+            }
+            black_box(eval.distance())
+        })
+    });
+
+    group.bench_function("omit_skipped_points", |ben| {
+        ben.iter(|| {
+            let mut eval = Dtw.prefix_evaluator(&query);
+            eval.init(data[0]);
+            for &p in data[1..].iter().step_by(2) {
+                eval.extend(p);
+            }
+            black_box(eval.distance())
+        })
+    });
+    group.finish();
+}
+
+/// Ablation 4: UCR with its LB cascade vs brute-force banded DTW over all
+/// windows.
+fn bench_ucr_cascade(c: &mut Criterion) {
+    let (data, query) = fixtures();
+    let mut group = c.benchmark_group("ablation_ucr_cascade");
+    group.sample_size(10);
+
+    group.bench_function("ucr_with_bounds", |ben| {
+        ben.iter(|| black_box(Ucr::new(0.25).search_with_stats(&data, &query)))
+    });
+
+    let band = (0.25 * query.len() as f64).floor() as usize;
+    group.bench_function("all_windows_banded_dtw", |ben| {
+        ben.iter(|| {
+            let m = query.len();
+            let mut best = f64::INFINITY;
+            for s in 0..=data.len() - m {
+                best = best.min(dtw_distance_banded(&data[s..s + m], &query, band));
+            }
+            black_box(best)
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_millis(1500));
+    targets = bench_incremental_vs_scratch,
+        bench_suffix_precompute,
+        bench_skip_state_maintenance,
+        bench_ucr_cascade
+}
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Per-query benchmarks of every search algorithm on a Porto-sized
+//! instance (n ≈ 60, m = 25) under DTW — the workload of Figures 3-4.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use simsub_core::{
+    train_rls, ExactS, MdpConfig, Pos, PosD, Pss, RandomS, Rls, RlsTrainConfig, SimTra, SizeS,
+    Spring, SubtrajSearch, Ucr,
+};
+use simsub_data::{generate, sample_pairs, DatasetSpec};
+use simsub_measures::Dtw;
+
+fn bench_algorithms(c: &mut Criterion) {
+    let corpus = generate(&DatasetSpec::porto(), 64, 3);
+    let pairs = sample_pairs(&corpus, 8, 25, 5);
+
+    // A lightly-trained policy: inference cost is identical to a fully
+    // trained one (same network shape), which is what the bench measures.
+    let train = |mdp: MdpConfig| {
+        let report = train_rls(&Dtw, &corpus, &corpus, &RlsTrainConfig::paper(mdp, 20));
+        Rls::new(report.policy, mdp)
+    };
+    let rls = train(MdpConfig::rls());
+    let rls_skip = train(MdpConfig::rls_skip(3));
+    let rls_skip_plus = train(MdpConfig::rls_skip_plus(3));
+
+    let algos: Vec<(&str, Box<dyn SubtrajSearch>)> = vec![
+        ("ExactS", Box::new(ExactS)),
+        ("SizeS", Box::new(SizeS::new(5))),
+        ("PSS", Box::new(Pss)),
+        ("POS", Box::new(Pos)),
+        ("POS-D", Box::new(PosD::new(5))),
+        ("RLS", Box::new(rls)),
+        ("RLS-Skip", Box::new(rls_skip)),
+        ("RLS-Skip+", Box::new(rls_skip_plus)),
+        ("Spring", Box::new(Spring::new())),
+        ("UCR", Box::new(Ucr::new(1.0))),
+        ("Random-S(50)", Box::new(RandomS::new(50, 1))),
+        ("SimTra", Box::new(SimTra)),
+    ];
+
+    let mut group = c.benchmark_group("search_dtw_porto");
+    group.sample_size(20);
+    for (name, algo) in &algos {
+        group.bench_function(*name, |ben| {
+            ben.iter(|| {
+                for pair in &pairs {
+                    let data = corpus[pair.data_idx].points();
+                    black_box(algo.search(&Dtw, data, pair.query.points()));
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_millis(1500));
+    targets = bench_algorithms
+}
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! R-tree and database benchmarks: index construction, MBR queries, and
+//! the Figure 4 comparison of top-k search with vs without the index.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use simsub_core::Pss;
+use simsub_data::{generate, sample_pairs, DatasetSpec};
+use simsub_index::{RTree, TrajectoryDb};
+use simsub_measures::Dtw;
+use simsub_trajectory::Mbr;
+
+fn bench_rtree(c: &mut Criterion) {
+    let corpus = generate(&DatasetSpec::porto(), 2000, 13);
+    let entries: Vec<(Mbr, u64)> = corpus.iter().map(|t| (t.mbr(), t.id)).collect();
+
+    c.bench_function("rtree_build_2000", |ben| {
+        ben.iter(|| {
+            let mut tree = RTree::new();
+            for &(m, id) in &entries {
+                tree.insert(m, id);
+            }
+            black_box(tree.len())
+        })
+    });
+
+    let mut tree = RTree::new();
+    for &(m, id) in &entries {
+        tree.insert(m, id);
+    }
+    let probes: Vec<Mbr> = corpus.iter().take(64).map(|t| t.mbr()).collect();
+    c.bench_function("rtree_query_2000", |ben| {
+        ben.iter(|| {
+            for q in &probes {
+                black_box(tree.query_intersecting(q));
+            }
+        })
+    });
+}
+
+fn bench_topk(c: &mut Criterion) {
+    let mut group = c.benchmark_group("topk_pss_dtw");
+    group.sample_size(10);
+    for &size in &[100usize, 400] {
+        let corpus = generate(&DatasetSpec::porto(), size, 17);
+        let queries: Vec<_> = sample_pairs(&corpus, 3, 25, 19)
+            .into_iter()
+            .map(|p| p.query)
+            .collect();
+        let db = TrajectoryDb::build(corpus);
+        for use_index in [false, true] {
+            let label = if use_index { "rtree" } else { "scan" };
+            group.bench_with_input(BenchmarkId::new(label, size), &use_index, |ben, &use_index| {
+                ben.iter(|| {
+                    for q in &queries {
+                        black_box(db.top_k(&Pss, &Dtw, q.points(), 50, use_index));
+                    }
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_millis(1500));
+    targets = bench_rtree, bench_topk
+}
+criterion_main!(benches);

@@ -1,0 +1,86 @@
+//! Microbenchmarks of the three similarity measures: full computation
+//! (`Φ`) and incremental extension (`Φinc`/`Φini`), backing Table 1.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use simsub_data::{generate, DatasetSpec};
+use simsub_measures::{CoordNormalizer, Dtw, Frechet, Measure, T2Vec};
+use simsub_trajectory::Point;
+
+fn fixtures(n: usize, m: usize) -> (Vec<Point>, Vec<Point>) {
+    let trajs = generate(
+        &DatasetSpec {
+            min_len: n.max(m),
+            max_len: n.max(m) + 1,
+            mean_len: n.max(m),
+            ..DatasetSpec::porto()
+        },
+        2,
+        7,
+    );
+    (
+        trajs[0].points()[..n].to_vec(),
+        trajs[1].points()[..m].to_vec(),
+    )
+}
+
+fn bench_full_distance(c: &mut Criterion) {
+    let mut group = c.benchmark_group("full_distance");
+    group.sample_size(20);
+    let t2vec = T2Vec::random(1, 16, CoordNormalizer::identity());
+    for &(n, m) in &[(50usize, 25usize), (100, 50), (200, 50)] {
+        let (a, b) = fixtures(n, m);
+        group.bench_with_input(
+            BenchmarkId::new("dtw", format!("{n}x{m}")),
+            &(&a, &b),
+            |ben, (a, b)| ben.iter(|| black_box(Dtw.distance(a, b))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("frechet", format!("{n}x{m}")),
+            &(&a, &b),
+            |ben, (a, b)| ben.iter(|| black_box(Frechet.distance(a, b))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("t2vec", format!("{n}x{m}")),
+            &(&a, &b),
+            |ben, (a, b)| ben.iter(|| black_box(t2vec.distance(a, b))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_incremental_extend(c: &mut Criterion) {
+    // One Φinc step: the unit cost driving every splitting algorithm.
+    let mut group = c.benchmark_group("phi_inc");
+    group.sample_size(30);
+    let (a, b) = fixtures(200, 50);
+    let t2vec = T2Vec::random(1, 16, CoordNormalizer::identity());
+    let measures: [(&str, &dyn Measure); 3] =
+        [("dtw", &Dtw), ("frechet", &Frechet), ("t2vec", &t2vec)];
+    for (name, measure) in measures {
+        group.bench_function(name, |ben| {
+            ben.iter_batched(
+                || {
+                    let mut eval = measure.prefix_evaluator(&b);
+                    eval.init(a[0]);
+                    eval
+                },
+                |mut eval| {
+                    for &p in &a[1..65] {
+                        black_box(eval.extend(p));
+                    }
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_millis(1500));
+    targets = bench_full_distance, bench_incremental_extend
+}
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Neural-substrate benchmarks: the per-decision cost of the DQN policy
+//! (claimed O(1) in §5.3 — "the network is small-size") and the per-point
+//! cost of the GRU encoder behind t2vec.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use simsub_nn::{Activation, GruCache, GruCell, Mlp, MlpCache, MlpGrads};
+
+fn bench_mlp(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    // The paper's Q-network: 3 → 20 ReLU → 5 sigmoid (RLS-Skip, k = 3).
+    let net = Mlp::new(
+        &mut rng,
+        &[3, 20, 5],
+        &[Activation::Relu, Activation::Sigmoid],
+    );
+    let state = [0.4, 0.7, 0.2];
+
+    c.bench_function("qnet_forward", |ben| {
+        ben.iter(|| black_box(net.forward(&state)))
+    });
+
+    let mut cache = MlpCache::default();
+    let mut grads = MlpGrads::zeros(&net);
+    c.bench_function("qnet_forward_backward", |ben| {
+        ben.iter(|| {
+            net.forward_cached(&state, &mut cache);
+            let dout = [0.0, 1.0, 0.0, 0.0, 0.0];
+            net.backward(&state, &cache, &dout, &mut grads);
+            black_box(&grads);
+        })
+    });
+}
+
+fn bench_gru(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let cell = GruCell::new(&mut rng, 2, 16);
+    let x = [0.3, -0.2];
+
+    c.bench_function("gru_step_h16", |ben| {
+        ben.iter_batched(
+            || cell.initial_state(),
+            |mut h| {
+                for _ in 0..64 {
+                    cell.step(&mut h, &x);
+                }
+                black_box(h)
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+
+    c.bench_function("gru_bptt_len64_h16", |ben| {
+        ben.iter(|| {
+            let mut h = cell.initial_state();
+            let mut cache = GruCache::default();
+            for _ in 0..64 {
+                cell.step_cached(&mut h, &x, &mut cache);
+            }
+            let mut grads = simsub_nn::GruGrads::zeros(&cell);
+            let dh = vec![1.0; 16];
+            cell.backward(&cache, &dh, &mut grads);
+            black_box(grads)
+        })
+    });
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_millis(1500));
+    targets = bench_mlp, bench_gru
+}
+criterion_main!(benches);

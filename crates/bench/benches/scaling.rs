@@ -1,0 +1,47 @@
+//! Empirical verification of the complexity claims of Table 2: how each
+//! algorithm scales with the data-trajectory length n. ExactS should grow
+//! quadratically in n (×m for DTW); the splitting algorithms linearly.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use simsub_core::{ExactS, Pss, SizeS, SubtrajSearch};
+use simsub_data::{generate, DatasetSpec};
+use simsub_measures::{CoordNormalizer, Dtw, Measure, T2Vec};
+
+fn bench_scaling(c: &mut Criterion) {
+    let spec = DatasetSpec {
+        min_len: 400,
+        max_len: 401,
+        mean_len: 400,
+        ..DatasetSpec::porto()
+    };
+    let trajs = generate(&spec, 2, 11);
+    let query = trajs[1].points()[..25].to_vec();
+    let t2vec = T2Vec::random(1, 16, CoordNormalizer::identity());
+
+    let measures: [(&str, &dyn Measure); 2] = [("dtw", &Dtw), ("t2vec", &t2vec)];
+    let algos: [(&str, &dyn SubtrajSearch); 3] =
+        [("ExactS", &ExactS), ("SizeS", &SizeS { xi: 5 }), ("PSS", &Pss)];
+
+    for (mname, measure) in measures {
+        let mut group = c.benchmark_group(format!("scaling_{mname}"));
+        group.sample_size(10);
+        for (aname, algo) in algos {
+            for n in [50usize, 100, 200, 400] {
+                let data = &trajs[0].points()[..n];
+                group.bench_with_input(BenchmarkId::new(aname, n), &n, |ben, _| {
+                    ben.iter(|| black_box(algo.search(measure, data, &query)))
+                });
+            }
+        }
+        group.finish();
+    }
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_millis(1500));
+    targets = bench_scaling
+}
+criterion_main!(benches);

@@ -1,0 +1,95 @@
+//! Extension experiment (the paper's Section 7 future work): the SimSub
+//! algorithm suite under the *additional* similarity measures reviewed in
+//! Section 2 — constrained DTW, ERP, EDR and LCSS — all implemented
+//! against the same `Measure`/`PrefixEvaluator` abstraction, so every
+//! algorithm runs unchanged.
+
+use crate::{ms, Context, Table};
+use simsub_core::{Pos, PosD, Pss, SizeS, SubtrajSearch};
+use simsub_data::sample_pairs;
+use simsub_measures::{Cdtw, Edr, Erp, Lcss, Measure};
+use simsub_trajectory::Point;
+
+/// Future-work table: effectiveness and per-query time of the
+/// non-learning algorithms under cDTW / ERP / EDR / LCSS on Porto.
+/// (RLS policies are trainable on these measures too — the trainer is
+/// measure-generic — but the paper's tuned hyperparameters target its
+/// three measures, so this table sticks to the heuristics.)
+pub fn ext_measures(ctx: &mut Context) {
+    let scale = ctx.scale;
+    println!("\n=== Extension (paper §7 future work): additional measures (Porto) ===");
+    let bundle = ctx.bundle("Porto");
+    let pairs = sample_pairs(&bundle.corpus, scale.pairs, scale.max_query_len, 0xE87);
+
+    // Thresholds scaled to the corpus: ε = 100 m in km units; ERP gap at
+    // the corpus centroid; cDTW band 5.
+    let mbr = bundle
+        .corpus
+        .iter()
+        .fold(simsub_trajectory::Mbr::EMPTY, |acc, t| acc.union(t.mbr()));
+    let centroid = Point::xy((mbr.min_x + mbr.max_x) / 2.0, (mbr.min_y + mbr.max_y) / 2.0);
+    let cdtw = Cdtw::new(5);
+    let erp = Erp::with_gap(centroid);
+    let edr = Edr::new(0.1);
+    let lcss = Lcss::new(0.1);
+    let measures: [(&str, &dyn Measure); 4] = [
+        ("cDTW(w=5)", &cdtw),
+        ("ERP", &erp),
+        ("EDR(eps=0.1)", &edr),
+        ("LCSS(eps=0.1)", &lcss),
+    ];
+
+    let mut table = Table::new(vec!["measure", "algorithm", "AR", "MR", "RR", "time(ms)"]);
+    for (label, measure) in measures {
+        let algos: [&dyn SubtrajSearch; 4] =
+            [&SizeS { xi: 5 }, &Pss, &Pos, &PosD { delay: 5 }];
+        let evals = evaluate_algorithms_with(bundle, measure, &pairs, &algos);
+        for e in evals {
+            table.row(vec![
+                label.to_string(),
+                e.name,
+                format!("{:.3}", e.metrics.ar),
+                format!("{:.2}", e.metrics.mr),
+                format!("{:.2}%", e.metrics.rr * 100.0),
+                ms(e.total_time / pairs.len() as u32),
+            ]);
+        }
+    }
+    table.print();
+    println!("(Every algorithm runs unchanged: the suite is measure-abstract, §3.1.)");
+}
+
+/// `evaluate_algorithms` variant taking an explicit measure instead of a
+/// bundle-tagged one.
+fn evaluate_algorithms_with(
+    bundle: &crate::Bundle,
+    measure: &dyn Measure,
+    pairs: &[simsub_data::QueryPair],
+    algos: &[&dyn SubtrajSearch],
+) -> Vec<crate::experiments::AlgoEval> {
+    use simsub_core::{exhaustive_ranking, EffectivenessMetrics, MetricsAccumulator};
+    use std::time::Duration;
+    let mut accs: Vec<MetricsAccumulator> =
+        algos.iter().map(|_| MetricsAccumulator::new()).collect();
+    let mut times = vec![Duration::ZERO; algos.len()];
+    for pair in pairs {
+        let data = bundle.corpus[pair.data_idx].points();
+        let query = pair.query.points();
+        let ranking = exhaustive_ranking(measure, data, query);
+        for (ai, algo) in algos.iter().enumerate() {
+            let (res, t) = crate::time_it(|| algo.search(measure, data, query));
+            times[ai] += t;
+            accs[ai].add(EffectivenessMetrics::evaluate(&ranking, res.range));
+        }
+    }
+    algos
+        .iter()
+        .zip(accs)
+        .zip(times)
+        .map(|((algo, acc), total_time)| crate::experiments::AlgoEval {
+            name: algo.name(),
+            metrics: acc.mean(),
+            total_time,
+        })
+        .collect()
+}

@@ -1,0 +1,56 @@
+//! SimTra (Section 6.2(8)): conventional *similar trajectory* search used
+//! as a SimSub approximation — the whole data trajectory is itself a
+//! subtrajectory, so returning it is a valid (but, per Table 6, poor)
+//! answer. One `Φ` computation; no search at all.
+
+use crate::{SearchResult, SubtrajSearch};
+use simsub_measures::Measure;
+use simsub_trajectory::{Point, SubtrajRange};
+
+/// The whole-trajectory baseline.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SimTra;
+
+impl SubtrajSearch for SimTra {
+    fn name(&self) -> String {
+        "SimTra".to_string()
+    }
+
+    fn search(&self, measure: &dyn Measure, data: &[Point], query: &[Point]) -> SearchResult {
+        assert!(!data.is_empty() && !query.is_empty(), "inputs must be non-empty");
+        let sim = measure.similarity(data, query);
+        SearchResult {
+            range: SubtrajRange::new(0, data.len() - 1),
+            similarity: sim,
+            distance: simsub_measures::distance_from_similarity(sim),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util::walk;
+    use crate::ExactS;
+    use simsub_measures::{Dtw, Frechet};
+
+    #[test]
+    fn returns_whole_trajectory() {
+        let t = walk(1, 9);
+        let q = walk(2, 4);
+        let res = SimTra.search(&Dtw, &t, &q);
+        assert_eq!(res.range, SubtrajRange::new(0, 8));
+        assert!((res.distance - simsub_measures::dtw_distance(&t, &q)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn never_better_than_exact() {
+        for seed in 0..20u64 {
+            let t = walk(seed, 12);
+            let q = walk(seed + 40, 4);
+            let exact = ExactS.search(&Frechet, &t, &q).distance;
+            let st = SimTra.search(&Frechet, &t, &q).distance;
+            assert!(st + 1e-9 >= exact, "seed {seed}");
+        }
+    }
+}

@@ -1,0 +1,157 @@
+//! SizeS (Section 4.2): restricts the search to subtrajectories whose size
+//! lies within `[m - ξ, m + ξ]`, following subsequence-matching practice.
+//! `ξ` trades efficiency for effectiveness; the paper shows SizeS can be
+//! arbitrarily worse than optimal (Appendix A) and evaluates ξ in Fig. 7.
+
+use crate::{SearchResult, SubtrajSearch};
+use simsub_measures::Measure;
+use simsub_trajectory::{Point, SubtrajRange};
+
+/// The size-bounded approximate algorithm, `O(n·(Φini + (m+ξ)·Φinc))`.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeS {
+    /// Soft margin ξ on the subtrajectory size (paper default: 5).
+    pub xi: usize,
+}
+
+impl SizeS {
+    /// Creates SizeS with the given soft margin.
+    pub fn new(xi: usize) -> Self {
+        Self { xi }
+    }
+}
+
+impl Default for SizeS {
+    fn default() -> Self {
+        Self { xi: 5 }
+    }
+}
+
+impl SubtrajSearch for SizeS {
+    fn name(&self) -> String {
+        format!("SizeS(xi={})", self.xi)
+    }
+
+    fn search(&self, measure: &dyn Measure, data: &[Point], query: &[Point]) -> SearchResult {
+        assert!(!data.is_empty() && !query.is_empty(), "inputs must be non-empty");
+        let n = data.len();
+        let m = query.len();
+        let min_len = m.saturating_sub(self.xi).max(1);
+        let max_len = (m + self.xi).min(n);
+
+        let mut best_range = SubtrajRange::new(0, 0);
+        let mut best_sim = f64::NEG_INFINITY;
+        let mut eval = measure.prefix_evaluator(query);
+        for i in 0..n {
+            // Grow the prefix from length 1; only lengths within the
+            // window are *candidates*, but shorter ones must still be
+            // computed to reach the window incrementally.
+            let mut sim = eval.init(data[i]);
+            let mut len = 1;
+            if len >= min_len && sim > best_sim {
+                best_sim = sim;
+                best_range = SubtrajRange::new(i, i);
+            }
+            for j in i + 1..n {
+                len += 1;
+                if len > max_len {
+                    break;
+                }
+                sim = eval.extend(data[j]);
+                if len >= min_len && sim > best_sim {
+                    best_sim = sim;
+                    best_range = SubtrajRange::new(i, j);
+                }
+            }
+        }
+        // When min_len exceeds every reachable length (n < m - ξ), fall
+        // back to the longest prefix candidates: the loop above never
+        // admitted a candidate, so admit whole-trajectory as the solution.
+        if best_sim == f64::NEG_INFINITY {
+            let sim = measure.similarity(data, query);
+            return SearchResult {
+                range: SubtrajRange::new(0, n - 1),
+                similarity: sim,
+                distance: simsub_measures::distance_from_similarity(sim),
+            };
+        }
+        SearchResult {
+            range: best_range,
+            similarity: best_sim,
+            distance: simsub_measures::distance_from_similarity(best_sim),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util::{pts, walk};
+    use crate::ExactS;
+    use proptest::prelude::*;
+    use simsub_measures::Dtw;
+
+    #[test]
+    fn xi_large_enough_equals_exact() {
+        let t = walk(11, 12);
+        let q = walk(12, 5);
+        // ξ = n covers every size.
+        let sizes = SizeS::new(t.len());
+        let exact = ExactS.search(&Dtw, &t, &q);
+        let approx = sizes.search(&Dtw, &t, &q);
+        assert!((approx.distance - exact.distance).abs() < 1e-9);
+    }
+
+    #[test]
+    fn xi_zero_considers_only_query_length() {
+        let t = walk(21, 10);
+        let q = walk(22, 4);
+        let res = SizeS::new(0).search(&Dtw, &t, &q);
+        assert_eq!(res.range.len(), 4);
+    }
+
+    #[test]
+    fn respects_size_window() {
+        let t = walk(31, 15);
+        let q = walk(32, 6);
+        let xi = 2;
+        let res = SizeS::new(xi).search(&Dtw, &t, &q);
+        assert!(res.range.len() >= 4 && res.range.len() <= 8);
+    }
+
+    #[test]
+    fn data_shorter_than_window_falls_back() {
+        // n = 2, m = 10, ξ = 0: no subtrajectory has size 10; the
+        // fallback returns the whole trajectory.
+        let t = pts(&[(0.0, 0.0), (1.0, 0.0)]);
+        let q = walk(41, 10);
+        let res = SizeS::new(0).search(&Dtw, &t, &q);
+        assert_eq!(res.range, SubtrajRange::new(0, 1));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn never_better_than_exact(seed in 0u64..300, n in 2usize..12, m in 1usize..7, xi in 0usize..6) {
+            let t = walk(seed, n);
+            let q = walk(seed + 999, m);
+            let exact = ExactS.search(&Dtw, &t, &q).distance;
+            let approx = SizeS::new(xi).search(&Dtw, &t, &q).distance;
+            prop_assert!(approx + 1e-9 >= exact);
+        }
+
+        #[test]
+        fn monotone_in_xi(seed in 0u64..200, n in 4usize..12, m in 2usize..6) {
+            // Growing ξ can only improve (or keep) the result.
+            let t = walk(seed, n);
+            let q = walk(seed + 500, m);
+            let mut prev = f64::INFINITY;
+            for xi in 0..n {
+                let d = SizeS::new(xi).search(&Dtw, &t, &q).distance;
+                prop_assert!(d <= prev + 1e-9, "xi={xi}: {d} > {prev}");
+                prev = d;
+            }
+        }
+    }
+}

@@ -1,0 +1,325 @@
+//! The splitting-based heuristics of Section 4.3: PSS (Algorithm 2), POS,
+//! and POS-D. All three scan the data trajectory once, deciding at each
+//! point whether to split; the candidate subtrajectories are the prefixes
+//! (and, for PSS, suffixes) delimited by splits — at most `n` candidates,
+//! giving `O(n1·Φini + n·Φinc)` total time.
+
+use crate::{SearchResult, SubtrajSearch};
+use simsub_measures::Measure;
+use simsub_trajectory::{reversed_points, Point, SubtrajRange};
+
+/// Precomputes all suffix similarities `Θ(T[t, n]^R, Tq^R)` for
+/// `t = 0..n-1` in one backward pass (Algorithm 2, lines 2-3):
+/// a prefix evaluator over the *reversed* query is initialized at `p_n`
+/// and extended with `p_{n-1}, p_{n-2}, ...` — each extension yields the
+/// next suffix similarity at `Φinc` cost.
+///
+/// For DTW and Frechet these equal `Θ(T[t, n], Tq)` exactly (reversal
+/// invariance); for t2vec they are the positively-correlated surrogate the
+/// paper uses.
+pub fn suffix_similarities(measure: &dyn Measure, data: &[Point], query: &[Point]) -> Vec<f64> {
+    assert!(!data.is_empty() && !query.is_empty(), "inputs must be non-empty");
+    let n = data.len();
+    let rq = reversed_points(query);
+    let mut eval = measure.prefix_evaluator(&rq);
+    let mut out = vec![0.0; n];
+    out[n - 1] = eval.init(data[n - 1]);
+    for t in (0..n - 1).rev() {
+        out[t] = eval.extend(data[t]);
+    }
+    out
+}
+
+/// Prefix-Suffix Search (Algorithm 2). At each scanned point `p_i` it
+/// considers the running prefix `T[h, i]` *and* the suffix `T[i, n]`;
+/// if either beats the best similarity so far it records the better of
+/// the two and splits.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Pss;
+
+/// Prefix-Only Search: PSS without the suffix candidates — saves the
+/// suffix precomputation pass and in practice runs faster.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Pos;
+
+/// Prefix-Only Search with Delay: when a prefix beats the best-so-far,
+/// POS-D scans up to `D` further points and splits at whichever of the
+/// `D + 1` positions has the most similar prefix (paper default `D = 5`).
+#[derive(Debug, Clone, Copy)]
+pub struct PosD {
+    /// The delay window `D`.
+    pub delay: usize,
+}
+
+impl PosD {
+    /// Creates POS-D with the given delay.
+    pub fn new(delay: usize) -> Self {
+        Self { delay }
+    }
+}
+
+impl Default for PosD {
+    fn default() -> Self {
+        Self { delay: 5 }
+    }
+}
+
+impl SubtrajSearch for Pss {
+    fn name(&self) -> String {
+        "PSS".to_string()
+    }
+
+    fn search(&self, measure: &dyn Measure, data: &[Point], query: &[Point]) -> SearchResult {
+        assert!(!data.is_empty() && !query.is_empty(), "inputs must be non-empty");
+        let n = data.len();
+        let suffix = suffix_similarities(measure, data, query);
+
+        let mut best_sim = 0.0f64;
+        let mut best_range: Option<SubtrajRange> = None;
+        let mut eval = measure.prefix_evaluator(query);
+        let mut h = 0usize;
+        for i in 0..n {
+            let pre = if i == h {
+                eval.init(data[i])
+            } else {
+                eval.extend(data[i])
+            };
+            let suf = suffix[i];
+            if pre.max(suf) > best_sim {
+                best_sim = pre.max(suf);
+                best_range = Some(if pre > suf {
+                    SubtrajRange::new(h, i)
+                } else {
+                    SubtrajRange::new(i, n - 1)
+                });
+                h = i + 1;
+            }
+        }
+        let range = best_range.expect("similarities are positive; first point always splits");
+        SearchResult {
+            range,
+            similarity: best_sim,
+            distance: simsub_measures::distance_from_similarity(best_sim),
+        }
+    }
+}
+
+impl SubtrajSearch for Pos {
+    fn name(&self) -> String {
+        "POS".to_string()
+    }
+
+    fn search(&self, measure: &dyn Measure, data: &[Point], query: &[Point]) -> SearchResult {
+        assert!(!data.is_empty() && !query.is_empty(), "inputs must be non-empty");
+        let n = data.len();
+        let mut best_sim = 0.0f64;
+        let mut best_range: Option<SubtrajRange> = None;
+        let mut eval = measure.prefix_evaluator(query);
+        let mut h = 0usize;
+        for i in 0..n {
+            let pre = if i == h {
+                eval.init(data[i])
+            } else {
+                eval.extend(data[i])
+            };
+            if pre > best_sim {
+                best_sim = pre;
+                best_range = Some(SubtrajRange::new(h, i));
+                h = i + 1;
+            }
+        }
+        let range = best_range.expect("similarities are positive; first point always splits");
+        SearchResult {
+            range,
+            similarity: best_sim,
+            distance: simsub_measures::distance_from_similarity(best_sim),
+        }
+    }
+}
+
+impl SubtrajSearch for PosD {
+    fn name(&self) -> String {
+        format!("POS-D(D={})", self.delay)
+    }
+
+    fn search(&self, measure: &dyn Measure, data: &[Point], query: &[Point]) -> SearchResult {
+        assert!(!data.is_empty() && !query.is_empty(), "inputs must be non-empty");
+        let n = data.len();
+        let mut best_sim = 0.0f64;
+        let mut best_range: Option<SubtrajRange> = None;
+        let mut eval = measure.prefix_evaluator(query);
+        let mut h = 0usize;
+        let mut i = 0usize;
+        while i < n {
+            let pre = if i == h {
+                eval.init(data[i])
+            } else {
+                eval.extend(data[i])
+            };
+            if pre > best_sim {
+                // Delay the split: look ahead up to `delay` more points and
+                // split at the position with the most similar prefix.
+                let mut split_at = i;
+                let mut split_sim = pre;
+                let lookahead_end = (i + self.delay).min(n - 1);
+                for j in i + 1..=lookahead_end {
+                    let s = eval.extend(data[j]);
+                    if s > split_sim {
+                        split_sim = s;
+                        split_at = j;
+                    }
+                }
+                best_sim = split_sim;
+                best_range = Some(SubtrajRange::new(h, split_at));
+                h = split_at + 1;
+                i = split_at + 1;
+            } else {
+                i += 1;
+            }
+        }
+        let range = best_range.expect("similarities are positive; first point always splits");
+        SearchResult {
+            range,
+            similarity: best_sim,
+            distance: simsub_measures::distance_from_similarity(best_sim),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util::{figure1, pts, walk};
+    use crate::ExactS;
+    use proptest::prelude::*;
+    use simsub_measures::{dtw_distance, Dtw, Frechet, Measure};
+
+    #[test]
+    fn suffix_similarities_match_direct_computation_dtw() {
+        let t = walk(1, 10);
+        let q = walk(2, 4);
+        let suf = suffix_similarities(&Dtw, &t, &q);
+        for i in 0..t.len() {
+            // Reversal invariance: Θ(T[i,n]^R, Tq^R) == Θ(T[i,n], Tq).
+            let direct = Dtw.similarity(&t[i..], &q);
+            assert!(
+                (suf[i] - direct).abs() < 1e-9,
+                "suffix {i}: {} vs {}",
+                suf[i],
+                direct
+            );
+        }
+    }
+
+    #[test]
+    fn pss_on_paper_figure1_walkthrough() {
+        // Table 3 of the paper walks PSS through the Figure 1 input and
+        // ends with a *suboptimal* single-point answer: the greedy split
+        // at p2 (1-based) destroys the optimal T[2,4]. Our geometric
+        // reconstruction reproduces that failure mode: PSS must return a
+        // strictly worse answer than ExactS.
+        let (t, q) = figure1();
+        let exact = ExactS.search(&Dtw, &t, &q);
+        let pss = Pss.search(&Dtw, &t, &q);
+        assert!(pss.distance > exact.distance + 1e-9);
+        // And the reported similarity matches the true similarity of the
+        // returned range (PSS bookkeeping is exact for DTW).
+        let true_d = dtw_distance(pss.range.slice(&t), &q);
+        assert!((pss.distance - true_d).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pss_returns_true_similarity_of_reported_range() {
+        for seed in 0..20u64 {
+            let t = walk(seed, 14);
+            let q = walk(seed + 100, 5);
+            for m in [&Dtw as &dyn Measure, &Frechet as &dyn Measure] {
+                let res = Pss.search(m, &t, &q);
+                let direct = m.similarity(res.range.slice(&t), &q);
+                assert!(
+                    (res.similarity - direct).abs() < 1e-9,
+                    "seed {seed} measure {}",
+                    m.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pos_ignores_suffix_candidates() {
+        // A trajectory whose *suffix* is the perfect match: PSS finds it
+        // via the suffix channel; POS (prefix-only) cannot see whole-suffix
+        // candidates before scanning them point by point, but its prefix
+        // after the last split still covers them. Construct a case where
+        // the two differ.
+        let t = pts(&[(100.0, 0.0), (0.0, 0.0), (1.0, 0.0), (2.0, 0.0)]);
+        let q = pts(&[(0.0, 0.0), (1.0, 0.0), (2.0, 0.0)]);
+        let pss = Pss.search(&Dtw, &t, &q);
+        // PSS sees suffix T[1,3] == query at the very first scan.
+        assert_eq!(pss.range, SubtrajRange::new(1, 3));
+        assert!(pss.distance.abs() < 1e-9);
+    }
+
+    #[test]
+    fn posd_zero_delay_equals_pos() {
+        for seed in 0..30u64 {
+            let t = walk(seed, 12);
+            let q = walk(seed + 1, 4);
+            let a = Pos.search(&Dtw, &t, &q);
+            let b = PosD::new(0).search(&Dtw, &t, &q);
+            assert_eq!(a.range, b.range, "seed {seed}");
+            assert!((a.similarity - b.similarity).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn single_point_inputs() {
+        let t = pts(&[(1.0, 2.0)]);
+        let q = pts(&[(1.0, 2.0)]);
+        for algo in [
+            &Pss as &dyn SubtrajSearch,
+            &Pos as &dyn SubtrajSearch,
+            &PosD::default() as &dyn SubtrajSearch,
+        ] {
+            let res = algo.search(&Dtw, &t, &q);
+            assert_eq!(res.range, SubtrajRange::new(0, 0));
+            assert_eq!(res.similarity, 1.0);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn splitting_results_never_beat_exact(seed in 0u64..300, n in 2usize..14, m in 1usize..6) {
+            let t = walk(seed, n);
+            let q = walk(seed + 31, m);
+            let exact = ExactS.search(&Dtw, &t, &q).distance;
+            for algo in [&Pss as &dyn SubtrajSearch, &Pos, &PosD::default()] {
+                let d = algo.search(&Dtw, &t, &q).distance;
+                prop_assert!(d + 1e-9 >= exact, "{} beat exact", algo.name());
+            }
+        }
+
+        #[test]
+        fn reported_ranges_are_valid(seed in 0u64..300, n in 1usize..14, m in 1usize..6) {
+            let t = walk(seed, n);
+            let q = walk(seed + 77, m);
+            for algo in [&Pss as &dyn SubtrajSearch, &Pos, &PosD::new(3)] {
+                let r = algo.search(&Frechet, &t, &q).range;
+                prop_assert!(r.end < n);
+            }
+        }
+
+        #[test]
+        fn suffix_vector_is_complete_and_positive(seed in 0u64..200, n in 1usize..12, m in 1usize..6) {
+            let t = walk(seed, n);
+            let q = walk(seed + 13, m);
+            let suf = suffix_similarities(&Frechet, &t, &q);
+            prop_assert_eq!(suf.len(), n);
+            for s in suf {
+                prop_assert!(s > 0.0 && s <= 1.0);
+            }
+        }
+    }
+}

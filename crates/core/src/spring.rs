@@ -1,0 +1,187 @@
+//! Spring (Sakurai, Faloutsos & Yamamuro, ICDE 2007): subsequence matching
+//! under DTW in `O(n·m)` by augmenting the DTW recurrence with
+//! start-pointer tracking. It is *exact* for the SimSub problem when the
+//! measure is DTW — the paper uses it as a DTW-specific competitor
+//! (§4.1, §6.2(9)).
+//!
+//! The banded variant implements the paper's alignment constraint for the
+//! UCR/Spring comparison: query point `q_i` may only align with data
+//! points `p_j` with `j ∈ [i − R·n, i + R·n]` (global data-trajectory
+//! indices). `R = 1` reduces to unconstrained DTW.
+
+use crate::{SearchResult, SubtrajSearch};
+use simsub_measures::Measure;
+use simsub_trajectory::{Point, SubtrajRange};
+
+/// The Spring algorithm. DTW-specific: the [`SubtrajSearch`] impl ignores
+/// the `measure` argument and always evaluates DTW.
+#[derive(Debug, Clone, Copy)]
+pub struct Spring {
+    /// Alignment band ratio `R ∈ [0, 1]`; `>= 1` disables the constraint.
+    pub band_ratio: f64,
+}
+
+impl Spring {
+    /// Unconstrained Spring (exact for DTW).
+    pub fn new() -> Self {
+        Self { band_ratio: 1.0 }
+    }
+
+    /// Spring with the global alignment constraint of §6.2(9).
+    pub fn with_band(band_ratio: f64) -> Self {
+        assert!((0.0..=1.0).contains(&band_ratio), "R must be in [0, 1]");
+        Self { band_ratio }
+    }
+
+    /// Core DP. Returns the subsequence of `data` minimizing (banded)
+    /// DTW distance to `query`, with its distance.
+    pub fn search_dtw(&self, data: &[Point], query: &[Point]) -> (SubtrajRange, f64) {
+        assert!(!data.is_empty() && !query.is_empty(), "inputs must be non-empty");
+        let n = data.len();
+        let m = query.len();
+        let unconstrained = self.band_ratio >= 1.0;
+        let w = (self.band_ratio * n as f64).floor() as isize;
+
+        // Rolling rows over the query axis; each cell carries
+        // (distance, start index of the warping path).
+        let mut prev = vec![(f64::INFINITY, usize::MAX); m];
+        let mut cur = vec![(f64::INFINITY, usize::MAX); m];
+        let mut best = (f64::INFINITY, SubtrajRange::new(0, 0));
+
+        for i in 0..n {
+            for j in 0..m {
+                cur[j] = (f64::INFINITY, usize::MAX);
+                if !unconstrained && (i as isize - j as isize).abs() > w {
+                    continue;
+                }
+                let cost = data[i].dist(query[j]);
+                let (trans, start) = if j == 0 {
+                    // The sentinel column D(·, -1) = 0 lets a match start
+                    // fresh at any data point; extending D(i-1, 0) lets
+                    // q_0 absorb another data point, but that only adds
+                    // non-negative cost, so the fresh start always wins:
+                    // D(i, 0) = d(p_i, q_0) with start i.
+                    (0.0, i)
+                } else {
+                    // min over D(i-1, j), D(i, j-1), D(i-1, j-1).
+                    let mut t = (f64::INFINITY, usize::MAX);
+                    if i > 0 && prev[j].0 < t.0 {
+                        t = prev[j];
+                    }
+                    if cur[j - 1].0 < t.0 {
+                        t = cur[j - 1];
+                    }
+                    if i > 0 && prev[j - 1].0 < t.0 {
+                        t = prev[j - 1];
+                    }
+                    t
+                };
+                if trans.is_finite() {
+                    cur[j] = (cost + trans, start);
+                }
+            }
+            if cur[m - 1].0 < best.0 {
+                best = (cur[m - 1].0, SubtrajRange::new(cur[m - 1].1, i));
+            }
+            std::mem::swap(&mut prev, &mut cur);
+        }
+        (best.1, best.0)
+    }
+}
+
+impl Default for Spring {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SubtrajSearch for Spring {
+    fn name(&self) -> String {
+        if self.band_ratio >= 1.0 {
+            "Spring".to_string()
+        } else {
+            format!("Spring(R={:.2})", self.band_ratio)
+        }
+    }
+
+    /// DTW-specific: `measure` is ignored (documented trait-level caveat).
+    fn search(&self, _measure: &dyn Measure, data: &[Point], query: &[Point]) -> SearchResult {
+        let (range, dist) = self.search_dtw(data, query);
+        SearchResult::from_distance(range, dist)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util::{figure1, pts, walk};
+    use crate::ExactS;
+    use proptest::prelude::*;
+    use simsub_measures::Dtw;
+
+    #[test]
+    fn exact_on_figure1() {
+        let (t, q) = figure1();
+        let (range, dist) = Spring::new().search_dtw(&t, &q);
+        let exact = ExactS.search(&Dtw, &t, &q);
+        assert!((dist - exact.distance).abs() < 1e-9);
+        assert_eq!(range, exact.range);
+    }
+
+    #[test]
+    fn finds_embedded_exact_match() {
+        let q = pts(&[(0.0, 0.0), (1.0, 0.0), (2.0, 0.0)]);
+        let t = pts(&[
+            (9.0, 9.0),
+            (0.0, 0.0),
+            (1.0, 0.0),
+            (2.0, 0.0),
+            (-5.0, 3.0),
+        ]);
+        let (range, dist) = Spring::new().search_dtw(&t, &q);
+        assert_eq!(range, SubtrajRange::new(1, 3));
+        assert!(dist.abs() < 1e-12);
+    }
+
+    #[test]
+    fn band_zero_forces_prefix_alignment() {
+        // With R = 0, q_j may only align with p_j: the only feasible
+        // subsequence is the prefix of length m, lock-step.
+        let t = walk(1, 10);
+        let q = walk(2, 4);
+        let (range, dist) = Spring::with_band(0.0).search_dtw(&t, &q);
+        assert_eq!(range, SubtrajRange::new(0, 3));
+        let lockstep: f64 = (0..4).map(|i| t[i].dist(q[i])).sum();
+        assert!((dist - lockstep).abs() < 1e-9);
+    }
+
+    #[test]
+    fn band_monotone() {
+        let t = walk(3, 20);
+        let q = walk(4, 6);
+        let mut prev = f64::INFINITY;
+        for r in [0.0, 0.1, 0.25, 0.5, 0.75, 1.0] {
+            let (_, d) = Spring::with_band(r).search_dtw(&t, &q);
+            assert!(d <= prev + 1e-9, "R={r}");
+            prev = d;
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn spring_equals_exacts_under_dtw(seed in 0u64..400, n in 1usize..16, m in 1usize..7) {
+            let t = walk(seed, n);
+            let q = walk(seed + 71, m);
+            let exact = ExactS.search(&Dtw, &t, &q);
+            let (range, dist) = Spring::new().search_dtw(&t, &q);
+            prop_assert!((dist - exact.distance).abs() < 1e-6,
+                "spring {dist} vs exact {}", exact.distance);
+            // The returned range must achieve the optimal distance (there
+            // may be ties, so compare distances rather than ranges).
+            let check = simsub_measures::dtw_distance(range.slice(&t), &q);
+            prop_assert!((check - exact.distance).abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,162 @@
+//! Top-k similar subtrajectory search over a trajectory database — the
+//! user-facing query of Section 3.1. For each data trajectory, run a
+//! SimSub algorithm and keep the `k` trajectories whose best subtrajectory
+//! is most similar to the query. (The R-tree-accelerated variant lives in
+//! `simsub-index`, which prunes trajectories by MBR intersection first.)
+
+use crate::{SearchResult, SubtrajSearch};
+use simsub_measures::Measure;
+use simsub_trajectory::{Point, Trajectory};
+
+/// One database hit: the trajectory and the best subtrajectory inside it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TopKResult {
+    /// Id of the data trajectory the hit belongs to.
+    pub trajectory_id: u64,
+    /// The most similar subtrajectory found inside it.
+    pub result: SearchResult,
+}
+
+/// Scans `db`, running `algo` on each trajectory, and returns the top-`k`
+/// hits by descending similarity. Deterministic tie-break by trajectory id.
+pub fn top_k_search(
+    algo: &dyn SubtrajSearch,
+    measure: &dyn Measure,
+    db: &[Trajectory],
+    query: &[Point],
+    k: usize,
+) -> Vec<TopKResult> {
+    assert!(k > 0, "k must be positive");
+    let hits: Vec<TopKResult> = db
+        .iter()
+        .map(|t| TopKResult {
+            trajectory_id: t.id,
+            result: algo.search(measure, t.points(), query),
+        })
+        .collect();
+    sort_and_truncate(hits, k)
+}
+
+/// Parallel variant of [`top_k_search`]: partitions the database across
+/// `threads` scoped worker threads. Per-trajectory searches are
+/// independent, so the result is identical to the sequential scan
+/// (asserted by tests). Falls back to the sequential path for
+/// `threads <= 1` or tiny databases.
+pub fn top_k_search_parallel(
+    algo: &(dyn SubtrajSearch + Sync),
+    measure: &dyn Measure,
+    db: &[Trajectory],
+    query: &[Point],
+    k: usize,
+    threads: usize,
+) -> Vec<TopKResult> {
+    assert!(k > 0, "k must be positive");
+    if threads <= 1 || db.len() < 2 * threads {
+        return top_k_search(algo, measure, db, query, k);
+    }
+    let chunk = db.len().div_ceil(threads);
+    let hits = crossbeam::scope(|scope| {
+        let handles: Vec<_> = db
+            .chunks(chunk)
+            .map(|part| {
+                scope.spawn(move |_| {
+                    // Each worker keeps only its local top-k: bounds the
+                    // merge to threads*k entries.
+                    let local: Vec<TopKResult> = part
+                        .iter()
+                        .map(|t| TopKResult {
+                            trajectory_id: t.id,
+                            result: algo.search(measure, t.points(), query),
+                        })
+                        .collect();
+                    sort_and_truncate(local, k)
+                })
+            })
+            .collect();
+        let mut merged = Vec::with_capacity(threads * k);
+        for h in handles {
+            merged.extend(h.join().expect("search worker panicked"));
+        }
+        merged
+    })
+    .expect("scoped search threads panicked");
+    sort_and_truncate(hits, k)
+}
+
+fn sort_and_truncate(mut hits: Vec<TopKResult>, k: usize) -> Vec<TopKResult> {
+    hits.sort_by(|a, b| {
+        b.result
+            .similarity
+            .total_cmp(&a.result.similarity)
+            .then(a.trajectory_id.cmp(&b.trajectory_id))
+    });
+    hits.truncate(k);
+    hits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util::{pts, walk};
+    use crate::{ExactS, Pss};
+    use simsub_measures::Dtw;
+
+    fn db(count: usize, len: usize) -> Vec<Trajectory> {
+        (0..count)
+            .map(|i| Trajectory::new_unchecked(i as u64, walk(i as u64, len)))
+            .collect()
+    }
+
+    #[test]
+    fn returns_k_sorted_hits() {
+        let db = db(12, 15);
+        let q = walk(100, 5);
+        let hits = top_k_search(&ExactS, &Dtw, &db, &q, 5);
+        assert_eq!(hits.len(), 5);
+        for w in hits.windows(2) {
+            assert!(w[0].result.similarity >= w[1].result.similarity);
+        }
+    }
+
+    #[test]
+    fn k_larger_than_db_returns_all() {
+        let db = db(3, 10);
+        let q = walk(100, 4);
+        let hits = top_k_search(&Pss, &Dtw, &db, &q, 50);
+        assert_eq!(hits.len(), 3);
+    }
+
+    #[test]
+    fn exact_embedded_match_ranks_first() {
+        let q = pts(&[(0.0, 0.0), (1.0, 0.0), (2.0, 0.0)]);
+        let mut database = db(5, 10);
+        // Plant the query inside trajectory 99.
+        let mut planted = vec![pts(&[(50.0, 50.0)])[0]];
+        planted.extend_from_slice(&q);
+        database.push(Trajectory::new_unchecked(99, planted));
+        let hits = top_k_search(&ExactS, &Dtw, &database, &q, 1);
+        assert_eq!(hits[0].trajectory_id, 99);
+        assert!(hits[0].result.distance.abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn zero_k_rejected() {
+        let db = db(2, 5);
+        let q = walk(0, 3);
+        let _ = top_k_search(&ExactS, &Dtw, &db, &q, 0);
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let db = db(37, 14);
+        let q = walk(500, 5);
+        for k in [1, 5, 50] {
+            let seq = top_k_search(&ExactS, &Dtw, &db, &q, k);
+            for threads in [1, 2, 4, 8] {
+                let par = top_k_search_parallel(&ExactS, &Dtw, &db, &q, k, threads);
+                assert_eq!(seq, par, "k={k} threads={threads}");
+            }
+        }
+    }
+}

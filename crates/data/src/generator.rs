@@ -1,0 +1,291 @@
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use simsub_trajectory::{Point, Trajectory};
+
+/// How simulated objects move.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MotionModel {
+    /// Heading-persistent random walk with occasional turns — taxi-like
+    /// urban movement (Porto, Harbin).
+    UrbanTaxi,
+    /// Waypoint-attracted movement on a bounded pitch — player/ball
+    /// movement (Sports).
+    PitchPlayer,
+}
+
+/// Statistical specification of a synthetic dataset.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DatasetSpec {
+    /// Human-readable dataset name.
+    pub name: &'static str,
+    /// Target mean trajectory length in points.
+    pub mean_len: usize,
+    /// Hard lower bound on trajectory length.
+    pub min_len: usize,
+    /// Hard upper bound on trajectory length.
+    pub max_len: usize,
+    /// Side length of the (square) spatial extent, in kilometres.
+    /// Kilometre-scale units keep similarity values `1/(1+d)` in the
+    /// 0.05-0.5 range the paper's examples exhibit (Table 3), which also
+    /// keeps the RLS state/reward magnitudes well-conditioned for DQN
+    /// training.
+    pub extent: f64,
+    /// Nominal sampling interval in seconds.
+    pub sampling_interval: f64,
+    /// Relative jitter on the sampling interval (0 = uniform sampling;
+    /// Harbin has non-uniform rates).
+    pub interval_jitter: f64,
+    /// Mean speed in kilometres/second.
+    pub speed: f64,
+    /// Motion model.
+    pub motion: MotionModel,
+}
+
+impl DatasetSpec {
+    /// Porto-like: 15 s uniform sampling, mean length ≈ 60, city-scale
+    /// extent, taxi motion.
+    pub fn porto() -> Self {
+        Self {
+            name: "Porto",
+            mean_len: 60,
+            min_len: 30,
+            max_len: 200,
+            extent: 10.0,
+            sampling_interval: 15.0,
+            interval_jitter: 0.0,
+            speed: 0.008,
+            motion: MotionModel::UrbanTaxi,
+        }
+    }
+
+    /// Harbin-like: non-uniform sampling, mean length ≈ 120.
+    pub fn harbin() -> Self {
+        Self {
+            name: "Harbin",
+            mean_len: 120,
+            min_len: 40,
+            max_len: 400,
+            extent: 15.0,
+            sampling_interval: 10.0,
+            interval_jitter: 0.6,
+            speed: 0.009,
+            motion: MotionModel::UrbanTaxi,
+        }
+    }
+
+    /// Sports-like: 10 Hz sampling, mean length ≈ 170, soccer-pitch
+    /// extent, waypoint-attracted motion.
+    pub fn sports() -> Self {
+        Self {
+            name: "Sports",
+            mean_len: 170,
+            min_len: 60,
+            max_len: 500,
+            extent: 0.105,
+            sampling_interval: 0.1,
+            interval_jitter: 0.0,
+            speed: 0.004,
+            motion: MotionModel::PitchPlayer,
+        }
+    }
+}
+
+/// Samples a trajectory length with a log-normal-ish spread around the
+/// spec's mean, clamped to the spec bounds — matching the long-tailed
+/// length distributions of real GPS corpora.
+fn sample_len(spec: &DatasetSpec, rng: &mut StdRng) -> usize {
+    let sigma = 0.35f64;
+    let z = normal(rng) * sigma - sigma * sigma / 2.0; // mean-corrected
+    let len = (spec.mean_len as f64 * z.exp()).round() as usize;
+    len.clamp(spec.min_len, spec.max_len)
+}
+
+/// Standard-normal sample via Box-Muller.
+fn normal(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(1e-12..1.0);
+    let u2: f64 = rng.gen::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Generates `count` trajectories with ids `0..count`, deterministically
+/// for a given `seed`.
+pub fn generate(spec: &DatasetSpec, count: usize, seed: u64) -> Vec<Trajectory> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|id| generate_one(spec, id as u64, &mut rng))
+        .collect()
+}
+
+fn generate_one(spec: &DatasetSpec, id: u64, rng: &mut StdRng) -> Trajectory {
+    let len = sample_len(spec, rng);
+    let mut points = Vec::with_capacity(len);
+    let mut x = rng.gen_range(0.0..spec.extent);
+    let mut y = rng.gen_range(0.0..spec.extent);
+    let mut t = 0.0f64;
+    let mut heading = rng.gen_range(0.0..std::f64::consts::TAU);
+    // Waypoint used by the pitch model.
+    let mut waypoint = (
+        rng.gen_range(0.0..spec.extent),
+        rng.gen_range(0.0..spec.extent * 0.65), // pitch is 105 × 68-ish
+    );
+
+    for i in 0..len {
+        points.push(Point::new(x, y, t));
+        // Advance time with optional jitter (non-uniform sampling).
+        let dt = if spec.interval_jitter > 0.0 {
+            let f = 1.0 + spec.interval_jitter * normal(rng).clamp(-0.9, 3.0);
+            (spec.sampling_interval * f).max(spec.sampling_interval * 0.1)
+        } else {
+            spec.sampling_interval
+        };
+        t += dt;
+        let step = spec.speed * dt * rng.gen_range(0.5..1.5);
+        match spec.motion {
+            MotionModel::UrbanTaxi => {
+                // Persist heading; occasionally take a grid-like turn.
+                // The low turn rate keeps trips *directed* (real taxi
+                // trips cross much of the city), which keeps trajectory
+                // MBRs large and R-tree pruning selectivity moderate, as
+                // in the paper's Figure 4.
+                if rng.gen::<f64>() < 0.05 {
+                    let turn = [
+                        -std::f64::consts::FRAC_PI_2,
+                        std::f64::consts::FRAC_PI_2,
+                        std::f64::consts::PI,
+                    ][rng.gen_range(0..3)];
+                    heading += turn;
+                } else {
+                    heading += normal(rng) * 0.1;
+                }
+            }
+            MotionModel::PitchPlayer => {
+                // Steer toward the waypoint; re-roll it when reached or
+                // occasionally (play changes).
+                let (wx, wy) = waypoint;
+                let dist = ((wx - x).powi(2) + (wy - y).powi(2)).sqrt();
+                if dist < step * 2.0 || rng.gen::<f64>() < 0.02 {
+                    waypoint = (
+                        rng.gen_range(0.0..spec.extent),
+                        rng.gen_range(0.0..spec.extent * 0.65),
+                    );
+                }
+                let target = (wy - y).atan2(wx - x);
+                // Blend current heading toward the target.
+                let mut delta = target - heading;
+                while delta > std::f64::consts::PI {
+                    delta -= std::f64::consts::TAU;
+                }
+                while delta < -std::f64::consts::PI {
+                    delta += std::f64::consts::TAU;
+                }
+                heading += delta * 0.4 + normal(rng) * 0.15;
+            }
+        }
+        x += heading.cos() * step;
+        y += heading.sin() * step;
+        // Reflect at the extent boundary (vehicles stay in the city,
+        // players on the pitch).
+        let max_y = match spec.motion {
+            MotionModel::PitchPlayer => spec.extent * 0.65,
+            MotionModel::UrbanTaxi => spec.extent,
+        };
+        if x < 0.0 || x > spec.extent {
+            heading = std::f64::consts::PI - heading;
+            x = x.clamp(0.0, spec.extent);
+        }
+        if y < 0.0 || y > max_y {
+            heading = -heading;
+            y = y.clamp(0.0, max_y);
+        }
+        let _ = i;
+    }
+    Trajectory::new_unchecked(id, points)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = generate(&DatasetSpec::porto(), 10, 42);
+        let b = generate(&DatasetSpec::porto(), 10, 42);
+        assert_eq!(a, b);
+        let c = generate(&DatasetSpec::porto(), 10, 43);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn mean_lengths_match_specs() {
+        for (spec, tolerance) in [
+            (DatasetSpec::porto(), 0.15),
+            (DatasetSpec::harbin(), 0.15),
+            (DatasetSpec::sports(), 0.15),
+        ] {
+            let trajs = generate(&spec, 300, 7);
+            let mean =
+                trajs.iter().map(|t| t.len() as f64).sum::<f64>() / trajs.len() as f64;
+            let target = spec.mean_len as f64;
+            assert!(
+                (mean - target).abs() < target * tolerance,
+                "{}: mean {mean} vs target {target}",
+                spec.name
+            );
+        }
+    }
+
+    #[test]
+    fn trajectories_are_valid_and_bounded() {
+        for spec in [
+            DatasetSpec::porto(),
+            DatasetSpec::harbin(),
+            DatasetSpec::sports(),
+        ] {
+            let trajs = generate(&spec, 50, 11);
+            for t in &trajs {
+                // Valid by the Trajectory invariants (monotone time, finite).
+                assert!(Trajectory::new(t.id, t.points().to_vec()).is_ok());
+                assert!(t.len() >= spec.min_len && t.len() <= spec.max_len);
+                for p in t.points() {
+                    assert!(p.x >= 0.0 && p.x <= spec.extent, "{}: x={}", spec.name, p.x);
+                    assert!(p.y >= 0.0 && p.y <= spec.extent);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn harbin_sampling_is_nonuniform_porto_uniform() {
+        let porto = generate(&DatasetSpec::porto(), 5, 3);
+        for t in &porto {
+            for w in t.points().windows(2) {
+                assert!((w[1].t - w[0].t - 15.0).abs() < 1e-9);
+            }
+        }
+        let harbin = generate(&DatasetSpec::harbin(), 5, 3);
+        let mut distinct = std::collections::HashSet::new();
+        for t in &harbin {
+            for w in t.points().windows(2) {
+                distinct.insert(((w[1].t - w[0].t) * 1000.0) as i64);
+            }
+        }
+        assert!(distinct.len() > 10, "expected jittered intervals");
+    }
+
+    #[test]
+    fn movement_speed_is_plausible() {
+        let spec = DatasetSpec::porto();
+        let trajs = generate(&spec, 20, 5);
+        let mut total_dist = 0.0;
+        let mut total_time = 0.0;
+        for t in &trajs {
+            total_dist += t.path_length();
+            total_time += t.duration();
+        }
+        let v = total_dist / total_time;
+        // Mean speed within a factor ~2 of the spec (reflection at the
+        // boundary and jittered steps shave some distance).
+        assert!(v > spec.speed * 0.4 && v < spec.speed * 2.0, "speed {v}");
+    }
+}

@@ -1,0 +1,213 @@
+//! CSV import/export for trajectory corpora.
+//!
+//! Real deployments load trajectories from files rather than generators;
+//! this module reads and writes the simplest interchange format that
+//! round-trips the data model:
+//!
+//! ```text
+//! id,x,y,t
+//! 0,41.15,-8.61,0.0
+//! 0,41.16,-8.60,15.0
+//! 1,...
+//! ```
+//!
+//! Rows must be grouped by id (the usual export layout); within a group,
+//! timestamps must be non-decreasing — the same invariants as
+//! [`Trajectory::new`].
+
+use simsub_trajectory::{Point, Trajectory, TrajectoryError};
+use std::io::{BufRead, BufWriter, Write};
+use std::path::Path;
+
+/// Errors produced by the CSV reader.
+#[derive(Debug)]
+pub enum CsvError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A row had the wrong number of fields (line number, field count).
+    BadFieldCount(usize, usize),
+    /// A field failed to parse (line number, field name).
+    BadField(usize, &'static str),
+    /// A trajectory violated the data-model invariants.
+    BadTrajectory(u64, TrajectoryError),
+    /// An id appeared in two non-adjacent row groups (line number).
+    NonContiguousId(usize, u64),
+}
+
+impl std::fmt::Display for CsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CsvError::Io(e) => write!(f, "I/O error: {e}"),
+            CsvError::BadFieldCount(line, n) => {
+                write!(f, "line {line}: expected 4 fields, found {n}")
+            }
+            CsvError::BadField(line, field) => write!(f, "line {line}: bad {field}"),
+            CsvError::BadTrajectory(id, e) => write!(f, "trajectory {id}: {e}"),
+            CsvError::NonContiguousId(line, id) => {
+                write!(f, "line {line}: id {id} reappears after other ids")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+impl From<std::io::Error> for CsvError {
+    fn from(e: std::io::Error) -> Self {
+        CsvError::Io(e)
+    }
+}
+
+/// Reads trajectories from `id,x,y,t` CSV text. A leading header row is
+/// skipped when present. Blank lines are ignored.
+pub fn read_csv<R: BufRead>(reader: R) -> Result<Vec<Trajectory>, CsvError> {
+    let mut out = Vec::new();
+    let mut seen_ids = std::collections::HashSet::new();
+    let mut current_id: Option<u64> = None;
+    let mut points: Vec<Point> = Vec::new();
+
+    let flush = |id: Option<u64>, points: &mut Vec<Point>, out: &mut Vec<Trajectory>| {
+        if let Some(id) = id {
+            let pts = std::mem::take(points);
+            match Trajectory::new(id, pts) {
+                Ok(t) => {
+                    out.push(t);
+                    Ok(())
+                }
+                Err(e) => Err(CsvError::BadTrajectory(id, e)),
+            }
+        } else {
+            Ok(())
+        }
+    };
+
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if lineno == 0 && line.starts_with("id") {
+            continue; // header
+        }
+        let fields: Vec<&str> = line.split(',').collect();
+        if fields.len() != 4 {
+            return Err(CsvError::BadFieldCount(lineno + 1, fields.len()));
+        }
+        let id: u64 = fields[0]
+            .trim()
+            .parse()
+            .map_err(|_| CsvError::BadField(lineno + 1, "id"))?;
+        let x: f64 = fields[1]
+            .trim()
+            .parse()
+            .map_err(|_| CsvError::BadField(lineno + 1, "x"))?;
+        let y: f64 = fields[2]
+            .trim()
+            .parse()
+            .map_err(|_| CsvError::BadField(lineno + 1, "y"))?;
+        let t: f64 = fields[3]
+            .trim()
+            .parse()
+            .map_err(|_| CsvError::BadField(lineno + 1, "t"))?;
+
+        if current_id != Some(id) {
+            flush(current_id, &mut points, &mut out)?;
+            if !seen_ids.insert(id) {
+                return Err(CsvError::NonContiguousId(lineno + 1, id));
+            }
+            current_id = Some(id);
+        }
+        points.push(Point::new(x, y, t));
+    }
+    flush(current_id, &mut points, &mut out)?;
+    Ok(out)
+}
+
+/// Reads trajectories from a CSV file.
+pub fn read_csv_file(path: &Path) -> Result<Vec<Trajectory>, CsvError> {
+    let file = std::fs::File::open(path)?;
+    read_csv(std::io::BufReader::new(file))
+}
+
+/// Writes trajectories as `id,x,y,t` CSV (with header).
+pub fn write_csv<W: Write>(writer: W, trajs: &[Trajectory]) -> std::io::Result<()> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "id,x,y,t")?;
+    for t in trajs {
+        for p in t.points() {
+            writeln!(w, "{},{},{},{}", t.id, p.x, p.y, p.t)?;
+        }
+    }
+    w.flush()
+}
+
+/// Writes trajectories to a CSV file.
+pub fn write_csv_file(path: &Path, trajs: &[Trajectory]) -> std::io::Result<()> {
+    let file = std::fs::File::create(path)?;
+    write_csv(file, trajs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{generate, DatasetSpec};
+
+    #[test]
+    fn roundtrip_preserves_corpus() {
+        let corpus = generate(&DatasetSpec::porto(), 12, 3);
+        let mut buf = Vec::new();
+        write_csv(&mut buf, &corpus).unwrap();
+        let back = read_csv(std::io::Cursor::new(buf)).unwrap();
+        assert_eq!(corpus.len(), back.len());
+        for (a, b) in corpus.iter().zip(&back) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.len(), b.len());
+            for (p, q) in a.points().iter().zip(b.points()) {
+                assert!((p.x - q.x).abs() < 1e-12);
+                assert!((p.y - q.y).abs() < 1e-12);
+                assert!((p.t - q.t).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn header_and_blank_lines_are_tolerated() {
+        let text = "id,x,y,t\n\n0,1.0,2.0,0.0\n0,1.5,2.5,15.0\n\n1,9.0,9.0,0.0\n";
+        let trajs = read_csv(std::io::Cursor::new(text)).unwrap();
+        assert_eq!(trajs.len(), 2);
+        assert_eq!(trajs[0].len(), 2);
+        assert_eq!(trajs[1].len(), 1);
+    }
+
+    #[test]
+    fn bad_rows_are_reported_with_line_numbers() {
+        let e = read_csv(std::io::Cursor::new("0,1.0,2.0\n")).unwrap_err();
+        assert!(matches!(e, CsvError::BadFieldCount(1, 3)));
+
+        let e = read_csv(std::io::Cursor::new("0,x,2.0,0.0\n")).unwrap_err();
+        assert!(matches!(e, CsvError::BadField(1, "x")));
+
+        let e = read_csv(std::io::Cursor::new("0,1.0,2.0,5.0\n0,1.0,2.0,4.0\n")).unwrap_err();
+        assert!(matches!(e, CsvError::BadTrajectory(0, _)));
+    }
+
+    #[test]
+    fn non_contiguous_ids_rejected() {
+        let text = "0,1.0,1.0,0.0\n1,2.0,2.0,0.0\n0,3.0,3.0,1.0\n";
+        let e = read_csv(std::io::Cursor::new(text)).unwrap_err();
+        assert!(matches!(e, CsvError::NonContiguousId(3, 0)));
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let corpus = generate(&DatasetSpec::sports(), 4, 9);
+        let dir = std::env::temp_dir().join("simsub_csv_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("corpus.csv");
+        write_csv_file(&path, &corpus).unwrap();
+        let back = read_csv_file(&path).unwrap();
+        assert_eq!(back.len(), corpus.len());
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,284 @@
+//! Query workloads over a generated corpus, matching the evaluation
+//! protocols of Section 6:
+//!
+//! - **random pairs** (§6.2(1)): sample trajectory pairs; one is the query,
+//!   the other the data trajectory;
+//! - **embedded queries**: extract a subsegment of a data trajectory,
+//!   optionally downsampled/noised, guaranteeing a strongly similar
+//!   subtrajectory exists (the detour-detection scenario of §1);
+//! - **length groups** G1..G4 (§6.2(5)): queries bucketed by length
+//!   `[30,45), [45,60), [60,75), [75,90)`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use simsub_trajectory::{Point, SubtrajRange, Trajectory};
+
+/// The query-length group bounds of Section 6.2(5).
+pub const LENGTH_GROUP_BOUNDS: [(usize, usize); 4] = [(30, 45), (45, 60), (60, 75), (75, 90)];
+
+/// One evaluation pair: an index into the corpus (the data trajectory)
+/// plus the query trajectory to search it with.
+#[derive(Debug, Clone)]
+pub struct QueryPair {
+    /// Index of the data trajectory in the corpus.
+    pub data_idx: usize,
+    /// The query trajectory.
+    pub query: Trajectory,
+}
+
+/// Samples `count` random (data, query) pairs: two distinct corpus
+/// trajectories per pair, the second used whole as the query — the
+/// protocol of Figure 3. Queries longer than `max_query_len` are truncated
+/// to keep the exhaustive-ranking evaluation tractable.
+pub fn sample_pairs(
+    corpus: &[Trajectory],
+    count: usize,
+    max_query_len: usize,
+    seed: u64,
+) -> Vec<QueryPair> {
+    assert!(corpus.len() >= 2, "need at least two trajectories");
+    assert!(max_query_len >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| {
+            let data_idx = rng.gen_range(0..corpus.len());
+            let mut qi = rng.gen_range(0..corpus.len());
+            if qi == data_idx {
+                qi = (qi + 1) % corpus.len();
+            }
+            let q = &corpus[qi];
+            let len = q.len().min(max_query_len);
+            let start = if q.len() > len {
+                rng.gen_range(0..q.len() - len)
+            } else {
+                0
+            };
+            let query = Trajectory::new_unchecked(
+                q.id,
+                q.subtrajectory(SubtrajRange::new(start, start + len - 1))
+                    .to_vec(),
+            );
+            QueryPair { data_idx, query }
+        })
+        .collect()
+}
+
+/// Extracts a query of roughly `target_len` points from `source`: a random
+/// contiguous subsegment, each point kept with probability
+/// `1 - downsample`, then perturbed with Gaussian noise of standard
+/// deviation `noise` (in coordinate units). First/last points are always
+/// kept. Guarantees the source contains a strongly similar subtrajectory.
+pub fn extract_query(
+    source: &Trajectory,
+    target_len: usize,
+    downsample: f64,
+    noise: f64,
+    rng: &mut StdRng,
+) -> Trajectory {
+    assert!(target_len >= 1);
+    let n = source.len();
+    // Take a longer raw window so that after downsampling ~target_len
+    // points remain.
+    let raw_len = ((target_len as f64 / (1.0 - downsample).max(0.1)).ceil() as usize).min(n);
+    let start = if n > raw_len {
+        rng.gen_range(0..n - raw_len)
+    } else {
+        0
+    };
+    let window = source.subtrajectory(SubtrajRange::new(start, start + raw_len - 1));
+    let last = window.len() - 1;
+    let mut points: Vec<Point> = window
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| i == 0 || i == last || rng.gen::<f64>() >= downsample)
+        .map(|(_, &p)| p)
+        .collect();
+    if noise > 0.0 {
+        for p in &mut points {
+            p.x += noise * normal(rng);
+            p.y += noise * normal(rng);
+        }
+    }
+    Trajectory::new_unchecked(source.id, points)
+}
+
+fn normal(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(1e-12..1.0);
+    let u2: f64 = rng.gen::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Builds the four query-length groups of Section 6.2(5) with
+/// *independent* pairing, as the paper does ("for each query trajectory,
+/// we prepare a data trajectory from the dataset"): the query is a
+/// subsegment of one trajectory, the data trajectory is a different one.
+/// Optimal distances are then non-degenerate, keeping AR values in the
+/// paper's range.
+pub fn length_groups_cross(
+    corpus: &[Trajectory],
+    per_group: usize,
+    seed: u64,
+) -> [Vec<QueryPair>; 4] {
+    assert!(corpus.len() >= 2, "need at least two trajectories");
+    let mut rng = StdRng::seed_from_u64(seed);
+    LENGTH_GROUP_BOUNDS.map(|(lo, hi)| {
+        (0..per_group)
+            .map(|_| {
+                let target = rng.gen_range(lo..hi);
+                // Query source: prefer a trajectory long enough.
+                let mut src = rng.gen_range(0..corpus.len());
+                for _ in 0..10 {
+                    if corpus[src].len() >= target {
+                        break;
+                    }
+                    src = rng.gen_range(0..corpus.len());
+                }
+                let query = extract_query(&corpus[src], target, 0.0, 0.0, &mut rng);
+                // Data trajectory: any *other* trajectory.
+                let mut data_idx = rng.gen_range(0..corpus.len());
+                if data_idx == src {
+                    data_idx = (data_idx + 1) % corpus.len();
+                }
+                QueryPair { data_idx, query }
+            })
+            .collect()
+    })
+}
+
+/// Builds the four query-length groups of Section 6.2(5): for each group
+/// `[lo, hi)`, `per_group` embedded queries of a length sampled uniformly
+/// in the bound, each paired with the corpus trajectory it was extracted
+/// from.
+pub fn length_groups(
+    corpus: &[Trajectory],
+    per_group: usize,
+    noise: f64,
+    seed: u64,
+) -> [Vec<QueryPair>; 4] {
+    assert!(!corpus.is_empty());
+    let mut rng = StdRng::seed_from_u64(seed);
+    LENGTH_GROUP_BOUNDS.map(|(lo, hi)| {
+        (0..per_group)
+            .map(|_| {
+                let target = rng.gen_range(lo..hi);
+                // Prefer sources long enough to embed the query.
+                let mut data_idx = rng.gen_range(0..corpus.len());
+                for _ in 0..10 {
+                    if corpus[data_idx].len() >= target {
+                        break;
+                    }
+                    data_idx = rng.gen_range(0..corpus.len());
+                }
+                let query = extract_query(&corpus[data_idx], target, 0.2, noise, &mut rng);
+                QueryPair { data_idx, query }
+            })
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{generate, DatasetSpec};
+
+    fn corpus() -> Vec<Trajectory> {
+        generate(&DatasetSpec::porto(), 40, 17)
+    }
+
+    #[test]
+    fn pairs_are_valid_and_deterministic() {
+        let c = corpus();
+        let a = sample_pairs(&c, 25, 30, 5);
+        let b = sample_pairs(&c, 25, 30, 5);
+        assert_eq!(a.len(), 25);
+        for (pa, pb) in a.iter().zip(&b) {
+            assert_eq!(pa.data_idx, pb.data_idx);
+            assert_eq!(pa.query, pb.query);
+            assert!(pa.query.len() <= 30 && pa.query.len() >= 1);
+            assert!(pa.data_idx < c.len());
+        }
+    }
+
+    #[test]
+    fn extracted_query_is_embedded_like() {
+        let c = corpus();
+        let mut rng = StdRng::seed_from_u64(1);
+        let q = extract_query(&c[0], 20, 0.3, 0.0, &mut rng);
+        // Without noise, every query point must exist in the source.
+        for p in q.points() {
+            assert!(c[0]
+                .points()
+                .iter()
+                .any(|s| (s.x - p.x).abs() < 1e-12 && (s.y - p.y).abs() < 1e-12));
+        }
+        // Length near target.
+        assert!(q.len() >= 10 && q.len() <= 30, "len {}", q.len());
+    }
+
+    #[test]
+    fn length_groups_respect_bounds_loosely() {
+        let c = corpus();
+        let groups = length_groups(&c, 10, 5.0, 9);
+        for (g, (lo, hi)) in groups.iter().zip(LENGTH_GROUP_BOUNDS) {
+            assert_eq!(g.len(), 10);
+            for pair in g {
+                // Downsampling wiggles the final count; allow slack below
+                // lo but never above hi (the raw window is bounded).
+                assert!(
+                    pair.query.len() <= hi + hi / 2,
+                    "group [{lo},{hi}): len {}",
+                    pair.query.len()
+                );
+                // A query can only be as long as its source trajectory;
+                // otherwise it must sit near the group's lower bound.
+                let source_cap = c[pair.data_idx].len();
+                assert!(
+                    pair.query.len() >= (lo / 2).min(source_cap / 2),
+                    "group [{lo},{hi}): len {} from source of {}",
+                    pair.query.len(),
+                    source_cap
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cross_groups_pair_distinct_trajectories() {
+        let c = corpus();
+        let groups = length_groups_cross(&c, 12, 9);
+        for (g, (lo, hi)) in groups.iter().zip(LENGTH_GROUP_BOUNDS) {
+            assert_eq!(g.len(), 12);
+            for pair in g {
+                assert!(pair.data_idx < c.len());
+                // The query must not be a literal subsegment of its paired
+                // data trajectory (it came from a different one).
+                assert_ne!(c[pair.data_idx].id, pair.query.id);
+                assert!(pair.query.len() <= hi + hi / 2, "group [{lo},{hi})");
+            }
+        }
+    }
+
+    #[test]
+    fn noise_perturbs_coordinates() {
+        let c = corpus();
+        let mut rng = StdRng::seed_from_u64(2);
+        let clean = extract_query(&c[1], 15, 0.0, 0.0, &mut rng);
+        let mut rng = StdRng::seed_from_u64(2);
+        let noisy = extract_query(&c[1], 15, 0.0, 3.0, &mut rng);
+        assert_eq!(clean.len(), noisy.len());
+        let moved = clean
+            .points()
+            .iter()
+            .zip(noisy.points())
+            .filter(|(a, b)| a.dist(**b) > 1e-9)
+            .count();
+        assert!(moved > clean.len() / 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two trajectories")]
+    fn pairs_need_two_trajectories() {
+        let c = corpus();
+        let _ = sample_pairs(&c[..1], 5, 10, 0);
+    }
+}

@@ -1,0 +1,201 @@
+//! An indexed trajectory database: the "database of plays / taxi routes"
+//! the user-facing query of Section 3.1 runs against.
+
+use crate::rtree::RTree;
+use simsub_core::{top_k_search, SubtrajSearch, TopKResult};
+use simsub_measures::Measure;
+use simsub_trajectory::{Mbr, Point, Trajectory};
+use std::collections::HashMap;
+
+/// A database of data trajectories with an R-tree over their MBRs.
+#[derive(Debug, Clone)]
+pub struct TrajectoryDb {
+    trajs: Vec<Trajectory>,
+    by_id: HashMap<u64, usize>,
+    rtree: RTree,
+    total_points: usize,
+}
+
+impl TrajectoryDb {
+    /// Builds the database and its index.
+    ///
+    /// # Panics
+    /// Panics on duplicate trajectory ids.
+    pub fn build(trajs: Vec<Trajectory>) -> Self {
+        let mut rtree = RTree::new();
+        let mut by_id = HashMap::with_capacity(trajs.len());
+        let mut total_points = 0;
+        for (i, t) in trajs.iter().enumerate() {
+            assert!(
+                by_id.insert(t.id, i).is_none(),
+                "duplicate trajectory id {}",
+                t.id
+            );
+            rtree.insert(t.mbr(), t.id);
+            total_points += t.len();
+        }
+        Self {
+            trajs,
+            by_id,
+            rtree,
+            total_points,
+        }
+    }
+
+    /// Number of trajectories.
+    pub fn len(&self) -> usize {
+        self.trajs.len()
+    }
+
+    /// True when the database holds no trajectories.
+    pub fn is_empty(&self) -> bool {
+        self.trajs.is_empty()
+    }
+
+    /// Total number of points across all trajectories (the x-axis of
+    /// Figure 4).
+    pub fn total_points(&self) -> usize {
+        self.total_points
+    }
+
+    /// All trajectories.
+    pub fn trajectories(&self) -> &[Trajectory] {
+        &self.trajs
+    }
+
+    /// Lookup by id.
+    pub fn get(&self, id: u64) -> Option<&Trajectory> {
+        self.by_id.get(&id).map(|&i| &self.trajs[i])
+    }
+
+    /// Trajectories whose MBR intersects the query MBR — the index-pruned
+    /// candidate set of Section 6.2(4).
+    pub fn candidates(&self, query_mbr: &Mbr) -> Vec<&Trajectory> {
+        self.rtree
+            .query_intersecting(query_mbr)
+            .into_iter()
+            .map(|id| &self.trajs[self.by_id[&id]])
+            .collect()
+    }
+
+    /// Top-k most similar subtrajectory search across the database.
+    ///
+    /// With `use_index`, trajectories whose MBR does not intersect the
+    /// query's MBR are pruned first; exact answers can in theory be lost
+    /// (rarely in practice — see §6.2(4)), which is the accepted trade-off
+    /// this flag exposes.
+    pub fn top_k(
+        &self,
+        algo: &dyn SubtrajSearch,
+        measure: &dyn Measure,
+        query: &[Point],
+        k: usize,
+        use_index: bool,
+    ) -> Vec<TopKResult> {
+        if use_index {
+            let qmbr = Mbr::of_points(query);
+            let candidates: Vec<Trajectory> = self
+                .candidates(&qmbr)
+                .into_iter()
+                .cloned()
+                .collect();
+            top_k_search(algo, measure, &candidates, query, k)
+        } else {
+            top_k_search(algo, measure, &self.trajs, query, k)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use simsub_core::ExactS;
+    use simsub_measures::Dtw;
+
+    fn walk(seed: u64, len: usize, origin: (f64, f64)) -> Vec<Point> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (mut x, mut y) = origin;
+        (0..len)
+            .map(|i| {
+                x += rng.gen_range(-1.0..1.0);
+                y += rng.gen_range(-1.0..1.0);
+                Point::new(x, y, i as f64)
+            })
+            .collect()
+    }
+
+    fn build_db(count: usize) -> TrajectoryDb {
+        let trajs: Vec<Trajectory> = (0..count)
+            .map(|i| {
+                let origin = ((i % 10) as f64 * 30.0, (i / 10) as f64 * 30.0);
+                Trajectory::new_unchecked(i as u64, walk(i as u64, 20, origin))
+            })
+            .collect();
+        TrajectoryDb::build(trajs)
+    }
+
+    #[test]
+    fn build_and_lookup() {
+        let db = build_db(25);
+        assert_eq!(db.len(), 25);
+        assert_eq!(db.total_points(), 25 * 20);
+        assert_eq!(db.get(7).unwrap().id, 7);
+        assert!(db.get(999).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate trajectory id")]
+    fn duplicate_ids_rejected() {
+        let t1 = Trajectory::new_unchecked(1, walk(1, 5, (0.0, 0.0)));
+        let t2 = Trajectory::new_unchecked(1, walk(2, 5, (0.0, 0.0)));
+        let _ = TrajectoryDb::build(vec![t1, t2]);
+    }
+
+    #[test]
+    fn candidates_match_linear_mbr_filter() {
+        let db = build_db(60);
+        // Anchor the query on trajectory 11's points so at least one MBR
+        // intersection is guaranteed.
+        let query: Vec<Point> = db.get(11).unwrap().points()[..8].to_vec();
+        let qmbr = Mbr::of_points(&query);
+        let mut got: Vec<u64> = db.candidates(&qmbr).iter().map(|t| t.id).collect();
+        got.sort_unstable();
+        let mut want: Vec<u64> = db
+            .trajectories()
+            .iter()
+            .filter(|t| t.mbr().intersects(&qmbr))
+            .map(|t| t.id)
+            .collect();
+        want.sort_unstable();
+        assert_eq!(got, want);
+        // The grid layout guarantees real pruning happens.
+        assert!(got.len() < db.len());
+        assert!(!got.is_empty());
+    }
+
+    #[test]
+    fn indexed_topk_agrees_when_mbrs_overlap() {
+        // When the query overlaps the winning trajectory's MBR, indexed
+        // and unindexed top-1 agree.
+        let db = build_db(40);
+        let query = walk(7, 6, (0.0, 0.0)); // near trajectory 0's region
+        let full = db.top_k(&ExactS, &Dtw, &query, 1, false);
+        let indexed = db.top_k(&ExactS, &Dtw, &query, 1, true);
+        assert_eq!(full[0].trajectory_id, indexed[0].trajectory_id);
+        assert!((full[0].result.similarity - indexed[0].result.similarity).abs() < 1e-12);
+    }
+
+    #[test]
+    fn indexed_topk_is_subset_of_candidates() {
+        let db = build_db(40);
+        let query = walk(8, 6, (60.0, 60.0));
+        let qmbr = Mbr::of_points(&query);
+        let candidate_ids: std::collections::HashSet<u64> =
+            db.candidates(&qmbr).iter().map(|t| t.id).collect();
+        for hit in db.top_k(&ExactS, &Dtw, &query, 5, true) {
+            assert!(candidate_ids.contains(&hit.trajectory_id));
+        }
+    }
+}

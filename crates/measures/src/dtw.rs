@@ -1,0 +1,309 @@
+//! Dynamic Time Warping (Yi et al., ICDE 1998) — Equation (1) of the paper.
+//!
+//! `D_{i,j}` is the DTW distance between `T[1, i]` and `Tq[1, j]`:
+//!
+//! ```text
+//! D_{i,j} = Σ_{h=1..i} d(p_h, q_1)                      if j = 1
+//!         = Σ_{k=1..j} d(p_1, q_k)                      if i = 1
+//!         = d(p_i, q_j) + min(D_{i-1,j-1}, D_{i-1,j}, D_{i,j-1})  otherwise
+//! ```
+//!
+//! The incremental evaluator keeps the last DP row (length `m`), so
+//! `Φini = Φinc = O(m)` exactly as Table 1 requires.
+
+use crate::{similarity_from_distance, Measure, PrefixEvaluator};
+use simsub_trajectory::Point;
+
+/// The DTW measure. Stateless; one instance can serve any number of
+/// queries and threads.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Dtw;
+
+/// Full DTW distance via the row-rolling DP. `O(|a| · |b|)` time,
+/// `O(|b|)` space. Returns `INFINITY` when either input is empty.
+pub fn dtw_distance(a: &[Point], b: &[Point]) -> f64 {
+    if a.is_empty() || b.is_empty() {
+        return f64::INFINITY;
+    }
+    let mut eval = DtwEvaluator::new(b);
+    eval.init(a[0]);
+    for &p in &a[1..] {
+        eval.extend(p);
+    }
+    eval.distance()
+}
+
+/// Banded (Sakoe-Chiba) DTW used by the UCR and Spring comparisons
+/// (Section 6.2(9)): point `a_i` may only align with `b_j` for
+/// `|i - j| <= band` after rescaling index ranges to equal lengths.
+/// `band` is in *b*-index units. Cells outside the band are `+∞`.
+/// With `band >= max(|a|, |b|)` this equals unconstrained DTW.
+#[allow(clippy::needless_range_loop)] // lockstep band-window indexing
+pub fn dtw_distance_banded(a: &[Point], b: &[Point], band: usize) -> f64 {
+    if a.is_empty() || b.is_empty() {
+        return f64::INFINITY;
+    }
+    let (n, m) = (a.len(), b.len());
+    let mut prev = vec![f64::INFINITY; m];
+    let mut cur = vec![f64::INFINITY; m];
+    // Map row i to the band center on the b axis so unequal lengths warp
+    // proportionally (the classic Sakoe-Chiba generalization).
+    let center = |i: usize| -> isize {
+        if n <= 1 {
+            0
+        } else {
+            ((i as f64) * ((m - 1) as f64) / ((n - 1) as f64)).round() as isize
+        }
+    };
+    for i in 0..n {
+        cur.iter_mut().for_each(|v| *v = f64::INFINITY);
+        let c = center(i);
+        let lo = (c - band as isize).max(0) as usize;
+        let hi = ((c + band as isize) as usize).min(m - 1);
+        for j in lo..=hi {
+            let d = a[i].dist(b[j]);
+            let best = if i == 0 && j == 0 {
+                0.0
+            } else {
+                let mut best = f64::INFINITY;
+                if i > 0 {
+                    best = best.min(prev[j]); // D_{i-1, j}
+                    if j > 0 {
+                        best = best.min(prev[j - 1]); // D_{i-1, j-1}
+                    }
+                }
+                if j > 0 {
+                    best = best.min(cur[j - 1]); // D_{i, j-1}
+                }
+                best
+            };
+            cur[j] = d + best;
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[m - 1]
+}
+
+impl Measure for Dtw {
+    fn name(&self) -> &'static str {
+        "dtw"
+    }
+
+    fn distance(&self, a: &[Point], b: &[Point]) -> f64 {
+        dtw_distance(a, b)
+    }
+
+    fn prefix_evaluator(&self, query: &[Point]) -> Box<dyn PrefixEvaluator + '_> {
+        Box::new(DtwEvaluator::new(query))
+    }
+}
+
+/// Incremental DTW row: after `init(p_i)` and `k` calls to `extend`, holds
+/// `D_{i+k, ·}` — the DP row for the subtrajectory `T[i, i+k]` against the
+/// full query.
+#[derive(Debug, Clone)]
+pub struct DtwEvaluator {
+    query: Vec<Point>,
+    row: Vec<f64>,
+    initialized: bool,
+}
+
+impl DtwEvaluator {
+    /// Creates an evaluator for the given (non-empty) query.
+    pub fn new(query: &[Point]) -> Self {
+        assert!(!query.is_empty(), "query must be non-empty");
+        Self {
+            query: query.to_vec(),
+            row: vec![0.0; query.len()],
+            initialized: false,
+        }
+    }
+}
+
+impl PrefixEvaluator for DtwEvaluator {
+    fn init(&mut self, p: Point) -> f64 {
+        // Boundary i = 1: D_{1,j} = Σ_{k<=j} d(p, q_k).
+        let mut acc = 0.0;
+        for (j, q) in self.query.iter().enumerate() {
+            acc += p.dist(*q);
+            self.row[j] = acc;
+        }
+        self.initialized = true;
+        self.similarity()
+    }
+
+    fn extend(&mut self, p: Point) -> f64 {
+        assert!(self.initialized, "extend before init");
+        // Boundary j = 1: D_{i,1} = Σ_{h<=i} d(p_h, q_1).
+        let mut diag = self.row[0]; // D_{i-1, j-1} for the next column
+        self.row[0] += p.dist(self.query[0]);
+        for j in 1..self.query.len() {
+            let up = self.row[j]; // D_{i-1, j}
+            let left = self.row[j - 1]; // D_{i, j-1}, already updated
+            self.row[j] = p.dist(self.query[j]) + diag.min(up).min(left);
+            diag = up;
+        }
+        self.similarity()
+    }
+
+    fn similarity(&self) -> f64 {
+        similarity_from_distance(self.distance())
+    }
+
+    fn distance(&self) -> f64 {
+        if self.initialized {
+            *self.row.last().expect("non-empty query")
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Naive full-matrix DTW, the reference for all tests.
+    fn dtw_naive(a: &[Point], b: &[Point]) -> f64 {
+        let (n, m) = (a.len(), b.len());
+        let mut d = vec![vec![0.0f64; m]; n];
+        for i in 0..n {
+            for j in 0..m {
+                let cost = a[i].dist(b[j]);
+                d[i][j] = if i == 0 && j == 0 {
+                    cost
+                } else if i == 0 {
+                    cost + d[i][j - 1]
+                } else if j == 0 {
+                    cost + d[i - 1][j]
+                } else {
+                    cost + d[i - 1][j - 1].min(d[i - 1][j]).min(d[i][j - 1])
+                };
+            }
+        }
+        d[n - 1][m - 1]
+    }
+
+    fn pts(v: &[(f64, f64)]) -> Vec<Point> {
+        v.iter().map(|&(x, y)| Point::xy(x, y)).collect()
+    }
+
+    fn arb_traj(max_len: usize) -> impl Strategy<Value = Vec<Point>> {
+        proptest::collection::vec((-50.0..50.0f64, -50.0..50.0f64), 1..max_len)
+            .prop_map(|v| pts(&v))
+    }
+
+    #[test]
+    fn known_value_identical_trajectories() {
+        let a = pts(&[(0.0, 0.0), (1.0, 0.0), (2.0, 0.0)]);
+        assert_eq!(dtw_distance(&a, &a), 0.0);
+        assert_eq!(Dtw.similarity(&a, &a), 1.0);
+    }
+
+    #[test]
+    fn known_value_hand_computed() {
+        // a = (0,0), (2,0); b = (1,0):
+        // D = d(a1,b1) + d(a2,b1) = 1 + 1 = 2.
+        let a = pts(&[(0.0, 0.0), (2.0, 0.0)]);
+        let b = pts(&[(1.0, 0.0)]);
+        assert_eq!(dtw_distance(&a, &b), 2.0);
+    }
+
+    #[test]
+    fn empty_inputs_are_infinite() {
+        let a = pts(&[(0.0, 0.0)]);
+        assert!(dtw_distance(&a, &[]).is_infinite());
+        assert!(dtw_distance(&[], &a).is_infinite());
+        assert_eq!(Dtw.similarity(&a, &[]), 0.0);
+    }
+
+    #[test]
+    fn paper_figure1_example() {
+        // The running example of Figure 1 / Table 3: similarity is the
+        // inverse of DTW; the paper reports Θ(T[2,4], Tq) = 1/3 ≈ 0.333.
+        // Reconstruct a consistent instance: data trajectory p1..p5 and
+        // query q1..q3 below give DTW(T[2,4], Tq) = 3 when each matched
+        // pair is 1 apart.
+        let t = pts(&[(0.0, 3.0), (0.0, 1.0), (2.0, 1.0), (4.0, 1.0), (4.0, 3.0)]);
+        let q = pts(&[(0.0, 0.0), (2.0, 0.0), (4.0, 0.0)]);
+        let sub = &t[1..4];
+        assert!((dtw_distance(sub, &q) - 3.0).abs() < 1e-9);
+        // Paper-style similarity 1/d would be 0.333; our total transform is
+        // 1/(1+d) = 0.25 — a monotone re-scaling that preserves the argmax.
+        assert!((Dtw.similarity(sub, &q) - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn banded_with_full_band_equals_unbanded() {
+        let a = pts(&[(0.0, 0.0), (1.0, 2.0), (3.0, 1.0), (4.0, 4.0)]);
+        let b = pts(&[(0.5, 0.5), (2.0, 2.0), (4.0, 3.5)]);
+        let full = dtw_distance(&a, &b);
+        let banded = dtw_distance_banded(&a, &b, 10);
+        assert!((full - banded).abs() < 1e-9);
+    }
+
+    #[test]
+    fn banded_is_lower_bounded_by_unbanded() {
+        // Restricting alignments can only increase the optimum.
+        let a = pts(&[(0.0, 0.0), (5.0, 0.0), (0.0, 0.0), (5.0, 0.0), (0.0, 0.0)]);
+        let b = pts(&[(0.0, 0.0), (0.0, 0.0), (5.0, 0.0)]);
+        let un = dtw_distance(&a, &b);
+        for band in 0..4 {
+            assert!(dtw_distance_banded(&a, &b, band) >= un - 1e-9);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn evaluator_matches_naive(a in arb_traj(12), b in arb_traj(10)) {
+            // Incremental evaluation from every start index equals naive DP.
+            for i in 0..a.len() {
+                let mut eval = DtwEvaluator::new(&b);
+                eval.init(a[i]);
+                for j in i..a.len() {
+                    if j > i {
+                        eval.extend(a[j]);
+                    }
+                    let expect = dtw_naive(&a[i..=j], &b);
+                    prop_assert!((eval.distance() - expect).abs() < 1e-6,
+                        "i={i} j={j}: {} vs {}", eval.distance(), expect);
+                }
+            }
+        }
+
+        #[test]
+        fn symmetric(a in arb_traj(12), b in arb_traj(12)) {
+            prop_assert!((dtw_distance(&a, &b) - dtw_distance(&b, &a)).abs() < 1e-6);
+        }
+
+        #[test]
+        fn reversal_invariant(a in arb_traj(12), b in arb_traj(12)) {
+            // DTW(Aᴿ, Bᴿ) == DTW(A, B): the property PSS exploits for
+            // suffix similarities (Section 4.3).
+            let ar: Vec<Point> = a.iter().rev().copied().collect();
+            let br: Vec<Point> = b.iter().rev().copied().collect();
+            prop_assert!((dtw_distance(&a, &b) - dtw_distance(&ar, &br)).abs() < 1e-6);
+        }
+
+        #[test]
+        fn nonnegative_and_zero_on_self(a in arb_traj(12)) {
+            prop_assert!(dtw_distance(&a, &a).abs() < 1e-9);
+        }
+
+        #[test]
+        fn banded_monotone_in_band(a in arb_traj(10), b in arb_traj(10)) {
+            // Wider bands can only improve (decrease) the distance.
+            let mut prev = f64::INFINITY;
+            for band in 0..b.len() + 2 {
+                let d = dtw_distance_banded(&a, &b, band);
+                prop_assert!(d <= prev + 1e-9);
+                prev = d;
+            }
+            let full = dtw_distance(&a, &b);
+            prop_assert!((prev - full).abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,226 @@
+//! Discrete Frechet distance (Alt & Godau, 1995) — Equation (2) of the
+//! paper:
+//!
+//! ```text
+//! F_{i,j} = max_{h<=i} d(p_h, q_1)                       if j = 1
+//!         = max_{k<=j} d(p_1, q_k)                       if i = 1
+//!         = max(d(p_i, q_j), min(F_{i-1,j-1}, F_{i-1,j}, F_{i,j-1}))
+//! ```
+//!
+//! Same row-rolling structure as DTW, so `Φini = Φinc = O(m)`.
+
+use crate::{similarity_from_distance, Measure, PrefixEvaluator};
+use simsub_trajectory::Point;
+
+/// The discrete Frechet measure.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Frechet;
+
+/// Full discrete Frechet distance; `O(|a| · |b|)` time, `O(|b|)` space.
+/// Returns `INFINITY` when either input is empty.
+pub fn frechet_distance(a: &[Point], b: &[Point]) -> f64 {
+    if a.is_empty() || b.is_empty() {
+        return f64::INFINITY;
+    }
+    let mut eval = FrechetEvaluator::new(b);
+    eval.init(a[0]);
+    for &p in &a[1..] {
+        eval.extend(p);
+    }
+    eval.distance()
+}
+
+impl Measure for Frechet {
+    fn name(&self) -> &'static str {
+        "frechet"
+    }
+
+    fn distance(&self, a: &[Point], b: &[Point]) -> f64 {
+        frechet_distance(a, b)
+    }
+
+    fn prefix_evaluator(&self, query: &[Point]) -> Box<dyn PrefixEvaluator + '_> {
+        Box::new(FrechetEvaluator::new(query))
+    }
+}
+
+/// Incremental Frechet row, mirroring [`crate::DtwEvaluator`].
+#[derive(Debug, Clone)]
+pub struct FrechetEvaluator {
+    query: Vec<Point>,
+    row: Vec<f64>,
+    initialized: bool,
+}
+
+impl FrechetEvaluator {
+    /// Creates an evaluator for the given (non-empty) query.
+    pub fn new(query: &[Point]) -> Self {
+        assert!(!query.is_empty(), "query must be non-empty");
+        Self {
+            query: query.to_vec(),
+            row: vec![0.0; query.len()],
+            initialized: false,
+        }
+    }
+}
+
+impl PrefixEvaluator for FrechetEvaluator {
+    fn init(&mut self, p: Point) -> f64 {
+        // Boundary i = 1: F_{1,j} = max_{k<=j} d(p, q_k).
+        let mut acc: f64 = 0.0;
+        for (j, q) in self.query.iter().enumerate() {
+            acc = acc.max(p.dist(*q));
+            self.row[j] = acc;
+        }
+        self.initialized = true;
+        self.similarity()
+    }
+
+    fn extend(&mut self, p: Point) -> f64 {
+        assert!(self.initialized, "extend before init");
+        // Boundary j = 1: F_{i,1} = max_{h<=i} d(p_h, q_1).
+        let mut diag = self.row[0];
+        self.row[0] = self.row[0].max(p.dist(self.query[0]));
+        for j in 1..self.query.len() {
+            let up = self.row[j];
+            let left = self.row[j - 1];
+            self.row[j] = p.dist(self.query[j]).max(diag.min(up).min(left));
+            diag = up;
+        }
+        self.similarity()
+    }
+
+    fn similarity(&self) -> f64 {
+        similarity_from_distance(self.distance())
+    }
+
+    fn distance(&self) -> f64 {
+        if self.initialized {
+            *self.row.last().expect("non-empty query")
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Naive full-matrix discrete Frechet, the reference for all tests.
+    fn frechet_naive(a: &[Point], b: &[Point]) -> f64 {
+        let (n, m) = (a.len(), b.len());
+        let mut f = vec![vec![0.0f64; m]; n];
+        for i in 0..n {
+            for j in 0..m {
+                let cost = a[i].dist(b[j]);
+                f[i][j] = if i == 0 && j == 0 {
+                    cost
+                } else if i == 0 {
+                    cost.max(f[i][j - 1])
+                } else if j == 0 {
+                    cost.max(f[i - 1][j])
+                } else {
+                    cost.max(f[i - 1][j - 1].min(f[i - 1][j]).min(f[i][j - 1]))
+                };
+            }
+        }
+        f[n - 1][m - 1]
+    }
+
+    fn pts(v: &[(f64, f64)]) -> Vec<Point> {
+        v.iter().map(|&(x, y)| Point::xy(x, y)).collect()
+    }
+
+    fn arb_traj(max_len: usize) -> impl Strategy<Value = Vec<Point>> {
+        proptest::collection::vec((-50.0..50.0f64, -50.0..50.0f64), 1..max_len)
+            .prop_map(|v| pts(&v))
+    }
+
+    #[test]
+    fn zero_on_identical() {
+        let a = pts(&[(0.0, 0.0), (1.0, 1.0), (2.0, 0.0)]);
+        assert_eq!(frechet_distance(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn known_value_parallel_lines() {
+        // Two parallel horizontal lines distance 1 apart: Frechet = 1.
+        let a = pts(&[(0.0, 0.0), (1.0, 0.0), (2.0, 0.0)]);
+        let b = pts(&[(0.0, 1.0), (1.0, 1.0), (2.0, 1.0)]);
+        assert!((frechet_distance(&a, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn frechet_is_max_not_sum() {
+        // Unlike DTW, a single far excursion dominates.
+        let a = pts(&[(0.0, 0.0), (0.0, 10.0), (0.0, 0.0)]);
+        let b = pts(&[(0.0, 0.0)]);
+        assert_eq!(frechet_distance(&a, &b), 10.0);
+        // DTW of the same input would be 10 as well (sum of 0 + 10 + 0),
+        // but doubling the excursion count changes DTW, not Frechet.
+        let a2 = pts(&[(0.0, 0.0), (0.0, 10.0), (0.0, 0.0), (0.0, 10.0), (0.0, 0.0)]);
+        assert_eq!(frechet_distance(&a2, &b), 10.0);
+        assert_eq!(crate::dtw_distance(&a2, &b), 20.0);
+    }
+
+    #[test]
+    fn empty_inputs_are_infinite() {
+        let a = pts(&[(0.0, 0.0)]);
+        assert!(frechet_distance(&a, &[]).is_infinite());
+        assert!(frechet_distance(&[], &a).is_infinite());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn evaluator_matches_naive(a in arb_traj(12), b in arb_traj(10)) {
+            for i in 0..a.len() {
+                let mut eval = FrechetEvaluator::new(&b);
+                eval.init(a[i]);
+                for j in i..a.len() {
+                    if j > i {
+                        eval.extend(a[j]);
+                    }
+                    let expect = frechet_naive(&a[i..=j], &b);
+                    prop_assert!((eval.distance() - expect).abs() < 1e-6,
+                        "i={i} j={j}: {} vs {}", eval.distance(), expect);
+                }
+            }
+        }
+
+        #[test]
+        fn symmetric(a in arb_traj(12), b in arb_traj(12)) {
+            prop_assert!(
+                (frechet_distance(&a, &b) - frechet_distance(&b, &a)).abs() < 1e-6
+            );
+        }
+
+        #[test]
+        fn reversal_invariant(a in arb_traj(12), b in arb_traj(12)) {
+            let ar: Vec<Point> = a.iter().rev().copied().collect();
+            let br: Vec<Point> = b.iter().rev().copied().collect();
+            prop_assert!(
+                (frechet_distance(&a, &b) - frechet_distance(&ar, &br)).abs() < 1e-6
+            );
+        }
+
+        #[test]
+        fn lower_bounded_by_endpoint_distances(a in arb_traj(12), b in arb_traj(12)) {
+            // Any coupling must match the first and last points.
+            let f = frechet_distance(&a, &b);
+            let first = a[0].dist(b[0]);
+            let last = a[a.len() - 1].dist(b[b.len() - 1]);
+            prop_assert!(f + 1e-9 >= first.max(last) .min(f + 1.0));
+            prop_assert!(f + 1e-9 >= first.max(last));
+        }
+
+        #[test]
+        fn dominated_by_dtw(a in arb_traj(12), b in arb_traj(12)) {
+            // Frechet (max over coupling) <= DTW (sum over coupling).
+            prop_assert!(frechet_distance(&a, &b) <= crate::dtw_distance(&a, &b) + 1e-9);
+        }
+    }
+}

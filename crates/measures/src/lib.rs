@@ -1,0 +1,158 @@
+#![warn(missing_docs)]
+
+//! Trajectory similarity measures with incremental evaluation.
+//!
+//! The SimSub paper assumes an *abstract* similarity measure `Θ(·, ·)` and
+//! derives algorithm complexities from three costs (Table 1):
+//!
+//! | cost   | meaning                                         | t2vec | DTW  | Frechet |
+//! |--------|--------------------------------------------------|-------|------|---------|
+//! | `Φ`    | `Θ(T', Tq)` from scratch                         | O(n+m)| O(nm)| O(nm)   |
+//! | `Φinc` | `Θ(T[i,j], Tq)` from `Θ(T[i,j-1], Tq)`           | O(1)  | O(m) | O(m)    |
+//! | `Φini` | `Θ(T[i,i], Tq)` from scratch                     | O(1)  | O(m) | O(m)    |
+//!
+//! This crate realizes that abstraction as two traits:
+//!
+//! - [`Measure`] — the abstract measure: distance, similarity, and a
+//!   factory for incremental evaluators;
+//! - [`PrefixEvaluator`] — the `Φini`/`Φinc` machine: anchored at a start
+//!   point `p_i` via [`PrefixEvaluator::init`], extended point-by-point via
+//!   [`PrefixEvaluator::extend`].
+//!
+//! Suffix similarities `Θ(T[t, n]^R, Tq^R)` (needed by PSS and the RLS
+//! state) are obtained by running a prefix evaluator over the *reversed*
+//! query while scanning the data trajectory backwards; for DTW and Frechet
+//! this equals `Θ(T[t, n], Tq)` exactly (reversal invariance — property
+//! tested), and for t2vec it is the positively-correlated approximation the
+//! paper describes.
+//!
+//! Distances are converted to similarities by `Θ = 1 / (1 + dist)`
+//! ([`similarity_from_distance`]): the paper's "ratio between 1 and a
+//! distance" made total at `dist = 0`.
+
+mod cdtw;
+mod dtw;
+mod edr;
+mod erp;
+mod frechet;
+mod lcss;
+mod t2vec;
+
+pub use cdtw::{Cdtw, CdtwEvaluator};
+pub use dtw::{dtw_distance, dtw_distance_banded, Dtw, DtwEvaluator};
+pub use edr::{edr_distance, Edr, EdrEvaluator};
+pub use erp::{erp_distance, Erp, ErpEvaluator};
+pub use frechet::{frechet_distance, Frechet, FrechetEvaluator};
+pub use lcss::{lcss_distance, lcss_length, Lcss, LcssEvaluator};
+pub use t2vec::{CoordNormalizer, T2Vec, T2VecConfig, T2VecEvaluator};
+
+use simsub_trajectory::Point;
+
+/// Converts a dissimilarity (distance) into the similarity used throughout
+/// the search algorithms: `Θ = 1 / (1 + dist)`.
+///
+/// Strictly decreasing in `dist`, equal to 1 at `dist = 0`, and tending to
+/// 0 as `dist → ∞`, so argmax-similarity == argmin-distance and all
+/// rank-based metrics (MR, RR) are identical under either view.
+#[inline]
+pub fn similarity_from_distance(dist: f64) -> f64 {
+    1.0 / (1.0 + dist)
+}
+
+/// Inverse of [`similarity_from_distance`].
+#[inline]
+pub fn distance_from_similarity(sim: f64) -> f64 {
+    1.0 / sim - 1.0
+}
+
+/// An abstract trajectory similarity measure (the paper's `Θ`).
+///
+/// Implementations must be deterministic; all provided implementations are
+/// `Send + Sync` so database scans can fan out across threads.
+pub trait Measure: Send + Sync {
+    /// Short stable name used in reports ("dtw", "frechet", "t2vec").
+    fn name(&self) -> &'static str;
+
+    /// Dissimilarity between two trajectories (`Φ` from scratch).
+    /// Empty inputs yield `f64::INFINITY`.
+    fn distance(&self, a: &[Point], b: &[Point]) -> f64;
+
+    /// Similarity `Θ(a, b) = 1 / (1 + distance)`.
+    fn similarity(&self, a: &[Point], b: &[Point]) -> f64 {
+        similarity_from_distance(self.distance(a, b))
+    }
+
+    /// Creates an incremental evaluator of `Θ(T[i..=j], query)` for fixed
+    /// `i` and growing `j`. The evaluator owns everything it needs (the
+    /// query is copied or pre-encoded), so it can outlive the borrow of
+    /// `query` but not of `self`.
+    fn prefix_evaluator(&self, query: &[Point]) -> Box<dyn PrefixEvaluator + '_>;
+}
+
+/// Incremental similarity machine for subtrajectories sharing a start
+/// point: the paper's `Φini` ([`PrefixEvaluator::init`]) and `Φinc`
+/// ([`PrefixEvaluator::extend`]).
+pub trait PrefixEvaluator {
+    /// Re-anchors the evaluator at a new start point: computes
+    /// `Θ(<p>, query)` from scratch (`Φini`) and returns the similarity.
+    fn init(&mut self, p: Point) -> f64;
+
+    /// Appends the next point of the data trajectory: computes
+    /// `Θ(T[i, j], query)` from `Θ(T[i, j-1], query)` (`Φinc`) and returns
+    /// the similarity. Must be called after [`PrefixEvaluator::init`].
+    fn extend(&mut self, p: Point) -> f64;
+
+    /// Similarity of the current subtrajectory vs the query.
+    fn similarity(&self) -> f64;
+
+    /// Distance of the current subtrajectory vs the query.
+    fn distance(&self) -> f64;
+}
+
+/// The three instantiations evaluated in the paper, as a config-friendly
+/// tag. `T2Vec` carries no model here; construction of a trained model goes
+/// through [`T2Vec`]/[`T2VecConfig`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MeasureKind {
+    /// Dynamic Time Warping (Eq. 1 of the paper).
+    Dtw,
+    /// Discrete Frechet distance (Eq. 2).
+    Frechet,
+    /// The learned, data-driven measure (Li et al., ICDE 2018).
+    T2Vec,
+}
+
+impl std::fmt::Display for MeasureKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MeasureKind::Dtw => write!(f, "DTW"),
+            MeasureKind::Frechet => write!(f, "Frechet"),
+            MeasureKind::T2Vec => write!(f, "t2vec"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn similarity_transform_is_monotone_and_bounded() {
+        assert_eq!(similarity_from_distance(0.0), 1.0);
+        let mut prev = 2.0;
+        for i in 0..100 {
+            let s = similarity_from_distance(i as f64 * 0.5);
+            assert!(s <= 1.0 && s > 0.0);
+            assert!(s < prev);
+            prev = s;
+        }
+    }
+
+    #[test]
+    fn similarity_distance_roundtrip() {
+        for d in [0.0, 0.1, 1.0, 42.0, 1e6] {
+            let s = similarity_from_distance(d);
+            assert!((distance_from_similarity(s) - d).abs() < 1e-6 * (1.0 + d));
+        }
+    }
+}

@@ -1,0 +1,202 @@
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Adam optimizer (Kingma & Ba, 2015) — the paper trains both the DQN and
+/// the learned measure with "Adam stochastic gradient descent with an
+/// initial learning rate of 0.001" (Section 6.1).
+///
+/// Moment buffers are keyed by the parameter slice's address-stable
+/// identity: callers register each parameter tensor implicitly on first
+/// update through its length and an internal counter per step. To keep the
+/// API simple and allocation-free on the hot path, the optimizer tracks
+/// buffers positionally: every [`Adam::begin_step`] resets the cursor, and
+/// the sequence of [`Adam::update`] calls must touch parameter tensors in a
+/// stable order (which the `Mlp`/`GruCell` drivers guarantee).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Adam {
+    /// Step size α.
+    pub learning_rate: f64,
+    /// First-moment decay β₁ (default 0.9).
+    pub beta1: f64,
+    /// Second-moment decay β₂ (default 0.999).
+    pub beta2: f64,
+    /// Denominator fuzz ε (default 1e-8).
+    pub eps: f64,
+    /// Global step count `t` (shared across tensors, incremented once per
+    /// optimizer step).
+    t: u64,
+    cursor: usize,
+    moments: Vec<Moments>,
+    #[serde(skip)]
+    _non_exhaustive: (),
+}
+
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+struct Moments {
+    m: Vec<f64>,
+    v: Vec<f64>,
+}
+
+impl Adam {
+    /// Creates an optimizer with the standard β/ε defaults.
+    pub fn new(learning_rate: f64) -> Self {
+        Self {
+            learning_rate,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            cursor: 0,
+            moments: Vec::new(),
+            _non_exhaustive: (),
+        }
+    }
+
+    /// Marks the start of an optimizer step: increments the bias-correction
+    /// counter and rewinds the tensor cursor.
+    pub fn begin_step(&mut self) {
+        self.t += 1;
+        self.cursor = 0;
+    }
+
+    /// Applies one Adam update to `params` given `grads`.
+    /// Must be called between `begin_step` calls in a stable tensor order.
+    pub fn update(&mut self, params: &mut [f64], grads: &[f64]) {
+        assert_eq!(params.len(), grads.len());
+        assert!(self.t > 0, "call begin_step before update");
+        if self.cursor == self.moments.len() {
+            self.moments.push(Moments {
+                m: vec![0.0; params.len()],
+                v: vec![0.0; params.len()],
+            });
+        }
+        let mom = &mut self.moments[self.cursor];
+        assert_eq!(
+            mom.m.len(),
+            params.len(),
+            "tensor order changed between steps"
+        );
+        self.cursor += 1;
+
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for i in 0..params.len() {
+            let g = grads[i];
+            mom.m[i] = self.beta1 * mom.m[i] + (1.0 - self.beta1) * g;
+            mom.v[i] = self.beta2 * mom.v[i] + (1.0 - self.beta2) * g * g;
+            let m_hat = mom.m[i] / bc1;
+            let v_hat = mom.v[i] / bc2;
+            params[i] -= self.learning_rate * m_hat / (v_hat.sqrt() + self.eps);
+        }
+    }
+
+    /// Number of optimizer steps taken so far.
+    pub fn steps(&self) -> u64 {
+        self.t
+    }
+}
+
+/// A tiny named-tensor variant for cases where update order is not stable.
+/// Keys are caller-chosen string identifiers.
+#[derive(Debug, Clone, Default)]
+pub struct KeyedAdam {
+    inner: HashMap<String, (Vec<f64>, Vec<f64>)>,
+    /// Step size α.
+    pub learning_rate: f64,
+    /// First-moment decay β₁.
+    pub beta1: f64,
+    /// Second-moment decay β₂.
+    pub beta2: f64,
+    /// Denominator fuzz ε.
+    pub eps: f64,
+    t: u64,
+}
+
+impl KeyedAdam {
+    /// Creates an optimizer with standard β/ε defaults.
+    pub fn new(learning_rate: f64) -> Self {
+        Self {
+            inner: HashMap::new(),
+            learning_rate,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+        }
+    }
+
+    /// Marks the start of an optimizer step (bias-correction counter).
+    pub fn begin_step(&mut self) {
+        self.t += 1;
+    }
+
+    /// Applies one Adam update to the tensor registered under `key`.
+    pub fn update(&mut self, key: &str, params: &mut [f64], grads: &[f64]) {
+        assert_eq!(params.len(), grads.len());
+        let (m, v) = self
+            .inner
+            .entry(key.to_string())
+            .or_insert_with(|| (vec![0.0; params.len()], vec![0.0; params.len()]));
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for i in 0..params.len() {
+            let g = grads[i];
+            m[i] = self.beta1 * m[i] + (1.0 - self.beta1) * g;
+            v[i] = self.beta2 * v[i] + (1.0 - self.beta2) * g * g;
+            params[i] -= self.learning_rate * (m[i] / bc1) / ((v[i] / bc2).sqrt() + self.eps);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimizes_quadratic() {
+        // f(x) = (x - 3)^2; Adam should converge to 3.
+        let mut adam = Adam::new(0.1);
+        let mut x = vec![0.0];
+        for _ in 0..500 {
+            let g = vec![2.0 * (x[0] - 3.0)];
+            adam.begin_step();
+            adam.update(&mut x, &g);
+        }
+        assert!((x[0] - 3.0).abs() < 1e-3, "x = {}", x[0]);
+    }
+
+    #[test]
+    fn first_step_is_learning_rate_sized() {
+        // With bias correction, the first Adam step has magnitude ~lr.
+        let mut adam = Adam::new(0.001);
+        let mut x = vec![10.0];
+        adam.begin_step();
+        adam.update(&mut x, &[123.0]);
+        assert!((10.0 - x[0] - 0.001).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "tensor order changed")]
+    fn unstable_tensor_order_detected() {
+        let mut adam = Adam::new(0.01);
+        let mut a = vec![0.0; 3];
+        let mut b = vec![0.0; 5];
+        adam.begin_step();
+        adam.update(&mut a, &[0.0; 3]);
+        adam.update(&mut b, &[0.0; 5]);
+        adam.begin_step();
+        adam.update(&mut b, &[0.0; 5]); // wrong order
+    }
+
+    #[test]
+    fn keyed_adam_minimizes_quadratic() {
+        let mut adam = KeyedAdam::new(0.1);
+        let mut x = vec![-4.0];
+        for _ in 0..500 {
+            let g = vec![2.0 * (x[0] + 1.0)];
+            adam.begin_step();
+            adam.update("x", &mut x, &g);
+        }
+        assert!((x[0] + 1.0).abs() < 1e-3);
+    }
+}

@@ -1,0 +1,33 @@
+use rand::Rng;
+
+/// Xavier/Glorot uniform initialization: samples `count` weights from
+/// `U(-limit, limit)` with `limit = sqrt(6 / (fan_in + fan_out))`.
+///
+/// This is Keras's default dense-layer initializer, matching the paper's
+/// implementation environment (Keras 2.2).
+pub fn xavier_uniform<R: Rng>(rng: &mut R, fan_in: usize, fan_out: usize, count: usize) -> Vec<f64> {
+    let limit = (6.0 / (fan_in + fan_out) as f64).sqrt();
+    (0..count).map(|_| rng.gen_range(-limit..limit)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn within_limits_and_deterministic() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let w = xavier_uniform(&mut rng, 10, 20, 200);
+        let limit = (6.0_f64 / 30.0).sqrt();
+        assert_eq!(w.len(), 200);
+        assert!(w.iter().all(|v| v.abs() <= limit));
+        // Deterministic for a fixed seed.
+        let mut rng2 = StdRng::seed_from_u64(7);
+        assert_eq!(w, xavier_uniform(&mut rng2, 10, 20, 200));
+        // Not degenerate.
+        let mean: f64 = w.iter().sum::<f64>() / w.len() as f64;
+        assert!(mean.abs() < limit / 2.0);
+    }
+}

@@ -1,0 +1,195 @@
+use crate::init::xavier_uniform;
+use crate::math::{add_outer, dot, matvec, matvec_transpose};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A dense layer `y = W x + b` with row-major `W` of shape
+/// `(out_dim, in_dim)`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Linear {
+    /// Input dimensionality.
+    pub in_dim: usize,
+    /// Output dimensionality.
+    pub out_dim: usize,
+    /// Row-major weights, `w[r * in_dim + c]`.
+    pub w: Vec<f64>,
+    /// Per-output bias.
+    pub b: Vec<f64>,
+}
+
+/// Gradient accumulator matching a [`Linear`] layer's shape.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct LinearGrads {
+    /// Gradient of the weights.
+    pub gw: Vec<f64>,
+    /// Gradient of the bias.
+    pub gb: Vec<f64>,
+}
+
+impl Linear {
+    /// Xavier-initialized layer.
+    pub fn new<R: Rng>(rng: &mut R, in_dim: usize, out_dim: usize) -> Self {
+        Self {
+            in_dim,
+            out_dim,
+            w: xavier_uniform(rng, in_dim, out_dim, in_dim * out_dim),
+            b: vec![0.0; out_dim],
+        }
+    }
+
+    /// Forward pass into a caller-provided output buffer
+    /// (resized as needed).
+    pub fn forward(&self, x: &[f64], y: &mut Vec<f64>) {
+        y.resize(self.out_dim, 0.0);
+        matvec(&self.w, self.out_dim, self.in_dim, x, y);
+        for (yi, bi) in y.iter_mut().zip(&self.b) {
+            *yi += bi;
+        }
+    }
+
+    /// Backward pass. `x` is the input the forward pass saw, `dy` the loss
+    /// gradient w.r.t. the output. Accumulates parameter gradients into
+    /// `grads` and, when `dx` is `Some`, accumulates the input gradient.
+    pub fn backward(&self, x: &[f64], dy: &[f64], grads: &mut LinearGrads, dx: Option<&mut [f64]>) {
+        grads.ensure_shape(self);
+        add_outer(&mut grads.gw, self.out_dim, self.in_dim, dy, x);
+        for (gb, d) in grads.gb.iter_mut().zip(dy) {
+            *gb += d;
+        }
+        if let Some(dx) = dx {
+            matvec_transpose(&self.w, self.out_dim, self.in_dim, dy, dx);
+        }
+    }
+
+    /// Number of scalar parameters.
+    pub fn param_count(&self) -> usize {
+        self.w.len() + self.b.len()
+    }
+
+    /// Copies all parameters from `other` (same shape required).
+    pub fn copy_from(&mut self, other: &Linear) {
+        assert_eq!(self.in_dim, other.in_dim);
+        assert_eq!(self.out_dim, other.out_dim);
+        self.w.copy_from_slice(&other.w);
+        self.b.copy_from_slice(&other.b);
+    }
+
+    /// Single output coordinate, for tests.
+    pub fn output(&self, x: &[f64], row: usize) -> f64 {
+        dot(&self.w[row * self.in_dim..(row + 1) * self.in_dim], x) + self.b[row]
+    }
+}
+
+impl LinearGrads {
+    /// Zeroed gradients shaped like `layer`.
+    pub fn zeros(layer: &Linear) -> Self {
+        Self {
+            gw: vec![0.0; layer.w.len()],
+            gb: vec![0.0; layer.b.len()],
+        }
+    }
+
+    fn ensure_shape(&mut self, layer: &Linear) {
+        if self.gw.len() != layer.w.len() {
+            self.gw = vec![0.0; layer.w.len()];
+        }
+        if self.gb.len() != layer.b.len() {
+            self.gb = vec![0.0; layer.b.len()];
+        }
+    }
+
+    /// Resets accumulated gradients to zero.
+    pub fn zero(&mut self) {
+        self.gw.iter_mut().for_each(|g| *g = 0.0);
+        self.gb.iter_mut().for_each(|g| *g = 0.0);
+    }
+
+    /// Scales all gradients, e.g. to average over a minibatch.
+    pub fn scale(&mut self, s: f64) {
+        self.gw.iter_mut().for_each(|g| *g *= s);
+        self.gb.iter_mut().for_each(|g| *g *= s);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn forward_known_values() {
+        let layer = Linear {
+            in_dim: 2,
+            out_dim: 2,
+            w: vec![1.0, 2.0, 3.0, 4.0],
+            b: vec![0.5, -0.5],
+        };
+        let mut y = Vec::new();
+        layer.forward(&[1.0, 1.0], &mut y);
+        assert_eq!(y, vec![3.5, 6.5]);
+    }
+
+    #[test]
+    fn backward_matches_finite_difference() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let layer = Linear::new(&mut rng, 4, 3);
+        let x: Vec<f64> = (0..4).map(|i| 0.3 * i as f64 - 0.5).collect();
+        // Loss = sum(c ⊙ y).
+        let c = [0.7, -1.3, 0.4];
+
+        let mut y = Vec::new();
+        layer.forward(&x, &mut y);
+        let mut grads = LinearGrads::zeros(&layer);
+        let mut dx = vec![0.0; 4];
+        layer.backward(&x, &c, &mut grads, Some(&mut dx));
+
+        // Check weight gradient numerically.
+        let mut params = layer.w.clone();
+        let err = crate::gradient_check(
+            &mut params,
+            &grads.gw,
+            |p| {
+                let probe = Linear {
+                    w: p.to_vec(),
+                    ..layer.clone()
+                };
+                let mut y = Vec::new();
+                probe.forward(&x, &mut y);
+                y.iter().zip(&c).map(|(a, b)| a * b).sum()
+            },
+            1e-5,
+        );
+        assert!(err < 1e-6, "weight gradient error {err}");
+
+        // Check input gradient numerically.
+        let mut xp = x.clone();
+        let err = crate::gradient_check(
+            &mut xp,
+            &dx,
+            |p| {
+                let mut y = Vec::new();
+                layer.forward(p, &mut y);
+                y.iter().zip(&c).map(|(a, b)| a * b).sum()
+            },
+            1e-5,
+        );
+        assert!(err < 1e-6, "input gradient error {err}");
+    }
+
+    #[test]
+    fn grads_accumulate_and_zero() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let layer = Linear::new(&mut rng, 2, 2);
+        let mut grads = LinearGrads::zeros(&layer);
+        layer.backward(&[1.0, 0.0], &[1.0, 1.0], &mut grads, None);
+        let snapshot = grads.gw.clone();
+        layer.backward(&[1.0, 0.0], &[1.0, 1.0], &mut grads, None);
+        for (a, b) in grads.gw.iter().zip(&snapshot) {
+            assert!((a - 2.0 * b).abs() < 1e-12);
+        }
+        grads.zero();
+        assert!(grads.gw.iter().all(|&g| g == 0.0));
+        assert!(grads.gb.iter().all(|&g| g == 0.0));
+    }
+}

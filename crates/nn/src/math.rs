@@ -1,0 +1,106 @@
+//! Dense vector/matrix primitives. Matrices are row-major `Vec<f64>` of
+//! shape `(rows, cols)`; all routines are written for the small layer sizes
+//! of the SimSub networks (tens of units), where simple loops beat any
+//! BLAS dispatch overhead.
+
+/// Dot product of two equal-length vectors.
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// `y += alpha * x` element-wise.
+#[inline]
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(x.len(), y.len());
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// `y = W x` for row-major `W` of shape `(rows, cols)`.
+/// `y` must have length `rows`, `x` length `cols`.
+#[inline]
+pub fn matvec(w: &[f64], rows: usize, cols: usize, x: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(w.len(), rows * cols);
+    debug_assert_eq!(x.len(), cols);
+    debug_assert_eq!(y.len(), rows);
+    for (r, yr) in y.iter_mut().enumerate() {
+        *yr = dot(&w[r * cols..(r + 1) * cols], x);
+    }
+}
+
+/// `y += Wᵀ g` for row-major `W` of shape `(rows, cols)`: propagates a
+/// gradient `g` (length `rows`) back through `W`, accumulating into `y`
+/// (length `cols`).
+#[inline]
+pub fn matvec_transpose(w: &[f64], rows: usize, cols: usize, g: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(w.len(), rows * cols);
+    debug_assert_eq!(g.len(), rows);
+    debug_assert_eq!(y.len(), cols);
+    for (r, gr) in g.iter().enumerate() {
+        axpy(*gr, &w[r * cols..(r + 1) * cols], y);
+    }
+}
+
+/// `G += g ⊗ x`: accumulates the outer product of a row-gradient `g`
+/// (length `rows`) and an input `x` (length `cols`) into a row-major
+/// gradient matrix `G` of shape `(rows, cols)`.
+#[inline]
+pub fn add_outer(grad: &mut [f64], rows: usize, cols: usize, g: &[f64], x: &[f64]) {
+    debug_assert_eq!(grad.len(), rows * cols);
+    debug_assert_eq!(g.len(), rows);
+    debug_assert_eq!(x.len(), cols);
+    for (r, gr) in g.iter().enumerate() {
+        axpy(*gr, x, &mut grad[r * cols..(r + 1) * cols]);
+    }
+}
+
+/// Squared Euclidean distance between two equal-length vectors.
+#[inline]
+pub fn squared_distance(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matvec_known_values() {
+        // W = [[1, 2], [3, 4], [5, 6]], x = [1, -1]
+        let w = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let x = [1.0, -1.0];
+        let mut y = [0.0; 3];
+        matvec(&w, 3, 2, &x, &mut y);
+        assert_eq!(y, [-1.0, -1.0, -1.0]);
+    }
+
+    #[test]
+    fn matvec_transpose_known_values() {
+        let w = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let g = [1.0, 0.0, -1.0];
+        let mut y = [0.0; 2];
+        matvec_transpose(&w, 3, 2, &g, &mut y);
+        assert_eq!(y, [-4.0, -4.0]);
+    }
+
+    #[test]
+    fn outer_product_accumulates() {
+        let mut grad = [0.0; 6];
+        add_outer(&mut grad, 3, 2, &[1.0, 2.0, 3.0], &[10.0, 20.0]);
+        add_outer(&mut grad, 3, 2, &[1.0, 2.0, 3.0], &[10.0, 20.0]);
+        assert_eq!(grad, [20.0, 40.0, 40.0, 80.0, 60.0, 120.0]);
+    }
+
+    #[test]
+    fn squared_distance_matches_dot_identity() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [0.0, -2.0, 4.0];
+        // |a-b|^2 = 1 + 16 + 1
+        assert_eq!(squared_distance(&a, &b), 18.0);
+        assert_eq!(squared_distance(&a, &a), 0.0);
+    }
+}

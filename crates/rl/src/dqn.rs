@@ -1,0 +1,404 @@
+use crate::replay::{ReplayMemory, Transition};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use simsub_nn::{Activation, Adam, Mlp, MlpCache, MlpGrads};
+
+/// Hyperparameters of the DQN agent. Defaults are exactly the paper's
+/// Section 6.1 settings.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DqnConfig {
+    /// State dimensionality (3 for RLS: `(Θbest, Θpre, Θsuf)`; 2 when the
+    /// suffix component is dropped, as for t2vec and RLS-Skip+).
+    pub state_dim: usize,
+    /// Number of actions (2 for RLS; `2 + k` for RLS-Skip).
+    pub n_actions: usize,
+    /// Hidden layer width (paper: 20 ReLU neurons).
+    pub hidden_dim: usize,
+    /// Reward discount rate γ (paper: 0.95).
+    pub gamma: f64,
+    /// Adam learning rate (paper: 0.001).
+    pub learning_rate: f64,
+    /// Initial exploration rate ε.
+    pub epsilon_start: f64,
+    /// Floor for ε (paper: 0.05).
+    pub epsilon_min: f64,
+    /// Multiplicative ε decay applied once per episode (paper: 0.99).
+    pub epsilon_decay: f64,
+    /// Replay memory capacity (paper: 2000).
+    pub replay_capacity: usize,
+    /// Minibatch size per gradient step.
+    pub batch_size: usize,
+    /// RNG seed: action sampling and minibatch sampling are deterministic
+    /// given the seed.
+    pub seed: u64,
+}
+
+impl DqnConfig {
+    /// Paper defaults for a given state dimension and action count.
+    pub fn paper(state_dim: usize, n_actions: usize) -> Self {
+        Self {
+            state_dim,
+            n_actions,
+            hidden_dim: 20,
+            gamma: 0.95,
+            learning_rate: 0.001,
+            epsilon_start: 1.0,
+            epsilon_min: 0.05,
+            epsilon_decay: 0.99,
+            replay_capacity: 2000,
+            batch_size: 32,
+            seed: 2020,
+        }
+    }
+}
+
+/// A frozen greedy policy: just the main network. This is what the RLS /
+/// RLS-Skip *search* algorithms carry at query time, and what gets
+/// serialized for model persistence.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Policy {
+    net: Mlp,
+}
+
+impl simsub_nn::BinaryCodec for Policy {
+    fn encode(&self, enc: &mut simsub_nn::Encoder) {
+        self.net.encode(enc);
+    }
+
+    fn decode(dec: &mut simsub_nn::Decoder) -> Result<Self, simsub_nn::CodecError> {
+        Ok(Policy {
+            net: Mlp::decode(dec)?,
+        })
+    }
+}
+
+impl Policy {
+    /// Greedy action `argmax_a Q(s, a)`.
+    pub fn greedy_action(&self, state: &[f64]) -> usize {
+        argmax(&self.net.forward(state))
+    }
+
+    /// Raw Q-values for inspection.
+    pub fn q_values(&self, state: &[f64]) -> Vec<f64> {
+        self.net.forward(state)
+    }
+
+    /// State dimensionality the policy expects.
+    pub fn state_dim(&self) -> usize {
+        self.net.in_dim()
+    }
+
+    /// Number of actions the policy chooses among.
+    pub fn n_actions(&self) -> usize {
+        self.net.out_dim()
+    }
+}
+
+fn argmax(v: &[f64]) -> usize {
+    let mut best = 0;
+    for i in 1..v.len() {
+        if v[i] > v[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+/// Deep-Q-Network agent with experience replay and a periodically synced
+/// target network (Algorithm 3 of the paper).
+pub struct DqnAgent {
+    cfg: DqnConfig,
+    main: Mlp,
+    target: Mlp,
+    memory: ReplayMemory,
+    adam: Adam,
+    epsilon: f64,
+    rng: StdRng,
+    // Reused buffers to keep the hot training path allocation-light.
+    cache: MlpCache,
+    grads: MlpGrads,
+}
+
+impl DqnAgent {
+    /// Creates an agent; the Q-network is `state_dim → hidden (ReLU) →
+    /// n_actions (sigmoid)` per the paper's Section 6.1.
+    pub fn new(cfg: DqnConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let main = Mlp::new(
+            &mut rng,
+            &[cfg.state_dim, cfg.hidden_dim, cfg.n_actions],
+            &[Activation::Relu, Activation::Sigmoid],
+        );
+        let target = main.clone();
+        Self {
+            memory: ReplayMemory::new(cfg.replay_capacity),
+            adam: Adam::new(cfg.learning_rate),
+            epsilon: cfg.epsilon_start,
+            grads: MlpGrads::zeros(&main),
+            cache: MlpCache::default(),
+            main,
+            target,
+            rng,
+            cfg,
+        }
+    }
+
+    /// Current exploration rate.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &DqnConfig {
+        &self.cfg
+    }
+
+    /// ε-greedy action selection (Algorithm 3, line 10).
+    pub fn act(&mut self, state: &[f64]) -> usize {
+        if self.rng.gen::<f64>() < self.epsilon {
+            self.rng.gen_range(0..self.cfg.n_actions)
+        } else {
+            self.act_greedy(state)
+        }
+    }
+
+    /// Greedy action from the main network.
+    pub fn act_greedy(&self, state: &[f64]) -> usize {
+        argmax(&self.main.forward(state))
+    }
+
+    /// Q-values of the main network.
+    pub fn q_values(&self, state: &[f64]) -> Vec<f64> {
+        self.main.forward(state)
+    }
+
+    /// Stores an experience in the replay memory (Algorithm 3, line 21).
+    pub fn remember(&mut self, t: Transition) {
+        debug_assert_eq!(t.state.len(), self.cfg.state_dim);
+        debug_assert_eq!(t.next_state.len(), self.cfg.state_dim);
+        debug_assert!(t.action < self.cfg.n_actions);
+        self.memory.push(t);
+    }
+
+    /// One gradient step on a uniformly sampled minibatch
+    /// (Algorithm 3, lines 22-23). Returns the minibatch MSE loss, or
+    /// `None` when the memory is still empty.
+    pub fn train_step(&mut self) -> Option<f64> {
+        if self.memory.is_empty() {
+            return None;
+        }
+        // Compute TD targets first (immutable borrows of memory + target).
+        let batch: Vec<Transition> = self
+            .memory
+            .sample(&mut self.rng, self.cfg.batch_size)
+            .into_iter()
+            .cloned()
+            .collect();
+        let mut loss = 0.0;
+        self.grads.zero();
+        for t in &batch {
+            let y = if t.terminal {
+                t.reward
+            } else {
+                let q_next = self.target.forward(&t.next_state);
+                t.reward + self.cfg.gamma * q_next[argmax(&q_next)]
+            };
+            let q = self.main.forward_cached(&t.state, &mut self.cache);
+            let q_sa = q[t.action];
+            let err = q_sa - y;
+            loss += err * err;
+            // dL/dQ(s,a) = 2 (Q - y); zero elsewhere.
+            let mut dout = vec![0.0; self.cfg.n_actions];
+            dout[t.action] = 2.0 * err;
+            self.main.backward(&t.state, &self.cache, &dout, &mut self.grads);
+        }
+        let inv = 1.0 / batch.len() as f64;
+        self.grads.scale(inv);
+        self.main.apply_grads(&self.grads, &mut self.adam);
+        Some(loss * inv)
+    }
+
+    /// Copies the main network into the target network
+    /// (Algorithm 3, line 25 — end of each episode).
+    pub fn sync_target(&mut self) {
+        self.target.copy_from(&self.main);
+    }
+
+    /// Applies one ε decay step, flooring at `epsilon_min`.
+    pub fn decay_epsilon(&mut self) {
+        self.epsilon = (self.epsilon * self.cfg.epsilon_decay).max(self.cfg.epsilon_min);
+    }
+
+    /// Freezes the current main network into a standalone greedy policy.
+    pub fn policy(&self) -> Policy {
+        Policy {
+            net: self.main.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epsilon_decays_to_floor() {
+        let mut agent = DqnAgent::new(DqnConfig::paper(2, 2));
+        for _ in 0..1000 {
+            agent.decay_epsilon();
+        }
+        assert_eq!(agent.epsilon(), 0.05);
+    }
+
+    #[test]
+    fn greedy_action_matches_q_argmax() {
+        let agent = DqnAgent::new(DqnConfig::paper(3, 4));
+        let s = [0.3, 0.5, 0.1];
+        let q = agent.q_values(&s);
+        let a = agent.act_greedy(&s);
+        assert!(q.iter().all(|&v| v <= q[a]));
+    }
+
+    #[test]
+    fn policy_is_frozen_snapshot() {
+        let mut agent = DqnAgent::new(DqnConfig::paper(2, 2));
+        let policy = agent.policy();
+        let s = [0.2, 0.8];
+        let before = policy.q_values(&s);
+        // Train the agent; the frozen policy must not change.
+        for i in 0..50 {
+            agent.remember(Transition {
+                state: vec![0.2, 0.8],
+                action: i % 2,
+                reward: if i % 2 == 0 { 1.0 } else { 0.0 },
+                next_state: vec![0.2, 0.8],
+                terminal: true,
+            });
+        }
+        for _ in 0..100 {
+            agent.train_step();
+        }
+        assert_eq!(policy.q_values(&s), before);
+        assert_ne!(agent.q_values(&s), before);
+    }
+
+    #[test]
+    fn learns_contextual_bandit() {
+        // State [x]; action 0 is rewarded iff x < 0.5, action 1 iff
+        // x >= 0.5. One-step episodes. The greedy policy must recover the
+        // rule after training.
+        let mut agent = DqnAgent::new(DqnConfig {
+            learning_rate: 0.01,
+            ..DqnConfig::paper(1, 2)
+        });
+        let mut rng = StdRng::seed_from_u64(9);
+        for episode in 0..600 {
+            let x: f64 = rng.gen();
+            let a = agent.act(&[x]);
+            let correct = usize::from(x >= 0.5);
+            let r = if a == correct { 1.0 } else { 0.0 };
+            agent.remember(Transition {
+                state: vec![x],
+                action: a,
+                reward: r,
+                next_state: vec![x],
+                terminal: true,
+            });
+            agent.train_step();
+            if episode % 4 == 0 {
+                agent.sync_target();
+            }
+            agent.decay_epsilon();
+        }
+        let policy = agent.policy();
+        let mut correct = 0;
+        for i in 0..100 {
+            let x = i as f64 / 100.0;
+            if policy.greedy_action(&[x]) == usize::from(x >= 0.5) {
+                correct += 1;
+            }
+        }
+        assert!(correct >= 90, "bandit accuracy {correct}/100");
+    }
+
+    #[test]
+    fn learns_two_step_credit_assignment() {
+        // Chain MDP: states 0 → 1 → terminal. Only action 1 in state 0
+        // followed by action 1 in state 1 yields reward 1 at the end.
+        // Tests that the bootstrapped target propagates value backwards
+        // through the target network.
+        let mut agent = DqnAgent::new(DqnConfig {
+            learning_rate: 0.01,
+            ..DqnConfig::paper(1, 2)
+        });
+        for episode in 0..800 {
+            let s0 = vec![0.0];
+            let a0 = agent.act(&s0);
+            let s1 = vec![1.0];
+            let a1 = agent.act(&s1);
+            let r = if a0 == 1 && a1 == 1 { 1.0 } else { 0.0 };
+            agent.remember(Transition {
+                state: s0,
+                action: a0,
+                reward: 0.0,
+                next_state: s1.clone(),
+                terminal: false,
+            });
+            agent.remember(Transition {
+                state: s1,
+                action: a1,
+                reward: r,
+                next_state: vec![2.0],
+                terminal: true,
+            });
+            agent.train_step();
+            agent.train_step();
+            if episode % 2 == 0 {
+                agent.sync_target();
+            }
+            agent.decay_epsilon();
+        }
+        let policy = agent.policy();
+        assert_eq!(policy.greedy_action(&[0.0]), 1, "state 0 action");
+        assert_eq!(policy.greedy_action(&[1.0]), 1, "state 1 action");
+        // Q(s0, 1) should reflect discounted future reward ≈ γ·1.
+        let q0 = policy.q_values(&[0.0])[1];
+        assert!(q0 > 0.5, "bootstrapped value too low: {q0}");
+    }
+
+    #[test]
+    fn policy_binary_roundtrip() {
+        use simsub_nn::BinaryCodec;
+        let agent = DqnAgent::new(DqnConfig::paper(3, 5));
+        let policy = agent.policy();
+        let bytes = policy.to_bytes();
+        let back = Policy::from_bytes(&bytes).unwrap();
+        let s = [0.1, 0.9, 0.4];
+        assert_eq!(policy.q_values(&s), back.q_values(&s));
+        assert_eq!(back.state_dim(), 3);
+        assert_eq!(back.n_actions(), 5);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = || {
+            let mut agent = DqnAgent::new(DqnConfig::paper(1, 2));
+            let mut rng = StdRng::seed_from_u64(4);
+            for _ in 0..50 {
+                let x: f64 = rng.gen();
+                let a = agent.act(&[x]);
+                agent.remember(Transition {
+                    state: vec![x],
+                    action: a,
+                    reward: x,
+                    next_state: vec![x],
+                    terminal: true,
+                });
+                agent.train_step();
+            }
+            agent.q_values(&[0.5])
+        };
+        assert_eq!(run(), run());
+    }
+}

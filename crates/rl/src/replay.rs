@@ -1,0 +1,139 @@
+use rand::Rng;
+
+/// One experience tuple `(s_t, a_t, r_t, s_{t+1})` plus the termination
+/// flag used by the TD target (Equation (3) of the paper).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Transition {
+    /// State `s_t` observed before acting.
+    pub state: Vec<f64>,
+    /// Action `a_t` taken.
+    pub action: usize,
+    /// Reward `r_t` received.
+    pub reward: f64,
+    /// Successor state `s_{t+1}`.
+    pub next_state: Vec<f64>,
+    /// True when `next_state` is a termination step (the TD target is then
+    /// the bare reward).
+    pub terminal: bool,
+}
+
+/// Fixed-capacity ring buffer of the latest transitions, sampled uniformly
+/// — the "replay memory M" of Algorithm 3. Uniform sampling of a large
+/// recent window de-correlates consecutive transitions.
+#[derive(Debug, Clone)]
+pub struct ReplayMemory {
+    buf: Vec<Transition>,
+    capacity: usize,
+    next: usize,
+}
+
+impl ReplayMemory {
+    /// Creates a memory with the given capacity (the paper uses 2000).
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        Self {
+            buf: Vec::with_capacity(capacity),
+            capacity,
+            next: 0,
+        }
+    }
+
+    /// Stores a transition, evicting the oldest once full.
+    pub fn push(&mut self, t: Transition) {
+        if self.buf.len() < self.capacity {
+            self.buf.push(t);
+        } else {
+            self.buf[self.next] = t;
+        }
+        self.next = (self.next + 1) % self.capacity;
+    }
+
+    /// Number of stored transitions.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing has been stored yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Maximum number of transitions retained.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Samples `batch` transitions uniformly with replacement.
+    /// Returns fewer only when the memory itself holds fewer.
+    pub fn sample<'a, R: Rng>(&'a self, rng: &mut R, batch: usize) -> Vec<&'a Transition> {
+        if self.buf.is_empty() {
+            return Vec::new();
+        }
+        (0..batch)
+            .map(|_| &self.buf[rng.gen_range(0..self.buf.len())])
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn t(tag: f64) -> Transition {
+        Transition {
+            state: vec![tag],
+            action: 0,
+            reward: tag,
+            next_state: vec![tag],
+            terminal: false,
+        }
+    }
+
+    #[test]
+    fn ring_buffer_evicts_oldest() {
+        let mut m = ReplayMemory::new(3);
+        for i in 0..5 {
+            m.push(t(i as f64));
+        }
+        assert_eq!(m.len(), 3);
+        // 0 and 1 evicted; 2, 3, 4 remain.
+        let rewards: Vec<f64> = m.buf.iter().map(|tr| tr.reward).collect();
+        let mut sorted = rewards.clone();
+        sorted.sort_by(f64::total_cmp);
+        assert_eq!(sorted, vec![2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn sample_uniform_covers_buffer() {
+        let mut m = ReplayMemory::new(8);
+        for i in 0..8 {
+            m.push(t(i as f64));
+        }
+        let mut rng = StdRng::seed_from_u64(1);
+        let samples = m.sample(&mut rng, 4000);
+        assert_eq!(samples.len(), 4000);
+        let mut counts = [0usize; 8];
+        for s in samples {
+            counts[s.reward as usize] += 1;
+        }
+        // Every element sampled a plausible number of times (uniform = 500).
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(c > 300 && c < 700, "element {i} sampled {c} times");
+        }
+    }
+
+    #[test]
+    fn sample_from_empty_is_empty() {
+        let m = ReplayMemory::new(4);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(m.sample(&mut rng, 10).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = ReplayMemory::new(0);
+    }
+}

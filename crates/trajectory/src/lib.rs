@@ -1,0 +1,53 @@
+#![warn(missing_docs)]
+
+//! Trajectory data model for similar subtrajectory search (SimSub).
+//!
+//! A trajectory is a sequence of time-stamped locations
+//! `T = <p1, p2, ..., pn>` where `p_i = (x_i, y_i, t_i)`. A *subtrajectory*
+//! `T[i, j]` is the contiguous portion of `T` from the `i`-th to the `j`-th
+//! point (1-based in the paper; 0-based inclusive ranges in this crate).
+//! A trajectory of `n` points has `n * (n + 1) / 2` subtrajectories.
+//!
+//! This crate provides:
+//! - [`Point`]: a time-stamped 2-D location,
+//! - [`Trajectory`]: an owned point sequence with subtrajectory views,
+//! - [`Mbr`]: minimum bounding rectangles used by the R-tree index,
+//! - [`SubtrajRange`]: an inclusive index range identifying a subtrajectory.
+
+mod mbr;
+mod point;
+mod range;
+mod traj;
+
+pub use mbr::Mbr;
+pub use point::Point;
+pub use range::SubtrajRange;
+pub use traj::{reversed_points, Trajectory, TrajectoryError};
+
+/// Number of subtrajectories of a trajectory with `n` points: `n(n+1)/2`.
+///
+/// ```
+/// assert_eq!(simsub_trajectory::subtrajectory_count(5), 15);
+/// assert_eq!(simsub_trajectory::subtrajectory_count(0), 0);
+/// ```
+pub fn subtrajectory_count(n: usize) -> usize {
+    n * (n + 1) / 2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn subtrajectory_count_matches_enumeration() {
+        for n in 0..40usize {
+            let mut count = 0;
+            for i in 0..n {
+                for _j in i..n {
+                    count += 1;
+                }
+            }
+            assert_eq!(subtrajectory_count(n), count, "n = {n}");
+        }
+    }
+}

@@ -1,0 +1,105 @@
+use serde::{Deserialize, Serialize};
+
+/// Identifies the subtrajectory `T[start, end]` by 0-based *inclusive*
+/// point indices into the parent trajectory.
+///
+/// The paper writes `T[i, j]` with 1-based inclusive indices; this type is
+/// the same object shifted to 0-based so it composes with Rust slices:
+/// `&points[r.start..=r.end]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct SubtrajRange {
+    /// Index of the first point (inclusive).
+    pub start: usize,
+    /// Index of the last point (inclusive); `end >= start`.
+    pub end: usize,
+}
+
+impl SubtrajRange {
+    /// Creates a range; panics if `end < start` (a subtrajectory has at
+    /// least one point).
+    pub fn new(start: usize, end: usize) -> Self {
+        assert!(end >= start, "invalid subtrajectory range [{start}, {end}]");
+        Self { start, end }
+    }
+
+    /// Number of points in the subtrajectory.
+    ///
+    /// ```
+    /// use simsub_trajectory::SubtrajRange;
+    /// assert_eq!(SubtrajRange::new(2, 2).len(), 1);
+    /// assert_eq!(SubtrajRange::new(1, 4).len(), 4);
+    /// ```
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.end - self.start + 1
+    }
+
+    /// A subtrajectory always contains at least one point.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Borrows the identified points out of the parent point slice.
+    #[inline]
+    pub fn slice<'a, T>(&self, points: &'a [T]) -> &'a [T] {
+        &points[self.start..=self.end]
+    }
+
+    /// True when `other` is fully contained in `self`.
+    pub fn contains(&self, other: SubtrajRange) -> bool {
+        self.start <= other.start && other.end <= self.end
+    }
+
+    /// Iterates over every subtrajectory range of a trajectory with `n`
+    /// points, in the (start ascending, end ascending) order used by ExactS.
+    pub fn enumerate_all(n: usize) -> impl Iterator<Item = SubtrajRange> {
+        (0..n).flat_map(move |i| (i..n).map(move |j| SubtrajRange::new(i, j)))
+    }
+}
+
+impl std::fmt::Display for SubtrajRange {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "T[{}, {}]", self.start, self.end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enumerate_all_counts() {
+        for n in 0..30 {
+            let all: Vec<_> = SubtrajRange::enumerate_all(n).collect();
+            assert_eq!(all.len(), crate::subtrajectory_count(n));
+            // All distinct and valid.
+            for r in &all {
+                assert!(r.start <= r.end && r.end < n);
+            }
+        }
+    }
+
+    #[test]
+    fn slice_matches_indices() {
+        let v = [10, 20, 30, 40, 50];
+        let r = SubtrajRange::new(1, 3);
+        assert_eq!(r.slice(&v), &[20, 30, 40]);
+        assert_eq!(r.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid subtrajectory range")]
+    fn invalid_range_panics() {
+        let _ = SubtrajRange::new(3, 2);
+    }
+
+    #[test]
+    fn containment() {
+        let outer = SubtrajRange::new(1, 8);
+        assert!(outer.contains(SubtrajRange::new(1, 8)));
+        assert!(outer.contains(SubtrajRange::new(3, 5)));
+        assert!(!outer.contains(SubtrajRange::new(0, 5)));
+        assert!(!outer.contains(SubtrajRange::new(5, 9)));
+    }
+}

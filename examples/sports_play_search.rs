@@ -1,0 +1,72 @@
+//! Sports play retrieval — the first motivating application of the
+//! paper's introduction: find the segment of recorded plays whose
+//! movement is most similar to a query play, using the learned t2vec-style
+//! measure (which is what makes cross-sampling-rate matching work).
+//!
+//! Run with: `cargo run --release --example sports_play_search`
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use simsub::core::{ExactS, Pss, SubtrajSearch};
+use simsub::data::{extract_query, generate, DatasetSpec};
+use simsub::measures::{Measure, T2Vec, T2VecConfig};
+
+fn main() {
+    let spec = DatasetSpec::sports();
+    let plays = generate(&spec, 60, 2024);
+    println!(
+        "generated {} player tracks at 10 Hz (mean length ~{} points)",
+        plays.len(),
+        spec.mean_len
+    );
+
+    // Train the learned measure on the play corpus: embeddings are pulled
+    // together for resampled variants of the same movement, apart for
+    // different plays.
+    let cfg = T2VecConfig {
+        steps: 300,
+        ..Default::default()
+    };
+    println!("training t2vec-style encoder ({} steps)...", cfg.steps);
+    let (t2vec, separation) = T2Vec::train(&plays, &cfg);
+    println!("training separation diagnostic: {separation:.2}");
+
+    // The query play: a coach sketches a movement equal to a historical
+    // segment, but tracked at a lower sampling rate (half the points).
+    let mut rng = StdRng::seed_from_u64(7);
+    let query = extract_query(&plays[17], 40, 0.5, 0.3, &mut rng);
+    println!("query play: {} points (downsampled + noisy)", query.len());
+
+    // Search every play for its best-matching segment.
+    let mut results: Vec<(usize, simsub::core::SearchResult)> = plays
+        .iter()
+        .enumerate()
+        .map(|(i, play)| (i, Pss.search(&t2vec, play.points(), query.points())))
+        .collect();
+    results.sort_by(|a, b| b.1.similarity.total_cmp(&a.1.similarity));
+
+    println!("\ntop-5 plays by best segment similarity (PSS over t2vec):");
+    for (i, res) in results.iter().take(5) {
+        println!(
+            "  play {:>2}  segment [{:>3}..{:>3}]  embedding distance {:.3}",
+            i, res.range.start, res.range.end, res.distance
+        );
+    }
+
+    // The source play should win; verify with the exact algorithm too.
+    let (best_play, _) = results[0];
+    println!("\nbest play = {best_play} (query was cut from play 17)");
+    assert_eq!(best_play, 17, "the source play should rank first");
+
+    let exact = ExactS.search(&t2vec, plays[17].points(), query.points());
+    println!(
+        "ExactS on the winning play: segment [{}..{}], distance {:.3} \
+         (PSS found distance {:.3})",
+        exact.range.start, exact.range.end, exact.distance, results[0].1.distance
+    );
+    assert!(results[0].1.distance + 1e-9 >= exact.distance);
+
+    // Sanity: the learned measure behaves like a measure.
+    let d_self = t2vec.distance(query.points(), query.points());
+    assert!(d_self.abs() < 1e-12);
+}

@@ -1,0 +1,318 @@
+//! `simsub` — command-line interface for the similar-subtrajectory-search
+//! library: generate corpora, train models, and run searches over CSV
+//! trajectory files.
+//!
+//! ```text
+//! simsub generate --dataset porto --count 500 --seed 7 --out corpus.csv
+//! simsub train-t2vec --corpus corpus.csv --steps 400 --out t2vec.ssub
+//! simsub train --corpus corpus.csv --measure dtw --episodes 800 --skip 3 --out policy.ssub
+//! simsub search --corpus corpus.csv --data-id 5 --query query.csv --algo pss --measure dtw
+//! simsub topk --corpus corpus.csv --query query.csv --k 10 --algo pss --index rtree
+//! ```
+
+use simsub::core::{
+    train_rls, ExactS, MdpConfig, Pos, PosD, Pss, Rls, RlsTrainConfig, SizeS, Spring,
+    SubtrajSearch,
+};
+use simsub::data::{generate, read_csv_file, write_csv_file, DatasetSpec};
+use simsub::index::TrajectoryDb;
+use simsub::measures::{Dtw, Frechet, Measure, T2Vec, T2VecConfig};
+use simsub::nn::BinaryCodec;
+use simsub::rl::Policy;
+use simsub::trajectory::Trajectory;
+use std::path::PathBuf;
+use std::process::exit;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        usage();
+        exit(2);
+    };
+    let flags = match Flags::parse(rest) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: {e}");
+            exit(2);
+        }
+    };
+    let result = match cmd.as_str() {
+        "generate" => cmd_generate(&flags),
+        "train-t2vec" => cmd_train_t2vec(&flags),
+        "train" => cmd_train(&flags),
+        "search" => cmd_search(&flags),
+        "topk" => cmd_topk(&flags),
+        "help" | "--help" | "-h" => {
+            usage();
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'")),
+    };
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        exit(1);
+    }
+}
+
+fn usage() {
+    eprintln!(
+        "simsub <command> [flags]\n\
+         commands:\n\
+         \x20 generate     --dataset porto|harbin|sports --count N [--seed S] --out FILE.csv\n\
+         \x20 train-t2vec  --corpus FILE.csv [--steps N] [--hidden D] --out MODEL.ssub\n\
+         \x20 train        --corpus FILE.csv --measure dtw|frechet|t2vec [--t2vec MODEL.ssub]\n\
+         \x20              [--episodes N] [--skip K] [--no-suffix] --out POLICY.ssub\n\
+         \x20 search       --corpus FILE.csv --data-id ID --query FILE.csv\n\
+         \x20              --algo exact|sizes|pss|pos|posd|spring|rls --measure ...\n\
+         \x20              [--policy POLICY.ssub] [--t2vec MODEL.ssub]\n\
+         \x20 topk         --corpus FILE.csv --query FILE.csv --k N --algo ... --measure ...\n\
+         \x20              [--index rtree|none] [--threads T]"
+    );
+}
+
+/// Minimal `--key value` / `--switch` parser.
+struct Flags {
+    values: std::collections::HashMap<String, String>,
+    switches: std::collections::HashSet<String>,
+}
+
+impl Flags {
+    fn parse(args: &[String]) -> Result<Self, String> {
+        let mut values = std::collections::HashMap::new();
+        let mut switches = std::collections::HashSet::new();
+        let mut i = 0;
+        while i < args.len() {
+            let arg = &args[i];
+            let Some(key) = arg.strip_prefix("--") else {
+                return Err(format!("expected flag, found '{arg}'"));
+            };
+            if i + 1 < args.len() && !args[i + 1].starts_with("--") {
+                values.insert(key.to_string(), args[i + 1].clone());
+                i += 2;
+            } else {
+                switches.insert(key.to_string());
+                i += 1;
+            }
+        }
+        Ok(Self { values, switches })
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.values.get(key).map(String::as_str)
+    }
+
+    fn require(&self, key: &str) -> Result<&str, String> {
+        self.get(key).ok_or_else(|| format!("missing --{key}"))
+    }
+
+    fn parse_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("bad value for --{key}: {v}")),
+        }
+    }
+
+    fn switch(&self, key: &str) -> bool {
+        self.switches.contains(key)
+    }
+}
+
+fn load_corpus(flags: &Flags) -> Result<Vec<Trajectory>, String> {
+    let path = PathBuf::from(flags.require("corpus")?);
+    read_csv_file(&path).map_err(|e| format!("reading {}: {e}", path.display()))
+}
+
+fn load_query(flags: &Flags) -> Result<Trajectory, String> {
+    let path = PathBuf::from(flags.require("query")?);
+    let mut trajs =
+        read_csv_file(&path).map_err(|e| format!("reading {}: {e}", path.display()))?;
+    match trajs.len() {
+        1 => Ok(trajs.remove(0)),
+        n => Err(format!("query file must contain exactly 1 trajectory, found {n}")),
+    }
+}
+
+/// Builds the measure named by `--measure`, loading a t2vec model when
+/// needed.
+fn load_measure(flags: &Flags) -> Result<Box<dyn Measure>, String> {
+    match flags.require("measure")? {
+        "dtw" => Ok(Box::new(Dtw)),
+        "frechet" => Ok(Box::new(Frechet)),
+        "t2vec" => {
+            let path = PathBuf::from(flags.require("t2vec")?);
+            let model =
+                T2Vec::load(&path).map_err(|e| format!("loading {}: {e}", path.display()))?;
+            Ok(Box::new(model))
+        }
+        other => Err(format!("unknown measure '{other}' (dtw|frechet|t2vec)")),
+    }
+}
+
+fn mdp_from_flags(flags: &Flags) -> Result<MdpConfig, String> {
+    Ok(MdpConfig {
+        skip_actions: flags.parse_or("skip", 0usize)?,
+        use_suffix: !flags.switch("no-suffix"),
+    })
+}
+
+fn load_algo(flags: &Flags, mdp: MdpConfig) -> Result<Box<dyn SubtrajSearch>, String> {
+    Ok(match flags.require("algo")? {
+        "exact" => Box::new(ExactS),
+        "sizes" => Box::new(SizeS::new(flags.parse_or("xi", 5usize)?)),
+        "pss" => Box::new(Pss),
+        "pos" => Box::new(Pos),
+        "posd" => Box::new(PosD::new(flags.parse_or("delay", 5usize)?)),
+        "spring" => Box::new(Spring::new()),
+        "rls" => {
+            let path = PathBuf::from(flags.require("policy")?);
+            let policy =
+                Policy::load(&path).map_err(|e| format!("loading {}: {e}", path.display()))?;
+            Box::new(Rls::new(policy, mdp))
+        }
+        other => {
+            return Err(format!(
+                "unknown algorithm '{other}' (exact|sizes|pss|pos|posd|spring|rls)"
+            ))
+        }
+    })
+}
+
+fn cmd_generate(flags: &Flags) -> Result<(), String> {
+    let spec = match flags.require("dataset")? {
+        "porto" => DatasetSpec::porto(),
+        "harbin" => DatasetSpec::harbin(),
+        "sports" => DatasetSpec::sports(),
+        other => return Err(format!("unknown dataset '{other}'")),
+    };
+    let count: usize = flags.parse_or("count", 100)?;
+    let seed: u64 = flags.parse_or("seed", 0)?;
+    let out = PathBuf::from(flags.require("out")?);
+    let corpus = generate(&spec, count, seed);
+    write_csv_file(&out, &corpus).map_err(|e| format!("writing {}: {e}", out.display()))?;
+    let points: usize = corpus.iter().map(Trajectory::len).sum();
+    println!(
+        "wrote {} trajectories / {} points ({}) to {}",
+        corpus.len(),
+        points,
+        spec.name,
+        out.display()
+    );
+    Ok(())
+}
+
+fn cmd_train_t2vec(flags: &Flags) -> Result<(), String> {
+    let corpus = load_corpus(flags)?;
+    let cfg = T2VecConfig {
+        steps: flags.parse_or("steps", 400)?,
+        hidden_dim: flags.parse_or("hidden", 16)?,
+        seed: flags.parse_or("seed", 2020)?,
+        ..Default::default()
+    };
+    let out = PathBuf::from(flags.require("out")?);
+    println!("training t2vec ({} steps, hidden {})...", cfg.steps, cfg.hidden_dim);
+    let (model, sep) = T2Vec::train(&corpus, &cfg);
+    model
+        .save(&out)
+        .map_err(|e| format!("writing {}: {e}", out.display()))?;
+    println!(
+        "saved model ({} dims) to {}; separation diagnostic {:.2}",
+        model.embedding_dim(),
+        out.display(),
+        sep
+    );
+    Ok(())
+}
+
+fn cmd_train(flags: &Flags) -> Result<(), String> {
+    let corpus = load_corpus(flags)?;
+    let measure = load_measure(flags)?;
+    let mdp = mdp_from_flags(flags)?;
+    let episodes: usize = flags.parse_or("episodes", 800)?;
+    let max_q: usize = flags.parse_or("max-query-len", 25)?;
+    let out = PathBuf::from(flags.require("out")?);
+
+    let queries: Vec<Trajectory> = corpus
+        .iter()
+        .map(|t| {
+            let len = t.len().min(max_q);
+            Trajectory::new_unchecked(t.id, t.points()[..len].to_vec())
+        })
+        .collect();
+    println!("training {} for {episodes} episodes...", mdp.algorithm_name());
+    let mut cfg = RlsTrainConfig::paper(mdp, episodes);
+    cfg.seed = flags.parse_or("seed", 2020)?;
+    let report = train_rls(measure.as_ref(), &corpus, &queries, &cfg);
+    report
+        .policy
+        .save(&out)
+        .map_err(|e| format!("writing {}: {e}", out.display()))?;
+    println!(
+        "saved policy to {} ({} transitions, validation score {:.4})",
+        out.display(),
+        report.transitions,
+        report.validation_score
+    );
+    Ok(())
+}
+
+fn cmd_search(flags: &Flags) -> Result<(), String> {
+    let corpus = load_corpus(flags)?;
+    let measure = load_measure(flags)?;
+    let mdp = mdp_from_flags(flags)?;
+    let algo = load_algo(flags, mdp)?;
+    let data_id: u64 = flags
+        .require("data-id")?
+        .parse()
+        .map_err(|_| "bad --data-id".to_string())?;
+    let query = load_query(flags)?;
+    let data = corpus
+        .iter()
+        .find(|t| t.id == data_id)
+        .ok_or_else(|| format!("trajectory {data_id} not in corpus"))?;
+    let res = algo.search(measure.as_ref(), data.points(), query.points());
+    println!(
+        "{} over {}: subtrajectory [{}..{}] of trajectory {} — distance {:.6}, similarity {:.6}",
+        algo.name(),
+        measure.name(),
+        res.range.start,
+        res.range.end,
+        data_id,
+        res.distance,
+        res.similarity
+    );
+    Ok(())
+}
+
+fn cmd_topk(flags: &Flags) -> Result<(), String> {
+    let corpus = load_corpus(flags)?;
+    let measure = load_measure(flags)?;
+    let mdp = mdp_from_flags(flags)?;
+    let algo = load_algo(flags, mdp)?;
+    let query = load_query(flags)?;
+    let k: usize = flags.parse_or("k", 10)?;
+    let use_index = match flags.get("index").unwrap_or("rtree") {
+        "rtree" => true,
+        "none" => false,
+        other => return Err(format!("unknown index '{other}' (rtree|none)")),
+    };
+    let db = TrajectoryDb::build(corpus);
+    let hits = db.top_k(algo.as_ref(), measure.as_ref(), query.points(), k, use_index);
+    println!(
+        "top-{k} by {} over {} ({} trajectories, index={}):",
+        algo.name(),
+        measure.name(),
+        db.len(),
+        if use_index { "rtree" } else { "none" }
+    );
+    for (rank, hit) in hits.iter().enumerate() {
+        println!(
+            "  #{:<3} trajectory {:<6} [{}..{}]  distance {:.6}",
+            rank + 1,
+            hit.trajectory_id,
+            hit.result.range.start,
+            hit.result.range.end,
+            hit.result.distance
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,138 @@
+//! End-to-end pipeline test: generate a corpus → train the learned
+//! measure and an RLS policy → run database search → compute
+//! effectiveness metrics. Exercises every crate in one flow.
+
+use simsub::core::{
+    exhaustive_ranking, train_rls, EffectivenessMetrics, ExactS, MdpConfig, MetricsAccumulator,
+    Pss, Rls, RlsTrainConfig, SubtrajSearch,
+};
+use simsub::data::{extract_query, generate, sample_pairs, DatasetSpec};
+use simsub::index::TrajectoryDb;
+use simsub::measures::{Measure, T2Vec, T2VecConfig};
+use simsub::trajectory::Trajectory;
+
+#[test]
+fn full_pipeline_t2vec_rls() {
+    // 1. Data.
+    let corpus = generate(&DatasetSpec::porto(), 60, 4242);
+
+    // 2. Learned measure.
+    let (t2vec, _) = T2Vec::train(
+        &corpus,
+        &T2VecConfig {
+            steps: 60,
+            ..Default::default()
+        },
+    );
+
+    // 3. RLS policy over that measure (suffix dropped, per the paper).
+    let mdp = MdpConfig {
+        skip_actions: 0,
+        use_suffix: false,
+    };
+    let queries: Vec<Trajectory> = corpus
+        .iter()
+        .map(|t| Trajectory::new_unchecked(t.id, t.points()[..t.len().min(15)].to_vec()))
+        .collect();
+    let report = train_rls(&t2vec, &corpus, &queries, &RlsTrainConfig::paper(mdp, 40));
+    assert!(report.transitions > 0);
+    let rls = Rls::new(report.policy, mdp);
+
+    // 4. Metrics over held-out pairs.
+    let pairs = sample_pairs(&corpus, 10, 12, 2);
+    let mut acc_rls = MetricsAccumulator::new();
+    let mut acc_pss = MetricsAccumulator::new();
+    for pair in &pairs {
+        let data = corpus[pair.data_idx].points();
+        let query = pair.query.points();
+        let ranking = exhaustive_ranking(&t2vec, data, query);
+        acc_rls.add(EffectivenessMetrics::evaluate(
+            &ranking,
+            rls.search(&t2vec, data, query).range,
+        ));
+        acc_pss.add(EffectivenessMetrics::evaluate(
+            &ranking,
+            Pss.search(&t2vec, data, query).range,
+        ));
+    }
+    let (m_rls, m_pss) = (acc_rls.mean(), acc_pss.mean());
+    // Both are approximate: AR >= 1, RR within (0, 1]. No strict ordering
+    // asserted at this training scale — fig3 does that at real scale.
+    for m in [m_rls, m_pss] {
+        assert!(m.ar >= 1.0 - 1e-9);
+        assert!(m.rr > 0.0 && m.rr <= 1.0);
+    }
+
+    // 5. Database search with the index: the planted source of a query
+    // must rank first.
+    let db = TrajectoryDb::build(corpus.clone());
+    let mut rng = rand::SeedableRng::seed_from_u64(8);
+    let probe = extract_query(&corpus[33], 12, 0.0, 0.0, &mut rng);
+    let hits = db.top_k(&ExactS, &t2vec, probe.points(), 3, false);
+    assert_eq!(hits[0].trajectory_id, corpus[33].id);
+}
+
+#[test]
+fn index_pruning_loses_few_results() {
+    // Reproduces the §6.2(4) claim qualitatively: indexed and full-scan
+    // top-k under DTW agree on most results (for DTW the paper observed
+    // zero loss on Porto).
+    let corpus = generate(&DatasetSpec::porto(), 120, 77);
+    let db = TrajectoryDb::build(corpus.clone());
+    let pairs = sample_pairs(&corpus, 8, 15, 5);
+    let mut overlap = 0usize;
+    let mut total = 0usize;
+    for pair in &pairs {
+        let q = pair.query.points();
+        let full = db.top_k(&Pss, &simsub::measures::Dtw, q, 10, false);
+        let pruned = db.top_k(&Pss, &simsub::measures::Dtw, q, 10, true);
+        let full_ids: std::collections::HashSet<u64> =
+            full.iter().map(|h| h.trajectory_id).collect();
+        overlap += pruned
+            .iter()
+            .filter(|h| full_ids.contains(&h.trajectory_id))
+            .count();
+        total += full.len();
+    }
+    let recall = overlap as f64 / total as f64;
+    assert!(
+        recall >= 0.5,
+        "index pruning lost too many results: recall {recall:.2}"
+    );
+}
+
+#[test]
+fn measures_disagree_but_rankings_are_sane() {
+    // The three measures are different functions, but each must rank an
+    // embedded noisy copy of the query above a random other trajectory.
+    let corpus = generate(&DatasetSpec::porto(), 20, 3);
+    let (t2vec, _) = T2Vec::train(
+        &corpus,
+        &T2VecConfig {
+            steps: 80,
+            ..Default::default()
+        },
+    );
+    let measures: [&dyn Measure; 3] = [&simsub::measures::Dtw, &simsub::measures::Frechet, &t2vec];
+    let mut rng = rand::SeedableRng::seed_from_u64(21);
+    for source in [0usize, 5, 10] {
+        // Noise of ~10 m in the km-scale coordinate units.
+        let query = extract_query(&corpus[source], 15, 0.2, 0.01, &mut rng);
+        for measure in measures {
+            let d_source = ExactS
+                .search(measure, corpus[source].points(), query.points())
+                .distance;
+            let d_other = ExactS
+                .search(measure, corpus[(source + 7) % 20].points(), query.points())
+                .distance;
+            assert!(
+                d_source < d_other,
+                "{}: source {} not preferred ({} vs {})",
+                measure.name(),
+                source,
+                d_source,
+                d_other
+            );
+        }
+    }
+}
