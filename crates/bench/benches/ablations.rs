@@ -38,8 +38,8 @@ fn bench_incremental_vs_scratch(c: &mut Criterion) {
             for i in 0..data.len() {
                 eval.init(data[i]);
                 best = best.min(eval.distance());
-                for j in i + 1..data.len() {
-                    eval.extend(data[j]);
+                for &p in &data[i + 1..] {
+                    eval.extend(p);
                     best = best.min(eval.distance());
                 }
             }

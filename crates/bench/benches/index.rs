@@ -48,19 +48,23 @@ fn bench_topk(c: &mut Criterion) {
         let db = TrajectoryDb::build(corpus);
         for use_index in [false, true] {
             let label = if use_index { "rtree" } else { "scan" };
-            group.bench_with_input(BenchmarkId::new(label, size), &use_index, |ben, &use_index| {
-                ben.iter(|| {
-                    for q in &queries {
-                        black_box(db.top_k(&Pss, &Dtw, q.points(), 50, use_index));
-                    }
-                })
-            });
+            group.bench_with_input(
+                BenchmarkId::new(label, size),
+                &use_index,
+                |ben, &use_index| {
+                    ben.iter(|| {
+                        for q in &queries {
+                            black_box(db.top_k(&Pss, &Dtw, q.points(), 50, use_index));
+                        }
+                    })
+                },
+            );
         }
     }
     group.finish();
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = Criterion::default()
         .warm_up_time(std::time::Duration::from_millis(500))

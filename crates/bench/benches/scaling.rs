@@ -19,8 +19,11 @@ fn bench_scaling(c: &mut Criterion) {
     let t2vec = T2Vec::random(1, 16, CoordNormalizer::identity());
 
     let measures: [(&str, &dyn Measure); 2] = [("dtw", &Dtw), ("t2vec", &t2vec)];
-    let algos: [(&str, &dyn SubtrajSearch); 3] =
-        [("ExactS", &ExactS), ("SizeS", &SizeS { xi: 5 }), ("PSS", &Pss)];
+    let algos: [(&str, &dyn SubtrajSearch); 3] = [
+        ("ExactS", &ExactS),
+        ("SizeS", &SizeS { xi: 5 }),
+        ("PSS", &Pss),
+    ];
 
     for (mname, measure) in measures {
         let mut group = c.benchmark_group(format!("scaling_{mname}"));
@@ -37,7 +40,7 @@ fn bench_scaling(c: &mut Criterion) {
     }
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = Criterion::default()
         .warm_up_time(std::time::Duration::from_millis(500))

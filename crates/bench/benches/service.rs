@@ -1,0 +1,218 @@
+//! Throughput benchmark for the serving subsystem: 1 vs N workers, cold
+//! vs warm cache. Writes `BENCH_service.json` at the repo root so later
+//! PRs have a perf trajectory to compare against.
+//!
+//! Run with `cargo bench -p simsub-bench --bench service`.
+
+use simsub_data::{generate, DatasetSpec};
+use simsub_index::TrajectoryDb;
+use simsub_service::{
+    AlgoSpec, CorpusSnapshot, EngineConfig, MeasureSpec, QueryEngine, QueryRequest,
+};
+use simsub_trajectory::Point;
+use std::sync::Arc;
+use std::time::Instant;
+
+const CORPUS_SIZE: usize = 400;
+const DISTINCT_QUERIES: usize = 256;
+const CLIENT_THREADS: usize = 8;
+const QUERY_LEN: usize = 24;
+const K: usize = 5;
+
+struct Scenario {
+    name: &'static str,
+    workers: usize,
+    cache_capacity: usize,
+    warm: bool,
+}
+
+#[derive(Debug)]
+struct Measurement {
+    name: &'static str,
+    workers: usize,
+    cached: bool,
+    requests: usize,
+    wall_s: f64,
+    qps: f64,
+    p50_us: u64,
+    p99_us: u64,
+    mean_batch: f64,
+    hit_rate: f64,
+}
+
+fn main() {
+    let corpus = generate(&DatasetSpec::porto(), CORPUS_SIZE, 2020);
+    let db = TrajectoryDb::build(corpus).into_shared();
+    let queries: Vec<Vec<Point>> = (0..DISTINCT_QUERIES)
+        .map(|i| {
+            let t = &db.trajectories()[i % db.len()];
+            let len = (QUERY_LEN + i % 4).min(t.len());
+            // Offset the slice start so queries over the same trajectory
+            // stay distinct.
+            let start = (i / db.len()) % 2;
+            t.points()[start..start + len - start.min(len)].to_vec()
+        })
+        .collect();
+
+    let n_workers = std::thread::available_parallelism()
+        .map_or(4, usize::from)
+        .max(4);
+    let scenarios = [
+        Scenario {
+            name: "1worker_cold",
+            workers: 1,
+            cache_capacity: 0,
+            warm: false,
+        },
+        Scenario {
+            name: "nworkers_cold",
+            workers: n_workers,
+            cache_capacity: 0,
+            warm: false,
+        },
+        Scenario {
+            name: "nworkers_warm",
+            workers: n_workers,
+            cache_capacity: 4096,
+            warm: true,
+        },
+    ];
+
+    let mut measurements = Vec::new();
+    for scenario in &scenarios {
+        let m = run_scenario(&db, &queries, scenario);
+        println!(
+            "{:<14} workers={:<2} requests={:<4} wall={:>7.3}s qps={:>9.1} \
+             p50={:>6}µs p99={:>6}µs mean_batch={:.2} hit_rate={:.2}",
+            m.name,
+            m.workers,
+            m.requests,
+            m.wall_s,
+            m.qps,
+            m.p50_us,
+            m.p99_us,
+            m.mean_batch,
+            m.hit_rate
+        );
+        measurements.push(m);
+    }
+
+    let baseline = measurements[0].qps;
+    let warm = measurements[2].qps;
+    let speedup = warm / baseline;
+    println!(
+        "speedup nworkers_warm vs 1worker_cold: {speedup:.1}x \
+         (acceptance floor: 2.0x)"
+    );
+
+    let out_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_service.json");
+    std::fs::write(out_path, render_json(&measurements, n_workers, speedup))
+        .expect("writing BENCH_service.json");
+    println!("wrote {out_path}");
+}
+
+fn run_scenario(
+    db: &Arc<TrajectoryDb>,
+    queries: &[Vec<Point>],
+    scenario: &Scenario,
+) -> Measurement {
+    let engine = Arc::new(QueryEngine::start(
+        CorpusSnapshot::new(Arc::clone(db)),
+        EngineConfig {
+            workers: scenario.workers,
+            max_batch: 16,
+            cache_capacity: scenario.cache_capacity,
+        },
+    ));
+    if scenario.warm {
+        // Prime the cache with every query once.
+        for q in queries {
+            engine.query(request(q.clone())).expect("prime query");
+        }
+    }
+
+    let wall_start = Instant::now();
+    let chunk = queries.len().div_ceil(CLIENT_THREADS);
+    let latencies: Vec<u64> = std::thread::scope(|scope| {
+        let handles: Vec<_> = queries
+            .chunks(chunk)
+            .map(|part| {
+                let engine = Arc::clone(&engine);
+                scope.spawn(move || {
+                    part.iter()
+                        .map(|q| {
+                            let response = engine.query(request(q.clone())).expect("bench query");
+                            response.latency.as_micros() as u64
+                        })
+                        .collect::<Vec<u64>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+    let wall_s = wall_start.elapsed().as_secs_f64();
+
+    let stats = engine.stats();
+    engine.shutdown();
+    let mut sorted = latencies.clone();
+    sorted.sort_unstable();
+    let pct =
+        |p: f64| sorted[((sorted.len() as f64 * p).ceil() as usize).clamp(1, sorted.len()) - 1];
+    Measurement {
+        name: scenario.name,
+        workers: scenario.workers,
+        cached: scenario.warm,
+        requests: latencies.len(),
+        wall_s,
+        qps: latencies.len() as f64 / wall_s,
+        p50_us: pct(0.50),
+        p99_us: pct(0.99),
+        mean_batch: stats.mean_batch,
+        hit_rate: stats.hit_rate,
+    }
+}
+
+fn request(query: Vec<Point>) -> QueryRequest {
+    QueryRequest {
+        query,
+        algo: AlgoSpec::Pss,
+        measure: MeasureSpec::Dtw,
+        k: K,
+        use_index: true,
+    }
+}
+
+fn render_json(measurements: &[Measurement], n_workers: usize, speedup: f64) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!(
+        "  \"bench\": \"service_throughput\",\n  \"corpus_size\": {CORPUS_SIZE},\n  \
+         \"distinct_queries\": {DISTINCT_QUERIES},\n  \"client_threads\": {CLIENT_THREADS},\n  \
+         \"n_workers\": {n_workers},\n  \"algo\": \"pss\",\n  \"measure\": \"dtw\",\n  \
+         \"k\": {K},\n  \"scenarios\": [\n"
+    ));
+    for (i, m) in measurements.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"workers\": {}, \"warm_cache\": {}, \"requests\": {}, \
+             \"wall_s\": {:.4}, \"qps\": {:.1}, \"p50_us\": {}, \"p99_us\": {}, \
+             \"mean_batch\": {:.2}, \"hit_rate\": {:.3}}}{}\n",
+            m.name,
+            m.workers,
+            m.cached,
+            m.requests,
+            m.wall_s,
+            m.qps,
+            m.p50_us,
+            m.p99_us,
+            m.mean_batch,
+            m.hit_rate,
+            if i + 1 < measurements.len() { "," } else { "" }
+        ));
+    }
+    out.push_str(&format!(
+        "  ],\n  \"speedup_warm_nworkers_vs_cold_1worker\": {speedup:.2}\n}}\n"
+    ));
+    out
+}

@@ -53,7 +53,11 @@ pub fn evaluate_algorithms(
         .collect()
 }
 
-fn approx_suite(ctx: &mut Context, dataset: &'static str, meas: Meas) -> Vec<Box<dyn SubtrajSearch>> {
+fn approx_suite(
+    ctx: &mut Context,
+    dataset: &'static str,
+    meas: Meas,
+) -> Vec<Box<dyn SubtrajSearch>> {
     let rls = ctx.policy(dataset, meas, Context::mdp_for(meas, 0));
     let rls_skip = ctx.policy(dataset, meas, Context::mdp_for(meas, 3));
     vec![
@@ -75,15 +79,14 @@ pub fn fig3(ctx: &mut Context) {
         for meas in Meas::ALL {
             let algos = approx_suite(ctx, dataset, meas);
             let bundle = ctx.bundle(dataset);
-            let pairs = sample_pairs(
-                &bundle.corpus,
-                scale.pairs,
-                scale.max_query_len,
-                0xF163,
-            );
+            let pairs = sample_pairs(&bundle.corpus, scale.pairs, scale.max_query_len, 0xF163);
             let refs: Vec<&dyn SubtrajSearch> = algos.iter().map(|b| b.as_ref()).collect();
             let evals = evaluate_algorithms(bundle, meas, &pairs, &refs);
-            println!("\n--- {dataset} / {} ({} pairs) ---", meas.label(), pairs.len());
+            println!(
+                "\n--- {dataset} / {} ({} pairs) ---",
+                meas.label(),
+                pairs.len()
+            );
             let mut table = Table::new(vec!["algorithm", "AR", "MR", "RR", "time(ms)"]);
             for e in evals {
                 table.row(vec![
@@ -103,7 +106,10 @@ pub fn fig3(ctx: &mut Context) {
 /// the R-tree index.
 pub fn efficiency(ctx: &mut Context, dataset: &'static str) {
     let scale = ctx.scale;
-    println!("\n=== Figure 4/10: efficiency on {dataset} (top-{}) ===", scale.top_k);
+    println!(
+        "\n=== Figure 4/10: efficiency on {dataset} (top-{}) ===",
+        scale.top_k
+    );
     let spec = Context::spec(dataset);
     let max_size = *scale.db_sizes.last().expect("non-empty sizes");
     // One generation; prefixes are stable, so each size is a prefix slice.
@@ -115,7 +121,13 @@ pub fn efficiency(ctx: &mut Context, dataset: &'static str) {
         let mut all_algos: Vec<&dyn SubtrajSearch> = vec![&ExactS];
         all_algos.extend(algos.iter().map(|b| b.as_ref() as &dyn SubtrajSearch));
         println!("\n--- {dataset} / {} ---", meas.label());
-        let mut table = Table::new(vec!["db size (points)", "algorithm", "no-index(ms)", "R-tree(ms)", "saved"]);
+        let mut table = Table::new(vec![
+            "db size (points)",
+            "algorithm",
+            "no-index(ms)",
+            "R-tree(ms)",
+            "saved",
+        ]);
         for &size in scale.db_sizes {
             let db = TrajectoryDb::build(full_corpus[..size].to_vec());
             let queries: Vec<Trajectory> = sample_pairs(
@@ -162,7 +174,10 @@ pub fn query_length_groups(ctx: &mut Context, dataset: &'static str) {
         let algos = approx_suite(ctx, dataset, meas);
         let bundle = ctx.bundle(dataset);
         let groups = length_groups_cross(&bundle.corpus, per_group, 0xF165);
-        println!("\n--- {dataset} / {} ({per_group} queries per group) ---", meas.label());
+        println!(
+            "\n--- {dataset} / {} ({per_group} queries per group) ---",
+            meas.label()
+        );
         let mut table = Table::new(vec!["group", "algorithm", "AR", "MR", "RR", "time(ms)"]);
         for (gi, group) in groups.iter().enumerate() {
             let refs: Vec<&dyn SubtrajSearch> = algos.iter().map(|b| b.as_ref()).collect();
@@ -213,12 +228,7 @@ pub fn table5(ctx: &mut Context) {
         };
         let bundle = ctx.bundle("Porto");
         let measure = bundle.measure(Meas::Dtw);
-        let pairs = sample_pairs(
-            &bundle.corpus,
-            scale.pairs,
-            scale.max_query_len,
-            0xAB1E5,
-        );
+        let pairs = sample_pairs(&bundle.corpus, scale.pairs, scale.max_query_len, 0xAB1E5);
         let mut acc = MetricsAccumulator::new();
         let mut total_time = Duration::ZERO;
         let mut skipped = 0usize;
@@ -227,8 +237,7 @@ pub fn table5(ctx: &mut Context) {
             let data = bundle.corpus[pair.data_idx].points();
             let query = pair.query.points();
             let ranking = exhaustive_ranking(measure, data, query);
-            let ((res, stats), t) =
-                time_it(|| rls.search_with_stats(measure, data, query));
+            let ((res, stats), t) = time_it(|| rls.search_with_stats(measure, data, query));
             total_time += t;
             skipped += stats.skipped;
             points += data.len();
@@ -252,12 +261,7 @@ pub fn fig7(ctx: &mut Context) {
     let scale = ctx.scale;
     println!("\n=== Figure 7/12: effect of soft margin xi for SizeS (Porto, DTW) ===");
     let bundle = ctx.bundle("Porto");
-    let pairs = sample_pairs(
-        &bundle.corpus,
-        scale.pairs,
-        scale.max_query_len,
-        0xF167,
-    );
+    let pairs = sample_pairs(&bundle.corpus, scale.pairs, scale.max_query_len, 0xF167);
     let mut table = Table::new(vec!["xi", "AR", "MR", "RR", "time(ms)"]);
     let exact = ExactS;
     for xi in [0usize, 5, 10, 15, 20] {
@@ -329,12 +333,7 @@ pub fn fig8(ctx: &mut Context) {
     println!("\n=== Figure 8/13: comparison with UCR and Spring (Porto, DTW) ===");
     let rls_skip_plus = ctx.policy("Porto", Meas::Dtw, MdpConfig::rls_skip_plus(3));
     let bundle = ctx.bundle("Porto");
-    let pairs = sample_pairs(
-        &bundle.corpus,
-        scale.pairs,
-        scale.max_query_len,
-        0xF168,
-    );
+    let pairs = sample_pairs(&bundle.corpus, scale.pairs, scale.max_query_len, 0xF168);
     let mut table = Table::new(vec!["algorithm", "R", "AR", "MR", "RR", "time(ms)"]);
     let rsp: [&dyn SubtrajSearch; 1] = [&rls_skip_plus];
     let evals = evaluate_algorithms(bundle, Meas::Dtw, &pairs, &rsp);
@@ -379,10 +378,19 @@ pub fn fig9(ctx: &mut Context) {
         0xF169,
     );
     let repeats = 20;
-    let mut table = Table::new(vec!["algorithm", "samples", "RR mean", "RR std", "time(ms)"]);
+    let mut table = Table::new(vec![
+        "algorithm",
+        "samples",
+        "RR mean",
+        "RR std",
+        "time(ms)",
+    ]);
 
     // Reference rows: RLS-Skip and ExactS.
-    for (label, algo) in [("RLS-Skip", &rls_skip as &dyn SubtrajSearch), ("ExactS", &ExactS)] {
+    for (label, algo) in [
+        ("RLS-Skip", &rls_skip as &dyn SubtrajSearch),
+        ("ExactS", &ExactS),
+    ] {
         let refs: [&dyn SubtrajSearch; 1] = [algo];
         let evals = evaluate_algorithms(bundle, Meas::Dtw, &pairs, &refs);
         table.row(vec![
@@ -427,7 +435,10 @@ pub fn fig9(ctx: &mut Context) {
 /// Table 7: training time of RLS and RLS-Skip per dataset × measure.
 pub fn table7(ctx: &mut Context) {
     let scale = ctx.scale;
-    println!("\n=== Table 7: training time (seconds, {} episodes) ===", scale.train_episodes);
+    println!(
+        "\n=== Table 7: training time (seconds, {} episodes) ===",
+        scale.train_episodes
+    );
     // Ensure all policies are trained, then read the recorded times.
     for dataset in ["Porto", "Harbin", "Sports"] {
         for meas in Meas::ALL {
@@ -487,7 +498,14 @@ pub fn table2(ctx: &mut Context) {
             ("RLS", rls_ref),
         ];
         println!("\n--- measure {} (m = {m}) ---", meas.label());
-        let mut table = Table::new(vec!["algorithm", "n=50", "n=100", "n=200", "n=400", "x400/x50"]);
+        let mut table = Table::new(vec![
+            "algorithm",
+            "n=50",
+            "n=100",
+            "n=200",
+            "n=400",
+            "x400/x50",
+        ]);
         for (name, algo) in algos {
             let mut cells = vec![name.to_string()];
             let mut first = 0.0;

@@ -41,8 +41,7 @@ pub fn ext_measures(ctx: &mut Context) {
 
     let mut table = Table::new(vec!["measure", "algorithm", "AR", "MR", "RR", "time(ms)"]);
     for (label, measure) in measures {
-        let algos: [&dyn SubtrajSearch; 4] =
-            [&SizeS { xi: 5 }, &Pss, &Pos, &PosD { delay: 5 }];
+        let algos: [&dyn SubtrajSearch; 4] = [&SizeS { xi: 5 }, &Pss, &Pos, &PosD { delay: 5 }];
         let evals = evaluate_algorithms_with(bundle, measure, &pairs, &algos);
         for e in evals {
             table.row(vec![

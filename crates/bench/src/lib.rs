@@ -166,9 +166,15 @@ impl Context {
         let scale = self.scale;
         self.bundles.entry(name).or_insert_with(|| {
             let spec = Self::spec(name);
-            eprintln!("[prep] generating {name} corpus ({} trajectories)", scale.corpus_size);
+            eprintln!(
+                "[prep] generating {name} corpus ({} trajectories)",
+                scale.corpus_size
+            );
             let corpus = generate(&spec, scale.corpus_size, 0xD5EA5E ^ name.len() as u64);
-            eprintln!("[prep] training t2vec for {name} ({} steps)", scale.t2vec_steps);
+            eprintln!(
+                "[prep] training t2vec for {name} ({} steps)",
+                scale.t2vec_steps
+            );
             let cfg = T2VecConfig {
                 steps: scale.t2vec_steps,
                 ..Default::default()

@@ -16,7 +16,10 @@ impl SubtrajSearch for ExactS {
     }
 
     fn search(&self, measure: &dyn Measure, data: &[Point], query: &[Point]) -> SearchResult {
-        assert!(!data.is_empty() && !query.is_empty(), "inputs must be non-empty");
+        assert!(
+            !data.is_empty() && !query.is_empty(),
+            "inputs must be non-empty"
+        );
         let mut best_range = SubtrajRange::new(0, 0);
         let mut best_sim = f64::NEG_INFINITY;
         let mut eval = measure.prefix_evaluator(query);
@@ -63,7 +66,10 @@ pub fn exhaustive_ranking(
     data: &[Point],
     query: &[Point],
 ) -> ExhaustiveRanking {
-    assert!(!data.is_empty() && !query.is_empty(), "inputs must be non-empty");
+    assert!(
+        !data.is_empty() && !query.is_empty(),
+        "inputs must be non-empty"
+    );
     let n = data.len();
     let mut entries = Vec::with_capacity(subtrajectory_count(n));
     let mut eval = measure.prefix_evaluator(query);
@@ -178,7 +184,11 @@ mod tests {
     use simsub_measures::{Dtw, Frechet};
 
     /// Brute force oracle: recompute every subtrajectory from scratch.
-    fn brute_force_best(measure: &dyn Measure, data: &[Point], query: &[Point]) -> (SubtrajRange, f64) {
+    fn brute_force_best(
+        measure: &dyn Measure,
+        data: &[Point],
+        query: &[Point],
+    ) -> (SubtrajRange, f64) {
         SubtrajRange::enumerate_all(data.len())
             .map(|r| (r, measure.distance(r.slice(data), query)))
             .min_by(|a, b| a.1.total_cmp(&b.1))

@@ -47,7 +47,9 @@ pub use simtra::SimTra;
 pub use sizes::SizeS;
 pub use splitting::{suffix_similarities, Pos, PosD, Pss};
 pub use spring::Spring;
-pub use topk::{top_k_search, top_k_search_parallel, TopKResult};
+pub use topk::{
+    sort_hits_and_truncate, top_k_search, top_k_search_batch, top_k_search_parallel, TopKResult,
+};
 pub use ucr::Ucr;
 
 use simsub_measures::Measure;

@@ -133,7 +133,10 @@ impl<'a> SplitEnv<'a> {
         query: &'a [Point],
         cfg: MdpConfig,
     ) -> Self {
-        assert!(!data.is_empty() && !query.is_empty(), "inputs must be non-empty");
+        assert!(
+            !data.is_empty() && !query.is_empty(),
+            "inputs must be non-empty"
+        );
         let suffix = if cfg.use_suffix {
             suffix_similarities(measure, data, query)
         } else {
@@ -283,7 +286,10 @@ mod tests {
         assert_eq!(MdpConfig::rls_skip_plus(3).state_dim(), 2);
         assert_eq!(MdpConfig::rls().algorithm_name(), "RLS");
         assert_eq!(MdpConfig::rls_skip(3).algorithm_name(), "RLS-Skip(k=3)");
-        assert_eq!(MdpConfig::rls_skip_plus(2).algorithm_name(), "RLS-Skip+(k=2)");
+        assert_eq!(
+            MdpConfig::rls_skip_plus(2).algorithm_name(),
+            "RLS-Skip+(k=2)"
+        );
     }
 
     #[test]

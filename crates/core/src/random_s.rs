@@ -47,7 +47,10 @@ impl SubtrajSearch for RandomS {
     }
 
     fn search(&self, measure: &dyn Measure, data: &[Point], query: &[Point]) -> SearchResult {
-        assert!(!data.is_empty() && !query.is_empty(), "inputs must be non-empty");
+        assert!(
+            !data.is_empty() && !query.is_empty(),
+            "inputs must be non-empty"
+        );
         let n = data.len();
         let total = subtrajectory_count(n);
         let mut rng = StdRng::seed_from_u64(self.seed ^ (n as u64).rotate_left(17));
@@ -102,7 +105,9 @@ mod tests {
         let mut counts: HashMap<SubtrajRange, usize> = HashMap::new();
         let draws = 21_000;
         for _ in 0..draws {
-            *counts.entry(unrank(n, rng.gen_range(0..total))).or_insert(0) += 1;
+            *counts
+                .entry(unrank(n, rng.gen_range(0..total)))
+                .or_insert(0) += 1;
         }
         assert_eq!(counts.len(), total);
         for (&r, &c) in &counts {

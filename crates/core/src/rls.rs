@@ -147,7 +147,10 @@ pub fn train_rls(
     queries: &[Trajectory],
     cfg: &RlsTrainConfig,
 ) -> TrainReport {
-    assert!(!data.is_empty() && !queries.is_empty(), "empty training corpus");
+    assert!(
+        !data.is_empty() && !queries.is_empty(),
+        "empty training corpus"
+    );
     let mut dqn_cfg = cfg.dqn.clone();
     dqn_cfg.state_dim = cfg.mdp.state_dim();
     dqn_cfg.n_actions = cfg.mdp.n_actions();
@@ -156,7 +159,12 @@ pub fn train_rls(
 
     // Fixed validation set for best-snapshot selection.
     let validation: Vec<(usize, usize)> = (0..cfg.validation_pairs)
-        .map(|_| (rng.gen_range(0..data.len()), rng.gen_range(0..queries.len())))
+        .map(|_| {
+            (
+                rng.gen_range(0..data.len()),
+                rng.gen_range(0..queries.len()),
+            )
+        })
         .collect();
     let validate = |agent: &DqnAgent| -> f64 {
         let mut total = 0.0;
@@ -216,9 +224,7 @@ pub fn train_rls(
         agent.decay_epsilon();
 
         let is_last = episode + 1 == cfg.episodes;
-        if !validation.is_empty()
-            && (is_last || (episode + 1) % cfg.validate_every.max(1) == 0)
-        {
+        if !validation.is_empty() && (is_last || (episode + 1) % cfg.validate_every.max(1) == 0) {
             let score = validate(&agent);
             if best_policy.as_ref().is_none_or(|(best, _)| score > *best) {
                 best_policy = Some((score, agent.policy()));
@@ -253,9 +259,7 @@ mod tests {
 
     fn corpus(seed: u64, count: usize, len: usize) -> Vec<Trajectory> {
         (0..count)
-            .map(|i| {
-                Trajectory::new_unchecked(i as u64, walk(seed + i as u64, len))
-            })
+            .map(|i| Trajectory::new_unchecked(i as u64, walk(seed + i as u64, len)))
             .collect()
     }
 

@@ -17,7 +17,10 @@ impl SubtrajSearch for SimTra {
     }
 
     fn search(&self, measure: &dyn Measure, data: &[Point], query: &[Point]) -> SearchResult {
-        assert!(!data.is_empty() && !query.is_empty(), "inputs must be non-empty");
+        assert!(
+            !data.is_empty() && !query.is_empty(),
+            "inputs must be non-empty"
+        );
         let sim = measure.similarity(data, query);
         SearchResult {
             range: SubtrajRange::new(0, data.len() - 1),

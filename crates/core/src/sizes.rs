@@ -33,7 +33,10 @@ impl SubtrajSearch for SizeS {
     }
 
     fn search(&self, measure: &dyn Measure, data: &[Point], query: &[Point]) -> SearchResult {
-        assert!(!data.is_empty() && !query.is_empty(), "inputs must be non-empty");
+        assert!(
+            !data.is_empty() && !query.is_empty(),
+            "inputs must be non-empty"
+        );
         let n = data.len();
         let m = query.len();
         let min_len = m.saturating_sub(self.xi).max(1);

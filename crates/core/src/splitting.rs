@@ -18,7 +18,10 @@ use simsub_trajectory::{reversed_points, Point, SubtrajRange};
 /// invariance); for t2vec they are the positively-correlated surrogate the
 /// paper uses.
 pub fn suffix_similarities(measure: &dyn Measure, data: &[Point], query: &[Point]) -> Vec<f64> {
-    assert!(!data.is_empty() && !query.is_empty(), "inputs must be non-empty");
+    assert!(
+        !data.is_empty() && !query.is_empty(),
+        "inputs must be non-empty"
+    );
     let n = data.len();
     let rq = reversed_points(query);
     let mut eval = measure.prefix_evaluator(&rq);
@@ -70,7 +73,10 @@ impl SubtrajSearch for Pss {
     }
 
     fn search(&self, measure: &dyn Measure, data: &[Point], query: &[Point]) -> SearchResult {
-        assert!(!data.is_empty() && !query.is_empty(), "inputs must be non-empty");
+        assert!(
+            !data.is_empty() && !query.is_empty(),
+            "inputs must be non-empty"
+        );
         let n = data.len();
         let suffix = suffix_similarities(measure, data, query);
 
@@ -110,7 +116,10 @@ impl SubtrajSearch for Pos {
     }
 
     fn search(&self, measure: &dyn Measure, data: &[Point], query: &[Point]) -> SearchResult {
-        assert!(!data.is_empty() && !query.is_empty(), "inputs must be non-empty");
+        assert!(
+            !data.is_empty() && !query.is_empty(),
+            "inputs must be non-empty"
+        );
         let n = data.len();
         let mut best_sim = 0.0f64;
         let mut best_range: Option<SubtrajRange> = None;
@@ -143,7 +152,10 @@ impl SubtrajSearch for PosD {
     }
 
     fn search(&self, measure: &dyn Measure, data: &[Point], query: &[Point]) -> SearchResult {
-        assert!(!data.is_empty() && !query.is_empty(), "inputs must be non-empty");
+        assert!(
+            !data.is_empty() && !query.is_empty(),
+            "inputs must be non-empty"
+        );
         let n = data.len();
         let mut best_sim = 0.0f64;
         let mut best_range: Option<SubtrajRange> = None;

@@ -36,7 +36,10 @@ impl Spring {
     /// Core DP. Returns the subsequence of `data` minimizing (banded)
     /// DTW distance to `query`, with its distance.
     pub fn search_dtw(&self, data: &[Point], query: &[Point]) -> (SubtrajRange, f64) {
-        assert!(!data.is_empty() && !query.is_empty(), "inputs must be non-empty");
+        assert!(
+            !data.is_empty() && !query.is_empty(),
+            "inputs must be non-empty"
+        );
         let n = data.len();
         let m = query.len();
         let unconstrained = self.band_ratio >= 1.0;
@@ -131,13 +134,7 @@ mod tests {
     #[test]
     fn finds_embedded_exact_match() {
         let q = pts(&[(0.0, 0.0), (1.0, 0.0), (2.0, 0.0)]);
-        let t = pts(&[
-            (9.0, 9.0),
-            (0.0, 0.0),
-            (1.0, 0.0),
-            (2.0, 0.0),
-            (-5.0, 3.0),
-        ]);
+        let t = pts(&[(9.0, 9.0), (0.0, 0.0), (1.0, 0.0), (2.0, 0.0), (-5.0, 3.0)]);
         let (range, dist) = Spring::new().search_dtw(&t, &q);
         assert_eq!(range, SubtrajRange::new(1, 3));
         assert!(dist.abs() < 1e-12);

@@ -83,7 +83,47 @@ pub fn top_k_search_parallel(
     sort_and_truncate(hits, k)
 }
 
-fn sort_and_truncate(mut hits: Vec<TopKResult>, k: usize) -> Vec<TopKResult> {
+/// Batched variant of [`top_k_search`]: answers `queries.len()` top-k
+/// queries in one scan of the database. The trajectory loop is the
+/// *outer* loop, so each data trajectory's points stay hot in cache while
+/// every query in the micro-batch is evaluated against it — the
+/// amortization the serving layer (`simsub-service`) relies on when it
+/// coalesces concurrent requests. Results are identical to calling
+/// [`top_k_search`] once per query (asserted by tests).
+pub fn top_k_search_batch(
+    algo: &dyn SubtrajSearch,
+    measure: &dyn Measure,
+    db: &[Trajectory],
+    queries: &[&[Point]],
+    k: usize,
+) -> Vec<Vec<TopKResult>> {
+    assert!(k > 0, "k must be positive");
+    // Keep per-query buffers bounded: truncate to the running top-k once
+    // they grow past this many entries.
+    let trunc_at = (4 * k).max(64);
+    let mut per_query: Vec<Vec<TopKResult>> = vec![Vec::new(); queries.len()];
+    for t in db {
+        for (hits, query) in per_query.iter_mut().zip(queries) {
+            hits.push(TopKResult {
+                trajectory_id: t.id,
+                result: algo.search(measure, t.points(), query),
+            });
+            if hits.len() >= trunc_at {
+                *hits = sort_and_truncate(std::mem::take(hits), k);
+            }
+        }
+    }
+    per_query
+        .into_iter()
+        .map(|hits| sort_and_truncate(hits, k))
+        .collect()
+}
+
+/// The single definition of hit ordering: descending similarity, ties
+/// broken by ascending trajectory id. Every top-k path — sequential,
+/// parallel, batched, and the indexed variants in `simsub-index` — must
+/// rank through this function so results stay interchangeable.
+pub fn sort_hits_and_truncate(hits: &mut Vec<TopKResult>, k: usize) {
     hits.sort_by(|a, b| {
         b.result
             .similarity
@@ -91,6 +131,10 @@ fn sort_and_truncate(mut hits: Vec<TopKResult>, k: usize) -> Vec<TopKResult> {
             .then(a.trajectory_id.cmp(&b.trajectory_id))
     });
     hits.truncate(k);
+}
+
+fn sort_and_truncate(mut hits: Vec<TopKResult>, k: usize) -> Vec<TopKResult> {
+    sort_hits_and_truncate(&mut hits, k);
     hits
 }
 
@@ -145,6 +189,21 @@ mod tests {
         let db = db(2, 5);
         let q = walk(0, 3);
         let _ = top_k_search(&ExactS, &Dtw, &db, &q, 0);
+    }
+
+    #[test]
+    fn batch_matches_per_query() {
+        let db = db(23, 12);
+        let queries: Vec<Vec<Point>> = (0..7).map(|i| walk(900 + i, 4 + i as usize)).collect();
+        let query_refs: Vec<&[Point]> = queries.iter().map(Vec::as_slice).collect();
+        for k in [1, 3, 40] {
+            let batched = top_k_search_batch(&ExactS, &Dtw, &db, &query_refs, k);
+            assert_eq!(batched.len(), queries.len());
+            for (got, q) in batched.iter().zip(&queries) {
+                let want = top_k_search(&ExactS, &Dtw, &db, q, k);
+                assert_eq!(got, &want, "k={k}");
+            }
+        }
     }
 
     #[test]

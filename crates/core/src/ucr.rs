@@ -55,7 +55,10 @@ impl Ucr {
 
     /// Full search with pruning statistics.
     pub fn search_with_stats(&self, data: &[Point], query: &[Point]) -> (SearchResult, UcrStats) {
-        assert!(!data.is_empty() && !query.is_empty(), "inputs must be non-empty");
+        assert!(
+            !data.is_empty() && !query.is_empty(),
+            "inputs must be non-empty"
+        );
         let n = data.len();
         let m = query.len();
         let w = self.band(m);
@@ -187,12 +190,7 @@ fn reorder_indices(query: &[Point]) -> Vec<usize> {
 /// Sakoe-Chiba-banded DTW between equal-attention sequences with early
 /// abandoning: returns `None` as soon as every cell of a row exceeds
 /// `threshold` (the accumulated distance can then never come back under).
-fn banded_dtw_early_abandon(
-    a: &[Point],
-    b: &[Point],
-    w: usize,
-    threshold: f64,
-) -> Option<f64> {
+fn banded_dtw_early_abandon(a: &[Point], b: &[Point], w: usize, threshold: f64) -> Option<f64> {
     let (n, m) = (a.len(), b.len());
     let mut prev = vec![f64::INFINITY; m];
     let mut cur = vec![f64::INFINITY; m];
@@ -247,22 +245,14 @@ mod tests {
     fn naive_best(data: &[Point], query: &[Point], w: usize) -> f64 {
         let m = query.len();
         (0..=data.len() - m)
-            .map(|s| {
-                banded_dtw_early_abandon(&data[s..s + m], query, w, f64::INFINITY).unwrap()
-            })
+            .map(|s| banded_dtw_early_abandon(&data[s..s + m], query, w, f64::INFINITY).unwrap())
             .fold(f64::INFINITY, f64::min)
     }
 
     #[test]
     fn finds_embedded_match() {
         let q = pts(&[(0.0, 0.0), (1.0, 0.0), (2.0, 0.0)]);
-        let t = pts(&[
-            (9.0, 9.0),
-            (0.0, 0.0),
-            (1.0, 0.0),
-            (2.0, 0.0),
-            (-5.0, 3.0),
-        ]);
+        let t = pts(&[(9.0, 9.0), (0.0, 0.0), (1.0, 0.0), (2.0, 0.0), (-5.0, 3.0)]);
         let (res, _) = Ucr::new(1.0).search_with_stats(&t, &q);
         assert_eq!(res.range, SubtrajRange::new(1, 3));
         assert!(res.distance.abs() < 1e-12);

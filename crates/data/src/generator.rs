@@ -153,7 +153,7 @@ fn generate_one(spec: &DatasetSpec, id: u64, rng: &mut StdRng) -> Trajectory {
                         -std::f64::consts::FRAC_PI_2,
                         std::f64::consts::FRAC_PI_2,
                         std::f64::consts::PI,
-                    ][rng.gen_range(0..3)];
+                    ][rng.gen_range(0usize..3)];
                     heading += turn;
                 } else {
                     heading += normal(rng) * 0.1;
@@ -224,8 +224,7 @@ mod tests {
             (DatasetSpec::sports(), 0.15),
         ] {
             let trajs = generate(&spec, 300, 7);
-            let mean =
-                trajs.iter().map(|t| t.len() as f64).sum::<f64>() / trajs.len() as f64;
+            let mean = trajs.iter().map(|t| t.len() as f64).sum::<f64>() / trajs.len() as f64;
             let target = spec.mean_len as f64;
             assert!(
                 (mean - target).abs() < target * tolerance,

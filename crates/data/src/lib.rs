@@ -28,6 +28,5 @@ mod workload;
 pub use generator::{generate, DatasetSpec, MotionModel};
 pub use io::{read_csv, read_csv_file, write_csv, write_csv_file, CsvError};
 pub use workload::{
-    extract_query, length_groups, length_groups_cross, sample_pairs, QueryPair,
-    LENGTH_GROUP_BOUNDS,
+    extract_query, length_groups, length_groups_cross, sample_pairs, QueryPair, LENGTH_GROUP_BOUNDS,
 };

@@ -194,7 +194,7 @@ mod tests {
         for (pa, pb) in a.iter().zip(&b) {
             assert_eq!(pa.data_idx, pb.data_idx);
             assert_eq!(pa.query, pb.query);
-            assert!(pa.query.len() <= 30 && pa.query.len() >= 1);
+            assert!(pa.query.len() <= 30 && !pa.query.is_empty());
             assert!(pa.data_idx < c.len());
         }
     }

@@ -2,10 +2,18 @@
 //! the user-facing query of Section 3.1 runs against.
 
 use crate::rtree::RTree;
-use simsub_core::{top_k_search, SubtrajSearch, TopKResult};
+use simsub_core::{sort_hits_and_truncate, top_k_search, SubtrajSearch, TopKResult};
 use simsub_measures::Measure;
 use simsub_trajectory::{Mbr, Point, Trajectory};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+/// The database is immutable after [`TrajectoryDb::build`], so concurrent
+/// readers need no locking; this assertion keeps that contract honest.
+const _: fn() = || {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<TrajectoryDb>();
+};
 
 /// A database of data trajectories with an R-tree over their MBRs.
 #[derive(Debug, Clone)]
@@ -78,6 +86,21 @@ impl TrajectoryDb {
             .collect()
     }
 
+    /// Wraps the built database in an [`Arc`] for lock-free sharing across
+    /// worker threads — the corpus-snapshot handle the serving layer
+    /// (`simsub-service`) holds. The database is immutable after `build`,
+    /// so clones of the `Arc` are safe concurrent readers.
+    pub fn into_shared(self) -> Arc<Self> {
+        Arc::new(self)
+    }
+
+    /// Ids of trajectories whose MBR intersects `query_mbr` (the pruning
+    /// set of [`TrajectoryDb::candidates`], without materializing
+    /// references).
+    pub fn candidate_ids(&self, query_mbr: &Mbr) -> Vec<u64> {
+        self.rtree.query_intersecting(query_mbr)
+    }
+
     /// Top-k most similar subtrajectory search across the database.
     ///
     /// With `use_index`, trajectories whose MBR does not intersect the
@@ -94,15 +117,58 @@ impl TrajectoryDb {
     ) -> Vec<TopKResult> {
         if use_index {
             let qmbr = Mbr::of_points(query);
-            let candidates: Vec<Trajectory> = self
-                .candidates(&qmbr)
-                .into_iter()
-                .cloned()
-                .collect();
+            let candidates: Vec<Trajectory> = self.candidates(&qmbr).into_iter().cloned().collect();
             top_k_search(algo, measure, &candidates, query, k)
         } else {
             top_k_search(algo, measure, &self.trajs, query, k)
         }
+    }
+
+    /// Batched [`TrajectoryDb::top_k`]: answers every query in one outer
+    /// scan of the database (see `simsub_core::top_k_search_batch` for the
+    /// locality argument). With `use_index`, each query keeps its own
+    /// R-tree candidate set, so results are identical to the per-query
+    /// path — a trajectory is evaluated for exactly the queries whose MBR
+    /// it intersects, but its points are touched once per batch rather
+    /// than once per query.
+    pub fn top_k_batch(
+        &self,
+        algo: &dyn SubtrajSearch,
+        measure: &dyn Measure,
+        queries: &[&[Point]],
+        k: usize,
+        use_index: bool,
+    ) -> Vec<Vec<TopKResult>> {
+        assert!(k > 0, "k must be positive");
+        if !use_index {
+            return simsub_core::top_k_search_batch(algo, measure, &self.trajs, queries, k);
+        }
+        let candidate_sets: Vec<HashSet<u64>> = queries
+            .iter()
+            .map(|q| self.candidate_ids(&Mbr::of_points(q)).into_iter().collect())
+            .collect();
+        let trunc_at = (4 * k).max(64);
+        let mut per_query: Vec<Vec<TopKResult>> = vec![Vec::new(); queries.len()];
+        for t in &self.trajs {
+            for ((hits, query), candidates) in
+                per_query.iter_mut().zip(queries).zip(&candidate_sets)
+            {
+                if !candidates.contains(&t.id) {
+                    continue;
+                }
+                hits.push(TopKResult {
+                    trajectory_id: t.id,
+                    result: algo.search(measure, t.points(), query),
+                });
+                if hits.len() >= trunc_at {
+                    sort_hits_and_truncate(hits, k);
+                }
+            }
+        }
+        for hits in &mut per_query {
+            sort_hits_and_truncate(hits, k);
+        }
+        per_query
     }
 }
 
@@ -185,6 +251,42 @@ mod tests {
         let indexed = db.top_k(&ExactS, &Dtw, &query, 1, true);
         assert_eq!(full[0].trajectory_id, indexed[0].trajectory_id);
         assert!((full[0].result.similarity - indexed[0].result.similarity).abs() < 1e-12);
+    }
+
+    #[test]
+    fn batched_topk_matches_per_query() {
+        let db = build_db(50);
+        let queries: Vec<Vec<Point>> = (0..6)
+            .map(|i| {
+                let origin = ((i % 3) as f64 * 30.0, (i / 3) as f64 * 30.0);
+                walk(200 + i as u64, 7, origin)
+            })
+            .collect();
+        let query_refs: Vec<&[Point]> = queries.iter().map(Vec::as_slice).collect();
+        for use_index in [false, true] {
+            let batched = db.top_k_batch(&ExactS, &Dtw, &query_refs, 4, use_index);
+            for (got, q) in batched.iter().zip(&queries) {
+                let want = db.top_k(&ExactS, &Dtw, q, 4, use_index);
+                assert_eq!(got, &want, "use_index={use_index}");
+            }
+        }
+    }
+
+    #[test]
+    fn shared_handle_serves_concurrent_readers() {
+        let db = build_db(30).into_shared();
+        let query: Vec<Point> = db.get(4).unwrap().points()[..6].to_vec();
+        let want = db.top_k(&ExactS, &Dtw, &query, 3, true);
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let db = std::sync::Arc::clone(&db);
+                let query = query.clone();
+                std::thread::spawn(move || db.top_k(&ExactS, &Dtw, &query, 3, true))
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), want);
+        }
     }
 
     #[test]

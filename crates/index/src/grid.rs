@@ -200,10 +200,7 @@ mod tests {
     fn grid_prunes_tighter_than_mbr_for_thin_trajectories() {
         // An L-shaped trajectory leaves most of its MBR empty; a query in
         // the empty corner passes the MBR test but not the grid test.
-        let l_shape = traj(
-            1,
-            &[(0.0, 0.0), (10.0, 0.0), (10.0, 10.0)],
-        );
+        let l_shape = traj(1, &[(0.0, 0.0), (10.0, 0.0), (10.0, 10.0)]);
         let mut g = GridIndex::new(1.0);
         g.insert(&l_shape);
         let corner_probe = [Point::xy(1.5, 8.5)]; // inside MBR, off the path

@@ -22,9 +22,7 @@ enum Node {
 impl Node {
     fn mbr(&self) -> Mbr {
         match self {
-            Node::Leaf(entries) => entries
-                .iter()
-                .fold(Mbr::EMPTY, |acc, (m, _)| acc.union(*m)),
+            Node::Leaf(entries) => entries.iter().fold(Mbr::EMPTY, |acc, (m, _)| acc.union(*m)),
             Node::Internal(children) => children
                 .iter()
                 .fold(Mbr::EMPTY, |acc, (m, _)| acc.union(*m)),

@@ -144,15 +144,19 @@ mod tests {
     fn edr_naive(a: &[Point], b: &[Point], eps: f64) -> f64 {
         let (n, m) = (a.len(), b.len());
         let mut d = vec![vec![0.0f64; m + 1]; n + 1];
-        for i in 0..=n {
-            d[i][0] = i as f64;
+        for (i, row) in d.iter_mut().enumerate() {
+            row[0] = i as f64;
         }
-        for j in 0..=m {
-            d[0][j] = j as f64;
+        for (j, cell) in d[0].iter_mut().enumerate() {
+            *cell = j as f64;
         }
         for i in 1..=n {
             for j in 1..=m {
-                let sub = if a[i - 1].dist(b[j - 1]) <= eps { 0.0 } else { 1.0 };
+                let sub = if a[i - 1].dist(b[j - 1]) <= eps {
+                    0.0
+                } else {
+                    1.0
+                };
                 d[i][j] = (d[i - 1][j - 1] + sub)
                     .min(d[i - 1][j] + 1.0)
                     .min(d[i][j - 1] + 1.0);

@@ -71,9 +71,7 @@ impl CoordNormalizer {
 
     /// Fits on the union MBR of a corpus.
     pub fn from_corpus(corpus: &[Trajectory]) -> Self {
-        let mbr = corpus
-            .iter()
-            .fold(Mbr::EMPTY, |acc, t| acc.union(t.mbr()));
+        let mbr = corpus.iter().fold(Mbr::EMPTY, |acc, t| acc.union(t.mbr()));
         Self::from_mbr(mbr)
     }
 
@@ -212,15 +210,9 @@ impl T2Vec {
                 }
                 batch_used += 1;
                 // L = d_ap - d_an + margin (active branch).
-                let da: Vec<f64> = (0..ha.len())
-                    .map(|i| 2.0 * (hn[i] - hp[i]))
-                    .collect();
-                let dp: Vec<f64> = (0..ha.len())
-                    .map(|i| -2.0 * (ha[i] - hp[i]))
-                    .collect();
-                let dn: Vec<f64> = (0..ha.len())
-                    .map(|i| 2.0 * (ha[i] - hn[i]))
-                    .collect();
+                let da: Vec<f64> = (0..ha.len()).map(|i| 2.0 * (hn[i] - hp[i])).collect();
+                let dp: Vec<f64> = (0..ha.len()).map(|i| -2.0 * (ha[i] - hp[i])).collect();
+                let dn: Vec<f64> = (0..ha.len()).map(|i| 2.0 * (ha[i] - hn[i])).collect();
                 cell.backward(&ca, &da, &mut grads);
                 cell.backward(&cp, &dp, &mut grads);
                 cell.backward(&cn, &dn, &mut grads);
@@ -259,10 +251,7 @@ impl T2Vec {
     }
 }
 
-fn encode_cached(
-    cell: &GruCell,
-    feats: impl Iterator<Item = [f64; 2]>,
-) -> (Vec<f64>, GruCache) {
+fn encode_cached(cell: &GruCell, feats: impl Iterator<Item = [f64; 2]>) -> (Vec<f64>, GruCache) {
     let mut h = cell.initial_state();
     let mut cache = GruCache::default();
     for f in feats {
@@ -473,12 +462,7 @@ mod tests {
                     ni = (ni + 1) % corpus.len();
                 }
                 // Positive: keep every third point (aggressive resampling).
-                let pos: Vec<Point> = corpus[ai]
-                    .points()
-                    .iter()
-                    .step_by(3)
-                    .copied()
-                    .collect();
+                let pos: Vec<Point> = corpus[ai].points().iter().step_by(3).copied().collect();
                 let d_ap = m.distance(corpus[ai].points(), &pos);
                 let d_an = m.distance(corpus[ai].points(), corpus[ni].points());
                 sum_ap += d_ap;

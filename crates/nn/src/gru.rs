@@ -278,7 +278,9 @@ impl GruCell {
 
     /// Total number of scalar parameters.
     pub fn param_count(&self) -> usize {
-        3 * self.hidden_dim * self.in_dim + 3 * self.hidden_dim * self.hidden_dim + 3 * self.hidden_dim
+        3 * self.hidden_dim * self.in_dim
+            + 3 * self.hidden_dim * self.hidden_dim
+            + 3 * self.hidden_dim
     }
 
     /// Flattens all parameters in a stable order (tests / persistence).
@@ -502,9 +504,7 @@ mod tests {
         let b = seq(&mut rng, 10, 2);
         let mut adam = Adam::new(0.01);
 
-        let dist = |cell: &GruCell| {
-            crate::squared_distance(&cell.encode(&a), &cell.encode(&b))
-        };
+        let dist = |cell: &GruCell| crate::squared_distance(&cell.encode(&a), &cell.encode(&b));
         let before = dist(&cell);
         for _ in 0..60 {
             let mut ha = cell.initial_state();

@@ -5,7 +5,12 @@ use rand::Rng;
 ///
 /// This is Keras's default dense-layer initializer, matching the paper's
 /// implementation environment (Keras 2.2).
-pub fn xavier_uniform<R: Rng>(rng: &mut R, fan_in: usize, fan_out: usize, count: usize) -> Vec<f64> {
+pub fn xavier_uniform<R: Rng>(
+    rng: &mut R,
+    fan_in: usize,
+    fan_out: usize,
+    count: usize,
+) -> Vec<f64> {
     let limit = (6.0 / (fan_in + fan_out) as f64).sqrt();
     (0..count).map(|_| rng.gen_range(-limit..limit)).collect()
 }

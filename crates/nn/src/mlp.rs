@@ -207,7 +207,10 @@ impl Mlp {
                 return Err("layer shapes do not chain");
             }
         }
-        Ok(Self { layers, activations })
+        Ok(Self {
+            layers,
+            activations,
+        })
     }
 
     /// Loads parameters from a flat vector produced by [`Mlp::flat_params`].
@@ -312,12 +315,7 @@ mod tests {
             |p| {
                 let mut probe = net.clone();
                 probe.set_flat_params(p);
-                probe
-                    .forward(&x)
-                    .iter()
-                    .zip(&c)
-                    .map(|(a, b)| a * b)
-                    .sum()
+                probe.forward(&x).iter().zip(&c).map(|(a, b)| a * b).sum()
             },
             1e-5,
         );

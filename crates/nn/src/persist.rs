@@ -199,8 +199,7 @@ pub trait BinaryCodec: Sized {
     /// Reads a model from a file.
     fn load(path: &std::path::Path) -> std::io::Result<Self> {
         let data = std::fs::read(path)?;
-        Self::from_bytes(&data)
-            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+        Self::from_bytes(&data).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
     }
 }
 
@@ -335,7 +334,11 @@ mod tests {
     #[test]
     fn file_roundtrip() {
         let mut rng = StdRng::seed_from_u64(4);
-        let net = Mlp::new(&mut rng, &[2, 4, 2], &[Activation::Tanh, Activation::Identity]);
+        let net = Mlp::new(
+            &mut rng,
+            &[2, 4, 2],
+            &[Activation::Tanh, Activation::Identity],
+        );
         let dir = std::env::temp_dir().join("simsub_persist_test");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("model.ssub");

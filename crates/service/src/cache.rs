@@ -1,0 +1,187 @@
+//! A plain O(1) LRU cache: `HashMap` from key to a slot in an
+//! arena-allocated doubly-linked recency list. Used by the engine to
+//! short-circuit repeated queries; values are cheap-to-clone `Arc`s.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+const NIL: usize = usize::MAX;
+
+struct Node<K, V> {
+    key: K,
+    value: V,
+    prev: usize,
+    next: usize,
+}
+
+/// Least-recently-used cache with a fixed capacity.
+pub struct LruCache<K, V> {
+    map: HashMap<K, usize>,
+    arena: Vec<Node<K, V>>,
+    free: Vec<usize>,
+    head: usize, // most recently used
+    tail: usize, // least recently used
+    capacity: usize,
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> LruCache<K, V> {
+    /// Creates a cache holding at most `capacity` entries. A capacity of
+    /// zero disables caching (every `get` misses, `insert` is a no-op).
+    pub fn new(capacity: usize) -> Self {
+        // Preallocation is capped: `capacity` bounds entry *count*, but a
+        // huge configured capacity must not allocate (or abort) up front —
+        // both containers grow on demand.
+        Self {
+            map: HashMap::with_capacity(capacity.min(1024)),
+            arena: Vec::with_capacity(capacity.min(1024)),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            capacity,
+        }
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Looks up `key`, marking it most-recently-used on a hit.
+    pub fn get(&mut self, key: &K) -> Option<V> {
+        let &slot = self.map.get(key)?;
+        self.detach(slot);
+        self.push_front(slot);
+        Some(self.arena[slot].value.clone())
+    }
+
+    /// Inserts or refreshes `key`, evicting the least-recently-used entry
+    /// when full.
+    pub fn insert(&mut self, key: K, value: V) {
+        if self.capacity == 0 {
+            return;
+        }
+        if let Some(&slot) = self.map.get(&key) {
+            self.arena[slot].value = value;
+            self.detach(slot);
+            self.push_front(slot);
+            return;
+        }
+        if self.map.len() == self.capacity {
+            let lru = self.tail;
+            self.detach(lru);
+            let node = &mut self.arena[lru];
+            self.map.remove(&node.key);
+            self.free.push(lru);
+        }
+        let slot = match self.free.pop() {
+            Some(slot) => {
+                self.arena[slot] = Node {
+                    key: key.clone(),
+                    value,
+                    prev: NIL,
+                    next: NIL,
+                };
+                slot
+            }
+            None => {
+                self.arena.push(Node {
+                    key: key.clone(),
+                    value,
+                    prev: NIL,
+                    next: NIL,
+                });
+                self.arena.len() - 1
+            }
+        };
+        self.map.insert(key, slot);
+        self.push_front(slot);
+    }
+
+    fn detach(&mut self, slot: usize) {
+        let (prev, next) = (self.arena[slot].prev, self.arena[slot].next);
+        match prev {
+            NIL => self.head = next,
+            p => self.arena[p].next = next,
+        }
+        match next {
+            NIL => self.tail = prev,
+            n => self.arena[n].prev = prev,
+        }
+        self.arena[slot].prev = NIL;
+        self.arena[slot].next = NIL;
+    }
+
+    fn push_front(&mut self, slot: usize) {
+        self.arena[slot].prev = NIL;
+        self.arena[slot].next = self.head;
+        match self.head {
+            NIL => self.tail = slot,
+            h => self.arena[h].prev = slot,
+        }
+        self.head = slot;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_miss_and_eviction_order() {
+        let mut cache = LruCache::new(2);
+        cache.insert(1, "a");
+        cache.insert(2, "b");
+        assert_eq!(cache.get(&1), Some("a")); // 1 becomes MRU
+        cache.insert(3, "c"); // evicts 2 (LRU)
+        assert_eq!(cache.get(&2), None);
+        assert_eq!(cache.get(&1), Some("a"));
+        assert_eq!(cache.get(&3), Some("c"));
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn reinsert_refreshes_value_and_recency() {
+        let mut cache = LruCache::new(2);
+        cache.insert(1, "a");
+        cache.insert(2, "b");
+        cache.insert(1, "a2"); // refresh: 2 is now LRU
+        cache.insert(3, "c"); // evicts 2
+        assert_eq!(cache.get(&1), Some("a2"));
+        assert_eq!(cache.get(&2), None);
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut cache = LruCache::new(0);
+        cache.insert(1, "a");
+        assert_eq!(cache.get(&1), None);
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn long_churn_stays_bounded_and_consistent() {
+        let mut cache = LruCache::new(8);
+        for i in 0..1000u64 {
+            cache.insert(i % 13, i);
+            assert!(cache.len() <= 8);
+        }
+        // The 8 most recently inserted distinct keys must all be present.
+        let mut expected = Vec::new();
+        let mut i = 999i64;
+        while expected.len() < 8 {
+            let key = (i % 13) as u64;
+            if !expected.contains(&key) {
+                expected.push(key);
+            }
+            i -= 1;
+        }
+        for key in expected {
+            assert!(cache.get(&key).is_some(), "missing key {key}");
+        }
+    }
+}

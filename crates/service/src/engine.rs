@@ -1,0 +1,434 @@
+//! The concurrent query engine: a fixed pool of worker threads fed by an
+//! MPSC queue, request micro-batching, and an LRU result cache in front
+//! of the search algorithms.
+//!
+//! Design
+//! ------
+//! - **Snapshot ownership.** The engine holds an immutable
+//!   [`CorpusSnapshot`]: an `Arc<TrajectoryDb>` plus the loaded RLS
+//!   policy and t2vec model (when present). Workers share it lock-free.
+//! - **Micro-batching.** Each worker blocks on the shared queue, then
+//!   drains up to `max_batch - 1` additional requests non-blockingly.
+//!   Batch members with the same `(algo, measure, k, index)` signature are
+//!   answered by one [`TrajectoryDb::top_k_batch`] call, whose outer loop
+//!   over data trajectories amortizes point access across the batch.
+//! - **Result cache.** Keyed by [`QueryRequest::canonical_key`]; a hit
+//!   short-circuits before any search runs. Within a batch, duplicate
+//!   requests are computed once and fanned out.
+//! - **Graceful shutdown.** [`QueryEngine::shutdown`] stops admissions,
+//!   closes the queue, and joins the workers; already-queued requests are
+//!   drained and answered, never dropped.
+
+use crate::cache::LruCache;
+use crate::query::{AlgoSpec, MeasureSpec, QueryRequest, QueryResponse};
+use crate::stats::{ServeStats, StatsSnapshot};
+use simsub_core::ExactS;
+use simsub_core::{Pos, PosD, Pss, Rls, SizeS, Spring, SubtrajSearch, TopKResult};
+use simsub_index::TrajectoryDb;
+use simsub_measures::{Dtw, Frechet, Measure, T2Vec};
+use simsub_trajectory::Point;
+use std::collections::HashMap;
+use std::sync::mpsc::{channel, Receiver, Sender, TryRecvError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Errors surfaced by the engine API.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServiceError {
+    /// The request can never be served (bad parameters, model not loaded).
+    InvalidRequest(String),
+    /// The engine is shutting down and no longer admits requests.
+    ShuttingDown,
+    /// The engine terminated without answering (worker panic — a bug).
+    Canceled,
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::InvalidRequest(msg) => write!(f, "invalid request: {msg}"),
+            ServiceError::ShuttingDown => write!(f, "engine is shutting down"),
+            ServiceError::Canceled => write!(f, "request canceled"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+/// Immutable corpus + models the engine serves from. Cloning is cheap
+/// (`Arc`s all the way down); a later PR swaps snapshots for live reload.
+#[derive(Clone)]
+pub struct CorpusSnapshot {
+    db: Arc<TrajectoryDb>,
+    rls: Option<Arc<Rls>>,
+    t2vec: Option<Arc<T2Vec>>,
+}
+
+impl CorpusSnapshot {
+    /// Snapshot over a built database, with no learned models loaded.
+    pub fn new(db: Arc<TrajectoryDb>) -> Self {
+        Self {
+            db,
+            rls: None,
+            t2vec: None,
+        }
+    }
+
+    /// Adds a trained RLS searcher, enabling `"algo": "rls"` requests.
+    pub fn with_rls(mut self, rls: Rls) -> Self {
+        self.rls = Some(Arc::new(rls));
+        self
+    }
+
+    /// Adds a trained t2vec model, enabling `"measure": "t2vec"` requests.
+    pub fn with_t2vec(mut self, model: T2Vec) -> Self {
+        self.t2vec = Some(Arc::new(model));
+        self
+    }
+
+    /// The shared database handle.
+    pub fn db(&self) -> &Arc<TrajectoryDb> {
+        &self.db
+    }
+
+    /// Checks a request against the loaded models, then resolves its
+    /// algorithm. `Box`ing per call is noise-level: every variant except
+    /// RLS is a zero-to-word-sized value, and RLS is an `Arc` clone.
+    fn algo(&self, spec: AlgoSpec) -> Result<Box<dyn SubtrajSearch + Send + Sync>, ServiceError> {
+        Ok(match spec {
+            AlgoSpec::Exact => Box::new(ExactS),
+            AlgoSpec::SizeS { xi } => Box::new(SizeS::new(xi)),
+            AlgoSpec::Pss => Box::new(Pss),
+            AlgoSpec::Pos => Box::new(Pos),
+            AlgoSpec::PosD { delay } => Box::new(PosD::new(delay)),
+            AlgoSpec::Spring => Box::new(Spring::new()),
+            AlgoSpec::Rls => match &self.rls {
+                Some(rls) => Box::new(SharedRls(Arc::clone(rls))),
+                None => {
+                    return Err(ServiceError::InvalidRequest(
+                        "no RLS policy loaded into this engine".into(),
+                    ))
+                }
+            },
+        })
+    }
+
+    fn measure(&self, spec: MeasureSpec) -> Result<&dyn Measure, ServiceError> {
+        match spec {
+            MeasureSpec::Dtw => Ok(&Dtw),
+            MeasureSpec::Frechet => Ok(&Frechet),
+            MeasureSpec::T2Vec => match &self.t2vec {
+                Some(model) => Ok(model.as_ref()),
+                None => Err(ServiceError::InvalidRequest(
+                    "no t2vec model loaded into this engine".into(),
+                )),
+            },
+        }
+    }
+}
+
+/// `Arc<Rls>` view implementing the search trait by delegation, so every
+/// request shares one loaded policy.
+struct SharedRls(Arc<Rls>);
+
+impl SubtrajSearch for SharedRls {
+    fn name(&self) -> String {
+        self.0.name()
+    }
+
+    fn search(
+        &self,
+        measure: &dyn Measure,
+        data: &[Point],
+        query: &[Point],
+    ) -> simsub_core::SearchResult {
+        self.0.search(measure, data, query)
+    }
+}
+
+/// Engine tuning knobs.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Worker threads (≥ 1).
+    pub workers: usize,
+    /// Maximum requests coalesced into one dispatch (≥ 1).
+    pub max_batch: usize,
+    /// Result-cache entries; 0 disables caching.
+    pub cache_capacity: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            workers: std::thread::available_parallelism().map_or(4, usize::from),
+            max_batch: 16,
+            cache_capacity: 4096,
+        }
+    }
+}
+
+/// A submitted request's pending answer.
+#[derive(Debug)]
+pub struct PendingQuery {
+    rx: Receiver<QueryResponse>,
+}
+
+impl PendingQuery {
+    /// Blocks until the engine answers. `Canceled` only if the engine
+    /// died without responding (worker panic).
+    pub fn wait(self) -> Result<QueryResponse, ServiceError> {
+        self.rx.recv().map_err(|_| ServiceError::Canceled)
+    }
+}
+
+struct Job {
+    request: QueryRequest,
+    key: u64,
+    submitted: Instant,
+    reply: Sender<QueryResponse>,
+}
+
+/// A cached answer carries the request it answers: the 64-bit key is an
+/// index, and every hit is verified with `canonically_equal` so an FNV
+/// collision (accidental or adversarial) can never serve one query's
+/// results to a different query.
+struct CachedAnswer {
+    request: QueryRequest,
+    results: Arc<Vec<TopKResult>>,
+}
+
+struct Inner {
+    snapshot: CorpusSnapshot,
+    config: EngineConfig,
+    queue: Mutex<Receiver<Job>>,
+    cache: Mutex<LruCache<u64, Arc<CachedAnswer>>>,
+    stats: ServeStats,
+}
+
+/// The concurrent query engine. See the module docs for the design.
+pub struct QueryEngine {
+    inner: Arc<Inner>,
+    sender: Mutex<Option<Sender<Job>>>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl QueryEngine {
+    /// Spawns the worker pool and returns the running engine.
+    pub fn start(snapshot: CorpusSnapshot, config: EngineConfig) -> Self {
+        assert!(config.workers >= 1, "need at least one worker");
+        assert!(config.max_batch >= 1, "max_batch must be positive");
+        let (tx, rx) = channel();
+        let inner = Arc::new(Inner {
+            cache: Mutex::new(LruCache::new(config.cache_capacity)),
+            stats: ServeStats::new(),
+            snapshot,
+            config,
+            queue: Mutex::new(rx),
+        });
+        let workers = (0..inner.config.workers)
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("simsub-worker-{i}"))
+                    .spawn(move || worker_loop(&inner))
+                    .expect("spawning worker thread")
+            })
+            .collect();
+        Self {
+            inner,
+            sender: Mutex::new(Some(tx)),
+            workers: Mutex::new(workers),
+        }
+    }
+
+    /// Validates and enqueues a request; returns a handle to await.
+    pub fn submit(&self, request: QueryRequest) -> Result<PendingQuery, ServiceError> {
+        if request.query.is_empty() {
+            return Err(ServiceError::InvalidRequest("empty query".into()));
+        }
+        if request.k == 0 {
+            return Err(ServiceError::InvalidRequest("k must be positive".into()));
+        }
+        // Resolve once now so "model not loaded" fails fast, synchronously.
+        self.inner.snapshot.algo(request.algo)?;
+        self.inner.snapshot.measure(request.measure)?;
+
+        let (reply_tx, reply_rx) = channel();
+        let job = Job {
+            key: request.canonical_key(),
+            request,
+            submitted: Instant::now(),
+            reply: reply_tx,
+        };
+        let guard = self.sender.lock().expect("sender lock poisoned");
+        let Some(tx) = guard.as_ref() else {
+            return Err(ServiceError::ShuttingDown);
+        };
+        tx.send(job).map_err(|_| ServiceError::ShuttingDown)?;
+        Ok(PendingQuery { rx: reply_rx })
+    }
+
+    /// Convenience: submit and block for the answer.
+    pub fn query(&self, request: QueryRequest) -> Result<QueryResponse, ServiceError> {
+        self.submit(request)?.wait()
+    }
+
+    /// Current aggregate statistics.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.inner.stats.snapshot()
+    }
+
+    /// The corpus snapshot the engine serves from.
+    pub fn snapshot(&self) -> &CorpusSnapshot {
+        &self.inner.snapshot
+    }
+
+    /// Stops admitting requests, drains everything already queued, and
+    /// joins the workers. Idempotent; concurrent `submit`s race safely
+    /// (they either enqueue before the close — and are answered — or get
+    /// [`ServiceError::ShuttingDown`]).
+    pub fn shutdown(&self) {
+        // Closing the channel (dropping the sender) is the drain signal:
+        // workers keep recv()ing until the queue is empty, then exit.
+        drop(self.sender.lock().expect("sender lock poisoned").take());
+        let mut workers = self.workers.lock().expect("workers lock poisoned");
+        for handle in workers.drain(..) {
+            handle.join().expect("worker thread panicked");
+        }
+    }
+}
+
+impl Drop for QueryEngine {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn worker_loop(inner: &Inner) {
+    loop {
+        // Block for one job, then opportunistically coalesce whatever else
+        // is already queued, up to the batch cap. The queue lock is held
+        // only while draining — never during search work.
+        let mut jobs: Vec<Job> = Vec::new();
+        {
+            let rx = inner.queue.lock().expect("queue lock poisoned");
+            match rx.recv() {
+                Ok(job) => jobs.push(job),
+                Err(_) => return, // channel closed and drained: shutdown
+            }
+            while jobs.len() < inner.config.max_batch {
+                match rx.try_recv() {
+                    Ok(job) => jobs.push(job),
+                    Err(TryRecvError::Empty | TryRecvError::Disconnected) => break,
+                }
+            }
+        }
+        let batch_size = jobs.len();
+        inner.stats.record_batch(batch_size);
+        process_batch(inner, jobs, batch_size);
+    }
+}
+
+fn process_batch(inner: &Inner, jobs: Vec<Job>, batch_size: usize) {
+    // Pass 1: answer cache hits, dedupe identical misses. Key matches are
+    // never trusted alone — the stored/deduped request must also be
+    // canonically equal, or the entry is treated as a miss (hash
+    // collisions must not cross-contaminate answers).
+    let mut unique: Vec<(u64, QueryRequest, Vec<Job>)> = Vec::new();
+    let mut slot_of_key: HashMap<u64, usize> = HashMap::new();
+    {
+        let mut cache = inner.cache.lock().expect("cache lock poisoned");
+        for job in jobs {
+            let hit = cache
+                .get(&job.key)
+                .filter(|entry| entry.request.canonically_equal(&job.request));
+            if let Some(entry) = hit {
+                let results = Arc::clone(&entry.results);
+                respond(inner, job, results, true, batch_size);
+                continue;
+            }
+            match slot_of_key.get(&job.key) {
+                Some(&slot) if unique[slot].1.canonically_equal(&job.request) => {
+                    unique[slot].2.push(job);
+                }
+                Some(_) => {
+                    // Colliding but different request: keep it as its own
+                    // dispatch entry (unregistered — collisions are rare
+                    // enough that losing dedup for the loser is fine).
+                    unique.push((job.key, job.request.clone(), vec![job]));
+                }
+                None => {
+                    slot_of_key.insert(job.key, unique.len());
+                    unique.push((job.key, job.request.clone(), vec![job]));
+                }
+            }
+        }
+    }
+    if unique.is_empty() {
+        return;
+    }
+
+    // Pass 2: group misses by dispatch signature and run each group
+    // through one batched database scan.
+    let mut groups: HashMap<(AlgoSpec, MeasureSpec, usize, bool), Vec<usize>> = HashMap::new();
+    for (slot, (_, request, _)) in unique.iter().enumerate() {
+        groups
+            .entry((request.algo, request.measure, request.k, request.use_index))
+            .or_default()
+            .push(slot);
+    }
+
+    for ((algo_spec, measure_spec, k, use_index), slots) in groups {
+        // Specs were validated at submit time; resolution cannot fail here.
+        let algo = inner
+            .snapshot
+            .algo(algo_spec)
+            .expect("algo validated at submit");
+        let measure = inner
+            .snapshot
+            .measure(measure_spec)
+            .expect("measure validated at submit");
+        let queries: Vec<&[Point]> = slots
+            .iter()
+            .map(|&slot| unique[slot].1.query.as_slice())
+            .collect();
+        let all_results =
+            inner
+                .snapshot
+                .db
+                .top_k_batch(algo.as_ref(), measure, &queries, k, use_index);
+        debug_assert_eq!(all_results.len(), slots.len());
+
+        for (&slot, results) in slots.iter().zip(all_results) {
+            let results = Arc::new(results);
+            {
+                let mut cache = inner.cache.lock().expect("cache lock poisoned");
+                cache.insert(
+                    unique[slot].0,
+                    Arc::new(CachedAnswer {
+                        request: unique[slot].1.clone(),
+                        results: Arc::clone(&results),
+                    }),
+                );
+            }
+            // Fan the shared answer out to every requester that asked for
+            // this exact query in this batch.
+            for job in unique[slot].2.drain(..) {
+                respond(inner, job, Arc::clone(&results), false, batch_size);
+            }
+        }
+    }
+}
+
+fn respond(inner: &Inner, job: Job, results: Arc<Vec<TopKResult>>, cached: bool, batch: usize) {
+    let latency = job.submitted.elapsed();
+    inner.stats.record_request(latency, cached);
+    // The requester may have given up (dropped the receiver); that's fine.
+    let _ = job.reply.send(QueryResponse {
+        results,
+        cached,
+        latency,
+        batch_size: batch,
+    });
+}

@@ -1,0 +1,63 @@
+#![warn(missing_docs)]
+
+//! Concurrent query-serving subsystem for similar-subtrajectory search.
+//!
+//! The paper's setting is *online*: queries arrive continuously and the
+//! splitting algorithms exist to answer them at interactive latency
+//! (§3.1). This crate turns the offline library into an embeddable,
+//! concurrent query engine plus a wire front-end:
+//!
+//! | module | contents |
+//! |--------|----------|
+//! | [`engine`] | [`QueryEngine`]: worker pool, MPSC queue, micro-batching, graceful shutdown |
+//! | [`query`] | request/response model, canonical query hash |
+//! | [`cache`] | O(1) LRU result cache |
+//! | [`stats`] | qps / p50 / p99 / hit-rate accounting |
+//! | [`server`] | newline-delimited JSON over TCP (`simsub serve`) |
+//! | [`json`] | dependency-free JSON parse/serialize for the wire format |
+//!
+//! Answers are bit-identical to the offline paths: a cache hit replays a
+//! previously computed `TrajectoryDb::top_k` answer for a canonically
+//! equal request, and a miss runs the same algorithms through
+//! `TrajectoryDb::top_k_batch` (asserted equivalent by tests).
+//!
+//! ```
+//! use simsub_core::ExactS;
+//! use simsub_data::{generate, DatasetSpec};
+//! use simsub_index::TrajectoryDb;
+//! use simsub_measures::Dtw;
+//! use simsub_service::{
+//!     AlgoSpec, CorpusSnapshot, EngineConfig, MeasureSpec, QueryEngine, QueryRequest,
+//! };
+//!
+//! let corpus = generate(&DatasetSpec::porto(), 24, 7);
+//! let db = TrajectoryDb::build(corpus).into_shared();
+//! let engine = QueryEngine::start(
+//!     CorpusSnapshot::new(db.clone()),
+//!     EngineConfig { workers: 2, ..EngineConfig::default() },
+//! );
+//!
+//! let query: Vec<_> = db.get(3).unwrap().points()[..8].to_vec();
+//! let request = QueryRequest {
+//!     query: query.clone(),
+//!     algo: AlgoSpec::Exact,
+//!     measure: MeasureSpec::Dtw,
+//!     k: 3,
+//!     use_index: true,
+//! };
+//! let response = engine.query(request).unwrap();
+//! assert_eq!(*response.results, db.top_k(&ExactS, &Dtw, &query, 3, true));
+//! engine.shutdown();
+//! ```
+
+pub mod cache;
+pub mod engine;
+pub mod json;
+pub mod query;
+pub mod server;
+pub mod stats;
+
+pub use engine::{CorpusSnapshot, EngineConfig, PendingQuery, QueryEngine, ServiceError};
+pub use query::{AlgoSpec, MeasureSpec, QueryRequest, QueryResponse};
+pub use server::Server;
+pub use stats::{ServeStats, StatsSnapshot};

@@ -1,0 +1,219 @@
+//! Newline-delimited JSON front-end over TCP.
+//!
+//! Protocol (one JSON document per line, both directions):
+//!
+//! - query: `{"query": [[x, y], ...], "algo": "pss", "measure": "dtw",
+//!   "k": 5, "index": true}` →
+//!   `{"ok":true,"cached":false,"batch":1,"latency_us":412,"results":[
+//!   {"trajectory_id":3,"start":4,"end":9,"distance":0.51,"similarity":0.66},...]}`
+//! - `{"cmd":"stats"}` → `{"ok":true,"stats":{...}}`
+//! - `{"cmd":"ping"}` → `{"ok":true,"pong":true}`
+//! - `{"cmd":"shutdown"}` → `{"ok":true,"bye":true}`, then the server
+//!   stops accepting, drains the engine, and exits.
+//! - any error → `{"ok":false,"error":"..."}` (the connection stays open).
+
+use crate::engine::QueryEngine;
+use crate::json::{obj, Json};
+use crate::query::QueryRequest;
+use std::io::{BufRead, BufReader, ErrorKind, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// A running TCP server wrapping a [`QueryEngine`].
+pub struct Server {
+    engine: Arc<QueryEngine>,
+    local_addr: std::net::SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `"127.0.0.1:7878"`; port 0 picks a free port)
+    /// and starts accepting connections.
+    pub fn bind(engine: Arc<QueryEngine>, addr: &str) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        // Non-blocking accept so the loop can observe the stop flag.
+        listener.set_nonblocking(true)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept_thread = {
+            let engine = Arc::clone(&engine);
+            let stop = Arc::clone(&stop);
+            std::thread::Builder::new()
+                .name("simsub-accept".into())
+                .spawn(move || accept_loop(&listener, &engine, &stop))
+                .expect("spawning accept thread")
+        };
+        Ok(Server {
+            engine,
+            local_addr,
+            stop,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> std::net::SocketAddr {
+        self.local_addr
+    }
+
+    /// True once a `shutdown` command (or [`Server::stop`]) was seen.
+    pub fn is_stopped(&self) -> bool {
+        self.stop.load(Ordering::SeqCst)
+    }
+
+    /// Requests a stop (same effect as the wire `shutdown` command).
+    pub fn stop(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+    }
+
+    /// Blocks until the server stops: joins the accept loop (which joins
+    /// every connection), then drains and shuts down the engine.
+    pub fn wait(mut self) {
+        if let Some(handle) = self.accept_thread.take() {
+            handle.join().expect("accept thread panicked");
+        }
+        self.engine.shutdown();
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop();
+        if let Some(handle) = self.accept_thread.take() {
+            handle.join().expect("accept thread panicked");
+        }
+    }
+}
+
+fn accept_loop(listener: &TcpListener, engine: &Arc<QueryEngine>, stop: &Arc<AtomicBool>) {
+    let connections: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::default();
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let engine = Arc::clone(engine);
+                let stop = Arc::clone(stop);
+                let handle = std::thread::Builder::new()
+                    .name("simsub-conn".into())
+                    .spawn(move || {
+                        // Errors are per-connection: a broken client must
+                        // not take the server down.
+                        let _ = serve_connection(stream, &engine, &stop);
+                    })
+                    .expect("spawning connection thread");
+                let mut connections = connections.lock().expect("connections lock");
+                // Reap finished connections so a long-lived server doesn't
+                // accumulate one handle per connection ever served.
+                connections.retain(|h| !h.is_finished());
+                connections.push(handle);
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => break,
+        }
+    }
+    for handle in connections.lock().expect("connections lock").drain(..) {
+        handle.join().expect("connection thread panicked");
+    }
+}
+
+fn serve_connection(
+    stream: TcpStream,
+    engine: &QueryEngine,
+    stop: &AtomicBool,
+) -> std::io::Result<()> {
+    // Periodic read timeouts let long-lived idle connections notice the
+    // stop flag instead of pinning the accept loop's join forever.
+    stream.set_read_timeout(Some(Duration::from_millis(200)))?;
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+        // A timeout can fire mid-line with the prefix already consumed
+        // into `line`, so the buffer is only cleared after a complete
+        // line is handled — partial reads accumulate across timeouts.
+        let eof = match reader.read_line(&mut line) {
+            Ok(0) => return Ok(()), // client closed
+            // A line without a trailing newline means EOF: answer it,
+            // then close.
+            Ok(_) => !line.ends_with('\n'),
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                if line.len() > MAX_LINE_BYTES {
+                    overlong_line_response(&mut writer)?;
+                    return Ok(());
+                }
+                continue;
+            }
+            Err(e) => return Err(e),
+        };
+        if line.len() > MAX_LINE_BYTES {
+            overlong_line_response(&mut writer)?;
+            return Ok(());
+        }
+        if !line.trim().is_empty() {
+            let response = handle_line(line.trim(), engine, stop);
+            writer.write_all(response.dump().as_bytes())?;
+            writer.write_all(b"\n")?;
+            writer.flush()?;
+        }
+        line.clear();
+        if eof || stop.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+    }
+}
+
+/// Upper bound on one request line; a client streaming data without a
+/// newline must not be able to grow the buffer without limit.
+const MAX_LINE_BYTES: usize = 4 << 20;
+
+/// Tells the client why it is being disconnected, best-effort.
+fn overlong_line_response(writer: &mut TcpStream) -> std::io::Result<()> {
+    let response = error_response(&format!("request line exceeds {MAX_LINE_BYTES} bytes"));
+    writer.write_all(response.dump().as_bytes())?;
+    writer.write_all(b"\n")?;
+    writer.flush()
+}
+
+fn error_response(msg: &str) -> Json {
+    obj(vec![
+        ("ok", Json::Bool(false)),
+        ("error", Json::Str(msg.into())),
+    ])
+}
+
+fn handle_line(line: &str, engine: &QueryEngine, stop: &AtomicBool) -> Json {
+    let parsed = match Json::parse(line) {
+        Ok(v) => v,
+        Err(e) => return error_response(&format!("bad json: {e}")),
+    };
+    if let Some(cmd) = parsed.get("cmd").and_then(Json::as_str) {
+        return match cmd {
+            "stats" => obj(vec![
+                ("ok", Json::Bool(true)),
+                ("stats", engine.stats().to_json()),
+            ]),
+            "ping" => obj(vec![("ok", Json::Bool(true)), ("pong", Json::Bool(true))]),
+            "shutdown" => {
+                stop.store(true, Ordering::SeqCst);
+                obj(vec![("ok", Json::Bool(true)), ("bye", Json::Bool(true))])
+            }
+            other => error_response(&format!("unknown cmd {other:?}")),
+        };
+    }
+    let request = match QueryRequest::from_json(&parsed) {
+        Ok(request) => request,
+        Err(e) => return error_response(&e),
+    };
+    match engine.query(request) {
+        Ok(response) => response.to_json(),
+        Err(e) => error_response(&e.to_string()),
+    }
+}

@@ -1,0 +1,201 @@
+//! Aggregate serving statistics: request/hit counters on atomics, a
+//! bounded latency reservoir for percentiles, and a point-in-time
+//! [`StatsSnapshot`] with qps and p50/p99.
+
+use crate::json::{obj, Json};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// How many recent latencies the percentile reservoir keeps.
+const RESERVOIR_CAPACITY: usize = 8192;
+
+/// Live counters owned by the engine; cheap to update per request.
+pub struct ServeStats {
+    started: Instant,
+    requests: AtomicU64,
+    cache_hits: AtomicU64,
+    batches: AtomicU64,
+    batched_requests: AtomicU64,
+    latencies_us: Mutex<Reservoir>,
+}
+
+/// Fixed-size ring of recent latency samples (microseconds).
+struct Reservoir {
+    samples: Vec<u64>,
+    next: usize,
+}
+
+impl Default for ServeStats {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ServeStats {
+    /// Fresh, zeroed stats anchored at "now".
+    pub fn new() -> Self {
+        Self {
+            started: Instant::now(),
+            requests: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            batched_requests: AtomicU64::new(0),
+            latencies_us: Mutex::new(Reservoir {
+                samples: Vec::with_capacity(256),
+                next: 0,
+            }),
+        }
+    }
+
+    /// Records one answered request.
+    pub fn record_request(&self, latency: Duration, cache_hit: bool) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        if cache_hit {
+            self.cache_hits.fetch_add(1, Ordering::Relaxed);
+        }
+        let us = latency.as_micros().min(u128::from(u64::MAX)) as u64;
+        let mut reservoir = self.latencies_us.lock().expect("stats lock poisoned");
+        if reservoir.samples.len() < RESERVOIR_CAPACITY {
+            reservoir.samples.push(us);
+        } else {
+            let slot = reservoir.next;
+            reservoir.samples[slot] = us;
+        }
+        reservoir.next = (reservoir.next + 1) % RESERVOIR_CAPACITY;
+    }
+
+    /// Records one dispatched batch of `size` requests.
+    pub fn record_batch(&self, size: usize) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.batched_requests
+            .fetch_add(size as u64, Ordering::Relaxed);
+    }
+
+    /// Takes a consistent-enough point-in-time snapshot.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        let requests = self.requests.load(Ordering::Relaxed);
+        let cache_hits = self.cache_hits.load(Ordering::Relaxed);
+        let batches = self.batches.load(Ordering::Relaxed);
+        let batched_requests = self.batched_requests.load(Ordering::Relaxed);
+        let uptime = self.started.elapsed();
+        let mut samples = {
+            let reservoir = self.latencies_us.lock().expect("stats lock poisoned");
+            reservoir.samples.clone()
+        };
+        samples.sort_unstable();
+        StatsSnapshot {
+            requests,
+            cache_hits,
+            hit_rate: ratio(cache_hits, requests),
+            uptime,
+            qps: if uptime.as_secs_f64() > 0.0 {
+                requests as f64 / uptime.as_secs_f64()
+            } else {
+                0.0
+            },
+            p50_us: percentile(&samples, 0.50),
+            p99_us: percentile(&samples, 0.99),
+            mean_batch: ratio(batched_requests, batches),
+        }
+    }
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+/// Nearest-rank percentile over an already-sorted sample set.
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((sorted.len() as f64 * p).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// Point-in-time view of [`ServeStats`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct StatsSnapshot {
+    /// Requests answered so far.
+    pub requests: u64,
+    /// Of those, answered from the result cache.
+    pub cache_hits: u64,
+    /// `cache_hits / requests` (0 when idle).
+    pub hit_rate: f64,
+    /// Time since the engine started.
+    pub uptime: Duration,
+    /// Requests per second over the whole uptime.
+    pub qps: f64,
+    /// Median engine latency over the recent reservoir, microseconds.
+    pub p50_us: u64,
+    /// 99th-percentile engine latency, microseconds.
+    pub p99_us: u64,
+    /// Mean micro-batch size across dispatches.
+    pub mean_batch: f64,
+}
+
+impl StatsSnapshot {
+    /// Wire form for the `{"cmd":"stats"}` protocol request.
+    pub fn to_json(&self) -> Json {
+        obj(vec![
+            ("requests", Json::Num(self.requests as f64)),
+            ("cache_hits", Json::Num(self.cache_hits as f64)),
+            ("hit_rate", Json::Num(self.hit_rate)),
+            ("uptime_s", Json::Num(self.uptime.as_secs_f64())),
+            ("qps", Json::Num(self.qps)),
+            ("p50_us", Json::Num(self.p50_us as f64)),
+            ("p99_us", Json::Num(self.p99_us as f64)),
+            ("mean_batch", Json::Num(self.mean_batch)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_percentiles() {
+        let stats = ServeStats::new();
+        for i in 1..=100u64 {
+            stats.record_request(Duration::from_micros(i), i % 4 == 0);
+        }
+        stats.record_batch(3);
+        stats.record_batch(1);
+        let snap = stats.snapshot();
+        assert_eq!(snap.requests, 100);
+        assert_eq!(snap.cache_hits, 25);
+        assert!((snap.hit_rate - 0.25).abs() < 1e-12);
+        assert_eq!(snap.p50_us, 50);
+        assert_eq!(snap.p99_us, 99);
+        assert!((snap.mean_batch - 2.0).abs() < 1e-12);
+        assert!(snap.qps > 0.0);
+    }
+
+    #[test]
+    fn empty_snapshot_is_all_zero() {
+        let snap = ServeStats::new().snapshot();
+        assert_eq!(snap.requests, 0);
+        assert_eq!(snap.p50_us, 0);
+        assert_eq!(snap.p99_us, 0);
+        assert_eq!(snap.hit_rate, 0.0);
+    }
+
+    #[test]
+    fn reservoir_wraps_without_growing() {
+        let stats = ServeStats::new();
+        for i in 0..(RESERVOIR_CAPACITY as u64 + 100) {
+            stats.record_request(Duration::from_micros(i), false);
+        }
+        let snap = stats.snapshot();
+        assert_eq!(snap.requests, RESERVOIR_CAPACITY as u64 + 100);
+        // Oldest samples were overwritten: the minimum retained latency is
+        // at least 100µs.
+        assert!(snap.p50_us >= 100);
+    }
+}

@@ -1,0 +1,70 @@
+//! Offline shim for `crossbeam::scope`, backed by `std::thread::scope`
+//! (stable since 1.63, which predates this workspace's toolchain). Only
+//! the surface this workspace uses is provided: `scope(|s| ...)` returning
+//! `Result`, `Scope::spawn` whose closure receives a (ignored) scope
+//! argument, and `ScopedJoinHandle::join`.
+
+use std::any::Any;
+use std::thread;
+
+/// Scope handle passed to the `scope` callback and to spawned closures.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope thread::Scope<'scope, 'env>,
+}
+
+/// Handle to a spawned scoped thread.
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: thread::ScopedJoinHandle<'scope, T>,
+}
+
+impl<T> ScopedJoinHandle<'_, T> {
+    /// Waits for the thread to finish, returning its result or panic payload.
+    pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+        self.inner.join()
+    }
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread. The closure's argument mirrors crossbeam's
+    /// nested-spawn capability; this shim passes a fresh `Scope` view.
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner_scope = self.inner;
+        ScopedJoinHandle {
+            inner: self.inner.spawn(move || f(&Scope { inner: inner_scope })),
+        }
+    }
+}
+
+/// Runs `f` with a scope in which borrowing threads can be spawned; all
+/// spawned threads are joined before `scope` returns. Always `Ok` —
+/// panics in spawned threads surface through their `join` (and a panic in
+/// an unjoined thread propagates, matching std semantics).
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(thread::scope(|s| f(&Scope { inner: s })))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::scope;
+
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = [1u64, 2, 3, 4];
+        let total = scope(|s| {
+            let handles: Vec<_> = data
+                .chunks(2)
+                .map(|part| s.spawn(move |_| part.iter().sum::<u64>()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum::<u64>()
+        })
+        .unwrap();
+        assert_eq!(total, 10);
+    }
+}

@@ -1,0 +1,51 @@
+//! Derive macros for the vendored serde shim: emit marker-trait impls for
+//! the annotated type. Supports plain (non-generic) structs and enums,
+//! which covers every derive site in this workspace, and accepts (and
+//! ignores) `#[serde(...)]` helper attributes.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts the type name following `struct`/`enum`/`union`, panicking on
+/// generic types (none exist in this workspace).
+fn type_name(input: TokenStream) -> String {
+    let mut iter = input.into_iter().peekable();
+    while let Some(tt) = iter.next() {
+        if let TokenTree::Ident(id) = &tt {
+            let kw = id.to_string();
+            if kw == "struct" || kw == "enum" || kw == "union" {
+                let name = match iter.next() {
+                    Some(TokenTree::Ident(name)) => name.to_string(),
+                    other => panic!("expected type name after `{kw}`, found {other:?}"),
+                };
+                if let Some(TokenTree::Punct(p)) = iter.peek() {
+                    if p.as_char() == '<' {
+                        panic!(
+                            "serde shim derive does not support generic type `{name}`; \
+                             write the marker impls by hand"
+                        );
+                    }
+                }
+                return name;
+            }
+        }
+    }
+    panic!("serde shim derive: no struct/enum found in input");
+}
+
+/// Marker-impl derive for `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl ::serde::Serialize for {name} {{}}")
+        .parse()
+        .unwrap()
+}
+
+/// Marker-impl derive for `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+        .parse()
+        .unwrap()
+}

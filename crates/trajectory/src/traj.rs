@@ -20,7 +20,10 @@ impl std::fmt::Display for TrajectoryError {
                 write!(f, "non-finite coordinate or timestamp at point {i}")
             }
             TrajectoryError::TimeNotMonotone(i) => {
-                write!(f, "timestamps must be non-decreasing (violated at point {i})")
+                write!(
+                    f,
+                    "timestamps must be non-decreasing (violated at point {i})"
+                )
             }
         }
     }
@@ -97,7 +100,10 @@ impl Trajectory {
         for p in &mut points {
             p.t = t_max - p.t;
         }
-        Trajectory { id: self.id, points }
+        Trajectory {
+            id: self.id,
+            points,
+        }
     }
 
     /// Minimum bounding rectangle of the trajectory.
@@ -137,7 +143,10 @@ mod tests {
     use super::*;
 
     fn mk(points: &[(f64, f64, f64)]) -> Vec<Point> {
-        points.iter().map(|&(x, y, t)| Point::new(x, y, t)).collect()
+        points
+            .iter()
+            .map(|&(x, y, t)| Point::new(x, y, t))
+            .collect()
     }
 
     #[test]
@@ -165,8 +174,8 @@ mod tests {
 
     #[test]
     fn subtrajectory_view() {
-        let t = Trajectory::new(1, mk(&[(0.0, 0.0, 0.0), (1.0, 0.0, 1.0), (2.0, 0.0, 2.0)]))
-            .unwrap();
+        let t =
+            Trajectory::new(1, mk(&[(0.0, 0.0, 0.0), (1.0, 0.0, 1.0), (2.0, 0.0, 2.0)])).unwrap();
         let sub = t.subtrajectory(SubtrajRange::new(1, 2));
         assert_eq!(sub.len(), 2);
         assert_eq!(sub[0].x, 1.0);
@@ -175,8 +184,8 @@ mod tests {
 
     #[test]
     fn reversed_preserves_validity_and_geometry() {
-        let t = Trajectory::new(7, mk(&[(0.0, 0.0, 0.0), (1.0, 2.0, 3.0), (4.0, 4.0, 9.0)]))
-            .unwrap();
+        let t =
+            Trajectory::new(7, mk(&[(0.0, 0.0, 0.0), (1.0, 2.0, 3.0), (4.0, 4.0, 9.0)])).unwrap();
         let r = t.reversed();
         // Spatial order reversed.
         assert_eq!(r.points()[0].x, 4.0);

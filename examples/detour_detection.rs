@@ -20,13 +20,20 @@ use simsub::trajectory::Trajectory;
 fn main() {
     let spec = DatasetSpec::porto();
     let mut corpus = generate(&spec, 300, 99);
-    println!("generated {} taxi trajectories (mean length ~{})", corpus.len(), spec.mean_len);
+    println!(
+        "generated {} taxi trajectories (mean length ~{})",
+        corpus.len(),
+        spec.mean_len
+    );
 
     // The reported detour: a 20-point segment of trajectory 7, slightly
     // perturbed (GPS noise), as a passenger's report would be.
     let mut rng = StdRng::seed_from_u64(1);
     let detour = extract_query(&corpus[7], 20, 0.1, spec.extent * 0.001, &mut rng);
-    println!("detour query: {} points from the area of trajectory 7", detour.len());
+    println!(
+        "detour query: {} points from the area of trajectory 7",
+        detour.len()
+    );
 
     // Plant the same detour into two more trajectories (other taxis that
     // took the same detour), splicing it into their point sequences.
@@ -53,7 +60,11 @@ fn main() {
     }
 
     let db = TrajectoryDb::build(corpus);
-    println!("indexed {} trajectories / {} points", db.len(), db.total_points());
+    println!(
+        "indexed {} trajectories / {} points",
+        db.len(),
+        db.total_points()
+    );
 
     // Top-5 search with the R-tree pruning on, using the PSS splitting
     // heuristic (fast) under DTW.

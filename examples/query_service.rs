@@ -1,0 +1,78 @@
+//! Embedding the query-serving subsystem in-process: start a
+//! [`QueryEngine`] over a corpus snapshot, fire a burst of concurrent
+//! queries, and read the serving stats.
+//!
+//! Run with `cargo run --release --example query_service`.
+
+use simsub::data::{generate, DatasetSpec};
+use simsub::index::TrajectoryDb;
+use simsub::service::{
+    AlgoSpec, CorpusSnapshot, EngineConfig, MeasureSpec, QueryEngine, QueryRequest,
+};
+use std::sync::Arc;
+
+fn main() {
+    // An immutable corpus snapshot shared by all workers.
+    let corpus = generate(&DatasetSpec::porto(), 200, 7);
+    let db = TrajectoryDb::build(corpus).into_shared();
+    let engine = Arc::new(QueryEngine::start(
+        CorpusSnapshot::new(Arc::clone(&db)),
+        EngineConfig {
+            workers: 4,
+            max_batch: 16,
+            cache_capacity: 1024,
+        },
+    ));
+    println!(
+        "engine up: {} trajectories, {} points, 4 workers",
+        db.len(),
+        db.total_points()
+    );
+
+    // A client burst: 32 threads, half of them asking the same question.
+    let handles: Vec<_> = (0..32)
+        .map(|i| {
+            let engine = Arc::clone(&engine);
+            let db = Arc::clone(&db);
+            std::thread::spawn(move || {
+                let source = &db.trajectories()[if i % 2 == 0 { 0 } else { i % db.len() }];
+                let request = QueryRequest {
+                    query: source.points()[..12.min(source.len())].to_vec(),
+                    algo: AlgoSpec::Pss,
+                    measure: MeasureSpec::Dtw,
+                    k: 5,
+                    use_index: true,
+                };
+                let response = engine.query(request).expect("engine answered");
+                (i, response)
+            })
+        })
+        .collect();
+
+    for handle in handles {
+        let (i, response) = handle.join().expect("client thread");
+        let best = response.results.first().expect("k >= 1");
+        println!(
+            "client {i:>2}: best trajectory {:>3} [{}..{}] dist {:.4} \
+             (cached: {}, batch of {}, {} µs)",
+            best.trajectory_id,
+            best.result.range.start,
+            best.result.range.end,
+            best.result.distance,
+            response.cached,
+            response.batch_size,
+            response.latency.as_micros()
+        );
+    }
+
+    let stats = engine.stats();
+    println!(
+        "served {} requests — hit rate {:.0}%, mean batch {:.1}, p50 {} µs, p99 {} µs",
+        stats.requests,
+        stats.hit_rate * 100.0,
+        stats.mean_batch,
+        stats.p50_us,
+        stats.p99_us
+    );
+    engine.shutdown();
+}

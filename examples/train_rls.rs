@@ -24,8 +24,16 @@ fn main() {
     // Train RLS and RLS-Skip with the paper's hyperparameters.
     for mdp in [MdpConfig::rls(), MdpConfig::rls_skip(3)] {
         let episodes = 1000;
-        println!("training {} for {episodes} episodes...", mdp.algorithm_name());
-        let report = train_rls(&Dtw, &corpus, &train_queries, &RlsTrainConfig::paper(mdp, episodes));
+        println!(
+            "training {} for {episodes} episodes...",
+            mdp.algorithm_name()
+        );
+        let report = train_rls(
+            &Dtw,
+            &corpus,
+            &train_queries,
+            &RlsTrainConfig::paper(mdp, episodes),
+        );
         println!(
             "  stored {} transitions, final TD loss {:.5}",
             report.transitions, report.final_loss
@@ -39,7 +47,14 @@ fn main() {
             ("PSS", &Pss),
             ("POS", &Pos),
             ("POS-D(5)", &PosD { delay: 5 }),
-            (if mdp.skip_actions == 0 { "RLS" } else { "RLS-Skip" }, &rls),
+            (
+                if mdp.skip_actions == 0 {
+                    "RLS"
+                } else {
+                    "RLS-Skip"
+                },
+                &rls,
+            ),
         ];
         let mut accs: Vec<MetricsAccumulator> =
             algos.iter().map(|_| MetricsAccumulator::new()).collect();
@@ -53,11 +68,7 @@ fn main() {
             }
             // Exact is rank 1 by construction; sanity-check one pair.
             debug_assert_eq!(
-                EffectivenessMetrics::evaluate(
-                    &ranking,
-                    ExactS.search(&Dtw, data, query).range
-                )
-                .mr,
+                EffectivenessMetrics::evaluate(&ranking, ExactS.search(&Dtw, data, query).range).mr,
                 1.0
             );
         }
@@ -75,8 +86,7 @@ fn main() {
         // Persist the trained policy and reload it, as a deployment
         // (train offline, serve online) would.
         use simsub::nn::BinaryCodec;
-        let path = std::env::temp_dir()
-            .join(format!("simsub_policy_k{}.ssub", mdp.skip_actions));
+        let path = std::env::temp_dir().join(format!("simsub_policy_k{}.ssub", mdp.skip_actions));
         rls.policy().save(&path).expect("write policy");
         let loaded = simsub::rl::Policy::load(&path).expect("load policy");
         let rls_loaded = Rls::new(loaded, mdp);

@@ -17,6 +17,7 @@
 //! | [`core`] | ExactS, SizeS, PSS/POS/POS-D, RLS, RLS-Skip, Spring, UCR, Random-S, SimTra, metrics, top-k |
 //! | [`index`] | R-tree over trajectory MBRs, indexed database |
 //! | [`data`] | seeded synthetic Porto/Harbin/Sports-like generators |
+//! | [`service`] | concurrent query engine: worker pool, micro-batching, LRU result cache, newline-JSON server (`simsub serve`) |
 //!
 //! ## Quickstart
 //!
@@ -63,4 +64,5 @@ pub use simsub_index as index;
 pub use simsub_measures as measures;
 pub use simsub_nn as nn;
 pub use simsub_rl as rl;
+pub use simsub_service as service;
 pub use simsub_trajectory as trajectory;

@@ -8,20 +8,22 @@
 //! simsub train --corpus corpus.csv --measure dtw --episodes 800 --skip 3 --out policy.ssub
 //! simsub search --corpus corpus.csv --data-id 5 --query query.csv --algo pss --measure dtw
 //! simsub topk --corpus corpus.csv --query query.csv --k 10 --algo pss --index rtree
+//! simsub serve --corpus corpus.csv --addr 127.0.0.1:7878 --workers 8
 //! ```
 
 use simsub::core::{
-    train_rls, ExactS, MdpConfig, Pos, PosD, Pss, Rls, RlsTrainConfig, SizeS, Spring,
-    SubtrajSearch,
+    train_rls, ExactS, MdpConfig, Pos, PosD, Pss, Rls, RlsTrainConfig, SizeS, Spring, SubtrajSearch,
 };
 use simsub::data::{generate, read_csv_file, write_csv_file, DatasetSpec};
 use simsub::index::TrajectoryDb;
 use simsub::measures::{Dtw, Frechet, Measure, T2Vec, T2VecConfig};
 use simsub::nn::BinaryCodec;
 use simsub::rl::Policy;
+use simsub::service::{CorpusSnapshot, EngineConfig, QueryEngine, Server};
 use simsub::trajectory::Trajectory;
 use std::path::PathBuf;
 use std::process::exit;
+use std::sync::Arc;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -42,6 +44,7 @@ fn main() {
         "train" => cmd_train(&flags),
         "search" => cmd_search(&flags),
         "topk" => cmd_topk(&flags),
+        "serve" => cmd_serve(&flags),
         "help" | "--help" | "-h" => {
             usage();
             Ok(())
@@ -66,7 +69,10 @@ fn usage() {
          \x20              --algo exact|sizes|pss|pos|posd|spring|rls --measure ...\n\
          \x20              [--policy POLICY.ssub] [--t2vec MODEL.ssub]\n\
          \x20 topk         --corpus FILE.csv --query FILE.csv --k N --algo ... --measure ...\n\
-         \x20              [--index rtree|none] [--threads T]"
+         \x20              [--index rtree|none] [--threads T]\n\
+         \x20 serve        --corpus FILE.csv [--addr HOST:PORT] [--workers N] [--batch B]\n\
+         \x20              [--cache N] [--policy POLICY.ssub] [--t2vec MODEL.ssub]\n\
+         \x20              [--skip K] [--no-suffix]"
     );
 }
 
@@ -124,11 +130,12 @@ fn load_corpus(flags: &Flags) -> Result<Vec<Trajectory>, String> {
 
 fn load_query(flags: &Flags) -> Result<Trajectory, String> {
     let path = PathBuf::from(flags.require("query")?);
-    let mut trajs =
-        read_csv_file(&path).map_err(|e| format!("reading {}: {e}", path.display()))?;
+    let mut trajs = read_csv_file(&path).map_err(|e| format!("reading {}: {e}", path.display()))?;
     match trajs.len() {
         1 => Ok(trajs.remove(0)),
-        n => Err(format!("query file must contain exactly 1 trajectory, found {n}")),
+        n => Err(format!(
+            "query file must contain exactly 1 trajectory, found {n}"
+        )),
     }
 }
 
@@ -209,7 +216,10 @@ fn cmd_train_t2vec(flags: &Flags) -> Result<(), String> {
         ..Default::default()
     };
     let out = PathBuf::from(flags.require("out")?);
-    println!("training t2vec ({} steps, hidden {})...", cfg.steps, cfg.hidden_dim);
+    println!(
+        "training t2vec ({} steps, hidden {})...",
+        cfg.steps, cfg.hidden_dim
+    );
     let (model, sep) = T2Vec::train(&corpus, &cfg);
     model
         .save(&out)
@@ -238,7 +248,10 @@ fn cmd_train(flags: &Flags) -> Result<(), String> {
             Trajectory::new_unchecked(t.id, t.points()[..len].to_vec())
         })
         .collect();
-    println!("training {} for {episodes} episodes...", mdp.algorithm_name());
+    println!(
+        "training {} for {episodes} episodes...",
+        mdp.algorithm_name()
+    );
     let mut cfg = RlsTrainConfig::paper(mdp, episodes);
     cfg.seed = flags.parse_or("seed", 2020)?;
     let report = train_rls(measure.as_ref(), &corpus, &queries, &cfg);
@@ -283,6 +296,53 @@ fn cmd_search(flags: &Flags) -> Result<(), String> {
     Ok(())
 }
 
+/// `simsub serve`: load a corpus (plus optional learned models), start the
+/// query engine, and answer newline-delimited JSON queries over TCP until
+/// a `{"cmd":"shutdown"}` arrives.
+fn cmd_serve(flags: &Flags) -> Result<(), String> {
+    let corpus = load_corpus(flags)?;
+    let addr = flags.get("addr").unwrap_or("127.0.0.1:7878").to_string();
+    let config = EngineConfig {
+        workers: flags.parse_or("workers", EngineConfig::default().workers)?,
+        max_batch: flags.parse_or("batch", EngineConfig::default().max_batch)?,
+        cache_capacity: flags.parse_or("cache", EngineConfig::default().cache_capacity)?,
+    };
+    if config.workers == 0 {
+        return Err("--workers must be at least 1".into());
+    }
+    if config.max_batch == 0 {
+        return Err("--batch must be at least 1".into());
+    }
+
+    let db = TrajectoryDb::build(corpus).into_shared();
+    let mut snapshot = CorpusSnapshot::new(Arc::clone(&db));
+    if let Some(path) = flags.get("policy") {
+        let path = PathBuf::from(path);
+        let policy = Policy::load(&path).map_err(|e| format!("loading {}: {e}", path.display()))?;
+        snapshot = snapshot.with_rls(Rls::new(policy, mdp_from_flags(flags)?));
+    }
+    if let Some(path) = flags.get("t2vec") {
+        let path = PathBuf::from(path);
+        let model = T2Vec::load(&path).map_err(|e| format!("loading {}: {e}", path.display()))?;
+        snapshot = snapshot.with_t2vec(model);
+    }
+
+    let workers = config.workers;
+    let engine = Arc::new(QueryEngine::start(snapshot, config));
+    let server = Server::bind(engine, &addr).map_err(|e| format!("binding {addr}: {e}"))?;
+    println!(
+        "serving {} trajectories / {} points on {} with {} workers \
+         (newline-JSON; send {{\"cmd\":\"shutdown\"}} to stop)",
+        db.len(),
+        db.total_points(),
+        server.local_addr(),
+        workers
+    );
+    server.wait();
+    println!("server stopped");
+    Ok(())
+}
+
 fn cmd_topk(flags: &Flags) -> Result<(), String> {
     let corpus = load_corpus(flags)?;
     let measure = load_measure(flags)?;
@@ -296,7 +356,13 @@ fn cmd_topk(flags: &Flags) -> Result<(), String> {
         other => return Err(format!("unknown index '{other}' (rtree|none)")),
     };
     let db = TrajectoryDb::build(corpus);
-    let hits = db.top_k(algo.as_ref(), measure.as_ref(), query.points(), k, use_index);
+    let hits = db.top_k(
+        algo.as_ref(),
+        measure.as_ref(),
+        query.points(),
+        k,
+        use_index,
+    );
     println!(
         "top-{k} by {} over {} ({} trajectories, index={}):",
         algo.name(),

@@ -10,7 +10,11 @@ use simsub::core::{
 use simsub::data::{generate, sample_pairs, DatasetSpec};
 use simsub::measures::{CoordNormalizer, Dtw, Frechet, Measure, T2Vec};
 
-fn quick_rls(corpus: &[simsub::trajectory::Trajectory], measure: &dyn Measure, mdp: MdpConfig) -> Rls {
+fn quick_rls(
+    corpus: &[simsub::trajectory::Trajectory],
+    measure: &dyn Measure,
+    mdp: MdpConfig,
+) -> Rls {
     let report = train_rls(measure, corpus, corpus, &RlsTrainConfig::paper(mdp, 15));
     Rls::new(report.policy, mdp)
 }

@@ -1,0 +1,306 @@
+//! Integration tests for the serving subsystem: concurrency, cache
+//! behaviour, shutdown draining, and wire-protocol round-trips against a
+//! live TCP server.
+
+use simsub::core::{ExactS, Pss, SubtrajSearch};
+use simsub::data::{generate, DatasetSpec};
+use simsub::index::TrajectoryDb;
+use simsub::measures::{Dtw, Frechet, Measure};
+use simsub::service::{
+    AlgoSpec, CorpusSnapshot, EngineConfig, MeasureSpec, QueryEngine, QueryRequest, Server,
+    ServiceError,
+};
+use simsub::trajectory::Point;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+
+fn shared_db(count: usize) -> Arc<TrajectoryDb> {
+    TrajectoryDb::build(generate(&DatasetSpec::porto(), count, 42)).into_shared()
+}
+
+fn engine_with(db: &Arc<TrajectoryDb>, workers: usize) -> QueryEngine {
+    QueryEngine::start(
+        CorpusSnapshot::new(Arc::clone(db)),
+        EngineConfig {
+            workers,
+            max_batch: 8,
+            cache_capacity: 256,
+        },
+    )
+}
+
+fn request(query: Vec<Point>, algo: AlgoSpec, measure: MeasureSpec, k: usize) -> QueryRequest {
+    QueryRequest {
+        query,
+        algo,
+        measure,
+        k,
+        use_index: true,
+    }
+}
+
+/// Query slices cut from corpus trajectories, so index pruning always has
+/// intersecting candidates.
+fn queries_from(db: &TrajectoryDb, n: usize) -> Vec<Vec<Point>> {
+    (0..n)
+        .map(|i| {
+            let t = &db.trajectories()[i % db.len()];
+            let len = (6 + i % 5).min(t.len());
+            t.points()[..len].to_vec()
+        })
+        .collect()
+}
+
+#[test]
+fn concurrent_queries_match_direct_search() {
+    let db = shared_db(40);
+    let engine = Arc::new(engine_with(&db, 4));
+    let queries = queries_from(&db, 12);
+
+    // Mix of algorithms and measures, fired concurrently from one thread
+    // per request; every answer must equal the offline top_k.
+    let cases: Vec<(
+        QueryRequest,
+        &'static dyn SubtrajSearch,
+        &'static dyn Measure,
+    )> = queries
+        .iter()
+        .enumerate()
+        .map(
+            |(i, q)| -> (QueryRequest, &dyn SubtrajSearch, &dyn Measure) {
+                if i % 3 == 0 {
+                    (
+                        request(q.clone(), AlgoSpec::Exact, MeasureSpec::Dtw, 3),
+                        &ExactS,
+                        &Dtw,
+                    )
+                } else if i % 3 == 1 {
+                    (
+                        request(q.clone(), AlgoSpec::Pss, MeasureSpec::Dtw, 5),
+                        &Pss,
+                        &Dtw,
+                    )
+                } else {
+                    (
+                        request(q.clone(), AlgoSpec::Pss, MeasureSpec::Frechet, 2),
+                        &Pss,
+                        &Frechet,
+                    )
+                }
+            },
+        )
+        .collect();
+
+    let handles: Vec<_> = cases
+        .iter()
+        .map(|(req, _, _)| {
+            let engine = Arc::clone(&engine);
+            let req = req.clone();
+            std::thread::spawn(move || engine.query(req).expect("query failed"))
+        })
+        .collect();
+
+    for (handle, (req, algo, measure)) in handles.into_iter().zip(&cases) {
+        let response = handle.join().expect("query thread panicked");
+        let want = db.top_k(*algo, *measure, &req.query, req.k, req.use_index);
+        assert_eq!(*response.results, want);
+    }
+    assert_eq!(engine.stats().requests, cases.len() as u64);
+    engine.shutdown();
+}
+
+#[test]
+fn duplicate_query_is_a_cache_hit() {
+    let db = shared_db(25);
+    let engine = engine_with(&db, 2);
+    let query = queries_from(&db, 1).remove(0);
+    let req = request(query.clone(), AlgoSpec::Exact, MeasureSpec::Dtw, 4);
+
+    let first = engine.query(req.clone()).unwrap();
+    assert!(!first.cached, "first sighting cannot be cached");
+    let second = engine.query(req.clone()).unwrap();
+    assert!(second.cached, "identical repeat must hit the cache");
+    assert_eq!(*first.results, *second.results);
+    assert_eq!(
+        *second.results,
+        db.top_k(&ExactS, &Dtw, &query, 4, true),
+        "cached answer must still equal the direct search"
+    );
+
+    // Timestamps are not part of the canonical key...
+    let mut shifted = req.clone();
+    for p in &mut shifted.query {
+        p.t += 1000.0;
+    }
+    assert!(engine.query(shifted).unwrap().cached);
+
+    // ...but k, coordinates, and measure are.
+    let mut different_k = req.clone();
+    different_k.k = 5;
+    assert!(!engine.query(different_k).unwrap().cached);
+    let mut different_measure = req.clone();
+    different_measure.measure = MeasureSpec::Frechet;
+    assert!(!engine.query(different_measure).unwrap().cached);
+
+    let stats = engine.stats();
+    assert_eq!(stats.requests, 5);
+    assert_eq!(stats.cache_hits, 2);
+    engine.shutdown();
+}
+
+#[test]
+fn shutdown_drains_in_flight_requests() {
+    let db = shared_db(30);
+    let engine = engine_with(&db, 2);
+    let queries = queries_from(&db, 20);
+
+    // Enqueue a pile of distinct (uncacheable) requests, then shut down
+    // immediately: every pending answer must still arrive.
+    let pendings: Vec<_> = queries
+        .iter()
+        .map(|q| {
+            engine
+                .submit(request(q.clone(), AlgoSpec::Exact, MeasureSpec::Dtw, 2))
+                .expect("submit before shutdown")
+        })
+        .collect();
+    engine.shutdown();
+
+    for (pending, q) in pendings.into_iter().zip(&queries) {
+        let response = pending.wait().expect("drained request lost its answer");
+        assert_eq!(*response.results, db.top_k(&ExactS, &Dtw, q, 2, true));
+    }
+
+    // After shutdown, new submissions are refused...
+    let err = engine
+        .submit(request(
+            queries[0].clone(),
+            AlgoSpec::Exact,
+            MeasureSpec::Dtw,
+            1,
+        ))
+        .unwrap_err();
+    assert_eq!(err, ServiceError::ShuttingDown);
+    // ...and shutdown stays idempotent.
+    engine.shutdown();
+}
+
+#[test]
+fn invalid_requests_fail_fast() {
+    let db = shared_db(10);
+    let engine = engine_with(&db, 1);
+    let query = queries_from(&db, 1).remove(0);
+
+    let empty = engine.submit(request(Vec::new(), AlgoSpec::Pss, MeasureSpec::Dtw, 1));
+    assert!(matches!(empty, Err(ServiceError::InvalidRequest(_))));
+
+    let zero_k = engine.submit(request(query.clone(), AlgoSpec::Pss, MeasureSpec::Dtw, 0));
+    assert!(matches!(zero_k, Err(ServiceError::InvalidRequest(_))));
+
+    // No policy/model loaded into this snapshot.
+    let rls = engine.submit(request(query.clone(), AlgoSpec::Rls, MeasureSpec::Dtw, 1));
+    assert!(matches!(rls, Err(ServiceError::InvalidRequest(_))));
+    let t2vec = engine.submit(request(query, AlgoSpec::Pss, MeasureSpec::T2Vec, 1));
+    assert!(matches!(t2vec, Err(ServiceError::InvalidRequest(_))));
+    engine.shutdown();
+}
+
+#[test]
+fn tcp_server_handles_slow_and_newline_less_clients() {
+    let db = shared_db(15);
+    let engine = Arc::new(engine_with(&db, 1));
+    let server = Server::bind(Arc::clone(&engine), "127.0.0.1:0").expect("bind");
+    let addr = server.local_addr();
+
+    // A request written in two chunks with a pause longer than the
+    // server's 200ms read timeout: the prefix must not be discarded.
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    stream
+        .write_all(b"{\"query\":[[1,2],[2,3]],\"algo\":")
+        .unwrap();
+    stream.flush().unwrap();
+    std::thread::sleep(std::time::Duration::from_millis(600));
+    stream.write_all(b"\"pss\",\"k\":1}\n").unwrap();
+    stream.flush().unwrap();
+    let mut response = String::new();
+    reader.read_line(&mut response).unwrap();
+    assert!(
+        response.contains("\"ok\":true"),
+        "chunked request mangled: {response}"
+    );
+
+    // A final request with no trailing newline before close still gets
+    // an answer.
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    stream
+        .write_all(b"{\"query\":[[1,2]],\"algo\":\"exact\",\"k\":1}")
+        .unwrap();
+    stream.shutdown(std::net::Shutdown::Write).unwrap();
+    let mut response = String::new();
+    reader.read_line(&mut response).unwrap();
+    assert!(
+        response.contains("\"ok\":true"),
+        "newline-less request dropped: {response}"
+    );
+
+    server.stop();
+    server.wait();
+}
+
+#[test]
+fn tcp_server_round_trip() {
+    let db = shared_db(20);
+    let engine = Arc::new(engine_with(&db, 2));
+    let server = Server::bind(Arc::clone(&engine), "127.0.0.1:0").expect("bind");
+    let addr = server.local_addr();
+
+    let query = queries_from(&db, 1).remove(0);
+    let points: Vec<String> = query.iter().map(|p| format!("[{},{}]", p.x, p.y)).collect();
+    let request_line = format!(
+        "{{\"query\":[{}],\"algo\":\"exact\",\"measure\":\"dtw\",\"k\":3}}",
+        points.join(",")
+    );
+
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut send = |line: &str| -> String {
+        stream.write_all(line.as_bytes()).unwrap();
+        stream.write_all(b"\n").unwrap();
+        let mut response = String::new();
+        reader.read_line(&mut response).unwrap();
+        response
+    };
+
+    // Query answers match the direct search (compare ids and ranges
+    // through the wire text).
+    let response = send(&request_line);
+    assert!(response.contains("\"ok\":true"), "response: {response}");
+    let want = db.top_k(&ExactS, &Dtw, &query, 3, true);
+    for hit in &want {
+        assert!(
+            response.contains(&format!("\"trajectory_id\":{}", hit.trajectory_id)),
+            "missing hit {} in {response}",
+            hit.trajectory_id
+        );
+    }
+
+    // Repeat is served from cache.
+    let repeat = send(&request_line);
+    assert!(repeat.contains("\"cached\":true"), "repeat: {repeat}");
+
+    // Malformed input errors without closing the connection.
+    let garbage = send("{\"algo\":\"exact\"}");
+    assert!(garbage.contains("\"ok\":false"), "garbage: {garbage}");
+
+    // Stats are live.
+    let stats = send("{\"cmd\":\"stats\"}");
+    assert!(stats.contains("\"cache_hits\":1"), "stats: {stats}");
+
+    // Graceful wire shutdown.
+    let bye = send("{\"cmd\":\"shutdown\"}");
+    assert!(bye.contains("\"bye\":true"), "bye: {bye}");
+    server.wait();
+}
