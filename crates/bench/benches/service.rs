@@ -1,11 +1,12 @@
 //! Throughput benchmark for the serving subsystem: 1 vs N workers, cold
-//! vs warm cache. Writes `BENCH_service.json` at the repo root so later
-//! PRs have a perf trajectory to compare against.
+//! vs warm cache, single vs sharded corpus. Writes `BENCH_service.json`
+//! at the repo root so later PRs have a perf trajectory to compare
+//! against.
 //!
 //! Run with `cargo bench -p simsub-bench --bench service`.
 
 use simsub_data::{generate, DatasetSpec};
-use simsub_index::TrajectoryDb;
+use simsub_index::{PartitionerKind, ShardedDb, TrajectoryDb};
 use simsub_service::{
     AlgoSpec, CorpusSnapshot, EngineConfig, MeasureSpec, QueryEngine, QueryRequest,
 };
@@ -24,12 +25,15 @@ struct Scenario {
     workers: usize,
     cache_capacity: usize,
     warm: bool,
+    /// 0 = single `TrajectoryDb`; N ≥ 1 = hash-sharded `ShardedDb`.
+    shards: usize,
 }
 
 #[derive(Debug)]
 struct Measurement {
     name: &'static str,
     workers: usize,
+    shards: usize,
     cached: bool,
     requests: usize,
     wall_s: f64,
@@ -63,18 +67,32 @@ fn main() {
             workers: 1,
             cache_capacity: 0,
             warm: false,
+            shards: 0,
         },
         Scenario {
             name: "nworkers_cold",
             workers: n_workers,
             cache_capacity: 0,
             warm: false,
+            shards: 0,
         },
         Scenario {
             name: "nworkers_warm",
             workers: n_workers,
             cache_capacity: 4096,
             warm: true,
+            shards: 0,
+        },
+        // Sharded fan-out (4 hash shards): answers are byte-identical to
+        // the single-db scenarios; the delta vs nworkers_cold is the
+        // fan-out/merge overhead (or win, on multi-core with spare
+        // cores beyond the worker pool).
+        Scenario {
+            name: "nworkers_sharded4_cold",
+            workers: n_workers,
+            cache_capacity: 0,
+            warm: false,
+            shards: 4,
         },
     ];
 
@@ -82,10 +100,11 @@ fn main() {
     for scenario in &scenarios {
         let m = run_scenario(&db, &queries, scenario);
         println!(
-            "{:<14} workers={:<2} requests={:<4} wall={:>7.3}s qps={:>9.1} \
+            "{:<22} workers={:<2} shards={:<2} requests={:<4} wall={:>7.3}s qps={:>9.1} \
              p50={:>6}µs p99={:>6}µs mean_batch={:.2} hit_rate={:.2}",
             m.name,
             m.workers,
+            m.shards,
             m.requests,
             m.wall_s,
             m.qps,
@@ -116,8 +135,20 @@ fn run_scenario(
     queries: &[Vec<Point>],
     scenario: &Scenario,
 ) -> Measurement {
+    let snapshot = if scenario.shards >= 1 {
+        CorpusSnapshot::sharded(
+            ShardedDb::build(
+                db.trajectories().to_vec(),
+                scenario.shards,
+                PartitionerKind::Hash,
+            )
+            .into_shared(),
+        )
+    } else {
+        CorpusSnapshot::new(Arc::clone(db))
+    };
     let engine = Arc::new(QueryEngine::start(
-        CorpusSnapshot::new(Arc::clone(db)),
+        snapshot,
         EngineConfig {
             workers: scenario.workers,
             max_batch: 16,
@@ -164,6 +195,7 @@ fn run_scenario(
     Measurement {
         name: scenario.name,
         workers: scenario.workers,
+        shards: scenario.shards,
         cached: scenario.warm,
         requests: latencies.len(),
         wall_s,
@@ -195,11 +227,13 @@ fn render_json(measurements: &[Measurement], n_workers: usize, speedup: f64) -> 
     ));
     for (i, m) in measurements.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\"name\": \"{}\", \"workers\": {}, \"warm_cache\": {}, \"requests\": {}, \
+            "    {{\"name\": \"{}\", \"workers\": {}, \"shards\": {}, \"warm_cache\": {}, \
+             \"requests\": {}, \
              \"wall_s\": {:.4}, \"qps\": {:.1}, \"p50_us\": {}, \"p99_us\": {}, \
              \"mean_batch\": {:.2}, \"hit_rate\": {:.3}}}{}\n",
             m.name,
             m.workers,
+            m.shards,
             m.cached,
             m.requests,
             m.wall_s,

@@ -211,6 +211,27 @@ mod tests {
         assert!(db.get(999).is_none());
     }
 
+    /// Regression for the sharded fan-out: a grid partitioner can hand a
+    /// shard zero trajectories, so an *empty* database (empty R-tree)
+    /// must answer `candidate_ids` / `candidates` / `top_k` with empty
+    /// results instead of panicking.
+    #[test]
+    fn empty_database_answers_queries_with_nothing() {
+        let db = TrajectoryDb::build(Vec::new());
+        assert!(db.is_empty());
+        assert_eq!(db.total_points(), 0);
+        let query = walk(1, 6, (0.0, 0.0));
+        let qmbr = Mbr::of_points(&query);
+        assert!(db.candidate_ids(&qmbr).is_empty());
+        assert!(db.candidates(&qmbr).is_empty());
+        for use_index in [false, true] {
+            assert!(db.top_k(&ExactS, &Dtw, &query, 3, use_index).is_empty());
+            let refs = [query.as_slice()];
+            let batched = db.top_k_batch(&ExactS, &Dtw, &refs, 3, use_index);
+            assert_eq!(batched, vec![Vec::new()]);
+        }
+    }
+
     #[test]
     #[should_panic(expected = "duplicate trajectory id")]
     fn duplicate_ids_rejected() {

@@ -11,11 +11,19 @@
 //! quantifies the effect (no misses for DTW/Frechet on Porto, ≤ 20% for
 //! t2vec, ~20-30% time saved). [`TrajectoryDb::top_k`] exposes both the
 //! indexed and the full-scan paths so the harness can reproduce Figure 4.
+//!
+//! For corpora too large for one worker, [`ShardedDb`] partitions the
+//! database into N shards (hash or grid assignment, one R-tree each) and
+//! answers `candidate_ids` / `top_k` / `top_k_batch` by per-shard fan-out
+//! plus a merge that reuses the single ranking function, so results are
+//! byte-identical to an unsharded [`TrajectoryDb`].
 
 mod db;
 mod grid;
 mod rtree;
+mod shard;
 
 pub use db::TrajectoryDb;
 pub use grid::{build_grid_index, GridIndex};
 pub use rtree::RTree;
+pub use shard::{PartitionerKind, ShardedDb};

@@ -1,0 +1,640 @@
+//! A partitioned trajectory corpus: N [`TrajectoryDb`] shards, each with
+//! its own R-tree, behind the same query surface as a single database.
+//!
+//! Sharding is the first step toward corpora that stop being one worker's
+//! problem: a query fans out across shards (optionally in parallel) and
+//! the per-shard top-k lists are heap-merged through
+//! [`sort_hits_and_truncate`] — the *same* ranking function every
+//! single-database path uses — so results are byte-identical (ids,
+//! scores, order) to an unsharded [`TrajectoryDb`] over the same corpus.
+//! `tests/shard_equivalence.rs` asserts that contract property-style.
+//!
+//! Why the merge is exact
+//! ----------------------
+//! - The R-tree candidate test is exact MBR intersection, so the union of
+//!   per-shard candidate sets equals the single-tree candidate set.
+//! - Each shard's local top-k contains every hit of that shard that could
+//!   rank in the global top-k, so merging the locals and re-ranking with
+//!   the shared comparator (descending similarity, ties by ascending
+//!   trajectory id — a total order, since ids are unique) reproduces the
+//!   global answer exactly.
+//!
+//! Partitioners
+//! ------------
+//! - [`PartitionerKind::Hash`]: trajectories are spread by a mixed hash of
+//!   their id. Shards stay balanced regardless of spatial skew, but every
+//!   shard overlaps every region, so spatial queries touch all shards.
+//! - [`PartitionerKind::Grid`]: trajectories are bucketed by the cell of
+//!   their MBR center in a √N×√N grid over the corpus. Spatially tight
+//!   queries then prune whole shards via the per-shard outer MBR, at the
+//!   cost of skew — a grid shard can legitimately be *empty* (all data
+//!   clustered elsewhere), which the fan-out must treat as "no hits", not
+//!   as an error.
+
+use crate::TrajectoryDb;
+use simsub_core::{sort_hits_and_truncate, SubtrajSearch, TopKResult};
+use simsub_measures::Measure;
+use simsub_trajectory::{Mbr, Point, Trajectory};
+use std::sync::Arc;
+
+/// How trajectories are assigned to shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PartitionerKind {
+    /// Balanced assignment by a mixed hash of the trajectory id.
+    Hash,
+    /// Spatial assignment by the grid cell of the trajectory's MBR center.
+    Grid,
+}
+
+impl PartitionerKind {
+    /// Stable name used by the CLI and reports ("hash" / "grid").
+    pub fn name(&self) -> &'static str {
+        match self {
+            PartitionerKind::Hash => "hash",
+            PartitionerKind::Grid => "grid",
+        }
+    }
+}
+
+impl std::str::FromStr for PartitionerKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "hash" => Ok(PartitionerKind::Hash),
+            "grid" => Ok(PartitionerKind::Grid),
+            other => Err(format!("unknown partitioner '{other}' (hash|grid)")),
+        }
+    }
+}
+
+/// A corpus partitioned into [`TrajectoryDb`] shards. Immutable after
+/// [`ShardedDb::build`], like the single database (same `Send + Sync`
+/// contract).
+#[derive(Debug, Clone)]
+pub struct ShardedDb {
+    shards: Vec<TrajectoryDb>,
+    /// Union of member-trajectory MBRs per shard; [`Mbr::EMPTY`] for an
+    /// empty shard, which intersects nothing and so is pruned from every
+    /// indexed fan-out for free.
+    shard_mbrs: Vec<Mbr>,
+    kind: PartitionerKind,
+    len: usize,
+    total_points: usize,
+}
+
+const _: fn() = || {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<ShardedDb>();
+};
+
+impl ShardedDb {
+    /// Partitions `trajs` into `shard_count` databases.
+    ///
+    /// # Panics
+    /// Panics when `shard_count` is zero or on duplicate trajectory ids
+    /// (same contract as [`TrajectoryDb::build`]).
+    pub fn build(trajs: Vec<Trajectory>, shard_count: usize, kind: PartitionerKind) -> Self {
+        assert!(shard_count >= 1, "need at least one shard");
+        let assignment: Vec<usize> = match kind {
+            PartitionerKind::Hash => trajs
+                .iter()
+                .map(|t| (mix64(t.id) % shard_count as u64) as usize)
+                .collect(),
+            PartitionerKind::Grid => grid_assignment(&trajs, shard_count),
+        };
+        let mut buckets: Vec<Vec<Trajectory>> = (0..shard_count).map(|_| Vec::new()).collect();
+        for (t, shard) in trajs.into_iter().zip(assignment) {
+            buckets[shard].push(t);
+        }
+        let shards: Vec<TrajectoryDb> = buckets.into_iter().map(TrajectoryDb::build).collect();
+        // Duplicate ids across shards are impossible only if they were
+        // unique corpus-wide; per-shard build checks within a shard, so
+        // check across shards too.
+        let mut seen = std::collections::HashSet::new();
+        for shard in &shards {
+            for t in shard.trajectories() {
+                assert!(seen.insert(t.id), "duplicate trajectory id {}", t.id);
+            }
+        }
+        let shard_mbrs = shards
+            .iter()
+            .map(|s| {
+                s.trajectories()
+                    .iter()
+                    .fold(Mbr::EMPTY, |acc, t| acc.union(t.mbr()))
+            })
+            .collect();
+        let len = shards.iter().map(TrajectoryDb::len).sum();
+        let total_points = shards.iter().map(TrajectoryDb::total_points).sum();
+        Self {
+            shards,
+            shard_mbrs,
+            kind,
+            len,
+            total_points,
+        }
+    }
+
+    /// Number of shards (including empty ones).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The partitioner this layout was built with.
+    pub fn partitioner(&self) -> PartitionerKind {
+        self.kind
+    }
+
+    /// The shard databases, in shard order.
+    pub fn shards(&self) -> &[TrajectoryDb] {
+        &self.shards
+    }
+
+    /// Total trajectories across all shards.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no shard holds a trajectory.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Total points across all shards.
+    pub fn total_points(&self) -> usize {
+        self.total_points
+    }
+
+    /// Lookup by id across shards.
+    pub fn get(&self, id: u64) -> Option<&Trajectory> {
+        // Hash layouts know the owning shard; grid layouts probe each.
+        if self.kind == PartitionerKind::Hash {
+            return self.shards[(mix64(id) % self.shards.len() as u64) as usize].get(id);
+        }
+        self.shards.iter().find_map(|s| s.get(id))
+    }
+
+    /// Stable fingerprint of the shard layout (partitioner + shard
+    /// count). Serving layers fold this into result-cache keys so entries
+    /// computed under one layout can never be replayed under another —
+    /// the invariant snapshot hot-swap will rely on. `0` is reserved for
+    /// the unsharded layout.
+    pub fn layout_version(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let kind_tag = match self.kind {
+            PartitionerKind::Hash => 1u64,
+            PartitionerKind::Grid => 2u64,
+        };
+        for v in [1u64, kind_tag, self.shards.len() as u64] {
+            for b in v.to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+        }
+        h | 1 // never collides with the reserved unsharded version 0
+    }
+
+    /// Wraps the built sharded corpus in an [`Arc`] for lock-free sharing
+    /// across worker threads (mirrors [`TrajectoryDb::into_shared`]).
+    pub fn into_shared(self) -> Arc<Self> {
+        Arc::new(self)
+    }
+
+    /// Ids of trajectories whose MBR intersects `query_mbr`: the union of
+    /// the per-shard R-tree candidate sets, sorted for determinism. As a
+    /// *set* this equals [`TrajectoryDb::candidate_ids`] over the same
+    /// corpus (the membership test is exact MBR intersection in both);
+    /// only the traversal order differs, hence the sort.
+    ///
+    /// Empty shards hold an empty R-tree; querying one yields an empty
+    /// set (regression-tested), so clustered grid layouts fan out safely.
+    pub fn candidate_ids(&self, query_mbr: &Mbr) -> Vec<u64> {
+        let mut out = Vec::new();
+        for (shard, mbr) in self.shards.iter().zip(&self.shard_mbrs) {
+            // An empty shard's MBR is EMPTY and intersects nothing.
+            if !mbr.intersects(query_mbr) {
+                continue;
+            }
+            out.extend(shard.candidate_ids(query_mbr));
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Top-k search: per-shard fan-out, then a merge through
+    /// [`sort_hits_and_truncate`]. Byte-identical to
+    /// [`TrajectoryDb::top_k`] over the same corpus (see module docs).
+    pub fn top_k(
+        &self,
+        algo: &dyn SubtrajSearch,
+        measure: &dyn Measure,
+        query: &[Point],
+        k: usize,
+        use_index: bool,
+    ) -> Vec<TopKResult> {
+        assert!(k > 0, "k must be positive");
+        let qmbr = Mbr::of_points(query);
+        let mut hits = Vec::new();
+        for i in self.relevant_shards(&qmbr, use_index) {
+            hits.extend(self.shards[i].top_k(algo, measure, query, k, use_index));
+        }
+        sort_hits_and_truncate(&mut hits, k);
+        hits
+    }
+
+    /// [`ShardedDb::top_k`] with the shard fan-out spread over up to
+    /// `threads` scoped worker threads. Identical results: each worker
+    /// only computes per-shard locals and the final merge is the same
+    /// [`sort_hits_and_truncate`] call. Falls back to the sequential path
+    /// for `threads <= 1` or a single relevant shard.
+    pub fn top_k_parallel(
+        &self,
+        algo: &(dyn SubtrajSearch + Sync),
+        measure: &dyn Measure,
+        query: &[Point],
+        k: usize,
+        use_index: bool,
+        threads: usize,
+    ) -> Vec<TopKResult> {
+        assert!(k > 0, "k must be positive");
+        let qmbr = Mbr::of_points(query);
+        let relevant = self.relevant_shards(&qmbr, use_index);
+        if threads <= 1 || relevant.len() <= 1 {
+            return self.top_k(algo, measure, query, k, use_index);
+        }
+        let chunk = relevant.len().div_ceil(threads);
+        let mut hits = crossbeam::scope(|scope| {
+            let handles: Vec<_> = relevant
+                .chunks(chunk)
+                .map(|part| {
+                    scope.spawn(move |_| {
+                        let mut local = Vec::new();
+                        for &i in part {
+                            local.extend(self.shards[i].top_k(algo, measure, query, k, use_index));
+                        }
+                        // Keep only the local top-k: bounds the merge to
+                        // threads*k entries without changing the answer.
+                        sort_hits_and_truncate(&mut local, k);
+                        local
+                    })
+                })
+                .collect();
+            let mut merged = Vec::with_capacity(threads * k);
+            for h in handles {
+                merged.extend(h.join().expect("shard worker panicked"));
+            }
+            merged
+        })
+        .expect("scoped shard threads panicked");
+        sort_hits_and_truncate(&mut hits, k);
+        hits
+    }
+
+    /// Batched top-k: every query fans out across shards, each shard
+    /// answers the whole batch in one scan ([`TrajectoryDb::top_k_batch`]),
+    /// and per-query hit lists are merged through
+    /// [`sort_hits_and_truncate`]. Byte-identical to the single-database
+    /// batch path.
+    pub fn top_k_batch(
+        &self,
+        algo: &dyn SubtrajSearch,
+        measure: &dyn Measure,
+        queries: &[&[Point]],
+        k: usize,
+        use_index: bool,
+    ) -> Vec<Vec<TopKResult>> {
+        assert!(k > 0, "k must be positive");
+        let mut per_query: Vec<Vec<TopKResult>> = vec![Vec::new(); queries.len()];
+        for shard in self.shards.iter().filter(|s| !s.is_empty()) {
+            let partials = shard.top_k_batch(algo, measure, queries, k, use_index);
+            for (acc, hits) in per_query.iter_mut().zip(partials) {
+                acc.extend(hits);
+            }
+        }
+        for hits in &mut per_query {
+            sort_hits_and_truncate(hits, k);
+        }
+        per_query
+    }
+
+    /// [`ShardedDb::top_k_batch`] with the shard fan-out spread over up
+    /// to `threads` scoped worker threads (the serving layer's cold
+    /// path on multi-core). Identical results, same merge.
+    pub fn top_k_batch_parallel(
+        &self,
+        algo: &(dyn SubtrajSearch + Sync),
+        measure: &dyn Measure,
+        queries: &[&[Point]],
+        k: usize,
+        use_index: bool,
+        threads: usize,
+    ) -> Vec<Vec<TopKResult>> {
+        assert!(k > 0, "k must be positive");
+        let populated: Vec<usize> = (0..self.shards.len())
+            .filter(|&i| !self.shards[i].is_empty())
+            .collect();
+        if threads <= 1 || populated.len() <= 1 {
+            return self.top_k_batch(algo, measure, queries, k, use_index);
+        }
+        let chunk = populated.len().div_ceil(threads);
+        let mut per_query: Vec<Vec<TopKResult>> = vec![Vec::new(); queries.len()];
+        let partials = crossbeam::scope(|scope| {
+            let handles: Vec<_> = populated
+                .chunks(chunk)
+                .map(|part| {
+                    scope.spawn(move |_| {
+                        let mut local: Vec<Vec<TopKResult>> = vec![Vec::new(); queries.len()];
+                        for &i in part {
+                            let partial =
+                                self.shards[i].top_k_batch(algo, measure, queries, k, use_index);
+                            for (acc, hits) in local.iter_mut().zip(partial) {
+                                acc.extend(hits);
+                            }
+                        }
+                        for hits in &mut local {
+                            sort_hits_and_truncate(hits, k);
+                        }
+                        local
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard worker panicked"))
+                .collect::<Vec<_>>()
+        })
+        .expect("scoped shard threads panicked");
+        for partial in partials {
+            for (acc, hits) in per_query.iter_mut().zip(partial) {
+                acc.extend(hits);
+            }
+        }
+        for hits in &mut per_query {
+            sort_hits_and_truncate(hits, k);
+        }
+        per_query
+    }
+
+    /// Shard indices a query must visit. With the index enabled, a shard
+    /// whose outer MBR misses the query MBR cannot contribute a candidate
+    /// (its R-tree would prune everything anyway), so it is skipped
+    /// without touching its tree; empty shards have an EMPTY outer MBR
+    /// and are skipped the same way. Without the index every populated
+    /// shard is scanned, matching the full-scan single-database path.
+    fn relevant_shards(&self, qmbr: &Mbr, use_index: bool) -> Vec<usize> {
+        (0..self.shards.len())
+            .filter(|&i| {
+                if self.shards[i].is_empty() {
+                    return false;
+                }
+                !use_index || self.shard_mbrs[i].intersects(qmbr)
+            })
+            .collect()
+    }
+}
+
+/// SplitMix64 finalizer: spreads sequential ids uniformly across shards
+/// (plain `id % n` would stripe adjacent ids, which is fine, but a mixed
+/// hash also balances corpora with structured id gaps).
+fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Grid assignment: bucket each trajectory by the cell of its MBR center
+/// in a `gx × gy` grid (`gx·gy ≥ shard_count`) over the bounding box of
+/// all centers; trailing cells fold into the last shard. Skewed corpora
+/// legitimately leave some shards empty.
+fn grid_assignment(trajs: &[Trajectory], shard_count: usize) -> Vec<usize> {
+    if trajs.is_empty() || shard_count == 1 {
+        return vec![0; trajs.len()];
+    }
+    let centers: Vec<(f64, f64)> = trajs
+        .iter()
+        .map(|t| {
+            let m = t.mbr();
+            ((m.min_x + m.max_x) / 2.0, (m.min_y + m.max_y) / 2.0)
+        })
+        .collect();
+    let (mut min_x, mut min_y) = (f64::INFINITY, f64::INFINITY);
+    let (mut max_x, mut max_y) = (f64::NEG_INFINITY, f64::NEG_INFINITY);
+    for &(x, y) in &centers {
+        min_x = min_x.min(x);
+        min_y = min_y.min(y);
+        max_x = max_x.max(x);
+        max_y = max_y.max(y);
+    }
+    let gx = (shard_count as f64).sqrt().ceil() as usize;
+    let gy = shard_count.div_ceil(gx);
+    // Degenerate extents (all centers collinear or identical) collapse to
+    // cell 0 along that axis instead of dividing by zero.
+    let w = (max_x - min_x).max(f64::MIN_POSITIVE);
+    let h = (max_y - min_y).max(f64::MIN_POSITIVE);
+    centers
+        .into_iter()
+        .map(|(x, y)| {
+            let cx = (((x - min_x) / w * gx as f64) as usize).min(gx - 1);
+            let cy = (((y - min_y) / h * gy as f64) as usize).min(gy - 1);
+            (cy * gx + cx).min(shard_count - 1)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use simsub_core::ExactS;
+    use simsub_measures::Dtw;
+
+    fn walk(seed: u64, len: usize, origin: (f64, f64)) -> Vec<Point> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (mut x, mut y) = origin;
+        (0..len)
+            .map(|i| {
+                x += rng.gen_range(-1.0..1.0);
+                y += rng.gen_range(-1.0..1.0);
+                Point::new(x, y, i as f64)
+            })
+            .collect()
+    }
+
+    fn corpus(count: usize) -> Vec<Trajectory> {
+        (0..count)
+            .map(|i| {
+                let origin = ((i % 10) as f64 * 30.0, (i / 10) as f64 * 30.0);
+                Trajectory::new_unchecked(i as u64, walk(i as u64, 16, origin))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn build_preserves_corpus() {
+        let trajs = corpus(30);
+        let points: usize = trajs.iter().map(Trajectory::len).sum();
+        for kind in [PartitionerKind::Hash, PartitionerKind::Grid] {
+            let sharded = ShardedDb::build(trajs.clone(), 4, kind);
+            assert_eq!(sharded.shard_count(), 4);
+            assert_eq!(sharded.len(), 30);
+            assert_eq!(sharded.total_points(), points);
+            for id in 0..30u64 {
+                assert_eq!(sharded.get(id).unwrap().id, id, "{kind:?}");
+            }
+            assert!(sharded.get(999).is_none());
+        }
+    }
+
+    #[test]
+    fn hash_partitioning_is_roughly_balanced() {
+        let sharded = ShardedDb::build(corpus(200), 4, PartitionerKind::Hash);
+        for shard in sharded.shards() {
+            // 200/4 = 50 expected; a mixed hash stays within a loose band.
+            assert!(
+                (20..=80).contains(&shard.len()),
+                "skewed shard: {}",
+                shard.len()
+            );
+        }
+    }
+
+    #[test]
+    fn topk_matches_single_database() {
+        let trajs = corpus(40);
+        let db = TrajectoryDb::build(trajs.clone());
+        let query = walk(99, 8, (15.0, 15.0));
+        for kind in [PartitionerKind::Hash, PartitionerKind::Grid] {
+            for shards in [1, 3, 8] {
+                let sharded = ShardedDb::build(trajs.clone(), shards, kind);
+                for use_index in [false, true] {
+                    let want = db.top_k(&ExactS, &Dtw, &query, 5, use_index);
+                    let got = sharded.top_k(&ExactS, &Dtw, &query, 5, use_index);
+                    assert_eq!(got, want, "{kind:?} shards={shards} index={use_index}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_fanout_matches_sequential() {
+        let trajs = corpus(50);
+        let sharded = ShardedDb::build(trajs, 6, PartitionerKind::Hash);
+        let query = walk(7, 7, (40.0, 20.0));
+        let queries = [query.as_slice()];
+        for threads in [1, 2, 4, 8] {
+            for use_index in [false, true] {
+                let seq = sharded.top_k(&ExactS, &Dtw, &query, 4, use_index);
+                let par = sharded.top_k_parallel(&ExactS, &Dtw, &query, 4, use_index, threads);
+                assert_eq!(seq, par, "threads={threads} index={use_index}");
+                let seq_b = sharded.top_k_batch(&ExactS, &Dtw, &queries, 4, use_index);
+                let par_b =
+                    sharded.top_k_batch_parallel(&ExactS, &Dtw, &queries, 4, use_index, threads);
+                assert_eq!(seq_b, par_b, "batch threads={threads} index={use_index}");
+            }
+        }
+    }
+
+    #[test]
+    fn candidate_ids_equal_single_database_as_a_set() {
+        let trajs = corpus(60);
+        let db = TrajectoryDb::build(trajs.clone());
+        let query = walk(11, 8, (60.0, 30.0));
+        let qmbr = Mbr::of_points(&query);
+        let mut want = db.candidate_ids(&qmbr);
+        want.sort_unstable();
+        for kind in [PartitionerKind::Hash, PartitionerKind::Grid] {
+            let sharded = ShardedDb::build(trajs.clone(), 5, kind);
+            assert_eq!(sharded.candidate_ids(&qmbr), want, "{kind:?}");
+        }
+    }
+
+    /// Regression (clustered corpora): a grid layout where all data piles
+    /// into few cells leaves other shards with *zero* trajectories — an
+    /// empty R-tree. Fan-out over such a layout must yield empty
+    /// candidate sets for the empty shards, not panic.
+    #[test]
+    fn empty_grid_shards_answer_queries() {
+        // Two tight clusters, far apart: an 8-shard grid leaves most
+        // shards empty.
+        let mut trajs = Vec::new();
+        for i in 0..6u64 {
+            trajs.push(Trajectory::new_unchecked(i, walk(i, 10, (0.0, 0.0))));
+            trajs.push(Trajectory::new_unchecked(
+                100 + i,
+                walk(100 + i, 10, (500.0, 500.0)),
+            ));
+        }
+        let sharded = ShardedDb::build(trajs.clone(), 8, PartitionerKind::Grid);
+        assert!(
+            sharded.shards().iter().any(TrajectoryDb::is_empty),
+            "layout should produce at least one empty shard"
+        );
+
+        // Direct probe of an empty shard's database: empty candidate set,
+        // no panic.
+        let empty = sharded
+            .shards()
+            .iter()
+            .find(|s| s.is_empty())
+            .expect("empty shard");
+        let probe = Mbr::of_points(&walk(3, 5, (250.0, 250.0)));
+        assert!(empty.candidate_ids(&probe).is_empty());
+
+        // Full fan-out still matches the unsharded database.
+        let db = TrajectoryDb::build(trajs);
+        let query = walk(200, 6, (500.0, 500.0));
+        for use_index in [false, true] {
+            assert_eq!(
+                sharded.top_k(&ExactS, &Dtw, &query, 3, use_index),
+                db.top_k(&ExactS, &Dtw, &query, 3, use_index),
+            );
+        }
+        let qmbr = Mbr::of_points(&query);
+        let mut want = db.candidate_ids(&qmbr);
+        want.sort_unstable();
+        assert_eq!(sharded.candidate_ids(&qmbr), want);
+    }
+
+    #[test]
+    fn empty_corpus_builds_and_answers() {
+        let sharded = ShardedDb::build(Vec::new(), 4, PartitionerKind::Grid);
+        assert!(sharded.is_empty());
+        let probe = Mbr::of_points(&walk(0, 4, (0.0, 0.0)));
+        assert!(sharded.candidate_ids(&probe).is_empty());
+        assert!(sharded
+            .top_k(&ExactS, &Dtw, &walk(0, 4, (0.0, 0.0)), 3, true)
+            .is_empty());
+    }
+
+    #[test]
+    fn layout_version_discriminates_layouts() {
+        let trajs = corpus(10);
+        let v = |shards, kind| ShardedDb::build(trajs.clone(), shards, kind).layout_version();
+        assert_eq!(
+            v(4, PartitionerKind::Hash),
+            v(4, PartitionerKind::Hash),
+            "same layout, same version"
+        );
+        assert_ne!(v(2, PartitionerKind::Hash), v(4, PartitionerKind::Hash));
+        assert_ne!(v(4, PartitionerKind::Hash), v(4, PartitionerKind::Grid));
+        assert_ne!(v(1, PartitionerKind::Hash), 0, "0 is reserved: unsharded");
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least one shard")]
+    fn zero_shards_rejected() {
+        let _ = ShardedDb::build(corpus(3), 0, PartitionerKind::Hash);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate trajectory id")]
+    fn duplicate_ids_rejected_across_shards() {
+        // Same id twice: whichever shards they land in, the build fails.
+        let t1 = Trajectory::new_unchecked(1, walk(1, 5, (0.0, 0.0)));
+        let t2 = Trajectory::new_unchecked(1, walk(2, 5, (300.0, 300.0)));
+        let _ = ShardedDb::build(vec![t1, t2], 4, PartitionerKind::Grid);
+    }
+}

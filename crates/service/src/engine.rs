@@ -5,14 +5,22 @@
 //! Design
 //! ------
 //! - **Snapshot ownership.** The engine holds an immutable
-//!   [`CorpusSnapshot`]: an `Arc<TrajectoryDb>` plus the loaded RLS
-//!   policy and t2vec model (when present). Workers share it lock-free.
+//!   [`CorpusSnapshot`]: a [`Corpus`] (one `Arc<TrajectoryDb>`, or an
+//!   `Arc<ShardedDb>` whose queries fan out across per-shard R-trees)
+//!   plus the loaded RLS policy and t2vec model (when present). Workers
+//!   share it lock-free. On multi-core hosts with spare cores beyond the
+//!   worker pool, each worker spreads a sharded fan-out across scoped
+//!   threads.
+//! - **Layout-versioned cache keys.** Cache keys mix the canonical query
+//!   hash with [`Corpus::layout_version`], so entries computed under one
+//!   shard layout are never replayed under another.
 //! - **Micro-batching.** Each worker blocks on the shared queue, then
 //!   drains up to `max_batch - 1` additional requests non-blockingly.
 //!   Batch members with the same `(algo, measure, k, index)` signature are
 //!   answered by one [`TrajectoryDb::top_k_batch`] call, whose outer loop
 //!   over data trajectories amortizes point access across the batch.
-//! - **Result cache.** Keyed by [`QueryRequest::canonical_key`]; a hit
+//! - **Result cache.** Keyed by [`CorpusSnapshot::cache_key`] (the
+//!   canonical query hash mixed with the layout version); a hit
 //!   short-circuits before any search runs. Within a batch, duplicate
 //!   requests are computed once and fanned out.
 //! - **Graceful shutdown.** [`QueryEngine::shutdown`] stops admissions,
@@ -24,7 +32,7 @@ use crate::query::{AlgoSpec, MeasureSpec, QueryRequest, QueryResponse};
 use crate::stats::{ServeStats, StatsSnapshot};
 use simsub_core::ExactS;
 use simsub_core::{Pos, PosD, Pss, Rls, SizeS, Spring, SubtrajSearch, TopKResult};
-use simsub_index::TrajectoryDb;
+use simsub_index::{ShardedDb, TrajectoryDb};
 use simsub_measures::{Dtw, Frechet, Measure, T2Vec};
 use simsub_trajectory::Point;
 use std::collections::HashMap;
@@ -56,20 +64,105 @@ impl std::fmt::Display for ServiceError {
 
 impl std::error::Error for ServiceError {}
 
+/// The corpus a snapshot serves from: one database, or a sharded layout
+/// whose queries fan out across per-shard R-trees. Both answer the same
+/// requests with byte-identical results (`tests/shard_equivalence.rs`).
+#[derive(Clone)]
+pub enum Corpus {
+    /// A single [`TrajectoryDb`].
+    Single(Arc<TrajectoryDb>),
+    /// A partitioned [`ShardedDb`]; see `simsub_index::ShardedDb`.
+    Sharded(Arc<ShardedDb>),
+}
+
+impl Corpus {
+    /// Number of trajectories.
+    pub fn len(&self) -> usize {
+        match self {
+            Corpus::Single(db) => db.len(),
+            Corpus::Sharded(db) => db.len(),
+        }
+    }
+
+    /// True when the corpus holds no trajectories.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total points across all trajectories.
+    pub fn total_points(&self) -> usize {
+        match self {
+            Corpus::Single(db) => db.total_points(),
+            Corpus::Sharded(db) => db.total_points(),
+        }
+    }
+
+    /// Number of shards (1 for a single database).
+    pub fn shard_count(&self) -> usize {
+        match self {
+            Corpus::Single(_) => 1,
+            Corpus::Sharded(db) => db.shard_count(),
+        }
+    }
+
+    /// Fingerprint of the corpus layout, folded into every cache key so
+    /// a result computed under one shard layout can never be replayed
+    /// under another. `0` is the unsharded layout; sharded layouts hash
+    /// their partitioner and shard count (never 0).
+    pub fn layout_version(&self) -> u64 {
+        match self {
+            Corpus::Single(_) => 0,
+            Corpus::Sharded(db) => db.layout_version(),
+        }
+    }
+
+    /// Dispatches one batched top-k scan. The sharded arm fans each
+    /// batch across shards, spreading the fan-out over up to
+    /// `shard_threads` scoped threads (1 = sequential — the right call
+    /// when the worker pool already covers every core).
+    fn top_k_batch(
+        &self,
+        algo: &(dyn SubtrajSearch + Sync),
+        measure: &dyn Measure,
+        queries: &[&[Point]],
+        k: usize,
+        use_index: bool,
+        shard_threads: usize,
+    ) -> Vec<Vec<TopKResult>> {
+        match self {
+            Corpus::Single(db) => db.top_k_batch(algo, measure, queries, k, use_index),
+            Corpus::Sharded(db) => {
+                db.top_k_batch_parallel(algo, measure, queries, k, use_index, shard_threads)
+            }
+        }
+    }
+}
+
 /// Immutable corpus + models the engine serves from. Cloning is cheap
 /// (`Arc`s all the way down); a later PR swaps snapshots for live reload.
 #[derive(Clone)]
 pub struct CorpusSnapshot {
-    db: Arc<TrajectoryDb>,
+    corpus: Corpus,
     rls: Option<Arc<Rls>>,
     t2vec: Option<Arc<T2Vec>>,
 }
 
 impl CorpusSnapshot {
-    /// Snapshot over a built database, with no learned models loaded.
+    /// Snapshot over a single built database, with no learned models
+    /// loaded.
     pub fn new(db: Arc<TrajectoryDb>) -> Self {
         Self {
-            db,
+            corpus: Corpus::Single(db),
+            rls: None,
+            t2vec: None,
+        }
+    }
+
+    /// Snapshot over a sharded corpus; every query fans out across the
+    /// shards and answers stay byte-identical to the unsharded layout.
+    pub fn sharded(db: Arc<ShardedDb>) -> Self {
+        Self {
+            corpus: Corpus::Sharded(db),
             rls: None,
             t2vec: None,
         }
@@ -87,9 +180,19 @@ impl CorpusSnapshot {
         self
     }
 
-    /// The shared database handle.
-    pub fn db(&self) -> &Arc<TrajectoryDb> {
-        &self.db
+    /// The corpus this snapshot serves from.
+    pub fn corpus(&self) -> &Corpus {
+        &self.corpus
+    }
+
+    /// The cache key for `request` under this snapshot: the request's
+    /// canonical hash mixed with [`Corpus::layout_version`]. Two engines
+    /// over different shard layouts therefore key the same request
+    /// differently — an entry never outlives the layout that computed it
+    /// — while within one layout the key is exactly as stable as the
+    /// canonical query hash.
+    pub fn cache_key(&self, request: &QueryRequest) -> u64 {
+        crate::query::mix_key(request.canonical_key(), self.corpus.layout_version())
     }
 
     /// Checks a request against the loaded models, then resolves its
@@ -204,6 +307,10 @@ struct Inner {
     queue: Mutex<Receiver<Job>>,
     cache: Mutex<LruCache<u64, Arc<CachedAnswer>>>,
     stats: ServeStats,
+    /// Threads each worker may spread a sharded fan-out over: the cores
+    /// left after the worker pool claims its share (1 on a fully
+    /// subscribed pool, so the default configuration never oversubscribes).
+    shard_threads: usize,
 }
 
 /// The concurrent query engine. See the module docs for the design.
@@ -219,12 +326,15 @@ impl QueryEngine {
         assert!(config.workers >= 1, "need at least one worker");
         assert!(config.max_batch >= 1, "max_batch must be positive");
         let (tx, rx) = channel();
+        let cores = std::thread::available_parallelism().map_or(1, usize::from);
+        let shard_threads = (cores / config.workers).max(1);
         let inner = Arc::new(Inner {
             cache: Mutex::new(LruCache::new(config.cache_capacity)),
             stats: ServeStats::new(),
             snapshot,
             config,
             queue: Mutex::new(rx),
+            shard_threads,
         });
         let workers = (0..inner.config.workers)
             .map(|i| {
@@ -256,7 +366,7 @@ impl QueryEngine {
 
         let (reply_tx, reply_rx) = channel();
         let job = Job {
-            key: request.canonical_key(),
+            key: self.inner.snapshot.cache_key(&request),
             request,
             submitted: Instant::now(),
             reply: reply_tx,
@@ -393,11 +503,14 @@ fn process_batch(inner: &Inner, jobs: Vec<Job>, batch_size: usize) {
             .iter()
             .map(|&slot| unique[slot].1.query.as_slice())
             .collect();
-        let all_results =
-            inner
-                .snapshot
-                .db
-                .top_k_batch(algo.as_ref(), measure, &queries, k, use_index);
+        let all_results = inner.snapshot.corpus.top_k_batch(
+            algo.as_ref(),
+            measure,
+            &queries,
+            k,
+            use_index,
+            inner.shard_threads,
+        );
         debug_assert_eq!(all_results.len(), slots.len());
 
         for (&slot, results) in slots.iter().zip(all_results) {

@@ -9,7 +9,7 @@
 //!
 //! | module | contents |
 //! |--------|----------|
-//! | [`engine`] | [`QueryEngine`]: worker pool, MPSC queue, micro-batching, graceful shutdown |
+//! | [`engine`] | [`QueryEngine`]: worker pool, MPSC queue, micro-batching, graceful shutdown; [`Corpus`]: single vs. sharded corpus snapshots |
 //! | [`query`] | request/response model, canonical query hash |
 //! | [`cache`] | O(1) LRU result cache |
 //! | [`stats`] | qps / p50 / p99 / hit-rate accounting |
@@ -57,7 +57,7 @@ pub mod query;
 pub mod server;
 pub mod stats;
 
-pub use engine::{CorpusSnapshot, EngineConfig, PendingQuery, QueryEngine, ServiceError};
+pub use engine::{Corpus, CorpusSnapshot, EngineConfig, PendingQuery, QueryEngine, ServiceError};
 pub use query::{AlgoSpec, MeasureSpec, QueryRequest, QueryResponse};
 pub use server::Server;
 pub use stats::{ServeStats, StatsSnapshot};

@@ -275,6 +275,16 @@ impl QueryResponse {
     }
 }
 
+/// Folds `extra` into `key` through the same FNV-1a stream the canonical
+/// key uses. The engine mixes the corpus layout version into every cache
+/// key this way, so entries die with the shard layout that computed them.
+pub(crate) fn mix_key(key: u64, extra: u64) -> u64 {
+    let mut h = Fnv::new();
+    h.write_u64(key);
+    h.write_u64(extra);
+    h.finish()
+}
+
 /// FNV-1a, 64-bit.
 struct Fnv(u64);
 

@@ -1,22 +1,29 @@
 //! Embedding the query-serving subsystem in-process: start a
-//! [`QueryEngine`] over a corpus snapshot, fire a burst of concurrent
-//! queries, and read the serving stats.
+//! [`QueryEngine`] over a *sharded* corpus snapshot, fire a burst of
+//! concurrent queries, and read the serving stats. Answers are
+//! byte-identical to an unsharded snapshot (checked below against the
+//! offline single-database search).
 //!
 //! Run with `cargo run --release --example query_service`.
 
+use simsub::core::Pss;
 use simsub::data::{generate, DatasetSpec};
-use simsub::index::TrajectoryDb;
+use simsub::index::{PartitionerKind, ShardedDb, TrajectoryDb};
+use simsub::measures::Dtw;
 use simsub::service::{
     AlgoSpec, CorpusSnapshot, EngineConfig, MeasureSpec, QueryEngine, QueryRequest,
 };
 use std::sync::Arc;
 
 fn main() {
-    // An immutable corpus snapshot shared by all workers.
+    // An immutable corpus snapshot shared by all workers — here split
+    // into 4 hash shards, each with its own R-tree; queries fan out
+    // across shards and merge through the shared ranking function.
     let corpus = generate(&DatasetSpec::porto(), 200, 7);
-    let db = TrajectoryDb::build(corpus).into_shared();
+    let db = TrajectoryDb::build(corpus.clone()).into_shared();
+    let sharded = ShardedDb::build(corpus, 4, PartitionerKind::Hash).into_shared();
     let engine = Arc::new(QueryEngine::start(
-        CorpusSnapshot::new(Arc::clone(&db)),
+        CorpusSnapshot::sharded(Arc::clone(&sharded)),
         EngineConfig {
             workers: 4,
             max_batch: 16,
@@ -24,9 +31,10 @@ fn main() {
         },
     ));
     println!(
-        "engine up: {} trajectories, {} points, 4 workers",
-        db.len(),
-        db.total_points()
+        "engine up: {} trajectories, {} points, {} shards, 4 workers",
+        sharded.len(),
+        sharded.total_points(),
+        sharded.shard_count()
     );
 
     // A client burst: 32 threads, half of them asking the same question.
@@ -51,6 +59,17 @@ fn main() {
 
     for handle in handles {
         let (i, response) = handle.join().expect("client thread");
+        // The sharded engine's answer equals the offline single-database
+        // search, bit for bit.
+        let source = &db.trajectories()[if i % 2 == 0 { 0 } else { i % db.len() }];
+        let offline = db.top_k(
+            &Pss,
+            &Dtw,
+            &source.points()[..12.min(source.len())],
+            5,
+            true,
+        );
+        assert_eq!(*response.results, offline, "sharded answer diverged");
         let best = response.results.first().expect("k >= 1");
         println!(
             "client {i:>2}: best trajectory {:>3} [{}..{}] dist {:.4} \

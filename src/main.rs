@@ -15,7 +15,7 @@ use simsub::core::{
     train_rls, ExactS, MdpConfig, Pos, PosD, Pss, Rls, RlsTrainConfig, SizeS, Spring, SubtrajSearch,
 };
 use simsub::data::{generate, read_csv_file, write_csv_file, DatasetSpec};
-use simsub::index::TrajectoryDb;
+use simsub::index::{PartitionerKind, ShardedDb, TrajectoryDb};
 use simsub::measures::{Dtw, Frechet, Measure, T2Vec, T2VecConfig};
 use simsub::nn::BinaryCodec;
 use simsub::rl::Policy;
@@ -70,9 +70,11 @@ fn usage() {
          \x20              [--policy POLICY.ssub] [--t2vec MODEL.ssub]\n\
          \x20 topk         --corpus FILE.csv --query FILE.csv --k N --algo ... --measure ...\n\
          \x20              [--index rtree|none] [--threads T]\n\
+         \x20              [--shards N] [--partitioner hash|grid]\n\
          \x20 serve        --corpus FILE.csv [--addr HOST:PORT] [--workers N] [--batch B]\n\
          \x20              [--cache N] [--policy POLICY.ssub] [--t2vec MODEL.ssub]\n\
-         \x20              [--skip K] [--no-suffix]"
+         \x20              [--skip K] [--no-suffix]\n\
+         \x20              [--shards N] [--partitioner hash|grid]"
     );
 }
 
@@ -153,6 +155,20 @@ fn load_measure(flags: &Flags) -> Result<Box<dyn Measure>, String> {
         }
         other => Err(format!("unknown measure '{other}' (dtw|frechet|t2vec)")),
     }
+}
+
+/// `--shards N [--partitioner hash|grid]`: `None` (unsharded) when
+/// `--shards` is absent or 0.
+fn sharding_from_flags(flags: &Flags) -> Result<Option<(usize, PartitionerKind)>, String> {
+    let shards: usize = flags.parse_or("shards", 0)?;
+    let partitioner: PartitionerKind = match flags.get("partitioner") {
+        None => PartitionerKind::Hash,
+        Some(name) => name.parse()?,
+    };
+    if shards == 0 && flags.get("partitioner").is_some() {
+        return Err("--partitioner requires --shards N".into());
+    }
+    Ok((shards > 0).then_some((shards, partitioner)))
 }
 
 fn mdp_from_flags(flags: &Flags) -> Result<MdpConfig, String> {
@@ -314,8 +330,12 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
         return Err("--batch must be at least 1".into());
     }
 
-    let db = TrajectoryDb::build(corpus).into_shared();
-    let mut snapshot = CorpusSnapshot::new(Arc::clone(&db));
+    let mut snapshot = match sharding_from_flags(flags)? {
+        Some((shards, partitioner)) => {
+            CorpusSnapshot::sharded(ShardedDb::build(corpus, shards, partitioner).into_shared())
+        }
+        None => CorpusSnapshot::new(TrajectoryDb::build(corpus).into_shared()),
+    };
     if let Some(path) = flags.get("policy") {
         let path = PathBuf::from(path);
         let policy = Policy::load(&path).map_err(|e| format!("loading {}: {e}", path.display()))?;
@@ -328,13 +348,18 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
     }
 
     let workers = config.workers;
+    let (corpus_len, corpus_points, shard_count) = {
+        let c = snapshot.corpus();
+        (c.len(), c.total_points(), c.shard_count())
+    };
     let engine = Arc::new(QueryEngine::start(snapshot, config));
     let server = Server::bind(engine, &addr).map_err(|e| format!("binding {addr}: {e}"))?;
     println!(
-        "serving {} trajectories / {} points on {} with {} workers \
+        "serving {} trajectories / {} points in {} shard(s) on {} with {} workers \
          (newline-JSON; send {{\"cmd\":\"shutdown\"}} to stop)",
-        db.len(),
-        db.total_points(),
+        corpus_len,
+        corpus_points,
+        shard_count,
         server.local_addr(),
         workers
     );
@@ -355,19 +380,37 @@ fn cmd_topk(flags: &Flags) -> Result<(), String> {
         "none" => false,
         other => return Err(format!("unknown index '{other}' (rtree|none)")),
     };
-    let db = TrajectoryDb::build(corpus);
-    let hits = db.top_k(
-        algo.as_ref(),
-        measure.as_ref(),
-        query.points(),
-        k,
-        use_index,
-    );
+    // Sharded and single layouts return byte-identical hits; `--shards`
+    // exists on `topk` to exercise (and time) the fan-out offline.
+    let (hits, corpus_len, layout) = match sharding_from_flags(flags)? {
+        Some((shards, partitioner)) => {
+            let db = ShardedDb::build(corpus, shards, partitioner);
+            let hits = db.top_k(
+                algo.as_ref(),
+                measure.as_ref(),
+                query.points(),
+                k,
+                use_index,
+            );
+            (hits, db.len(), format!("{}x{}", shards, partitioner.name()))
+        }
+        None => {
+            let db = TrajectoryDb::build(corpus);
+            let hits = db.top_k(
+                algo.as_ref(),
+                measure.as_ref(),
+                query.points(),
+                k,
+                use_index,
+            );
+            (hits, db.len(), "single".to_string())
+        }
+    };
     println!(
-        "top-{k} by {} over {} ({} trajectories, index={}):",
+        "top-{k} by {} over {} ({} trajectories, layout={layout}, index={}):",
         algo.name(),
         measure.name(),
-        db.len(),
+        corpus_len,
         if use_index { "rtree" } else { "none" }
     );
     for (rank, hit) in hits.iter().enumerate() {

@@ -4,7 +4,7 @@
 
 use simsub::core::{ExactS, Pss, SubtrajSearch};
 use simsub::data::{generate, DatasetSpec};
-use simsub::index::TrajectoryDb;
+use simsub::index::{PartitionerKind, ShardedDb, TrajectoryDb};
 use simsub::measures::{Dtw, Frechet, Measure};
 use simsub::service::{
     AlgoSpec, CorpusSnapshot, EngineConfig, MeasureSpec, QueryEngine, QueryRequest, Server,
@@ -19,9 +19,25 @@ fn shared_db(count: usize) -> Arc<TrajectoryDb> {
     TrajectoryDb::build(generate(&DatasetSpec::porto(), count, 42)).into_shared()
 }
 
+/// Snapshot over `db`'s corpus, sharded when `SIMSUB_SHARDS=N` (N ≥ 1) is
+/// set — the CI matrix runs this whole suite both ways, and every
+/// expectation below compares against the *unsharded* `db.top_k`, so the
+/// sharded engine is held to byte-identical answers.
+fn snapshot_for(db: &Arc<TrajectoryDb>) -> CorpusSnapshot {
+    match std::env::var("SIMSUB_SHARDS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+    {
+        Some(n) if n >= 1 => CorpusSnapshot::sharded(
+            ShardedDb::build(db.trajectories().to_vec(), n, PartitionerKind::Hash).into_shared(),
+        ),
+        _ => CorpusSnapshot::new(Arc::clone(db)),
+    }
+}
+
 fn engine_with(db: &Arc<TrajectoryDb>, workers: usize) -> QueryEngine {
     QueryEngine::start(
-        CorpusSnapshot::new(Arc::clone(db)),
+        snapshot_for(db),
         EngineConfig {
             workers,
             max_batch: 8,
@@ -303,4 +319,146 @@ fn tcp_server_round_trip() {
     let bye = send("{\"cmd\":\"shutdown\"}");
     assert!(bye.contains("\"bye\":true"), "bye: {bye}");
     server.wait();
+}
+
+/// A sharded engine is indistinguishable on the wire from the unsharded
+/// one: the same JSON request lines produce byte-identical `results`
+/// payloads through both TCP servers (only latency/batch metadata may
+/// differ).
+#[test]
+fn sharded_engine_matches_unsharded_on_the_wire() {
+    let db = shared_db(30);
+    let corpus = db.trajectories().to_vec();
+    let single = Arc::new(QueryEngine::start(
+        CorpusSnapshot::new(Arc::clone(&db)),
+        EngineConfig {
+            workers: 2,
+            max_batch: 8,
+            cache_capacity: 64,
+        },
+    ));
+    let mut engines = vec![("single", single)];
+    for (name, kind) in [
+        ("hash3", PartitionerKind::Hash),
+        ("grid5", PartitionerKind::Grid),
+    ] {
+        let shards = if kind == PartitionerKind::Hash { 3 } else { 5 };
+        let sharded = ShardedDb::build(corpus.clone(), shards, kind).into_shared();
+        engines.push((
+            name,
+            Arc::new(QueryEngine::start(
+                CorpusSnapshot::sharded(sharded),
+                EngineConfig {
+                    workers: 2,
+                    max_batch: 8,
+                    cache_capacity: 64,
+                },
+            )),
+        ));
+    }
+
+    // Engine-level equality across a mixed workload first.
+    for (i, q) in queries_from(&db, 9).into_iter().enumerate() {
+        let (algo, measure): (AlgoSpec, MeasureSpec) = match i % 3 {
+            0 => (AlgoSpec::Exact, MeasureSpec::Dtw),
+            1 => (AlgoSpec::Pss, MeasureSpec::Dtw),
+            _ => (AlgoSpec::Pss, MeasureSpec::Frechet),
+        };
+        let req = request(q, algo, measure, 3);
+        let want = engines[0].1.query(req.clone()).unwrap();
+        for (name, engine) in &engines[1..] {
+            let got = engine.query(req.clone()).unwrap();
+            assert_eq!(*got.results, *want.results, "layout {name}, query {i}");
+        }
+    }
+
+    // Then the wire: identical request line, identical "results" text.
+    let query = queries_from(&db, 1).remove(0);
+    let points: Vec<String> = query.iter().map(|p| format!("[{},{}]", p.x, p.y)).collect();
+    let line = format!(
+        "{{\"query\":[{}],\"algo\":\"exact\",\"measure\":\"dtw\",\"k\":4}}",
+        points.join(",")
+    );
+    let results_part = |response: &str| {
+        let start = response.find("\"results\":").expect("results field");
+        response[start..].trim_end().to_string()
+    };
+    let mut wire_answers = Vec::new();
+    for (name, engine) in &engines {
+        let server = Server::bind(Arc::clone(engine), "127.0.0.1:0").expect("bind");
+        let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        stream.write_all(line.as_bytes()).unwrap();
+        stream.write_all(b"\n").unwrap();
+        let mut response = String::new();
+        reader.read_line(&mut response).unwrap();
+        assert!(response.contains("\"ok\":true"), "{name}: {response}");
+        wire_answers.push((*name, results_part(&response)));
+        server.stop();
+        drop(stream);
+        server.wait();
+    }
+    for (name, answer) in &wire_answers[1..] {
+        assert_eq!(
+            answer, &wire_answers[0].1,
+            "wire answer of {name} differs from single"
+        );
+    }
+}
+
+/// Cache keys are layout-versioned: the same request keys differently
+/// under different shard layouts (entries die with their layout, the
+/// invariant snapshot hot-swap will rely on), and identically within one
+/// layout exactly when the canonical query hash matches.
+#[test]
+fn cache_keys_include_shard_layout_version() {
+    let db = shared_db(12);
+    let corpus = db.trajectories().to_vec();
+    let req = request(
+        queries_from(&db, 1).remove(0),
+        AlgoSpec::Pss,
+        MeasureSpec::Dtw,
+        3,
+    );
+
+    let snap = |layout: Option<(usize, PartitionerKind)>| match layout {
+        None => CorpusSnapshot::new(Arc::clone(&db)),
+        Some((n, kind)) => {
+            CorpusSnapshot::sharded(ShardedDb::build(corpus.clone(), n, kind).into_shared())
+        }
+    };
+    let single = snap(None);
+    let hash2 = snap(Some((2, PartitionerKind::Hash)));
+    let hash4 = snap(Some((4, PartitionerKind::Hash)));
+    let hash4_again = snap(Some((4, PartitionerKind::Hash)));
+    let grid4 = snap(Some((4, PartitionerKind::Grid)));
+
+    // Same layout: key survives rebuilds and equals across snapshots...
+    assert_eq!(single.cache_key(&req), single.cache_key(&req.clone()));
+    assert_eq!(hash4.cache_key(&req), hash4_again.cache_key(&req));
+    // ...including for a canonically equal request (timestamps ignored).
+    let mut shifted = req.clone();
+    for p in &mut shifted.query {
+        p.t += 500.0;
+    }
+    assert_eq!(hash4.cache_key(&req), hash4.cache_key(&shifted));
+
+    // Different layouts: same request, different key — a shard count or
+    // partitioner change invalidates every cached answer.
+    let keys = [
+        single.cache_key(&req),
+        hash2.cache_key(&req),
+        hash4.cache_key(&req),
+        grid4.cache_key(&req),
+    ];
+    for i in 0..keys.len() {
+        for j in i + 1..keys.len() {
+            assert_ne!(keys[i], keys[j], "layouts {i} and {j} share a cache key");
+        }
+    }
+
+    // Different canonical hash: different key even within one layout.
+    let mut different = req.clone();
+    different.k = 4;
+    assert_ne!(hash4.cache_key(&req), hash4.cache_key(&different));
 }
