@@ -138,6 +138,20 @@ fn bench_ucr_cascade(c: &mut Criterion) {
             black_box(best)
         })
     });
+
+    // Same loop through one reused row workspace: isolates the cost of
+    // the per-call `vec!` pair the plain entry point still pays.
+    group.bench_function("all_windows_banded_dtw_workspace", |ben| {
+        let mut ws = simsub_measures::BandedDtwWorkspace::new();
+        ben.iter(|| {
+            let m = query.len();
+            let mut best = f64::INFINITY;
+            for s in 0..=data.len() - m {
+                best = best.min(ws.distance(&data[s..s + m], &query, band));
+            }
+            black_box(best)
+        })
+    });
     group.finish();
 }
 

@@ -42,6 +42,12 @@ struct Measurement {
     p99_us: u64,
     mean_batch: f64,
     hit_rate: f64,
+    /// Candidate (trajectory, query) evaluations the cold path
+    /// considered, and the fraction the bound cascade retired before
+    /// any search — comparable across BENCH entries now that scans
+    /// are prune-first.
+    scan_candidates: u64,
+    prune_ratio: f64,
 }
 
 fn main() {
@@ -101,7 +107,7 @@ fn main() {
         let m = run_scenario(&db, &queries, scenario);
         println!(
             "{:<22} workers={:<2} shards={:<2} requests={:<4} wall={:>7.3}s qps={:>9.1} \
-             p50={:>6}µs p99={:>6}µs mean_batch={:.2} hit_rate={:.2}",
+             p50={:>6}µs p99={:>6}µs mean_batch={:.2} hit_rate={:.2} prune_ratio={:.2}",
             m.name,
             m.workers,
             m.shards,
@@ -111,7 +117,8 @@ fn main() {
             m.p50_us,
             m.p99_us,
             m.mean_batch,
-            m.hit_rate
+            m.hit_rate,
+            m.prune_ratio
         );
         measurements.push(m);
     }
@@ -153,6 +160,7 @@ fn run_scenario(
             workers: scenario.workers,
             max_batch: 16,
             cache_capacity: scenario.cache_capacity,
+            ..EngineConfig::default()
         },
     ));
     if scenario.warm {
@@ -204,6 +212,8 @@ fn run_scenario(
         p99_us: pct(0.99),
         mean_batch: stats.mean_batch,
         hit_rate: stats.hit_rate,
+        scan_candidates: stats.scan_candidates,
+        prune_ratio: stats.prune_ratio,
     }
 }
 
@@ -230,7 +240,8 @@ fn render_json(measurements: &[Measurement], n_workers: usize, speedup: f64) -> 
             "    {{\"name\": \"{}\", \"workers\": {}, \"shards\": {}, \"warm_cache\": {}, \
              \"requests\": {}, \
              \"wall_s\": {:.4}, \"qps\": {:.1}, \"p50_us\": {}, \"p99_us\": {}, \
-             \"mean_batch\": {:.2}, \"hit_rate\": {:.3}}}{}\n",
+             \"mean_batch\": {:.2}, \"hit_rate\": {:.3}, \"scan_candidates\": {}, \
+             \"prune_ratio\": {:.3}}}{}\n",
             m.name,
             m.workers,
             m.shards,
@@ -242,6 +253,8 @@ fn render_json(measurements: &[Measurement], n_workers: usize, speedup: f64) -> 
             m.p99_us,
             m.mean_batch,
             m.hit_rate,
+            m.scan_candidates,
+            m.prune_ratio,
             if i + 1 < measurements.len() { "," } else { "" }
         ));
     }

@@ -1,0 +1,322 @@
+//! Corpus-level similarity upper bounds and prune accounting for the
+//! top-k database scan.
+//!
+//! The paper's cost model makes one thing obvious: the scan hot path is
+//! dominated by `Φini`/`Φinc` work *per data trajectory*, so the cheapest
+//! trajectory is the one never searched. This module provides a cascade
+//! of **admissible** upper bounds on the similarity of a trajectory's
+//! best subtrajectory to the query — "admissible" meaning the bound is
+//! never below the similarity any [`crate::SubtrajSearch`] whose
+//! [`crate::SubtrajSearch::reported_similarity_is_admissible`] holds can
+//! report. A trajectory whose bound cannot beat the running k-th hit is
+//! skipped without touching its points; pruning therefore only skips
+//! work, never changes answers (property-tested in
+//! `tests/prune_equivalence.rs`).
+//!
+//! Why the bounds hold
+//! -------------------
+//! Every alignment (warping path) between a subtrajectory `T' ⊆ T` and
+//! the query matches each query point `q_k` to at least one point of
+//! `T'`, and every point of `T'` lies inside `T`'s MBR. Writing `R` for
+//! that MBR and keying on [`DistanceAggregate`]:
+//!
+//! - **Sum** (DTW-like): `dist(T', Tq) ≥ Σ_k d(q_k, R)` (the O(m)
+//!   *envelope* bound — each query point against the trajectory MBR, the
+//!   same geometry as the UCR suite's adapted `LB_Keogh` in
+//!   [`crate::Ucr`]), and, because the path has at least `m` pairs each
+//!   at least the rectangle-to-rectangle distance,
+//!   `dist(T', Tq) ≥ m · d(MBR(Tq), R)` (the O(1) *Kim-style*
+//!   closest-point screen).
+//! - **Max** (Frechet-like): `dist(T', Tq) ≥ max_k d(q_k, R)` and
+//!   `dist(T', Tq) ≥ d(MBR(Tq), R)`.
+//!
+//! Distance lower bounds convert to similarity upper bounds through the
+//! monotone `Θ = 1/(1+dist)`. Measures with no aggregate (`None`, e.g.
+//! t2vec) yield an infinite bound: nothing is ever pruned, answers stay
+//! trivially identical.
+//!
+//! The cascade is evaluated cheap-first: the O(1) screen first, the O(m)
+//! envelope only for survivors. [`PruneStats`] counts what each stage
+//! rejected so serving layers can report prune ratios.
+
+use simsub_measures::{similarity_from_distance, DistanceAggregate, Measure};
+use simsub_trajectory::{Mbr, Point};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+/// Counters describing one (or many merged) pruned corpus scans.
+/// Invariant: `scanned == pruned_by_kim + pruned_by_mbr + searched`
+/// (checked by [`PruneStats::is_consistent`] and asserted in tests).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PruneStats {
+    /// Candidate evaluations considered by the scan — one per
+    /// trajectory for single-query scans, one per (trajectory, query)
+    /// pair for batched scans.
+    pub scanned: u64,
+    /// Rejected by the O(1) closest-point (Kim-style) screen.
+    pub pruned_by_kim: u64,
+    /// Rejected by the O(m) MBR-envelope bound.
+    pub pruned_by_mbr: u64,
+    /// Ran the full subtrajectory search.
+    pub searched: u64,
+}
+
+impl PruneStats {
+    /// Total candidates skipped without a full search.
+    pub fn pruned(&self) -> u64 {
+        self.pruned_by_kim + self.pruned_by_mbr
+    }
+
+    /// Fraction of scanned candidates that skipped the full search
+    /// (0 when nothing was scanned).
+    pub fn prune_ratio(&self) -> f64 {
+        if self.scanned == 0 {
+            0.0
+        } else {
+            self.pruned() as f64 / self.scanned as f64
+        }
+    }
+
+    /// `scanned == pruned + searched` — every counted trajectory went
+    /// exactly one way.
+    pub fn is_consistent(&self) -> bool {
+        self.scanned == self.pruned() + self.searched
+    }
+
+    /// Accumulates another scan's counters (shard fan-outs, batches).
+    pub fn merge(&mut self, other: &PruneStats) {
+        self.scanned += other.scanned;
+        self.pruned_by_kim += other.pruned_by_kim;
+        self.pruned_by_mbr += other.pruned_by_mbr;
+        self.searched += other.searched;
+    }
+}
+
+/// Relative slack applied to every distance lower bound before it turns
+/// into a similarity upper bound. The bound and the evaluators may sum
+/// the same terms in different orders (e.g. PSS's suffix pass runs a
+/// *reversed*-query evaluator), and floating-point addition is not
+/// associative, so a zero-slack bound could land an ulp below a
+/// legitimately reported similarity and prune a hit the reference scan
+/// keeps. 1e-9 relative is orders of magnitude above any accumulated
+/// ulp drift yet far below any pruning-relevant margin.
+const DIST_LB_SLACK: f64 = 1.0 - 1e-9;
+
+/// The two-stage bound cascade for one query under one measure.
+/// Construction is O(m) (query MBR); [`BoundCascade::coarse_bound`] is
+/// O(1) and [`BoundCascade::envelope_bound`] is O(m) per trajectory
+/// (given the trajectory's precomputed MBR — `Trajectory::mbr()` itself
+/// is an O(n) pass, so scans materialize MBRs once up front).
+#[derive(Debug, Clone)]
+pub struct BoundCascade<'q> {
+    query: &'q [Point],
+    qmbr: Mbr,
+    aggregate: Option<DistanceAggregate>,
+}
+
+impl<'q> BoundCascade<'q> {
+    /// Builds the cascade for `query` under `measure`.
+    pub fn new(measure: &dyn Measure, query: &'q [Point]) -> Self {
+        Self {
+            query,
+            qmbr: Mbr::of_points(query),
+            aggregate: measure.distance_aggregate(),
+        }
+    }
+
+    /// False when the measure admits no bound (the cascade then returns
+    /// `INFINITY` everywhere and the scan skips bound evaluation).
+    pub fn is_active(&self) -> bool {
+        self.aggregate.is_some() && !self.query.is_empty()
+    }
+
+    /// O(1) upper bound on the best-subtrajectory similarity from the
+    /// rectangle-to-rectangle distance alone. `INFINITY` when inactive.
+    pub fn coarse_bound(&self, trajectory_mbr: &Mbr) -> f64 {
+        let Some(aggregate) = self.aggregate else {
+            return f64::INFINITY;
+        };
+        let rect = self.qmbr.min_dist_mbr(trajectory_mbr);
+        let dist_lb = match aggregate {
+            DistanceAggregate::Sum => rect * self.query.len() as f64,
+            DistanceAggregate::Max => rect,
+        };
+        similarity_from_distance(dist_lb * DIST_LB_SLACK)
+    }
+
+    /// O(m) upper bound from the per-query-point envelope distances to
+    /// the trajectory MBR; tighter than (never above) the coarse bound.
+    /// `INFINITY` when inactive.
+    pub fn envelope_bound(&self, trajectory_mbr: &Mbr) -> f64 {
+        let Some(aggregate) = self.aggregate else {
+            return f64::INFINITY;
+        };
+        let dist_lb = match aggregate {
+            DistanceAggregate::Sum => self
+                .query
+                .iter()
+                .map(|&q| trajectory_mbr.min_dist(q))
+                .sum::<f64>(),
+            DistanceAggregate::Max => self
+                .query
+                .iter()
+                .map(|&q| trajectory_mbr.min_dist(q))
+                .fold(0.0, f64::max),
+        };
+        similarity_from_distance(dist_lb * DIST_LB_SLACK)
+    }
+}
+
+/// A monotonically rising similarity floor shared by parallel scan
+/// workers: a published value `v` certifies "the final k-th hit's
+/// similarity is at least `v`", so any worker may prune a trajectory
+/// whose bound is *strictly* below `v` — regardless of which worker
+/// established it. Purely an acceleration hint: results are identical
+/// with or without it (each worker still keeps its own exact top-k).
+#[derive(Debug)]
+pub struct SharedSimFloor {
+    bits: AtomicU64,
+}
+
+impl Default for SharedSimFloor {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SharedSimFloor {
+    /// A floor that prunes nothing yet.
+    pub fn new() -> Self {
+        Self {
+            bits: AtomicU64::new(f64::NEG_INFINITY.to_bits()),
+        }
+    }
+
+    /// The current floor.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+
+    /// Raises the floor to `v` if higher (CAS loop; relaxed ordering is
+    /// enough — a stale read only costs a missed prune, never an answer).
+    pub fn raise(&self, v: f64) {
+        let mut cur = self.bits.load(Ordering::Relaxed);
+        while v > f64::from_bits(cur) {
+            match self.bits.compare_exchange_weak(
+                cur,
+                v.to_bits(),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+}
+
+/// Whether corpus-scan pruning is enabled for paths that don't take an
+/// explicit flag: true unless the `SIMSUB_NO_PRUNE` environment variable
+/// is set to a non-empty value other than `0` (the escape hatch the CLI's
+/// `--no-prune` flips and CI's unpruned matrix leg exports). Read once
+/// per process.
+pub fn pruning_enabled() -> bool {
+    static DISABLED: OnceLock<bool> = OnceLock::new();
+    !*DISABLED
+        .get_or_init(|| std::env::var("SIMSUB_NO_PRUNE").is_ok_and(|v| !v.is_empty() && v != "0"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util::walk;
+    use crate::{ExactS, SubtrajSearch};
+    use simsub_measures::{Dtw, Frechet};
+    use simsub_trajectory::Trajectory;
+
+    #[test]
+    fn stats_arithmetic() {
+        let mut s = PruneStats {
+            scanned: 10,
+            pruned_by_kim: 4,
+            pruned_by_mbr: 3,
+            searched: 3,
+        };
+        assert!(s.is_consistent());
+        assert_eq!(s.pruned(), 7);
+        assert!((s.prune_ratio() - 0.7).abs() < 1e-12);
+        s.merge(&s.clone());
+        assert_eq!(s.scanned, 20);
+        assert!(s.is_consistent());
+        assert_eq!(PruneStats::default().prune_ratio(), 0.0);
+    }
+
+    #[test]
+    fn inactive_measure_never_bounds() {
+        // LCSS reports no aggregate: both bounds must be INFINITY.
+        let q = walk(1, 5);
+        let cascade = BoundCascade::new(&simsub_measures::Lcss::new(0.5), &q);
+        assert!(!cascade.is_active());
+        let mbr = Mbr::of_points(&walk(2, 6));
+        assert_eq!(cascade.coarse_bound(&mbr), f64::INFINITY);
+        assert_eq!(cascade.envelope_bound(&mbr), f64::INFINITY);
+    }
+
+    #[test]
+    fn envelope_never_looser_than_coarse() {
+        for seed in 0..30u64 {
+            let q = walk(seed, 6);
+            let t = walk(seed + 100, 12);
+            let mbr = Mbr::of_points(&t);
+            for measure in [&Dtw as &dyn simsub_measures::Measure, &Frechet] {
+                let cascade = BoundCascade::new(measure, &q);
+                assert!(
+                    cascade.envelope_bound(&mbr) <= cascade.coarse_bound(&mbr) + 1e-12,
+                    "seed {seed} measure {}",
+                    measure.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bounds_are_admissible_vs_exact_best() {
+        // Both stages must upper-bound the true best subtrajectory
+        // similarity (ExactS) on random far/near trajectory pairs.
+        for seed in 0..40u64 {
+            let q = walk(seed, 5);
+            let offset = if seed % 2 == 0 { 0.0 } else { 40.0 };
+            let t: Vec<_> = walk(seed + 500, 10)
+                .into_iter()
+                .map(|p| simsub_trajectory::Point::new(p.x + offset, p.y + offset, p.t))
+                .collect();
+            let traj = Trajectory::new_unchecked(seed, t);
+            for measure in [&Dtw as &dyn simsub_measures::Measure, &Frechet] {
+                let best = ExactS.search(measure, traj.points(), &q).similarity;
+                let cascade = BoundCascade::new(measure, &q);
+                assert!(
+                    cascade.coarse_bound(&traj.mbr()) >= best - 1e-12,
+                    "coarse seed {seed} {}",
+                    measure.name()
+                );
+                assert!(
+                    cascade.envelope_bound(&traj.mbr()) >= best - 1e-12,
+                    "envelope seed {seed} {}",
+                    measure.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn shared_floor_is_monotone() {
+        let floor = SharedSimFloor::new();
+        assert_eq!(floor.get(), f64::NEG_INFINITY);
+        floor.raise(0.5);
+        assert_eq!(floor.get(), 0.5);
+        floor.raise(0.25); // lower value must not win
+        assert_eq!(floor.get(), 0.5);
+        floor.raise(0.75);
+        assert_eq!(floor.get(), 0.75);
+    }
+}

@@ -2,7 +2,7 @@
 //! subtrajectories, computing similarities *incrementally* per start point
 //! — `O(n·(Φini + n·Φinc))` instead of the naive `O(n²·Φ)`.
 
-use crate::{SearchResult, SubtrajSearch};
+use crate::{SearchResult, SearchWorkspace, SubtrajSearch};
 use simsub_measures::Measure;
 use simsub_trajectory::{subtrajectory_count, Point, SubtrajRange};
 
@@ -20,9 +20,14 @@ impl SubtrajSearch for ExactS {
             !data.is_empty() && !query.is_empty(),
             "inputs must be non-empty"
         );
+        self.search_with(&mut SearchWorkspace::new(measure, query), data)
+    }
+
+    fn search_with(&self, ws: &mut SearchWorkspace<'_>, data: &[Point]) -> SearchResult {
+        assert!(!data.is_empty(), "inputs must be non-empty");
         let mut best_range = SubtrajRange::new(0, 0);
         let mut best_sim = f64::NEG_INFINITY;
-        let mut eval = measure.prefix_evaluator(query);
+        let eval = ws.prefix();
         for i in 0..data.len() {
             // Θ(T[i,i], Tq) from scratch (Φini) ...
             let mut sim = eval.init(data[i]);

@@ -26,6 +26,7 @@
 //! plus the trajectory-splitting MDP (§5.1), the DQN training loop
 //! (Algorithm 3) and the AR/MR/RR effectiveness metrics (§6.1).
 
+pub mod bounds;
 mod exact;
 mod mdp;
 mod metrics;
@@ -37,7 +38,9 @@ mod splitting;
 mod spring;
 mod topk;
 mod ucr;
+mod workspace;
 
+pub use bounds::{pruning_enabled, BoundCascade, PruneStats, SharedSimFloor};
 pub use exact::{exhaustive_ranking, ExactS, ExhaustiveRanking};
 pub use mdp::{MdpConfig, ScanStats, SplitEnv, StepOutcome};
 pub use metrics::{EffectivenessMetrics, MetricsAccumulator};
@@ -48,9 +51,12 @@ pub use sizes::SizeS;
 pub use splitting::{suffix_similarities, Pos, PosD, Pss};
 pub use spring::Spring;
 pub use topk::{
-    sort_hits_and_truncate, top_k_search, top_k_search_batch, top_k_search_parallel, TopKResult,
+    scan_top_k_batch_into, scan_top_k_into, sort_hits_and_truncate, top_k_search,
+    top_k_search_batch, top_k_search_batch_with_stats, top_k_search_parallel,
+    top_k_search_parallel_with_stats, top_k_search_with_stats, TopKHeap, TopKResult,
 };
 pub use ucr::Ucr;
+pub use workspace::SearchWorkspace;
 
 use simsub_measures::Measure;
 use simsub_trajectory::{Point, SubtrajRange};
@@ -96,6 +102,29 @@ pub trait SubtrajSearch {
     /// # Panics
     /// Panics if `data` or `query` is empty.
     fn search(&self, measure: &dyn Measure, data: &[Point], query: &[Point]) -> SearchResult;
+
+    /// [`SubtrajSearch::search`] through a caller-owned
+    /// [`SearchWorkspace`], so one evaluator allocation serves an entire
+    /// corpus scan. Must return bit-identical results to `search` with
+    /// the workspace's measure and query; the scan algorithms that
+    /// dominate the serving hot path (ExactS, PSS, POS, POS-D, SizeS)
+    /// override it to actually reuse the workspace, while the default
+    /// falls back to the allocating path.
+    fn search_with(&self, ws: &mut SearchWorkspace<'_>, data: &[Point]) -> SearchResult {
+        let measure = ws.measure();
+        self.search(measure, data, ws.query())
+    }
+
+    /// True when the similarity this algorithm reports is the exact
+    /// measure similarity of some actual subtrajectory of `data` — i.e.
+    /// never an overestimate of the best subtrajectory similarity. The
+    /// pruned corpus scan (`simsub_core::bounds`) only skips trajectories
+    /// for algorithms where this holds; overriding to `false` (RLS-Skip's
+    /// simplified prefix bookkeeping can overestimate) keeps results
+    /// byte-identical by disabling pruning for that algorithm.
+    fn reported_similarity_is_admissible(&self) -> bool {
+        true
+    }
 }
 
 #[cfg(test)]

@@ -78,6 +78,15 @@ impl SubtrajSearch for Rls {
     fn search(&self, measure: &dyn Measure, data: &[Point], query: &[Point]) -> SearchResult {
         self.search_with_stats(measure, data, query).0
     }
+
+    fn reported_similarity_is_admissible(&self) -> bool {
+        // RLS-Skip's simplified prefix (skipped points drop out of the DP)
+        // can report a similarity *above* any true subtrajectory's, so the
+        // corpus-scan bound cascade is not admissible against it. Returning
+        // false disables pruning for RLS entirely (conservative for the
+        // non-skip variant too), keeping scans byte-identical.
+        false
+    }
 }
 
 /// Training configuration for Algorithm 3.

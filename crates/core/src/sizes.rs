@@ -3,7 +3,7 @@
 //! `ξ` trades efficiency for effectiveness; the paper shows SizeS can be
 //! arbitrarily worse than optimal (Appendix A) and evaluates ξ in Fig. 7.
 
-use crate::{SearchResult, SubtrajSearch};
+use crate::{SearchResult, SearchWorkspace, SubtrajSearch};
 use simsub_measures::Measure;
 use simsub_trajectory::{Point, SubtrajRange};
 
@@ -37,14 +37,20 @@ impl SubtrajSearch for SizeS {
             !data.is_empty() && !query.is_empty(),
             "inputs must be non-empty"
         );
+        self.search_with(&mut SearchWorkspace::new(measure, query), data)
+    }
+
+    fn search_with(&self, ws: &mut SearchWorkspace<'_>, data: &[Point]) -> SearchResult {
+        assert!(!data.is_empty(), "inputs must be non-empty");
+        let measure = ws.measure();
         let n = data.len();
-        let m = query.len();
+        let m = ws.query().len();
         let min_len = m.saturating_sub(self.xi).max(1);
         let max_len = (m + self.xi).min(n);
 
         let mut best_range = SubtrajRange::new(0, 0);
         let mut best_sim = f64::NEG_INFINITY;
-        let mut eval = measure.prefix_evaluator(query);
+        let eval = ws.prefix();
         for i in 0..n {
             // Grow the prefix from length 1; only lengths within the
             // window are *candidates*, but shorter ones must still be
@@ -71,7 +77,7 @@ impl SubtrajSearch for SizeS {
         // back to the longest prefix candidates: the loop above never
         // admitted a candidate, so admit whole-trajectory as the solution.
         if best_sim == f64::NEG_INFINITY {
-            let sim = measure.similarity(data, query);
+            let sim = measure.similarity(data, ws.query());
             return SearchResult {
                 range: SubtrajRange::new(0, n - 1),
                 similarity: sim,

@@ -4,7 +4,7 @@
 //! (and, for PSS, suffixes) delimited by splits — at most `n` candidates,
 //! giving `O(n1·Φini + n·Φinc)` total time.
 
-use crate::{SearchResult, SubtrajSearch};
+use crate::{SearchResult, SearchWorkspace, SubtrajSearch};
 use simsub_measures::Measure;
 use simsub_trajectory::{reversed_points, Point, SubtrajRange};
 
@@ -77,12 +77,17 @@ impl SubtrajSearch for Pss {
             !data.is_empty() && !query.is_empty(),
             "inputs must be non-empty"
         );
+        self.search_with(&mut SearchWorkspace::new(measure, query), data)
+    }
+
+    fn search_with(&self, ws: &mut SearchWorkspace<'_>, data: &[Point]) -> SearchResult {
+        assert!(!data.is_empty(), "inputs must be non-empty");
         let n = data.len();
-        let suffix = suffix_similarities(measure, data, query);
+        ws.compute_suffix_similarities(data);
+        let (eval, suffix) = ws.prefix_and_suffix();
 
         let mut best_sim = 0.0f64;
         let mut best_range: Option<SubtrajRange> = None;
-        let mut eval = measure.prefix_evaluator(query);
         let mut h = 0usize;
         for i in 0..n {
             let pre = if i == h {
@@ -120,10 +125,15 @@ impl SubtrajSearch for Pos {
             !data.is_empty() && !query.is_empty(),
             "inputs must be non-empty"
         );
+        self.search_with(&mut SearchWorkspace::new(measure, query), data)
+    }
+
+    fn search_with(&self, ws: &mut SearchWorkspace<'_>, data: &[Point]) -> SearchResult {
+        assert!(!data.is_empty(), "inputs must be non-empty");
         let n = data.len();
         let mut best_sim = 0.0f64;
         let mut best_range: Option<SubtrajRange> = None;
-        let mut eval = measure.prefix_evaluator(query);
+        let eval = ws.prefix();
         let mut h = 0usize;
         for i in 0..n {
             let pre = if i == h {
@@ -156,10 +166,15 @@ impl SubtrajSearch for PosD {
             !data.is_empty() && !query.is_empty(),
             "inputs must be non-empty"
         );
+        self.search_with(&mut SearchWorkspace::new(measure, query), data)
+    }
+
+    fn search_with(&self, ws: &mut SearchWorkspace<'_>, data: &[Point]) -> SearchResult {
+        assert!(!data.is_empty(), "inputs must be non-empty");
         let n = data.len();
         let mut best_sim = 0.0f64;
         let mut best_range: Option<SubtrajRange> = None;
-        let mut eval = measure.prefix_evaluator(query);
+        let eval = ws.prefix();
         let mut h = 0usize;
         let mut i = 0usize;
         while i < n {

@@ -1,12 +1,29 @@
 //! Top-k similar subtrajectory search over a trajectory database — the
-//! user-facing query of Section 3.1. For each data trajectory, run a
-//! SimSub algorithm and keep the `k` trajectories whose best subtrajectory
-//! is most similar to the query. (The R-tree-accelerated variant lives in
-//! `simsub-index`, which prunes trajectories by MBR intersection first.)
+//! user-facing query of Section 3.1, built prune-first and allocate-once:
+//!
+//! - **Bounded memory.** Hits live in a [`TopKHeap`] capped at `k`
+//!   entries (the scan used to collect one hit per database trajectory
+//!   before truncating); the heap's k-th element is the prune threshold.
+//! - **Prune-first.** Candidates are ordered best-bound-first and each
+//!   must pass the [`BoundCascade`] (O(1) Kim-style screen, then the
+//!   O(m) MBR envelope) before the full `Φini`/`Φinc` search runs; see
+//!   [`crate::bounds`] for why skipped trajectories can never appear in
+//!   the answer. [`PruneStats`] counts what happened.
+//! - **Allocate-once.** One [`SearchWorkspace`] per (query, scan) serves
+//!   every trajectory; no per-trajectory evaluator boxing.
+//!
+//! All paths — sequential, parallel, batched, the indexed variants in
+//! `simsub-index`, and the sharded fan-out — rank through
+//! [`sort_hits_and_truncate`]'s total order (or the identical
+//! [`TopKHeap`] order), so results stay interchangeable and pruning is
+//! byte-invisible (`tests/prune_equivalence.rs`).
 
-use crate::{SearchResult, SubtrajSearch};
+use crate::bounds::{BoundCascade, PruneStats, SharedSimFloor};
+use crate::{SearchResult, SearchWorkspace, SubtrajSearch};
 use simsub_measures::Measure;
-use simsub_trajectory::{Point, Trajectory};
+use simsub_trajectory::{Mbr, Point, Trajectory};
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
 
 /// One database hit: the trajectory and the best subtrajectory inside it.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -17,8 +34,310 @@ pub struct TopKResult {
     pub result: SearchResult,
 }
 
+/// True when hypothetical hit `(a_sim, a_id)` ranks before `(b_sim, b_id)`
+/// under the single hit ordering (descending similarity, ties by
+/// ascending trajectory id).
+fn ranks_before(a_sim: f64, a_id: u64, b_sim: f64, b_id: u64) -> bool {
+    match a_sim.total_cmp(&b_sim) {
+        Ordering::Greater => true,
+        Ordering::Less => false,
+        Ordering::Equal => a_id < b_id,
+    }
+}
+
+/// [`TopKResult`] wrapper whose `Ord` says "greater = ranks earlier".
+#[derive(Debug, Clone, Copy)]
+struct HeapHit(TopKResult);
+
+impl PartialEq for HeapHit {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for HeapHit {}
+
+impl PartialOrd for HeapHit {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for HeapHit {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0
+            .result
+            .similarity
+            .total_cmp(&other.0.result.similarity)
+            .then_with(|| other.0.trajectory_id.cmp(&self.0.trajectory_id))
+    }
+}
+
+/// A bounded max-`k` hit collection ordered exactly like
+/// [`sort_hits_and_truncate`]: the worst retained hit is O(1) accessible,
+/// so it doubles as the scan's prune threshold. Memory never exceeds `k`
+/// entries ([`TopKHeap::peak_len`] is regression-tested), replacing the
+/// old collect-everything-then-sort buffers.
+pub struct TopKHeap {
+    k: usize,
+    heap: BinaryHeap<std::cmp::Reverse<HeapHit>>,
+    peak_len: usize,
+}
+
+impl TopKHeap {
+    /// An empty heap retaining at most `k > 0` hits.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "k must be positive");
+        Self {
+            k,
+            heap: BinaryHeap::with_capacity(k + 1),
+            peak_len: 0,
+        }
+    }
+
+    /// The capacity `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Hits currently retained (≤ `k`).
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no hit has been retained.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Largest number of hits ever retained at once — bounded by `k` by
+    /// construction; exposed so the memory contract stays testable.
+    pub fn peak_len(&self) -> usize {
+        self.peak_len
+    }
+
+    /// The currently-worst retained hit (the running k-th once full).
+    pub fn worst(&self) -> Option<&TopKResult> {
+        self.heap.peek().map(|std::cmp::Reverse(h)| &h.0)
+    }
+
+    /// The k-th hit's similarity once `k` hits are retained: the floor a
+    /// new candidate's *bound* must reach to possibly matter.
+    pub fn full_floor(&self) -> Option<f64> {
+        (self.heap.len() == self.k).then(|| self.worst().expect("full heap").result.similarity)
+    }
+
+    /// Could a hit with this similarity and trajectory id enter the
+    /// top-k right now? Admissible-bound pruning calls this with an
+    /// upper bound on the similarity: a `false` answer proves the real
+    /// hit could not enter either.
+    pub fn would_admit(&self, similarity: f64, trajectory_id: u64) -> bool {
+        if self.heap.len() < self.k {
+            return true;
+        }
+        let worst = self.worst().expect("k > 0 and full");
+        ranks_before(
+            similarity,
+            trajectory_id,
+            worst.result.similarity,
+            worst.trajectory_id,
+        )
+    }
+
+    /// Inserts a hit, evicting the worst retained one when full.
+    pub fn push(&mut self, hit: TopKResult) {
+        if self.heap.len() < self.k {
+            self.heap.push(std::cmp::Reverse(HeapHit(hit)));
+            self.peak_len = self.peak_len.max(self.heap.len());
+        } else if self.would_admit(hit.result.similarity, hit.trajectory_id) {
+            self.heap.pop();
+            self.heap.push(std::cmp::Reverse(HeapHit(hit)));
+        }
+    }
+
+    /// The retained hits, best first — identical ordering to
+    /// [`sort_hits_and_truncate`].
+    pub fn into_sorted_hits(self) -> Vec<TopKResult> {
+        self.heap
+            .into_sorted_vec()
+            .into_iter()
+            .map(|std::cmp::Reverse(h)| h.0)
+            .collect()
+    }
+}
+
+/// Combines the running-top-k threshold with an optional cross-worker
+/// floor: admit only candidates whose similarity upper `bound` could
+/// still place them in the final top-k.
+fn admits(heap: &TopKHeap, floor: Option<&SharedSimFloor>, bound: f64, id: u64) -> bool {
+    if let Some(floor) = floor {
+        // Strictly below a certified k-th similarity: hopeless anywhere.
+        if bound < floor.get() {
+            return false;
+        }
+    }
+    heap.would_admit(bound, id)
+}
+
+fn search_and_push(
+    algo: &dyn SubtrajSearch,
+    t: &Trajectory,
+    heap: &mut TopKHeap,
+    ws: &mut SearchWorkspace<'_>,
+    floor: Option<&SharedSimFloor>,
+) {
+    let result = algo.search_with(ws, t.points());
+    heap.push(TopKResult {
+        trajectory_id: t.id,
+        result,
+    });
+    if let (Some(floor), Some(kth)) = (floor, heap.full_floor()) {
+        floor.raise(kth);
+    }
+}
+
+/// The prune-first scan kernel every top-k path composes: runs `algo`
+/// over `candidates`, accumulating into a caller-owned heap/workspace so
+/// shard fan-outs share both the k-th threshold and the evaluator
+/// buffers across rounds. `ws` must already target `query` under the
+/// scan's measure (the cascade is built from `query`, the searches run
+/// through `ws` — a mismatch would prune with one query's bounds against
+/// another query's scores, so it is debug-asserted). With `prune`,
+/// candidates are visited best-coarse-bound-first and must survive the
+/// [`BoundCascade`] before being searched; `floor` optionally shares a
+/// certified k-th similarity across workers. The heap's final contents
+/// are identical for every `prune`/`floor`/visit order — bounds are
+/// admissible and the hit order is total.
+#[allow(clippy::too_many_arguments)] // scan state is deliberately caller-owned
+pub fn scan_top_k_into(
+    algo: &dyn SubtrajSearch,
+    candidates: &[&Trajectory],
+    query: &[Point],
+    heap: &mut TopKHeap,
+    ws: &mut SearchWorkspace<'_>,
+    prune: bool,
+    floor: Option<&SharedSimFloor>,
+    stats: &mut PruneStats,
+) {
+    debug_assert!(
+        ws.query().len() == query.len()
+            && ws
+                .query()
+                .iter()
+                .zip(query)
+                .all(|(a, b)| a.x.to_bits() == b.x.to_bits() && a.y.to_bits() == b.y.to_bits()),
+        "workspace targets a different query than the bound cascade"
+    );
+    let cascade = BoundCascade::new(ws.measure(), query);
+    let active = prune && cascade.is_active() && algo.reported_similarity_is_admissible();
+    if !active {
+        for t in candidates {
+            stats.scanned += 1;
+            stats.searched += 1;
+            search_and_push(algo, t, heap, ws, floor);
+        }
+        return;
+    }
+    // Best-first: descending coarse bound (ties by ascending id) raises
+    // the k-th similarity as early as possible, so later candidates die
+    // at the O(1) screen instead of the O(m) envelope or the search.
+    // MBRs are materialized once here — `Trajectory::mbr()` is an O(n)
+    // pass over the points, so the bound stages must not recompute it.
+    let mut order: Vec<(f64, Mbr, usize)> = candidates
+        .iter()
+        .enumerate()
+        .map(|(i, t)| {
+            let mbr = t.mbr();
+            (cascade.coarse_bound(&mbr), mbr, i)
+        })
+        .collect();
+    order.sort_unstable_by(|a, b| {
+        b.0.total_cmp(&a.0)
+            .then_with(|| candidates[a.2].id.cmp(&candidates[b.2].id))
+    });
+    for (coarse, mbr, i) in order {
+        let t = candidates[i];
+        stats.scanned += 1;
+        if !admits(heap, floor, coarse, t.id) {
+            stats.pruned_by_kim += 1;
+            continue;
+        }
+        let envelope = cascade.envelope_bound(&mbr);
+        if !admits(heap, floor, envelope, t.id) {
+            stats.pruned_by_mbr += 1;
+            continue;
+        }
+        stats.searched += 1;
+        search_and_push(algo, t, heap, ws, floor);
+    }
+}
+
+/// Batched scan kernel: the trajectory loop stays *outer* (each data
+/// trajectory's points stay hot in cache for the whole micro-batch,
+/// the amortization `simsub-service` relies on), with per-query heaps,
+/// workspaces, and bound cascades. `filters[qi]`, when given, restricts
+/// query `qi` to the listed trajectory ids (the R-tree candidate sets of
+/// the indexed path). Heaps may arrive pre-seeded from earlier shards;
+/// the final contents equal a single scan over the union.
+#[allow(clippy::too_many_arguments)] // scan state is deliberately caller-owned
+pub fn scan_top_k_batch_into(
+    algo: &dyn SubtrajSearch,
+    candidates: &[&Trajectory],
+    queries: &[&[Point]],
+    heaps: &mut [TopKHeap],
+    workspaces: &mut [SearchWorkspace<'_>],
+    filters: Option<&[HashSet<u64>]>,
+    prune: bool,
+    floors: Option<&[SharedSimFloor]>,
+    stats: &mut PruneStats,
+) {
+    assert_eq!(queries.len(), heaps.len(), "one heap per query");
+    assert_eq!(queries.len(), workspaces.len(), "one workspace per query");
+    let admissible = algo.reported_similarity_is_admissible();
+    let cascades: Vec<BoundCascade<'_>> = queries
+        .iter()
+        .zip(workspaces.iter())
+        .map(|(q, ws)| BoundCascade::new(ws.measure(), q))
+        .collect();
+    // One MBR materialization per candidate for the whole batch —
+    // `Trajectory::mbr()` is an O(n) pass, so computing it per
+    // (trajectory, query) pair inside the loop would dwarf the bounds.
+    let any_active = prune && admissible && cascades.iter().any(BoundCascade::is_active);
+    let mbrs: Vec<Mbr> = if any_active {
+        candidates.iter().map(|t| t.mbr()).collect()
+    } else {
+        Vec::new()
+    };
+    for (ti, t) in candidates.iter().enumerate() {
+        for (qi, cascade) in cascades.iter().enumerate() {
+            if let Some(filters) = filters {
+                if !filters[qi].contains(&t.id) {
+                    continue;
+                }
+            }
+            stats.scanned += 1;
+            let heap = &mut heaps[qi];
+            let floor = floors.map(|f| &f[qi]);
+            if any_active && cascade.is_active() {
+                if !admits(heap, floor, cascade.coarse_bound(&mbrs[ti]), t.id) {
+                    stats.pruned_by_kim += 1;
+                    continue;
+                }
+                if !admits(heap, floor, cascade.envelope_bound(&mbrs[ti]), t.id) {
+                    stats.pruned_by_mbr += 1;
+                    continue;
+                }
+            }
+            stats.searched += 1;
+            search_and_push(algo, t, heap, &mut workspaces[qi], floor);
+        }
+    }
+}
+
 /// Scans `db`, running `algo` on each trajectory, and returns the top-`k`
-/// hits by descending similarity. Deterministic tie-break by trajectory id.
+/// hits by descending similarity (deterministic tie-break by trajectory
+/// id). Pruning follows [`crate::bounds::pruning_enabled`]; answers are
+/// identical either way.
 pub fn top_k_search(
     algo: &dyn SubtrajSearch,
     measure: &dyn Measure,
@@ -26,22 +345,49 @@ pub fn top_k_search(
     query: &[Point],
     k: usize,
 ) -> Vec<TopKResult> {
+    top_k_search_with_stats(
+        algo,
+        measure,
+        db,
+        query,
+        k,
+        crate::bounds::pruning_enabled(),
+    )
+    .0
+}
+
+/// [`top_k_search`] with an explicit prune switch and the scan's
+/// [`PruneStats`]. `prune: false` is the reference path: identical
+/// answers, every candidate searched.
+pub fn top_k_search_with_stats(
+    algo: &dyn SubtrajSearch,
+    measure: &dyn Measure,
+    db: &[Trajectory],
+    query: &[Point],
+    k: usize,
+    prune: bool,
+) -> (Vec<TopKResult>, PruneStats) {
     assert!(k > 0, "k must be positive");
-    let hits: Vec<TopKResult> = db
-        .iter()
-        .map(|t| TopKResult {
-            trajectory_id: t.id,
-            result: algo.search(measure, t.points(), query),
-        })
-        .collect();
-    sort_and_truncate(hits, k)
+    let mut stats = PruneStats::default();
+    if db.is_empty() {
+        return (Vec::new(), stats);
+    }
+    let refs: Vec<&Trajectory> = db.iter().collect();
+    let mut heap = TopKHeap::new(k);
+    let mut ws = SearchWorkspace::new(measure, query);
+    scan_top_k_into(
+        algo, &refs, query, &mut heap, &mut ws, prune, None, &mut stats,
+    );
+    (heap.into_sorted_hits(), stats)
 }
 
 /// Parallel variant of [`top_k_search`]: partitions the database across
-/// `threads` scoped worker threads. Per-trajectory searches are
-/// independent, so the result is identical to the sequential scan
-/// (asserted by tests). Falls back to the sequential path for
-/// `threads <= 1` or tiny databases.
+/// `threads` scoped worker threads, each with its own heap and
+/// workspace; workers publish their k-th similarity through a
+/// [`SharedSimFloor`] so one worker's progress prunes the others. The
+/// result is identical to the sequential scan (asserted by tests).
+/// Falls back to the sequential path for `threads <= 1` or tiny
+/// databases.
 pub fn top_k_search_parallel(
     algo: &(dyn SubtrajSearch + Sync),
     measure: &dyn Measure,
@@ -50,45 +396,76 @@ pub fn top_k_search_parallel(
     k: usize,
     threads: usize,
 ) -> Vec<TopKResult> {
+    top_k_search_parallel_with_stats(
+        algo,
+        measure,
+        db,
+        query,
+        k,
+        threads,
+        crate::bounds::pruning_enabled(),
+    )
+    .0
+}
+
+/// [`top_k_search_parallel`] with an explicit prune switch and merged
+/// [`PruneStats`] across workers.
+pub fn top_k_search_parallel_with_stats(
+    algo: &(dyn SubtrajSearch + Sync),
+    measure: &dyn Measure,
+    db: &[Trajectory],
+    query: &[Point],
+    k: usize,
+    threads: usize,
+    prune: bool,
+) -> (Vec<TopKResult>, PruneStats) {
     assert!(k > 0, "k must be positive");
     if threads <= 1 || db.len() < 2 * threads {
-        return top_k_search(algo, measure, db, query, k);
+        return top_k_search_with_stats(algo, measure, db, query, k, prune);
     }
     let chunk = db.len().div_ceil(threads);
-    let hits = crossbeam::scope(|scope| {
+    let floor = SharedSimFloor::new();
+    let (mut hits, stats) = crossbeam::scope(|scope| {
+        let floor = &floor;
         let handles: Vec<_> = db
             .chunks(chunk)
             .map(|part| {
                 scope.spawn(move |_| {
-                    // Each worker keeps only its local top-k: bounds the
-                    // merge to threads*k entries.
-                    let local: Vec<TopKResult> = part
-                        .iter()
-                        .map(|t| TopKResult {
-                            trajectory_id: t.id,
-                            result: algo.search(measure, t.points(), query),
-                        })
-                        .collect();
-                    sort_and_truncate(local, k)
+                    let refs: Vec<&Trajectory> = part.iter().collect();
+                    let mut heap = TopKHeap::new(k);
+                    let mut ws = SearchWorkspace::new(measure, query);
+                    let mut stats = PruneStats::default();
+                    scan_top_k_into(
+                        algo,
+                        &refs,
+                        query,
+                        &mut heap,
+                        &mut ws,
+                        prune,
+                        Some(floor),
+                        &mut stats,
+                    );
+                    (heap.into_sorted_hits(), stats)
                 })
             })
             .collect();
         let mut merged = Vec::with_capacity(threads * k);
+        let mut stats = PruneStats::default();
         for h in handles {
-            merged.extend(h.join().expect("search worker panicked"));
+            let (hits, worker_stats) = h.join().expect("search worker panicked");
+            merged.extend(hits);
+            stats.merge(&worker_stats);
         }
-        merged
+        (merged, stats)
     })
     .expect("scoped search threads panicked");
-    sort_and_truncate(hits, k)
+    sort_hits_and_truncate(&mut hits, k);
+    (hits, stats)
 }
 
 /// Batched variant of [`top_k_search`]: answers `queries.len()` top-k
-/// queries in one scan of the database. The trajectory loop is the
-/// *outer* loop, so each data trajectory's points stay hot in cache while
-/// every query in the micro-batch is evaluated against it — the
-/// amortization the serving layer (`simsub-service`) relies on when it
-/// coalesces concurrent requests. Results are identical to calling
+/// queries in one scan of the database (see [`scan_top_k_batch_into`]
+/// for the locality argument). Results are identical to calling
 /// [`top_k_search`] once per query (asserted by tests).
 pub fn top_k_search_batch(
     algo: &dyn SubtrajSearch,
@@ -97,32 +474,60 @@ pub fn top_k_search_batch(
     queries: &[&[Point]],
     k: usize,
 ) -> Vec<Vec<TopKResult>> {
+    top_k_search_batch_with_stats(
+        algo,
+        measure,
+        db,
+        queries,
+        k,
+        crate::bounds::pruning_enabled(),
+    )
+    .0
+}
+
+/// [`top_k_search_batch`] with an explicit prune switch and the batch's
+/// merged [`PruneStats`].
+pub fn top_k_search_batch_with_stats(
+    algo: &dyn SubtrajSearch,
+    measure: &dyn Measure,
+    db: &[Trajectory],
+    queries: &[&[Point]],
+    k: usize,
+    prune: bool,
+) -> (Vec<Vec<TopKResult>>, PruneStats) {
     assert!(k > 0, "k must be positive");
-    // Keep per-query buffers bounded: truncate to the running top-k once
-    // they grow past this many entries.
-    let trunc_at = (4 * k).max(64);
-    let mut per_query: Vec<Vec<TopKResult>> = vec![Vec::new(); queries.len()];
-    for t in db {
-        for (hits, query) in per_query.iter_mut().zip(queries) {
-            hits.push(TopKResult {
-                trajectory_id: t.id,
-                result: algo.search(measure, t.points(), query),
-            });
-            if hits.len() >= trunc_at {
-                *hits = sort_and_truncate(std::mem::take(hits), k);
-            }
-        }
+    let mut stats = PruneStats::default();
+    if db.is_empty() || queries.is_empty() {
+        return (vec![Vec::new(); queries.len()], stats);
     }
-    per_query
-        .into_iter()
-        .map(|hits| sort_and_truncate(hits, k))
-        .collect()
+    let refs: Vec<&Trajectory> = db.iter().collect();
+    let mut heaps: Vec<TopKHeap> = queries.iter().map(|_| TopKHeap::new(k)).collect();
+    let mut workspaces: Vec<SearchWorkspace<'_>> = queries
+        .iter()
+        .map(|q| SearchWorkspace::new(measure, q))
+        .collect();
+    scan_top_k_batch_into(
+        algo,
+        &refs,
+        queries,
+        &mut heaps,
+        &mut workspaces,
+        None,
+        prune,
+        None,
+        &mut stats,
+    );
+    (
+        heaps.into_iter().map(TopKHeap::into_sorted_hits).collect(),
+        stats,
+    )
 }
 
 /// The single definition of hit ordering: descending similarity, ties
 /// broken by ascending trajectory id. Every top-k path — sequential,
 /// parallel, batched, and the indexed variants in `simsub-index` — must
-/// rank through this function so results stay interchangeable.
+/// rank through this function (or the identically-ordered [`TopKHeap`])
+/// so results stay interchangeable.
 pub fn sort_hits_and_truncate(hits: &mut Vec<TopKResult>, k: usize) {
     hits.sort_by(|a, b| {
         b.result
@@ -131,11 +536,6 @@ pub fn sort_hits_and_truncate(hits: &mut Vec<TopKResult>, k: usize) {
             .then(a.trajectory_id.cmp(&b.trajectory_id))
     });
     hits.truncate(k);
-}
-
-fn sort_and_truncate(mut hits: Vec<TopKResult>, k: usize) -> Vec<TopKResult> {
-    sort_hits_and_truncate(&mut hits, k);
-    hits
 }
 
 #[cfg(test)]
@@ -217,5 +617,81 @@ mod tests {
                 assert_eq!(seq, par, "k={k} threads={threads}");
             }
         }
+    }
+
+    #[test]
+    fn pruned_scan_matches_unpruned_with_consistent_stats() {
+        let db = db(40, 12);
+        let q = walk(777, 5);
+        for k in [1, 3, 10] {
+            let (unpruned, s0) = top_k_search_with_stats(&ExactS, &Dtw, &db, &q, k, false);
+            let (pruned, s1) = top_k_search_with_stats(&ExactS, &Dtw, &db, &q, k, true);
+            assert_eq!(unpruned, pruned, "k={k}");
+            assert!(s0.is_consistent() && s1.is_consistent());
+            assert_eq!(s0.pruned(), 0, "reference path never prunes");
+            assert_eq!(s0.scanned, db.len() as u64);
+            assert_eq!(s1.scanned, db.len() as u64);
+        }
+    }
+
+    #[test]
+    fn heap_memory_stays_bounded_at_k() {
+        // Regression for the old collect-all-then-truncate buffers: the
+        // hit buffer must never hold more than k entries, whatever the
+        // database size.
+        let mut heap = TopKHeap::new(5);
+        for i in 0..10_000u64 {
+            heap.push(TopKResult {
+                trajectory_id: i,
+                result: SearchResult::from_distance(
+                    simsub_trajectory::SubtrajRange::new(0, 0),
+                    (i % 97) as f64,
+                ),
+            });
+            assert!(heap.len() <= 5);
+        }
+        assert_eq!(heap.peak_len(), 5);
+        let hits = heap.into_sorted_hits();
+        assert_eq!(hits.len(), 5);
+        // Best five are the distance-0 hits with the smallest ids.
+        for (idx, hit) in hits.iter().enumerate() {
+            assert_eq!(hit.result.distance, 0.0);
+            assert_eq!(hit.trajectory_id, idx as u64 * 97);
+        }
+    }
+
+    #[test]
+    fn heap_order_equals_sort_order() {
+        let db = db(31, 9);
+        let q = walk(42, 4);
+        let mut all: Vec<TopKResult> = db
+            .iter()
+            .map(|t| TopKResult {
+                trajectory_id: t.id,
+                result: ExactS.search(&Dtw, t.points(), &q),
+            })
+            .collect();
+        for k in [1, 4, 31, 100] {
+            let mut heap = TopKHeap::new(k);
+            for &hit in &all {
+                heap.push(hit);
+            }
+            let mut want = all.clone();
+            sort_hits_and_truncate(&mut want, k);
+            assert_eq!(heap.into_sorted_hits(), want, "k={k}");
+        }
+        // Tie-handling: duplicate similarities with distinct ids.
+        let dup = all[0];
+        all.push(TopKResult {
+            trajectory_id: 1_000,
+            ..dup
+        });
+        let mut heap = TopKHeap::new(3);
+        for &hit in &all {
+            heap.push(hit);
+        }
+        let mut want = all.clone();
+        sort_hits_and_truncate(&mut want, 3);
+        assert_eq!(heap.into_sorted_hits(), want);
     }
 }

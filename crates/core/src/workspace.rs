@@ -1,0 +1,155 @@
+//! The allocate-once evaluation workspace a corpus scan threads through
+//! every trajectory it searches.
+//!
+//! Before this existed, every `algo.search(measure, data, query)` call
+//! boxed a fresh `PrefixEvaluator` (including a `query.to_vec()` copy)
+//! per (trajectory, query) pair — pure heap traffic on the scan hot
+//! path, since [`simsub_measures::PrefixEvaluator::init`] already
+//! re-anchors an evaluator from scratch. A [`SearchWorkspace`] pays the
+//! allocation once per (query, scan): the prefix evaluator (and, for
+//! suffix-using algorithms like [`crate::Pss`], a reversed-query
+//! evaluator plus a suffix-similarity buffer) are created on first use
+//! and reused across the entire corpus via `init`; [`SearchWorkspace::reset`]
+//! re-targets the same buffers at a new query for multi-query scans.
+//!
+//! Reuse is bitwise-transparent: `init` fully overwrites evaluator state
+//! with the same arithmetic a fresh evaluator would perform, so a scan
+//! through one workspace returns bit-identical results to the allocating
+//! path (asserted by `tests/prune_equivalence.rs`).
+
+use simsub_measures::{Measure, PrefixEvaluator};
+use simsub_trajectory::Point;
+
+/// Reusable evaluator state for one query under one measure. See the
+/// module docs; obtained via [`SearchWorkspace::new`] and passed to
+/// [`crate::SubtrajSearch::search_with`].
+pub struct SearchWorkspace<'m> {
+    measure: &'m dyn Measure,
+    query: Vec<Point>,
+    prefix: Box<dyn PrefixEvaluator + 'm>,
+    /// Reversed-query buffer backing `suffix_eval`; filled lazily.
+    reversed_query: Vec<Point>,
+    /// Evaluator over the reversed query (suffix similarities), created
+    /// on first use so prefix-only algorithms never pay for it.
+    suffix_eval: Option<Box<dyn PrefixEvaluator + 'm>>,
+    /// Per-trajectory suffix similarities `Θ(T[t, n]ᴿ, Tqᴿ)`.
+    suffix: Vec<f64>,
+}
+
+impl<'m> SearchWorkspace<'m> {
+    /// Allocates the workspace for `query` (non-empty) under `measure` —
+    /// the one place a scan pays `Φ`-side allocation.
+    pub fn new(measure: &'m dyn Measure, query: &[Point]) -> Self {
+        assert!(!query.is_empty(), "query must be non-empty");
+        Self {
+            measure,
+            query: query.to_vec(),
+            prefix: measure.make_workspace(query),
+            reversed_query: Vec::new(),
+            suffix_eval: None,
+            suffix: Vec::new(),
+        }
+    }
+
+    /// Re-targets the workspace at a new query, reusing every buffer.
+    pub fn reset(&mut self, query: &[Point]) {
+        assert!(!query.is_empty(), "query must be non-empty");
+        self.query.clear();
+        self.query.extend_from_slice(query);
+        self.prefix.reset(query);
+        if let Some(suffix_eval) = &mut self.suffix_eval {
+            self.reversed_query.clear();
+            self.reversed_query.extend(query.iter().rev().copied());
+            suffix_eval.reset(&self.reversed_query);
+        }
+    }
+
+    /// The measure this workspace evaluates under.
+    pub fn measure(&self) -> &'m dyn Measure {
+        self.measure
+    }
+
+    /// The current query.
+    pub fn query(&self) -> &[Point] {
+        &self.query
+    }
+
+    /// The reusable prefix evaluator (`Φini` via `init`, `Φinc` via
+    /// `extend`).
+    pub fn prefix(&mut self) -> &mut (dyn PrefixEvaluator + 'm) {
+        self.prefix.as_mut()
+    }
+
+    /// Fills the suffix-similarity buffer for `data` (Algorithm 2,
+    /// lines 2-3): one backward pass of a reversed-query evaluator, at
+    /// `Φini + (n-1)·Φinc` cost and zero allocation after first use.
+    /// Read the result through [`SearchWorkspace::prefix_and_suffix`].
+    pub fn compute_suffix_similarities(&mut self, data: &[Point]) {
+        assert!(!data.is_empty(), "data must be non-empty");
+        if self.suffix_eval.is_none() {
+            self.reversed_query.clear();
+            self.reversed_query.extend(self.query.iter().rev().copied());
+            self.suffix_eval = Some(self.measure.make_workspace(&self.reversed_query));
+        }
+        let eval = self.suffix_eval.as_mut().expect("created above");
+        let n = data.len();
+        self.suffix.clear();
+        self.suffix.resize(n, 0.0);
+        self.suffix[n - 1] = eval.init(data[n - 1]);
+        for t in (0..n - 1).rev() {
+            self.suffix[t] = eval.extend(data[t]);
+        }
+    }
+
+    /// Split borrow: the prefix evaluator together with the suffix
+    /// similarities of the last [`SearchWorkspace::compute_suffix_similarities`]
+    /// call (empty if never called).
+    pub fn prefix_and_suffix(&mut self) -> (&mut (dyn PrefixEvaluator + 'm), &[f64]) {
+        (self.prefix.as_mut(), &self.suffix)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::splitting::suffix_similarities;
+    use crate::test_util::walk;
+    use simsub_measures::{Dtw, Frechet};
+
+    #[test]
+    fn suffix_buffer_matches_allocating_path() {
+        let q = walk(1, 5);
+        let mut ws = SearchWorkspace::new(&Dtw, &q);
+        for seed in 0..5u64 {
+            let data = walk(10 + seed, 9);
+            ws.compute_suffix_similarities(&data);
+            let want = suffix_similarities(&Dtw, &data, &q);
+            let (_, got) = ws.prefix_and_suffix();
+            assert_eq!(got.len(), want.len());
+            for (g, w) in got.iter().zip(&want) {
+                assert_eq!(g.to_bits(), w.to_bits(), "seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn reset_retargets_prefix_and_suffix() {
+        let q1 = walk(1, 4);
+        let q2 = walk(2, 7);
+        let data = walk(3, 8);
+        let mut ws = SearchWorkspace::new(&Frechet, &q1);
+        ws.compute_suffix_similarities(&data);
+        ws.reset(&q2);
+        assert_eq!(ws.query(), &q2[..]);
+        ws.compute_suffix_similarities(&data);
+        let want = suffix_similarities(&Frechet, &data, &q2);
+        let (eval, got) = ws.prefix_and_suffix();
+        for (g, w) in got.iter().zip(&want) {
+            assert_eq!(g.to_bits(), w.to_bits());
+        }
+        // Prefix evaluator answers for q2 now.
+        let sim = eval.init(data[0]);
+        let mut fresh = Frechet.make_workspace(&q2);
+        assert_eq!(sim.to_bits(), fresh.init(data[0]).to_bits());
+    }
+}

@@ -2,7 +2,10 @@
 //! the user-facing query of Section 3.1 runs against.
 
 use crate::rtree::RTree;
-use simsub_core::{sort_hits_and_truncate, top_k_search, SubtrajSearch, TopKResult};
+use simsub_core::{
+    pruning_enabled, PruneStats, SearchWorkspace, SharedSimFloor, SubtrajSearch, TopKHeap,
+    TopKResult,
+};
 use simsub_measures::Measure;
 use simsub_trajectory::{Mbr, Point, Trajectory};
 use std::collections::{HashMap, HashSet};
@@ -106,7 +109,9 @@ impl TrajectoryDb {
     /// With `use_index`, trajectories whose MBR does not intersect the
     /// query's MBR are pruned first; exact answers can in theory be lost
     /// (rarely in practice — see §6.2(4)), which is the accepted trade-off
-    /// this flag exposes.
+    /// this flag exposes. Independently, the scan itself is prune-first
+    /// (see `simsub_core::bounds`) when [`pruning_enabled`] — admissible
+    /// bounds skip full searches without changing any answer.
     pub fn top_k(
         &self,
         algo: &dyn SubtrajSearch,
@@ -115,18 +120,77 @@ impl TrajectoryDb {
         k: usize,
         use_index: bool,
     ) -> Vec<TopKResult> {
+        self.top_k_with_stats(algo, measure, query, k, use_index, pruning_enabled())
+            .0
+    }
+
+    /// [`TrajectoryDb::top_k`] with an explicit prune switch and the
+    /// scan's [`PruneStats`]. `prune: false` is the reference path with
+    /// identical answers.
+    pub fn top_k_with_stats(
+        &self,
+        algo: &dyn SubtrajSearch,
+        measure: &dyn Measure,
+        query: &[Point],
+        k: usize,
+        use_index: bool,
+        prune: bool,
+    ) -> (Vec<TopKResult>, PruneStats) {
+        assert!(k > 0, "k must be positive");
+        let mut stats = PruneStats::default();
+        let candidates = self.scan_candidates(query, use_index);
+        if candidates.is_empty() {
+            return (Vec::new(), stats);
+        }
+        let mut heap = TopKHeap::new(k);
+        let mut ws = SearchWorkspace::new(measure, query);
+        simsub_core::scan_top_k_into(
+            algo,
+            &candidates,
+            query,
+            &mut heap,
+            &mut ws,
+            prune,
+            None,
+            &mut stats,
+        );
+        (heap.into_sorted_hits(), stats)
+    }
+
+    /// The candidate set a scan visits: the R-tree intersection set with
+    /// `use_index`, the whole database otherwise.
+    fn scan_candidates(&self, query: &[Point], use_index: bool) -> Vec<&Trajectory> {
         if use_index {
-            let qmbr = Mbr::of_points(query);
-            let candidates: Vec<Trajectory> = self.candidates(&qmbr).into_iter().cloned().collect();
-            top_k_search(algo, measure, &candidates, query, k)
+            self.candidates(&Mbr::of_points(query))
         } else {
-            top_k_search(algo, measure, &self.trajs, query, k)
+            self.trajs.iter().collect()
         }
     }
 
+    /// Low-level fan-out entry: scans this database into a caller-owned
+    /// heap/workspace (see `simsub_core::scan_top_k_into`). `ShardedDb`
+    /// threads one heap and one workspace through every shard, so the
+    /// running k-th similarity and the evaluator buffers carry across
+    /// shard rounds.
+    #[allow(clippy::too_many_arguments)] // scan state is deliberately caller-owned
+    pub fn scan_top_k_into(
+        &self,
+        algo: &dyn SubtrajSearch,
+        query: &[Point],
+        use_index: bool,
+        heap: &mut TopKHeap,
+        ws: &mut SearchWorkspace<'_>,
+        prune: bool,
+        floor: Option<&SharedSimFloor>,
+        stats: &mut PruneStats,
+    ) {
+        let candidates = self.scan_candidates(query, use_index);
+        simsub_core::scan_top_k_into(algo, &candidates, query, heap, ws, prune, floor, stats);
+    }
+
     /// Batched [`TrajectoryDb::top_k`]: answers every query in one outer
-    /// scan of the database (see `simsub_core::top_k_search_batch` for the
-    /// locality argument). With `use_index`, each query keeps its own
+    /// scan of the database (see `simsub_core::scan_top_k_batch_into` for
+    /// the locality argument). With `use_index`, each query keeps its own
     /// R-tree candidate set, so results are identical to the per-query
     /// path — a trajectory is evaluated for exactly the queries whose MBR
     /// it intersects, but its points are touched once per batch rather
@@ -139,36 +203,79 @@ impl TrajectoryDb {
         k: usize,
         use_index: bool,
     ) -> Vec<Vec<TopKResult>> {
+        self.top_k_batch_with_stats(algo, measure, queries, k, use_index, pruning_enabled())
+            .0
+    }
+
+    /// [`TrajectoryDb::top_k_batch`] with an explicit prune switch and
+    /// the batch's merged [`PruneStats`].
+    pub fn top_k_batch_with_stats(
+        &self,
+        algo: &dyn SubtrajSearch,
+        measure: &dyn Measure,
+        queries: &[&[Point]],
+        k: usize,
+        use_index: bool,
+        prune: bool,
+    ) -> (Vec<Vec<TopKResult>>, PruneStats) {
         assert!(k > 0, "k must be positive");
-        if !use_index {
-            return simsub_core::top_k_search_batch(algo, measure, &self.trajs, queries, k);
+        let mut stats = PruneStats::default();
+        if self.is_empty() || queries.is_empty() {
+            return (vec![Vec::new(); queries.len()], stats);
         }
-        let candidate_sets: Vec<HashSet<u64>> = queries
+        let mut heaps: Vec<TopKHeap> = queries.iter().map(|_| TopKHeap::new(k)).collect();
+        let mut workspaces: Vec<SearchWorkspace<'_>> = queries
             .iter()
-            .map(|q| self.candidate_ids(&Mbr::of_points(q)).into_iter().collect())
+            .map(|q| SearchWorkspace::new(measure, q))
             .collect();
-        let trunc_at = (4 * k).max(64);
-        let mut per_query: Vec<Vec<TopKResult>> = vec![Vec::new(); queries.len()];
-        for t in &self.trajs {
-            for ((hits, query), candidates) in
-                per_query.iter_mut().zip(queries).zip(&candidate_sets)
-            {
-                if !candidates.contains(&t.id) {
-                    continue;
-                }
-                hits.push(TopKResult {
-                    trajectory_id: t.id,
-                    result: algo.search(measure, t.points(), query),
-                });
-                if hits.len() >= trunc_at {
-                    sort_hits_and_truncate(hits, k);
-                }
-            }
-        }
-        for hits in &mut per_query {
-            sort_hits_and_truncate(hits, k);
-        }
-        per_query
+        self.scan_top_k_batch_into(
+            algo,
+            queries,
+            &mut heaps,
+            &mut workspaces,
+            use_index,
+            prune,
+            None,
+            &mut stats,
+        );
+        (
+            heaps.into_iter().map(TopKHeap::into_sorted_hits).collect(),
+            stats,
+        )
+    }
+
+    /// Low-level batched fan-out entry, mirroring
+    /// [`TrajectoryDb::scan_top_k_into`] for whole micro-batches.
+    #[allow(clippy::too_many_arguments)] // scan state is deliberately caller-owned
+    pub fn scan_top_k_batch_into(
+        &self,
+        algo: &dyn SubtrajSearch,
+        queries: &[&[Point]],
+        heaps: &mut [TopKHeap],
+        workspaces: &mut [SearchWorkspace<'_>],
+        use_index: bool,
+        prune: bool,
+        floors: Option<&[SharedSimFloor]>,
+        stats: &mut PruneStats,
+    ) {
+        let refs: Vec<&Trajectory> = self.trajs.iter().collect();
+        let filters: Option<Vec<HashSet<u64>>> = use_index.then(|| {
+            queries
+                .iter()
+                .map(|q| self.candidate_ids(&Mbr::of_points(q)).into_iter().collect())
+                .collect()
+        });
+        simsub_core::scan_top_k_batch_into(
+            algo,
+            &refs,
+            queries,
+            heaps,
+            workspaces,
+            filters.as_deref(),
+            prune,
+            floors,
+            stats,
+        );
     }
 }
 

@@ -32,7 +32,10 @@
 //!   as an error.
 
 use crate::TrajectoryDb;
-use simsub_core::{sort_hits_and_truncate, SubtrajSearch, TopKResult};
+use simsub_core::{
+    pruning_enabled, sort_hits_and_truncate, PruneStats, SearchWorkspace, SharedSimFloor,
+    SubtrajSearch, TopKHeap, TopKResult,
+};
 use simsub_measures::Measure;
 use simsub_trajectory::{Mbr, Point, Trajectory};
 use std::sync::Arc;
@@ -222,9 +225,13 @@ impl ShardedDb {
         out
     }
 
-    /// Top-k search: per-shard fan-out, then a merge through
-    /// [`sort_hits_and_truncate`]. Byte-identical to
-    /// [`TrajectoryDb::top_k`] over the same corpus (see module docs).
+    /// Top-k search: per-shard fan-out through *one* shared heap and
+    /// evaluator workspace. The running k-th similarity established by
+    /// earlier shards prunes candidates in later shards (cross-shard
+    /// threshold sharing), and the evaluator buffers are allocated once
+    /// for the whole fan-out. Byte-identical to [`TrajectoryDb::top_k`]
+    /// over the same corpus (see module docs): the heap over the union
+    /// of per-shard candidate sets is exactly the single-database top-k.
     pub fn top_k(
         &self,
         algo: &dyn SubtrajSearch,
@@ -233,14 +240,36 @@ impl ShardedDb {
         k: usize,
         use_index: bool,
     ) -> Vec<TopKResult> {
+        self.top_k_with_stats(algo, measure, query, k, use_index, pruning_enabled())
+            .0
+    }
+
+    /// [`ShardedDb::top_k`] with an explicit prune switch and merged
+    /// [`PruneStats`] across shards.
+    pub fn top_k_with_stats(
+        &self,
+        algo: &dyn SubtrajSearch,
+        measure: &dyn Measure,
+        query: &[Point],
+        k: usize,
+        use_index: bool,
+        prune: bool,
+    ) -> (Vec<TopKResult>, PruneStats) {
         assert!(k > 0, "k must be positive");
         let qmbr = Mbr::of_points(query);
-        let mut hits = Vec::new();
-        for i in self.relevant_shards(&qmbr, use_index) {
-            hits.extend(self.shards[i].top_k(algo, measure, query, k, use_index));
+        let mut stats = PruneStats::default();
+        let relevant = self.relevant_shards(&qmbr, use_index);
+        if relevant.is_empty() {
+            return (Vec::new(), stats);
         }
-        sort_hits_and_truncate(&mut hits, k);
-        hits
+        let mut heap = TopKHeap::new(k);
+        let mut ws = SearchWorkspace::new(measure, query);
+        for i in relevant {
+            self.shards[i].scan_top_k_into(
+                algo, query, use_index, &mut heap, &mut ws, prune, None, &mut stats,
+            );
+        }
+        (heap.into_sorted_hits(), stats)
     }
 
     /// [`ShardedDb::top_k`] with the shard fan-out spread over up to
@@ -257,45 +286,88 @@ impl ShardedDb {
         use_index: bool,
         threads: usize,
     ) -> Vec<TopKResult> {
+        self.top_k_parallel_with_stats(
+            algo,
+            measure,
+            query,
+            k,
+            use_index,
+            threads,
+            pruning_enabled(),
+        )
+        .0
+    }
+
+    /// [`ShardedDb::top_k_parallel`] with an explicit prune switch and
+    /// merged [`PruneStats`]. Workers keep per-shard-round workspaces and
+    /// heaps but publish their k-th similarity through a
+    /// [`SharedSimFloor`], so one worker's progress prunes the others —
+    /// the parallel form of the sequential path's cross-shard threshold.
+    #[allow(clippy::too_many_arguments)] // mirrors the non-batch signature
+    pub fn top_k_parallel_with_stats(
+        &self,
+        algo: &(dyn SubtrajSearch + Sync),
+        measure: &dyn Measure,
+        query: &[Point],
+        k: usize,
+        use_index: bool,
+        threads: usize,
+        prune: bool,
+    ) -> (Vec<TopKResult>, PruneStats) {
         assert!(k > 0, "k must be positive");
         let qmbr = Mbr::of_points(query);
         let relevant = self.relevant_shards(&qmbr, use_index);
         if threads <= 1 || relevant.len() <= 1 {
-            return self.top_k(algo, measure, query, k, use_index);
+            return self.top_k_with_stats(algo, measure, query, k, use_index, prune);
         }
         let chunk = relevant.len().div_ceil(threads);
-        let mut hits = crossbeam::scope(|scope| {
+        let floor = SharedSimFloor::new();
+        let (mut hits, stats) = crossbeam::scope(|scope| {
+            let floor = &floor;
             let handles: Vec<_> = relevant
                 .chunks(chunk)
                 .map(|part| {
                     scope.spawn(move |_| {
-                        let mut local = Vec::new();
+                        // One heap/workspace per worker, threaded through
+                        // its whole shard subset.
+                        let mut heap = TopKHeap::new(k);
+                        let mut ws = SearchWorkspace::new(measure, query);
+                        let mut stats = PruneStats::default();
                         for &i in part {
-                            local.extend(self.shards[i].top_k(algo, measure, query, k, use_index));
+                            self.shards[i].scan_top_k_into(
+                                algo,
+                                query,
+                                use_index,
+                                &mut heap,
+                                &mut ws,
+                                prune,
+                                Some(floor),
+                                &mut stats,
+                            );
                         }
-                        // Keep only the local top-k: bounds the merge to
-                        // threads*k entries without changing the answer.
-                        sort_hits_and_truncate(&mut local, k);
-                        local
+                        (heap.into_sorted_hits(), stats)
                     })
                 })
                 .collect();
             let mut merged = Vec::with_capacity(threads * k);
+            let mut stats = PruneStats::default();
             for h in handles {
-                merged.extend(h.join().expect("shard worker panicked"));
+                let (local, local_stats) = h.join().expect("shard worker panicked");
+                merged.extend(local);
+                stats.merge(&local_stats);
             }
-            merged
+            (merged, stats)
         })
         .expect("scoped shard threads panicked");
         sort_hits_and_truncate(&mut hits, k);
-        hits
+        (hits, stats)
     }
 
     /// Batched top-k: every query fans out across shards, each shard
-    /// answers the whole batch in one scan ([`TrajectoryDb::top_k_batch`]),
-    /// and per-query hit lists are merged through
-    /// [`sort_hits_and_truncate`]. Byte-identical to the single-database
-    /// batch path.
+    /// answers the whole batch in one scan through *shared* per-query
+    /// heaps and workspaces — the running k-th similarities carry from
+    /// shard to shard exactly as in [`ShardedDb::top_k`]. Byte-identical
+    /// to the single-database batch path.
     pub fn top_k_batch(
         &self,
         algo: &dyn SubtrajSearch,
@@ -304,18 +376,47 @@ impl ShardedDb {
         k: usize,
         use_index: bool,
     ) -> Vec<Vec<TopKResult>> {
+        self.top_k_batch_with_stats(algo, measure, queries, k, use_index, pruning_enabled())
+            .0
+    }
+
+    /// [`ShardedDb::top_k_batch`] with an explicit prune switch and
+    /// merged [`PruneStats`].
+    pub fn top_k_batch_with_stats(
+        &self,
+        algo: &dyn SubtrajSearch,
+        measure: &dyn Measure,
+        queries: &[&[Point]],
+        k: usize,
+        use_index: bool,
+        prune: bool,
+    ) -> (Vec<Vec<TopKResult>>, PruneStats) {
         assert!(k > 0, "k must be positive");
-        let mut per_query: Vec<Vec<TopKResult>> = vec![Vec::new(); queries.len()];
+        let mut stats = PruneStats::default();
+        if self.is_empty() || queries.is_empty() {
+            return (vec![Vec::new(); queries.len()], stats);
+        }
+        let mut heaps: Vec<TopKHeap> = queries.iter().map(|_| TopKHeap::new(k)).collect();
+        let mut workspaces: Vec<SearchWorkspace<'_>> = queries
+            .iter()
+            .map(|q| SearchWorkspace::new(measure, q))
+            .collect();
         for shard in self.shards.iter().filter(|s| !s.is_empty()) {
-            let partials = shard.top_k_batch(algo, measure, queries, k, use_index);
-            for (acc, hits) in per_query.iter_mut().zip(partials) {
-                acc.extend(hits);
-            }
+            shard.scan_top_k_batch_into(
+                algo,
+                queries,
+                &mut heaps,
+                &mut workspaces,
+                use_index,
+                prune,
+                None,
+                &mut stats,
+            );
         }
-        for hits in &mut per_query {
-            sort_hits_and_truncate(hits, k);
-        }
-        per_query
+        (
+            heaps.into_iter().map(TopKHeap::into_sorted_hits).collect(),
+            stats,
+        )
     }
 
     /// [`ShardedDb::top_k_batch`] with the shard fan-out spread over up
@@ -330,32 +431,71 @@ impl ShardedDb {
         use_index: bool,
         threads: usize,
     ) -> Vec<Vec<TopKResult>> {
+        self.top_k_batch_parallel_with_stats(
+            algo,
+            measure,
+            queries,
+            k,
+            use_index,
+            threads,
+            pruning_enabled(),
+        )
+        .0
+    }
+
+    /// [`ShardedDb::top_k_batch_parallel`] with an explicit prune switch
+    /// and merged [`PruneStats`]. Workers share one [`SharedSimFloor`]
+    /// per query, mirroring [`ShardedDb::top_k_parallel_with_stats`].
+    #[allow(clippy::too_many_arguments)] // mirrors the non-batch signature
+    pub fn top_k_batch_parallel_with_stats(
+        &self,
+        algo: &(dyn SubtrajSearch + Sync),
+        measure: &dyn Measure,
+        queries: &[&[Point]],
+        k: usize,
+        use_index: bool,
+        threads: usize,
+        prune: bool,
+    ) -> (Vec<Vec<TopKResult>>, PruneStats) {
         assert!(k > 0, "k must be positive");
         let populated: Vec<usize> = (0..self.shards.len())
             .filter(|&i| !self.shards[i].is_empty())
             .collect();
         if threads <= 1 || populated.len() <= 1 {
-            return self.top_k_batch(algo, measure, queries, k, use_index);
+            return self.top_k_batch_with_stats(algo, measure, queries, k, use_index, prune);
         }
         let chunk = populated.len().div_ceil(threads);
+        let floors: Vec<SharedSimFloor> = queries.iter().map(|_| SharedSimFloor::new()).collect();
         let mut per_query: Vec<Vec<TopKResult>> = vec![Vec::new(); queries.len()];
+        let mut stats = PruneStats::default();
         let partials = crossbeam::scope(|scope| {
+            let floors = floors.as_slice();
             let handles: Vec<_> = populated
                 .chunks(chunk)
                 .map(|part| {
                     scope.spawn(move |_| {
-                        let mut local: Vec<Vec<TopKResult>> = vec![Vec::new(); queries.len()];
+                        let mut heaps: Vec<TopKHeap> =
+                            queries.iter().map(|_| TopKHeap::new(k)).collect();
+                        let mut workspaces: Vec<SearchWorkspace<'_>> = queries
+                            .iter()
+                            .map(|q| SearchWorkspace::new(measure, q))
+                            .collect();
+                        let mut stats = PruneStats::default();
                         for &i in part {
-                            let partial =
-                                self.shards[i].top_k_batch(algo, measure, queries, k, use_index);
-                            for (acc, hits) in local.iter_mut().zip(partial) {
-                                acc.extend(hits);
-                            }
+                            self.shards[i].scan_top_k_batch_into(
+                                algo,
+                                queries,
+                                &mut heaps,
+                                &mut workspaces,
+                                use_index,
+                                prune,
+                                Some(floors),
+                                &mut stats,
+                            );
                         }
-                        for hits in &mut local {
-                            sort_hits_and_truncate(hits, k);
-                        }
-                        local
+                        let local: Vec<Vec<TopKResult>> =
+                            heaps.into_iter().map(TopKHeap::into_sorted_hits).collect();
+                        (local, stats)
                     })
                 })
                 .collect();
@@ -365,7 +505,8 @@ impl ShardedDb {
                 .collect::<Vec<_>>()
         })
         .expect("scoped shard threads panicked");
-        for partial in partials {
+        for (partial, local_stats) in partials {
+            stats.merge(&local_stats);
             for (acc, hits) in per_query.iter_mut().zip(partial) {
                 acc.extend(hits);
             }
@@ -373,7 +514,7 @@ impl ShardedDb {
         for hits in &mut per_query {
             sort_hits_and_truncate(hits, k);
         }
-        per_query
+        (per_query, stats)
     }
 
     /// Shard indices a query must visit. With the index enabled, a shard

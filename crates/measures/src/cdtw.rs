@@ -43,8 +43,14 @@ impl Measure for Cdtw {
         dtw_distance_banded(a, b, self.band)
     }
 
-    fn prefix_evaluator(&self, query: &[Point]) -> Box<dyn PrefixEvaluator + '_> {
+    fn make_workspace(&self, query: &[Point]) -> Box<dyn PrefixEvaluator + '_> {
         Box::new(CdtwEvaluator::new(query, self.band))
+    }
+
+    fn distance_aggregate(&self) -> Option<crate::DistanceAggregate> {
+        // Banded warping paths still visit every query column, so the
+        // sum-aggregate bound of plain DTW stays admissible.
+        Some(crate::DistanceAggregate::Sum)
     }
 }
 
@@ -65,6 +71,10 @@ pub struct CdtwEvaluator {
     band: usize,
     /// All data points of the current subtrajectory.
     data: Vec<Point>,
+    /// Reused DP rows — `recompute` runs once per `init`/`extend`, so
+    /// the allocating `dtw_distance_banded` entry point would pay a
+    /// fresh row pair per visited point.
+    ws: crate::BandedDtwWorkspace,
     /// Final-row value cache per length (distance of `T[i, i+len-1]`).
     current: f64,
     initialized: bool,
@@ -78,13 +88,14 @@ impl CdtwEvaluator {
             query: query.to_vec(),
             band,
             data: Vec::new(),
+            ws: crate::BandedDtwWorkspace::new(),
             current: f64::INFINITY,
             initialized: false,
         }
     }
 
     fn recompute(&mut self) {
-        self.current = dtw_distance_banded(&self.data, &self.query, self.band);
+        self.current = self.ws.distance(&self.data, &self.query, self.band);
     }
 }
 
@@ -114,6 +125,15 @@ impl PrefixEvaluator for CdtwEvaluator {
         } else {
             f64::INFINITY
         }
+    }
+
+    fn reset(&mut self, query: &[Point]) {
+        assert!(!query.is_empty(), "query must be non-empty");
+        self.query.clear();
+        self.query.extend_from_slice(query);
+        self.data.clear();
+        self.current = f64::INFINITY;
+        self.initialized = false;
     }
 }
 

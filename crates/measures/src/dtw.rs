@@ -11,7 +11,7 @@
 //! The incremental evaluator keeps the last DP row (length `m`), so
 //! `Φini = Φinc = O(m)` exactly as Table 1 requires.
 
-use crate::{similarity_from_distance, Measure, PrefixEvaluator};
+use crate::{similarity_from_distance, DistanceAggregate, Measure, PrefixEvaluator};
 use simsub_trajectory::Point;
 
 /// The DTW measure. Stateless; one instance can serve any number of
@@ -38,50 +38,90 @@ pub fn dtw_distance(a: &[Point], b: &[Point]) -> f64 {
 /// `|i - j| <= band` after rescaling index ranges to equal lengths.
 /// `band` is in *b*-index units. Cells outside the band are `+∞`.
 /// With `band >= max(|a|, |b|)` this equals unconstrained DTW.
-#[allow(clippy::needless_range_loop)] // lockstep band-window indexing
+///
+/// Allocates a fresh [`BandedDtwWorkspace`] per call; hot loops that
+/// compute many banded distances should hold a workspace and call
+/// [`BandedDtwWorkspace::distance`] instead.
 pub fn dtw_distance_banded(a: &[Point], b: &[Point], band: usize) -> f64 {
-    if a.is_empty() || b.is_empty() {
-        return f64::INFINITY;
+    BandedDtwWorkspace::new().distance(a, b, band)
+}
+
+/// Reusable row buffers for banded DTW: one allocation serves any number
+/// of `distance` calls (rows grow to the largest `|b|` seen and are then
+/// reused). The DP tracks each row's valid band window explicitly instead
+/// of resetting whole rows to `+∞`, so per-row work is `O(band)` writes,
+/// not `O(m)` — the difference dominates at small bands.
+#[derive(Debug, Clone, Default)]
+pub struct BandedDtwWorkspace {
+    prev: Vec<f64>,
+    cur: Vec<f64>,
+}
+
+impl BandedDtwWorkspace {
+    /// An empty workspace; buffers are sized on first use.
+    pub fn new() -> Self {
+        Self::default()
     }
-    let (n, m) = (a.len(), b.len());
-    let mut prev = vec![f64::INFINITY; m];
-    let mut cur = vec![f64::INFINITY; m];
-    // Map row i to the band center on the b axis so unequal lengths warp
-    // proportionally (the classic Sakoe-Chiba generalization).
-    let center = |i: usize| -> isize {
-        if n <= 1 {
-            0
-        } else {
-            ((i as f64) * ((m - 1) as f64) / ((n - 1) as f64)).round() as isize
+
+    /// Banded DTW distance; semantics identical to [`dtw_distance_banded`]
+    /// (property-tested), buffers reused across calls.
+    #[allow(clippy::needless_range_loop)] // lockstep band-window indexing
+    pub fn distance(&mut self, a: &[Point], b: &[Point], band: usize) -> f64 {
+        if a.is_empty() || b.is_empty() {
+            return f64::INFINITY;
         }
-    };
-    for i in 0..n {
-        cur.iter_mut().for_each(|v| *v = f64::INFINITY);
-        let c = center(i);
-        let lo = (c - band as isize).max(0) as usize;
-        let hi = ((c + band as isize) as usize).min(m - 1);
-        for j in lo..=hi {
-            let d = a[i].dist(b[j]);
-            let best = if i == 0 && j == 0 {
-                0.0
+        let (n, m) = (a.len(), b.len());
+        if self.prev.len() < m {
+            self.prev.resize(m, f64::INFINITY);
+            self.cur.resize(m, f64::INFINITY);
+        }
+        let (prev, cur) = (&mut self.prev, &mut self.cur);
+        // Map row i to the band center on the b axis so unequal lengths
+        // warp proportionally (the classic Sakoe-Chiba generalization).
+        let center = |i: usize| -> isize {
+            if n <= 1 {
+                0
             } else {
-                let mut best = f64::INFINITY;
-                if i > 0 {
-                    best = best.min(prev[j]); // D_{i-1, j}
-                    if j > 0 {
+                ((i as f64) * ((m - 1) as f64) / ((n - 1) as f64)).round() as isize
+            }
+        };
+        // Valid band window of the previous row; cells outside it read as
+        // +∞ (initially empty: row 0 reads no previous row).
+        let (mut plo, mut phi) = (1usize, 0usize);
+        for i in 0..n {
+            let c = center(i);
+            let lo = (c - band as isize).max(0) as usize;
+            let hi = ((c + band as isize) as usize).min(m - 1);
+            for j in lo..=hi {
+                let d = a[i].dist(b[j]);
+                let best = if i == 0 && j == 0 {
+                    0.0
+                } else {
+                    let mut best = f64::INFINITY;
+                    if (plo..=phi).contains(&j) {
+                        best = best.min(prev[j]); // D_{i-1, j}
+                    }
+                    if j > 0 && (plo..=phi).contains(&(j - 1)) {
                         best = best.min(prev[j - 1]); // D_{i-1, j-1}
                     }
-                }
-                if j > 0 {
-                    best = best.min(cur[j - 1]); // D_{i, j-1}
-                }
-                best
-            };
-            cur[j] = d + best;
+                    if j > lo {
+                        best = best.min(cur[j - 1]); // D_{i, j-1}
+                    }
+                    best
+                };
+                cur[j] = d + best;
+            }
+            std::mem::swap(prev, cur);
+            (plo, phi) = (lo, hi);
         }
-        std::mem::swap(&mut prev, &mut cur);
+        if (plo..=phi).contains(&(m - 1)) {
+            prev[m - 1]
+        } else {
+            // The last row's band never reached column m-1 (possible only
+            // in degenerate n=1 cases): no admissible path exists.
+            f64::INFINITY
+        }
     }
-    prev[m - 1]
 }
 
 impl Measure for Dtw {
@@ -93,8 +133,12 @@ impl Measure for Dtw {
         dtw_distance(a, b)
     }
 
-    fn prefix_evaluator(&self, query: &[Point]) -> Box<dyn PrefixEvaluator + '_> {
+    fn make_workspace(&self, query: &[Point]) -> Box<dyn PrefixEvaluator + '_> {
         Box::new(DtwEvaluator::new(query))
+    }
+
+    fn distance_aggregate(&self) -> Option<DistanceAggregate> {
+        Some(DistanceAggregate::Sum)
     }
 }
 
@@ -156,6 +200,15 @@ impl PrefixEvaluator for DtwEvaluator {
         } else {
             f64::INFINITY
         }
+    }
+
+    fn reset(&mut self, query: &[Point]) {
+        assert!(!query.is_empty(), "query must be non-empty");
+        self.query.clear();
+        self.query.extend_from_slice(query);
+        self.row.clear();
+        self.row.resize(query.len(), 0.0);
+        self.initialized = false;
     }
 }
 
@@ -291,6 +344,33 @@ mod tests {
         #[test]
         fn nonnegative_and_zero_on_self(a in arb_traj(12)) {
             prop_assert!(dtw_distance(&a, &a).abs() < 1e-9);
+        }
+
+        #[test]
+        fn reset_equals_fresh_evaluator(a in arb_traj(12), b in arb_traj(10), c in arb_traj(10)) {
+            // One evaluator reset from query c to query b must track a
+            // fresh evaluator over b bit for bit.
+            let mut reused = DtwEvaluator::new(&c);
+            reused.init(a[0]);
+            reused.reset(&b);
+            let mut fresh = DtwEvaluator::new(&b);
+            prop_assert_eq!(reused.init(a[0]).to_bits(), fresh.init(a[0]).to_bits());
+            for &p in &a[1..] {
+                prop_assert_eq!(reused.extend(p).to_bits(), fresh.extend(p).to_bits());
+            }
+        }
+
+        #[test]
+        fn workspace_reuse_matches_fresh_banded(
+            a in arb_traj(10), b in arb_traj(10), c in arb_traj(10), band in 0usize..6,
+        ) {
+            // A reused workspace (dirty buffers from an unrelated call)
+            // must reproduce the allocating entry point exactly.
+            let mut ws = BandedDtwWorkspace::new();
+            let _ = ws.distance(&c, &b, band); // dirty the buffers
+            let reused = ws.distance(&a, &b, band);
+            let fresh = dtw_distance_banded(&a, &b, band);
+            prop_assert_eq!(reused.to_bits(), fresh.to_bits());
         }
 
         #[test]

@@ -51,7 +51,7 @@ impl Measure for Edr {
         edr_distance(a, b, self.epsilon)
     }
 
-    fn prefix_evaluator(&self, query: &[Point]) -> Box<dyn PrefixEvaluator + '_> {
+    fn make_workspace(&self, query: &[Point]) -> Box<dyn PrefixEvaluator + '_> {
         Box::new(EdrEvaluator::new(query, self.epsilon))
     }
 }
@@ -132,6 +132,16 @@ impl PrefixEvaluator for EdrEvaluator {
         } else {
             f64::INFINITY
         }
+    }
+
+    fn reset(&mut self, query: &[Point]) {
+        assert!(!query.is_empty(), "query must be non-empty");
+        self.query.clear();
+        self.query.extend_from_slice(query);
+        self.row.clear();
+        self.row.resize(query.len(), 0.0);
+        self.i = 0;
+        self.initialized = false;
     }
 }
 

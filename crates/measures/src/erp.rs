@@ -70,7 +70,7 @@ impl Measure for Erp {
         erp_distance(a, b, self.gap)
     }
 
-    fn prefix_evaluator(&self, query: &[Point]) -> Box<dyn PrefixEvaluator + '_> {
+    fn make_workspace(&self, query: &[Point]) -> Box<dyn PrefixEvaluator + '_> {
         Box::new(ErpEvaluator::new(query, self.gap))
     }
 }
@@ -154,6 +154,19 @@ impl PrefixEvaluator for ErpEvaluator {
         } else {
             f64::INFINITY
         }
+    }
+
+    fn reset(&mut self, query: &[Point]) {
+        assert!(!query.is_empty(), "query must be non-empty");
+        self.query_gap.clear();
+        self.query_gap
+            .extend(query.iter().map(|q| q.dist(self.gap)));
+        self.query.clear();
+        self.query.extend_from_slice(query);
+        self.row.clear();
+        self.row.resize(query.len(), 0.0);
+        self.col0 = 0.0;
+        self.initialized = false;
     }
 }
 

@@ -9,7 +9,7 @@
 //!
 //! Same row-rolling structure as DTW, so `Φini = Φinc = O(m)`.
 
-use crate::{similarity_from_distance, Measure, PrefixEvaluator};
+use crate::{similarity_from_distance, DistanceAggregate, Measure, PrefixEvaluator};
 use simsub_trajectory::Point;
 
 /// The discrete Frechet measure.
@@ -39,8 +39,12 @@ impl Measure for Frechet {
         frechet_distance(a, b)
     }
 
-    fn prefix_evaluator(&self, query: &[Point]) -> Box<dyn PrefixEvaluator + '_> {
+    fn make_workspace(&self, query: &[Point]) -> Box<dyn PrefixEvaluator + '_> {
         Box::new(FrechetEvaluator::new(query))
+    }
+
+    fn distance_aggregate(&self) -> Option<DistanceAggregate> {
+        Some(DistanceAggregate::Max)
     }
 }
 
@@ -100,6 +104,15 @@ impl PrefixEvaluator for FrechetEvaluator {
         } else {
             f64::INFINITY
         }
+    }
+
+    fn reset(&mut self, query: &[Point]) {
+        assert!(!query.is_empty(), "query must be non-empty");
+        self.query.clear();
+        self.query.extend_from_slice(query);
+        self.row.clear();
+        self.row.resize(query.len(), 0.0);
+        self.initialized = false;
     }
 }
 

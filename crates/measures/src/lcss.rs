@@ -60,7 +60,7 @@ impl Measure for Lcss {
         lcss_distance(a, b, self.epsilon)
     }
 
-    fn prefix_evaluator(&self, query: &[Point]) -> Box<dyn PrefixEvaluator + '_> {
+    fn make_workspace(&self, query: &[Point]) -> Box<dyn PrefixEvaluator + '_> {
         Box::new(LcssEvaluator::new(query, self.epsilon))
     }
 }
@@ -144,6 +144,16 @@ impl PrefixEvaluator for LcssEvaluator {
         } else {
             f64::INFINITY
         }
+    }
+
+    fn reset(&mut self, query: &[Point]) {
+        assert!(!query.is_empty(), "query must be non-empty");
+        self.query.clear();
+        self.query.extend_from_slice(query);
+        self.row.clear();
+        self.row.resize(query.len(), 0);
+        self.i = 0;
+        self.initialized = false;
     }
 }
 

@@ -39,7 +39,7 @@ mod lcss;
 mod t2vec;
 
 pub use cdtw::{Cdtw, CdtwEvaluator};
-pub use dtw::{dtw_distance, dtw_distance_banded, Dtw, DtwEvaluator};
+pub use dtw::{dtw_distance, dtw_distance_banded, BandedDtwWorkspace, Dtw, DtwEvaluator};
 pub use edr::{edr_distance, Edr, EdrEvaluator};
 pub use erp::{erp_distance, Erp, ErpEvaluator};
 pub use frechet::{frechet_distance, Frechet, FrechetEvaluator};
@@ -65,6 +65,25 @@ pub fn distance_from_similarity(sim: f64) -> f64 {
     1.0 / sim - 1.0
 }
 
+/// How a measure's distance aggregates the per-pair point distances of an
+/// alignment (warping path) between the data and query trajectories.
+///
+/// This is the hook the corpus-scan lower-bound cascade
+/// (`simsub_core::bounds`) keys on: because every alignment matches each
+/// query point to at least one data point, a `Sum` measure's distance is
+/// at least the sum — and a `Max` measure's at least the max — of each
+/// query point's distance to the *closest* point of the data trajectory,
+/// which in turn is lower-bounded by cheap MBR geometry. Measures whose
+/// cost is not a monotone function of pair distances (edit-style EDR/LCSS,
+/// gap-penalty ERP, learned t2vec) report `None` and are never pruned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DistanceAggregate {
+    /// Distance is a sum over matched pairs (DTW, banded DTW).
+    Sum,
+    /// Distance is a maximum over matched pairs (discrete Frechet).
+    Max,
+}
+
 /// An abstract trajectory similarity measure (the paper's `Θ`).
 ///
 /// Implementations must be deterministic; all provided implementations are
@@ -82,11 +101,28 @@ pub trait Measure: Send + Sync {
         similarity_from_distance(self.distance(a, b))
     }
 
+    /// Allocates the reusable evaluator workspace for `query`: the one
+    /// heap allocation a corpus scan pays per (query, scan) pair. The
+    /// returned evaluator owns everything it needs (the query is copied
+    /// or pre-encoded), so it can outlive the borrow of `query` but not
+    /// of `self`; [`PrefixEvaluator::init`] re-anchors it at a new start
+    /// point and [`PrefixEvaluator::reset`] re-targets it at a new query,
+    /// both without further allocation (buffers are reused).
+    fn make_workspace(&self, query: &[Point]) -> Box<dyn PrefixEvaluator + '_>;
+
     /// Creates an incremental evaluator of `Θ(T[i..=j], query)` for fixed
-    /// `i` and growing `j`. The evaluator owns everything it needs (the
-    /// query is copied or pre-encoded), so it can outlive the borrow of
-    /// `query` but not of `self`.
-    fn prefix_evaluator(&self, query: &[Point]) -> Box<dyn PrefixEvaluator + '_>;
+    /// `i` and growing `j` — the original boxed API, now a thin wrapper
+    /// over [`Measure::make_workspace`].
+    fn prefix_evaluator(&self, query: &[Point]) -> Box<dyn PrefixEvaluator + '_> {
+        self.make_workspace(query)
+    }
+
+    /// How this measure aggregates pair distances along an alignment, or
+    /// `None` when no admissible MBR-based lower bound is known (the
+    /// corpus scan then never prunes under this measure).
+    fn distance_aggregate(&self) -> Option<DistanceAggregate> {
+        None
+    }
 }
 
 /// Incremental similarity machine for subtrajectories sharing a start
@@ -107,6 +143,14 @@ pub trait PrefixEvaluator {
 
     /// Distance of the current subtrajectory vs the query.
     fn distance(&self) -> f64;
+
+    /// Re-targets the evaluator at a new (non-empty) query, reusing its
+    /// internal buffers instead of reallocating — the zero-allocation
+    /// complement of [`Measure::make_workspace`] for scans that serve many
+    /// queries with one evaluator. After `reset` the evaluator behaves
+    /// exactly (bitwise) as a freshly constructed one: `init` must be
+    /// called before `extend`/`similarity`/`distance` are meaningful.
+    fn reset(&mut self, query: &[Point]);
 }
 
 /// The three instantiations evaluated in the paper, as a config-friendly

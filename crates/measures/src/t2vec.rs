@@ -297,9 +297,12 @@ impl Measure for T2Vec {
         squared_distance(&self.encode(a), &self.encode(b)).sqrt()
     }
 
-    fn prefix_evaluator(&self, query: &[Point]) -> Box<dyn PrefixEvaluator + '_> {
+    fn make_workspace(&self, query: &[Point]) -> Box<dyn PrefixEvaluator + '_> {
         Box::new(T2VecEvaluator::new(self, query))
     }
+    // `distance_aggregate` stays `None`: embedding distance is not a
+    // monotone function of pointwise distances, so no admissible MBR
+    // bound exists and the corpus scan never prunes under t2vec.
 }
 
 /// Incremental t2vec evaluator: caches the query embedding once
@@ -353,6 +356,18 @@ impl PrefixEvaluator for T2VecEvaluator<'_> {
         } else {
             f64::INFINITY
         }
+    }
+
+    fn reset(&mut self, query: &[Point]) {
+        assert!(!query.is_empty(), "query must be non-empty");
+        // Re-encode the new query into the existing embedding buffer.
+        self.query_embedding.iter_mut().for_each(|v| *v = 0.0);
+        for &p in query {
+            let f = self.measure.norm.features(p);
+            self.measure.cell.step(&mut self.query_embedding, &f);
+        }
+        self.h.iter_mut().for_each(|v| *v = 0.0);
+        self.initialized = false;
     }
 }
 

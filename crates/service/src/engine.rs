@@ -116,10 +116,14 @@ impl Corpus {
         }
     }
 
-    /// Dispatches one batched top-k scan. The sharded arm fans each
-    /// batch across shards, spreading the fan-out over up to
+    /// Dispatches one batched top-k scan, returning the hits plus the
+    /// scan's prune counters (see `simsub_core::bounds`). The sharded arm
+    /// fans each batch across shards, spreading the fan-out over up to
     /// `shard_threads` scoped threads (1 = sequential — the right call
-    /// when the worker pool already covers every core).
+    /// when the worker pool already covers every core). Each worker's
+    /// scan allocates its evaluator workspaces once per (query, batch)
+    /// and reuses them across every trajectory and shard it visits.
+    #[allow(clippy::too_many_arguments)] // internal dispatch, mirrors the scan surface
     fn top_k_batch(
         &self,
         algo: &(dyn SubtrajSearch + Sync),
@@ -128,12 +132,21 @@ impl Corpus {
         k: usize,
         use_index: bool,
         shard_threads: usize,
-    ) -> Vec<Vec<TopKResult>> {
+        prune: bool,
+    ) -> (Vec<Vec<TopKResult>>, simsub_core::PruneStats) {
         match self {
-            Corpus::Single(db) => db.top_k_batch(algo, measure, queries, k, use_index),
-            Corpus::Sharded(db) => {
-                db.top_k_batch_parallel(algo, measure, queries, k, use_index, shard_threads)
+            Corpus::Single(db) => {
+                db.top_k_batch_with_stats(algo, measure, queries, k, use_index, prune)
             }
+            Corpus::Sharded(db) => db.top_k_batch_parallel_with_stats(
+                algo,
+                measure,
+                queries,
+                k,
+                use_index,
+                shard_threads,
+                prune,
+            ),
         }
     }
 }
@@ -259,6 +272,12 @@ pub struct EngineConfig {
     pub max_batch: usize,
     /// Result-cache entries; 0 disables caching.
     pub cache_capacity: usize,
+    /// Whether cold-path corpus scans use the lower-bound cascade
+    /// (`simsub_core::bounds`). Answers are byte-identical either way;
+    /// `false` is the reference path. Defaults to
+    /// [`simsub_core::pruning_enabled`] so the `SIMSUB_NO_PRUNE`
+    /// environment hatch still governs engines built with defaults.
+    pub prune: bool,
 }
 
 impl Default for EngineConfig {
@@ -267,6 +286,7 @@ impl Default for EngineConfig {
             workers: std::thread::available_parallelism().map_or(4, usize::from),
             max_batch: 16,
             cache_capacity: 4096,
+            prune: simsub_core::pruning_enabled(),
         }
     }
 }
@@ -503,14 +523,16 @@ fn process_batch(inner: &Inner, jobs: Vec<Job>, batch_size: usize) {
             .iter()
             .map(|&slot| unique[slot].1.query.as_slice())
             .collect();
-        let all_results = inner.snapshot.corpus.top_k_batch(
+        let (all_results, scan_stats) = inner.snapshot.corpus.top_k_batch(
             algo.as_ref(),
             measure,
             &queries,
             k,
             use_index,
             inner.shard_threads,
+            inner.config.prune,
         );
+        inner.stats.record_scan(&scan_stats);
         debug_assert_eq!(all_results.len(), slots.len());
 
         for (&slot, results) in slots.iter().zip(all_results) {

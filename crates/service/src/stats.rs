@@ -3,6 +3,7 @@
 //! [`StatsSnapshot`] with qps and p50/p99.
 
 use crate::json::{obj, Json};
+use simsub_core::PruneStats;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
@@ -17,6 +18,14 @@ pub struct ServeStats {
     cache_hits: AtomicU64,
     batches: AtomicU64,
     batched_requests: AtomicU64,
+    /// Candidate (trajectory, query) evaluations considered by
+    /// cold-path corpus scans (a batched scan counts each trajectory
+    /// once per query it is a candidate for).
+    scan_candidates: AtomicU64,
+    /// Of those, skipped by the lower-bound cascade before any search.
+    scan_pruned: AtomicU64,
+    /// Of those, fully searched.
+    scan_searched: AtomicU64,
     latencies_us: Mutex<Reservoir>,
 }
 
@@ -41,6 +50,9 @@ impl ServeStats {
             cache_hits: AtomicU64::new(0),
             batches: AtomicU64::new(0),
             batched_requests: AtomicU64::new(0),
+            scan_candidates: AtomicU64::new(0),
+            scan_pruned: AtomicU64::new(0),
+            scan_searched: AtomicU64::new(0),
             latencies_us: Mutex::new(Reservoir {
                 samples: Vec::with_capacity(256),
                 next: 0,
@@ -72,12 +84,24 @@ impl ServeStats {
             .fetch_add(size as u64, Ordering::Relaxed);
     }
 
+    /// Folds one cold-path corpus scan's prune counters into the totals.
+    pub fn record_scan(&self, scan: &PruneStats) {
+        self.scan_candidates
+            .fetch_add(scan.scanned, Ordering::Relaxed);
+        self.scan_pruned.fetch_add(scan.pruned(), Ordering::Relaxed);
+        self.scan_searched
+            .fetch_add(scan.searched, Ordering::Relaxed);
+    }
+
     /// Takes a consistent-enough point-in-time snapshot.
     pub fn snapshot(&self) -> StatsSnapshot {
         let requests = self.requests.load(Ordering::Relaxed);
         let cache_hits = self.cache_hits.load(Ordering::Relaxed);
         let batches = self.batches.load(Ordering::Relaxed);
         let batched_requests = self.batched_requests.load(Ordering::Relaxed);
+        let scan_candidates = self.scan_candidates.load(Ordering::Relaxed);
+        let scan_pruned = self.scan_pruned.load(Ordering::Relaxed);
+        let scan_searched = self.scan_searched.load(Ordering::Relaxed);
         let uptime = self.started.elapsed();
         let mut samples = {
             let reservoir = self.latencies_us.lock().expect("stats lock poisoned");
@@ -97,6 +121,10 @@ impl ServeStats {
             p50_us: percentile(&samples, 0.50),
             p99_us: percentile(&samples, 0.99),
             mean_batch: ratio(batched_requests, batches),
+            scan_candidates,
+            scan_pruned,
+            scan_searched,
+            prune_ratio: ratio(scan_pruned, scan_candidates),
         }
     }
 }
@@ -137,6 +165,16 @@ pub struct StatsSnapshot {
     pub p99_us: u64,
     /// Mean micro-batch size across dispatches.
     pub mean_batch: f64,
+    /// Candidate (trajectory, query) evaluations considered by
+    /// cold-path corpus scans (a batched scan counts each trajectory
+    /// once per query it is a candidate for).
+    pub scan_candidates: u64,
+    /// Of those, skipped by the lower-bound cascade before any search.
+    pub scan_pruned: u64,
+    /// Of those, fully searched.
+    pub scan_searched: u64,
+    /// `scan_pruned / scan_candidates` (0 when no scans ran).
+    pub prune_ratio: f64,
 }
 
 impl StatsSnapshot {
@@ -151,6 +189,10 @@ impl StatsSnapshot {
             ("p50_us", Json::Num(self.p50_us as f64)),
             ("p99_us", Json::Num(self.p99_us as f64)),
             ("mean_batch", Json::Num(self.mean_batch)),
+            ("scan_candidates", Json::Num(self.scan_candidates as f64)),
+            ("scan_pruned", Json::Num(self.scan_pruned as f64)),
+            ("scan_searched", Json::Num(self.scan_searched as f64)),
+            ("prune_ratio", Json::Num(self.prune_ratio)),
         ])
     }
 }
@@ -184,6 +226,29 @@ mod tests {
         assert_eq!(snap.p50_us, 0);
         assert_eq!(snap.p99_us, 0);
         assert_eq!(snap.hit_rate, 0.0);
+    }
+
+    #[test]
+    fn scan_counters_accumulate_and_ratio() {
+        let stats = ServeStats::new();
+        stats.record_scan(&PruneStats {
+            scanned: 100,
+            pruned_by_kim: 40,
+            pruned_by_mbr: 20,
+            searched: 40,
+        });
+        stats.record_scan(&PruneStats {
+            scanned: 100,
+            pruned_by_kim: 0,
+            pruned_by_mbr: 0,
+            searched: 100,
+        });
+        let snap = stats.snapshot();
+        assert_eq!(snap.scan_candidates, 200);
+        assert_eq!(snap.scan_pruned, 60);
+        assert_eq!(snap.scan_searched, 140);
+        assert!((snap.prune_ratio - 0.3).abs() < 1e-12);
+        assert_eq!(snap.scan_candidates, snap.scan_pruned + snap.scan_searched);
     }
 
     #[test]

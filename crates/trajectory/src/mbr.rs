@@ -110,6 +110,24 @@ impl Mbr {
         self.union(other).area() - self.area()
     }
 
+    /// Shortest Euclidean distance between any point of `self` and any
+    /// point of `other` (0 when they intersect; `INFINITY` when either is
+    /// empty). Lower-bounds the distance between any pair of points drawn
+    /// from the two rectangles — the O(1) "Kim-style" screen of the
+    /// corpus-scan bound cascade in `simsub_core::bounds`.
+    pub fn min_dist_mbr(&self, other: &Mbr) -> f64 {
+        if self.is_empty() || other.is_empty() {
+            return f64::INFINITY;
+        }
+        let dx = (other.min_x - self.max_x)
+            .max(self.min_x - other.max_x)
+            .max(0.0);
+        let dy = (other.min_y - self.max_y)
+            .max(self.min_y - other.max_y)
+            .max(0.0);
+        (dx * dx + dy * dy).sqrt()
+    }
+
     /// Shortest Euclidean distance from `p` to the rectangle
     /// (0 when `p` is inside). This is the `d(p, MBR(..))` term of the
     /// adapted `LB_Keogh` bound in Appendix C.
@@ -197,6 +215,27 @@ mod tests {
             for q in &points {
                 prop_assert!(lb <= p.dist(*q) + 1e-9,
                     "MBR min_dist {lb} must lower-bound point distance {}", p.dist(*q));
+            }
+        }
+
+        #[test]
+        fn min_dist_mbr_lower_bounds_cross_point_dists(
+            xs in proptest::collection::vec((-1e2..1e2f64, -1e2..1e2f64), 1..15),
+            ys in proptest::collection::vec((-1e2..1e2f64, -1e2..1e2f64), 1..15),
+        ) {
+            let (a, b) = (pts(&xs), pts(&ys));
+            let (ma, mb) = (Mbr::of_points(&a), Mbr::of_points(&b));
+            let lb = ma.min_dist_mbr(&mb);
+            prop_assert_eq!(lb.to_bits(), mb.min_dist_mbr(&ma).to_bits());
+            if ma.intersects(&mb) {
+                prop_assert_eq!(lb, 0.0);
+            }
+            for p in &a {
+                for q in &b {
+                    prop_assert!(lb <= p.dist(*q) + 1e-9);
+                }
+                // Consistent with the point-to-rect distance too.
+                prop_assert!(lb <= mb.min_dist(*p) + 1e-9);
             }
         }
 

@@ -28,6 +28,7 @@ fn main() {
             workers: 4,
             max_batch: 16,
             cache_capacity: 1024,
+            ..EngineConfig::default()
         },
     ));
     println!(
@@ -86,12 +87,16 @@ fn main() {
 
     let stats = engine.stats();
     println!(
-        "served {} requests — hit rate {:.0}%, mean batch {:.1}, p50 {} µs, p99 {} µs",
+        "served {} requests — hit rate {:.0}%, mean batch {:.1}, p50 {} µs, p99 {} µs; \
+         cold scans pruned {}/{} candidate evaluations ({:.0}%) via the bound cascade",
         stats.requests,
         stats.hit_rate * 100.0,
         stats.mean_batch,
         stats.p50_us,
-        stats.p99_us
+        stats.p99_us,
+        stats.scan_pruned,
+        stats.scan_candidates,
+        stats.prune_ratio * 100.0
     );
     engine.shutdown();
 }

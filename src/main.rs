@@ -69,11 +69,11 @@ fn usage() {
          \x20              --algo exact|sizes|pss|pos|posd|spring|rls --measure ...\n\
          \x20              [--policy POLICY.ssub] [--t2vec MODEL.ssub]\n\
          \x20 topk         --corpus FILE.csv --query FILE.csv --k N --algo ... --measure ...\n\
-         \x20              [--index rtree|none] [--threads T]\n\
+         \x20              [--index rtree|none] [--threads T] [--no-prune]\n\
          \x20              [--shards N] [--partitioner hash|grid]\n\
          \x20 serve        --corpus FILE.csv [--addr HOST:PORT] [--workers N] [--batch B]\n\
          \x20              [--cache N] [--policy POLICY.ssub] [--t2vec MODEL.ssub]\n\
-         \x20              [--skip K] [--no-suffix]\n\
+         \x20              [--skip K] [--no-suffix] [--no-prune]\n\
          \x20              [--shards N] [--partitioner hash|grid]"
     );
 }
@@ -322,6 +322,10 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
         workers: flags.parse_or("workers", EngineConfig::default().workers)?,
         max_batch: flags.parse_or("batch", EngineConfig::default().max_batch)?,
         cache_capacity: flags.parse_or("cache", EngineConfig::default().cache_capacity)?,
+        // `--no-prune` forces the reference scan; otherwise the
+        // SIMSUB_NO_PRUNE environment hatch decides (answers are
+        // byte-identical either way).
+        prune: !flags.switch("no-prune") && simsub::core::pruning_enabled(),
     };
     if config.workers == 0 {
         return Err("--workers must be at least 1".into());
@@ -348,6 +352,7 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
     }
 
     let workers = config.workers;
+    let prune = config.prune;
     let (corpus_len, corpus_points, shard_count) = {
         let c = snapshot.corpus();
         (c.len(), c.total_points(), c.shard_count())
@@ -355,13 +360,14 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
     let engine = Arc::new(QueryEngine::start(snapshot, config));
     let server = Server::bind(engine, &addr).map_err(|e| format!("binding {addr}: {e}"))?;
     println!(
-        "serving {} trajectories / {} points in {} shard(s) on {} with {} workers \
+        "serving {} trajectories / {} points in {} shard(s) on {} with {} workers, prune={} \
          (newline-JSON; send {{\"cmd\":\"shutdown\"}} to stop)",
         corpus_len,
         corpus_points,
         shard_count,
         server.local_addr(),
-        workers
+        workers,
+        if prune { "on" } else { "off" }
     );
     server.wait();
     println!("server stopped");
@@ -380,38 +386,50 @@ fn cmd_topk(flags: &Flags) -> Result<(), String> {
         "none" => false,
         other => return Err(format!("unknown index '{other}' (rtree|none)")),
     };
+    // `--no-prune` forces the reference scan (every candidate searched);
+    // answers are byte-identical either way — only the timing and the
+    // prune counters change.
+    let prune = !flags.switch("no-prune") && simsub::core::pruning_enabled();
     // Sharded and single layouts return byte-identical hits; `--shards`
     // exists on `topk` to exercise (and time) the fan-out offline.
-    let (hits, corpus_len, layout) = match sharding_from_flags(flags)? {
+    let (hits, stats, corpus_len, layout) = match sharding_from_flags(flags)? {
         Some((shards, partitioner)) => {
             let db = ShardedDb::build(corpus, shards, partitioner);
-            let hits = db.top_k(
+            let (hits, stats) = db.top_k_with_stats(
                 algo.as_ref(),
                 measure.as_ref(),
                 query.points(),
                 k,
                 use_index,
+                prune,
             );
-            (hits, db.len(), format!("{}x{}", shards, partitioner.name()))
+            (
+                hits,
+                stats,
+                db.len(),
+                format!("{}x{}", shards, partitioner.name()),
+            )
         }
         None => {
             let db = TrajectoryDb::build(corpus);
-            let hits = db.top_k(
+            let (hits, stats) = db.top_k_with_stats(
                 algo.as_ref(),
                 measure.as_ref(),
                 query.points(),
                 k,
                 use_index,
+                prune,
             );
-            (hits, db.len(), "single".to_string())
+            (hits, stats, db.len(), "single".to_string())
         }
     };
     println!(
-        "top-{k} by {} over {} ({} trajectories, layout={layout}, index={}):",
+        "top-{k} by {} over {} ({} trajectories, layout={layout}, index={}, prune={}):",
         algo.name(),
         measure.name(),
         corpus_len,
-        if use_index { "rtree" } else { "none" }
+        if use_index { "rtree" } else { "none" },
+        if prune { "on" } else { "off" }
     );
     for (rank, hit) in hits.iter().enumerate() {
         println!(
@@ -423,5 +441,14 @@ fn cmd_topk(flags: &Flags) -> Result<(), String> {
             hit.result.distance
         );
     }
+    println!(
+        "scan: {} scanned, {} pruned (kim {}, mbr {}), {} searched — prune ratio {:.1}%",
+        stats.scanned,
+        stats.pruned(),
+        stats.pruned_by_kim,
+        stats.pruned_by_mbr,
+        stats.searched,
+        stats.prune_ratio() * 100.0
+    );
     Ok(())
 }

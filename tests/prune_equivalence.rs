@@ -1,0 +1,274 @@
+//! Property harness for the prune-first scan contract: for any corpus,
+//! any query, any measure on the search path (DTW, discrete Frechet, a
+//! trained t2vec model), either service-default algorithm (ExactS, PSS),
+//! and shard counts 1..4, the pruned scan must be **byte-identical** —
+//! same ids, same score bit patterns, same order — to the unpruned
+//! reference scan, with consistent [`PruneStats`]
+//! (`scanned == pruned + searched`) and admissible bounds
+//! (`bound >= true best subtrajectory similarity` for every trajectory).
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use simsub::core::{
+    top_k_search_batch_with_stats, top_k_search_parallel_with_stats, top_k_search_with_stats,
+    BoundCascade, ExactS, PruneStats, Pss, SubtrajSearch, TopKResult,
+};
+use simsub::index::{PartitionerKind, ShardedDb, TrajectoryDb};
+use simsub::measures::{Dtw, Frechet, Measure, T2Vec, T2VecConfig};
+use simsub::trajectory::{Point, Trajectory};
+
+const SHARD_COUNTS: std::ops::RangeInclusive<usize> = 1..=4;
+
+fn walk(seed: u64, len: usize, origin: (f64, f64)) -> Vec<Point> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let (mut x, mut y) = origin;
+    (0..len)
+        .map(|i| {
+            x += rng.gen_range(-1.5..1.5);
+            y += rng.gen_range(-1.5..1.5);
+            Point::new(x, y, i as f64)
+        })
+        .collect()
+}
+
+/// Mixed spatial layout (clustered near the origin + spread far away) so
+/// both "prunes almost everything" and "prunes nothing" regimes occur.
+fn random_corpus(seed: u64, count: usize) -> Vec<Trajectory> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xdead_beef);
+    (0..count)
+        .map(|i| {
+            let origin = if i % 3 == 0 {
+                (0.0, 0.0)
+            } else {
+                (rng.gen_range(-90.0..90.0), rng.gen_range(-90.0..90.0))
+            };
+            let len = rng.gen_range(5usize..18);
+            Trajectory::new_unchecked(i as u64, walk(seed.wrapping_add(i as u64), len, origin))
+        })
+        .collect()
+}
+
+/// Byte-level equality: ids, ranges, and exact score bit patterns.
+fn assert_identical(got: &[TopKResult], want: &[TopKResult], context: &str) {
+    assert_eq!(got.len(), want.len(), "hit count differs: {context}");
+    for (rank, (g, w)) in got.iter().zip(want).enumerate() {
+        assert_eq!(g.trajectory_id, w.trajectory_id, "rank {rank}: {context}");
+        assert_eq!(g.result.range, w.result.range, "rank {rank}: {context}");
+        assert_eq!(
+            g.result.distance.to_bits(),
+            w.result.distance.to_bits(),
+            "rank {rank} distance bits: {context}"
+        );
+        assert_eq!(
+            g.result.similarity.to_bits(),
+            w.result.similarity.to_bits(),
+            "rank {rank} similarity bits: {context}"
+        );
+    }
+}
+
+fn assert_stats(stats: &PruneStats, candidates: u64, context: &str) {
+    assert!(
+        stats.is_consistent(),
+        "scanned != pruned + searched: {stats:?} ({context})"
+    );
+    assert_eq!(stats.scanned, candidates, "scanned everything: {context}");
+}
+
+/// Pruned == unpruned across the sequential, parallel, batched, single-
+/// database, and sharded scan paths for one combination.
+fn check_prune_equivalence(
+    corpus: &[Trajectory],
+    algo: &(dyn SubtrajSearch + Sync),
+    measure: &dyn Measure,
+    query: &[Point],
+    k: usize,
+) {
+    let n = corpus.len() as u64;
+    let context_base = format!("measure={} algo={} k={k}", measure.name(), algo.name());
+
+    // Core scans over the raw slice.
+    let (want, ref_stats) = top_k_search_with_stats(algo, measure, corpus, query, k, false);
+    assert_stats(&ref_stats, n, &context_base);
+    assert_eq!(ref_stats.pruned(), 0, "reference never prunes");
+    let (pruned, stats) = top_k_search_with_stats(algo, measure, corpus, query, k, true);
+    assert_identical(&pruned, &want, &format!("sequential {context_base}"));
+    assert_stats(&stats, n, &context_base);
+    let (par, par_stats) =
+        top_k_search_parallel_with_stats(algo, measure, corpus, query, k, 4, true);
+    assert_identical(&par, &want, &format!("parallel {context_base}"));
+    assert_stats(&par_stats, n, &context_base);
+    let (batch, batch_stats) =
+        top_k_search_batch_with_stats(algo, measure, corpus, &[query], k, true);
+    assert_identical(&batch[0], &want, &format!("batched {context_base}"));
+    assert_stats(&batch_stats, n, &context_base);
+
+    // Indexed database and sharded layouts, both index modes.
+    let db = TrajectoryDb::build(corpus.to_vec());
+    for use_index in [false, true] {
+        let (want_db, _) = db.top_k_with_stats(algo, measure, query, k, use_index, false);
+        let (got_db, db_stats) = db.top_k_with_stats(algo, measure, query, k, use_index, true);
+        let context = format!("{context_base} index={use_index}");
+        assert_identical(&got_db, &want_db, &format!("db {context}"));
+        assert!(db_stats.is_consistent(), "db stats: {context}");
+        for shards in SHARD_COUNTS {
+            for kind in [PartitionerKind::Hash, PartitionerKind::Grid] {
+                let sharded = ShardedDb::build(corpus.to_vec(), shards, kind);
+                let context = format!("{context} shards={shards} kind={}", kind.name());
+                let (got, stats) =
+                    sharded.top_k_with_stats(algo, measure, query, k, use_index, true);
+                assert_identical(&got, &want_db, &format!("sharded {context}"));
+                assert!(stats.is_consistent(), "sharded stats: {context}");
+                let (got_par, par_stats) =
+                    sharded.top_k_parallel_with_stats(algo, measure, query, k, use_index, 4, true);
+                assert_identical(&got_par, &want_db, &format!("sharded parallel {context}"));
+                assert!(par_stats.is_consistent(), "parallel stats: {context}");
+                let (got_batch, batch_stats) =
+                    sharded.top_k_batch_with_stats(algo, measure, &[query], k, use_index, true);
+                assert_identical(&got_batch[0], &want_db, &format!("sharded batch {context}"));
+                assert!(batch_stats.is_consistent(), "batch stats: {context}");
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The headline property: pruned scans are byte-identical to the
+    /// unpruned reference across measures × algorithms × shard counts
+    /// 1..4 × partitioners × index modes, with consistent counters.
+    #[test]
+    fn pruned_scan_is_byte_identical(
+        seed in 0u64..10_000,
+        count in 1usize..30,
+        k in 1usize..6,
+        qlen in 3usize..9,
+    ) {
+        let corpus = random_corpus(seed, count);
+        let query = walk(seed ^ 0x5eed, qlen, (0.0, 0.0));
+        for measure in [&Dtw as &dyn Measure, &Frechet as &dyn Measure] {
+            check_prune_equivalence(&corpus, &ExactS, measure, &query, k);
+            check_prune_equivalence(&corpus, &Pss, measure, &query, k);
+        }
+    }
+
+    /// Admissibility: both cascade stages upper-bound the true best
+    /// subtrajectory similarity (ExactS) for every trajectory of a
+    /// random corpus, and the envelope is never looser than the coarse
+    /// screen.
+    #[test]
+    fn bounds_are_admissible_on_random_corpora(
+        seed in 0u64..10_000,
+        count in 1usize..20,
+        qlen in 2usize..8,
+    ) {
+        let corpus = random_corpus(seed, count);
+        let query = walk(seed ^ 0xb0bd, qlen, (0.0, 0.0));
+        for measure in [&Dtw as &dyn Measure, &Frechet as &dyn Measure] {
+            let cascade = BoundCascade::new(measure, &query);
+            prop_assert!(cascade.is_active());
+            for t in &corpus {
+                let best = ExactS.search(measure, t.points(), &query).similarity;
+                let coarse = cascade.coarse_bound(&t.mbr());
+                let envelope = cascade.envelope_bound(&t.mbr());
+                prop_assert!(envelope <= coarse + 1e-12,
+                    "envelope looser than coarse: traj {} {}", t.id, measure.name());
+                prop_assert!(coarse >= best - 1e-12,
+                    "coarse bound {} < best {} for traj {} under {}",
+                    coarse, best, t.id, measure.name());
+                prop_assert!(envelope >= best - 1e-12,
+                    "envelope bound {} < best {} for traj {} under {}",
+                    envelope, best, t.id, measure.name());
+            }
+        }
+    }
+
+    /// Multi-query batches: pruned batched scans match pruned per-query
+    /// scans (which themselves match the unpruned reference above).
+    #[test]
+    fn pruned_batch_matches_per_query(
+        seed in 0u64..10_000,
+        count in 2usize..24,
+        k in 1usize..5,
+    ) {
+        let corpus = random_corpus(seed, count);
+        let queries: Vec<Vec<Point>> = (0..3)
+            .map(|i| walk(seed.wrapping_mul(17).wrapping_add(i), 3 + i as usize, (0.0, 0.0)))
+            .collect();
+        let refs: Vec<&[Point]> = queries.iter().map(Vec::as_slice).collect();
+        let (batched, stats) =
+            top_k_search_batch_with_stats(&Pss, &Dtw, &corpus, &refs, k, true);
+        prop_assert!(stats.is_consistent());
+        for (got, q) in batched.iter().zip(&queries) {
+            let (want, _) = top_k_search_with_stats(&Pss, &Dtw, &corpus, q, k, false);
+            assert_identical(got, &want, "pruned batch vs unpruned per-query");
+        }
+    }
+}
+
+/// The learned measure admits no bound (`distance_aggregate` is `None`):
+/// the scan must never prune under t2vec, and pruned == unpruned holds
+/// trivially but is still asserted bitwise with a trained model.
+#[test]
+fn t2vec_is_never_pruned_and_stays_identical() {
+    let corpus = random_corpus(42, 18);
+    let cfg = T2VecConfig {
+        steps: 40,
+        hidden_dim: 8,
+        seed: 11,
+        ..Default::default()
+    };
+    let (model, _sep) = T2Vec::train(&corpus, &cfg);
+    let query = walk(0xabcd, 7, (0.0, 0.0));
+    for algo in [&ExactS as &(dyn SubtrajSearch + Sync), &Pss] {
+        let (want, _) = top_k_search_with_stats(algo, &model, &corpus, &query, 4, false);
+        let (pruned, stats) = top_k_search_with_stats(algo, &model, &corpus, &query, 4, true);
+        assert_identical(&pruned, &want, "t2vec pruned vs unpruned");
+        assert_eq!(stats.pruned(), 0, "no admissible bound exists for t2vec");
+        assert_eq!(stats.searched, corpus.len() as u64);
+    }
+    // And the full layout sweep for one algorithm.
+    check_prune_equivalence(&corpus, &Pss, &model, &query, 3);
+}
+
+/// RLS is marked non-admissible (`reported_similarity_is_admissible` is
+/// false), so even under DTW the scan must search every candidate.
+#[test]
+fn rls_disables_pruning() {
+    use simsub::core::{train_rls, MdpConfig, Rls, RlsTrainConfig};
+    let corpus = random_corpus(7, 10);
+    let cfg = RlsTrainConfig::paper(MdpConfig::rls(), 6);
+    let report = train_rls(&Dtw, &corpus, &corpus, &cfg);
+    let rls = Rls::new(report.policy, MdpConfig::rls());
+    assert!(!rls.reported_similarity_is_admissible());
+    let query = walk(0x715, 6, (0.0, 0.0));
+    let (want, _) = top_k_search_with_stats(&rls, &Dtw, &corpus, &query, 3, false);
+    let (got, stats) = top_k_search_with_stats(&rls, &Dtw, &corpus, &query, 3, true);
+    assert_identical(&got, &want, "rls pruned vs unpruned");
+    assert_eq!(stats.pruned(), 0, "non-admissible algorithms never prune");
+}
+
+/// The clustered regime the serving corpus actually looks like: a tight
+/// query against far-away clusters must prune most of the corpus *and*
+/// stay byte-identical — the end-to-end shape of the acceptance
+/// criterion, in miniature.
+#[test]
+fn clustered_corpus_prunes_most_of_the_scan() {
+    let mut corpus = Vec::new();
+    for i in 0..40u64 {
+        let origin = ((i % 8) as f64 * 60.0, (i / 8) as f64 * 60.0);
+        corpus.push(Trajectory::new_unchecked(i, walk(i + 1, 14, origin)));
+    }
+    let query = corpus[0].points()[2..8].to_vec();
+    let (want, _) = top_k_search_with_stats(&Pss, &Dtw, &corpus, &query, 3, false);
+    let (got, stats) = top_k_search_with_stats(&Pss, &Dtw, &corpus, &query, 3, true);
+    assert_identical(&got, &want, "clustered corpus");
+    assert!(stats.is_consistent());
+    assert!(
+        stats.prune_ratio() >= 0.5,
+        "expected at least half the corpus pruned, got {:?}",
+        stats
+    );
+}

@@ -42,6 +42,7 @@ fn engine_with(db: &Arc<TrajectoryDb>, workers: usize) -> QueryEngine {
             workers,
             max_batch: 8,
             cache_capacity: 256,
+            ..EngineConfig::default()
         },
     )
 }
@@ -335,6 +336,7 @@ fn sharded_engine_matches_unsharded_on_the_wire() {
             workers: 2,
             max_batch: 8,
             cache_capacity: 64,
+            ..EngineConfig::default()
         },
     ));
     let mut engines = vec![("single", single)];
@@ -352,6 +354,7 @@ fn sharded_engine_matches_unsharded_on_the_wire() {
                     workers: 2,
                     max_batch: 8,
                     cache_capacity: 64,
+                    ..EngineConfig::default()
                 },
             )),
         ));
