@@ -1,7 +1,9 @@
 //! Throughput benchmark for the serving subsystem: 1 vs N workers, cold
-//! vs warm cache, single vs sharded corpus. Writes `BENCH_service.json`
-//! at the repo root so later PRs have a perf trajectory to compare
-//! against.
+//! vs warm cache, single vs sharded corpus, plus the control-plane
+//! overheads — the per-admission `EngineHandle` atomic snapshot load and
+//! one live `swap_snapshot` (asserted answer-preserving). Writes
+//! `BENCH_service.json` at the repo root so later PRs have a perf
+//! trajectory to compare against.
 //!
 //! Run with `cargo bench -p simsub-bench --bench service`.
 
@@ -131,10 +133,58 @@ fn main() {
          (acceptance floor: 2.0x)"
     );
 
+    let (handle_load_ns, swap_ms) = control_plane_overheads(&db, &queries);
+
     let out_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_service.json");
-    std::fs::write(out_path, render_json(&measurements, n_workers, speedup))
-        .expect("writing BENCH_service.json");
+    std::fs::write(
+        out_path,
+        render_json(&measurements, n_workers, speedup, handle_load_ns, swap_ms),
+    )
+    .expect("writing BENCH_service.json");
     println!("wrote {out_path}");
+}
+
+/// Measures what the hot-swap control plane costs the data plane: the
+/// per-admission `EngineHandle` load on the warm path, and one live
+/// `swap_snapshot` mid-traffic (smoke-asserting that a swap to a rebuilt
+/// identical corpus preserves answers bit-for-bit).
+fn control_plane_overheads(db: &Arc<TrajectoryDb>, queries: &[Vec<Point>]) -> (f64, f64) {
+    let engine = QueryEngine::start(
+        CorpusSnapshot::new(Arc::clone(db)),
+        EngineConfig {
+            workers: 1,
+            ..EngineConfig::default()
+        },
+    );
+
+    const HANDLE_LOADS: u32 = 1_000_000;
+    let start = Instant::now();
+    let mut acc = 0u64;
+    for _ in 0..HANDLE_LOADS {
+        acc = acc.wrapping_add(std::hint::black_box(engine.current().epoch()));
+    }
+    let handle_load_ns = start.elapsed().as_nanos() as f64 / f64::from(HANDLE_LOADS);
+    assert_eq!(acc, u64::from(HANDLE_LOADS)); // epoch 1, never swapped yet
+    println!("handle_load: {handle_load_ns:.1} ns per atomic snapshot load (warm-path overhead)");
+
+    let q = queries[0].clone();
+    let before = engine.query(request(q.clone())).expect("pre-swap query");
+    let fresh = CorpusSnapshot::new(TrajectoryDb::build(db.trajectories().to_vec()).into_shared());
+    let swap_start = Instant::now();
+    let report = engine.swap_snapshot(fresh);
+    let swap_ms = swap_start.elapsed().as_secs_f64() * 1e3;
+    let after = engine.query(request(q)).expect("post-swap query");
+    assert!(!after.cached, "swap must purge the epoch-keyed cache");
+    assert_eq!(
+        *before.results, *after.results,
+        "swap to an identical corpus changed answers"
+    );
+    println!(
+        "swap_snapshot: {swap_ms:.3} ms (epoch {} -> {}, {} cache evictions)",
+        report.previous_epoch, report.epoch, report.cache_evicted
+    );
+    engine.shutdown();
+    (handle_load_ns, swap_ms)
 }
 
 fn run_scenario(
@@ -227,7 +277,13 @@ fn request(query: Vec<Point>) -> QueryRequest {
     }
 }
 
-fn render_json(measurements: &[Measurement], n_workers: usize, speedup: f64) -> String {
+fn render_json(
+    measurements: &[Measurement],
+    n_workers: usize,
+    speedup: f64,
+    handle_load_ns: f64,
+    swap_ms: f64,
+) -> String {
     let mut out = String::from("{\n");
     out.push_str(&format!(
         "  \"bench\": \"service_throughput\",\n  \"corpus_size\": {CORPUS_SIZE},\n  \
@@ -259,7 +315,8 @@ fn render_json(measurements: &[Measurement], n_workers: usize, speedup: f64) -> 
         ));
     }
     out.push_str(&format!(
-        "  ],\n  \"speedup_warm_nworkers_vs_cold_1worker\": {speedup:.2}\n}}\n"
+        "  ],\n  \"speedup_warm_nworkers_vs_cold_1worker\": {speedup:.2},\n  \
+         \"handle_load_ns\": {handle_load_ns:.1},\n  \"swap_ms\": {swap_ms:.3}\n}}\n"
     ));
     out
 }

@@ -1,6 +1,15 @@
 //! A plain O(1) LRU cache: `HashMap` from key to a slot in an
-//! arena-allocated doubly-linked recency list. Used by the engine to
-//! short-circuit repeated queries; values are cheap-to-clone `Arc`s.
+//! arena-allocated doubly-linked recency list, plus the epoch-stamped
+//! [`Cache`] wrapper the engine fronts scans with. Values are
+//! cheap-to-clone `Arc`s.
+//!
+//! Epoch stamping exists for snapshot hot-swap: every entry records the
+//! engine epoch it was computed under, and [`Cache::purge_below_epoch`]
+//! drops everything older in one sweep when
+//! `QueryEngine::swap_snapshot` bumps the epoch. Cache *keys* already
+//! mix in the epoch (stale entries are unreachable the moment the epoch
+//! moves); the purge reclaims their space eagerly and makes the swap
+//! observable (`ServeStats::cache_evicted_on_swap`).
 
 use std::collections::HashMap;
 use std::hash::Hash;
@@ -14,10 +23,13 @@ struct Node<K, V> {
     next: usize,
 }
 
-/// Least-recently-used cache with a fixed capacity.
+/// Least-recently-used cache with a fixed capacity. Arena slots are
+/// `Option`s so an evicted entry's key/value drop *immediately* — an
+/// eviction must actually release the (possibly large) cached answer,
+/// not park it until the slot is reused.
 pub struct LruCache<K, V> {
     map: HashMap<K, usize>,
-    arena: Vec<Node<K, V>>,
+    arena: Vec<Option<Node<K, V>>>,
     free: Vec<usize>,
     head: usize, // most recently used
     tail: usize, // least recently used
@@ -46,6 +58,11 @@ impl<K: Eq + Hash + Clone, V: Clone> LruCache<K, V> {
         self.map.len()
     }
 
+    /// Maximum number of entries (0 = caching disabled).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
     /// True when nothing is cached.
     pub fn is_empty(&self) -> bool {
         self.map.is_empty()
@@ -56,7 +73,15 @@ impl<K: Eq + Hash + Clone, V: Clone> LruCache<K, V> {
         let &slot = self.map.get(key)?;
         self.detach(slot);
         self.push_front(slot);
-        Some(self.arena[slot].value.clone())
+        Some(self.node(slot).value.clone())
+    }
+
+    fn node(&self, slot: usize) -> &Node<K, V> {
+        self.arena[slot].as_ref().expect("slot in the recency list")
+    }
+
+    fn node_mut(&mut self, slot: usize) -> &mut Node<K, V> {
+        self.arena[slot].as_mut().expect("slot in the recency list")
     }
 
     /// Inserts or refreshes `key`, evicting the least-recently-used entry
@@ -66,35 +91,27 @@ impl<K: Eq + Hash + Clone, V: Clone> LruCache<K, V> {
             return;
         }
         if let Some(&slot) = self.map.get(&key) {
-            self.arena[slot].value = value;
+            self.node_mut(slot).value = value;
             self.detach(slot);
             self.push_front(slot);
             return;
         }
         if self.map.len() == self.capacity {
-            let lru = self.tail;
-            self.detach(lru);
-            let node = &mut self.arena[lru];
-            self.map.remove(&node.key);
-            self.free.push(lru);
+            self.evict_lru();
         }
+        let node = Some(Node {
+            key: key.clone(),
+            value,
+            prev: NIL,
+            next: NIL,
+        });
         let slot = match self.free.pop() {
             Some(slot) => {
-                self.arena[slot] = Node {
-                    key: key.clone(),
-                    value,
-                    prev: NIL,
-                    next: NIL,
-                };
+                self.arena[slot] = node;
                 slot
             }
             None => {
-                self.arena.push(Node {
-                    key: key.clone(),
-                    value,
-                    prev: NIL,
-                    next: NIL,
-                });
+                self.arena.push(node);
                 self.arena.len() - 1
             }
         };
@@ -102,28 +119,148 @@ impl<K: Eq + Hash + Clone, V: Clone> LruCache<K, V> {
         self.push_front(slot);
     }
 
+    /// Drops every entry failing `keep`, preserving recency order of the
+    /// survivors. Returns how many entries were removed. O(len).
+    pub fn retain<F: FnMut(&K, &V) -> bool>(&mut self, mut keep: F) -> usize {
+        let mut removed = 0;
+        let mut cur = self.head;
+        while cur != NIL {
+            let node = self.node(cur);
+            let next = node.next;
+            if !keep(&node.key, &node.value) {
+                self.detach(cur);
+                self.release(cur);
+                removed += 1;
+            }
+            cur = next;
+        }
+        removed
+    }
+
+    /// Changes the capacity in place, evicting LRU entries if the cache
+    /// is over the new bound. Returns how many entries were evicted.
+    /// Setting 0 empties the cache and disables caching.
+    pub fn set_capacity(&mut self, capacity: usize) -> usize {
+        self.capacity = capacity;
+        let mut evicted = 0;
+        while self.map.len() > capacity {
+            self.evict_lru();
+            evicted += 1;
+        }
+        evicted
+    }
+
+    fn evict_lru(&mut self) {
+        let lru = self.tail;
+        if lru == NIL {
+            return;
+        }
+        self.detach(lru);
+        self.release(lru);
+    }
+
+    /// Frees a detached slot, dropping its key/value *now* (the whole
+    /// point of eviction is releasing the cached answer's memory).
+    fn release(&mut self, slot: usize) {
+        let node = self.arena[slot].take().expect("released slot was live");
+        self.map.remove(&node.key);
+        self.free.push(slot);
+    }
+
     fn detach(&mut self, slot: usize) {
-        let (prev, next) = (self.arena[slot].prev, self.arena[slot].next);
+        let (prev, next) = {
+            let node = self.node(slot);
+            (node.prev, node.next)
+        };
         match prev {
             NIL => self.head = next,
-            p => self.arena[p].next = next,
+            p => self.node_mut(p).next = next,
         }
         match next {
             NIL => self.tail = prev,
-            n => self.arena[n].prev = prev,
+            n => self.node_mut(n).prev = prev,
         }
-        self.arena[slot].prev = NIL;
-        self.arena[slot].next = NIL;
+        let node = self.node_mut(slot);
+        node.prev = NIL;
+        node.next = NIL;
     }
 
     fn push_front(&mut self, slot: usize) {
-        self.arena[slot].prev = NIL;
-        self.arena[slot].next = self.head;
-        match self.head {
+        let head = self.head;
+        {
+            let node = self.node_mut(slot);
+            node.prev = NIL;
+            node.next = head;
+        }
+        match head {
             NIL => self.tail = slot,
-            h => self.arena[h].prev = slot,
+            h => self.node_mut(h).prev = slot,
         }
         self.head = slot;
+    }
+}
+
+/// One epoch-stamped cache slot.
+#[derive(Clone)]
+struct Stamped<V> {
+    epoch: u64,
+    value: V,
+}
+
+/// The engine's result cache: an [`LruCache`] whose entries carry the
+/// engine epoch they were computed under. Keys are expected to mix in
+/// the epoch already (see `EpochSnapshot::cache_key`), so lookups never
+/// need an epoch argument — the stamp exists so a snapshot swap can
+/// purge everything computed before it in one sweep.
+pub struct Cache<K, V> {
+    lru: LruCache<K, Stamped<V>>,
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> Cache<K, V> {
+    /// Creates a cache holding at most `capacity` entries (0 disables
+    /// caching).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            lru: LruCache::new(capacity),
+        }
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.lru.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.lru.is_empty()
+    }
+
+    /// Maximum number of entries (0 = caching disabled).
+    pub fn capacity(&self) -> usize {
+        self.lru.capacity()
+    }
+
+    /// Looks up `key`, marking it most-recently-used on a hit.
+    pub fn get(&mut self, key: &K) -> Option<V> {
+        self.lru.get(key).map(|stamped| stamped.value)
+    }
+
+    /// Inserts or refreshes `key` with a value computed under `epoch`.
+    pub fn insert(&mut self, key: K, value: V, epoch: u64) {
+        self.lru.insert(key, Stamped { epoch, value });
+    }
+
+    /// Drops every entry stamped with an epoch strictly below `epoch`,
+    /// returning how many were evicted. Called on snapshot swap with the
+    /// *new* epoch, so all entries from older snapshots die at once.
+    pub fn purge_below_epoch(&mut self, epoch: u64) -> usize {
+        self.lru.retain(|_, stamped| stamped.epoch >= epoch)
+    }
+
+    /// Changes the capacity in place (LRU entries are evicted if over
+    /// the new bound); returns how many entries were evicted.
+    pub fn set_capacity(&mut self, capacity: usize) -> usize {
+        self.lru.set_capacity(capacity)
     }
 }
 
@@ -183,5 +320,87 @@ mod tests {
         for key in expected {
             assert!(cache.get(&key).is_some(), "missing key {key}");
         }
+    }
+
+    #[test]
+    fn retain_drops_only_failing_entries_and_keeps_order() {
+        let mut cache = LruCache::new(8);
+        for i in 0..6 {
+            cache.insert(i, i * 10);
+        }
+        let removed = cache.retain(|k, _| k % 2 == 0);
+        assert_eq!(removed, 3);
+        assert_eq!(cache.len(), 3);
+        for i in 0..6 {
+            assert_eq!(cache.get(&i).is_some(), i % 2 == 0, "key {i}");
+        }
+        // Freed slots are reusable and eviction order still works.
+        cache.insert(7, 70);
+        cache.insert(9, 90);
+        cache.insert(11, 110);
+        cache.insert(13, 130);
+        cache.insert(15, 150);
+        assert_eq!(cache.len(), 8);
+        cache.insert(17, 170); // evicts LRU (key 0, untouched longest)
+        assert_eq!(cache.get(&0), None);
+        assert_eq!(cache.len(), 8);
+    }
+
+    #[test]
+    fn set_capacity_evicts_lru_down_to_bound() {
+        let mut cache = LruCache::new(8);
+        for i in 0..8 {
+            cache.insert(i, i);
+        }
+        assert_eq!(cache.get(&0), Some(0)); // 0 becomes MRU
+        let evicted = cache.set_capacity(3);
+        assert_eq!(evicted, 5);
+        assert_eq!(cache.len(), 3);
+        // Survivors are the three most recently used: 0, 7, 6.
+        for key in [0, 7, 6] {
+            assert!(cache.get(&key).is_some(), "missing {key}");
+        }
+        assert_eq!(cache.set_capacity(0), 3);
+        cache.insert(1, 1);
+        assert!(cache.is_empty(), "capacity 0 must disable caching");
+    }
+
+    #[test]
+    fn eviction_drops_values_immediately() {
+        use std::sync::Arc;
+        let payload = Arc::new(vec![1u8; 16]);
+        let mut cache = LruCache::new(4);
+        cache.insert(1, Arc::clone(&payload));
+        cache.insert(2, Arc::clone(&payload));
+        assert_eq!(Arc::strong_count(&payload), 3);
+        // A retain-eviction releases the stored value now, not whenever
+        // the freed slot is next reused.
+        cache.retain(|k, _| *k != 1);
+        assert_eq!(Arc::strong_count(&payload), 2);
+        // Capacity shrink releases too.
+        cache.set_capacity(0);
+        assert_eq!(Arc::strong_count(&payload), 1);
+        // As does ordinary LRU eviction on insert.
+        cache.set_capacity(1);
+        cache.insert(3, Arc::clone(&payload));
+        cache.insert(4, Arc::clone(&payload));
+        assert_eq!(Arc::strong_count(&payload), 2);
+    }
+
+    #[test]
+    fn epoch_cache_purges_below_epoch() {
+        let mut cache = Cache::new(8);
+        cache.insert("a", 1, 1);
+        cache.insert("b", 2, 1);
+        cache.insert("c", 3, 2);
+        assert_eq!(cache.len(), 3);
+        // Purging at the newest epoch kills only the older stamps.
+        assert_eq!(cache.purge_below_epoch(2), 2);
+        assert_eq!(cache.get(&"a"), None);
+        assert_eq!(cache.get(&"b"), None);
+        assert_eq!(cache.get(&"c"), Some(3));
+        // Idempotent once clean.
+        assert_eq!(cache.purge_below_epoch(2), 0);
+        assert_eq!(cache.len(), 1);
     }
 }

@@ -4,16 +4,25 @@
 //!
 //! Design
 //! ------
-//! - **Snapshot ownership.** The engine holds an immutable
+//! - **Snapshot ownership.** The engine serves from an immutable
 //!   [`CorpusSnapshot`]: a [`Corpus`] (one `Arc<TrajectoryDb>`, or an
 //!   `Arc<ShardedDb>` whose queries fan out across per-shard R-trees)
-//!   plus the loaded RLS policy and t2vec model (when present). Workers
-//!   share it lock-free. On multi-core hosts with spare cores beyond the
-//!   worker pool, each worker spreads a sharded fan-out across scoped
-//!   threads.
-//! - **Layout-versioned cache keys.** Cache keys mix the canonical query
-//!   hash with [`Corpus::layout_version`], so entries computed under one
-//!   shard layout are never replayed under another.
+//!   plus the loaded RLS policy and t2vec model (when present). On
+//!   multi-core hosts with spare cores beyond the worker pool, each
+//!   worker spreads a sharded fan-out across scoped threads.
+//! - **Hot-swappable handle.** The snapshot lives behind an
+//!   [`EngineHandle`]: a swap cell pairing `Arc<CorpusSnapshot>` with a
+//!   monotonically increasing *epoch*. [`QueryEngine::swap_snapshot`]
+//!   rebinds the corpus/policies live — admissions pin the
+//!   [`EpochSnapshot`] current at submit time, so in-flight requests
+//!   complete against the epoch they were admitted under while new
+//!   requests see the new snapshot immediately. No restart, no dropped
+//!   connections.
+//! - **Epoch- and layout-versioned cache keys.** Cache keys mix the
+//!   canonical query hash with [`Corpus::layout_version`] *and* the
+//!   handle epoch, so entries computed under one shard layout — or one
+//!   snapshot generation — are never replayed under another; a swap also
+//!   purges stale-epoch entries eagerly ([`SwapReport::cache_evicted`]).
 //! - **Micro-batching.** Each worker blocks on the shared queue, then
 //!   drains up to `max_batch - 1` additional requests non-blockingly.
 //!   Batch members with the same `(algo, measure, k, index)` signature are
@@ -27,17 +36,20 @@
 //!   closes the queue, and joins the workers; already-queued requests are
 //!   drained and answered, never dropped.
 
-use crate::cache::LruCache;
+use crate::cache::Cache;
 use crate::query::{AlgoSpec, MeasureSpec, QueryRequest, QueryResponse};
 use crate::stats::{ServeStats, StatsSnapshot};
 use simsub_core::ExactS;
-use simsub_core::{Pos, PosD, Pss, Rls, SizeS, Spring, SubtrajSearch, TopKResult};
-use simsub_index::{ShardedDb, TrajectoryDb};
+use simsub_core::{MdpConfig, Pos, PosD, Pss, Rls, SizeS, Spring, SubtrajSearch, TopKResult};
+use simsub_index::{PartitionerKind, ShardedDb, TrajectoryDb};
 use simsub_measures::{Dtw, Frechet, Measure, T2Vec};
-use simsub_trajectory::Point;
+use simsub_nn::BinaryCodec;
+use simsub_rl::Policy;
+use simsub_trajectory::{Point, Trajectory};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender, TryRecvError};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
@@ -152,7 +164,8 @@ impl Corpus {
 }
 
 /// Immutable corpus + models the engine serves from. Cloning is cheap
-/// (`Arc`s all the way down); a later PR swaps snapshots for live reload.
+/// (`Arc`s all the way down). Snapshots are never mutated — live reload
+/// builds a fresh one and swaps it in through the [`EngineHandle`].
 #[derive(Clone)]
 pub struct CorpusSnapshot {
     corpus: Corpus,
@@ -181,6 +194,35 @@ impl CorpusSnapshot {
         }
     }
 
+    /// Assembles a snapshot from raw trajectories plus optional sharding
+    /// and model files — the *single* builder behind both `simsub serve`
+    /// startup and the admin `reload` command, so a served corpus and a
+    /// reloaded corpus of the same inputs can never diverge.
+    pub fn assemble(
+        trajectories: Vec<Trajectory>,
+        layout: Option<(usize, PartitionerKind)>,
+        policy: Option<(&std::path::Path, MdpConfig)>,
+        t2vec: Option<&std::path::Path>,
+    ) -> Result<Self, String> {
+        let mut snapshot = match layout {
+            Some((shards, partitioner)) if shards >= 1 => CorpusSnapshot::sharded(
+                ShardedDb::build(trajectories, shards, partitioner).into_shared(),
+            ),
+            _ => CorpusSnapshot::new(TrajectoryDb::build(trajectories).into_shared()),
+        };
+        if let Some((path, mdp)) = policy {
+            let policy =
+                Policy::load(path).map_err(|e| format!("loading {}: {e}", path.display()))?;
+            snapshot = snapshot.with_rls(Rls::new(policy, mdp));
+        }
+        if let Some(path) = t2vec {
+            let model =
+                T2Vec::load(path).map_err(|e| format!("loading {}: {e}", path.display()))?;
+            snapshot = snapshot.with_t2vec(model);
+        }
+        Ok(snapshot)
+    }
+
     /// Adds a trained RLS searcher, enabling `"algo": "rls"` requests.
     pub fn with_rls(mut self, rls: Rls) -> Self {
         self.rls = Some(Arc::new(rls));
@@ -196,6 +238,16 @@ impl CorpusSnapshot {
     /// The corpus this snapshot serves from.
     pub fn corpus(&self) -> &Corpus {
         &self.corpus
+    }
+
+    /// True when an RLS policy is loaded (`"algo":"rls"` servable).
+    pub fn has_rls(&self) -> bool {
+        self.rls.is_some()
+    }
+
+    /// True when a t2vec model is loaded (`"measure":"t2vec"` servable).
+    pub fn has_t2vec(&self) -> bool {
+        self.t2vec.is_some()
     }
 
     /// The cache key for `request` under this snapshot: the request's
@@ -263,6 +315,100 @@ impl SubtrajSearch for SharedRls {
     }
 }
 
+/// A [`CorpusSnapshot`] stamped with the engine epoch it was installed
+/// under. The epoch is what makes hot swap safe to cache across: it is
+/// mixed into every cache key, echoed on v2 wire responses, and pinned
+/// by each request at admission so in-flight work never migrates onto a
+/// newer snapshot mid-flight.
+pub struct EpochSnapshot {
+    epoch: u64,
+    snapshot: CorpusSnapshot,
+}
+
+impl EpochSnapshot {
+    /// The engine epoch this snapshot was installed under (first is 1;
+    /// strictly increasing across swaps).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The snapshot itself.
+    pub fn snapshot(&self) -> &CorpusSnapshot {
+        &self.snapshot
+    }
+
+    /// The cache key for `request` under this epoch: the snapshot's
+    /// layout-versioned key (see [`CorpusSnapshot::cache_key`]) further
+    /// mixed with the epoch. Entries computed under an older snapshot
+    /// generation are therefore unreachable the moment a swap lands —
+    /// the same extension scheme layout versioning already uses.
+    pub fn cache_key(&self, request: &QueryRequest) -> u64 {
+        crate::query::mix_key(self.snapshot.cache_key(request), self.epoch)
+    }
+}
+
+/// The hot-swap cell at the center of the control plane: an
+/// atomically-replaceable `Arc<EpochSnapshot>`. Loads are wait-short
+/// (a read lock held only for one `Arc` clone — the warm-path overhead
+/// is reported by the service bench as `handle_load_ns`); swaps take the
+/// write lock for one pointer exchange. Epochs start at 1 and increase
+/// by exactly 1 per swap, so an epoch uniquely names a snapshot
+/// generation for the lifetime of the engine.
+pub struct EngineHandle {
+    cell: RwLock<Arc<EpochSnapshot>>,
+}
+
+impl EngineHandle {
+    /// Wraps `snapshot` as epoch 1.
+    pub fn new(snapshot: CorpusSnapshot) -> Self {
+        Self {
+            cell: RwLock::new(Arc::new(EpochSnapshot { epoch: 1, snapshot })),
+        }
+    }
+
+    /// The current snapshot generation. Callers hold the returned `Arc`
+    /// for as long as they need a consistent view; a concurrent swap
+    /// never invalidates it.
+    pub fn load(&self) -> Arc<EpochSnapshot> {
+        Arc::clone(&self.cell.read().expect("handle lock poisoned"))
+    }
+
+    /// The current epoch (shorthand for `load().epoch()`).
+    pub fn epoch(&self) -> u64 {
+        self.cell.read().expect("handle lock poisoned").epoch
+    }
+
+    /// Atomically replaces the snapshot, bumping the epoch. Returns the
+    /// displaced and the freshly installed generations.
+    pub fn swap(&self, snapshot: CorpusSnapshot) -> (Arc<EpochSnapshot>, Arc<EpochSnapshot>) {
+        let mut cell = self.cell.write().expect("handle lock poisoned");
+        let next = Arc::new(EpochSnapshot {
+            epoch: cell.epoch + 1,
+            snapshot,
+        });
+        let old = std::mem::replace(&mut *cell, Arc::clone(&next));
+        (old, next)
+    }
+}
+
+/// What a [`QueryEngine::swap_snapshot`] did, for operators and the
+/// admin `reload` wire response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SwapReport {
+    /// Epoch that was serving before the swap.
+    pub previous_epoch: u64,
+    /// Epoch now serving (always `previous_epoch + 1`).
+    pub epoch: u64,
+    /// Stale-epoch result-cache entries purged by the swap.
+    pub cache_evicted: usize,
+    /// Trajectories in the new snapshot.
+    pub trajectories: usize,
+    /// Total points in the new snapshot.
+    pub points: usize,
+    /// Shards in the new snapshot's corpus layout (1 = single).
+    pub shards: usize,
+}
+
 /// Engine tuning knobs.
 #[derive(Debug, Clone)]
 pub struct EngineConfig {
@@ -278,6 +424,10 @@ pub struct EngineConfig {
     /// [`simsub_core::pruning_enabled`] so the `SIMSUB_NO_PRUNE`
     /// environment hatch still governs engines built with defaults.
     pub prune: bool,
+    /// `k` applied when a wire request omits `"k"` (≥ 1). Tunable live
+    /// through [`QueryEngine::configure`] / the admin `configure`
+    /// command.
+    pub default_k: usize,
 }
 
 impl Default for EngineConfig {
@@ -287,8 +437,43 @@ impl Default for EngineConfig {
             max_batch: 16,
             cache_capacity: 4096,
             prune: simsub_core::pruning_enabled(),
+            default_k: 1,
         }
     }
+}
+
+/// A partial update for the live-tunable engine knobs (`None` = leave
+/// unchanged); applied by [`QueryEngine::configure`] and the admin
+/// `{"cmd":"configure",...}` wire command.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ConfigUpdate {
+    /// Toggle the lower-bound cascade on cold scans (answers are
+    /// byte-identical either way).
+    pub prune: Option<bool>,
+    /// Maximum requests coalesced per dispatch (≥ 1).
+    pub max_batch: Option<usize>,
+    /// Result-cache capacity; shrinking evicts LRU entries immediately,
+    /// 0 disables caching.
+    pub cache_capacity: Option<usize>,
+    /// Default `k` for wire requests that omit it (≥ 1).
+    pub default_k: Option<usize>,
+}
+
+/// Point-in-time view of the live engine configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigView {
+    /// Worker threads (fixed at start).
+    pub workers: usize,
+    /// Current dispatch batch cap.
+    pub max_batch: usize,
+    /// Current result-cache capacity.
+    pub cache_capacity: usize,
+    /// Entries currently cached.
+    pub cache_len: usize,
+    /// Whether cold scans use the lower-bound cascade.
+    pub prune: bool,
+    /// Default `k` for wire requests that omit it.
+    pub default_k: usize,
 }
 
 /// A submitted request's pending answer.
@@ -308,6 +493,10 @@ impl PendingQuery {
 struct Job {
     request: QueryRequest,
     key: u64,
+    /// The snapshot generation current when this request was admitted.
+    /// Workers answer from here — never from the live handle — so a hot
+    /// swap can land mid-queue without changing what this request sees.
+    admitted: Arc<EpochSnapshot>,
     submitted: Instant,
     reply: Sender<QueryResponse>,
 }
@@ -321,11 +510,20 @@ struct CachedAnswer {
     results: Arc<Vec<TopKResult>>,
 }
 
+/// The live-tunable knobs, on atomics so `configure` never blocks the
+/// dispatch path.
+struct Runtime {
+    prune: AtomicBool,
+    max_batch: AtomicUsize,
+    default_k: AtomicUsize,
+}
+
 struct Inner {
-    snapshot: CorpusSnapshot,
-    config: EngineConfig,
+    handle: EngineHandle,
+    runtime: Runtime,
+    workers: usize,
     queue: Mutex<Receiver<Job>>,
-    cache: Mutex<LruCache<u64, Arc<CachedAnswer>>>,
+    cache: Mutex<Cache<u64, Arc<CachedAnswer>>>,
     stats: ServeStats,
     /// Threads each worker may spread a sharded fan-out over: the cores
     /// left after the worker pool claims its share (1 on a fully
@@ -341,22 +539,29 @@ pub struct QueryEngine {
 }
 
 impl QueryEngine {
-    /// Spawns the worker pool and returns the running engine.
+    /// Spawns the worker pool and returns the running engine, serving
+    /// `snapshot` as epoch 1.
     pub fn start(snapshot: CorpusSnapshot, config: EngineConfig) -> Self {
         assert!(config.workers >= 1, "need at least one worker");
         assert!(config.max_batch >= 1, "max_batch must be positive");
+        assert!(config.default_k >= 1, "default_k must be positive");
         let (tx, rx) = channel();
         let cores = std::thread::available_parallelism().map_or(1, usize::from);
         let shard_threads = (cores / config.workers).max(1);
         let inner = Arc::new(Inner {
-            cache: Mutex::new(LruCache::new(config.cache_capacity)),
+            cache: Mutex::new(Cache::new(config.cache_capacity)),
             stats: ServeStats::new(),
-            snapshot,
-            config,
+            handle: EngineHandle::new(snapshot),
+            runtime: Runtime {
+                prune: AtomicBool::new(config.prune),
+                max_batch: AtomicUsize::new(config.max_batch),
+                default_k: AtomicUsize::new(config.default_k),
+            },
+            workers: config.workers,
             queue: Mutex::new(rx),
             shard_threads,
         });
-        let workers = (0..inner.config.workers)
+        let workers = (0..inner.workers)
             .map(|i| {
                 let inner = Arc::clone(&inner);
                 std::thread::Builder::new()
@@ -372,7 +577,10 @@ impl QueryEngine {
         }
     }
 
-    /// Validates and enqueues a request; returns a handle to await.
+    /// Validates and enqueues a request; returns a handle to await. The
+    /// request is pinned to the snapshot generation current *now*: a
+    /// concurrent [`QueryEngine::swap_snapshot`] does not change what an
+    /// already-admitted request computes against.
     pub fn submit(&self, request: QueryRequest) -> Result<PendingQuery, ServiceError> {
         if request.query.is_empty() {
             return Err(ServiceError::InvalidRequest("empty query".into()));
@@ -380,13 +588,16 @@ impl QueryEngine {
         if request.k == 0 {
             return Err(ServiceError::InvalidRequest("k must be positive".into()));
         }
-        // Resolve once now so "model not loaded" fails fast, synchronously.
-        self.inner.snapshot.algo(request.algo)?;
-        self.inner.snapshot.measure(request.measure)?;
+        let admitted = self.inner.handle.load();
+        // Resolve once now so "model not loaded" fails fast, synchronously
+        // — against the same generation the job will run on.
+        admitted.snapshot.algo(request.algo)?;
+        admitted.snapshot.measure(request.measure)?;
 
         let (reply_tx, reply_rx) = channel();
         let job = Job {
-            key: self.inner.snapshot.cache_key(&request),
+            key: admitted.cache_key(&request),
+            admitted,
             request,
             submitted: Instant::now(),
             reply: reply_tx,
@@ -409,9 +620,107 @@ impl QueryEngine {
         self.inner.stats.snapshot()
     }
 
-    /// The corpus snapshot the engine serves from.
-    pub fn snapshot(&self) -> &CorpusSnapshot {
-        &self.inner.snapshot
+    /// The hot-swap cell holding the serving snapshot.
+    pub fn handle(&self) -> &EngineHandle {
+        &self.inner.handle
+    }
+
+    /// The snapshot generation currently serving new admissions.
+    pub fn current(&self) -> Arc<EpochSnapshot> {
+        self.inner.handle.load()
+    }
+
+    /// The current engine epoch (1 until the first swap).
+    pub fn epoch(&self) -> u64 {
+        self.inner.handle.epoch()
+    }
+
+    /// The `k` applied to wire requests that omit `"k"`.
+    pub fn default_k(&self) -> usize {
+        self.inner.runtime.default_k.load(Ordering::Relaxed)
+    }
+
+    /// Atomically replaces the serving snapshot — the live-reload
+    /// primitive behind the admin `{"cmd":"reload",...}` command.
+    ///
+    /// New admissions see `snapshot` (and its bumped epoch) immediately;
+    /// requests admitted earlier complete against the generation they
+    /// were admitted under, then the old snapshot's memory is released
+    /// when the last such request drops its pin. Stale-epoch result
+    /// cache entries are purged eagerly (they are unreachable anyway —
+    /// keys mix in the epoch) and counted in
+    /// [`StatsSnapshot::cache_evicted_on_swap`]. Note a worker finishing
+    /// an old-epoch scan just after the purge may briefly re-insert an
+    /// old-epoch entry; it is equally unreachable and ages out via LRU.
+    pub fn swap_snapshot(&self, snapshot: CorpusSnapshot) -> SwapReport {
+        let (old, new) = self.inner.handle.swap(snapshot);
+        let cache_evicted = {
+            let mut cache = self.inner.cache.lock().expect("cache lock poisoned");
+            cache.purge_below_epoch(new.epoch)
+        };
+        self.inner.stats.record_swap(cache_evicted as u64);
+        let corpus = new.snapshot.corpus();
+        SwapReport {
+            previous_epoch: old.epoch,
+            epoch: new.epoch,
+            cache_evicted,
+            trajectories: corpus.len(),
+            points: corpus.total_points(),
+            shards: corpus.shard_count(),
+        }
+    }
+
+    /// Applies a partial update to the live-tunable knobs and returns
+    /// the resulting configuration. Rejects zero `max_batch`/`default_k`
+    /// without changing anything.
+    pub fn configure(&self, update: ConfigUpdate) -> Result<ConfigView, ServiceError> {
+        if update.max_batch == Some(0) {
+            return Err(ServiceError::InvalidRequest(
+                "max_batch must be positive".into(),
+            ));
+        }
+        if update.default_k == Some(0) {
+            return Err(ServiceError::InvalidRequest(
+                "default_k must be positive".into(),
+            ));
+        }
+        if let Some(prune) = update.prune {
+            self.inner.runtime.prune.store(prune, Ordering::Relaxed);
+        }
+        if let Some(max_batch) = update.max_batch {
+            self.inner
+                .runtime
+                .max_batch
+                .store(max_batch, Ordering::Relaxed);
+        }
+        if let Some(default_k) = update.default_k {
+            self.inner
+                .runtime
+                .default_k
+                .store(default_k, Ordering::Relaxed);
+        }
+        if let Some(capacity) = update.cache_capacity {
+            let mut cache = self.inner.cache.lock().expect("cache lock poisoned");
+            cache.set_capacity(capacity);
+        }
+        Ok(self.config_view())
+    }
+
+    /// The live configuration (worker count is fixed at start; the rest
+    /// tracks [`QueryEngine::configure`]).
+    pub fn config_view(&self) -> ConfigView {
+        let (cache_capacity, cache_len) = {
+            let cache = self.inner.cache.lock().expect("cache lock poisoned");
+            (cache.capacity(), cache.len())
+        };
+        ConfigView {
+            workers: self.inner.workers,
+            max_batch: self.inner.runtime.max_batch.load(Ordering::Relaxed),
+            cache_capacity,
+            cache_len,
+            prune: self.inner.runtime.prune.load(Ordering::Relaxed),
+            default_k: self.inner.runtime.default_k.load(Ordering::Relaxed),
+        }
     }
 
     /// Stops admitting requests, drains everything already queued, and
@@ -441,13 +750,14 @@ fn worker_loop(inner: &Inner) {
         // is already queued, up to the batch cap. The queue lock is held
         // only while draining — never during search work.
         let mut jobs: Vec<Job> = Vec::new();
+        let max_batch = inner.runtime.max_batch.load(Ordering::Relaxed).max(1);
         {
             let rx = inner.queue.lock().expect("queue lock poisoned");
             match rx.recv() {
                 Ok(job) => jobs.push(job),
                 Err(_) => return, // channel closed and drained: shutdown
             }
-            while jobs.len() < inner.config.max_batch {
+            while jobs.len() < max_batch {
                 match rx.try_recv() {
                     Ok(job) => jobs.push(job),
                     Err(TryRecvError::Empty | TryRecvError::Disconnected) => break,
@@ -460,12 +770,23 @@ fn worker_loop(inner: &Inner) {
     }
 }
 
+/// One deduplicated dispatch entry of a micro-batch: the cache key, the
+/// representative request, the snapshot generation it was admitted
+/// under, and every job awaiting this answer.
+struct UniqueEntry {
+    key: u64,
+    request: QueryRequest,
+    admitted: Arc<EpochSnapshot>,
+    jobs: Vec<Job>,
+}
+
 fn process_batch(inner: &Inner, jobs: Vec<Job>, batch_size: usize) {
     // Pass 1: answer cache hits, dedupe identical misses. Key matches are
     // never trusted alone — the stored/deduped request must also be
-    // canonically equal, or the entry is treated as a miss (hash
-    // collisions must not cross-contaminate answers).
-    let mut unique: Vec<(u64, QueryRequest, Vec<Job>)> = Vec::new();
+    // canonically equal (and, for dedup, admitted under the same epoch),
+    // or the entry is treated as a miss (hash collisions must not
+    // cross-contaminate answers, not even across a swap boundary).
+    let mut unique: Vec<UniqueEntry> = Vec::new();
     let mut slot_of_key: HashMap<u64, usize> = HashMap::new();
     {
         let mut cache = inner.cache.lock().expect("cache lock poisoned");
@@ -479,18 +800,31 @@ fn process_batch(inner: &Inner, jobs: Vec<Job>, batch_size: usize) {
                 continue;
             }
             match slot_of_key.get(&job.key) {
-                Some(&slot) if unique[slot].1.canonically_equal(&job.request) => {
-                    unique[slot].2.push(job);
+                Some(&slot)
+                    if unique[slot].request.canonically_equal(&job.request)
+                        && unique[slot].admitted.epoch == job.admitted.epoch =>
+                {
+                    unique[slot].jobs.push(job);
                 }
                 Some(_) => {
                     // Colliding but different request: keep it as its own
                     // dispatch entry (unregistered — collisions are rare
                     // enough that losing dedup for the loser is fine).
-                    unique.push((job.key, job.request.clone(), vec![job]));
+                    unique.push(UniqueEntry {
+                        key: job.key,
+                        request: job.request.clone(),
+                        admitted: Arc::clone(&job.admitted),
+                        jobs: vec![job],
+                    });
                 }
                 None => {
                     slot_of_key.insert(job.key, unique.len());
-                    unique.push((job.key, job.request.clone(), vec![job]));
+                    unique.push(UniqueEntry {
+                        key: job.key,
+                        request: job.request.clone(),
+                        admitted: Arc::clone(&job.admitted),
+                        jobs: vec![job],
+                    });
                 }
             }
         }
@@ -499,38 +833,53 @@ fn process_batch(inner: &Inner, jobs: Vec<Job>, batch_size: usize) {
         return;
     }
 
-    // Pass 2: group misses by dispatch signature and run each group
-    // through one batched database scan.
-    let mut groups: HashMap<(AlgoSpec, MeasureSpec, usize, bool), Vec<usize>> = HashMap::new();
-    for (slot, (_, request, _)) in unique.iter().enumerate() {
+    // Pass 2: group misses by dispatch signature — *including the
+    // admitted epoch*, so a batch straddling a swap runs one scan per
+    // generation, each against its own pinned snapshot — and run each
+    // group through one batched database scan.
+    let mut groups: HashMap<(u64, AlgoSpec, MeasureSpec, usize, bool), Vec<usize>> = HashMap::new();
+    for (slot, entry) in unique.iter().enumerate() {
+        let request = &entry.request;
         groups
-            .entry((request.algo, request.measure, request.k, request.use_index))
+            .entry((
+                entry.admitted.epoch,
+                request.algo,
+                request.measure,
+                request.k,
+                request.use_index,
+            ))
             .or_default()
             .push(slot);
     }
 
-    for ((algo_spec, measure_spec, k, use_index), slots) in groups {
-        // Specs were validated at submit time; resolution cannot fail here.
-        let algo = inner
+    let prune = inner.runtime.prune.load(Ordering::Relaxed);
+    for ((epoch, algo_spec, measure_spec, k, use_index), slots) in groups {
+        // All slots in a group share one generation (the epoch is in the
+        // group key, and epochs uniquely name generations).
+        let snapshot = Arc::clone(&unique[slots[0]].admitted);
+        debug_assert_eq!(snapshot.epoch, epoch);
+        // Specs were validated at submit time against this same
+        // generation; resolution cannot fail here.
+        let algo = snapshot
             .snapshot
             .algo(algo_spec)
             .expect("algo validated at submit");
-        let measure = inner
+        let measure = snapshot
             .snapshot
             .measure(measure_spec)
             .expect("measure validated at submit");
         let queries: Vec<&[Point]> = slots
             .iter()
-            .map(|&slot| unique[slot].1.query.as_slice())
+            .map(|&slot| unique[slot].request.query.as_slice())
             .collect();
-        let (all_results, scan_stats) = inner.snapshot.corpus.top_k_batch(
+        let (all_results, scan_stats) = snapshot.snapshot.corpus.top_k_batch(
             algo.as_ref(),
             measure,
             &queries,
             k,
             use_index,
             inner.shard_threads,
-            inner.config.prune,
+            prune,
         );
         inner.stats.record_scan(&scan_stats);
         debug_assert_eq!(all_results.len(), slots.len());
@@ -540,16 +889,17 @@ fn process_batch(inner: &Inner, jobs: Vec<Job>, batch_size: usize) {
             {
                 let mut cache = inner.cache.lock().expect("cache lock poisoned");
                 cache.insert(
-                    unique[slot].0,
+                    unique[slot].key,
                     Arc::new(CachedAnswer {
-                        request: unique[slot].1.clone(),
+                        request: unique[slot].request.clone(),
                         results: Arc::clone(&results),
                     }),
+                    epoch,
                 );
             }
             // Fan the shared answer out to every requester that asked for
             // this exact query in this batch.
-            for job in unique[slot].2.drain(..) {
+            for job in unique[slot].jobs.drain(..) {
                 respond(inner, job, Arc::clone(&results), false, batch_size);
             }
         }
@@ -565,5 +915,129 @@ fn respond(inner: &Inner, job: Job, results: Arc<Vec<TopKResult>>, cached: bool,
         cached,
         latency,
         batch_size: batch,
+        epoch: job.admitted.epoch,
     });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simsub_data::{generate, DatasetSpec};
+
+    fn snapshot(count: usize, seed: u64) -> CorpusSnapshot {
+        CorpusSnapshot::new(
+            TrajectoryDb::build(generate(&DatasetSpec::porto(), count, seed)).into_shared(),
+        )
+    }
+
+    fn request(snapshot: &CorpusSnapshot) -> QueryRequest {
+        let Corpus::Single(db) = snapshot.corpus() else {
+            unreachable!("test snapshots are single")
+        };
+        QueryRequest {
+            query: db.trajectories()[0].points()[..6].to_vec(),
+            algo: AlgoSpec::Exact,
+            measure: MeasureSpec::Dtw,
+            k: 2,
+            use_index: true,
+        }
+    }
+
+    #[test]
+    fn handle_epochs_are_monotonic_and_version_cache_keys() {
+        let handle = EngineHandle::new(snapshot(6, 1));
+        let first = handle.load();
+        assert_eq!(first.epoch(), 1);
+        let req = request(first.snapshot());
+
+        // Swapping in the *same corpus layout* still changes every cache
+        // key: the epoch alone retires stale entries.
+        let (old, new) = handle.swap(snapshot(6, 1));
+        assert_eq!(old.epoch(), 1);
+        assert_eq!(new.epoch(), 2);
+        assert_eq!(handle.epoch(), 2);
+        assert_ne!(first.cache_key(&req), new.cache_key(&req));
+        // The displaced generation stays fully usable through its pin.
+        assert_eq!(first.snapshot().corpus().len(), 6);
+
+        let (_, third) = handle.swap(snapshot(4, 9));
+        assert_eq!(third.epoch(), 3);
+        assert_eq!(handle.load().snapshot().corpus().len(), 4);
+    }
+
+    #[test]
+    fn engine_swap_reports_and_counts_evictions() {
+        let engine = QueryEngine::start(
+            snapshot(8, 3),
+            EngineConfig {
+                workers: 1,
+                ..EngineConfig::default()
+            },
+        );
+        let req = request(engine.current().snapshot());
+        assert!(!engine.query(req.clone()).unwrap().cached);
+        assert!(engine.query(req.clone()).unwrap().cached);
+
+        let report = engine.swap_snapshot(snapshot(5, 4));
+        assert_eq!(report.previous_epoch, 1);
+        assert_eq!(report.epoch, 2);
+        assert_eq!(report.cache_evicted, 1);
+        assert_eq!(report.trajectories, 5);
+        assert_eq!(report.shards, 1);
+        let stats = engine.stats();
+        assert_eq!(stats.swaps, 1);
+        assert_eq!(stats.cache_evicted_on_swap, 1);
+
+        // Same request, new epoch: a cold answer from the new corpus.
+        let response = engine.query(req).unwrap();
+        assert!(!response.cached, "stale-epoch entry must not be replayed");
+        assert_eq!(response.epoch, 2);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn configure_applies_and_validates() {
+        let engine = QueryEngine::start(
+            snapshot(6, 5),
+            EngineConfig {
+                workers: 1,
+                max_batch: 16,
+                cache_capacity: 64,
+                default_k: 1,
+                ..EngineConfig::default()
+            },
+        );
+        let view = engine
+            .configure(ConfigUpdate {
+                prune: Some(false),
+                max_batch: Some(4),
+                cache_capacity: Some(2),
+                default_k: Some(7),
+            })
+            .unwrap();
+        assert!(!view.prune);
+        assert_eq!(view.max_batch, 4);
+        assert_eq!(view.cache_capacity, 2);
+        assert_eq!(view.default_k, 7);
+        assert_eq!(engine.default_k(), 7);
+
+        for bad in [
+            ConfigUpdate {
+                max_batch: Some(0),
+                ..ConfigUpdate::default()
+            },
+            ConfigUpdate {
+                default_k: Some(0),
+                ..ConfigUpdate::default()
+            },
+        ] {
+            assert!(matches!(
+                engine.configure(bad),
+                Err(ServiceError::InvalidRequest(_))
+            ));
+        }
+        // Rejected updates changed nothing.
+        assert_eq!(engine.config_view().max_batch, 4);
+        engine.shutdown();
+    }
 }

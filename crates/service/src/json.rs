@@ -152,6 +152,75 @@ pub fn obj(pairs: Vec<(&str, Json)>) -> Json {
     Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
 }
 
+/// Version of one wire-protocol exchange. Governs both how a request
+/// envelope is read and how the response envelope is rendered; the
+/// normative spec lives atop [`crate::server`].
+///
+/// - **V1** (legacy): the line carries neither `"v"` nor `"id"` (or an
+///   explicit `"v":1`). Responses are byte-compatible with pre-v2
+///   servers — no envelope fields are ever added.
+/// - **V2**: the line declares `"v":2`, or carries an `"id"` without a
+///   `"v"` (an `id` only exists in v2, so it implies it). Responses echo
+///   `"v":2`, the request's `"id"` (when given), and the engine `"epoch"`
+///   the answer was computed under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProtocolVersion {
+    /// Legacy envelope-free protocol; responses stay bit-compatible.
+    V1,
+    /// Versioned envelope: requests may carry `"id"`, responses echo
+    /// `"v"`, `"id"`, and `"epoch"`.
+    V2,
+}
+
+impl ProtocolVersion {
+    /// Reads the envelope of a parsed request line: its protocol version
+    /// and (v2 only) its request id. Errors on an unsupported `"v"` or a
+    /// non-scalar `"id"`; an `"id"` sent on an explicit `"v":1` line is
+    /// ignored (v1 has no id concept).
+    pub fn of_request(v: &Json) -> Result<(ProtocolVersion, Option<Json>), String> {
+        let id = match v.get("id") {
+            None => None,
+            Some(id @ (Json::Str(_) | Json::Num(_))) => Some(id.clone()),
+            Some(_) => return Err("\"id\" must be a string or a number".into()),
+        };
+        match v.get("v") {
+            None if id.is_some() => Ok((ProtocolVersion::V2, id)),
+            None => Ok((ProtocolVersion::V1, None)),
+            Some(ver) => match ver.as_usize() {
+                Some(1) => Ok((ProtocolVersion::V1, None)),
+                Some(2) => Ok((ProtocolVersion::V2, id)),
+                _ => Err(format!(
+                    "unsupported protocol version {} (supported: 1, 2)",
+                    ver.dump()
+                )),
+            },
+        }
+    }
+
+    /// Wraps a response body for this version: a no-op for v1 (bit
+    /// compatibility is the contract), and for v2 appends `"v":2`, the
+    /// echoed `"id"` (when the request carried one), and `"epoch"` —
+    /// unless the body already reports an `"epoch"` of its own (the
+    /// `info`/`reload` commands do), which is authoritative.
+    pub fn envelope(self, mut body: Json, id: Option<&Json>, epoch: u64) -> Json {
+        match self {
+            ProtocolVersion::V1 => body,
+            ProtocolVersion::V2 => {
+                if let Json::Obj(pairs) = &mut body {
+                    pairs.push(("v".to_string(), Json::Num(2.0)));
+                    if let Some(id) = id {
+                        pairs.push(("id".to_string(), id.clone()));
+                    }
+                    if !pairs.iter().any(|(k, _)| k == "epoch") {
+                        pairs.push(("epoch".to_string(), Json::Num(epoch as f64)));
+                    }
+                }
+                body
+            }
+        }
+    }
+}
+
 fn write_num(n: f64, out: &mut String) {
     if n.is_finite() {
         // Rust's shortest-roundtrip Display: integers print without ".0",
@@ -445,6 +514,55 @@ mod tests {
         ] {
             assert!(Json::parse(bad).is_err(), "accepted: {bad:?}");
         }
+    }
+
+    #[test]
+    fn protocol_version_of_request() {
+        let case = |text: &str| ProtocolVersion::of_request(&Json::parse(text).unwrap());
+        // v1: no envelope fields, or explicit v:1 (id then ignored).
+        assert_eq!(case(r#"{"cmd":"ping"}"#), Ok((ProtocolVersion::V1, None)));
+        assert_eq!(
+            case(r#"{"v":1,"cmd":"ping"}"#),
+            Ok((ProtocolVersion::V1, None))
+        );
+        assert_eq!(case(r#"{"v":1,"id":"x"}"#), Ok((ProtocolVersion::V1, None)));
+        // v2: declared, or implied by an id.
+        assert_eq!(case(r#"{"v":2}"#), Ok((ProtocolVersion::V2, None)));
+        assert_eq!(
+            case(r#"{"v":2,"id":7}"#),
+            Ok((ProtocolVersion::V2, Some(Json::Num(7.0))))
+        );
+        assert_eq!(
+            case(r#"{"id":"req-1"}"#),
+            Ok((ProtocolVersion::V2, Some(Json::Str("req-1".into()))))
+        );
+        // Errors: unknown versions, non-scalar ids.
+        assert!(case(r#"{"v":3}"#).is_err());
+        assert!(case(r#"{"v":"2"}"#).is_err());
+        assert!(case(r#"{"v":2,"id":[1]}"#).is_err());
+    }
+
+    #[test]
+    fn envelope_rendering_is_version_gated() {
+        let body = || obj(vec![("ok", Json::Bool(true))]);
+        // v1 must stay byte-identical.
+        assert_eq!(
+            ProtocolVersion::V1
+                .envelope(body(), Some(&Json::Str("x".into())), 5)
+                .dump(),
+            r#"{"ok":true}"#
+        );
+        // v2 appends v / id / epoch after the body fields.
+        assert_eq!(
+            ProtocolVersion::V2
+                .envelope(body(), Some(&Json::Str("x".into())), 5)
+                .dump(),
+            r#"{"ok":true,"v":2,"id":"x","epoch":5}"#
+        );
+        assert_eq!(
+            ProtocolVersion::V2.envelope(body(), None, 1).dump(),
+            r#"{"ok":true,"v":2,"epoch":1}"#
+        );
     }
 
     #[test]

@@ -9,12 +9,12 @@
 //!
 //! | module | contents |
 //! |--------|----------|
-//! | [`engine`] | [`QueryEngine`]: worker pool, MPSC queue, micro-batching, graceful shutdown; [`Corpus`]: single vs. sharded corpus snapshots |
+//! | [`engine`] | [`QueryEngine`]: worker pool, MPSC queue, micro-batching, graceful shutdown; [`Corpus`]: single vs. sharded corpus snapshots; [`EngineHandle`]: epoch-versioned hot-swap cell ([`QueryEngine::swap_snapshot`] = live reload) |
 //! | [`query`] | request/response model, canonical query hash |
-//! | [`cache`] | O(1) LRU result cache |
-//! | [`stats`] | qps / p50 / p99 / hit-rate accounting |
-//! | [`server`] | newline-delimited JSON over TCP (`simsub serve`) |
-//! | [`json`] | dependency-free JSON parse/serialize for the wire format |
+//! | [`cache`] | O(1) LRU result cache with epoch-stamped entries |
+//! | [`stats`] | qps / p50 / p99 / hit-rate / swap accounting |
+//! | [`server`] | newline-delimited JSON over TCP (`simsub serve`), wire protocol v1+v2 with the admin namespace (`reload` / `configure` / `info`) |
+//! | [`json`] | dependency-free JSON parse/serialize, [`json::ProtocolVersion`] envelope rules |
 //!
 //! Answers are bit-identical to the offline paths: a cache hit replays a
 //! previously computed `TrajectoryDb::top_k` answer for a canonically
@@ -57,7 +57,11 @@ pub mod query;
 pub mod server;
 pub mod stats;
 
-pub use engine::{Corpus, CorpusSnapshot, EngineConfig, PendingQuery, QueryEngine, ServiceError};
+pub use engine::{
+    ConfigUpdate, ConfigView, Corpus, CorpusSnapshot, EngineConfig, EngineHandle, EpochSnapshot,
+    PendingQuery, QueryEngine, ServiceError, SwapReport,
+};
+pub use json::ProtocolVersion;
 pub use query::{AlgoSpec, MeasureSpec, QueryRequest, QueryResponse};
-pub use server::Server;
+pub use server::{Server, StopHandle};
 pub use stats::{ServeStats, StatsSnapshot};

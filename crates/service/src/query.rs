@@ -151,8 +151,17 @@ impl QueryRequest {
     ///
     /// `measure` defaults to `dtw`, `k` to 1, `index` to `true`;
     /// `query` and `algo` are mandatory. Points are `[x, y]` or
-    /// `[x, y, t]`.
+    /// `[x, y, t]`. Envelope fields (`"v"`, `"id"` — see
+    /// [`crate::json::ProtocolVersion`]) are ignored here; the server
+    /// peels them off before/after this call.
     pub fn from_json(v: &Json) -> Result<Self, String> {
+        Self::from_json_with(v, 1)
+    }
+
+    /// [`QueryRequest::from_json`] with a configurable default for a
+    /// missing `"k"` (the `default_k` knob of the admin `configure`
+    /// command). `default_k` must be ≥ 1.
+    pub fn from_json_with(v: &Json, default_k: usize) -> Result<Self, String> {
         let query_json = v.get("query").ok_or("missing \"query\"")?;
         let points = query_json.as_array().ok_or("\"query\" must be an array")?;
         if points.is_empty() {
@@ -215,7 +224,7 @@ impl QueryRequest {
             Some(Err(_)) => return Err("\"measure\" must be a string".into()),
         };
 
-        let k = int_field("k", 1)?;
+        let k = int_field("k", default_k.max(1))?;
         if k == 0 {
             return Err("\"k\" must be positive".into());
         }
@@ -246,11 +255,18 @@ pub struct QueryResponse {
     pub latency: std::time::Duration,
     /// How many requests shared this request's dispatch batch.
     pub batch_size: usize,
+    /// Engine epoch the request was *admitted* under: the snapshot that
+    /// answered it, even if a hot swap landed while it was queued.
+    pub epoch: u64,
 }
 
 impl QueryResponse {
-    /// Wire form:
+    /// Wire form (the protocol-v1 body, byte-compatible with pre-v2
+    /// servers):
     /// `{"ok":true,"cached":false,"batch":1,"latency_us":N,"results":[{...}]}`.
+    /// The v2 envelope fields (`"v"`, `"id"`, `"epoch"`) are appended by
+    /// [`crate::json::ProtocolVersion::envelope`], never here, so v1
+    /// clients keep seeing exactly this shape.
     pub fn to_json(&self) -> Json {
         let results = self
             .results
@@ -276,8 +292,10 @@ impl QueryResponse {
 }
 
 /// Folds `extra` into `key` through the same FNV-1a stream the canonical
-/// key uses. The engine mixes the corpus layout version into every cache
-/// key this way, so entries die with the shard layout that computed them.
+/// key uses. The engine mixes the corpus layout version *and* the engine
+/// epoch into every cache key this way (see `EpochSnapshot::cache_key`),
+/// so entries die with the shard layout — and the snapshot — that
+/// computed them.
 pub(crate) fn mix_key(key: u64, extra: u64) -> u64 {
     let mut h = Fnv::new();
     h.write_u64(key);

@@ -1,22 +1,81 @@
-//! Newline-delimited JSON front-end over TCP.
+//! Newline-delimited JSON front-end over TCP — the normative wire
+//! protocol specification, versions 1 and 2.
 //!
-//! Protocol (one JSON document per line, both directions):
+//! One JSON object per line in both directions. A request line is either
+//! a **query** (has a `"query"` field) or a **command** (has a `"cmd"`
+//! field). Every response is a single object starting with `"ok":
+//! true|false`; on `"ok":false` an `"error"` string says why and the
+//! connection stays open. Lines over 4 MiB are rejected and the
+//! connection closed.
 //!
-//! - query: `{"query": [[x, y], ...], "algo": "pss", "measure": "dtw",
-//!   "k": 5, "index": true}` →
-//!   `{"ok":true,"cached":false,"batch":1,"latency_us":412,"results":[
-//!   {"trajectory_id":3,"start":4,"end":9,"distance":0.51,"similarity":0.66},...]}`
-//! - `{"cmd":"stats"}` → `{"ok":true,"stats":{...}}`
+//! ## Versioning (protocol v2)
+//!
+//! - A request line may carry `"v": 1|2` and (v2 only) an `"id"` — any
+//!   JSON string or number. No `"v"` means v1, unless an `"id"` is
+//!   present (which implies v2). Any other `"v"` is an error.
+//! - **v1 responses are bit-compatible with pre-v2 servers**: no
+//!   envelope fields are ever added to them.
+//! - v2 responses echo `"v":2`, the request's `"id"` (when given), and
+//!   `"epoch"` — the engine epoch the answer was computed under (for
+//!   queries, the epoch the request was *admitted* under; for commands
+//!   and errors, the epoch current when the line was handled).
+//!
+//! ## Queries (v1 and v2)
+//!
+//! `{"query": [[x, y], ...], "algo":
+//! "exact|sizes|pss|pos|posd|spring|rls", "measure":
+//! "dtw|frechet|t2vec", "k": 5, "index": true}` →
+//! `{"ok":true,"cached":false,"batch":1,"latency_us":412,"results":[
+//! {"trajectory_id":3,"start":4,"end":9,"distance":0.51,"similarity":0.66},...]}`
+//!
+//! Points are `[x, y]` or `[x, y, t]`. `measure` defaults to `"dtw"`,
+//! `index` to `true`, and `k` to the engine's `default_k` knob (1 unless
+//! reconfigured). Answers are byte-identical to the offline
+//! `TrajectoryDb::top_k` for the same request against the same snapshot.
+//!
+//! ## Commands
+//!
+//! v1 commands (unchanged):
+//!
+//! - `{"cmd":"stats"}` → `{"ok":true,"stats":{...}}` (the stats object
+//!   grows fields over time — additions include `swaps` and
+//!   `cache_evicted_on_swap`).
 //! - `{"cmd":"ping"}` → `{"ok":true,"pong":true}`
 //! - `{"cmd":"shutdown"}` → `{"ok":true,"bye":true}`, then the server
 //!   stops accepting, drains the engine, and exits.
-//! - any error → `{"ok":false,"error":"..."}` (the connection stays open).
+//!
+//! The typed admin namespace (introduced with v2, accepted on any
+//! version — the response envelope follows the request's version):
+//!
+//! - `{"cmd":"info"}` → `{"ok":true,"epoch":N,"layout_version":L,
+//!   "shards":S,"trajectories":T,"points":P,"workers":W,"prune":B,
+//!   "max_batch":M,"cache_capacity":C,"cache_len":E,"default_k":K,
+//!   "rls_loaded":B,"t2vec_loaded":B,"swaps":N,"build":"x.y.z",
+//!   "protocol":[1,2]}` — what is serving right now.
+//! - `{"cmd":"reload","corpus":"/path/to.csv"}` (optional: `"shards":N`,
+//!   `"partitioner":"hash|grid"`, `"policy":"/path"`, `"t2vec":"/path"`,
+//!   `"skip":N`, `"suffix":false`) → builds a fresh snapshot
+//!   server-side and atomically swaps it in:
+//!   `{"ok":true,"reloaded":true,"previous_epoch":N,"epoch":N+1,
+//!   "cache_evicted":E,"trajectories":T,"points":P,"shards":S}`.
+//!   In-flight queries finish against the old snapshot; queries admitted
+//!   after the swap see the new one. Nothing restarts, no connection
+//!   drops.
+//! - `{"cmd":"configure"}` with any of `"prune":bool`, `"max_batch":N`,
+//!   `"cache_capacity":N`, `"default_k":N` → applies the knobs live and
+//!   answers `{"ok":true,"configured":true,...}` echoing the full
+//!   effective configuration.
+//!
+//! Unknown `"cmd"` values are errors, so clients can feature-probe.
 
-use crate::engine::QueryEngine;
-use crate::json::{obj, Json};
+use crate::engine::{ConfigUpdate, CorpusSnapshot, QueryEngine};
+use crate::json::{obj, Json, ProtocolVersion};
 use crate::query::QueryRequest;
+use simsub_core::MdpConfig;
+use simsub_index::PartitionerKind;
 use std::io::{BufRead, BufReader, ErrorKind, Write};
 use std::net::{TcpListener, TcpStream};
+use std::path::Path;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -70,6 +129,13 @@ impl Server {
         self.stop.store(true, Ordering::SeqCst);
     }
 
+    /// A clonable handle that can request (and observe) the stop from
+    /// another thread — e.g. the `--reload-fifo` control thread — without
+    /// holding the `Server` itself.
+    pub fn stop_handle(&self) -> StopHandle {
+        StopHandle(Arc::clone(&self.stop))
+    }
+
     /// Blocks until the server stops: joins the accept loop (which joins
     /// every connection), then drains and shuts down the engine.
     pub fn wait(mut self) {
@@ -86,6 +152,22 @@ impl Drop for Server {
         if let Some(handle) = self.accept_thread.take() {
             handle.join().expect("accept thread panicked");
         }
+    }
+}
+
+/// Detached stop switch for a [`Server`]; see [`Server::stop_handle`].
+#[derive(Clone)]
+pub struct StopHandle(Arc<AtomicBool>);
+
+impl StopHandle {
+    /// Requests the server stop (same effect as the wire `shutdown`).
+    pub fn stop(&self) {
+        self.0.store(true, Ordering::SeqCst);
+    }
+
+    /// True once a stop was requested.
+    pub fn is_stopped(&self) -> bool {
+        self.0.load(Ordering::SeqCst)
     }
 }
 
@@ -192,28 +274,224 @@ fn error_response(msg: &str) -> Json {
 fn handle_line(line: &str, engine: &QueryEngine, stop: &AtomicBool) -> Json {
     let parsed = match Json::parse(line) {
         Ok(v) => v,
+        // Unparseable lines have no trustworthy envelope: answer in v1.
         Err(e) => return error_response(&format!("bad json: {e}")),
     };
-    if let Some(cmd) = parsed.get("cmd").and_then(Json::as_str) {
-        return match cmd {
-            "stats" => obj(vec![
-                ("ok", Json::Bool(true)),
-                ("stats", engine.stats().to_json()),
-            ]),
-            "ping" => obj(vec![("ok", Json::Bool(true)), ("pong", Json::Bool(true))]),
-            "shutdown" => {
-                stop.store(true, Ordering::SeqCst);
-                obj(vec![("ok", Json::Bool(true)), ("bye", Json::Bool(true))])
-            }
-            other => error_response(&format!("unknown cmd {other:?}")),
-        };
-    }
-    let request = match QueryRequest::from_json(&parsed) {
-        Ok(request) => request,
+    let (version, id) = match ProtocolVersion::of_request(&parsed) {
+        Ok(envelope) => envelope,
         Err(e) => return error_response(&e),
     };
-    match engine.query(request) {
-        Ok(response) => response.to_json(),
+    let body = if let Some(cmd) = parsed.get("cmd").and_then(Json::as_str) {
+        if cmd == "shutdown" {
+            stop.store(true, Ordering::SeqCst);
+            obj(vec![("ok", Json::Bool(true)), ("bye", Json::Bool(true))])
+        } else {
+            handle_admin_command(engine, &parsed)
+                .unwrap_or_else(|| error_response(&format!("unknown cmd {cmd:?}")))
+        }
+    } else {
+        match QueryRequest::from_json_with(&parsed, engine.default_k()) {
+            Ok(request) => match engine.query(request) {
+                // Queries echo the epoch they were *admitted* under,
+                // which a concurrent reload may have already left behind.
+                Ok(response) => {
+                    let epoch = response.epoch;
+                    return version.envelope(response.to_json(), id.as_ref(), epoch);
+                }
+                Err(e) => error_response(&e.to_string()),
+            },
+            Err(e) => error_response(&e),
+        }
+    };
+    version.envelope(body, id.as_ref(), engine.epoch())
+}
+
+/// Handles one parsed admin/introspection command (`stats`, `ping`,
+/// `info`, `reload`, `configure`), returning the response *body* (no
+/// version envelope — the caller owns that). `None` means the command is
+/// not part of this namespace (`shutdown` and queries are the server
+/// loop's business). Public so out-of-band control planes — the
+/// `--reload-fifo` thread in `simsub serve` — drive the same code path
+/// as the TCP front-end.
+pub fn handle_admin_command(engine: &QueryEngine, parsed: &Json) -> Option<Json> {
+    let cmd = parsed.get("cmd").and_then(Json::as_str)?;
+    match cmd {
+        "stats" => Some(obj(vec![
+            ("ok", Json::Bool(true)),
+            ("stats", engine.stats().to_json()),
+        ])),
+        "ping" => Some(obj(vec![
+            ("ok", Json::Bool(true)),
+            ("pong", Json::Bool(true)),
+        ])),
+        "info" => Some(admin_info(engine)),
+        "reload" => Some(admin_reload(engine, parsed)),
+        "configure" => Some(admin_configure(engine, parsed)),
+        _ => None,
+    }
+}
+
+/// `{"cmd":"info"}`: everything an operator needs to know about what is
+/// serving right now — epoch, corpus layout, loaded models, live knobs,
+/// and the build.
+fn admin_info(engine: &QueryEngine) -> Json {
+    let current = engine.current();
+    let snapshot = current.snapshot();
+    let corpus = snapshot.corpus();
+    let config = engine.config_view();
+    let stats = engine.stats();
+    obj(vec![
+        ("ok", Json::Bool(true)),
+        ("epoch", Json::Num(current.epoch() as f64)),
+        ("layout_version", Json::Num(corpus.layout_version() as f64)),
+        ("shards", Json::Num(corpus.shard_count() as f64)),
+        ("trajectories", Json::Num(corpus.len() as f64)),
+        ("points", Json::Num(corpus.total_points() as f64)),
+        ("workers", Json::Num(config.workers as f64)),
+        ("prune", Json::Bool(config.prune)),
+        ("max_batch", Json::Num(config.max_batch as f64)),
+        ("cache_capacity", Json::Num(config.cache_capacity as f64)),
+        ("cache_len", Json::Num(config.cache_len as f64)),
+        ("default_k", Json::Num(config.default_k as f64)),
+        ("rls_loaded", Json::Bool(snapshot.has_rls())),
+        ("t2vec_loaded", Json::Bool(snapshot.has_t2vec())),
+        ("swaps", Json::Num(stats.swaps as f64)),
+        ("build", Json::Str(env!("CARGO_PKG_VERSION").into())),
+        ("protocol", Json::Arr(vec![Json::Num(1.0), Json::Num(2.0)])),
+    ])
+}
+
+/// `{"cmd":"reload",...}`: builds a fresh [`CorpusSnapshot`] from
+/// server-side files and hot-swaps it in. The reply reports the epoch
+/// bump and how many stale cache entries died with the old snapshot.
+fn admin_reload(engine: &QueryEngine, parsed: &Json) -> Json {
+    match build_snapshot(parsed) {
+        Ok(snapshot) => {
+            let report = engine.swap_snapshot(snapshot);
+            obj(vec![
+                ("ok", Json::Bool(true)),
+                ("reloaded", Json::Bool(true)),
+                ("previous_epoch", Json::Num(report.previous_epoch as f64)),
+                ("epoch", Json::Num(report.epoch as f64)),
+                ("cache_evicted", Json::Num(report.cache_evicted as f64)),
+                ("trajectories", Json::Num(report.trajectories as f64)),
+                ("points", Json::Num(report.points as f64)),
+                ("shards", Json::Num(report.shards as f64)),
+            ])
+        }
+        Err(e) => error_response(&e),
+    }
+}
+
+/// Decodes the snapshot a `reload` describes — corpus CSV (mandatory),
+/// optional sharding, optional RLS policy / t2vec model files — and
+/// hands assembly to [`CorpusSnapshot::assemble`], the same builder
+/// `simsub serve` starts from.
+fn build_snapshot(parsed: &Json) -> Result<CorpusSnapshot, String> {
+    let corpus_path = parsed
+        .get("corpus")
+        .and_then(Json::as_str)
+        .ok_or("reload needs a \"corpus\" file path")?;
+    let trajectories = simsub_data::read_csv_file(Path::new(corpus_path))
+        .map_err(|e| format!("reading {corpus_path}: {e}"))?;
+    let shards = match parsed.get("shards") {
+        None => 0,
+        Some(v) => v
+            .as_usize()
+            .ok_or("\"shards\" must be a non-negative integer")?,
+    };
+    let partitioner = match parsed.get("partitioner") {
+        None => PartitionerKind::Hash,
+        Some(v) => v
+            .as_str()
+            .ok_or("\"partitioner\" must be a string")?
+            .parse::<PartitionerKind>()?,
+    };
+    if shards == 0 && parsed.get("partitioner").is_some() {
+        return Err("\"partitioner\" requires \"shards\" >= 1".into());
+    }
+    let mdp = MdpConfig {
+        skip_actions: match parsed.get("skip") {
+            None => 0,
+            Some(v) => v
+                .as_usize()
+                .ok_or("\"skip\" must be a non-negative integer")?,
+        },
+        use_suffix: match parsed.get("suffix") {
+            None => true,
+            Some(v) => v.as_bool().ok_or("\"suffix\" must be a boolean")?,
+        },
+    };
+    let path_field = |key: &str| -> Result<Option<&str>, String> {
+        match parsed.get(key) {
+            None => Ok(None),
+            Some(v) => v
+                .as_str()
+                .map(Some)
+                .ok_or_else(|| format!("\"{key}\" must be a file path")),
+        }
+    };
+    let policy = path_field("policy")?;
+    let t2vec = path_field("t2vec")?;
+    CorpusSnapshot::assemble(
+        trajectories,
+        (shards >= 1).then_some((shards, partitioner)),
+        policy.map(|p| (Path::new(p), mdp)),
+        t2vec.map(Path::new),
+    )
+}
+
+/// `{"cmd":"configure",...}`: applies the live-tunable knobs and echoes
+/// the full effective configuration.
+fn admin_configure(engine: &QueryEngine, parsed: &Json) -> Json {
+    let field_usize = |key: &str| -> Result<Option<usize>, String> {
+        match parsed.get(key) {
+            None => Ok(None),
+            Some(v) => v
+                .as_usize()
+                .map(Some)
+                .ok_or_else(|| format!("\"{key}\" must be a non-negative integer")),
+        }
+    };
+    let prune = match parsed.get("prune") {
+        None => None,
+        Some(v) => match v.as_bool() {
+            Some(b) => Some(b),
+            None => return error_response("\"prune\" must be a boolean"),
+        },
+    };
+    let update = ConfigUpdate {
+        prune,
+        max_batch: match field_usize("max_batch") {
+            Ok(v) => v,
+            Err(e) => return error_response(&e),
+        },
+        cache_capacity: match field_usize("cache_capacity") {
+            Ok(v) => v,
+            Err(e) => return error_response(&e),
+        },
+        default_k: match field_usize("default_k") {
+            Ok(v) => v,
+            Err(e) => return error_response(&e),
+        },
+    };
+    if update == ConfigUpdate::default() {
+        return error_response(
+            "configure needs at least one of \"prune\", \"max_batch\", \
+             \"cache_capacity\", \"default_k\"",
+        );
+    }
+    match engine.configure(update) {
+        Ok(view) => obj(vec![
+            ("ok", Json::Bool(true)),
+            ("configured", Json::Bool(true)),
+            ("prune", Json::Bool(view.prune)),
+            ("max_batch", Json::Num(view.max_batch as f64)),
+            ("cache_capacity", Json::Num(view.cache_capacity as f64)),
+            ("cache_len", Json::Num(view.cache_len as f64)),
+            ("default_k", Json::Num(view.default_k as f64)),
+            ("workers", Json::Num(view.workers as f64)),
+        ]),
         Err(e) => error_response(&e.to_string()),
     }
 }

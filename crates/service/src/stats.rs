@@ -26,6 +26,10 @@ pub struct ServeStats {
     scan_pruned: AtomicU64,
     /// Of those, fully searched.
     scan_searched: AtomicU64,
+    /// Snapshot hot-swaps performed (`QueryEngine::swap_snapshot`).
+    swaps: AtomicU64,
+    /// Cache entries purged by swaps (stale-epoch evictions), summed.
+    cache_evicted_on_swap: AtomicU64,
     latencies_us: Mutex<Reservoir>,
 }
 
@@ -53,6 +57,8 @@ impl ServeStats {
             scan_candidates: AtomicU64::new(0),
             scan_pruned: AtomicU64::new(0),
             scan_searched: AtomicU64::new(0),
+            swaps: AtomicU64::new(0),
+            cache_evicted_on_swap: AtomicU64::new(0),
             latencies_us: Mutex::new(Reservoir {
                 samples: Vec::with_capacity(256),
                 next: 0,
@@ -93,6 +99,15 @@ impl ServeStats {
             .fetch_add(scan.searched, Ordering::Relaxed);
     }
 
+    /// Records one snapshot hot-swap and how many stale-epoch cache
+    /// entries it purged, so swaps are observable on the `stats` wire
+    /// response.
+    pub fn record_swap(&self, cache_evicted: u64) {
+        self.swaps.fetch_add(1, Ordering::Relaxed);
+        self.cache_evicted_on_swap
+            .fetch_add(cache_evicted, Ordering::Relaxed);
+    }
+
     /// Takes a consistent-enough point-in-time snapshot.
     pub fn snapshot(&self) -> StatsSnapshot {
         let requests = self.requests.load(Ordering::Relaxed);
@@ -102,6 +117,8 @@ impl ServeStats {
         let scan_candidates = self.scan_candidates.load(Ordering::Relaxed);
         let scan_pruned = self.scan_pruned.load(Ordering::Relaxed);
         let scan_searched = self.scan_searched.load(Ordering::Relaxed);
+        let swaps = self.swaps.load(Ordering::Relaxed);
+        let cache_evicted_on_swap = self.cache_evicted_on_swap.load(Ordering::Relaxed);
         let uptime = self.started.elapsed();
         let mut samples = {
             let reservoir = self.latencies_us.lock().expect("stats lock poisoned");
@@ -125,6 +142,8 @@ impl ServeStats {
             scan_pruned,
             scan_searched,
             prune_ratio: ratio(scan_pruned, scan_candidates),
+            swaps,
+            cache_evicted_on_swap,
         }
     }
 }
@@ -175,6 +194,10 @@ pub struct StatsSnapshot {
     pub scan_searched: u64,
     /// `scan_pruned / scan_candidates` (0 when no scans ran).
     pub prune_ratio: f64,
+    /// Snapshot hot-swaps performed so far.
+    pub swaps: u64,
+    /// Cache entries purged across all swaps (stale-epoch evictions).
+    pub cache_evicted_on_swap: u64,
 }
 
 impl StatsSnapshot {
@@ -193,6 +216,11 @@ impl StatsSnapshot {
             ("scan_pruned", Json::Num(self.scan_pruned as f64)),
             ("scan_searched", Json::Num(self.scan_searched as f64)),
             ("prune_ratio", Json::Num(self.prune_ratio)),
+            ("swaps", Json::Num(self.swaps as f64)),
+            (
+                "cache_evicted_on_swap",
+                Json::Num(self.cache_evicted_on_swap as f64),
+            ),
         ])
     }
 }
@@ -249,6 +277,19 @@ mod tests {
         assert_eq!(snap.scan_searched, 140);
         assert!((snap.prune_ratio - 0.3).abs() < 1e-12);
         assert_eq!(snap.scan_candidates, snap.scan_pruned + snap.scan_searched);
+    }
+
+    #[test]
+    fn swap_counters_accumulate() {
+        let stats = ServeStats::new();
+        let before = stats.snapshot();
+        assert_eq!(before.swaps, 0);
+        assert_eq!(before.cache_evicted_on_swap, 0);
+        stats.record_swap(3);
+        stats.record_swap(0);
+        let snap = stats.snapshot();
+        assert_eq!(snap.swaps, 2);
+        assert_eq!(snap.cache_evicted_on_swap, 3);
     }
 
     #[test]

@@ -9,6 +9,8 @@
 //! simsub search --corpus corpus.csv --data-id 5 --query query.csv --algo pss --measure dtw
 //! simsub topk --corpus corpus.csv --query query.csv --k 10 --algo pss --index rtree
 //! simsub serve --corpus corpus.csv --addr 127.0.0.1:7878 --workers 8
+//! simsub admin info --addr 127.0.0.1:7878
+//! simsub admin reload --addr 127.0.0.1:7878 --corpus fresh.csv --shards 4
 //! ```
 
 use simsub::core::{
@@ -19,7 +21,10 @@ use simsub::index::{PartitionerKind, ShardedDb, TrajectoryDb};
 use simsub::measures::{Dtw, Frechet, Measure, T2Vec, T2VecConfig};
 use simsub::nn::BinaryCodec;
 use simsub::rl::Policy;
-use simsub::service::{CorpusSnapshot, EngineConfig, QueryEngine, Server};
+use simsub::service::{
+    json::Json, server::handle_admin_command, CorpusSnapshot, EngineConfig, QueryEngine, Server,
+    StopHandle,
+};
 use simsub::trajectory::Trajectory;
 use std::path::PathBuf;
 use std::process::exit;
@@ -31,25 +36,40 @@ fn main() {
         usage();
         exit(2);
     };
-    let flags = match Flags::parse(rest) {
-        Ok(f) => f,
-        Err(e) => {
-            eprintln!("error: {e}");
-            exit(2);
+    // `admin` takes a positional action before its flags; everything else
+    // is pure `--flag value` pairs.
+    let result = if cmd == "admin" {
+        match rest.split_first() {
+            Some((action, admin_rest)) => match Flags::parse(admin_rest) {
+                Ok(flags) => cmd_admin(action, &flags),
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    exit(2);
+                }
+            },
+            None => Err("admin needs an action: info|stats|ping|reload|configure|shutdown".into()),
         }
-    };
-    let result = match cmd.as_str() {
-        "generate" => cmd_generate(&flags),
-        "train-t2vec" => cmd_train_t2vec(&flags),
-        "train" => cmd_train(&flags),
-        "search" => cmd_search(&flags),
-        "topk" => cmd_topk(&flags),
-        "serve" => cmd_serve(&flags),
-        "help" | "--help" | "-h" => {
-            usage();
-            Ok(())
+    } else {
+        let flags = match Flags::parse(rest) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("error: {e}");
+                exit(2);
+            }
+        };
+        match cmd.as_str() {
+            "generate" => cmd_generate(&flags),
+            "train-t2vec" => cmd_train_t2vec(&flags),
+            "train" => cmd_train(&flags),
+            "search" => cmd_search(&flags),
+            "topk" => cmd_topk(&flags),
+            "serve" => cmd_serve(&flags),
+            "help" | "--help" | "-h" => {
+                usage();
+                Ok(())
+            }
+            other => Err(format!("unknown command '{other}'")),
         }
-        other => Err(format!("unknown command '{other}'")),
     };
     if let Err(e) = result {
         eprintln!("error: {e}");
@@ -72,9 +92,16 @@ fn usage() {
          \x20              [--index rtree|none] [--threads T] [--no-prune]\n\
          \x20              [--shards N] [--partitioner hash|grid]\n\
          \x20 serve        --corpus FILE.csv [--addr HOST:PORT] [--workers N] [--batch B]\n\
-         \x20              [--cache N] [--policy POLICY.ssub] [--t2vec MODEL.ssub]\n\
+         \x20              [--cache N] [--default-k N] [--policy POLICY.ssub] [--t2vec MODEL.ssub]\n\
          \x20              [--skip K] [--no-suffix] [--no-prune]\n\
-         \x20              [--shards N] [--partitioner hash|grid]"
+         \x20              [--shards N] [--partitioner hash|grid]\n\
+         \x20              [--reload-fifo PATH]   # named pipe accepting admin JSON lines\n\
+         \x20 admin        <info|stats|ping|shutdown> [--addr HOST:PORT]\n\
+         \x20 admin        reload --corpus FILE.csv [--addr HOST:PORT] [--shards N]\n\
+         \x20              [--partitioner hash|grid] [--policy F] [--t2vec F]\n\
+         \x20              [--skip K] [--no-suffix]\n\
+         \x20 admin        configure [--addr HOST:PORT] [--prune on|off] [--batch N]\n\
+         \x20              [--cache N] [--default-k N]"
     );
 }
 
@@ -314,7 +341,14 @@ fn cmd_search(flags: &Flags) -> Result<(), String> {
 
 /// `simsub serve`: load a corpus (plus optional learned models), start the
 /// query engine, and answer newline-delimited JSON queries over TCP until
-/// a `{"cmd":"shutdown"}` arrives.
+/// a `{"cmd":"shutdown"}` arrives. With `--reload-fifo PATH`, a control
+/// thread also reads admin JSON lines (`reload`, `configure`, `info`,
+/// `stats`, `shutdown`) from a named pipe, so operators can hot-swap the
+/// corpus without speaking TCP:
+///
+/// ```text
+/// echo '{"cmd":"reload","corpus":"fresh.csv"}' > /tmp/simsub.fifo
+/// ```
 fn cmd_serve(flags: &Flags) -> Result<(), String> {
     let corpus = load_corpus(flags)?;
     let addr = flags.get("addr").unwrap_or("127.0.0.1:7878").to_string();
@@ -326,6 +360,7 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
         // SIMSUB_NO_PRUNE environment hatch decides (answers are
         // byte-identical either way).
         prune: !flags.switch("no-prune") && simsub::core::pruning_enabled(),
+        default_k: flags.parse_or("default-k", EngineConfig::default().default_k)?,
     };
     if config.workers == 0 {
         return Err("--workers must be at least 1".into());
@@ -333,23 +368,22 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
     if config.max_batch == 0 {
         return Err("--batch must be at least 1".into());
     }
+    if config.default_k == 0 {
+        return Err("--default-k must be at least 1".into());
+    }
 
-    let mut snapshot = match sharding_from_flags(flags)? {
-        Some((shards, partitioner)) => {
-            CorpusSnapshot::sharded(ShardedDb::build(corpus, shards, partitioner).into_shared())
-        }
-        None => CorpusSnapshot::new(TrajectoryDb::build(corpus).into_shared()),
-    };
-    if let Some(path) = flags.get("policy") {
-        let path = PathBuf::from(path);
-        let policy = Policy::load(&path).map_err(|e| format!("loading {}: {e}", path.display()))?;
-        snapshot = snapshot.with_rls(Rls::new(policy, mdp_from_flags(flags)?));
-    }
-    if let Some(path) = flags.get("t2vec") {
-        let path = PathBuf::from(path);
-        let model = T2Vec::load(&path).map_err(|e| format!("loading {}: {e}", path.display()))?;
-        snapshot = snapshot.with_t2vec(model);
-    }
+    // Same assembly path the admin `reload` command uses server-side, so
+    // a served corpus and a reloaded corpus of the same files can never
+    // behave differently.
+    let policy_path = flags.get("policy").map(PathBuf::from);
+    let t2vec_path = flags.get("t2vec").map(PathBuf::from);
+    let mdp = mdp_from_flags(flags)?;
+    let snapshot = CorpusSnapshot::assemble(
+        corpus,
+        sharding_from_flags(flags)?,
+        policy_path.as_deref().map(|p| (p, mdp)),
+        t2vec_path.as_deref(),
+    )?;
 
     let workers = config.workers;
     let prune = config.prune;
@@ -358,10 +392,18 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
         (c.len(), c.total_points(), c.shard_count())
     };
     let engine = Arc::new(QueryEngine::start(snapshot, config));
-    let server = Server::bind(engine, &addr).map_err(|e| format!("binding {addr}: {e}"))?;
+    let server =
+        Server::bind(Arc::clone(&engine), &addr).map_err(|e| format!("binding {addr}: {e}"))?;
+    if let Some(fifo) = flags.get("reload-fifo") {
+        spawn_reload_fifo(
+            PathBuf::from(fifo),
+            Arc::clone(&engine),
+            server.stop_handle(),
+        )?;
+    }
     println!(
         "serving {} trajectories / {} points in {} shard(s) on {} with {} workers, prune={} \
-         (newline-JSON; send {{\"cmd\":\"shutdown\"}} to stop)",
+         (newline-JSON, protocol v1+v2; send {{\"cmd\":\"shutdown\"}} to stop)",
         corpus_len,
         corpus_points,
         shard_count,
@@ -372,6 +414,206 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
     server.wait();
     println!("server stopped");
     Ok(())
+}
+
+/// Control thread behind `serve --reload-fifo`: (re)opens the named pipe
+/// and feeds each line through the same admin handler the TCP front-end
+/// uses, printing the response to stdout. A `{"cmd":"shutdown"}` line
+/// stops the server. The open blocks until a writer appears, so a final
+/// write (or process exit) is needed for the thread to notice a stop —
+/// it is detached and dies with the process either way.
+fn spawn_reload_fifo(
+    path: PathBuf,
+    engine: Arc<QueryEngine>,
+    stop: StopHandle,
+) -> Result<(), String> {
+    use std::io::BufRead;
+    if !path.exists() {
+        // Best-effort: create the FIFO so `echo '...' > path` works out
+        // of the box (std has no mkfifo; a regular file would deliver
+        // each line only once per open, i.e. only the first round).
+        let created = std::process::Command::new("mkfifo")
+            .arg(&path)
+            .status()
+            .map(|s| s.success())
+            .unwrap_or(false);
+        if !created {
+            return Err(format!(
+                "--reload-fifo: {} does not exist and mkfifo failed",
+                path.display()
+            ));
+        }
+    }
+    #[cfg(unix)]
+    {
+        use std::os::unix::fs::FileTypeExt;
+        let meta = std::fs::metadata(&path)
+            .map_err(|e| format!("--reload-fifo: stat {}: {e}", path.display()))?;
+        if !meta.file_type().is_fifo() {
+            return Err(format!(
+                "--reload-fifo: {} is not a FIFO — a regular file would replay \
+                 its commands on every reopen",
+                path.display()
+            ));
+        }
+    }
+    println!("admin fifo: {}", path.display());
+    std::thread::Builder::new()
+        .name("simsub-reload-fifo".into())
+        .spawn(move || {
+            while !stop.is_stopped() {
+                // Blocks until a writer opens the pipe; EOF when the last
+                // writer closes, then reopen for the next command batch.
+                let Ok(file) = std::fs::File::open(&path) else {
+                    return;
+                };
+                for line in std::io::BufReader::new(file).lines() {
+                    let Ok(line) = line else { break };
+                    let line = line.trim();
+                    if line.is_empty() {
+                        continue;
+                    }
+                    let response = match Json::parse(line) {
+                        Err(e) => Json::Obj(vec![
+                            ("ok".into(), Json::Bool(false)),
+                            ("error".into(), Json::Str(format!("bad json: {e}"))),
+                        ]),
+                        Ok(parsed) => {
+                            if parsed.get("cmd").and_then(Json::as_str) == Some("shutdown") {
+                                stop.stop();
+                                Json::Obj(vec![
+                                    ("ok".into(), Json::Bool(true)),
+                                    ("bye".into(), Json::Bool(true)),
+                                ])
+                            } else {
+                                handle_admin_command(&engine, &parsed).unwrap_or_else(|| {
+                                    Json::Obj(vec![
+                                        ("ok".into(), Json::Bool(false)),
+                                        (
+                                            "error".into(),
+                                            Json::Str(
+                                                "fifo accepts admin commands only \
+                                                 (reload|configure|info|stats|ping|shutdown)"
+                                                    .into(),
+                                            ),
+                                        ),
+                                    ])
+                                })
+                            }
+                        }
+                    };
+                    println!("reload-fifo: {}", response.dump());
+                }
+                std::thread::sleep(std::time::Duration::from_millis(50));
+            }
+        })
+        .map_err(|e| format!("spawning fifo thread: {e}"))?;
+    Ok(())
+}
+
+/// `simsub admin <action>`: a tiny protocol-v2 client for a running
+/// `simsub serve`. Builds the command line, sends it with a request id,
+/// prints the response verbatim, and fails the process when the server
+/// answers `"ok":false`.
+fn cmd_admin(action: &str, flags: &Flags) -> Result<(), String> {
+    use std::io::{BufRead, BufReader, Write};
+    let mut fields: Vec<(String, Json)> = Vec::new();
+    let mut field = |k: &str, v: Json| fields.push((k.to_string(), v));
+    match action {
+        "info" | "stats" | "ping" | "shutdown" => field("cmd", Json::Str(action.into())),
+        "reload" => {
+            field("cmd", Json::Str("reload".into()));
+            // The path is resolved by the *server*; make it absolute so
+            // "fresh.csv" means the operator's cwd, not the server's.
+            let corpus = flags.require("corpus")?;
+            let corpus = std::fs::canonicalize(corpus)
+                .map_err(|e| format!("resolving {corpus}: {e}"))?
+                .display()
+                .to_string();
+            field("corpus", Json::Str(corpus));
+            if let Some((shards, partitioner)) = sharding_from_flags(flags)? {
+                field("shards", Json::Num(shards as f64));
+                field("partitioner", Json::Str(partitioner.name().into()));
+            }
+            for key in ["policy", "t2vec"] {
+                if let Some(path) = flags.get(key) {
+                    let path = std::fs::canonicalize(path)
+                        .map_err(|e| format!("resolving {path}: {e}"))?;
+                    field(key, Json::Str(path.display().to_string()));
+                }
+            }
+            if let Some(skip) = flags.get("skip") {
+                let skip: usize = skip.parse().map_err(|_| "bad value for --skip")?;
+                field("skip", Json::Num(skip as f64));
+            }
+            if flags.switch("no-suffix") {
+                field("suffix", Json::Bool(false));
+            }
+        }
+        "configure" => {
+            field("cmd", Json::Str("configure".into()));
+            if let Some(prune) = flags.get("prune") {
+                field(
+                    "prune",
+                    Json::Bool(match prune {
+                        "on" | "true" => true,
+                        "off" | "false" => false,
+                        other => return Err(format!("bad --prune '{other}' (on|off)")),
+                    }),
+                );
+            }
+            for (flag, key) in [
+                ("batch", "max_batch"),
+                ("cache", "cache_capacity"),
+                ("default-k", "default_k"),
+            ] {
+                if let Some(value) = flags.get(flag) {
+                    let value: usize = value
+                        .parse()
+                        .map_err(|_| format!("bad value for --{flag}: {value}"))?;
+                    field(key, Json::Num(value as f64));
+                }
+            }
+        }
+        other => {
+            return Err(format!(
+                "unknown admin action '{other}' (info|stats|ping|reload|configure|shutdown)"
+            ))
+        }
+    }
+    field("v", Json::Num(2.0));
+    field(
+        "id",
+        Json::Str(format!("simsub-admin-{}", std::process::id())),
+    );
+    let line = Json::Obj(fields).dump();
+
+    let addr = flags.get("addr").unwrap_or("127.0.0.1:7878");
+    let stream =
+        std::net::TcpStream::connect(addr).map_err(|e| format!("connecting {addr}: {e}"))?;
+    let mut writer = stream.try_clone().map_err(|e| e.to_string())?;
+    writer
+        .write_all(format!("{line}\n").as_bytes())
+        .and_then(|()| writer.flush())
+        .map_err(|e| format!("sending to {addr}: {e}"))?;
+    let mut response = String::new();
+    BufReader::new(stream)
+        .read_line(&mut response)
+        .map_err(|e| format!("reading from {addr}: {e}"))?;
+    let response = response.trim();
+    if response.is_empty() {
+        return Err(format!("{addr} closed the connection without answering"));
+    }
+    println!("{response}");
+    match Json::parse(response) {
+        Ok(v) if v.get("ok").and_then(Json::as_bool) == Some(true) => Ok(()),
+        Ok(v) => Err(v
+            .get("error")
+            .and_then(Json::as_str)
+            .unwrap_or("server answered ok:false")
+            .to_string()),
+        Err(e) => Err(format!("unparseable response: {e}")),
+    }
 }
 
 fn cmd_topk(flags: &Flags) -> Result<(), String> {

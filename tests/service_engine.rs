@@ -1,9 +1,11 @@
 //! Integration tests for the serving subsystem: concurrency, cache
-//! behaviour, shutdown draining, and wire-protocol round-trips against a
-//! live TCP server.
+//! behaviour, shutdown draining, wire-protocol round-trips against a
+//! live TCP server, and — the control-plane contract — snapshot hot-swap
+//! semantics (epoch pinning, cache purging, live reload over the wire,
+//! v1/v2 coexistence).
 
 use simsub::core::{ExactS, Pss, SubtrajSearch};
-use simsub::data::{generate, DatasetSpec};
+use simsub::data::{generate, write_csv_file, DatasetSpec};
 use simsub::index::{PartitionerKind, ShardedDb, TrajectoryDb};
 use simsub::measures::{Dtw, Frechet, Measure};
 use simsub::service::{
@@ -464,4 +466,400 @@ fn cache_keys_include_shard_layout_version() {
     let mut different = req.clone();
     different.k = 4;
     assert_ne!(hash4.cache_key(&req), hash4.cache_key(&different));
+}
+
+// ---------------------------------------------------------------------
+// Control-plane: snapshot hot-swap + wire protocol v2
+// ---------------------------------------------------------------------
+
+fn wire(addr: std::net::SocketAddr) -> (TcpStream, BufReader<TcpStream>) {
+    let stream = TcpStream::connect(addr).expect("connect");
+    let reader = BufReader::new(stream.try_clone().expect("clone stream"));
+    (stream, reader)
+}
+
+fn send_line(stream: &mut TcpStream, reader: &mut BufReader<TcpStream>, line: &str) -> String {
+    stream.write_all(line.as_bytes()).unwrap();
+    stream.write_all(b"\n").unwrap();
+    stream.flush().unwrap();
+    let mut response = String::new();
+    reader.read_line(&mut response).unwrap();
+    response
+}
+
+/// The serialized `"results"` array of a response line: the part that
+/// must be byte-identical across engines answering the same request
+/// (envelope fields like `epoch` legitimately differ).
+fn results_part(response: &str) -> String {
+    simsub::service::json::Json::parse(response.trim())
+        .expect("valid response json")
+        .get("results")
+        .expect("results field")
+        .dump()
+}
+
+/// Satellite regression: connections sitting silently in `read_line`
+/// (idle, or stalled mid-request) must not stall `shutdown` — the read
+/// timeout lets every connection thread observe the stop flag.
+#[test]
+fn idle_connections_do_not_stall_shutdown() {
+    let db = shared_db(10);
+    let engine = Arc::new(engine_with(&db, 1));
+    let server = Server::bind(Arc::clone(&engine), "127.0.0.1:0").expect("bind");
+    let addr = server.local_addr();
+
+    // One client that never speaks, one stuck mid-line without a newline.
+    let idle = TcpStream::connect(addr).expect("connect");
+    let mut midline = TcpStream::connect(addr).expect("connect");
+    midline.write_all(b"{\"cmd\":\"st").unwrap();
+    midline.flush().unwrap();
+    std::thread::sleep(std::time::Duration::from_millis(50));
+
+    let (mut stream, mut reader) = wire(addr);
+    let bye = send_line(&mut stream, &mut reader, "{\"cmd\":\"shutdown\"}");
+    assert!(bye.contains("\"bye\":true"), "shutdown: {bye}");
+
+    let start = std::time::Instant::now();
+    server.wait();
+    assert!(
+        start.elapsed() < std::time::Duration::from_secs(3),
+        "silent connections stalled shutdown for {:?}",
+        start.elapsed()
+    );
+    drop(idle);
+    drop(midline);
+}
+
+/// Swap semantics (a): requests admitted before a swap complete against
+/// the epoch they were admitted under — even when the worker only gets
+/// to them after the swap landed — and post-swap admissions see the new
+/// snapshot immediately.
+#[test]
+fn preswap_admissions_answer_from_their_epoch() {
+    let db_a = shared_db(40);
+    let db_b = TrajectoryDb::build(generate(&DatasetSpec::porto(), 25, 777)).into_shared();
+    let engine = QueryEngine::start(
+        snapshot_for(&db_a),
+        EngineConfig {
+            workers: 1,
+            max_batch: 4,
+            cache_capacity: 64,
+            ..EngineConfig::default()
+        },
+    );
+
+    // Head-of-line blocker: an expensive unindexed exact scan keeps the
+    // single worker busy while the rest of the queue is admitted and the
+    // swap lands behind it.
+    let blocker = engine
+        .submit(QueryRequest {
+            query: db_a.trajectories()[0].points().to_vec(),
+            algo: AlgoSpec::Exact,
+            measure: MeasureSpec::Dtw,
+            k: 1,
+            use_index: false,
+        })
+        .unwrap();
+    let queries = queries_from(&db_a, 6);
+    let pendings: Vec<_> = queries
+        .iter()
+        .map(|q| {
+            engine
+                .submit(request(q.clone(), AlgoSpec::Exact, MeasureSpec::Dtw, 3))
+                .unwrap()
+        })
+        .collect();
+
+    let report = engine.swap_snapshot(snapshot_for(&db_b));
+    assert_eq!((report.previous_epoch, report.epoch), (1, 2));
+    assert_eq!(report.trajectories, 25);
+
+    let blocked = blocker.wait().unwrap();
+    assert_eq!(blocked.epoch, 1);
+    for (pending, q) in pendings.into_iter().zip(&queries) {
+        let response = pending.wait().unwrap();
+        assert_eq!(response.epoch, 1, "pre-swap admission migrated epochs");
+        assert_eq!(
+            *response.results,
+            db_a.top_k(&ExactS, &Dtw, q, 3, true),
+            "pre-swap admission answered from the wrong corpus"
+        );
+    }
+
+    // Swap semantics (b): post-swap answers are byte-identical to a cold
+    // engine started directly on the new snapshot.
+    let cold = QueryEngine::start(
+        snapshot_for(&db_b),
+        EngineConfig {
+            workers: 1,
+            ..EngineConfig::default()
+        },
+    );
+    for q in queries_from(&db_b, 4) {
+        let req = request(q.clone(), AlgoSpec::Exact, MeasureSpec::Dtw, 3);
+        let swapped = engine.query(req.clone()).unwrap();
+        assert_eq!(swapped.epoch, 2);
+        assert_eq!(*swapped.results, *cold.query(req).unwrap().results);
+        assert_eq!(*swapped.results, db_b.top_k(&ExactS, &Dtw, &q, 3, true));
+    }
+    cold.shutdown();
+    engine.shutdown();
+}
+
+/// Satellite: swaps are observable. Stale-epoch cache entries die with
+/// the swap (counted in `cache_evicted_on_swap`), and the same request
+/// is re-answered cold under the new epoch — even when the new corpus is
+/// a rebuild of the identical trajectories.
+#[test]
+fn swap_purges_stale_cache_and_is_observable() {
+    let db = shared_db(20);
+    let engine = engine_with(&db, 2);
+    let q = queries_from(&db, 1).remove(0);
+    let req = request(q, AlgoSpec::Pss, MeasureSpec::Dtw, 4);
+    assert!(!engine.query(req.clone()).unwrap().cached);
+    assert!(engine.query(req.clone()).unwrap().cached);
+
+    let rebuilt = TrajectoryDb::build(db.trajectories().to_vec()).into_shared();
+    let report = engine.swap_snapshot(snapshot_for(&rebuilt));
+    assert!(report.cache_evicted >= 1, "swap purged nothing");
+    let stats = engine.stats();
+    assert_eq!(stats.swaps, 1);
+    assert!(stats.cache_evicted_on_swap >= 1);
+
+    let after = engine.query(req.clone()).unwrap();
+    assert!(
+        !after.cached,
+        "stale-epoch cache entry replayed across a swap"
+    );
+    assert_eq!(after.epoch, 2);
+    // Identical corpus ⇒ identical answer, recached under the new epoch.
+    assert!(engine.query(req).unwrap().cached);
+    engine.shutdown();
+}
+
+/// Wire protocol v2 envelope rules, and their v1 bit-compat flip side.
+#[test]
+fn wire_v2_envelope_and_version_errors() {
+    let db = shared_db(12);
+    let engine = Arc::new(engine_with(&db, 1));
+    let server = Server::bind(Arc::clone(&engine), "127.0.0.1:0").expect("bind");
+    let (mut stream, mut reader) = wire(server.local_addr());
+    let mut send = |line: &str| send_line(&mut stream, &mut reader, line);
+
+    let query = "{\"query\":[[1,2],[2,3]],\"algo\":\"exact\",\"k\":1,\"index\":false";
+    // v1 (no envelope fields, and explicit v:1): responses carry none.
+    for line in [format!("{query}}}"), format!("{query},\"v\":1}}")] {
+        let response = send(&line);
+        assert!(response.contains("\"ok\":true"), "v1: {response}");
+        assert!(
+            !response.contains("\"epoch\"") && !response.contains("\"v\":"),
+            "v1 response grew envelope fields: {response}"
+        );
+    }
+    // v2 declared: v + epoch echoed; with an id, the id too.
+    let response = send(&format!("{query},\"v\":2}}"));
+    assert!(
+        response.contains("\"v\":2") && response.contains("\"epoch\":1"),
+        "v2: {response}"
+    );
+    let response = send(&format!("{query},\"v\":2,\"id\":\"req-7\"}}"));
+    assert!(response.contains("\"id\":\"req-7\""), "id echo: {response}");
+    // An id alone implies v2; numeric ids echo as numbers.
+    let response = send(&format!("{query},\"id\":42}}"));
+    assert!(
+        response.contains("\"id\":42") && response.contains("\"v\":2"),
+        "implied v2: {response}"
+    );
+    // Commands take the envelope too.
+    let response = send("{\"cmd\":\"ping\",\"v\":2,\"id\":\"p\"}");
+    assert!(
+        response.contains("\"pong\":true") && response.contains("\"id\":\"p\""),
+        "ping: {response}"
+    );
+    // Unsupported versions and malformed ids are errors.
+    let response = send(&format!("{query},\"v\":3}}"));
+    assert!(
+        response.contains("\"ok\":false") && response.contains("unsupported protocol version"),
+        "v3: {response}"
+    );
+    let response = send(&format!("{query},\"id\":[1]}}"));
+    assert!(response.contains("\"ok\":false"), "bad id: {response}");
+
+    // configure: default_k applies to k-less queries, live.
+    let response = send("{\"cmd\":\"configure\",\"default_k\":5,\"v\":2}");
+    assert!(
+        response.contains("\"configured\":true") && response.contains("\"default_k\":5"),
+        "configure: {response}"
+    );
+    let response = send("{\"query\":[[1,2],[2,3]],\"algo\":\"exact\",\"index\":false}");
+    assert_eq!(
+        response.matches("\"trajectory_id\"").count(),
+        5,
+        "default_k not applied: {response}"
+    );
+    // configure with no knobs is an error, as is an unknown command.
+    assert!(send("{\"cmd\":\"configure\"}").contains("\"ok\":false"));
+    assert!(send("{\"cmd\":\"rewind\"}").contains("unknown cmd"));
+
+    // info reports the serving state.
+    let response = send("{\"cmd\":\"info\",\"v\":2}");
+    for needle in [
+        "\"epoch\":1",
+        "\"trajectories\":12",
+        "\"protocol\":[1,2]",
+        "\"build\":",
+        "\"default_k\":5",
+    ] {
+        assert!(
+            response.contains(needle),
+            "info missing {needle}: {response}"
+        );
+    }
+
+    server.stop();
+    drop(stream);
+    server.wait();
+}
+
+/// The acceptance scenario: a live server is reloaded to a different
+/// corpus over the wire — no restart — while v1 clients keep querying.
+/// Epoch bumps, the cache purge is visible in `stats`, post-reload
+/// answers are byte-identical to a cold engine on the new corpus, and
+/// not one concurrent v1 request errors.
+#[test]
+fn live_reload_over_the_wire() {
+    let db_a = shared_db(20);
+    let corpus_b = generate(&DatasetSpec::porto(), 15, 99);
+    let db_b = TrajectoryDb::build(corpus_b.clone()).into_shared();
+    let dir = std::env::temp_dir().join(format!("simsub-reload-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path_b = dir.join("corpus_b.csv");
+    write_csv_file(&path_b, &corpus_b).unwrap();
+
+    let engine = Arc::new(engine_with(&db_a, 2));
+    let server = Server::bind(Arc::clone(&engine), "127.0.0.1:0").expect("bind");
+    let addr = server.local_addr();
+
+    // Background v1 clients: distinct connections firing v1 queries
+    // throughout the reload. Every response must be ok and envelope-free.
+    let done = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let v1_clients: Vec<_> = (0..3)
+        .map(|i| {
+            let done = Arc::clone(&done);
+            std::thread::spawn(move || {
+                let (mut stream, mut reader) = wire(addr);
+                let line = format!(
+                    "{{\"query\":[[{i},2],[2,3],[3,{i}]],\"algo\":\"pss\",\"k\":2,\"index\":false}}"
+                );
+                let mut served = 0u32;
+                while !done.load(std::sync::atomic::Ordering::Relaxed) && served < 10_000 {
+                    let response = send_line(&mut stream, &mut reader, &line);
+                    assert!(
+                        response.contains("\"ok\":true"),
+                        "v1 client {i} failed mid-swap: {response}"
+                    );
+                    assert!(
+                        !response.contains("\"epoch\""),
+                        "v1 client {i} got a v2 envelope: {response}"
+                    );
+                    served += 1;
+                }
+                served
+            })
+        })
+        .collect();
+
+    let (mut stream, mut reader) = wire(addr);
+    let mut send = |line: &str| send_line(&mut stream, &mut reader, line);
+    let query_points: Vec<String> = db_a.trajectories()[0].points()[..8]
+        .iter()
+        .map(|p| format!("[{},{}]", p.x, p.y))
+        .collect();
+    let query_line = format!(
+        "{{\"query\":[{}],\"algo\":\"exact\",\"measure\":\"dtw\",\"k\":3,\"index\":false,\
+         \"v\":2,\"id\":\"q\"}}",
+        query_points.join(",")
+    );
+
+    // Warm the cache on epoch 1.
+    let first = send(&query_line);
+    assert!(
+        first.contains("\"epoch\":1") && first.contains("\"cached\":false"),
+        "first: {first}"
+    );
+    let repeat = send(&query_line);
+    assert!(repeat.contains("\"cached\":true"), "repeat: {repeat}");
+
+    // Live reload to corpus B.
+    let reload_line = format!(
+        "{{\"cmd\":\"reload\",\"corpus\":{},\"v\":2,\"id\":\"r1\"}}",
+        json_string(&path_b.display().to_string())
+    );
+    let reloaded = send(&reload_line);
+    for needle in [
+        "\"ok\":true",
+        "\"reloaded\":true",
+        "\"previous_epoch\":1",
+        "\"epoch\":2",
+        "\"trajectories\":15",
+        "\"id\":\"r1\"",
+    ] {
+        assert!(
+            reloaded.contains(needle),
+            "reload missing {needle}: {reloaded}"
+        );
+    }
+
+    // The purge is on the stats wire response.
+    let stats = send("{\"cmd\":\"stats\"}");
+    assert!(stats.contains("\"swaps\":1"), "stats: {stats}");
+    let evicted: f64 = stats
+        .split("\"cache_evicted_on_swap\":")
+        .nth(1)
+        .and_then(|rest| rest.split([',', '}']).next()?.parse().ok())
+        .expect("cache_evicted_on_swap in stats");
+    assert!(evicted >= 1.0, "no evictions visible: {stats}");
+
+    // Same query line now answers cold from corpus B at epoch 2...
+    let after = send(&query_line);
+    assert!(
+        after.contains("\"epoch\":2") && after.contains("\"cached\":false"),
+        "after: {after}"
+    );
+    // ...byte-identical to a cold engine + server started on corpus B.
+    let cold_engine = Arc::new(QueryEngine::start(
+        CorpusSnapshot::new(Arc::clone(&db_b)),
+        EngineConfig {
+            workers: 1,
+            ..EngineConfig::default()
+        },
+    ));
+    let cold_server = Server::bind(Arc::clone(&cold_engine), "127.0.0.1:0").expect("bind");
+    let (mut cold_stream, mut cold_reader) = wire(cold_server.local_addr());
+    let cold = send_line(&mut cold_stream, &mut cold_reader, &query_line);
+    assert_eq!(
+        results_part(&after),
+        results_part(&cold),
+        "post-reload answer differs from a cold engine on the new corpus"
+    );
+    cold_server.stop();
+    drop(cold_stream);
+    cold_server.wait();
+
+    // v1 clients ran through the whole swap without a single error.
+    done.store(true, std::sync::atomic::Ordering::Relaxed);
+    for client in v1_clients {
+        let served = client.join().expect("v1 client panicked");
+        assert!(served > 0, "v1 client never got a request through");
+    }
+
+    let bye = send("{\"cmd\":\"shutdown\"}");
+    assert!(bye.contains("\"bye\":true"), "bye: {bye}");
+    server.wait();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Minimal JSON string quoting for paths embedded in request lines.
+fn json_string(s: &str) -> String {
+    format!("\"{}\"", s.replace('\\', "\\\\").replace('"', "\\\""))
 }
