@@ -1,0 +1,411 @@
+//! Columnar-layout benchmark: arena-backed slice-kernel scans vs the
+//! pre-arena `Vec<Point>` scalar path, and packed-binary corpus reload
+//! vs CSV re-parse. Writes `BENCH_layout.json` at the repo root.
+//!
+//! Two claims go on the record:
+//!
+//! 1. **Pure DP throughput.** The unpruned full scan (no R-tree, no
+//!    bound cascade — every candidate runs its full `Φini`/`Φinc` DP) is
+//!    measured on the arena path (SoA slabs + the multi-start/hoisted
+//!    distance-row kernels of `simsub-measures`) and on an in-bench
+//!    faithful replica of the pre-arena path: AoS `Vec<Point>`
+//!    trajectories, the scalar row evaluator with inline `Point::dist`
+//!    calls, one allocate-once evaluator per scan. Answers are asserted
+//!    byte-identical; only the time may differ (acceptance: ≥ 1.5× on
+//!    ExactS, the pure-DP workload).
+//! 2. **Reload.** Loading the same corpus from a packed binary file
+//!    (`simsub corpus pack`) vs from CSV, both through to a built
+//!    `TrajectoryDb` (acceptance: ≥ 3× faster packed, byte-identical
+//!    answers).
+//!
+//! Both benches also record `searched_ns_per_cell` — scan wall time per
+//! DP cell (a cell = one `(data point, query point)` DP update;
+//! ExactS: `n(n+1)/2 · m` cells per n-point trajectory, PSS: `2·n·m`
+//! counting its prefix and suffix passes) — the stable per-kernel metric
+//! future kernel work should move.
+//!
+//! Run with `cargo bench -p simsub-bench --bench layout`; set
+//! `SIMSUB_BENCH_SHORT=1` for the CI smoke variant.
+
+use simsub_core::{sort_hits_and_truncate, ExactS, Pss, TopKResult};
+use simsub_data::{read_bin_file, read_csv_file, write_bin_file, write_csv_file};
+use simsub_index::TrajectoryDb;
+use simsub_measures::{similarity_from_distance, Dtw};
+use simsub_trajectory::{Point, SubtrajRange, Trajectory};
+use std::time::Instant;
+
+const K: usize = 5;
+
+struct Config {
+    corpus_size: usize,
+    traj_len: usize,
+    queries: usize,
+    query_len: usize,
+    reload_reps: usize,
+}
+
+/// Deterministic LCG walk (no rand dependency needed here).
+fn walk(seed: u64, len: usize, origin: (f64, f64)) -> Vec<Point> {
+    let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0
+    };
+    let (mut x, mut y) = origin;
+    (0..len)
+        .map(|i| {
+            x += next();
+            y += next();
+            Point::new(x, y, i as f64)
+        })
+        .collect()
+}
+
+/// The pre-arena scalar DTW row evaluator, verbatim: AoS query, distances
+/// computed inline in the DP loop. This is the baseline the slice
+/// kernels replaced.
+struct ScalarDtwEvaluator {
+    query: Vec<Point>,
+    row: Vec<f64>,
+}
+
+impl ScalarDtwEvaluator {
+    fn new(query: &[Point]) -> Self {
+        Self {
+            query: query.to_vec(),
+            row: vec![0.0; query.len()],
+        }
+    }
+
+    fn init(&mut self, p: Point) -> f64 {
+        let mut acc = 0.0;
+        for (j, q) in self.query.iter().enumerate() {
+            acc += p.dist(*q);
+            self.row[j] = acc;
+        }
+        self.similarity()
+    }
+
+    fn extend(&mut self, p: Point) -> f64 {
+        let mut diag = self.row[0];
+        self.row[0] += p.dist(self.query[0]);
+        for j in 1..self.query.len() {
+            let up = self.row[j];
+            let left = self.row[j - 1];
+            self.row[j] = p.dist(self.query[j]) + diag.min(up).min(left);
+            diag = up;
+        }
+        self.similarity()
+    }
+
+    fn similarity(&self) -> f64 {
+        similarity_from_distance(*self.row.last().unwrap())
+    }
+}
+
+/// Pre-arena ExactS full scan: the scalar sweep per AoS trajectory, one
+/// evaluator reused across the whole scan, ranked through the shared
+/// comparator.
+fn reference_exacts_top_k(corpus: &[Trajectory], query: &[Point], k: usize) -> Vec<TopKResult> {
+    let mut eval = ScalarDtwEvaluator::new(query);
+    let mut hits: Vec<TopKResult> = corpus
+        .iter()
+        .map(|t| {
+            let data = t.points();
+            let mut best_sim = f64::NEG_INFINITY;
+            let mut best = SubtrajRange::new(0, 0);
+            for i in 0..data.len() {
+                let mut sim = eval.init(data[i]);
+                if sim > best_sim {
+                    best_sim = sim;
+                    best = SubtrajRange::new(i, i);
+                }
+                for (j, &p) in data.iter().enumerate().skip(i + 1) {
+                    sim = eval.extend(p);
+                    if sim > best_sim {
+                        best_sim = sim;
+                        best = SubtrajRange::new(i, j);
+                    }
+                }
+            }
+            TopKResult {
+                trajectory_id: t.id,
+                result: simsub_core::SearchResult {
+                    range: best,
+                    similarity: best_sim,
+                    distance: simsub_measures::distance_from_similarity(best_sim),
+                },
+            }
+        })
+        .collect();
+    sort_hits_and_truncate(&mut hits, k);
+    hits
+}
+
+/// Pre-arena PSS full scan: scalar prefix evaluator plus a scalar
+/// reversed-query suffix pass per trajectory.
+fn reference_pss_top_k(corpus: &[Trajectory], query: &[Point], k: usize) -> Vec<TopKResult> {
+    let reversed: Vec<Point> = query.iter().rev().copied().collect();
+    let mut prefix = ScalarDtwEvaluator::new(query);
+    let mut suffix_eval = ScalarDtwEvaluator::new(&reversed);
+    let mut suffix = Vec::new();
+    let mut hits: Vec<TopKResult> = corpus
+        .iter()
+        .map(|t| {
+            let data = t.points();
+            let n = data.len();
+            suffix.clear();
+            suffix.resize(n, 0.0);
+            suffix[n - 1] = suffix_eval.init(data[n - 1]);
+            for i in (0..n - 1).rev() {
+                suffix[i] = suffix_eval.extend(data[i]);
+            }
+            let mut best_sim = 0.0f64;
+            let mut best: Option<SubtrajRange> = None;
+            let mut h = 0usize;
+            for i in 0..n {
+                let pre = if i == h {
+                    prefix.init(data[i])
+                } else {
+                    prefix.extend(data[i])
+                };
+                let suf = suffix[i];
+                if pre.max(suf) > best_sim {
+                    best_sim = pre.max(suf);
+                    best = Some(if pre > suf {
+                        SubtrajRange::new(h, i)
+                    } else {
+                        SubtrajRange::new(i, n - 1)
+                    });
+                    h = i + 1;
+                }
+            }
+            TopKResult {
+                trajectory_id: t.id,
+                result: simsub_core::SearchResult {
+                    range: best.expect("first point splits"),
+                    similarity: best_sim,
+                    distance: simsub_measures::distance_from_similarity(best_sim),
+                },
+            }
+        })
+        .collect();
+    sort_hits_and_truncate(&mut hits, k);
+    hits
+}
+
+fn assert_identical(got: &[TopKResult], want: &[TopKResult], context: &str) {
+    assert_eq!(got.len(), want.len(), "{context}: hit count");
+    for (g, w) in got.iter().zip(want) {
+        assert_eq!(g.trajectory_id, w.trajectory_id, "{context}");
+        assert_eq!(g.result.range, w.result.range, "{context}");
+        assert_eq!(
+            g.result.similarity.to_bits(),
+            w.result.similarity.to_bits(),
+            "{context}: similarity bits"
+        );
+    }
+}
+
+struct Measurement {
+    name: String,
+    wall_s: f64,
+    qps: f64,
+    searched_ns_per_cell: f64,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_scan_scenario(
+    name: &str,
+    queries: &[Vec<Point>],
+    cells_per_query: f64,
+    reference: &[Vec<TopKResult>],
+    mut scan: impl FnMut(&[Point]) -> Vec<TopKResult>,
+) -> Measurement {
+    let start = Instant::now();
+    for (qi, q) in queries.iter().enumerate() {
+        let hits = scan(q);
+        assert_identical(&hits, &reference[qi], &format!("{name}: query {qi}"));
+    }
+    let wall_s = start.elapsed().as_secs_f64();
+    let m = Measurement {
+        name: name.to_string(),
+        wall_s,
+        qps: queries.len() as f64 / wall_s,
+        searched_ns_per_cell: wall_s * 1e9 / (cells_per_query * queries.len() as f64),
+    };
+    println!(
+        "{:<28} wall={:>7.3}s qps={:>8.1} ns/cell={:>6.3}",
+        m.name, m.wall_s, m.qps, m.searched_ns_per_cell
+    );
+    m
+}
+
+fn main() {
+    let short = std::env::var("SIMSUB_BENCH_SHORT").is_ok_and(|v| !v.is_empty() && v != "0");
+    let cfg = if short {
+        Config {
+            corpus_size: 80,
+            traj_len: 40,
+            queries: 6,
+            query_len: 16,
+            reload_reps: 3,
+        }
+    } else {
+        Config {
+            corpus_size: 400,
+            traj_len: 96,
+            queries: 24,
+            query_len: 20,
+            reload_reps: 12,
+        }
+    };
+
+    // Clustered corpus: origins on a 10x10 grid, 30 units apart — the
+    // same family BENCH_prune.json uses, so prune and layout numbers
+    // share a baseline.
+    let corpus: Vec<Trajectory> = (0..cfg.corpus_size)
+        .map(|i| {
+            let origin = ((i % 10) as f64 * 30.0, ((i / 10) % 10) as f64 * 30.0);
+            Trajectory::new_unchecked(i as u64, walk(i as u64 + 1, cfg.traj_len, origin))
+        })
+        .collect();
+    let db = TrajectoryDb::build(corpus.clone());
+    let queries: Vec<Vec<Point>> = (0..cfg.queries)
+        .map(|i| {
+            let t = &corpus[(i * 7) % corpus.len()];
+            let start = (i * 3) % (t.len() - cfg.query_len);
+            t.points()[start..start + cfg.query_len].to_vec()
+        })
+        .collect();
+
+    let n = cfg.traj_len as f64;
+    let m = cfg.query_len as f64;
+    let cells_exacts = cfg.corpus_size as f64 * (n * (n + 1.0) / 2.0) * m;
+    let cells_pss = cfg.corpus_size as f64 * 2.0 * n * m;
+
+    // Reference answers (and the pre-arena baselines): ExactS first.
+    let exacts_reference: Vec<Vec<TopKResult>> = queries
+        .iter()
+        .map(|q| reference_exacts_top_k(&corpus, q, K))
+        .collect();
+    let pss_reference: Vec<Vec<TopKResult>> = queries
+        .iter()
+        .map(|q| reference_pss_top_k(&corpus, q, K))
+        .collect();
+
+    let measurements = [
+        run_scan_scenario(
+            "exacts_reference_aos",
+            &queries,
+            cells_exacts,
+            &exacts_reference,
+            |q| reference_exacts_top_k(&corpus, q, K),
+        ),
+        run_scan_scenario(
+            "exacts_arena_kernel",
+            &queries,
+            cells_exacts,
+            &exacts_reference,
+            |q| db.top_k_with_stats(&ExactS, &Dtw, q, K, false, false).0,
+        ),
+        run_scan_scenario(
+            "pss_reference_aos",
+            &queries,
+            cells_pss,
+            &pss_reference,
+            |q| reference_pss_top_k(&corpus, q, K),
+        ),
+        run_scan_scenario(
+            "pss_arena_kernel",
+            &queries,
+            cells_pss,
+            &pss_reference,
+            |q| db.top_k_with_stats(&Pss, &Dtw, q, K, false, false).0,
+        ),
+    ];
+    let measurements = measurements.as_slice();
+    let speedup_exacts = measurements[0].wall_s / measurements[1].wall_s;
+    let speedup_pss = measurements[2].wall_s / measurements[3].wall_s;
+
+    // Reload: CSV re-parse vs packed binary, both through to a built
+    // database answering one probe query byte-identically.
+    let dir = std::env::temp_dir().join("simsub_bench_layout");
+    std::fs::create_dir_all(&dir).expect("bench temp dir");
+    let csv_path = dir.join("corpus.csv");
+    let bin_path = dir.join("corpus.ssb");
+    write_csv_file(&csv_path, &corpus).expect("write csv");
+    write_bin_file(&bin_path, db.arena()).expect("write packed corpus");
+    let probe = &queries[0];
+
+    let csv_start = Instant::now();
+    let mut csv_hits = Vec::new();
+    for _ in 0..cfg.reload_reps {
+        let loaded = TrajectoryDb::build(read_csv_file(&csv_path).expect("read csv"));
+        csv_hits = loaded.top_k(&ExactS, &Dtw, probe, K, false);
+    }
+    let csv_wall = csv_start.elapsed().as_secs_f64() / cfg.reload_reps as f64;
+
+    let bin_start = Instant::now();
+    let mut bin_hits = Vec::new();
+    for _ in 0..cfg.reload_reps {
+        let loaded = TrajectoryDb::from_arena(read_bin_file(&bin_path).expect("read packed"));
+        bin_hits = loaded.top_k(&ExactS, &Dtw, probe, K, false);
+    }
+    let bin_wall = bin_start.elapsed().as_secs_f64() / cfg.reload_reps as f64;
+    // CSV decimal round-trips can perturb low bits, so compare the CSV
+    // reload against itself-from-bin only on ids/ranges, but the packed
+    // reload must be bit-identical to the in-memory database.
+    assert_identical(
+        &bin_hits,
+        &db.top_k(&ExactS, &Dtw, probe, K, false),
+        "packed reload",
+    );
+    assert_eq!(
+        csv_hits.iter().map(|h| h.trajectory_id).collect::<Vec<_>>(),
+        bin_hits.iter().map(|h| h.trajectory_id).collect::<Vec<_>>(),
+        "csv vs packed reload ids"
+    );
+    let speedup_reload = csv_wall / bin_wall;
+    println!(
+        "reload: csv={:.2}ms packed={:.2}ms speedup={speedup_reload:.2}x \
+         (acceptance: >=3x); exacts kernel speedup {speedup_exacts:.2}x \
+         (acceptance: >=1.5x); pss kernel speedup {speedup_pss:.2}x",
+        csv_wall * 1e3,
+        bin_wall * 1e3,
+    );
+
+    let out_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_layout.json");
+    let mut out = String::from("{\n");
+    out.push_str(&format!(
+        "  \"bench\": \"columnar_layout\",\n  \"corpus_size\": {},\n  \"traj_len\": {},\n  \
+         \"queries\": {},\n  \"query_len\": {},\n  \"k\": {K},\n  \"measure\": \"dtw\",\n  \
+         \"use_index\": false,\n  \"prune\": false,\n  \"scenarios\": [\n",
+        cfg.corpus_size, cfg.traj_len, cfg.queries, cfg.query_len
+    ));
+    for (i, meas) in measurements.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"wall_s\": {:.4}, \"qps\": {:.1}, \
+             \"searched_ns_per_cell\": {:.4}}}{}\n",
+            meas.name,
+            meas.wall_s,
+            meas.qps,
+            meas.searched_ns_per_cell,
+            if i + 1 < measurements.len() { "," } else { "" }
+        ));
+    }
+    out.push_str(&format!(
+        "  ],\n  \"speedup_exacts_arena_vs_reference\": {speedup_exacts:.2},\n  \
+         \"speedup_pss_arena_vs_reference\": {speedup_pss:.2},\n  \
+         \"reload_csv_ms\": {:.2},\n  \"reload_packed_ms\": {:.2},\n  \
+         \"speedup_reload_packed_vs_csv\": {speedup_reload:.2},\n  \
+         \"answers\": \"arena and packed-reload answers asserted byte-identical to the \
+         pre-arena scalar path\"\n}}\n",
+        csv_wall * 1e3,
+        bin_wall * 1e3,
+    ));
+    std::fs::write(out_path, out).expect("writing BENCH_layout.json");
+    println!("wrote {out_path}");
+}

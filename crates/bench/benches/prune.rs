@@ -42,6 +42,12 @@ struct Measurement {
     wall_s: f64,
     qps: f64,
     stats: PruneStats,
+    /// Scan wall time per DP cell actually searched (PSS runs a prefix
+    /// and a suffix pass: `2 · traj_len · query_len` cells per searched
+    /// candidate) — the stable per-kernel metric shared with
+    /// BENCH_layout.json. Pruned scans divide by fewer cells, so the
+    /// number stays comparable across prune ratios.
+    searched_ns_per_cell: f64,
 }
 
 /// Deterministic LCG walk (no rand dependency needed here).
@@ -150,6 +156,8 @@ fn main() {
             "{}: inconsistent stats",
             scenario.name
         );
+        let searched_cells =
+            stats.searched as f64 * 2.0 * cfg.traj_len as f64 * cfg.query_len as f64;
         let m = Measurement {
             name: scenario.name,
             shards: scenario.shards,
@@ -157,10 +165,11 @@ fn main() {
             wall_s,
             qps: queries.len() as f64 / wall_s,
             stats,
+            searched_ns_per_cell: wall_s * 1e9 / searched_cells.max(1.0),
         };
         println!(
             "{:<28} shards={} prune={:<5} wall={:>7.3}s qps={:>8.1} scanned={:<6} \
-             pruned_kim={:<6} pruned_mbr={:<5} searched={:<6} ratio={:.1}%",
+             pruned_kim={:<6} pruned_mbr={:<5} searched={:<6} ratio={:.1}% ns/cell={:.3}",
             m.name,
             m.shards,
             m.prune,
@@ -170,7 +179,8 @@ fn main() {
             m.stats.pruned_by_kim,
             m.stats.pruned_by_mbr,
             m.stats.searched,
-            m.stats.prune_ratio() * 100.0
+            m.stats.prune_ratio() * 100.0,
+            m.searched_ns_per_cell
         );
         measurements.push(m);
     }
@@ -212,7 +222,7 @@ fn render_json(
         out.push_str(&format!(
             "    {{\"name\": \"{}\", \"shards\": {}, \"prune\": {}, \"wall_s\": {:.4}, \
              \"qps\": {:.1}, \"scanned\": {}, \"pruned_by_kim\": {}, \"pruned_by_mbr\": {}, \
-             \"searched\": {}, \"prune_ratio\": {:.3}}}{}\n",
+             \"searched\": {}, \"prune_ratio\": {:.3}, \"searched_ns_per_cell\": {:.4}}}{}\n",
             m.name,
             m.shards,
             m.prune,
@@ -223,6 +233,7 @@ fn render_json(
             m.stats.pruned_by_mbr,
             m.stats.searched,
             m.stats.prune_ratio(),
+            m.searched_ns_per_cell,
             if i + 1 < measurements.len() { "," } else { "" }
         ));
     }

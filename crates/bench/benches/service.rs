@@ -57,12 +57,12 @@ fn main() {
     let db = TrajectoryDb::build(corpus).into_shared();
     let queries: Vec<Vec<Point>> = (0..DISTINCT_QUERIES)
         .map(|i| {
-            let t = &db.trajectories()[i % db.len()];
+            let t = db.view(i % db.len());
             let len = (QUERY_LEN + i % 4).min(t.len());
             // Offset the slice start so queries over the same trajectory
             // stay distinct.
             let start = (i / db.len()) % 2;
-            t.points()[start..start + len - start.min(len)].to_vec()
+            t.to_points()[start..start + len - start.min(len)].to_vec()
         })
         .collect();
 
@@ -169,7 +169,7 @@ fn control_plane_overheads(db: &Arc<TrajectoryDb>, queries: &[Vec<Point>]) -> (f
 
     let q = queries[0].clone();
     let before = engine.query(request(q.clone())).expect("pre-swap query");
-    let fresh = CorpusSnapshot::new(TrajectoryDb::build(db.trajectories().to_vec()).into_shared());
+    let fresh = CorpusSnapshot::new(TrajectoryDb::build(db.to_trajectories()).into_shared());
     let swap_start = Instant::now();
     let report = engine.swap_snapshot(fresh);
     let swap_ms = swap_start.elapsed().as_secs_f64() * 1e3;
@@ -194,12 +194,8 @@ fn run_scenario(
 ) -> Measurement {
     let snapshot = if scenario.shards >= 1 {
         CorpusSnapshot::sharded(
-            ShardedDb::build(
-                db.trajectories().to_vec(),
-                scenario.shards,
-                PartitionerKind::Hash,
-            )
-            .into_shared(),
+            ShardedDb::build(db.to_trajectories(), scenario.shards, PartitionerKind::Hash)
+                .into_shared(),
         )
     } else {
         CorpusSnapshot::new(Arc::clone(db))

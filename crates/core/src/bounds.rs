@@ -103,31 +103,45 @@ impl PruneStats {
 const DIST_LB_SLACK: f64 = 1.0 - 1e-9;
 
 /// The two-stage bound cascade for one query under one measure.
-/// Construction is O(m) (query MBR); [`BoundCascade::coarse_bound`] is
-/// O(1) and [`BoundCascade::envelope_bound`] is O(m) per trajectory
-/// (given the trajectory's precomputed MBR — `Trajectory::mbr()` itself
-/// is an O(n) pass, so scans materialize MBRs once up front).
+/// Construction is O(m) (query MBR plus an SoA copy of the query);
+/// [`BoundCascade::coarse_bound`] is O(1) and
+/// [`BoundCascade::envelope_bound`] is O(m) per trajectory, reading the
+/// trajectory's MBR from the corpus arena's precomputed table.
+///
+/// The envelope stage is a slice kernel: the per-query-point
+/// rectangle distances are filled into a reused scratch buffer by a
+/// 4-wide unrolled (auto-vectorizable) loop over the query's SoA
+/// coordinates — each element computed by exactly the arithmetic of
+/// [`Mbr::min_dist`] — and then reduced in the original fold order, so
+/// bounds are bit-identical to the scalar formulation.
 #[derive(Debug, Clone)]
-pub struct BoundCascade<'q> {
-    query: &'q [Point],
+pub struct BoundCascade {
+    qx: Vec<f64>,
+    qy: Vec<f64>,
     qmbr: Mbr,
     aggregate: Option<DistanceAggregate>,
+    scratch: Vec<f64>,
 }
 
-impl<'q> BoundCascade<'q> {
+impl BoundCascade {
     /// Builds the cascade for `query` under `measure`.
-    pub fn new(measure: &dyn Measure, query: &'q [Point]) -> Self {
+    pub fn new(measure: &dyn Measure, query: &[Point]) -> Self {
+        let (mut qx, mut qy) = (Vec::new(), Vec::new());
+        simsub_measures::load_query_soa(query, &mut qx, &mut qy);
+        let scratch = vec![0.0; query.len()];
         Self {
-            query,
+            qx,
+            qy,
             qmbr: Mbr::of_points(query),
             aggregate: measure.distance_aggregate(),
+            scratch,
         }
     }
 
     /// False when the measure admits no bound (the cascade then returns
     /// `INFINITY` everywhere and the scan skips bound evaluation).
     pub fn is_active(&self) -> bool {
-        self.aggregate.is_some() && !self.query.is_empty()
+        self.aggregate.is_some() && !self.qx.is_empty()
     }
 
     /// O(1) upper bound on the best-subtrajectory similarity from the
@@ -138,7 +152,7 @@ impl<'q> BoundCascade<'q> {
         };
         let rect = self.qmbr.min_dist_mbr(trajectory_mbr);
         let dist_lb = match aggregate {
-            DistanceAggregate::Sum => rect * self.query.len() as f64,
+            DistanceAggregate::Sum => rect * self.qx.len() as f64,
             DistanceAggregate::Max => rect,
         };
         similarity_from_distance(dist_lb * DIST_LB_SLACK)
@@ -146,24 +160,38 @@ impl<'q> BoundCascade<'q> {
 
     /// O(m) upper bound from the per-query-point envelope distances to
     /// the trajectory MBR; tighter than (never above) the coarse bound.
-    /// `INFINITY` when inactive.
-    pub fn envelope_bound(&self, trajectory_mbr: &Mbr) -> f64 {
+    /// `INFINITY` when inactive. Takes `&mut self` for the reused
+    /// distance scratch buffer.
+    pub fn envelope_bound(&mut self, trajectory_mbr: &Mbr) -> f64 {
         let Some(aggregate) = self.aggregate else {
             return f64::INFINITY;
         };
+        fill_mbr_dists(&self.qx, &self.qy, trajectory_mbr, &mut self.scratch);
+        // Reductions keep the scalar path's exact fold order: `sum()`
+        // folds left-to-right from 0.0 and the max fold starts at 0.0,
+        // as before — only the element computation moved into the
+        // vectorizable fill above.
         let dist_lb = match aggregate {
-            DistanceAggregate::Sum => self
-                .query
-                .iter()
-                .map(|&q| trajectory_mbr.min_dist(q))
-                .sum::<f64>(),
-            DistanceAggregate::Max => self
-                .query
-                .iter()
-                .map(|&q| trajectory_mbr.min_dist(q))
-                .fold(0.0, f64::max),
+            DistanceAggregate::Sum => self.scratch.iter().sum::<f64>(),
+            DistanceAggregate::Max => self.scratch.iter().fold(0.0f64, |a, &b| a.max(b)),
         };
         similarity_from_distance(dist_lb * DIST_LB_SLACK)
+    }
+}
+
+/// Fills `out[j]` with the shortest distance from query point `j` to the
+/// rectangle — element-for-element the arithmetic of [`Mbr::min_dist`]
+/// over the SoA query slices. Elements are independent, so the zipped
+/// bound-check-free loop auto-vectorizes (the same idiom as
+/// `simsub_measures::fill_point_dists`).
+#[inline]
+fn fill_mbr_dists(qx: &[f64], qy: &[f64], mbr: &Mbr, out: &mut [f64]) {
+    debug_assert!(qx.len() == qy.len() && qx.len() == out.len());
+    let (min_x, min_y, max_x, max_y) = (mbr.min_x, mbr.min_y, mbr.max_x, mbr.max_y);
+    for ((&x, &y), o) in qx.iter().zip(qy).zip(out.iter_mut()) {
+        let dx = (min_x - x).max(0.0).max(x - max_x);
+        let dy = (min_y - y).max(0.0).max(y - max_y);
+        *o = (dx * dx + dy * dy).sqrt();
     }
 }
 
@@ -255,7 +283,7 @@ mod tests {
     fn inactive_measure_never_bounds() {
         // LCSS reports no aggregate: both bounds must be INFINITY.
         let q = walk(1, 5);
-        let cascade = BoundCascade::new(&simsub_measures::Lcss::new(0.5), &q);
+        let mut cascade = BoundCascade::new(&simsub_measures::Lcss::new(0.5), &q);
         assert!(!cascade.is_active());
         let mbr = Mbr::of_points(&walk(2, 6));
         assert_eq!(cascade.coarse_bound(&mbr), f64::INFINITY);
@@ -269,12 +297,36 @@ mod tests {
             let t = walk(seed + 100, 12);
             let mbr = Mbr::of_points(&t);
             for measure in [&Dtw as &dyn simsub_measures::Measure, &Frechet] {
-                let cascade = BoundCascade::new(measure, &q);
+                let mut cascade = BoundCascade::new(measure, &q);
                 assert!(
                     cascade.envelope_bound(&mbr) <= cascade.coarse_bound(&mbr) + 1e-12,
                     "seed {seed} measure {}",
                     measure.name()
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn envelope_kernel_matches_scalar_min_dist_fold() {
+        // The slice-kernel envelope must be bit-identical to the scalar
+        // per-point `Mbr::min_dist` fold it replaced.
+        for seed in 0..25u64 {
+            let q = walk(seed, 7);
+            let mbr = Mbr::of_points(&walk(seed + 40, 9));
+            for measure in [&Dtw as &dyn simsub_measures::Measure, &Frechet] {
+                let mut cascade = BoundCascade::new(measure, &q);
+                let got = cascade.envelope_bound(&mbr);
+                let dist_lb = match measure.distance_aggregate().unwrap() {
+                    simsub_measures::DistanceAggregate::Sum => {
+                        q.iter().map(|&p| mbr.min_dist(p)).sum::<f64>()
+                    }
+                    simsub_measures::DistanceAggregate::Max => {
+                        q.iter().map(|&p| mbr.min_dist(p)).fold(0.0, f64::max)
+                    }
+                };
+                let want = similarity_from_distance(dist_lb * DIST_LB_SLACK);
+                assert_eq!(got.to_bits(), want.to_bits(), "seed {seed}");
             }
         }
     }
@@ -293,7 +345,7 @@ mod tests {
             let traj = Trajectory::new_unchecked(seed, t);
             for measure in [&Dtw as &dyn simsub_measures::Measure, &Frechet] {
                 let best = ExactS.search(measure, traj.points(), &q).similarity;
-                let cascade = BoundCascade::new(measure, &q);
+                let mut cascade = BoundCascade::new(measure, &q);
                 assert!(
                     cascade.coarse_bound(&traj.mbr()) >= best - 1e-12,
                     "coarse seed {seed} {}",

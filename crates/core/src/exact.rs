@@ -4,11 +4,42 @@
 
 use crate::{SearchResult, SearchWorkspace, SubtrajSearch};
 use simsub_measures::Measure;
-use simsub_trajectory::{subtrajectory_count, Point, SubtrajRange};
+use simsub_trajectory::{subtrajectory_count, Point, SubtrajRange, TrajView};
 
 /// The exact algorithm: returns the globally most similar subtrajectory.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct ExactS;
+
+/// The scalar exhaustive sweep, shared by the AoS `search` entry and the
+/// arena-backed `search_with` (which stages its view into a contiguous
+/// buffer first) — one body, hence bitwise-identical either way.
+fn exact_sweep(ws: &mut SearchWorkspace<'_>, data: &[Point]) -> SearchResult {
+    let n = data.len();
+    let mut best_range = SubtrajRange::new(0, 0);
+    let mut best_sim = f64::NEG_INFINITY;
+    let eval = ws.prefix();
+    for i in 0..n {
+        // Θ(T[i,i], Tq) from scratch (Φini) ...
+        let mut sim = eval.init(data[i]);
+        if sim > best_sim {
+            best_sim = sim;
+            best_range = SubtrajRange::new(i, i);
+        }
+        // ... then Θ(T[i,j], Tq) incrementally (Φinc), j ascending.
+        for j in i + 1..n {
+            sim = eval.extend(data[j]);
+            if sim > best_sim {
+                best_sim = sim;
+                best_range = SubtrajRange::new(i, j);
+            }
+        }
+    }
+    SearchResult {
+        range: best_range,
+        similarity: best_sim,
+        distance: simsub_measures::distance_from_similarity(best_sim),
+    }
+}
 
 impl SubtrajSearch for ExactS {
     fn name(&self) -> String {
@@ -20,35 +51,23 @@ impl SubtrajSearch for ExactS {
             !data.is_empty() && !query.is_empty(),
             "inputs must be non-empty"
         );
-        self.search_with(&mut SearchWorkspace::new(measure, query), data)
+        exact_sweep(&mut SearchWorkspace::new(measure, query), data)
     }
 
-    fn search_with(&self, ws: &mut SearchWorkspace<'_>, data: &[Point]) -> SearchResult {
+    fn search_with(&self, ws: &mut SearchWorkspace<'_>, data: TrajView<'_>) -> SearchResult {
         assert!(!data.is_empty(), "inputs must be non-empty");
-        let mut best_range = SubtrajRange::new(0, 0);
-        let mut best_sim = f64::NEG_INFINITY;
-        let eval = ws.prefix();
-        for i in 0..data.len() {
-            // Θ(T[i,i], Tq) from scratch (Φini) ...
-            let mut sim = eval.init(data[i]);
-            if sim > best_sim {
-                best_sim = sim;
-                best_range = SubtrajRange::new(i, i);
-            }
-            // ... then Θ(T[i,j], Tq) incrementally (Φinc), j ascending.
-            for j in i + 1..data.len() {
-                sim = eval.extend(data[j]);
-                if sim > best_sim {
-                    best_sim = sim;
-                    best_range = SubtrajRange::new(i, j);
-                }
-            }
+        // The measure's multi-start slice kernel when it has one (DTW,
+        // discrete Frechet) — bit-identical to the sweep by its contract
+        // (property-tested per measure and end-to-end by
+        // tests/layout_equivalence.rs) — else the scalar sweep over the
+        // staged buffer.
+        if let Some(result) = ws.exact_best(data) {
+            return result;
         }
-        SearchResult {
-            range: best_range,
-            similarity: best_sim,
-            distance: simsub_measures::distance_from_similarity(best_sim),
-        }
+        let staged = ws.stage_points(data);
+        let result = exact_sweep(ws, staged.as_slice());
+        ws.restore_staging(staged);
+        result
     }
 }
 

@@ -59,7 +59,7 @@ pub use ucr::Ucr;
 pub use workspace::SearchWorkspace;
 
 use simsub_measures::Measure;
-use simsub_trajectory::{Point, SubtrajRange};
+use simsub_trajectory::{Point, SubtrajRange, TrajView};
 
 /// The outcome of a subtrajectory search: the chosen range and its
 /// similarity/distance to the query under the measure used by the search.
@@ -104,15 +104,19 @@ pub trait SubtrajSearch {
     fn search(&self, measure: &dyn Measure, data: &[Point], query: &[Point]) -> SearchResult;
 
     /// [`SubtrajSearch::search`] through a caller-owned
-    /// [`SearchWorkspace`], so one evaluator allocation serves an entire
-    /// corpus scan. Must return bit-identical results to `search` with
-    /// the workspace's measure and query; the scan algorithms that
-    /// dominate the serving hot path (ExactS, PSS, POS, POS-D, SizeS)
-    /// override it to actually reuse the workspace, while the default
-    /// falls back to the allocating path.
-    fn search_with(&self, ws: &mut SearchWorkspace<'_>, data: &[Point]) -> SearchResult {
-        let measure = ws.measure();
-        self.search(measure, data, ws.query())
+    /// [`SearchWorkspace`] over a columnar [`TrajView`] — the arena-backed
+    /// scan hot path: one evaluator allocation serves an entire corpus
+    /// scan and the data is read straight from the corpus arena's SoA
+    /// slabs, zero-copy. Must return bit-identical results to `search`
+    /// with the workspace's measure and query (the shared generic bodies
+    /// guarantee this by construction; `tests/layout_equivalence.rs`
+    /// asserts it end to end). The scan algorithms that dominate the
+    /// serving hot path (ExactS, PSS, POS, POS-D, SizeS) override it,
+    /// while the default stages the view into the workspace's reusable
+    /// AoS buffer and falls back to the allocating `search` path.
+    fn search_with(&self, ws: &mut SearchWorkspace<'_>, data: TrajView<'_>) -> SearchResult {
+        let (measure, data, query) = ws.staged(data);
+        self.search(measure, data, query)
     }
 
     /// True when the similarity this algorithm reports is the exact

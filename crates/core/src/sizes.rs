@@ -5,7 +5,7 @@
 
 use crate::{SearchResult, SearchWorkspace, SubtrajSearch};
 use simsub_measures::Measure;
-use simsub_trajectory::{Point, SubtrajRange};
+use simsub_trajectory::{Point, SubtrajRange, TrajView};
 
 /// The size-bounded approximate algorithm, `O(n·(Φini + (m+ξ)·Φinc))`.
 #[derive(Debug, Clone, Copy)]
@@ -27,29 +27,19 @@ impl Default for SizeS {
     }
 }
 
-impl SubtrajSearch for SizeS {
-    fn name(&self) -> String {
-        format!("SizeS(xi={})", self.xi)
-    }
+/// The SizeS scan body, shared by the AoS entry and the arena-backed
+/// `search_with` (which stages its view into a contiguous buffer first)
+/// — one implementation, hence bitwise-identical either way.
+fn sizes_scan(xi: usize, ws: &mut SearchWorkspace<'_>, data: &[Point]) -> SearchResult {
+    let n = data.len();
+    let measure = ws.measure();
+    let m = ws.query().len();
+    let min_len = m.saturating_sub(xi).max(1);
+    let max_len = (m + xi).min(n);
 
-    fn search(&self, measure: &dyn Measure, data: &[Point], query: &[Point]) -> SearchResult {
-        assert!(
-            !data.is_empty() && !query.is_empty(),
-            "inputs must be non-empty"
-        );
-        self.search_with(&mut SearchWorkspace::new(measure, query), data)
-    }
-
-    fn search_with(&self, ws: &mut SearchWorkspace<'_>, data: &[Point]) -> SearchResult {
-        assert!(!data.is_empty(), "inputs must be non-empty");
-        let measure = ws.measure();
-        let n = data.len();
-        let m = ws.query().len();
-        let min_len = m.saturating_sub(self.xi).max(1);
-        let max_len = (m + self.xi).min(n);
-
-        let mut best_range = SubtrajRange::new(0, 0);
-        let mut best_sim = f64::NEG_INFINITY;
+    let mut best_range = SubtrajRange::new(0, 0);
+    let mut best_sim = f64::NEG_INFINITY;
+    {
         let eval = ws.prefix();
         for i in 0..n {
             // Grow the prefix from length 1; only lengths within the
@@ -73,22 +63,44 @@ impl SubtrajSearch for SizeS {
                 }
             }
         }
-        // When min_len exceeds every reachable length (n < m - ξ), fall
-        // back to the longest prefix candidates: the loop above never
-        // admitted a candidate, so admit whole-trajectory as the solution.
-        if best_sim == f64::NEG_INFINITY {
-            let sim = measure.similarity(data, ws.query());
-            return SearchResult {
-                range: SubtrajRange::new(0, n - 1),
-                similarity: sim,
-                distance: simsub_measures::distance_from_similarity(sim),
-            };
-        }
-        SearchResult {
-            range: best_range,
-            similarity: best_sim,
-            distance: simsub_measures::distance_from_similarity(best_sim),
-        }
+    }
+    // When min_len exceeds every reachable length (n < m - ξ), fall
+    // back to the longest prefix candidates: the loop above never
+    // admitted a candidate, so admit whole-trajectory as the solution.
+    if best_sim == f64::NEG_INFINITY {
+        let sim = measure.similarity(data, ws.query());
+        return SearchResult {
+            range: SubtrajRange::new(0, n - 1),
+            similarity: sim,
+            distance: simsub_measures::distance_from_similarity(sim),
+        };
+    }
+    SearchResult {
+        range: best_range,
+        similarity: best_sim,
+        distance: simsub_measures::distance_from_similarity(best_sim),
+    }
+}
+
+impl SubtrajSearch for SizeS {
+    fn name(&self) -> String {
+        format!("SizeS(xi={})", self.xi)
+    }
+
+    fn search(&self, measure: &dyn Measure, data: &[Point], query: &[Point]) -> SearchResult {
+        assert!(
+            !data.is_empty() && !query.is_empty(),
+            "inputs must be non-empty"
+        );
+        sizes_scan(self.xi, &mut SearchWorkspace::new(measure, query), data)
+    }
+
+    fn search_with(&self, ws: &mut SearchWorkspace<'_>, data: TrajView<'_>) -> SearchResult {
+        assert!(!data.is_empty(), "inputs must be non-empty");
+        let staged = ws.stage_points(data);
+        let result = sizes_scan(self.xi, ws, staged.as_slice());
+        ws.restore_staging(staged);
+        result
     }
 }
 

@@ -6,7 +6,7 @@
 
 use crate::{SearchResult, SearchWorkspace, SubtrajSearch};
 use simsub_measures::Measure;
-use simsub_trajectory::{reversed_points, Point, SubtrajRange};
+use simsub_trajectory::{reversed_points, Point, SubtrajRange, TrajView};
 
 /// Precomputes all suffix similarities `Θ(T[t, n]^R, Tq^R)` for
 /// `t = 0..n-1` in one backward pass (Algorithm 2, lines 2-3):
@@ -67,6 +67,42 @@ impl Default for PosD {
     }
 }
 
+/// The PSS scan body, shared by the AoS entry and the arena-backed
+/// `search_with` (which stages its view into a contiguous buffer first)
+/// — one implementation, hence bitwise-identical either way.
+fn pss_scan(ws: &mut SearchWorkspace<'_>, data: &[Point]) -> SearchResult {
+    let n = data.len();
+    ws.compute_suffix_similarities(data);
+    let (eval, suffix) = ws.prefix_and_suffix();
+
+    let mut best_sim = 0.0f64;
+    let mut best_range: Option<SubtrajRange> = None;
+    let mut h = 0usize;
+    for i in 0..n {
+        let pre = if i == h {
+            eval.init(data[i])
+        } else {
+            eval.extend(data[i])
+        };
+        let suf = suffix[i];
+        if pre.max(suf) > best_sim {
+            best_sim = pre.max(suf);
+            best_range = Some(if pre > suf {
+                SubtrajRange::new(h, i)
+            } else {
+                SubtrajRange::new(i, n - 1)
+            });
+            h = i + 1;
+        }
+    }
+    let range = best_range.expect("similarities are positive; first point always splits");
+    SearchResult {
+        range,
+        similarity: best_sim,
+        distance: simsub_measures::distance_from_similarity(best_sim),
+    }
+}
+
 impl SubtrajSearch for Pss {
     fn name(&self) -> String {
         "PSS".to_string()
@@ -77,41 +113,44 @@ impl SubtrajSearch for Pss {
             !data.is_empty() && !query.is_empty(),
             "inputs must be non-empty"
         );
-        self.search_with(&mut SearchWorkspace::new(measure, query), data)
+        pss_scan(&mut SearchWorkspace::new(measure, query), data)
     }
 
-    fn search_with(&self, ws: &mut SearchWorkspace<'_>, data: &[Point]) -> SearchResult {
+    fn search_with(&self, ws: &mut SearchWorkspace<'_>, data: TrajView<'_>) -> SearchResult {
         assert!(!data.is_empty(), "inputs must be non-empty");
-        let n = data.len();
-        ws.compute_suffix_similarities(data);
-        let (eval, suffix) = ws.prefix_and_suffix();
+        // Stage the view once (see `SearchWorkspace::stage_points` for
+        // why the evaluator-driven scan prefers a contiguous buffer).
+        let staged = ws.stage_points(data);
+        let result = pss_scan(ws, staged.as_slice());
+        ws.restore_staging(staged);
+        result
+    }
+}
 
-        let mut best_sim = 0.0f64;
-        let mut best_range: Option<SubtrajRange> = None;
-        let mut h = 0usize;
-        for i in 0..n {
-            let pre = if i == h {
-                eval.init(data[i])
-            } else {
-                eval.extend(data[i])
-            };
-            let suf = suffix[i];
-            if pre.max(suf) > best_sim {
-                best_sim = pre.max(suf);
-                best_range = Some(if pre > suf {
-                    SubtrajRange::new(h, i)
-                } else {
-                    SubtrajRange::new(i, n - 1)
-                });
-                h = i + 1;
-            }
+/// The POS scan body, shared by both entry points (see [`pss_scan`]).
+fn pos_scan(ws: &mut SearchWorkspace<'_>, data: &[Point]) -> SearchResult {
+    let n = data.len();
+    let mut best_sim = 0.0f64;
+    let mut best_range: Option<SubtrajRange> = None;
+    let eval = ws.prefix();
+    let mut h = 0usize;
+    for i in 0..n {
+        let pre = if i == h {
+            eval.init(data[i])
+        } else {
+            eval.extend(data[i])
+        };
+        if pre > best_sim {
+            best_sim = pre;
+            best_range = Some(SubtrajRange::new(h, i));
+            h = i + 1;
         }
-        let range = best_range.expect("similarities are positive; first point always splits");
-        SearchResult {
-            range,
-            similarity: best_sim,
-            distance: simsub_measures::distance_from_similarity(best_sim),
-        }
+    }
+    let range = best_range.expect("similarities are positive; first point always splits");
+    SearchResult {
+        range,
+        similarity: best_sim,
+        distance: simsub_measures::distance_from_similarity(best_sim),
     }
 }
 
@@ -125,34 +164,58 @@ impl SubtrajSearch for Pos {
             !data.is_empty() && !query.is_empty(),
             "inputs must be non-empty"
         );
-        self.search_with(&mut SearchWorkspace::new(measure, query), data)
+        pos_scan(&mut SearchWorkspace::new(measure, query), data)
     }
 
-    fn search_with(&self, ws: &mut SearchWorkspace<'_>, data: &[Point]) -> SearchResult {
+    fn search_with(&self, ws: &mut SearchWorkspace<'_>, data: TrajView<'_>) -> SearchResult {
         assert!(!data.is_empty(), "inputs must be non-empty");
-        let n = data.len();
-        let mut best_sim = 0.0f64;
-        let mut best_range: Option<SubtrajRange> = None;
-        let eval = ws.prefix();
-        let mut h = 0usize;
-        for i in 0..n {
-            let pre = if i == h {
-                eval.init(data[i])
-            } else {
-                eval.extend(data[i])
-            };
-            if pre > best_sim {
-                best_sim = pre;
-                best_range = Some(SubtrajRange::new(h, i));
-                h = i + 1;
+        let staged = ws.stage_points(data);
+        let result = pos_scan(ws, staged.as_slice());
+        ws.restore_staging(staged);
+        result
+    }
+}
+
+/// The POS-D scan body, shared by both entry points (see [`pss_scan`]).
+fn pos_d_scan(delay: usize, ws: &mut SearchWorkspace<'_>, data: &[Point]) -> SearchResult {
+    let n = data.len();
+    let mut best_sim = 0.0f64;
+    let mut best_range: Option<SubtrajRange> = None;
+    let eval = ws.prefix();
+    let mut h = 0usize;
+    let mut i = 0usize;
+    while i < n {
+        let pre = if i == h {
+            eval.init(data[i])
+        } else {
+            eval.extend(data[i])
+        };
+        if pre > best_sim {
+            // Delay the split: look ahead up to `delay` more points and
+            // split at the position with the most similar prefix.
+            let mut split_at = i;
+            let mut split_sim = pre;
+            let lookahead_end = (i + delay).min(n - 1);
+            for j in i + 1..=lookahead_end {
+                let s = eval.extend(data[j]);
+                if s > split_sim {
+                    split_sim = s;
+                    split_at = j;
+                }
             }
+            best_sim = split_sim;
+            best_range = Some(SubtrajRange::new(h, split_at));
+            h = split_at + 1;
+            i = split_at + 1;
+        } else {
+            i += 1;
         }
-        let range = best_range.expect("similarities are positive; first point always splits");
-        SearchResult {
-            range,
-            similarity: best_sim,
-            distance: simsub_measures::distance_from_similarity(best_sim),
-        }
+    }
+    let range = best_range.expect("similarities are positive; first point always splits");
+    SearchResult {
+        range,
+        similarity: best_sim,
+        distance: simsub_measures::distance_from_similarity(best_sim),
     }
 }
 
@@ -166,50 +229,15 @@ impl SubtrajSearch for PosD {
             !data.is_empty() && !query.is_empty(),
             "inputs must be non-empty"
         );
-        self.search_with(&mut SearchWorkspace::new(measure, query), data)
+        pos_d_scan(self.delay, &mut SearchWorkspace::new(measure, query), data)
     }
 
-    fn search_with(&self, ws: &mut SearchWorkspace<'_>, data: &[Point]) -> SearchResult {
+    fn search_with(&self, ws: &mut SearchWorkspace<'_>, data: TrajView<'_>) -> SearchResult {
         assert!(!data.is_empty(), "inputs must be non-empty");
-        let n = data.len();
-        let mut best_sim = 0.0f64;
-        let mut best_range: Option<SubtrajRange> = None;
-        let eval = ws.prefix();
-        let mut h = 0usize;
-        let mut i = 0usize;
-        while i < n {
-            let pre = if i == h {
-                eval.init(data[i])
-            } else {
-                eval.extend(data[i])
-            };
-            if pre > best_sim {
-                // Delay the split: look ahead up to `delay` more points and
-                // split at the position with the most similar prefix.
-                let mut split_at = i;
-                let mut split_sim = pre;
-                let lookahead_end = (i + self.delay).min(n - 1);
-                for j in i + 1..=lookahead_end {
-                    let s = eval.extend(data[j]);
-                    if s > split_sim {
-                        split_sim = s;
-                        split_at = j;
-                    }
-                }
-                best_sim = split_sim;
-                best_range = Some(SubtrajRange::new(h, split_at));
-                h = split_at + 1;
-                i = split_at + 1;
-            } else {
-                i += 1;
-            }
-        }
-        let range = best_range.expect("similarities are positive; first point always splits");
-        SearchResult {
-            range,
-            similarity: best_sim,
-            distance: simsub_measures::distance_from_similarity(best_sim),
-        }
+        let staged = ws.stage_points(data);
+        let result = pos_d_scan(self.delay, ws, staged.as_slice());
+        ws.restore_staging(staged);
+        result
     }
 }
 

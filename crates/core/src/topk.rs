@@ -1,5 +1,6 @@
 //! Top-k similar subtrajectory search over a trajectory database — the
-//! user-facing query of Section 3.1, built prune-first and allocate-once:
+//! user-facing query of Section 3.1, built prune-first, allocate-once,
+//! and arena-backed:
 //!
 //! - **Bounded memory.** Hits live in a [`TopKHeap`] capped at `k`
 //!   entries (the scan used to collect one hit per database trajectory
@@ -11,17 +12,23 @@
 //!   the answer. [`PruneStats`] counts what happened.
 //! - **Allocate-once.** One [`SearchWorkspace`] per (query, scan) serves
 //!   every trajectory; no per-trajectory evaluator boxing.
+//! - **Arena-backed.** The scan kernels walk a [`CorpusArena`]: data
+//!   points come from contiguous SoA slabs through zero-copy
+//!   [`simsub_trajectory::TrajView`]s, and per-trajectory MBRs are O(1)
+//!   reads from the arena's precomputed table — the old per-scan MBR
+//!   materialization buffer is gone.
 //!
 //! All paths — sequential, parallel, batched, the indexed variants in
 //! `simsub-index`, and the sharded fan-out — rank through
 //! [`sort_hits_and_truncate`]'s total order (or the identical
-//! [`TopKHeap`] order), so results stay interchangeable and pruning is
-//! byte-invisible (`tests/prune_equivalence.rs`).
+//! [`TopKHeap`] order), so results stay interchangeable, pruning is
+//! byte-invisible (`tests/prune_equivalence.rs`), and the arena layout is
+//! byte-invisible too (`tests/layout_equivalence.rs`).
 
 use crate::bounds::{BoundCascade, PruneStats, SharedSimFloor};
 use crate::{SearchResult, SearchWorkspace, SubtrajSearch};
 use simsub_measures::Measure;
-use simsub_trajectory::{Mbr, Point, Trajectory};
+use simsub_trajectory::{CorpusArena, Point, Trajectory};
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashSet};
 
@@ -181,14 +188,15 @@ fn admits(heap: &TopKHeap, floor: Option<&SharedSimFloor>, bound: f64, id: u64) 
 
 fn search_and_push(
     algo: &dyn SubtrajSearch,
-    t: &Trajectory,
+    arena: &CorpusArena,
+    slot: usize,
     heap: &mut TopKHeap,
     ws: &mut SearchWorkspace<'_>,
     floor: Option<&SharedSimFloor>,
 ) {
-    let result = algo.search_with(ws, t.points());
+    let result = algo.search_with(ws, arena.view(slot));
     heap.push(TopKResult {
-        trajectory_id: t.id,
+        trajectory_id: arena.id(slot),
         result,
     });
     if let (Some(floor), Some(kth)) = (floor, heap.full_floor()) {
@@ -197,21 +205,25 @@ fn search_and_push(
 }
 
 /// The prune-first scan kernel every top-k path composes: runs `algo`
-/// over `candidates`, accumulating into a caller-owned heap/workspace so
-/// shard fan-outs share both the k-th threshold and the evaluator
-/// buffers across rounds. `ws` must already target `query` under the
-/// scan's measure (the cascade is built from `query`, the searches run
-/// through `ws` — a mismatch would prune with one query's bounds against
-/// another query's scores, so it is debug-asserted). With `prune`,
-/// candidates are visited best-coarse-bound-first and must survive the
-/// [`BoundCascade`] before being searched; `floor` optionally shares a
-/// certified k-th similarity across workers. The heap's final contents
-/// are identical for every `prune`/`floor`/visit order — bounds are
-/// admissible and the hit order is total.
+/// over the arena slots in `candidates`, accumulating into a
+/// caller-owned heap/workspace so shard fan-outs share both the k-th
+/// threshold and the evaluator buffers across rounds. `ws` must already
+/// target `query` under the scan's measure (the cascade is built from
+/// `query`, the searches run through `ws` — a mismatch would prune with
+/// one query's bounds against another query's scores, so it is
+/// debug-asserted). With `prune`, candidates are visited
+/// best-coarse-bound-first and must survive the [`BoundCascade`] before
+/// being searched; `floor` optionally shares a certified k-th similarity
+/// across workers. Trajectory MBRs are O(1) reads from the arena's
+/// precomputed table (the old per-scan materialization buffer is gone).
+/// The heap's final contents are identical for every
+/// `prune`/`floor`/visit order — bounds are admissible and the hit order
+/// is total.
 #[allow(clippy::too_many_arguments)] // scan state is deliberately caller-owned
 pub fn scan_top_k_into(
     algo: &dyn SubtrajSearch,
-    candidates: &[&Trajectory],
+    arena: &CorpusArena,
+    candidates: &[usize],
     query: &[Point],
     heap: &mut TopKHeap,
     ws: &mut SearchWorkspace<'_>,
@@ -228,61 +240,58 @@ pub fn scan_top_k_into(
                 .all(|(a, b)| a.x.to_bits() == b.x.to_bits() && a.y.to_bits() == b.y.to_bits()),
         "workspace targets a different query than the bound cascade"
     );
-    let cascade = BoundCascade::new(ws.measure(), query);
+    let mut cascade = BoundCascade::new(ws.measure(), query);
     let active = prune && cascade.is_active() && algo.reported_similarity_is_admissible();
     if !active {
-        for t in candidates {
+        for &slot in candidates {
             stats.scanned += 1;
             stats.searched += 1;
-            search_and_push(algo, t, heap, ws, floor);
+            search_and_push(algo, arena, slot, heap, ws, floor);
         }
         return;
     }
     // Best-first: descending coarse bound (ties by ascending id) raises
     // the k-th similarity as early as possible, so later candidates die
     // at the O(1) screen instead of the O(m) envelope or the search.
-    // MBRs are materialized once here — `Trajectory::mbr()` is an O(n)
-    // pass over the points, so the bound stages must not recompute it.
-    let mut order: Vec<(f64, Mbr, usize)> = candidates
+    let mut order: Vec<(f64, usize)> = candidates
         .iter()
-        .enumerate()
-        .map(|(i, t)| {
-            let mbr = t.mbr();
-            (cascade.coarse_bound(&mbr), mbr, i)
-        })
+        .map(|&slot| (cascade.coarse_bound(arena.mbr(slot)), slot))
         .collect();
     order.sort_unstable_by(|a, b| {
         b.0.total_cmp(&a.0)
-            .then_with(|| candidates[a.2].id.cmp(&candidates[b.2].id))
+            .then_with(|| arena.id(a.1).cmp(&arena.id(b.1)))
     });
-    for (coarse, mbr, i) in order {
-        let t = candidates[i];
+    for (coarse, slot) in order {
+        let id = arena.id(slot);
         stats.scanned += 1;
-        if !admits(heap, floor, coarse, t.id) {
+        if !admits(heap, floor, coarse, id) {
             stats.pruned_by_kim += 1;
             continue;
         }
-        let envelope = cascade.envelope_bound(&mbr);
-        if !admits(heap, floor, envelope, t.id) {
+        let envelope = cascade.envelope_bound(arena.mbr(slot));
+        if !admits(heap, floor, envelope, id) {
             stats.pruned_by_mbr += 1;
             continue;
         }
         stats.searched += 1;
-        search_and_push(algo, t, heap, ws, floor);
+        search_and_push(algo, arena, slot, heap, ws, floor);
     }
 }
 
 /// Batched scan kernel: the trajectory loop stays *outer* (each data
-/// trajectory's points stay hot in cache for the whole micro-batch,
-/// the amortization `simsub-service` relies on), with per-query heaps,
-/// workspaces, and bound cascades. `filters[qi]`, when given, restricts
-/// query `qi` to the listed trajectory ids (the R-tree candidate sets of
-/// the indexed path). Heaps may arrive pre-seeded from earlier shards;
-/// the final contents equal a single scan over the union.
+/// trajectory's slab windows stay hot in cache for the whole
+/// micro-batch, the amortization `simsub-service` relies on), with
+/// per-query heaps, workspaces, and bound cascades. `filters[qi]`, when
+/// given, restricts query `qi` to the listed trajectory ids (the R-tree
+/// candidate sets of the indexed path). Heaps may arrive pre-seeded from
+/// earlier shards; the final contents equal a single scan over the
+/// union. MBRs come from the arena table — nothing is materialized per
+/// batch.
 #[allow(clippy::too_many_arguments)] // scan state is deliberately caller-owned
 pub fn scan_top_k_batch_into(
     algo: &dyn SubtrajSearch,
-    candidates: &[&Trajectory],
+    arena: &CorpusArena,
+    candidates: &[usize],
     queries: &[&[Point]],
     heaps: &mut [TopKHeap],
     workspaces: &mut [SearchWorkspace<'_>],
@@ -294,24 +303,18 @@ pub fn scan_top_k_batch_into(
     assert_eq!(queries.len(), heaps.len(), "one heap per query");
     assert_eq!(queries.len(), workspaces.len(), "one workspace per query");
     let admissible = algo.reported_similarity_is_admissible();
-    let cascades: Vec<BoundCascade<'_>> = queries
+    let mut cascades: Vec<BoundCascade> = queries
         .iter()
         .zip(workspaces.iter())
         .map(|(q, ws)| BoundCascade::new(ws.measure(), q))
         .collect();
-    // One MBR materialization per candidate for the whole batch —
-    // `Trajectory::mbr()` is an O(n) pass, so computing it per
-    // (trajectory, query) pair inside the loop would dwarf the bounds.
     let any_active = prune && admissible && cascades.iter().any(BoundCascade::is_active);
-    let mbrs: Vec<Mbr> = if any_active {
-        candidates.iter().map(|t| t.mbr()).collect()
-    } else {
-        Vec::new()
-    };
-    for (ti, t) in candidates.iter().enumerate() {
-        for (qi, cascade) in cascades.iter().enumerate() {
+    for &slot in candidates {
+        let id = arena.id(slot);
+        let mbr = arena.mbr(slot);
+        for (qi, cascade) in cascades.iter_mut().enumerate() {
             if let Some(filters) = filters {
-                if !filters[qi].contains(&t.id) {
+                if !filters[qi].contains(&id) {
                     continue;
                 }
             }
@@ -319,17 +322,17 @@ pub fn scan_top_k_batch_into(
             let heap = &mut heaps[qi];
             let floor = floors.map(|f| &f[qi]);
             if any_active && cascade.is_active() {
-                if !admits(heap, floor, cascade.coarse_bound(&mbrs[ti]), t.id) {
+                if !admits(heap, floor, cascade.coarse_bound(mbr), id) {
                     stats.pruned_by_kim += 1;
                     continue;
                 }
-                if !admits(heap, floor, cascade.envelope_bound(&mbrs[ti]), t.id) {
+                if !admits(heap, floor, cascade.envelope_bound(mbr), id) {
                     stats.pruned_by_mbr += 1;
                     continue;
                 }
             }
             stats.searched += 1;
-            search_and_push(algo, t, heap, &mut workspaces[qi], floor);
+            search_and_push(algo, arena, slot, heap, &mut workspaces[qi], floor);
         }
     }
 }
@@ -338,6 +341,10 @@ pub fn scan_top_k_batch_into(
 /// hits by descending similarity (deterministic tie-break by trajectory
 /// id). Pruning follows [`crate::bounds::pruning_enabled`]; answers are
 /// identical either way.
+///
+/// Builds a temporary [`CorpusArena`] for the scan (one slab copy of the
+/// corpus). Repeated scans should go through an arena-holding database
+/// (`simsub_index::TrajectoryDb`), which builds it once.
 pub fn top_k_search(
     algo: &dyn SubtrajSearch,
     measure: &dyn Measure,
@@ -372,16 +379,17 @@ pub fn top_k_search_with_stats(
     if db.is_empty() {
         return (Vec::new(), stats);
     }
-    let refs: Vec<&Trajectory> = db.iter().collect();
+    let arena = CorpusArena::from_trajectories(db);
+    let slots: Vec<usize> = (0..arena.len()).collect();
     let mut heap = TopKHeap::new(k);
     let mut ws = SearchWorkspace::new(measure, query);
     scan_top_k_into(
-        algo, &refs, query, &mut heap, &mut ws, prune, None, &mut stats,
+        algo, &arena, &slots, query, &mut heap, &mut ws, prune, None, &mut stats,
     );
     (heap.into_sorted_hits(), stats)
 }
 
-/// Parallel variant of [`top_k_search`]: partitions the database across
+/// Parallel variant of [`top_k_search`]: partitions the corpus across
 /// `threads` scoped worker threads, each with its own heap and
 /// workspace; workers publish their k-th similarity through a
 /// [`SharedSimFloor`] so one worker's progress prunes the others. The
@@ -423,21 +431,23 @@ pub fn top_k_search_parallel_with_stats(
     if threads <= 1 || db.len() < 2 * threads {
         return top_k_search_with_stats(algo, measure, db, query, k, prune);
     }
-    let chunk = db.len().div_ceil(threads);
+    let arena = CorpusArena::from_trajectories(db);
+    let slots: Vec<usize> = (0..arena.len()).collect();
+    let chunk = slots.len().div_ceil(threads);
     let floor = SharedSimFloor::new();
     let (mut hits, stats) = crossbeam::scope(|scope| {
-        let floor = &floor;
-        let handles: Vec<_> = db
+        let (floor, arena) = (&floor, &arena);
+        let handles: Vec<_> = slots
             .chunks(chunk)
             .map(|part| {
                 scope.spawn(move |_| {
-                    let refs: Vec<&Trajectory> = part.iter().collect();
                     let mut heap = TopKHeap::new(k);
                     let mut ws = SearchWorkspace::new(measure, query);
                     let mut stats = PruneStats::default();
                     scan_top_k_into(
                         algo,
-                        &refs,
+                        arena,
+                        part,
                         query,
                         &mut heap,
                         &mut ws,
@@ -500,7 +510,8 @@ pub fn top_k_search_batch_with_stats(
     if db.is_empty() || queries.is_empty() {
         return (vec![Vec::new(); queries.len()], stats);
     }
-    let refs: Vec<&Trajectory> = db.iter().collect();
+    let arena = CorpusArena::from_trajectories(db);
+    let slots: Vec<usize> = (0..arena.len()).collect();
     let mut heaps: Vec<TopKHeap> = queries.iter().map(|_| TopKHeap::new(k)).collect();
     let mut workspaces: Vec<SearchWorkspace<'_>> = queries
         .iter()
@@ -508,7 +519,8 @@ pub fn top_k_search_batch_with_stats(
         .collect();
     scan_top_k_batch_into(
         algo,
-        &refs,
+        &arena,
+        &slots,
         queries,
         &mut heaps,
         &mut workspaces,
@@ -581,6 +593,36 @@ mod tests {
         let hits = top_k_search(&ExactS, &Dtw, &database, &q, 1);
         assert_eq!(hits[0].trajectory_id, 99);
         assert!(hits[0].result.distance.abs() < 1e-12);
+    }
+
+    #[test]
+    fn arena_scan_matches_per_trajectory_search() {
+        // The arena-backed scan must return exactly what running the
+        // allocating AoS `search` per trajectory and ranking through
+        // `sort_hits_and_truncate` returns — the pre-arena reference.
+        let db = db(18, 13);
+        let q = walk(321, 6);
+        for k in [1, 4, 30] {
+            let mut want: Vec<TopKResult> = db
+                .iter()
+                .map(|t| TopKResult {
+                    trajectory_id: t.id,
+                    result: ExactS.search(&Dtw, t.points(), &q),
+                })
+                .collect();
+            sort_hits_and_truncate(&mut want, k);
+            let got = top_k_search(&ExactS, &Dtw, &db, &q, k);
+            assert_eq!(got.len(), want.len());
+            for (g, w) in got.iter().zip(&want) {
+                assert_eq!(g.trajectory_id, w.trajectory_id, "k={k}");
+                assert_eq!(g.result.range, w.result.range, "k={k}");
+                assert_eq!(
+                    g.result.similarity.to_bits(),
+                    w.result.similarity.to_bits(),
+                    "k={k}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -12,13 +12,24 @@
 //! and reused across the entire corpus via `init`; [`SearchWorkspace::reset`]
 //! re-targets the same buffers at a new query for multi-query scans.
 //!
+//! With the columnar corpus arena the workspace also carries:
+//! - the [`simsub_measures::DpScratch`] buffers behind the slice DP
+//!   kernels ([`SearchWorkspace::exact_best`] dispatches to
+//!   [`simsub_measures::Measure::exact_best`]), and
+//! - a reusable AoS staging buffer ([`SearchWorkspace::staged`]) for
+//!   algorithms without a view-based override, so the default
+//!   [`crate::SubtrajSearch::search_with`] stays allocation-free after
+//!   warmup.
+//!
 //! Reuse is bitwise-transparent: `init` fully overwrites evaluator state
 //! with the same arithmetic a fresh evaluator would perform, so a scan
 //! through one workspace returns bit-identical results to the allocating
-//! path (asserted by `tests/prune_equivalence.rs`).
+//! path (asserted by `tests/prune_equivalence.rs` and
+//! `tests/layout_equivalence.rs`).
 
-use simsub_measures::{Measure, PrefixEvaluator};
-use simsub_trajectory::Point;
+use crate::SearchResult;
+use simsub_measures::{distance_from_similarity, DpScratch, Measure, PrefixEvaluator};
+use simsub_trajectory::{Point, PointSeq, SubtrajRange, TrajView};
 
 /// Reusable evaluator state for one query under one measure. See the
 /// module docs; obtained via [`SearchWorkspace::new`] and passed to
@@ -34,6 +45,10 @@ pub struct SearchWorkspace<'m> {
     suffix_eval: Option<Box<dyn PrefixEvaluator + 'm>>,
     /// Per-trajectory suffix similarities `Θ(T[t, n]ᴿ, Tqᴿ)`.
     suffix: Vec<f64>,
+    /// Buffers behind the measure's slice DP kernels (`Measure::exact_best`).
+    dp_scratch: DpScratch,
+    /// AoS staging buffer for the default `search_with` fallback.
+    staging: Vec<Point>,
 }
 
 impl<'m> SearchWorkspace<'m> {
@@ -48,6 +63,8 @@ impl<'m> SearchWorkspace<'m> {
             reversed_query: Vec::new(),
             suffix_eval: None,
             suffix: Vec::new(),
+            dp_scratch: DpScratch::default(),
+            staging: Vec::new(),
         }
     }
 
@@ -80,24 +97,81 @@ impl<'m> SearchWorkspace<'m> {
         self.prefix.as_mut()
     }
 
+    /// The measure's exhaustive-best slice kernel over columnar data
+    /// (`Measure::exact_best`), run through this workspace's reused
+    /// scratch buffers. `None` when the measure has no kernel; the result
+    /// is bit-identical to the scalar [`crate::ExactS`] sweep by the
+    /// kernel contract.
+    pub fn exact_best(&mut self, data: TrajView<'_>) -> Option<SearchResult> {
+        let (start, end, similarity) =
+            self.measure
+                .exact_best(data, &self.query, &mut self.dp_scratch)?;
+        Some(SearchResult {
+            range: SubtrajRange::new(start, end),
+            similarity,
+            distance: distance_from_similarity(similarity),
+        })
+    }
+
+    /// Stages `data` into the reusable AoS buffer and returns
+    /// `(measure, data, query)` — the triple the allocating
+    /// [`crate::SubtrajSearch::search`] entry needs. This is the default
+    /// `search_with` bridge for algorithms without a view-based override:
+    /// one memcpy per trajectory, no allocation after warmup.
+    pub fn staged<S: PointSeq>(&mut self, data: S) -> (&'m dyn Measure, &[Point], &[Point]) {
+        self.staging.clear();
+        self.staging
+            .extend((0..data.seq_len()).map(|i| data.seq_point(i)));
+        (self.measure, &self.staging, &self.query)
+    }
+
+    /// Fills the reusable staging buffer with `data`'s points and hands
+    /// the buffer to the caller (a pointer move, no allocation after
+    /// warmup); return it with [`SearchWorkspace::restore_staging`].
+    ///
+    /// Why staging exists on the evaluator-driven hot path: the
+    /// `PrefixEvaluator` machines take one `Point` per virtual call, and
+    /// feeding them straight from the arena's three coordinate slabs
+    /// measures ~1.6 ns/DP-cell *slower* than from a contiguous AoS
+    /// buffer (three strided loads per call vs one line per ~2.7
+    /// points), while the copy itself — three sequential slab streams,
+    /// once per (trajectory, search) — amortizes to ~0.2 ns/cell. The
+    /// slice kernels that bypass the evaluator API
+    /// ([`SearchWorkspace::exact_best`], the bound cascade) consume the
+    /// slabs zero-copy.
+    pub fn stage_points<S: PointSeq>(&mut self, data: S) -> Vec<Point> {
+        let mut buf = std::mem::take(&mut self.staging);
+        buf.clear();
+        buf.extend((0..data.seq_len()).map(|i| data.seq_point(i)));
+        buf
+    }
+
+    /// Returns a buffer taken via [`SearchWorkspace::stage_points`] so
+    /// the next stage reuses its capacity.
+    pub fn restore_staging(&mut self, buf: Vec<Point>) {
+        self.staging = buf;
+    }
+
     /// Fills the suffix-similarity buffer for `data` (Algorithm 2,
     /// lines 2-3): one backward pass of a reversed-query evaluator, at
     /// `Φini + (n-1)·Φinc` cost and zero allocation after first use.
     /// Read the result through [`SearchWorkspace::prefix_and_suffix`].
-    pub fn compute_suffix_similarities(&mut self, data: &[Point]) {
-        assert!(!data.is_empty(), "data must be non-empty");
+    /// Generic over [`PointSeq`] so the AoS entry points and the
+    /// arena-backed scan share one (hence bitwise-identical) body.
+    pub fn compute_suffix_similarities<S: PointSeq>(&mut self, data: S) {
+        let n = data.seq_len();
+        assert!(n > 0, "data must be non-empty");
         if self.suffix_eval.is_none() {
             self.reversed_query.clear();
             self.reversed_query.extend(self.query.iter().rev().copied());
             self.suffix_eval = Some(self.measure.make_workspace(&self.reversed_query));
         }
         let eval = self.suffix_eval.as_mut().expect("created above");
-        let n = data.len();
         self.suffix.clear();
         self.suffix.resize(n, 0.0);
-        self.suffix[n - 1] = eval.init(data[n - 1]);
+        self.suffix[n - 1] = eval.init(data.seq_point(n - 1));
         for t in (0..n - 1).rev() {
-            self.suffix[t] = eval.extend(data[t]);
+            self.suffix[t] = eval.extend(data.seq_point(t));
         }
     }
 
@@ -122,7 +196,7 @@ mod tests {
         let mut ws = SearchWorkspace::new(&Dtw, &q);
         for seed in 0..5u64 {
             let data = walk(10 + seed, 9);
-            ws.compute_suffix_similarities(&data);
+            ws.compute_suffix_similarities(data.as_slice());
             let want = suffix_similarities(&Dtw, &data, &q);
             let (_, got) = ws.prefix_and_suffix();
             assert_eq!(got.len(), want.len());
@@ -133,15 +207,44 @@ mod tests {
     }
 
     #[test]
+    fn suffix_buffer_identical_over_views() {
+        let q = walk(2, 6);
+        let data = walk(3, 11);
+        let (xs, ys): (Vec<f64>, Vec<f64>) = data.iter().map(|p| (p.x, p.y)).unzip();
+        let ts: Vec<f64> = data.iter().map(|p| p.t).collect();
+        let view = TrajView::new(0, &xs, &ys, &ts);
+        let mut ws = SearchWorkspace::new(&Dtw, &q);
+        ws.compute_suffix_similarities(view);
+        let want = suffix_similarities(&Dtw, &data, &q);
+        let (_, got) = ws.prefix_and_suffix();
+        for (g, w) in got.iter().zip(&want) {
+            assert_eq!(g.to_bits(), w.to_bits());
+        }
+    }
+
+    #[test]
+    fn staging_buffer_round_trips_views() {
+        let q = walk(4, 4);
+        let data = walk(5, 7);
+        let (xs, ys): (Vec<f64>, Vec<f64>) = data.iter().map(|p| (p.x, p.y)).unzip();
+        let ts: Vec<f64> = data.iter().map(|p| p.t).collect();
+        let view = TrajView::new(9, &xs, &ys, &ts);
+        let mut ws = SearchWorkspace::new(&Frechet, &q);
+        let (_, staged, query) = ws.staged(view);
+        assert_eq!(staged, data.as_slice());
+        assert_eq!(query, q.as_slice());
+    }
+
+    #[test]
     fn reset_retargets_prefix_and_suffix() {
         let q1 = walk(1, 4);
         let q2 = walk(2, 7);
         let data = walk(3, 8);
         let mut ws = SearchWorkspace::new(&Frechet, &q1);
-        ws.compute_suffix_similarities(&data);
+        ws.compute_suffix_similarities(data.as_slice());
         ws.reset(&q2);
         assert_eq!(ws.query(), &q2[..]);
-        ws.compute_suffix_similarities(&data);
+        ws.compute_suffix_similarities(data.as_slice());
         let want = suffix_similarities(&Frechet, &data, &q2);
         let (eval, got) = ws.prefix_and_suffix();
         for (g, w) in got.iter().zip(&want) {

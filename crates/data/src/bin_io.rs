@@ -1,0 +1,354 @@
+//! Packed binary corpus snapshots — the on-disk form of
+//! [`CorpusArena`]'s slabs.
+//!
+//! A corpus reload from CSV pays float parsing, per-row splitting, and
+//! per-trajectory vector growth; reloading a *packed* corpus is one
+//! buffered read plus validation: the file's payload **is** the arena's
+//! columnar slabs, so the loader hands them to
+//! [`CorpusArena::from_raw_slabs`] and is done (MBRs are recomputed
+//! there rather than trusted from disk). `simsub corpus pack` converts,
+//! `--corpus-bin` consumes (CLI `topk`/`serve` and the admin `reload`
+//! command's `"corpus_bin"` field).
+//!
+//! ## Format (version 1, all integers/floats little-endian)
+//!
+//! ```text
+//! magic     8 bytes   b"SSUBARN1" (version is baked into the magic)
+//! n_traj    u64
+//! n_points  u64
+//! ids       n_traj × u64
+//! offsets   (n_traj + 1) × u64
+//! xs        n_points × f64 (raw IEEE-754 bits)
+//! ys        n_points × f64
+//! ts        n_points × f64
+//! checksum  u64       FNV-1a over every payload byte after the magic
+//! ```
+//!
+//! Coordinates round-trip bit-exactly (unlike decimal CSV), so a packed
+//! corpus answers queries byte-identically to the CSV it was packed from
+//! (asserted by `tests/layout_equivalence.rs`). Truncated files, flipped
+//! bytes, and malformed tables are all rejected with a typed
+//! [`BinCorpusError`].
+
+use simsub_trajectory::{ArenaError, CorpusArena};
+use std::io::{Read, Write};
+use std::path::Path;
+
+/// File magic; the trailing `1` is the format version.
+pub const BIN_CORPUS_MAGIC: [u8; 8] = *b"SSUBARN1";
+
+/// Errors produced by the packed-corpus reader.
+#[derive(Debug)]
+pub enum BinCorpusError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The file does not start with [`BIN_CORPUS_MAGIC`] (wrong file or
+    /// unsupported format version).
+    BadMagic,
+    /// The file ends before the advertised tables do.
+    Truncated,
+    /// Bytes remain after the checksum — not this format.
+    TrailingBytes,
+    /// The payload checksum does not match (corruption).
+    ChecksumMismatch,
+    /// A count field is implausible (would overflow the address space).
+    ImplausibleCounts,
+    /// The slabs decode but violate the arena invariants.
+    Arena(ArenaError),
+}
+
+impl std::fmt::Display for BinCorpusError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BinCorpusError::Io(e) => write!(f, "I/O error: {e}"),
+            BinCorpusError::BadMagic => {
+                write!(f, "not a packed corpus (bad magic; expected SSUBARN1)")
+            }
+            BinCorpusError::Truncated => write!(f, "truncated packed corpus"),
+            BinCorpusError::TrailingBytes => write!(f, "trailing bytes after packed corpus"),
+            BinCorpusError::ChecksumMismatch => write!(f, "packed corpus checksum mismatch"),
+            BinCorpusError::ImplausibleCounts => write!(f, "packed corpus counts are implausible"),
+            BinCorpusError::Arena(e) => write!(f, "invalid corpus payload: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BinCorpusError {}
+
+impl From<std::io::Error> for BinCorpusError {
+    fn from(e: std::io::Error) -> Self {
+        BinCorpusError::Io(e)
+    }
+}
+
+impl From<ArenaError> for BinCorpusError {
+    fn from(e: ArenaError) -> Self {
+        BinCorpusError::Arena(e)
+    }
+}
+
+/// Incremental FNV-1a (64-bit) over raw bytes.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+}
+
+/// Writes the arena in the packed format. The payload is streamed (no
+/// whole-file buffer); wrap the writer in a `BufWriter` for files —
+/// [`write_bin_file`] does.
+pub fn write_bin<W: Write>(mut w: W, arena: &CorpusArena) -> std::io::Result<()> {
+    let mut hash = Fnv::new();
+    let mut put = |w: &mut W, bytes: &[u8], hashed: bool| -> std::io::Result<()> {
+        if hashed {
+            hash.update(bytes);
+        }
+        w.write_all(bytes)
+    };
+    put(&mut w, &BIN_CORPUS_MAGIC, false)?;
+    put(&mut w, &(arena.len() as u64).to_le_bytes(), true)?;
+    put(&mut w, &(arena.total_points() as u64).to_le_bytes(), true)?;
+    for &id in arena.ids() {
+        put(&mut w, &id.to_le_bytes(), true)?;
+    }
+    for &off in arena.offsets() {
+        put(&mut w, &(off as u64).to_le_bytes(), true)?;
+    }
+    for slab in [arena.xs(), arena.ys(), arena.ts()] {
+        for &v in slab {
+            put(&mut w, &v.to_bits().to_le_bytes(), true)?;
+        }
+    }
+    let digest = hash.0;
+    w.write_all(&digest.to_le_bytes())?;
+    w.flush()
+}
+
+/// Packs the arena into `path` (buffered).
+pub fn write_bin_file(path: &Path, arena: &CorpusArena) -> std::io::Result<()> {
+    let file = std::fs::File::create(path)?;
+    write_bin(std::io::BufWriter::new(file), arena)
+}
+
+/// Cursor over the fully-read payload.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], BinCorpusError> {
+        let end = self.pos.checked_add(n).ok_or(BinCorpusError::Truncated)?;
+        if end > self.bytes.len() {
+            return Err(BinCorpusError::Truncated);
+        }
+        let out = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+
+    fn u64(&mut self) -> Result<u64, BinCorpusError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes(b.try_into().expect("8 bytes")))
+    }
+}
+
+/// Reads a packed corpus: one full read of the stream, then table
+/// decoding, checksum verification, and arena validation.
+pub fn read_bin<R: Read>(mut r: R) -> Result<CorpusArena, BinCorpusError> {
+    let mut bytes = Vec::new();
+    r.read_to_end(&mut bytes)?;
+    if bytes.len() < BIN_CORPUS_MAGIC.len() + 8 {
+        return Err(
+            if bytes.starts_with(&BIN_CORPUS_MAGIC) || !bytes.is_empty() {
+                BinCorpusError::Truncated
+            } else {
+                BinCorpusError::BadMagic
+            },
+        );
+    }
+    if bytes[..8] != BIN_CORPUS_MAGIC {
+        return Err(BinCorpusError::BadMagic);
+    }
+    let mut cur = Cursor {
+        bytes: &bytes,
+        pos: 8,
+    };
+    let n_traj = cur.u64()?;
+    let n_points = cur.u64()?;
+    // An honest file cannot advertise more table entries than it has
+    // bytes: reject before any multiplication can mislead allocation.
+    let max_entries = (bytes.len() / 8) as u64;
+    if n_traj > max_entries || n_points > max_entries {
+        return Err(BinCorpusError::ImplausibleCounts);
+    }
+    let (n_traj, n_points) = (n_traj as usize, n_points as usize);
+
+    let mut ids = Vec::with_capacity(n_traj);
+    for _ in 0..n_traj {
+        ids.push(cur.u64()?);
+    }
+    let mut offsets = Vec::with_capacity(n_traj + 1);
+    for _ in 0..n_traj + 1 {
+        let off = cur.u64()?;
+        if off > n_points as u64 {
+            return Err(BinCorpusError::Arena(ArenaError::BadOffsets));
+        }
+        offsets.push(off as usize);
+    }
+    let slab = |cur: &mut Cursor| -> Result<Vec<f64>, BinCorpusError> {
+        let mut out = Vec::with_capacity(n_points);
+        for _ in 0..n_points {
+            out.push(f64::from_bits(cur.u64()?));
+        }
+        Ok(out)
+    };
+    let xs = slab(&mut cur)?;
+    let ys = slab(&mut cur)?;
+    let ts = slab(&mut cur)?;
+
+    let payload_end = cur.pos;
+    let stored = cur.u64()?;
+    if cur.pos != bytes.len() {
+        return Err(BinCorpusError::TrailingBytes);
+    }
+    let mut hash = Fnv::new();
+    hash.update(&bytes[8..payload_end]);
+    if hash.0 != stored {
+        return Err(BinCorpusError::ChecksumMismatch);
+    }
+    Ok(CorpusArena::from_raw_slabs(ids, offsets, xs, ys, ts)?)
+}
+
+/// Reads a packed corpus file (one buffered read + validation).
+pub fn read_bin_file(path: &Path) -> Result<CorpusArena, BinCorpusError> {
+    let file = std::fs::File::open(path)?;
+    read_bin(std::io::BufReader::new(file))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{generate, DatasetSpec};
+
+    fn arena() -> CorpusArena {
+        CorpusArena::from_trajectories(&generate(&DatasetSpec::porto(), 9, 17))
+    }
+
+    #[test]
+    fn round_trip_is_bit_exact() {
+        let arena = arena();
+        let mut buf = Vec::new();
+        write_bin(&mut buf, &arena).unwrap();
+        let back = read_bin(std::io::Cursor::new(&buf)).unwrap();
+        assert_eq!(back.len(), arena.len());
+        assert_eq!(back.ids(), arena.ids());
+        assert_eq!(back.offsets(), arena.offsets());
+        for (a, b) in [
+            (back.xs(), arena.xs()),
+            (back.ys(), arena.ys()),
+            (back.ts(), arena.ts()),
+        ] {
+            assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(b) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+        for s in 0..arena.len() {
+            assert_eq!(back.mbr(s), arena.mbr(s), "MBR table recomputed equal");
+        }
+    }
+
+    #[test]
+    fn empty_corpus_round_trips() {
+        let arena = CorpusArena::empty();
+        let mut buf = Vec::new();
+        write_bin(&mut buf, &arena).unwrap();
+        let back = read_bin(std::io::Cursor::new(&buf)).unwrap();
+        assert!(back.is_empty());
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let arena = arena();
+        let mut buf = Vec::new();
+        write_bin(&mut buf, &arena).unwrap();
+        buf[0] = b'X';
+        assert!(matches!(
+            read_bin(std::io::Cursor::new(&buf)),
+            Err(BinCorpusError::BadMagic)
+        ));
+        assert!(matches!(
+            read_bin(std::io::Cursor::new(b"nonsense".to_vec())),
+            Err(BinCorpusError::Truncated) | Err(BinCorpusError::BadMagic)
+        ));
+    }
+
+    #[test]
+    fn truncation_rejected_at_every_cut() {
+        let arena = arena();
+        let mut buf = Vec::new();
+        write_bin(&mut buf, &arena).unwrap();
+        for cut in [9, 17, 40, buf.len() / 2, buf.len() - 1] {
+            let err = read_bin(std::io::Cursor::new(&buf[..cut])).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    BinCorpusError::Truncated | BinCorpusError::ImplausibleCounts
+                ),
+                "cut {cut}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn corruption_rejected_by_checksum() {
+        let arena = arena();
+        let mut buf = Vec::new();
+        write_bin(&mut buf, &arena).unwrap();
+        // Flip one payload byte deep in the coordinate slabs.
+        let idx = buf.len() - 64;
+        buf[idx] ^= 0x40;
+        let err = read_bin(std::io::Cursor::new(&buf)).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                BinCorpusError::ChecksumMismatch | BinCorpusError::Arena(_)
+            ),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let arena = arena();
+        let mut buf = Vec::new();
+        write_bin(&mut buf, &arena).unwrap();
+        buf.push(0);
+        assert!(matches!(
+            read_bin(std::io::Cursor::new(&buf)),
+            Err(BinCorpusError::TrailingBytes)
+        ));
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let arena = arena();
+        let dir = std::env::temp_dir().join("simsub_bin_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("corpus.ssb");
+        write_bin_file(&path, &arena).unwrap();
+        let back = read_bin_file(&path).unwrap();
+        assert_eq!(back.ids(), arena.ids());
+        std::fs::remove_file(&path).ok();
+    }
+}

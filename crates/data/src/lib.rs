@@ -21,10 +21,14 @@
 //! heading persistence (drives index selectivity and split behaviour).
 //! Everything is deterministic given the seed.
 
+mod bin_io;
 mod generator;
 mod io;
 mod workload;
 
+pub use bin_io::{
+    read_bin, read_bin_file, write_bin, write_bin_file, BinCorpusError, BIN_CORPUS_MAGIC,
+};
 pub use generator::{generate, DatasetSpec, MotionModel};
 pub use io::{read_csv, read_csv_file, write_csv, write_csv_file, CsvError};
 pub use workload::{

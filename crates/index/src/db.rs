@@ -1,5 +1,14 @@
 //! An indexed trajectory database: the "database of plays / taxi routes"
 //! the user-facing query of Section 3.1 runs against.
+//!
+//! Points live in a columnar [`CorpusArena`] — one contiguous SoA slab
+//! per corpus, with a precomputed per-trajectory MBR table — and every
+//! read path serves borrowed [`TrajView`]s into it. The AoS
+//! [`Trajectory`] is the construction currency ([`TrajectoryDb::build`])
+//! and the arena is the storage: a database can also be assembled
+//! directly from an arena ([`TrajectoryDb::from_arena`]), which is how a
+//! packed binary corpus (`simsub_data::bin_io`) reloads without ever
+//! materializing per-trajectory point vectors.
 
 use crate::rtree::RTree;
 use simsub_core::{
@@ -7,7 +16,7 @@ use simsub_core::{
     TopKResult,
 };
 use simsub_measures::Measure;
-use simsub_trajectory::{Mbr, Point, Trajectory};
+use simsub_trajectory::{CorpusArena, Mbr, Point, TrajView, Trajectory};
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
@@ -18,74 +27,99 @@ const _: fn() = || {
     assert_send_sync::<TrajectoryDb>();
 };
 
-/// A database of data trajectories with an R-tree over their MBRs.
+/// A database of data trajectories: a columnar [`CorpusArena`] plus an
+/// R-tree over the arena's MBR table.
 #[derive(Debug, Clone)]
 pub struct TrajectoryDb {
-    trajs: Vec<Trajectory>,
+    arena: CorpusArena,
     by_id: HashMap<u64, usize>,
     rtree: RTree,
-    total_points: usize,
 }
 
 impl TrajectoryDb {
-    /// Builds the database and its index.
+    /// Builds the database and its index from AoS trajectories.
     ///
     /// # Panics
     /// Panics on duplicate trajectory ids.
     pub fn build(trajs: Vec<Trajectory>) -> Self {
+        Self::from_arena(CorpusArena::from_trajectories(&trajs))
+    }
+
+    /// Builds the database straight from a columnar arena — the reload
+    /// path for packed binary corpora: the R-tree comes from the arena's
+    /// precomputed MBR table, so no point is re-read.
+    ///
+    /// # Panics
+    /// Panics on duplicate trajectory ids (the binary loader validates
+    /// them beforehand and errors instead).
+    pub fn from_arena(arena: CorpusArena) -> Self {
         let mut rtree = RTree::new();
-        let mut by_id = HashMap::with_capacity(trajs.len());
-        let mut total_points = 0;
-        for (i, t) in trajs.iter().enumerate() {
+        let mut by_id = HashMap::with_capacity(arena.len());
+        for slot in 0..arena.len() {
+            let id = arena.id(slot);
             assert!(
-                by_id.insert(t.id, i).is_none(),
-                "duplicate trajectory id {}",
-                t.id
+                by_id.insert(id, slot).is_none(),
+                "duplicate trajectory id {id}"
             );
-            rtree.insert(t.mbr(), t.id);
-            total_points += t.len();
+            rtree.insert(*arena.mbr(slot), id);
         }
         Self {
-            trajs,
+            arena,
             by_id,
             rtree,
-            total_points,
         }
     }
 
     /// Number of trajectories.
     pub fn len(&self) -> usize {
-        self.trajs.len()
+        self.arena.len()
     }
 
     /// True when the database holds no trajectories.
     pub fn is_empty(&self) -> bool {
-        self.trajs.is_empty()
+        self.arena.is_empty()
     }
 
     /// Total number of points across all trajectories (the x-axis of
     /// Figure 4).
     pub fn total_points(&self) -> usize {
-        self.total_points
+        self.arena.total_points()
     }
 
-    /// All trajectories.
-    pub fn trajectories(&self) -> &[Trajectory] {
-        &self.trajs
+    /// The columnar point store (slabs, offsets, ids, MBR table).
+    pub fn arena(&self) -> &CorpusArena {
+        &self.arena
+    }
+
+    /// Borrowed view of the trajectory at arena `slot` (its position in
+    /// the build order).
+    pub fn view(&self, slot: usize) -> TrajView<'_> {
+        self.arena.view(slot)
+    }
+
+    /// Iterates over all trajectories as borrowed views, in build order.
+    pub fn views(&self) -> impl Iterator<Item = TrajView<'_>> {
+        self.arena.iter()
     }
 
     /// Lookup by id.
-    pub fn get(&self, id: u64) -> Option<&Trajectory> {
-        self.by_id.get(&id).map(|&i| &self.trajs[i])
+    pub fn get(&self, id: u64) -> Option<TrajView<'_>> {
+        self.by_id.get(&id).map(|&slot| self.arena.view(slot))
+    }
+
+    /// Materializes the corpus back into owned AoS trajectories
+    /// (bit-exact; for tooling, re-partitioning, and tests).
+    pub fn to_trajectories(&self) -> Vec<Trajectory> {
+        self.arena.to_trajectories()
     }
 
     /// Trajectories whose MBR intersects the query MBR — the index-pruned
-    /// candidate set of Section 6.2(4).
-    pub fn candidates(&self, query_mbr: &Mbr) -> Vec<&Trajectory> {
+    /// candidate set of Section 6.2(4) — as borrowed views.
+    pub fn candidates(&self, query_mbr: &Mbr) -> Vec<TrajView<'_>> {
         self.rtree
             .query_intersecting(query_mbr)
             .into_iter()
-            .map(|id| &self.trajs[self.by_id[&id]])
+            .map(|id| self.arena.view(self.by_id[&id]))
             .collect()
     }
 
@@ -98,8 +132,7 @@ impl TrajectoryDb {
     }
 
     /// Ids of trajectories whose MBR intersects `query_mbr` (the pruning
-    /// set of [`TrajectoryDb::candidates`], without materializing
-    /// references).
+    /// set of [`TrajectoryDb::candidates`], without materializing views).
     pub fn candidate_ids(&self, query_mbr: &Mbr) -> Vec<u64> {
         self.rtree.query_intersecting(query_mbr)
     }
@@ -138,7 +171,7 @@ impl TrajectoryDb {
     ) -> (Vec<TopKResult>, PruneStats) {
         assert!(k > 0, "k must be positive");
         let mut stats = PruneStats::default();
-        let candidates = self.scan_candidates(query, use_index);
+        let candidates = self.scan_candidate_slots(query, use_index);
         if candidates.is_empty() {
             return (Vec::new(), stats);
         }
@@ -146,6 +179,7 @@ impl TrajectoryDb {
         let mut ws = SearchWorkspace::new(measure, query);
         simsub_core::scan_top_k_into(
             algo,
+            &self.arena,
             &candidates,
             query,
             &mut heap,
@@ -157,13 +191,17 @@ impl TrajectoryDb {
         (heap.into_sorted_hits(), stats)
     }
 
-    /// The candidate set a scan visits: the R-tree intersection set with
-    /// `use_index`, the whole database otherwise.
-    fn scan_candidates(&self, query: &[Point], use_index: bool) -> Vec<&Trajectory> {
+    /// The candidate slots a scan visits: the R-tree intersection set
+    /// with `use_index`, the whole arena otherwise.
+    fn scan_candidate_slots(&self, query: &[Point], use_index: bool) -> Vec<usize> {
         if use_index {
-            self.candidates(&Mbr::of_points(query))
+            self.rtree
+                .query_intersecting(&Mbr::of_points(query))
+                .into_iter()
+                .map(|id| self.by_id[&id])
+                .collect()
         } else {
-            self.trajs.iter().collect()
+            (0..self.arena.len()).collect()
         }
     }
 
@@ -184,8 +222,18 @@ impl TrajectoryDb {
         floor: Option<&SharedSimFloor>,
         stats: &mut PruneStats,
     ) {
-        let candidates = self.scan_candidates(query, use_index);
-        simsub_core::scan_top_k_into(algo, &candidates, query, heap, ws, prune, floor, stats);
+        let candidates = self.scan_candidate_slots(query, use_index);
+        simsub_core::scan_top_k_into(
+            algo,
+            &self.arena,
+            &candidates,
+            query,
+            heap,
+            ws,
+            prune,
+            floor,
+            stats,
+        );
     }
 
     /// Batched [`TrajectoryDb::top_k`]: answers every query in one outer
@@ -193,8 +241,8 @@ impl TrajectoryDb {
     /// the locality argument). With `use_index`, each query keeps its own
     /// R-tree candidate set, so results are identical to the per-query
     /// path — a trajectory is evaluated for exactly the queries whose MBR
-    /// it intersects, but its points are touched once per batch rather
-    /// than once per query.
+    /// it intersects, but its slab window is touched once per batch
+    /// rather than once per query.
     pub fn top_k_batch(
         &self,
         algo: &dyn SubtrajSearch,
@@ -258,7 +306,7 @@ impl TrajectoryDb {
         floors: Option<&[SharedSimFloor]>,
         stats: &mut PruneStats,
     ) {
-        let refs: Vec<&Trajectory> = self.trajs.iter().collect();
+        let slots: Vec<usize> = (0..self.arena.len()).collect();
         let filters: Option<Vec<HashSet<u64>>> = use_index.then(|| {
             queries
                 .iter()
@@ -267,7 +315,8 @@ impl TrajectoryDb {
         });
         simsub_core::scan_top_k_batch_into(
             algo,
-            &refs,
+            &self.arena,
+            &slots,
             queries,
             heaps,
             workspaces,
@@ -318,6 +367,23 @@ mod tests {
         assert!(db.get(999).is_none());
     }
 
+    #[test]
+    fn from_arena_equals_build() {
+        let trajs: Vec<Trajectory> = (0..12)
+            .map(|i| Trajectory::new_unchecked(i as u64, walk(i as u64, 9, (0.0, 0.0))))
+            .collect();
+        let a = TrajectoryDb::build(trajs.clone());
+        let b = TrajectoryDb::from_arena(CorpusArena::from_trajectories(&trajs));
+        let query = walk(77, 5, (0.0, 0.0));
+        for use_index in [false, true] {
+            assert_eq!(
+                a.top_k(&ExactS, &Dtw, &query, 4, use_index),
+                b.top_k(&ExactS, &Dtw, &query, 4, use_index)
+            );
+        }
+        assert_eq!(a.to_trajectories(), trajs);
+    }
+
     /// Regression for the sharded fan-out: a grid partitioner can hand a
     /// shard zero trajectories, so an *empty* database (empty R-tree)
     /// must answer `candidate_ids` / `candidates` / `top_k` with empty
@@ -352,15 +418,15 @@ mod tests {
         let db = build_db(60);
         // Anchor the query on trajectory 11's points so at least one MBR
         // intersection is guaranteed.
-        let query: Vec<Point> = db.get(11).unwrap().points()[..8].to_vec();
+        let query: Vec<Point> = db.get(11).unwrap().to_points()[..8].to_vec();
         let qmbr = Mbr::of_points(&query);
-        let mut got: Vec<u64> = db.candidates(&qmbr).iter().map(|t| t.id).collect();
+        let mut got: Vec<u64> = db.candidates(&qmbr).iter().map(|v| v.id).collect();
         got.sort_unstable();
         let mut want: Vec<u64> = db
-            .trajectories()
-            .iter()
-            .filter(|t| t.mbr().intersects(&qmbr))
-            .map(|t| t.id)
+            .views()
+            .enumerate()
+            .filter(|(slot, _)| db.arena().mbr(*slot).intersects(&qmbr))
+            .map(|(_, v)| v.id)
             .collect();
         want.sort_unstable();
         assert_eq!(got, want);
@@ -403,7 +469,7 @@ mod tests {
     #[test]
     fn shared_handle_serves_concurrent_readers() {
         let db = build_db(30).into_shared();
-        let query: Vec<Point> = db.get(4).unwrap().points()[..6].to_vec();
+        let query: Vec<Point> = db.get(4).unwrap().to_points()[..6].to_vec();
         let want = db.top_k(&ExactS, &Dtw, &query, 3, true);
         let handles: Vec<_> = (0..4)
             .map(|_| {
@@ -423,7 +489,7 @@ mod tests {
         let query = walk(8, 6, (60.0, 60.0));
         let qmbr = Mbr::of_points(&query);
         let candidate_ids: std::collections::HashSet<u64> =
-            db.candidates(&qmbr).iter().map(|t| t.id).collect();
+            db.candidates(&qmbr).iter().map(|v| v.id).collect();
         for hit in db.top_k(&ExactS, &Dtw, &query, 5, true) {
             assert!(candidate_ids.contains(&hit.trajectory_id));
         }

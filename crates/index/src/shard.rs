@@ -37,7 +37,7 @@ use simsub_core::{
     SubtrajSearch, TopKHeap, TopKResult,
 };
 use simsub_measures::Measure;
-use simsub_trajectory::{Mbr, Point, Trajectory};
+use simsub_trajectory::{CorpusArena, Mbr, Point, TrajView, Trajectory};
 use std::sync::Arc;
 
 /// How trajectories are assigned to shards.
@@ -98,34 +98,49 @@ impl ShardedDb {
     /// Panics when `shard_count` is zero or on duplicate trajectory ids
     /// (same contract as [`TrajectoryDb::build`]).
     pub fn build(trajs: Vec<Trajectory>, shard_count: usize, kind: PartitionerKind) -> Self {
+        Self::from_arena(CorpusArena::from_trajectories(&trajs), shard_count, kind)
+    }
+
+    /// Partitions a columnar arena into `shard_count` databases — the
+    /// reload path for packed binary corpora. Each shard gets its own
+    /// contiguous sub-arena ([`CorpusArena::gather`]); the partitioners
+    /// read ids and MBR centers straight from the arena tables, so the
+    /// resulting layout is bitwise identical to
+    /// [`ShardedDb::build`] over the same corpus.
+    ///
+    /// # Panics
+    /// Panics when `shard_count` is zero or on duplicate trajectory ids.
+    pub fn from_arena(arena: CorpusArena, shard_count: usize, kind: PartitionerKind) -> Self {
         assert!(shard_count >= 1, "need at least one shard");
-        let assignment: Vec<usize> = match kind {
-            PartitionerKind::Hash => trajs
-                .iter()
-                .map(|t| (mix64(t.id) % shard_count as u64) as usize)
-                .collect(),
-            PartitionerKind::Grid => grid_assignment(&trajs, shard_count),
-        };
-        let mut buckets: Vec<Vec<Trajectory>> = (0..shard_count).map(|_| Vec::new()).collect();
-        for (t, shard) in trajs.into_iter().zip(assignment) {
-            buckets[shard].push(t);
-        }
-        let shards: Vec<TrajectoryDb> = buckets.into_iter().map(TrajectoryDb::build).collect();
         // Duplicate ids across shards are impossible only if they were
-        // unique corpus-wide; per-shard build checks within a shard, so
-        // check across shards too.
-        let mut seen = std::collections::HashSet::new();
-        for shard in &shards {
-            for t in shard.trajectories() {
-                assert!(seen.insert(t.id), "duplicate trajectory id {}", t.id);
-            }
+        // unique corpus-wide: check before partitioning.
+        let mut seen = std::collections::HashSet::with_capacity(arena.len());
+        for &id in arena.ids() {
+            assert!(seen.insert(id), "duplicate trajectory id {id}");
         }
+        let assignment: Vec<usize> = match kind {
+            PartitionerKind::Hash => arena
+                .ids()
+                .iter()
+                .map(|&id| (mix64(id) % shard_count as u64) as usize)
+                .collect(),
+            PartitionerKind::Grid => grid_assignment(&arena, shard_count),
+        };
+        let mut buckets: Vec<Vec<usize>> = (0..shard_count).map(|_| Vec::new()).collect();
+        for (slot, shard) in assignment.into_iter().enumerate() {
+            buckets[shard].push(slot);
+        }
+        let shards: Vec<TrajectoryDb> = buckets
+            .into_iter()
+            .map(|slots| TrajectoryDb::from_arena(arena.gather(&slots)))
+            .collect();
         let shard_mbrs = shards
             .iter()
             .map(|s| {
-                s.trajectories()
+                s.arena()
+                    .mbrs()
                     .iter()
-                    .fold(Mbr::EMPTY, |acc, t| acc.union(t.mbr()))
+                    .fold(Mbr::EMPTY, |acc, &mbr| acc.union(mbr))
             })
             .collect();
         let len = shards.iter().map(TrajectoryDb::len).sum();
@@ -170,7 +185,7 @@ impl ShardedDb {
     }
 
     /// Lookup by id across shards.
-    pub fn get(&self, id: u64) -> Option<&Trajectory> {
+    pub fn get(&self, id: u64) -> Option<TrajView<'_>> {
         // Hash layouts know the owning shard; grid layouts probe each.
         if self.kind == PartitionerKind::Hash {
             return self.shards[(mix64(id) % self.shards.len() as u64) as usize].get(id);
@@ -548,17 +563,16 @@ fn mix64(mut x: u64) -> u64 {
 /// Grid assignment: bucket each trajectory by the cell of its MBR center
 /// in a `gx × gy` grid (`gx·gy ≥ shard_count`) over the bounding box of
 /// all centers; trailing cells fold into the last shard. Skewed corpora
-/// legitimately leave some shards empty.
-fn grid_assignment(trajs: &[Trajectory], shard_count: usize) -> Vec<usize> {
-    if trajs.is_empty() || shard_count == 1 {
-        return vec![0; trajs.len()];
+/// legitimately leave some shards empty. Centers come from the arena's
+/// precomputed MBR table — bitwise the values `Trajectory::mbr` yields.
+fn grid_assignment(arena: &CorpusArena, shard_count: usize) -> Vec<usize> {
+    if arena.is_empty() || shard_count == 1 {
+        return vec![0; arena.len()];
     }
-    let centers: Vec<(f64, f64)> = trajs
+    let centers: Vec<(f64, f64)> = arena
+        .mbrs()
         .iter()
-        .map(|t| {
-            let m = t.mbr();
-            ((m.min_x + m.max_x) / 2.0, (m.min_y + m.max_y) / 2.0)
-        })
+        .map(|m| ((m.min_x + m.max_x) / 2.0, (m.min_y + m.max_y) / 2.0))
         .collect();
     let (mut min_x, mut min_y) = (f64::INFINITY, f64::INFINITY);
     let (mut max_x, mut max_y) = (f64::NEG_INFINITY, f64::NEG_INFINITY);

@@ -11,8 +11,9 @@
 //! The incremental evaluator keeps the last DP row (length `m`), so
 //! `Φini = Φinc = O(m)` exactly as Table 1 requires.
 
+use crate::kernel::{self, fill_point_dists, load_query_soa, DpScratch};
 use crate::{similarity_from_distance, DistanceAggregate, Measure, PrefixEvaluator};
-use simsub_trajectory::Point;
+use simsub_trajectory::{Point, TrajView};
 
 /// The DTW measure. Stateless; one instance can serve any number of
 /// queries and threads.
@@ -140,15 +141,38 @@ impl Measure for Dtw {
     fn distance_aggregate(&self) -> Option<DistanceAggregate> {
         Some(DistanceAggregate::Sum)
     }
+
+    fn exact_best(
+        &self,
+        data: TrajView<'_>,
+        query: &[Point],
+        scratch: &mut DpScratch,
+    ) -> Option<(usize, usize, f64)> {
+        Some(kernel::exact_best_multi_start::<kernel::SumOp>(
+            data.xs(),
+            data.ys(),
+            query,
+            scratch,
+        ))
+    }
 }
 
 /// Incremental DTW row: after `init(p_i)` and `k` calls to `extend`, holds
 /// `D_{i+k, ·}` — the DP row for the subtrajectory `T[i, i+k]` against the
 /// full query.
+///
+/// The query is stored as SoA coordinate slices and every step first
+/// fills the point-distance vector `d[j] = d(p, q_j)` through the
+/// auto-vectorizable [`fill_point_dists`] kernel, then runs the serial DP
+/// recurrence over that buffer. Per-element arithmetic and the DP order
+/// match the scalar formulation exactly, so results are bit-identical
+/// (property-tested against a scalar reference below).
 #[derive(Debug, Clone)]
 pub struct DtwEvaluator {
-    query: Vec<Point>,
+    qx: Vec<f64>,
+    qy: Vec<f64>,
     row: Vec<f64>,
+    dist: Vec<f64>,
     initialized: bool,
 }
 
@@ -156,9 +180,13 @@ impl DtwEvaluator {
     /// Creates an evaluator for the given (non-empty) query.
     pub fn new(query: &[Point]) -> Self {
         assert!(!query.is_empty(), "query must be non-empty");
+        let (mut qx, mut qy) = (Vec::new(), Vec::new());
+        load_query_soa(query, &mut qx, &mut qy);
         Self {
-            query: query.to_vec(),
+            qx,
+            qy,
             row: vec![0.0; query.len()],
+            dist: vec![0.0; query.len()],
             initialized: false,
         }
     }
@@ -167,10 +195,11 @@ impl DtwEvaluator {
 impl PrefixEvaluator for DtwEvaluator {
     fn init(&mut self, p: Point) -> f64 {
         // Boundary i = 1: D_{1,j} = Σ_{k<=j} d(p, q_k).
+        fill_point_dists(&self.qx, &self.qy, p.x, p.y, &mut self.dist);
         let mut acc = 0.0;
-        for (j, q) in self.query.iter().enumerate() {
-            acc += p.dist(*q);
-            self.row[j] = acc;
+        for (r, &d) in self.row.iter_mut().zip(&self.dist) {
+            acc += d;
+            *r = acc;
         }
         self.initialized = true;
         self.similarity()
@@ -178,14 +207,16 @@ impl PrefixEvaluator for DtwEvaluator {
 
     fn extend(&mut self, p: Point) -> f64 {
         assert!(self.initialized, "extend before init");
+        fill_point_dists(&self.qx, &self.qy, p.x, p.y, &mut self.dist);
         // Boundary j = 1: D_{i,1} = Σ_{h<=i} d(p_h, q_1).
         let mut diag = self.row[0]; // D_{i-1, j-1} for the next column
-        self.row[0] += p.dist(self.query[0]);
-        for j in 1..self.query.len() {
-            let up = self.row[j]; // D_{i-1, j}
-            let left = self.row[j - 1]; // D_{i, j-1}, already updated
-            self.row[j] = p.dist(self.query[j]) + diag.min(up).min(left);
+        let mut left = self.row[0] + self.dist[0]; // D_{i, j-1}, register-carried
+        self.row[0] = left;
+        for (r, &d) in self.row[1..].iter_mut().zip(&self.dist[1..]) {
+            let up = *r; // D_{i-1, j}
+            *r = d + diag.min(up).min(left);
             diag = up;
+            left = *r;
         }
         self.similarity()
     }
@@ -204,10 +235,11 @@ impl PrefixEvaluator for DtwEvaluator {
 
     fn reset(&mut self, query: &[Point]) {
         assert!(!query.is_empty(), "query must be non-empty");
-        self.query.clear();
-        self.query.extend_from_slice(query);
+        load_query_soa(query, &mut self.qx, &mut self.qy);
         self.row.clear();
         self.row.resize(query.len(), 0.0);
+        self.dist.clear();
+        self.dist.resize(query.len(), 0.0);
         self.initialized = false;
     }
 }
@@ -240,6 +272,47 @@ mod tests {
 
     fn pts(v: &[(f64, f64)]) -> Vec<Point> {
         v.iter().map(|&(x, y)| Point::xy(x, y)).collect()
+    }
+
+    /// The pre-kernel scalar row evaluator (AoS query, distances computed
+    /// inline): the bitwise reference for the vectorized rewrite.
+    struct ScalarDtwReference {
+        query: Vec<Point>,
+        row: Vec<f64>,
+        distance: f64,
+    }
+
+    impl ScalarDtwReference {
+        fn new(query: &[Point]) -> Self {
+            Self {
+                query: query.to_vec(),
+                row: vec![0.0; query.len()],
+                distance: f64::INFINITY,
+            }
+        }
+
+        fn init(&mut self, p: Point) -> f64 {
+            let mut acc = 0.0;
+            for (j, q) in self.query.iter().enumerate() {
+                acc += p.dist(*q);
+                self.row[j] = acc;
+            }
+            self.distance = *self.row.last().unwrap();
+            similarity_from_distance(self.distance)
+        }
+
+        fn extend(&mut self, p: Point) -> f64 {
+            let mut diag = self.row[0];
+            self.row[0] += p.dist(self.query[0]);
+            for j in 1..self.query.len() {
+                let up = self.row[j];
+                let left = self.row[j - 1];
+                self.row[j] = p.dist(self.query[j]) + diag.min(up).min(left);
+                diag = up;
+            }
+            self.distance = *self.row.last().unwrap();
+            similarity_from_distance(self.distance)
+        }
     }
 
     fn arb_traj(max_len: usize) -> impl Strategy<Value = Vec<Point>> {
@@ -371,6 +444,33 @@ mod tests {
             let reused = ws.distance(&a, &b, band);
             let fresh = dtw_distance_banded(&a, &b, band);
             prop_assert_eq!(reused.to_bits(), fresh.to_bits());
+        }
+
+        #[test]
+        fn vectorized_evaluator_is_bit_identical_to_scalar(a in arb_traj(14), b in arb_traj(12)) {
+            // The slice-kernel evaluator (SoA query + hoisted distance
+            // row) must track the scalar AoS formulation bit for bit.
+            let mut fast = DtwEvaluator::new(&b);
+            let mut slow = ScalarDtwReference::new(&b);
+            prop_assert_eq!(fast.init(a[0]).to_bits(), slow.init(a[0]).to_bits());
+            for &p in &a[1..] {
+                prop_assert_eq!(fast.extend(p).to_bits(), slow.extend(p).to_bits());
+                prop_assert_eq!(fast.distance().to_bits(), slow.distance.to_bits());
+            }
+        }
+
+        #[test]
+        fn exact_best_kernel_is_bit_identical_to_scalar_sweep(
+            a in arb_traj(18), b in arb_traj(9),
+        ) {
+            let (xs, ys): (Vec<f64>, Vec<f64>) = a.iter().map(|p| (p.x, p.y)).unzip();
+            let ts = vec![0.0; a.len()];
+            let view = simsub_trajectory::TrajView::new(0, &xs, &ys, &ts);
+            let mut scratch = DpScratch::default();
+            let (start, end, sim) = Dtw.exact_best(view, &b, &mut scratch).expect("dtw kernel");
+            let (want_start, want_end, want_sim) = crate::kernel::scalar_exact_sweep(&Dtw, &a, &b);
+            prop_assert_eq!(sim.to_bits(), want_sim.to_bits());
+            prop_assert_eq!((start, end), (want_start, want_end), "tie-breaking must match");
         }
 
         #[test]

@@ -9,8 +9,9 @@
 //!
 //! Same row-rolling structure as DTW, so `Φini = Φinc = O(m)`.
 
+use crate::kernel::{self, fill_point_dists, load_query_soa, DpScratch};
 use crate::{similarity_from_distance, DistanceAggregate, Measure, PrefixEvaluator};
-use simsub_trajectory::Point;
+use simsub_trajectory::{Point, TrajView};
 
 /// The discrete Frechet measure.
 #[derive(Debug, Clone, Copy, Default)]
@@ -46,13 +47,33 @@ impl Measure for Frechet {
     fn distance_aggregate(&self) -> Option<DistanceAggregate> {
         Some(DistanceAggregate::Max)
     }
+
+    fn exact_best(
+        &self,
+        data: TrajView<'_>,
+        query: &[Point],
+        scratch: &mut DpScratch,
+    ) -> Option<(usize, usize, f64)> {
+        Some(kernel::exact_best_multi_start::<kernel::MaxOp>(
+            data.xs(),
+            data.ys(),
+            query,
+            scratch,
+        ))
+    }
 }
 
-/// Incremental Frechet row, mirroring [`crate::DtwEvaluator`].
+/// Incremental Frechet row, mirroring [`crate::DtwEvaluator`]: SoA query
+/// slices, the point-distance row hoisted into a reused buffer through
+/// the auto-vectorizable [`fill_point_dists`] kernel, then the serial DP
+/// recurrence — bit-identical to the scalar formulation (property-tested
+/// below).
 #[derive(Debug, Clone)]
 pub struct FrechetEvaluator {
-    query: Vec<Point>,
+    qx: Vec<f64>,
+    qy: Vec<f64>,
     row: Vec<f64>,
+    dist: Vec<f64>,
     initialized: bool,
 }
 
@@ -60,9 +81,13 @@ impl FrechetEvaluator {
     /// Creates an evaluator for the given (non-empty) query.
     pub fn new(query: &[Point]) -> Self {
         assert!(!query.is_empty(), "query must be non-empty");
+        let (mut qx, mut qy) = (Vec::new(), Vec::new());
+        load_query_soa(query, &mut qx, &mut qy);
         Self {
-            query: query.to_vec(),
+            qx,
+            qy,
             row: vec![0.0; query.len()],
+            dist: vec![0.0; query.len()],
             initialized: false,
         }
     }
@@ -71,10 +96,11 @@ impl FrechetEvaluator {
 impl PrefixEvaluator for FrechetEvaluator {
     fn init(&mut self, p: Point) -> f64 {
         // Boundary i = 1: F_{1,j} = max_{k<=j} d(p, q_k).
+        fill_point_dists(&self.qx, &self.qy, p.x, p.y, &mut self.dist);
         let mut acc: f64 = 0.0;
-        for (j, q) in self.query.iter().enumerate() {
-            acc = acc.max(p.dist(*q));
-            self.row[j] = acc;
+        for (r, &d) in self.row.iter_mut().zip(&self.dist) {
+            acc = acc.max(d);
+            *r = acc;
         }
         self.initialized = true;
         self.similarity()
@@ -82,14 +108,16 @@ impl PrefixEvaluator for FrechetEvaluator {
 
     fn extend(&mut self, p: Point) -> f64 {
         assert!(self.initialized, "extend before init");
+        fill_point_dists(&self.qx, &self.qy, p.x, p.y, &mut self.dist);
         // Boundary j = 1: F_{i,1} = max_{h<=i} d(p_h, q_1).
         let mut diag = self.row[0];
-        self.row[0] = self.row[0].max(p.dist(self.query[0]));
-        for j in 1..self.query.len() {
-            let up = self.row[j];
-            let left = self.row[j - 1];
-            self.row[j] = p.dist(self.query[j]).max(diag.min(up).min(left));
+        let mut left = self.row[0].max(self.dist[0]); // register-carried
+        self.row[0] = left;
+        for (r, &d) in self.row[1..].iter_mut().zip(&self.dist[1..]) {
+            let up = *r;
+            *r = d.max(diag.min(up).min(left));
             diag = up;
+            left = *r;
         }
         self.similarity()
     }
@@ -108,10 +136,11 @@ impl PrefixEvaluator for FrechetEvaluator {
 
     fn reset(&mut self, query: &[Point]) {
         assert!(!query.is_empty(), "query must be non-empty");
-        self.query.clear();
-        self.query.extend_from_slice(query);
+        load_query_soa(query, &mut self.qx, &mut self.qy);
         self.row.clear();
         self.row.resize(query.len(), 0.0);
+        self.dist.clear();
+        self.dist.resize(query.len(), 0.0);
         self.initialized = false;
     }
 }
@@ -144,6 +173,47 @@ mod tests {
 
     fn pts(v: &[(f64, f64)]) -> Vec<Point> {
         v.iter().map(|&(x, y)| Point::xy(x, y)).collect()
+    }
+
+    /// The pre-kernel scalar row evaluator: the bitwise reference for
+    /// the vectorized rewrite.
+    struct ScalarFrechetReference {
+        query: Vec<Point>,
+        row: Vec<f64>,
+        distance: f64,
+    }
+
+    impl ScalarFrechetReference {
+        fn new(query: &[Point]) -> Self {
+            Self {
+                query: query.to_vec(),
+                row: vec![0.0; query.len()],
+                distance: f64::INFINITY,
+            }
+        }
+
+        fn init(&mut self, p: Point) -> f64 {
+            let mut acc: f64 = 0.0;
+            for (j, q) in self.query.iter().enumerate() {
+                acc = acc.max(p.dist(*q));
+                self.row[j] = acc;
+            }
+            self.distance = *self.row.last().unwrap();
+            similarity_from_distance(self.distance)
+        }
+
+        fn extend(&mut self, p: Point) -> f64 {
+            let mut diag = self.row[0];
+            self.row[0] = self.row[0].max(p.dist(self.query[0]));
+            for j in 1..self.query.len() {
+                let up = self.row[j];
+                let left = self.row[j - 1];
+                self.row[j] = p.dist(self.query[j]).max(diag.min(up).min(left));
+                diag = up;
+            }
+            self.distance = *self.row.last().unwrap();
+            similarity_from_distance(self.distance)
+        }
     }
 
     fn arb_traj(max_len: usize) -> impl Strategy<Value = Vec<Point>> {
@@ -234,6 +304,35 @@ mod tests {
         fn dominated_by_dtw(a in arb_traj(12), b in arb_traj(12)) {
             // Frechet (max over coupling) <= DTW (sum over coupling).
             prop_assert!(frechet_distance(&a, &b) <= crate::dtw_distance(&a, &b) + 1e-9);
+        }
+
+        #[test]
+        fn vectorized_evaluator_is_bit_identical_to_scalar(a in arb_traj(14), b in arb_traj(12)) {
+            // The slice-kernel evaluator must track the scalar AoS
+            // formulation bit for bit.
+            let mut fast = FrechetEvaluator::new(&b);
+            let mut slow = ScalarFrechetReference::new(&b);
+            prop_assert_eq!(fast.init(a[0]).to_bits(), slow.init(a[0]).to_bits());
+            for &p in &a[1..] {
+                prop_assert_eq!(fast.extend(p).to_bits(), slow.extend(p).to_bits());
+                prop_assert_eq!(fast.distance().to_bits(), slow.distance.to_bits());
+            }
+        }
+
+        #[test]
+        fn exact_best_kernel_is_bit_identical_to_scalar_sweep(
+            a in arb_traj(18), b in arb_traj(9),
+        ) {
+            let (xs, ys): (Vec<f64>, Vec<f64>) = a.iter().map(|p| (p.x, p.y)).unzip();
+            let ts = vec![0.0; a.len()];
+            let view = simsub_trajectory::TrajView::new(0, &xs, &ys, &ts);
+            let mut scratch = DpScratch::default();
+            let (start, end, sim) =
+                Frechet.exact_best(view, &b, &mut scratch).expect("frechet kernel");
+            let (want_start, want_end, want_sim) =
+                crate::kernel::scalar_exact_sweep(&Frechet, &a, &b);
+            prop_assert_eq!(sim.to_bits(), want_sim.to_bits());
+            prop_assert_eq!((start, end), (want_start, want_end), "tie-breaking must match");
         }
     }
 }

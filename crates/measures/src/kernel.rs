@@ -1,0 +1,287 @@
+//! Slice-based DP kernels shared by the row-rolling measures (DTW,
+//! discrete Frechet).
+//!
+//! Two ideas, both **bit-identical** to the scalar evaluators they
+//! accelerate (property-tested in `dtw.rs`/`frechet.rs`):
+//!
+//! 1. **Hoisted distance rows.** The data point is lifted out of the DP
+//!    inner loop: the per-row point-distance vector `d[j] = d(p, q_j)` is
+//!    filled first by [`fill_point_dists`] — a 4-wide unrolled loop over
+//!    the query's SoA coordinate slices that LLVM auto-vectorizes
+//!    (`sqrtpd`) — and the serial DP recurrence then reads the buffer.
+//!    Every element is computed by exactly the arithmetic `Point::dist`
+//!    performs (`dx = px - qx; dy = py - qy; sqrt(dx² + dy²)`), and the
+//!    DP consumes them in the original order, so results cannot drift.
+//!
+//! 2. **Multi-start lockstep (the ExactS kernel).** ExactS sweeps one DP
+//!    row per start index; rows for different starts are *independent*,
+//!    so [`exact_best_multi_start`] advances [`LANES`] starts in lockstep
+//!    over the shared data stream. At global data index `j` all active
+//!    lanes need distances to the *same* point `p_j`, so one distance
+//!    row serves every lane, and the lane-interleaved row storage turns
+//!    the serial `min`/`add` recurrence into [`LANES`]-wide SIMD — the
+//!    dependency chain that bounds a single row amortizes across lanes.
+//!    Per-cell arithmetic and the tie-breaking scan order (ascending
+//!    start, then ascending end, strict improvement) are exactly those of
+//!    the scalar sweep, so the returned `(start, end, similarity)` is
+//!    bit-for-bit the scalar answer.
+
+use crate::similarity_from_distance;
+use simsub_trajectory::Point;
+
+/// Fills `out[j] = sqrt((px - qx[j])² + (py - qy[j])²)` — the DP row's
+/// point-distance vector. 4-wide unrolled; every lane is the exact
+/// arithmetic of [`Point::dist`], so element values are bit-identical to
+/// the scalar path whatever the compiler vectorizes.
+#[inline]
+pub fn fill_point_dists(qx: &[f64], qy: &[f64], px: f64, py: f64, out: &mut [f64]) {
+    debug_assert!(qx.len() == qy.len() && qx.len() == out.len());
+    // Bound-check-free zipped loop; elements are independent, so the
+    // compiler is free to unroll/vectorize — values stay bitwise the
+    // scalar arithmetic either way.
+    for ((&x, &y), o) in qx.iter().zip(qy).zip(out.iter_mut()) {
+        let dx = px - x;
+        let dy = py - y;
+        *o = (dx * dx + dy * dy).sqrt();
+    }
+}
+
+/// Splits an AoS query into SoA coordinate buffers (reused across calls).
+pub fn load_query_soa(query: &[Point], qx: &mut Vec<f64>, qy: &mut Vec<f64>) {
+    qx.clear();
+    qy.clear();
+    qx.extend(query.iter().map(|p| p.x));
+    qy.extend(query.iter().map(|p| p.y));
+}
+
+/// How a row-rolling measure combines the precomputed point distance with
+/// the DP neighborhood — the only piece that differs between DTW and
+/// discrete Frechet.
+pub(crate) trait DpOp {
+    /// Boundary recurrence for the first data point of a subtrajectory:
+    /// `acc' = boundary(acc, d)` with `acc` starting at 0.0
+    /// (DTW: running sum; Frechet: running max).
+    fn boundary(acc: f64, d: f64) -> f64;
+
+    /// Interior cell from the distance and `min(min(diag, up), left)`
+    /// (DTW: `d + best`; Frechet: `d.max(best)`).
+    fn cell(d: f64, best: f64) -> f64;
+}
+
+/// DTW: distances sum along the alignment.
+pub(crate) struct SumOp;
+
+impl DpOp for SumOp {
+    #[inline]
+    fn boundary(acc: f64, d: f64) -> f64 {
+        acc + d
+    }
+
+    #[inline]
+    fn cell(d: f64, best: f64) -> f64 {
+        d + best
+    }
+}
+
+/// Discrete Frechet: the maximum pair distance along the alignment.
+pub(crate) struct MaxOp;
+
+impl DpOp for MaxOp {
+    #[inline]
+    fn boundary(acc: f64, d: f64) -> f64 {
+        acc.max(d)
+    }
+
+    #[inline]
+    fn cell(d: f64, best: f64) -> f64 {
+        d.max(best)
+    }
+}
+
+/// Starts advanced in lockstep by the multi-start kernel. Four f64 lanes
+/// fill one AVX register (two SSE2 registers); the inner per-lane loops
+/// are written over contiguous `[f64; LANES]` groups so LLVM vectorizes
+/// them at either width.
+pub(crate) const LANES: usize = 4;
+
+/// Reusable buffers for the slice kernels: one allocation serves a whole
+/// corpus scan (held by `simsub_core::SearchWorkspace`).
+#[derive(Debug, Clone, Default)]
+pub struct DpScratch {
+    qx: Vec<f64>,
+    qy: Vec<f64>,
+    dist: Vec<f64>,
+    /// Lane-interleaved DP rows: `rows[jj * LANES + l]` is row cell `jj`
+    /// of lane `l`.
+    rows: Vec<f64>,
+}
+
+/// The best subtrajectory under a measure whose prefix DP is expressible
+/// as a [`DpOp`]: `(start, end, similarity)` with exactly the scalar
+/// ExactS sweep's values and tie-breaking.
+pub(crate) fn exact_best_multi_start<Op: DpOp>(
+    xs: &[f64],
+    ys: &[f64],
+    query: &[Point],
+    scratch: &mut DpScratch,
+) -> (usize, usize, f64) {
+    let n = xs.len();
+    let m = query.len();
+    assert!(n > 0 && m > 0, "inputs must be non-empty");
+    assert_eq!(n, ys.len(), "coordinate slabs must agree");
+    load_query_soa(query, &mut scratch.qx, &mut scratch.qy);
+    scratch.dist.resize(m, 0.0);
+    scratch.rows.resize(m * LANES, 0.0);
+    let dist = &mut scratch.dist[..m];
+    let rows = &mut scratch.rows[..m * LANES];
+
+    let mut best_sim = f64::NEG_INFINITY;
+    let mut best = (0usize, 0usize);
+    for group in (0..n).step_by(LANES) {
+        let lanes = LANES.min(n - group);
+        let mut lane_best_sim = [f64::NEG_INFINITY; LANES];
+        let mut lane_best_end = [0usize; LANES];
+        for j in group..n {
+            fill_point_dists(&scratch.qx, &scratch.qy, xs[j], ys[j], dist);
+            // Lane `l` covers start `group + l`: it initializes its row at
+            // j == group + l and extends on every later j.
+            let newly = j - group;
+            let extending = newly.min(lanes);
+            if extending == LANES {
+                extend_all_lanes::<Op>(rows, dist, m);
+            } else {
+                for l in 0..extending {
+                    extend_lane::<Op>(rows, l, dist, m);
+                }
+            }
+            if newly < lanes {
+                init_lane::<Op>(rows, newly, dist, m);
+            }
+            let active = if newly < lanes { newly + 1 } else { lanes };
+            for (l, (lane_sim, lane_end)) in lane_best_sim
+                .iter_mut()
+                .zip(lane_best_end.iter_mut())
+                .take(active)
+                .enumerate()
+            {
+                // Identical consult to the scalar sweep: the similarity of
+                // the row's last cell, strict improvement only.
+                let sim = similarity_from_distance(rows[(m - 1) * LANES + l]);
+                if sim > *lane_sim {
+                    *lane_sim = sim;
+                    *lane_end = j;
+                }
+            }
+        }
+        // Merging lane bests in ascending-lane order with strict `>`
+        // reproduces the scalar sweep's ascending-start tie preference.
+        for l in 0..lanes {
+            if lane_best_sim[l] > best_sim {
+                best_sim = lane_best_sim[l];
+                best = (group + l, lane_best_end[l]);
+            }
+        }
+    }
+    (best.0, best.1, best_sim)
+}
+
+/// Φini for lane `l`: the boundary recurrence over the distance row.
+#[inline]
+fn init_lane<Op: DpOp>(rows: &mut [f64], l: usize, dist: &[f64], m: usize) {
+    let mut acc = 0.0f64;
+    for jj in 0..m {
+        acc = Op::boundary(acc, dist[jj]);
+        rows[jj * LANES + l] = acc;
+    }
+}
+
+/// Φinc for lane `l` alone (group warmup and ragged tail groups).
+#[inline]
+fn extend_lane<Op: DpOp>(rows: &mut [f64], l: usize, dist: &[f64], m: usize) {
+    let mut diag = rows[l];
+    rows[l] = Op::cell(dist[0], rows[l]);
+    for jj in 1..m {
+        let up = rows[jj * LANES + l];
+        let left = rows[(jj - 1) * LANES + l];
+        rows[jj * LANES + l] = Op::cell(dist[jj], diag.min(up).min(left));
+        diag = up;
+    }
+}
+
+/// Φinc for all [`LANES`] lanes in lockstep: the per-`jj` lane loop runs
+/// over a contiguous `[f64; LANES]` group, so the serial `min`/`add`
+/// chain vectorizes across lanes; `diag`/`left` stay in registers.
+/// Per-cell arithmetic is exactly [`extend_lane`]'s.
+#[inline]
+fn extend_all_lanes<Op: DpOp>(rows: &mut [f64], dist: &[f64], m: usize) {
+    let mut diag = [0.0f64; LANES];
+    let mut left = [0.0f64; LANES];
+    let d0 = dist[0];
+    {
+        let r0: &mut [f64; LANES] = (&mut rows[..LANES]).try_into().expect("LANES cells");
+        for l in 0..LANES {
+            diag[l] = r0[l];
+            r0[l] = Op::cell(d0, r0[l]);
+            left[l] = r0[l];
+        }
+    }
+    let mut groups = rows[LANES..LANES * m].chunks_exact_mut(LANES);
+    for (row, &d) in (&mut groups).zip(&dist[1..m]) {
+        for l in 0..LANES {
+            let up = row[l];
+            row[l] = Op::cell(d, diag[l].min(up).min(left[l]));
+            diag[l] = up;
+            left[l] = row[l];
+        }
+    }
+}
+
+/// Test support: the scalar ExactS-style sweep through the public
+/// evaluator API — the bitwise (value *and* tie-breaking) reference for
+/// every `Measure::exact_best` kernel. Shared by the DTW and Frechet
+/// kernel proptests so the tie-breaking contract lives in one place.
+#[cfg(test)]
+pub(crate) fn scalar_exact_sweep(
+    measure: &dyn crate::Measure,
+    data: &[Point],
+    query: &[Point],
+) -> (usize, usize, f64) {
+    let mut eval = measure.make_workspace(query);
+    let mut best = (0usize, 0usize);
+    let mut best_sim = f64::NEG_INFINITY;
+    for i in 0..data.len() {
+        let mut sim = eval.init(data[i]);
+        if sim > best_sim {
+            best_sim = sim;
+            best = (i, i);
+        }
+        for (j, &p) in data.iter().enumerate().skip(i + 1) {
+            sim = eval.extend(p);
+            if sim > best_sim {
+                best_sim = sim;
+                best = (i, j);
+            }
+        }
+    }
+    (best.0, best.1, best_sim)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fill_point_dists_matches_point_dist() {
+        let query: Vec<Point> = (0..13)
+            .map(|i| Point::xy(i as f64 * 0.7 - 3.0, (i * i) as f64 * 0.1))
+            .collect();
+        let (mut qx, mut qy) = (Vec::new(), Vec::new());
+        load_query_soa(&query, &mut qx, &mut qy);
+        let p = Point::xy(1.25, -0.75);
+        let mut out = vec![0.0; query.len()];
+        fill_point_dists(&qx, &qy, p.x, p.y, &mut out);
+        for (j, q) in query.iter().enumerate() {
+            assert_eq!(out[j].to_bits(), p.dist(*q).to_bits(), "element {j}");
+        }
+    }
+}

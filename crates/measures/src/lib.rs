@@ -35,6 +35,7 @@ mod dtw;
 mod edr;
 mod erp;
 mod frechet;
+mod kernel;
 mod lcss;
 mod t2vec;
 
@@ -43,10 +44,11 @@ pub use dtw::{dtw_distance, dtw_distance_banded, BandedDtwWorkspace, Dtw, DtwEva
 pub use edr::{edr_distance, Edr, EdrEvaluator};
 pub use erp::{erp_distance, Erp, ErpEvaluator};
 pub use frechet::{frechet_distance, Frechet, FrechetEvaluator};
+pub use kernel::{fill_point_dists, load_query_soa, DpScratch};
 pub use lcss::{lcss_distance, lcss_length, Lcss, LcssEvaluator};
 pub use t2vec::{CoordNormalizer, T2Vec, T2VecConfig, T2VecEvaluator};
 
-use simsub_trajectory::Point;
+use simsub_trajectory::{Point, TrajView};
 
 /// Converts a dissimilarity (distance) into the similarity used throughout
 /// the search algorithms: `Θ = 1 / (1 + dist)`.
@@ -121,6 +123,29 @@ pub trait Measure: Send + Sync {
     /// `None` when no admissible MBR-based lower bound is known (the
     /// corpus scan then never prunes under this measure).
     fn distance_aggregate(&self) -> Option<DistanceAggregate> {
+        None
+    }
+
+    /// Optional slice kernel for the exhaustive best-subtrajectory sweep
+    /// (ExactS semantics): returns `(start, end, similarity)` of
+    /// `argmax_{i<=j} Θ(T[i, j], query)` over the columnar `data`, or
+    /// `None` when the measure has no specialized kernel (the caller then
+    /// runs the scalar prefix-evaluator sweep).
+    ///
+    /// **Contract:** an implementation must be *bit-identical* to the
+    /// scalar sweep — same similarity bits, same `(start, end)` under the
+    /// sweep's tie-breaking (ascending start, then ascending end, strict
+    /// improvement). DTW and discrete Frechet implement this through the
+    /// multi-start lockstep kernel in [`mod@self`]'s `kernel` module
+    /// (property-tested per measure); measures that cannot preserve the
+    /// contract must stay with the default `None`.
+    fn exact_best(
+        &self,
+        data: TrajView<'_>,
+        query: &[Point],
+        scratch: &mut DpScratch,
+    ) -> Option<(usize, usize, f64)> {
+        let _ = (data, query, scratch);
         None
     }
 }

@@ -45,9 +45,9 @@ use simsub_index::{PartitionerKind, ShardedDb, TrajectoryDb};
 use simsub_measures::{Dtw, Frechet, Measure, T2Vec};
 use simsub_nn::BinaryCodec;
 use simsub_rl::Policy;
-use simsub_trajectory::{Point, Trajectory};
+use simsub_trajectory::{CorpusArena, Point, Trajectory};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender, TryRecvError};
 use std::sync::{Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
@@ -195,20 +195,39 @@ impl CorpusSnapshot {
     }
 
     /// Assembles a snapshot from raw trajectories plus optional sharding
-    /// and model files — the *single* builder behind both `simsub serve`
-    /// startup and the admin `reload` command, so a served corpus and a
-    /// reloaded corpus of the same inputs can never diverge.
+    /// and model files — delegates to [`CorpusSnapshot::assemble_arena`]
+    /// through a bit-exact columnar copy, so CSV-served, reloaded, and
+    /// packed-binary corpora of the same points can never diverge.
     pub fn assemble(
         trajectories: Vec<Trajectory>,
         layout: Option<(usize, PartitionerKind)>,
         policy: Option<(&std::path::Path, MdpConfig)>,
         t2vec: Option<&std::path::Path>,
     ) -> Result<Self, String> {
+        Self::assemble_arena(
+            CorpusArena::from_trajectories(&trajectories),
+            layout,
+            policy,
+            t2vec,
+        )
+    }
+
+    /// Assembles a snapshot straight from a columnar [`CorpusArena`] —
+    /// the *single* builder behind `simsub serve` startup, the admin
+    /// `reload` command, and the packed-binary corpus path
+    /// (`--corpus-bin` / `"corpus_bin"`): the arena's slabs become the
+    /// database storage with no per-trajectory materialization.
+    pub fn assemble_arena(
+        arena: CorpusArena,
+        layout: Option<(usize, PartitionerKind)>,
+        policy: Option<(&std::path::Path, MdpConfig)>,
+        t2vec: Option<&std::path::Path>,
+    ) -> Result<Self, String> {
         let mut snapshot = match layout {
             Some((shards, partitioner)) if shards >= 1 => CorpusSnapshot::sharded(
-                ShardedDb::build(trajectories, shards, partitioner).into_shared(),
+                ShardedDb::from_arena(arena, shards, partitioner).into_shared(),
             ),
-            _ => CorpusSnapshot::new(TrajectoryDb::build(trajectories).into_shared()),
+            _ => CorpusSnapshot::new(TrajectoryDb::from_arena(arena).into_shared()),
         };
         if let Some((path, mdp)) = policy {
             let policy =
@@ -343,7 +362,21 @@ impl EpochSnapshot {
     /// generation are therefore unreachable the moment a swap lands —
     /// the same extension scheme layout versioning already uses.
     pub fn cache_key(&self, request: &QueryRequest) -> u64 {
-        crate::query::mix_key(self.snapshot.cache_key(request), self.epoch)
+        self.cache_key_under(request, None)
+    }
+
+    /// [`EpochSnapshot::cache_key`] with the opt-in quantized
+    /// canonical-hash layer: `mix(mix(canonical_under(q), layout),
+    /// epoch)`. Only the innermost canonical layer quantizes — the
+    /// layout and epoch mixes are byte-for-byte the exact mode's, so
+    /// quantized entries can never be replayed across a shard-layout
+    /// change or a snapshot swap (the PR 4 cache-key contract).
+    pub fn cache_key_under(&self, request: &QueryRequest, quantize: Option<f64>) -> u64 {
+        let canonical = request.canonical_key_under(quantize);
+        crate::query::mix_key(
+            crate::query::mix_key(canonical, self.snapshot.corpus.layout_version()),
+            self.epoch,
+        )
     }
 }
 
@@ -428,6 +461,17 @@ pub struct EngineConfig {
     /// through [`QueryEngine::configure`] / the admin `configure`
     /// command.
     pub default_k: usize,
+    /// Opt-in quantized result-cache keys: with `Some(q)` (a quantum in
+    /// corpus coordinate units, finite and > 0), query coordinates hash
+    /// and compare by their `q`-sized quantization cell instead of exact
+    /// bits, so distinct-but-near queries share cache entries. **This is
+    /// an approximation**: a hit may return the answer computed for a
+    /// query whose points each differ by up to ~`q/2` per axis — see the
+    /// accuracy contract in the `server` module docs. Only the canonical
+    /// hash layer quantizes; the layout/epoch key mixes are untouched, so
+    /// reloads and re-sharding still invalidate as in exact mode. `None`
+    /// (default) keeps byte-exact caching.
+    pub cache_key_quantize: Option<f64>,
 }
 
 impl Default for EngineConfig {
@@ -438,6 +482,7 @@ impl Default for EngineConfig {
             cache_capacity: 4096,
             prune: simsub_core::pruning_enabled(),
             default_k: 1,
+            cache_key_quantize: None,
         }
     }
 }
@@ -445,7 +490,7 @@ impl Default for EngineConfig {
 /// A partial update for the live-tunable engine knobs (`None` = leave
 /// unchanged); applied by [`QueryEngine::configure`] and the admin
 /// `{"cmd":"configure",...}` wire command.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct ConfigUpdate {
     /// Toggle the lower-bound cascade on cold scans (answers are
     /// byte-identical either way).
@@ -457,10 +502,15 @@ pub struct ConfigUpdate {
     pub cache_capacity: Option<usize>,
     /// Default `k` for wire requests that omit it (≥ 1).
     pub default_k: Option<usize>,
+    /// Quantized cache-key quantum: `Some(q)` with `q > 0` enables,
+    /// `Some(0.0)` disables (back to exact keys), `None` leaves
+    /// unchanged. Changing the quantum reshapes every key, so existing
+    /// entries simply stop being reachable (they age out via LRU).
+    pub cache_key_quantize: Option<f64>,
 }
 
 /// Point-in-time view of the live engine configuration.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ConfigView {
     /// Worker threads (fixed at start).
     pub workers: usize,
@@ -474,6 +524,8 @@ pub struct ConfigView {
     pub prune: bool,
     /// Default `k` for wire requests that omit it.
     pub default_k: usize,
+    /// The quantized cache-key quantum, `None` when keys are exact.
+    pub cache_key_quantize: Option<f64>,
 }
 
 /// A submitted request's pending answer.
@@ -516,6 +568,17 @@ struct Runtime {
     prune: AtomicBool,
     max_batch: AtomicUsize,
     default_k: AtomicUsize,
+    /// Quantized cache-key quantum as f64 bits; `0.0` (bit pattern 0)
+    /// means exact keys.
+    cache_key_quantize: AtomicU64,
+}
+
+impl Runtime {
+    /// The current quantized-key quantum, `None` for exact keys.
+    fn quantize(&self) -> Option<f64> {
+        let q = f64::from_bits(self.cache_key_quantize.load(Ordering::Relaxed));
+        (q > 0.0).then_some(q)
+    }
 }
 
 struct Inner {
@@ -545,6 +608,12 @@ impl QueryEngine {
         assert!(config.workers >= 1, "need at least one worker");
         assert!(config.max_batch >= 1, "max_batch must be positive");
         assert!(config.default_k >= 1, "default_k must be positive");
+        if let Some(q) = config.cache_key_quantize {
+            assert!(
+                q.is_finite() && q > 0.0,
+                "cache_key_quantize must be finite and positive"
+            );
+        }
         let (tx, rx) = channel();
         let cores = std::thread::available_parallelism().map_or(1, usize::from);
         let shard_threads = (cores / config.workers).max(1);
@@ -556,6 +625,9 @@ impl QueryEngine {
                 prune: AtomicBool::new(config.prune),
                 max_batch: AtomicUsize::new(config.max_batch),
                 default_k: AtomicUsize::new(config.default_k),
+                cache_key_quantize: AtomicU64::new(
+                    config.cache_key_quantize.unwrap_or(0.0).to_bits(),
+                ),
             },
             workers: config.workers,
             queue: Mutex::new(rx),
@@ -596,7 +668,7 @@ impl QueryEngine {
 
         let (reply_tx, reply_rx) = channel();
         let job = Job {
-            key: admitted.cache_key(&request),
+            key: admitted.cache_key_under(&request, self.inner.runtime.quantize()),
             admitted,
             request,
             submitted: Instant::now(),
@@ -684,6 +756,13 @@ impl QueryEngine {
                 "default_k must be positive".into(),
             ));
         }
+        if let Some(q) = update.cache_key_quantize {
+            if !q.is_finite() || q < 0.0 {
+                return Err(ServiceError::InvalidRequest(
+                    "cache_key_quantize must be finite and >= 0 (0 disables)".into(),
+                ));
+            }
+        }
         if let Some(prune) = update.prune {
             self.inner.runtime.prune.store(prune, Ordering::Relaxed);
         }
@@ -698,6 +777,12 @@ impl QueryEngine {
                 .runtime
                 .default_k
                 .store(default_k, Ordering::Relaxed);
+        }
+        if let Some(q) = update.cache_key_quantize {
+            self.inner
+                .runtime
+                .cache_key_quantize
+                .store(q.to_bits(), Ordering::Relaxed);
         }
         if let Some(capacity) = update.cache_capacity {
             let mut cache = self.inner.cache.lock().expect("cache lock poisoned");
@@ -720,6 +805,7 @@ impl QueryEngine {
             cache_len,
             prune: self.inner.runtime.prune.load(Ordering::Relaxed),
             default_k: self.inner.runtime.default_k.load(Ordering::Relaxed),
+            cache_key_quantize: self.inner.runtime.quantize(),
         }
     }
 
@@ -783,17 +869,21 @@ struct UniqueEntry {
 fn process_batch(inner: &Inner, jobs: Vec<Job>, batch_size: usize) {
     // Pass 1: answer cache hits, dedupe identical misses. Key matches are
     // never trusted alone — the stored/deduped request must also be
-    // canonically equal (and, for dedup, admitted under the same epoch),
-    // or the entry is treated as a miss (hash collisions must not
-    // cross-contaminate answers, not even across a swap boundary).
+    // canonically equal under the current quantization mode (and, for
+    // dedup, admitted under the same epoch), or the entry is treated as
+    // a miss (hash collisions must not cross-contaminate answers, not
+    // even across a swap boundary).
+    let quantize = inner.runtime.quantize();
     let mut unique: Vec<UniqueEntry> = Vec::new();
     let mut slot_of_key: HashMap<u64, usize> = HashMap::new();
     {
         let mut cache = inner.cache.lock().expect("cache lock poisoned");
         for job in jobs {
-            let hit = cache
-                .get(&job.key)
-                .filter(|entry| entry.request.canonically_equal(&job.request));
+            let hit = cache.get(&job.key).filter(|entry| {
+                entry
+                    .request
+                    .canonically_equal_under(&job.request, quantize)
+            });
             if let Some(entry) = hit {
                 let results = Arc::clone(&entry.results);
                 respond(inner, job, results, true, batch_size);
@@ -801,7 +891,9 @@ fn process_batch(inner: &Inner, jobs: Vec<Job>, batch_size: usize) {
             }
             match slot_of_key.get(&job.key) {
                 Some(&slot)
-                    if unique[slot].request.canonically_equal(&job.request)
+                    if unique[slot]
+                        .request
+                        .canonically_equal_under(&job.request, quantize)
                         && unique[slot].admitted.epoch == job.admitted.epoch =>
                 {
                     unique[slot].jobs.push(job);
@@ -935,7 +1027,7 @@ mod tests {
             unreachable!("test snapshots are single")
         };
         QueryRequest {
-            query: db.trajectories()[0].points()[..6].to_vec(),
+            query: db.view(0).to_points()[..6].to_vec(),
             algo: AlgoSpec::Exact,
             measure: MeasureSpec::Dtw,
             k: 2,
@@ -996,6 +1088,41 @@ mod tests {
     }
 
     #[test]
+    fn quantized_keys_hit_near_queries_but_never_cross_epochs() {
+        let engine = QueryEngine::start(
+            snapshot(8, 11),
+            EngineConfig {
+                workers: 1,
+                cache_key_quantize: Some(0.05),
+                ..EngineConfig::default()
+            },
+        );
+        let base = request(engine.current().snapshot());
+        assert!(!engine.query(base.clone()).unwrap().cached);
+
+        // A distinct-but-near query (well inside the quantum) hits the
+        // cached answer...
+        let mut near = base.clone();
+        near.query[0].x += 1e-6;
+        assert_ne!(near.canonical_key(), base.canonical_key());
+        let hit = engine.query(near.clone()).unwrap();
+        assert!(hit.cached, "near query must share the quantized entry");
+
+        // ...while a far query (different cell) computes cold.
+        let mut far = base.clone();
+        far.query[0].x += 10.0;
+        assert!(!engine.query(far).unwrap().cached);
+
+        // A swap bumps the epoch layer (untouched by quantization): the
+        // same near query can never replay the old epoch's entry.
+        engine.swap_snapshot(snapshot(8, 11));
+        let post_swap = engine.query(near).unwrap();
+        assert!(!post_swap.cached, "quantized entries die with their epoch");
+        assert_eq!(post_swap.epoch, 2);
+        engine.shutdown();
+    }
+
+    #[test]
     fn configure_applies_and_validates() {
         let engine = QueryEngine::start(
             snapshot(6, 5),
@@ -1013,13 +1140,24 @@ mod tests {
                 max_batch: Some(4),
                 cache_capacity: Some(2),
                 default_k: Some(7),
+                cache_key_quantize: Some(0.25),
             })
             .unwrap();
         assert!(!view.prune);
         assert_eq!(view.max_batch, 4);
         assert_eq!(view.cache_capacity, 2);
         assert_eq!(view.default_k, 7);
+        assert_eq!(view.cache_key_quantize, Some(0.25));
         assert_eq!(engine.default_k(), 7);
+
+        // Quantum 0 switches back to exact keys.
+        let view = engine
+            .configure(ConfigUpdate {
+                cache_key_quantize: Some(0.0),
+                ..ConfigUpdate::default()
+            })
+            .unwrap();
+        assert_eq!(view.cache_key_quantize, None);
 
         for bad in [
             ConfigUpdate {
@@ -1028,6 +1166,14 @@ mod tests {
             },
             ConfigUpdate {
                 default_k: Some(0),
+                ..ConfigUpdate::default()
+            },
+            ConfigUpdate {
+                cache_key_quantize: Some(-1.0),
+                ..ConfigUpdate::default()
+            },
+            ConfigUpdate {
+                cache_key_quantize: Some(f64::NAN),
                 ..ConfigUpdate::default()
             },
         ] {

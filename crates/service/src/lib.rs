@@ -37,7 +37,7 @@
 //!     EngineConfig { workers: 2, ..EngineConfig::default() },
 //! );
 //!
-//! let query: Vec<_> = db.get(3).unwrap().points()[..8].to_vec();
+//! let query: Vec<_> = db.get(3).unwrap().to_points()[..8].to_vec();
 //! let request = QueryRequest {
 //!     query: query.clone(),
 //!     algo: AlgoSpec::Exact,

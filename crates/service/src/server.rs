@@ -52,21 +52,55 @@
 //!   "max_batch":M,"cache_capacity":C,"cache_len":E,"default_k":K,
 //!   "rls_loaded":B,"t2vec_loaded":B,"swaps":N,"build":"x.y.z",
 //!   "protocol":[1,2]}` — what is serving right now.
-//! - `{"cmd":"reload","corpus":"/path/to.csv"}` (optional: `"shards":N`,
-//!   `"partitioner":"hash|grid"`, `"policy":"/path"`, `"t2vec":"/path"`,
-//!   `"skip":N`, `"suffix":false`) → builds a fresh snapshot
-//!   server-side and atomically swaps it in:
+//! - `{"cmd":"reload","corpus":"/path/to.csv"}` **or**
+//!   `{"cmd":"reload","corpus_bin":"/path/to.ssb"}` (optional:
+//!   `"shards":N`, `"partitioner":"hash|grid"`, `"policy":"/path"`,
+//!   `"t2vec":"/path"`, `"skip":N`, `"suffix":false`) → builds a fresh
+//!   snapshot server-side and atomically swaps it in:
 //!   `{"ok":true,"reloaded":true,"previous_epoch":N,"epoch":N+1,
 //!   "cache_evicted":E,"trajectories":T,"points":P,"shards":S}`.
-//!   In-flight queries finish against the old snapshot; queries admitted
-//!   after the swap see the new one. Nothing restarts, no connection
-//!   drops.
+//!   `corpus_bin` names a *packed* binary corpus (`simsub corpus pack`):
+//!   its payload is the columnar arena's slabs, so the reload is one
+//!   buffered read + validation instead of a CSV re-parse, and answers
+//!   are byte-identical to serving the CSV it was packed from. Exactly
+//!   one of `corpus`/`corpus_bin` must be present. In-flight queries
+//!   finish against the old snapshot; queries admitted after the swap
+//!   see the new one. Nothing restarts, no connection drops.
 //! - `{"cmd":"configure"}` with any of `"prune":bool`, `"max_batch":N`,
-//!   `"cache_capacity":N`, `"default_k":N` → applies the knobs live and
-//!   answers `{"ok":true,"configured":true,...}` echoing the full
-//!   effective configuration.
+//!   `"cache_capacity":N`, `"default_k":N`, `"cache_key_quantize":Q` →
+//!   applies the knobs live and answers
+//!   `{"ok":true,"configured":true,...}` echoing the full effective
+//!   configuration.
 //!
 //! Unknown `"cmd"` values are errors, so clients can feature-probe.
+//!
+//! ## Quantized cache keys — accuracy contract
+//!
+//! `"cache_key_quantize": Q` (finite, `Q > 0`; `0` reverts to exact)
+//! switches the result cache to **quantized keys**: query coordinates
+//! hash and verify by their `Q`-sized quantization cell
+//! (`round(coord / Q)`) instead of exact bit patterns, so
+//! distinct-but-near queries share one cache entry.
+//!
+//! - **What you gain:** repeat traffic that jitters by less than ~`Q/2`
+//!   per coordinate (GPS noise, re-sampled clients) stops paying cold
+//!   scans. The `stats` command's prune/cache counters quantify the
+//!   trade on live traffic.
+//! - **What you give up:** a hit may return the answer computed for a
+//!   *different* query whose points each lie in the same `Q`-cell —
+//!   i.e. per-point error up to `Q/√2` in the plane. Distances reported
+//!   by DTW-family measures over `m` query points then differ by at most
+//!   `m·Q·√2` from the exact answer (Frechet: `Q·√2`), and the returned
+//!   ranges/ids are those of the cell-mate query. Pick `Q` well below
+//!   the coordinate scale at which your application distinguishes
+//!   queries; `0` restores byte-exact answers.
+//! - **What never changes:** only the canonical-hash layer quantizes.
+//!   The layout-version and epoch mixes of every cache key (the PR 4
+//!   contract: `mix(mix(canonical, layout_version), epoch)`) stay exact,
+//!   so quantized entries are invalidated by re-sharding and live
+//!   reloads precisely like exact ones, and cold (uncached) scans are
+//!   computed from the *actual* request — quantization never perturbs a
+//!   search, only cache identity.
 
 use crate::engine::{ConfigUpdate, CorpusSnapshot, QueryEngine};
 use crate::json::{obj, Json, ProtocolVersion};
@@ -353,6 +387,10 @@ fn admin_info(engine: &QueryEngine) -> Json {
         ("cache_capacity", Json::Num(config.cache_capacity as f64)),
         ("cache_len", Json::Num(config.cache_len as f64)),
         ("default_k", Json::Num(config.default_k as f64)),
+        (
+            "cache_key_quantize",
+            Json::Num(config.cache_key_quantize.unwrap_or(0.0)),
+        ),
         ("rls_loaded", Json::Bool(snapshot.has_rls())),
         ("t2vec_loaded", Json::Bool(snapshot.has_t2vec())),
         ("swaps", Json::Num(stats.swaps as f64)),
@@ -383,17 +421,36 @@ fn admin_reload(engine: &QueryEngine, parsed: &Json) -> Json {
     }
 }
 
-/// Decodes the snapshot a `reload` describes — corpus CSV (mandatory),
+/// Decodes the snapshot a `reload` describes — a corpus (CSV via
+/// `"corpus"` or packed binary via `"corpus_bin"`, exactly one),
 /// optional sharding, optional RLS policy / t2vec model files — and
-/// hands assembly to [`CorpusSnapshot::assemble`], the same builder
-/// `simsub serve` starts from.
+/// hands assembly to [`CorpusSnapshot::assemble_arena`], the same
+/// builder `simsub serve` starts from.
 fn build_snapshot(parsed: &Json) -> Result<CorpusSnapshot, String> {
-    let corpus_path = parsed
-        .get("corpus")
-        .and_then(Json::as_str)
-        .ok_or("reload needs a \"corpus\" file path")?;
-    let trajectories = simsub_data::read_csv_file(Path::new(corpus_path))
-        .map_err(|e| format!("reading {corpus_path}: {e}"))?;
+    let corpus_path = parsed.get("corpus").map(|v| {
+        v.as_str()
+            .ok_or_else(|| "\"corpus\" must be a file path".to_string())
+    });
+    let bin_path = parsed.get("corpus_bin").map(|v| {
+        v.as_str()
+            .ok_or_else(|| "\"corpus_bin\" must be a file path".to_string())
+    });
+    let arena = match (corpus_path, bin_path) {
+        (Some(_), Some(_)) => {
+            return Err("reload takes either \"corpus\" or \"corpus_bin\", not both".into())
+        }
+        (None, None) => return Err("reload needs a \"corpus\" or \"corpus_bin\" file path".into()),
+        (Some(csv), None) => {
+            let csv = csv?;
+            let trajectories = simsub_data::read_csv_file(Path::new(csv))
+                .map_err(|e| format!("reading {csv}: {e}"))?;
+            simsub_trajectory::CorpusArena::from_trajectories(&trajectories)
+        }
+        (None, Some(bin)) => {
+            let bin = bin?;
+            simsub_data::read_bin_file(Path::new(bin)).map_err(|e| format!("reading {bin}: {e}"))?
+        }
+    };
     let shards = match parsed.get("shards") {
         None => 0,
         Some(v) => v
@@ -433,8 +490,8 @@ fn build_snapshot(parsed: &Json) -> Result<CorpusSnapshot, String> {
     };
     let policy = path_field("policy")?;
     let t2vec = path_field("t2vec")?;
-    CorpusSnapshot::assemble(
-        trajectories,
+    CorpusSnapshot::assemble_arena(
+        arena,
         (shards >= 1).then_some((shards, partitioner)),
         policy.map(|p| (Path::new(p), mdp)),
         t2vec.map(Path::new),
@@ -460,6 +517,13 @@ fn admin_configure(engine: &QueryEngine, parsed: &Json) -> Json {
             None => return error_response("\"prune\" must be a boolean"),
         },
     };
+    let cache_key_quantize = match parsed.get("cache_key_quantize") {
+        None => None,
+        Some(v) => match v.as_f64() {
+            Some(q) => Some(q),
+            None => return error_response("\"cache_key_quantize\" must be a number (0 disables)"),
+        },
+    };
     let update = ConfigUpdate {
         prune,
         max_batch: match field_usize("max_batch") {
@@ -474,11 +538,12 @@ fn admin_configure(engine: &QueryEngine, parsed: &Json) -> Json {
             Ok(v) => v,
             Err(e) => return error_response(&e),
         },
+        cache_key_quantize,
     };
     if update == ConfigUpdate::default() {
         return error_response(
             "configure needs at least one of \"prune\", \"max_batch\", \
-             \"cache_capacity\", \"default_k\"",
+             \"cache_capacity\", \"default_k\", \"cache_key_quantize\"",
         );
     }
     match engine.configure(update) {
@@ -490,6 +555,10 @@ fn admin_configure(engine: &QueryEngine, parsed: &Json) -> Json {
             ("cache_capacity", Json::Num(view.cache_capacity as f64)),
             ("cache_len", Json::Num(view.cache_len as f64)),
             ("default_k", Json::Num(view.default_k as f64)),
+            (
+                "cache_key_quantize",
+                Json::Num(view.cache_key_quantize.unwrap_or(0.0)),
+            ),
             ("workers", Json::Num(view.workers as f64)),
         ]),
         Err(e) => error_response(&e.to_string()),

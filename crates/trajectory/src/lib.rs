@@ -12,13 +12,17 @@
 //! - [`Point`]: a time-stamped 2-D location,
 //! - [`Trajectory`]: an owned point sequence with subtrajectory views,
 //! - [`Mbr`]: minimum bounding rectangles used by the R-tree index,
-//! - [`SubtrajRange`]: an inclusive index range identifying a subtrajectory.
+//! - [`SubtrajRange`]: an inclusive index range identifying a subtrajectory,
+//! - [`CorpusArena`] / [`TrajView`]: columnar (SoA) corpus storage and the
+//!   borrowed zero-copy views the scan hot path runs on.
 
+mod arena;
 mod mbr;
 mod point;
 mod range;
 mod traj;
 
+pub use arena::{ArenaError, CorpusArena, PointSeq, TrajView};
 pub use mbr::Mbr;
 pub use point::Point;
 pub use range::SubtrajRange;

@@ -84,11 +84,7 @@ fn main() {
     // The planted hosts (ids of slots 100, 200) and the source (7) should
     // dominate the ranking.
     let top_ids: Vec<u64> = hits.iter().map(|h| h.trajectory_id).collect();
-    let expected: Vec<u64> = vec![
-        db.trajectories()[7].id,
-        db.trajectories()[100].id,
-        db.trajectories()[200].id,
-    ];
+    let expected: Vec<u64> = vec![db.view(7).id, db.view(100).id, db.view(200).id];
     let found = expected.iter().filter(|id| top_ids.contains(id)).count();
     println!("\n{found}/3 planted detour carriers appear in the top-5.");
     assert!(found >= 2, "expected the planted detours to rank highly");

@@ -44,9 +44,9 @@ fn main() {
             let engine = Arc::clone(&engine);
             let db = Arc::clone(&db);
             std::thread::spawn(move || {
-                let source = &db.trajectories()[if i % 2 == 0 { 0 } else { i % db.len() }];
+                let source = db.view(if i % 2 == 0 { 0 } else { i % db.len() });
                 let request = QueryRequest {
-                    query: source.points()[..12.min(source.len())].to_vec(),
+                    query: source.to_points()[..12.min(source.len())].to_vec(),
                     algo: AlgoSpec::Pss,
                     measure: MeasureSpec::Dtw,
                     k: 5,
@@ -62,11 +62,11 @@ fn main() {
         let (i, response) = handle.join().expect("client thread");
         // The sharded engine's answer equals the offline single-database
         // search, bit for bit.
-        let source = &db.trajectories()[if i % 2 == 0 { 0 } else { i % db.len() }];
+        let source = db.view(if i % 2 == 0 { 0 } else { i % db.len() });
         let offline = db.top_k(
             &Pss,
             &Dtw,
-            &source.points()[..12.min(source.len())],
+            &source.to_points()[..12.min(source.len())],
             5,
             true,
         );
@@ -113,7 +113,7 @@ fn main() {
         "hot-swapped to {} trajectories: epoch {} -> {}, {} stale cache entries purged",
         report.trajectories, report.previous_epoch, report.epoch, report.cache_evicted
     );
-    let query = fresh_db.trajectories()[0].points()[..10].to_vec();
+    let query = fresh_db.view(0).to_points()[..10].to_vec();
     let response = engine
         .query(QueryRequest {
             query: query.clone(),

@@ -16,7 +16,9 @@
 use simsub::core::{
     train_rls, ExactS, MdpConfig, Pos, PosD, Pss, Rls, RlsTrainConfig, SizeS, Spring, SubtrajSearch,
 };
-use simsub::data::{generate, read_csv_file, write_csv_file, DatasetSpec};
+use simsub::data::{
+    generate, read_bin_file, read_csv_file, write_bin_file, write_csv_file, DatasetSpec,
+};
 use simsub::index::{PartitionerKind, ShardedDb, TrajectoryDb};
 use simsub::measures::{Dtw, Frechet, Measure, T2Vec, T2VecConfig};
 use simsub::nn::BinaryCodec;
@@ -25,7 +27,7 @@ use simsub::service::{
     json::Json, server::handle_admin_command, CorpusSnapshot, EngineConfig, QueryEngine, Server,
     StopHandle,
 };
-use simsub::trajectory::Trajectory;
+use simsub::trajectory::{CorpusArena, Trajectory};
 use std::path::PathBuf;
 use std::process::exit;
 use std::sync::Arc;
@@ -36,8 +38,8 @@ fn main() {
         usage();
         exit(2);
     };
-    // `admin` takes a positional action before its flags; everything else
-    // is pure `--flag value` pairs.
+    // `admin` and `corpus` take a positional action before their flags;
+    // everything else is pure `--flag value` pairs.
     let result = if cmd == "admin" {
         match rest.split_first() {
             Some((action, admin_rest)) => match Flags::parse(admin_rest) {
@@ -48,6 +50,17 @@ fn main() {
                 }
             },
             None => Err("admin needs an action: info|stats|ping|reload|configure|shutdown".into()),
+        }
+    } else if cmd == "corpus" {
+        match rest.split_first() {
+            Some((action, corpus_rest)) => match Flags::parse(corpus_rest) {
+                Ok(flags) => cmd_corpus(action, &flags),
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    exit(2);
+                }
+            },
+            None => Err("corpus needs an action: pack|info".into()),
         }
     } else {
         let flags = match Flags::parse(rest) {
@@ -82,26 +95,29 @@ fn usage() {
         "simsub <command> [flags]\n\
          commands:\n\
          \x20 generate     --dataset porto|harbin|sports --count N [--seed S] --out FILE.csv\n\
+         \x20 corpus       pack --corpus FILE.csv --out FILE.ssb   # packed binary corpus\n\
+         \x20 corpus       info (--corpus FILE.csv | --corpus-bin FILE.ssb)\n\
          \x20 train-t2vec  --corpus FILE.csv [--steps N] [--hidden D] --out MODEL.ssub\n\
          \x20 train        --corpus FILE.csv --measure dtw|frechet|t2vec [--t2vec MODEL.ssub]\n\
          \x20              [--episodes N] [--skip K] [--no-suffix] --out POLICY.ssub\n\
          \x20 search       --corpus FILE.csv --data-id ID --query FILE.csv\n\
          \x20              --algo exact|sizes|pss|pos|posd|spring|rls --measure ...\n\
          \x20              [--policy POLICY.ssub] [--t2vec MODEL.ssub]\n\
-         \x20 topk         --corpus FILE.csv --query FILE.csv --k N --algo ... --measure ...\n\
-         \x20              [--index rtree|none] [--threads T] [--no-prune]\n\
-         \x20              [--shards N] [--partitioner hash|grid]\n\
-         \x20 serve        --corpus FILE.csv [--addr HOST:PORT] [--workers N] [--batch B]\n\
-         \x20              [--cache N] [--default-k N] [--policy POLICY.ssub] [--t2vec MODEL.ssub]\n\
+         \x20 topk         (--corpus FILE.csv | --corpus-bin FILE.ssb) --query FILE.csv --k N\n\
+         \x20              --algo ... --measure ... [--index rtree|none] [--threads T]\n\
+         \x20              [--no-prune] [--shards N] [--partitioner hash|grid]\n\
+         \x20 serve        (--corpus FILE.csv | --corpus-bin FILE.ssb) [--addr HOST:PORT]\n\
+         \x20              [--workers N] [--batch B] [--cache N] [--cache-quantize Q]\n\
+         \x20              [--default-k N] [--policy POLICY.ssub] [--t2vec MODEL.ssub]\n\
          \x20              [--skip K] [--no-suffix] [--no-prune]\n\
          \x20              [--shards N] [--partitioner hash|grid]\n\
          \x20              [--reload-fifo PATH]   # named pipe accepting admin JSON lines\n\
          \x20 admin        <info|stats|ping|shutdown> [--addr HOST:PORT]\n\
-         \x20 admin        reload --corpus FILE.csv [--addr HOST:PORT] [--shards N]\n\
-         \x20              [--partitioner hash|grid] [--policy F] [--t2vec F]\n\
+         \x20 admin        reload (--corpus FILE.csv | --corpus-bin FILE.ssb) [--addr HOST:PORT]\n\
+         \x20              [--shards N] [--partitioner hash|grid] [--policy F] [--t2vec F]\n\
          \x20              [--skip K] [--no-suffix]\n\
          \x20 admin        configure [--addr HOST:PORT] [--prune on|off] [--batch N]\n\
-         \x20              [--cache N] [--default-k N]"
+         \x20              [--cache N] [--default-k N] [--quantize Q]   # Q=0 exact keys"
     );
 }
 
@@ -149,6 +165,26 @@ impl Flags {
 
     fn switch(&self, key: &str) -> bool {
         self.switches.contains(key)
+    }
+}
+
+/// Loads the corpus as a columnar arena from `--corpus FILE.csv` or
+/// `--corpus-bin FILE.ssb` (a packed binary corpus — one buffered read +
+/// validation, no CSV parse). Exactly one of the two must be given.
+fn load_corpus_arena(flags: &Flags) -> Result<CorpusArena, String> {
+    match (flags.get("corpus"), flags.get("corpus-bin")) {
+        (Some(_), Some(_)) => Err("give either --corpus or --corpus-bin, not both".into()),
+        (None, None) => Err("missing --corpus (or --corpus-bin)".into()),
+        (Some(csv), None) => {
+            let path = PathBuf::from(csv);
+            let trajs =
+                read_csv_file(&path).map_err(|e| format!("reading {}: {e}", path.display()))?;
+            Ok(CorpusArena::from_trajectories(&trajs))
+        }
+        (None, Some(bin)) => {
+            let path = PathBuf::from(bin);
+            read_bin_file(&path).map_err(|e| format!("reading {}: {e}", path.display()))
+        }
     }
 }
 
@@ -248,6 +284,43 @@ fn cmd_generate(flags: &Flags) -> Result<(), String> {
         out.display()
     );
     Ok(())
+}
+
+/// `simsub corpus <pack|info>`: converts between CSV and the packed
+/// binary corpus format (whose payload is the columnar arena's slabs —
+/// see `simsub_data::bin_io`), and inspects either.
+fn cmd_corpus(action: &str, flags: &Flags) -> Result<(), String> {
+    match action {
+        "pack" => {
+            let path = PathBuf::from(flags.require("corpus")?);
+            let trajs =
+                read_csv_file(&path).map_err(|e| format!("reading {}: {e}", path.display()))?;
+            let arena = CorpusArena::from_trajectories(&trajs);
+            let out = PathBuf::from(flags.require("out")?);
+            write_bin_file(&out, &arena).map_err(|e| format!("writing {}: {e}", out.display()))?;
+            let bytes = std::fs::metadata(&out).map(|m| m.len()).unwrap_or(0);
+            println!(
+                "packed {} trajectories / {} points into {} ({} bytes; coordinates bit-exact)",
+                arena.len(),
+                arena.total_points(),
+                out.display(),
+                bytes
+            );
+            Ok(())
+        }
+        "info" => {
+            let arena = load_corpus_arena(flags)?;
+            println!(
+                "{} trajectories, {} points, {} slab bytes (xs+ys+ts), ids {:?}..",
+                arena.len(),
+                arena.total_points(),
+                arena.total_points() * 24,
+                arena.ids().iter().take(5).collect::<Vec<_>>()
+            );
+            Ok(())
+        }
+        other => Err(format!("unknown corpus action '{other}' (pack|info)")),
+    }
 }
 
 fn cmd_train_t2vec(flags: &Flags) -> Result<(), String> {
@@ -350,8 +423,12 @@ fn cmd_search(flags: &Flags) -> Result<(), String> {
 /// echo '{"cmd":"reload","corpus":"fresh.csv"}' > /tmp/simsub.fifo
 /// ```
 fn cmd_serve(flags: &Flags) -> Result<(), String> {
-    let corpus = load_corpus(flags)?;
+    let corpus = load_corpus_arena(flags)?;
     let addr = flags.get("addr").unwrap_or("127.0.0.1:7878").to_string();
+    let cache_quantize: f64 = flags.parse_or("cache-quantize", 0.0)?;
+    if !cache_quantize.is_finite() || cache_quantize < 0.0 {
+        return Err("--cache-quantize must be finite and >= 0 (0 = exact keys)".into());
+    }
     let config = EngineConfig {
         workers: flags.parse_or("workers", EngineConfig::default().workers)?,
         max_batch: flags.parse_or("batch", EngineConfig::default().max_batch)?,
@@ -361,6 +438,7 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
         // byte-identical either way).
         prune: !flags.switch("no-prune") && simsub::core::pruning_enabled(),
         default_k: flags.parse_or("default-k", EngineConfig::default().default_k)?,
+        cache_key_quantize: (cache_quantize > 0.0).then_some(cache_quantize),
     };
     if config.workers == 0 {
         return Err("--workers must be at least 1".into());
@@ -378,7 +456,7 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
     let policy_path = flags.get("policy").map(PathBuf::from);
     let t2vec_path = flags.get("t2vec").map(PathBuf::from);
     let mdp = mdp_from_flags(flags)?;
-    let snapshot = CorpusSnapshot::assemble(
+    let snapshot = CorpusSnapshot::assemble_arena(
         corpus,
         sharding_from_flags(flags)?,
         policy_path.as_deref().map(|p| (p, mdp)),
@@ -523,14 +601,21 @@ fn cmd_admin(action: &str, flags: &Flags) -> Result<(), String> {
         "info" | "stats" | "ping" | "shutdown" => field("cmd", Json::Str(action.into())),
         "reload" => {
             field("cmd", Json::Str("reload".into()));
-            // The path is resolved by the *server*; make it absolute so
+            // Paths are resolved by the *server*; make them absolute so
             // "fresh.csv" means the operator's cwd, not the server's.
-            let corpus = flags.require("corpus")?;
-            let corpus = std::fs::canonicalize(corpus)
-                .map_err(|e| format!("resolving {corpus}: {e}"))?
+            let (key, path) = match (flags.get("corpus"), flags.get("corpus-bin")) {
+                (Some(_), Some(_)) => {
+                    return Err("give either --corpus or --corpus-bin, not both".into())
+                }
+                (None, None) => return Err("missing --corpus (or --corpus-bin)".into()),
+                (Some(csv), None) => ("corpus", csv),
+                (None, Some(bin)) => ("corpus_bin", bin),
+            };
+            let path = std::fs::canonicalize(path)
+                .map_err(|e| format!("resolving {path}: {e}"))?
                 .display()
                 .to_string();
-            field("corpus", Json::Str(corpus));
+            field(key, Json::Str(path));
             if let Some((shards, partitioner)) = sharding_from_flags(flags)? {
                 field("shards", Json::Num(shards as f64));
                 field("partitioner", Json::Str(partitioner.name().into()));
@@ -573,6 +658,12 @@ fn cmd_admin(action: &str, flags: &Flags) -> Result<(), String> {
                         .map_err(|_| format!("bad value for --{flag}: {value}"))?;
                     field(key, Json::Num(value as f64));
                 }
+            }
+            if let Some(value) = flags.get("quantize") {
+                let value: f64 = value
+                    .parse()
+                    .map_err(|_| format!("bad value for --quantize: {value}"))?;
+                field("cache_key_quantize", Json::Num(value));
             }
         }
         other => {
@@ -617,7 +708,7 @@ fn cmd_admin(action: &str, flags: &Flags) -> Result<(), String> {
 }
 
 fn cmd_topk(flags: &Flags) -> Result<(), String> {
-    let corpus = load_corpus(flags)?;
+    let corpus = load_corpus_arena(flags)?;
     let measure = load_measure(flags)?;
     let mdp = mdp_from_flags(flags)?;
     let algo = load_algo(flags, mdp)?;
@@ -636,7 +727,7 @@ fn cmd_topk(flags: &Flags) -> Result<(), String> {
     // exists on `topk` to exercise (and time) the fan-out offline.
     let (hits, stats, corpus_len, layout) = match sharding_from_flags(flags)? {
         Some((shards, partitioner)) => {
-            let db = ShardedDb::build(corpus, shards, partitioner);
+            let db = ShardedDb::from_arena(corpus, shards, partitioner);
             let (hits, stats) = db.top_k_with_stats(
                 algo.as_ref(),
                 measure.as_ref(),
@@ -653,7 +744,7 @@ fn cmd_topk(flags: &Flags) -> Result<(), String> {
             )
         }
         None => {
-            let db = TrajectoryDb::build(corpus);
+            let db = TrajectoryDb::from_arena(corpus);
             let (hits, stats) = db.top_k_with_stats(
                 algo.as_ref(),
                 measure.as_ref(),

@@ -167,7 +167,7 @@ proptest! {
         let corpus = random_corpus(seed, count);
         let query = walk(seed ^ 0xb0bd, qlen, (0.0, 0.0));
         for measure in [&Dtw as &dyn Measure, &Frechet as &dyn Measure] {
-            let cascade = BoundCascade::new(measure, &query);
+            let mut cascade = BoundCascade::new(measure, &query);
             prop_assert!(cascade.is_active());
             for t in &corpus {
                 let best = ExactS.search(measure, t.points(), &query).similarity;

@@ -31,7 +31,7 @@ fn snapshot_for(db: &Arc<TrajectoryDb>) -> CorpusSnapshot {
         .and_then(|s| s.parse::<usize>().ok())
     {
         Some(n) if n >= 1 => CorpusSnapshot::sharded(
-            ShardedDb::build(db.trajectories().to_vec(), n, PartitionerKind::Hash).into_shared(),
+            ShardedDb::build(db.to_trajectories(), n, PartitionerKind::Hash).into_shared(),
         ),
         _ => CorpusSnapshot::new(Arc::clone(db)),
     }
@@ -64,9 +64,9 @@ fn request(query: Vec<Point>, algo: AlgoSpec, measure: MeasureSpec, k: usize) ->
 fn queries_from(db: &TrajectoryDb, n: usize) -> Vec<Vec<Point>> {
     (0..n)
         .map(|i| {
-            let t = &db.trajectories()[i % db.len()];
+            let t = db.view(i % db.len());
             let len = (6 + i % 5).min(t.len());
-            t.points()[..len].to_vec()
+            t.to_points()[..len].to_vec()
         })
         .collect()
 }
@@ -331,7 +331,7 @@ fn tcp_server_round_trip() {
 #[test]
 fn sharded_engine_matches_unsharded_on_the_wire() {
     let db = shared_db(30);
-    let corpus = db.trajectories().to_vec();
+    let corpus = db.to_trajectories();
     let single = Arc::new(QueryEngine::start(
         CorpusSnapshot::new(Arc::clone(&db)),
         EngineConfig {
@@ -418,7 +418,7 @@ fn sharded_engine_matches_unsharded_on_the_wire() {
 #[test]
 fn cache_keys_include_shard_layout_version() {
     let db = shared_db(12);
-    let corpus = db.trajectories().to_vec();
+    let corpus = db.to_trajectories();
     let req = request(
         queries_from(&db, 1).remove(0),
         AlgoSpec::Pss,
@@ -553,7 +553,7 @@ fn preswap_admissions_answer_from_their_epoch() {
     // swap lands behind it.
     let blocker = engine
         .submit(QueryRequest {
-            query: db_a.trajectories()[0].points().to_vec(),
+            query: db_a.view(0).to_points(),
             algo: AlgoSpec::Exact,
             measure: MeasureSpec::Dtw,
             k: 1,
@@ -619,7 +619,7 @@ fn swap_purges_stale_cache_and_is_observable() {
     assert!(!engine.query(req.clone()).unwrap().cached);
     assert!(engine.query(req.clone()).unwrap().cached);
 
-    let rebuilt = TrajectoryDb::build(db.trajectories().to_vec()).into_shared();
+    let rebuilt = TrajectoryDb::build(db.to_trajectories()).into_shared();
     let report = engine.swap_snapshot(snapshot_for(&rebuilt));
     assert!(report.cache_evicted >= 1, "swap purged nothing");
     let stats = engine.stats();
@@ -771,7 +771,7 @@ fn live_reload_over_the_wire() {
 
     let (mut stream, mut reader) = wire(addr);
     let mut send = |line: &str| send_line(&mut stream, &mut reader, line);
-    let query_points: Vec<String> = db_a.trajectories()[0].points()[..8]
+    let query_points: Vec<String> = db_a.view(0).to_points()[..8]
         .iter()
         .map(|p| format!("[{},{}]", p.x, p.y))
         .collect();
