@@ -134,14 +134,90 @@ fn main() {
     );
 
     let (handle_load_ns, swap_ms) = control_plane_overheads(&db, &queries);
+    let sweep = batcher_sweep(&db, &queries, n_workers);
 
     let out_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_service.json");
     std::fs::write(
         out_path,
-        render_json(&measurements, n_workers, speedup, handle_load_ns, swap_ms),
+        render_json(
+            &measurements,
+            n_workers,
+            speedup,
+            handle_load_ns,
+            swap_ms,
+            &sweep,
+        ),
     )
     .expect("writing BENCH_service.json");
     println!("wrote {out_path}");
+}
+
+/// One `batcher_sweep` point: how the micro-batcher behaves as the worker
+/// pool scales on the cold path. Batch shape and tail latency come from
+/// the engine's own histogram-backed stats so the sweep doubles as an
+/// end-to-end check that the metrics pipeline reports sane values under
+/// real concurrency.
+struct SweepPoint {
+    workers: usize,
+    qps: f64,
+    mean_batch: f64,
+    batch_p99: u64,
+    p99_us: u64,
+}
+
+/// Sweeps worker counts {1, 2, n} over the cold path and reads batch
+/// shape + bucketed p99 out of the engine's stats snapshot. Fewer workers
+/// drain deeper batches (more amortization, worse tail); more workers
+/// drain shallower ones.
+fn batcher_sweep(
+    db: &Arc<TrajectoryDb>,
+    queries: &[Vec<Point>],
+    n_workers: usize,
+) -> Vec<SweepPoint> {
+    let mut counts = vec![1, 2, n_workers];
+    counts.dedup();
+    counts
+        .into_iter()
+        .map(|workers| {
+            let engine = Arc::new(QueryEngine::start(
+                CorpusSnapshot::new(Arc::clone(db)),
+                EngineConfig {
+                    workers,
+                    max_batch: 16,
+                    cache_capacity: 0,
+                    ..EngineConfig::default()
+                },
+            ));
+            let wall_start = Instant::now();
+            let chunk = queries.len().div_ceil(CLIENT_THREADS);
+            std::thread::scope(|scope| {
+                for part in queries.chunks(chunk) {
+                    let engine = Arc::clone(&engine);
+                    scope.spawn(move || {
+                        for q in part {
+                            engine.query(request(q.clone())).expect("sweep query");
+                        }
+                    });
+                }
+            });
+            let wall_s = wall_start.elapsed().as_secs_f64();
+            let stats = engine.stats();
+            engine.shutdown();
+            let point = SweepPoint {
+                workers,
+                qps: queries.len() as f64 / wall_s,
+                mean_batch: stats.mean_batch,
+                batch_p99: stats.batch_p99,
+                p99_us: stats.p99_us,
+            };
+            println!(
+                "batcher_sweep workers={:<2} qps={:>9.1} mean_batch={:.2} \
+                 batch_p99={} p99={}µs (bucketed)",
+                point.workers, point.qps, point.mean_batch, point.batch_p99, point.p99_us
+            );
+            point
+        })
+        .collect()
 }
 
 /// Measures what the hot-swap control plane costs the data plane: the
@@ -279,6 +355,7 @@ fn render_json(
     speedup: f64,
     handle_load_ns: f64,
     swap_ms: f64,
+    sweep: &[SweepPoint],
 ) -> String {
     let mut out = String::from("{\n");
     out.push_str(&format!(
@@ -308,6 +385,19 @@ fn render_json(
             m.scan_candidates,
             m.prune_ratio,
             if i + 1 < measurements.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n  \"batcher_sweep\": [\n");
+    for (i, p) in sweep.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"workers\": {}, \"qps\": {:.1}, \"mean_batch\": {:.2}, \
+             \"batch_p99\": {}, \"p99_us\": {}}}{}\n",
+            p.workers,
+            p.qps,
+            p.mean_batch,
+            p.batch_p99,
+            p.p99_us,
+            if i + 1 < sweep.len() { "," } else { "" }
         ));
     }
     out.push_str(&format!(

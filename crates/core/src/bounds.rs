@@ -59,6 +59,15 @@ pub struct PruneStats {
     pub pruned_by_mbr: u64,
     /// Ran the full subtrajectory search.
     pub searched: u64,
+    /// Total DP cells (`data_len × query_len`) evaluated by the searched
+    /// candidates — the cost-model denominator for ns-per-cell gauges.
+    pub searched_cells: u64,
+    /// Nanoseconds spent evaluating bound cascades, accumulated only
+    /// while a [`scan_timing_scope`] guard is live (zero otherwise).
+    pub bound_ns: u64,
+    /// Nanoseconds spent inside the DP search kernel, accumulated only
+    /// while a [`scan_timing_scope`] guard is live (zero otherwise).
+    pub kernel_ns: u64,
 }
 
 impl PruneStats {
@@ -89,6 +98,42 @@ impl PruneStats {
         self.pruned_by_kim += other.pruned_by_kim;
         self.pruned_by_mbr += other.pruned_by_mbr;
         self.searched += other.searched;
+        self.searched_cells += other.searched_cells;
+        self.bound_ns += other.bound_ns;
+        self.kernel_ns += other.kernel_ns;
+    }
+}
+
+/// Live count of [`scan_timing_scope`] guards. Scan kernels read this once
+/// per scan; per-candidate timers run only while it is non-zero.
+static SCAN_TIMING: AtomicU64 = AtomicU64::new(0);
+
+/// Enables per-candidate bound/kernel wall-clock accounting
+/// ([`PruneStats::bound_ns`] / [`PruneStats::kernel_ns`]) for the guard's
+/// lifetime. The flag is process-global and counted, so overlapping traced
+/// scans compose; scans started by *other* threads while a guard is live
+/// also record timings, which only makes their merged aggregates more
+/// complete. With no guard live, kernels skip every clock read — the
+/// disabled path costs one relaxed load per scan.
+pub fn scan_timing_scope() -> ScanTimingGuard {
+    SCAN_TIMING.fetch_add(1, Ordering::Relaxed);
+    ScanTimingGuard(())
+}
+
+/// True while at least one [`scan_timing_scope`] guard is live.
+#[inline]
+pub fn scan_timing_enabled() -> bool {
+    SCAN_TIMING.load(Ordering::Relaxed) != 0
+}
+
+/// RAII guard returned by [`scan_timing_scope`]; dropping it re-disables
+/// timing once every overlapping guard is gone.
+#[derive(Debug)]
+pub struct ScanTimingGuard(());
+
+impl Drop for ScanTimingGuard {
+    fn drop(&mut self) {
+        SCAN_TIMING.fetch_sub(1, Ordering::Relaxed);
     }
 }
 
@@ -269,12 +314,15 @@ mod tests {
             pruned_by_kim: 4,
             pruned_by_mbr: 3,
             searched: 3,
+            searched_cells: 90,
+            ..PruneStats::default()
         };
         assert!(s.is_consistent());
         assert_eq!(s.pruned(), 7);
         assert!((s.prune_ratio() - 0.7).abs() < 1e-12);
         s.merge(&s.clone());
         assert_eq!(s.scanned, 20);
+        assert_eq!(s.searched_cells, 180);
         assert!(s.is_consistent());
         assert_eq!(PruneStats::default().prune_ratio(), 0.0);
     }
@@ -358,6 +406,19 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn scan_timing_guards_nest_and_release() {
+        // No other core test takes a guard, so the flag is ours here.
+        assert!(!scan_timing_enabled());
+        let g1 = scan_timing_scope();
+        let g2 = scan_timing_scope();
+        assert!(scan_timing_enabled());
+        drop(g1);
+        assert!(scan_timing_enabled());
+        drop(g2);
+        assert!(!scan_timing_enabled());
     }
 
     #[test]

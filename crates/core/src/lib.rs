@@ -40,7 +40,10 @@ mod topk;
 mod ucr;
 mod workspace;
 
-pub use bounds::{pruning_enabled, BoundCascade, PruneStats, SharedSimFloor};
+pub use bounds::{
+    pruning_enabled, scan_timing_enabled, scan_timing_scope, BoundCascade, PruneStats,
+    ScanTimingGuard, SharedSimFloor,
+};
 pub use exact::{exhaustive_ranking, ExactS, ExhaustiveRanking};
 pub use mdp::{MdpConfig, ScanStats, SplitEnv, StepOutcome};
 pub use metrics::{EffectivenessMetrics, MetricsAccumulator};

@@ -186,6 +186,10 @@ fn admits(heap: &TopKHeap, floor: Option<&SharedSimFloor>, bound: f64, id: u64) 
     heap.would_admit(bound, id)
 }
 
+/// Runs the full search on one candidate, recording `searched`,
+/// `searched_cells` (`data_len × query_len`, the DP cost-model unit), and
+/// — only when `timing` — the kernel's wall-clock nanoseconds.
+#[allow(clippy::too_many_arguments)] // scan state is deliberately caller-owned
 fn search_and_push(
     algo: &dyn SubtrajSearch,
     arena: &CorpusArena,
@@ -193,8 +197,16 @@ fn search_and_push(
     heap: &mut TopKHeap,
     ws: &mut SearchWorkspace<'_>,
     floor: Option<&SharedSimFloor>,
+    timing: bool,
+    stats: &mut PruneStats,
 ) {
+    stats.searched += 1;
+    stats.searched_cells += arena.view(slot).len() as u64 * ws.query().len() as u64;
+    let start = timing.then(std::time::Instant::now);
     let result = algo.search_with(ws, arena.view(slot));
+    if let Some(start) = start {
+        stats.kernel_ns += start.elapsed().as_nanos() as u64;
+    }
     heap.push(TopKResult {
         trajectory_id: arena.id(slot),
         result,
@@ -240,19 +252,20 @@ pub fn scan_top_k_into(
                 .all(|(a, b)| a.x.to_bits() == b.x.to_bits() && a.y.to_bits() == b.y.to_bits()),
         "workspace targets a different query than the bound cascade"
     );
+    let timing = crate::bounds::scan_timing_enabled();
     let mut cascade = BoundCascade::new(ws.measure(), query);
     let active = prune && cascade.is_active() && algo.reported_similarity_is_admissible();
     if !active {
         for &slot in candidates {
             stats.scanned += 1;
-            stats.searched += 1;
-            search_and_push(algo, arena, slot, heap, ws, floor);
+            search_and_push(algo, arena, slot, heap, ws, floor, timing, stats);
         }
         return;
     }
     // Best-first: descending coarse bound (ties by ascending id) raises
     // the k-th similarity as early as possible, so later candidates die
     // at the O(1) screen instead of the O(m) envelope or the search.
+    let order_start = timing.then(std::time::Instant::now);
     let mut order: Vec<(f64, usize)> = candidates
         .iter()
         .map(|&slot| (cascade.coarse_bound(arena.mbr(slot)), slot))
@@ -261,6 +274,9 @@ pub fn scan_top_k_into(
         b.0.total_cmp(&a.0)
             .then_with(|| arena.id(a.1).cmp(&arena.id(b.1)))
     });
+    if let Some(start) = order_start {
+        stats.bound_ns += start.elapsed().as_nanos() as u64;
+    }
     for (coarse, slot) in order {
         let id = arena.id(slot);
         stats.scanned += 1;
@@ -268,13 +284,16 @@ pub fn scan_top_k_into(
             stats.pruned_by_kim += 1;
             continue;
         }
+        let envelope_start = timing.then(std::time::Instant::now);
         let envelope = cascade.envelope_bound(arena.mbr(slot));
+        if let Some(start) = envelope_start {
+            stats.bound_ns += start.elapsed().as_nanos() as u64;
+        }
         if !admits(heap, floor, envelope, id) {
             stats.pruned_by_mbr += 1;
             continue;
         }
-        stats.searched += 1;
-        search_and_push(algo, arena, slot, heap, ws, floor);
+        search_and_push(algo, arena, slot, heap, ws, floor, timing, stats);
     }
 }
 
@@ -302,6 +321,7 @@ pub fn scan_top_k_batch_into(
 ) {
     assert_eq!(queries.len(), heaps.len(), "one heap per query");
     assert_eq!(queries.len(), workspaces.len(), "one workspace per query");
+    let timing = crate::bounds::scan_timing_enabled();
     let admissible = algo.reported_similarity_is_admissible();
     let mut cascades: Vec<BoundCascade> = queries
         .iter()
@@ -322,17 +342,35 @@ pub fn scan_top_k_batch_into(
             let heap = &mut heaps[qi];
             let floor = floors.map(|f| &f[qi]);
             if any_active && cascade.is_active() {
-                if !admits(heap, floor, cascade.coarse_bound(mbr), id) {
+                let bound_start = timing.then(std::time::Instant::now);
+                let coarse = cascade.coarse_bound(mbr);
+                let coarse_admits = admits(heap, floor, coarse, id);
+                let envelope_admits = coarse_admits && {
+                    let envelope = cascade.envelope_bound(mbr);
+                    admits(heap, floor, envelope, id)
+                };
+                if let Some(start) = bound_start {
+                    stats.bound_ns += start.elapsed().as_nanos() as u64;
+                }
+                if !coarse_admits {
                     stats.pruned_by_kim += 1;
                     continue;
                 }
-                if !admits(heap, floor, cascade.envelope_bound(mbr), id) {
+                if !envelope_admits {
                     stats.pruned_by_mbr += 1;
                     continue;
                 }
             }
-            stats.searched += 1;
-            search_and_push(algo, arena, slot, heap, &mut workspaces[qi], floor);
+            search_and_push(
+                algo,
+                arena,
+                slot,
+                heap,
+                &mut workspaces[qi],
+                floor,
+                timing,
+                stats,
+            );
         }
     }
 }

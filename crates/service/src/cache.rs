@@ -85,19 +85,22 @@ impl<K: Eq + Hash + Clone, V: Clone> LruCache<K, V> {
     }
 
     /// Inserts or refreshes `key`, evicting the least-recently-used entry
-    /// when full.
-    pub fn insert(&mut self, key: K, value: V) {
+    /// when full. Returns how many entries were evicted (0 or 1), so
+    /// callers can count capacity-pressure evictions.
+    pub fn insert(&mut self, key: K, value: V) -> usize {
         if self.capacity == 0 {
-            return;
+            return 0;
         }
         if let Some(&slot) = self.map.get(&key) {
             self.node_mut(slot).value = value;
             self.detach(slot);
             self.push_front(slot);
-            return;
+            return 0;
         }
+        let mut evicted = 0;
         if self.map.len() == self.capacity {
             self.evict_lru();
+            evicted = 1;
         }
         let node = Some(Node {
             key: key.clone(),
@@ -117,6 +120,7 @@ impl<K: Eq + Hash + Clone, V: Clone> LruCache<K, V> {
         };
         self.map.insert(key, slot);
         self.push_front(slot);
+        evicted
     }
 
     /// Drops every entry failing `keep`, preserving recency order of the
@@ -246,8 +250,9 @@ impl<K: Eq + Hash + Clone, V: Clone> Cache<K, V> {
     }
 
     /// Inserts or refreshes `key` with a value computed under `epoch`.
-    pub fn insert(&mut self, key: K, value: V, epoch: u64) {
-        self.lru.insert(key, Stamped { epoch, value });
+    /// Returns how many entries were evicted by capacity pressure (0/1).
+    pub fn insert(&mut self, key: K, value: V, epoch: u64) -> usize {
+        self.lru.insert(key, Stamped { epoch, value })
     }
 
     /// Drops every entry stamped with an epoch strictly below `epoch`,
@@ -271,10 +276,10 @@ mod tests {
     #[test]
     fn hit_miss_and_eviction_order() {
         let mut cache = LruCache::new(2);
-        cache.insert(1, "a");
-        cache.insert(2, "b");
+        assert_eq!(cache.insert(1, "a"), 0);
+        assert_eq!(cache.insert(2, "b"), 0);
         assert_eq!(cache.get(&1), Some("a")); // 1 becomes MRU
-        cache.insert(3, "c"); // evicts 2 (LRU)
+        assert_eq!(cache.insert(3, "c"), 1); // evicts 2 (LRU)
         assert_eq!(cache.get(&2), None);
         assert_eq!(cache.get(&1), Some("a"));
         assert_eq!(cache.get(&3), Some("c"));

@@ -36,9 +36,12 @@
 //!   closes the queue, and joins the workers; already-queued requests are
 //!   drained and answered, never dropped.
 
+use crate::audit::AuditSample;
 use crate::cache::Cache;
+use crate::metrics_registry::ExpositionBuilder;
 use crate::query::{AlgoSpec, MeasureSpec, QueryRequest, QueryResponse};
 use crate::stats::{ServeStats, StatsSnapshot};
+use crate::trace::{SlowQueryRecord, TraceReport};
 use simsub_core::ExactS;
 use simsub_core::{MdpConfig, Pos, PosD, Pss, Rls, SizeS, Spring, SubtrajSearch, TopKResult};
 use simsub_index::{PartitionerKind, ShardedDb, TrajectoryDb};
@@ -46,12 +49,22 @@ use simsub_measures::{Dtw, Frechet, Measure, T2Vec};
 use simsub_nn::BinaryCodec;
 use simsub_rl::Policy;
 use simsub_trajectory::{CorpusArena, Point, Trajectory};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::mpsc::{channel, Receiver, Sender, TryRecvError};
+use std::sync::mpsc::{
+    channel, sync_channel, Receiver, Sender, SyncSender, TryRecvError, TrySendError,
+};
 use std::sync::{Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::Instant;
+
+/// Bound on the auditor's sample queue: serving never blocks on the
+/// auditor, so samples beyond this backlog are dropped (and counted).
+const AUDIT_QUEUE_CAPACITY: usize = 64;
+
+/// Slow-query records retained in memory (newest win); the stderr log
+/// line is emitted for every slow query regardless.
+const SLOW_LOG_CAPACITY: usize = 64;
 
 /// Errors surfaced by the engine API.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -114,6 +127,15 @@ impl Corpus {
         match self {
             Corpus::Single(_) => 1,
             Corpus::Sharded(db) => db.shard_count(),
+        }
+    }
+
+    /// The full point sequence of trajectory `id`, if present — the
+    /// auditor's window into the pinned snapshot's data.
+    pub(crate) fn trajectory_points(&self, id: u64) -> Option<Vec<Point>> {
+        match self {
+            Corpus::Single(db) => db.get(id).map(|view| view.to_points()),
+            Corpus::Sharded(db) => db.get(id).map(|view| view.to_points()),
         }
     }
 
@@ -301,7 +323,7 @@ impl CorpusSnapshot {
         })
     }
 
-    fn measure(&self, spec: MeasureSpec) -> Result<&dyn Measure, ServiceError> {
+    pub(crate) fn measure(&self, spec: MeasureSpec) -> Result<&dyn Measure, ServiceError> {
         match spec {
             MeasureSpec::Dtw => Ok(&Dtw),
             MeasureSpec::Frechet => Ok(&Frechet),
@@ -472,6 +494,17 @@ pub struct EngineConfig {
     /// reloads and re-sharding still invalidate as in exact mode. `None`
     /// (default) keeps byte-exact caching.
     pub cache_key_quantize: Option<f64>,
+    /// Slow-query threshold in microseconds: a request whose engine
+    /// latency reaches it is counted, ring-logged with its full stage
+    /// trace ([`QueryEngine::slow_queries`]), and written as one JSON
+    /// line to stderr. 0 (default) disables the slow-query log. Tunable
+    /// live through [`QueryEngine::configure`].
+    pub slow_query_us: u64,
+    /// Online quality-audit sampling fraction in `[0, 1]`: roughly this
+    /// fraction of cold (uncached) answers is re-checked against ExactS
+    /// by the background auditor, feeding the `audit_ar`/`audit_mr`/
+    /// `audit_rr` gauges. 0.0 (default) disables auditing. Tunable live.
+    pub audit_sample: f64,
 }
 
 impl Default for EngineConfig {
@@ -483,6 +516,8 @@ impl Default for EngineConfig {
             prune: simsub_core::pruning_enabled(),
             default_k: 1,
             cache_key_quantize: None,
+            slow_query_us: 0,
+            audit_sample: 0.0,
         }
     }
 }
@@ -507,6 +542,11 @@ pub struct ConfigUpdate {
     /// unchanged. Changing the quantum reshapes every key, so existing
     /// entries simply stop being reachable (they age out via LRU).
     pub cache_key_quantize: Option<f64>,
+    /// Slow-query threshold, microseconds (0 disables the slow-query
+    /// log).
+    pub slow_query_us: Option<u64>,
+    /// Quality-audit sampling fraction, `[0, 1]` (0 disables auditing).
+    pub audit_sample: Option<f64>,
 }
 
 /// Point-in-time view of the live engine configuration.
@@ -526,6 +566,10 @@ pub struct ConfigView {
     pub default_k: usize,
     /// The quantized cache-key quantum, `None` when keys are exact.
     pub cache_key_quantize: Option<f64>,
+    /// Slow-query threshold, microseconds (0 = disabled).
+    pub slow_query_us: u64,
+    /// Quality-audit sampling fraction (0 = disabled).
+    pub audit_sample: f64,
 }
 
 /// A submitted request's pending answer.
@@ -550,6 +594,12 @@ struct Job {
     /// swap can land mid-queue without changing what this request sees.
     admitted: Arc<EpochSnapshot>,
     submitted: Instant,
+    /// Time `submit` spent validating, pinning, and keying this request
+    /// (the trace's admission stage).
+    admit_ns: u64,
+    /// True when the requester asked for a stage trace; enables the
+    /// per-candidate scan clocks for this job's dispatch group.
+    trace: bool,
     reply: Sender<QueryResponse>,
 }
 
@@ -571,6 +621,10 @@ struct Runtime {
     /// Quantized cache-key quantum as f64 bits; `0.0` (bit pattern 0)
     /// means exact keys.
     cache_key_quantize: AtomicU64,
+    /// Slow-query threshold, microseconds; 0 disables the slow log.
+    slow_query_us: AtomicU64,
+    /// Audit sampling fraction as f64 bits; `0.0` disables auditing.
+    audit_sample: AtomicU64,
 }
 
 impl Runtime {
@@ -578,6 +632,11 @@ impl Runtime {
     fn quantize(&self) -> Option<f64> {
         let q = f64::from_bits(self.cache_key_quantize.load(Ordering::Relaxed));
         (q > 0.0).then_some(q)
+    }
+
+    /// The current audit sampling fraction (0.0 = auditing off).
+    fn audit_sample(&self) -> f64 {
+        f64::from_bits(self.audit_sample.load(Ordering::Relaxed))
     }
 }
 
@@ -592,6 +651,13 @@ struct Inner {
     /// left after the worker pool claims its share (1 on a fully
     /// subscribed pool, so the default configuration never oversubscribes).
     shard_threads: usize,
+    /// Newest slow-query records (bounded ring; see `SLOW_LOG_CAPACITY`).
+    slow_log: Mutex<VecDeque<SlowQueryRecord>>,
+    /// Bounded feed into the auditor thread; `None` once shutdown has
+    /// begun. `try_send` only — serving never blocks on the auditor.
+    audit_tx: Mutex<Option<SyncSender<AuditSample>>>,
+    /// Cold answers seen by the sampler, for the 1-in-N audit cadence.
+    audit_counter: AtomicU64,
 }
 
 /// The concurrent query engine. See the module docs for the design.
@@ -599,6 +665,7 @@ pub struct QueryEngine {
     inner: Arc<Inner>,
     sender: Mutex<Option<Sender<Job>>>,
     workers: Mutex<Vec<JoinHandle<()>>>,
+    auditor: Mutex<Option<JoinHandle<()>>>,
 }
 
 impl QueryEngine {
@@ -614,12 +681,17 @@ impl QueryEngine {
                 "cache_key_quantize must be finite and positive"
             );
         }
+        assert!(
+            config.audit_sample.is_finite() && (0.0..=1.0).contains(&config.audit_sample),
+            "audit_sample must be a fraction in [0, 1]"
+        );
         let (tx, rx) = channel();
+        let (audit_tx, audit_rx) = sync_channel::<AuditSample>(AUDIT_QUEUE_CAPACITY);
         let cores = std::thread::available_parallelism().map_or(1, usize::from);
         let shard_threads = (cores / config.workers).max(1);
         let inner = Arc::new(Inner {
             cache: Mutex::new(Cache::new(config.cache_capacity)),
-            stats: ServeStats::new(),
+            stats: ServeStats::with_workers(config.workers),
             handle: EngineHandle::new(snapshot),
             runtime: Runtime {
                 prune: AtomicBool::new(config.prune),
@@ -628,24 +700,45 @@ impl QueryEngine {
                 cache_key_quantize: AtomicU64::new(
                     config.cache_key_quantize.unwrap_or(0.0).to_bits(),
                 ),
+                slow_query_us: AtomicU64::new(config.slow_query_us),
+                audit_sample: AtomicU64::new(config.audit_sample.to_bits()),
             },
             workers: config.workers,
             queue: Mutex::new(rx),
             shard_threads,
+            slow_log: Mutex::new(VecDeque::with_capacity(SLOW_LOG_CAPACITY)),
+            audit_tx: Mutex::new(Some(audit_tx)),
+            audit_counter: AtomicU64::new(0),
         });
         let workers = (0..inner.workers)
             .map(|i| {
                 let inner = Arc::clone(&inner);
                 std::thread::Builder::new()
                     .name(format!("simsub-worker-{i}"))
-                    .spawn(move || worker_loop(&inner))
+                    .spawn(move || worker_loop(&inner, i))
                     .expect("spawning worker thread")
             })
             .collect();
+        let auditor = {
+            let inner = Arc::clone(&inner);
+            std::thread::Builder::new()
+                .name("simsub-auditor".into())
+                .spawn(move || {
+                    while let Ok(sample) = audit_rx.recv() {
+                        if let Some(metrics) = crate::audit::evaluate_sample(&sample) {
+                            inner.stats.record_audit_sample(&metrics);
+                        } else {
+                            inner.stats.record_audit_dropped();
+                        }
+                    }
+                })
+                .expect("spawning auditor thread")
+        };
         Self {
             inner,
             sender: Mutex::new(Some(tx)),
             workers: Mutex::new(workers),
+            auditor: Mutex::new(Some(auditor)),
         }
     }
 
@@ -654,6 +747,19 @@ impl QueryEngine {
     /// concurrent [`QueryEngine::swap_snapshot`] does not change what an
     /// already-admitted request computes against.
     pub fn submit(&self, request: QueryRequest) -> Result<PendingQuery, ServiceError> {
+        self.submit_traced(request, false)
+    }
+
+    /// [`QueryEngine::submit`] with an explicit trace flag: a traced
+    /// request's answer carries a per-stage timing breakdown
+    /// ([`QueryResponse::trace`]), including the in-scan bound/kernel
+    /// split measured for its dispatch group.
+    pub fn submit_traced(
+        &self,
+        request: QueryRequest,
+        trace: bool,
+    ) -> Result<PendingQuery, ServiceError> {
+        let admit_start = Instant::now();
         if request.query.is_empty() {
             return Err(ServiceError::InvalidRequest("empty query".into()));
         }
@@ -672,6 +778,8 @@ impl QueryEngine {
             admitted,
             request,
             submitted: Instant::now(),
+            admit_ns: admit_start.elapsed().as_nanos() as u64,
+            trace,
             reply: reply_tx,
         };
         let guard = self.sender.lock().expect("sender lock poisoned");
@@ -679,6 +787,7 @@ impl QueryEngine {
             return Err(ServiceError::ShuttingDown);
         };
         tx.send(job).map_err(|_| ServiceError::ShuttingDown)?;
+        self.inner.stats.queue_depth().add(1);
         Ok(PendingQuery { rx: reply_rx })
     }
 
@@ -763,6 +872,13 @@ impl QueryEngine {
                 ));
             }
         }
+        if let Some(f) = update.audit_sample {
+            if !f.is_finite() || !(0.0..=1.0).contains(&f) {
+                return Err(ServiceError::InvalidRequest(
+                    "audit_sample must be a fraction in [0, 1] (0 disables)".into(),
+                ));
+            }
+        }
         if let Some(prune) = update.prune {
             self.inner.runtime.prune.store(prune, Ordering::Relaxed);
         }
@@ -784,9 +900,24 @@ impl QueryEngine {
                 .cache_key_quantize
                 .store(q.to_bits(), Ordering::Relaxed);
         }
+        if let Some(us) = update.slow_query_us {
+            self.inner
+                .runtime
+                .slow_query_us
+                .store(us, Ordering::Relaxed);
+        }
+        if let Some(f) = update.audit_sample {
+            self.inner
+                .runtime
+                .audit_sample
+                .store(f.to_bits(), Ordering::Relaxed);
+        }
         if let Some(capacity) = update.cache_capacity {
-            let mut cache = self.inner.cache.lock().expect("cache lock poisoned");
-            cache.set_capacity(capacity);
+            let evicted = {
+                let mut cache = self.inner.cache.lock().expect("cache lock poisoned");
+                cache.set_capacity(capacity)
+            };
+            self.inner.stats.record_cache_evictions(evicted as u64);
         }
         Ok(self.config_view())
     }
@@ -806,7 +937,164 @@ impl QueryEngine {
             prune: self.inner.runtime.prune.load(Ordering::Relaxed),
             default_k: self.inner.runtime.default_k.load(Ordering::Relaxed),
             cache_key_quantize: self.inner.runtime.quantize(),
+            slow_query_us: self.inner.runtime.slow_query_us.load(Ordering::Relaxed),
+            audit_sample: self.inner.runtime.audit_sample(),
         }
+    }
+
+    /// The newest retained slow-query records (oldest first; bounded
+    /// ring). Empty unless `slow_query_us` is set and queries crossed it.
+    pub fn slow_queries(&self) -> Vec<SlowQueryRecord> {
+        self.inner
+            .slow_log
+            .lock()
+            .expect("slow log lock poisoned")
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// Prometheus-style text exposition of every engine metric — the
+    /// payload behind the admin `{"cmd":"metrics"}` command and
+    /// `simsub admin metrics`. Names are stable; new series are additive.
+    pub fn metrics_exposition(&self) -> String {
+        let snap = self.inner.stats.snapshot();
+        let view = self.config_view();
+        let worker_busy: Vec<(String, u64)> = snap
+            .worker_busy_ns
+            .iter()
+            .enumerate()
+            .map(|(i, &ns)| (i.to_string(), ns))
+            .collect();
+        let mut b = ExpositionBuilder::new();
+        b.counter("simsub_requests_total", "Requests answered.", snap.requests);
+        b.counter(
+            "simsub_cache_hits_total",
+            "Requests answered from the result cache.",
+            snap.cache_hits,
+        );
+        b.counter(
+            "simsub_cache_evictions_total",
+            "Result-cache entries evicted by LRU capacity pressure.",
+            snap.cache_evictions,
+        );
+        b.counter(
+            "simsub_cache_evicted_on_swap_total",
+            "Stale-epoch result-cache entries purged by snapshot swaps.",
+            snap.cache_evicted_on_swap,
+        );
+        b.gauge(
+            "simsub_cache_entries",
+            "Result-cache entries currently held.",
+            view.cache_len as f64,
+        );
+        b.gauge(
+            "simsub_cache_capacity",
+            "Result-cache capacity (0 = caching disabled).",
+            view.cache_capacity as f64,
+        );
+        b.gauge(
+            "simsub_queue_depth",
+            "Jobs accepted but not yet drained by a worker.",
+            snap.queue_depth as f64,
+        );
+        b.gauge(
+            "simsub_inflight",
+            "Jobs drained into a batch but not yet answered.",
+            snap.inflight as f64,
+        );
+        b.histogram(
+            "simsub_request_latency_us",
+            "Engine latency per answered request, microseconds.",
+            &snap.latency_hist,
+        );
+        b.histogram(
+            "simsub_batch_size",
+            "Requests coalesced per dispatched micro-batch.",
+            &snap.batch_hist,
+        );
+        b.counter_per_label(
+            "simsub_worker_busy_ns_total",
+            "Per-worker nanoseconds spent outside the blocking queue receive.",
+            "worker",
+            &worker_busy,
+        );
+        b.counter(
+            "simsub_scan_candidates_total",
+            "Candidate (trajectory, query) pairs considered by cold scans.",
+            snap.scan_candidates,
+        );
+        b.counter(
+            "simsub_scan_pruned_kim_total",
+            "Candidates rejected by the O(1) Kim-style coarse screen.",
+            snap.scan_pruned_kim,
+        );
+        b.counter(
+            "simsub_scan_pruned_mbr_total",
+            "Candidates rejected by the O(m) MBR-envelope bound.",
+            snap.scan_pruned_mbr,
+        );
+        b.counter(
+            "simsub_scan_searched_total",
+            "Candidates fully searched by the DP kernel.",
+            snap.scan_searched,
+        );
+        b.counter(
+            "simsub_scan_searched_cells_total",
+            "DP cells (data_len x query_len) evaluated by searched candidates.",
+            snap.scan_searched_cells,
+        );
+        b.counter(
+            "simsub_scan_ns_total",
+            "Wall-clock nanoseconds spent inside cold corpus scans.",
+            snap.scan_ns,
+        );
+        b.gauge(
+            "simsub_ns_per_cell",
+            "Mean scan nanoseconds per DP cell (scan_ns / searched_cells).",
+            snap.ns_per_cell,
+        );
+        b.counter(
+            "simsub_swaps_total",
+            "Snapshot hot-swaps performed.",
+            snap.swaps,
+        );
+        b.gauge(
+            "simsub_epoch",
+            "Current engine epoch (bumps by 1 per snapshot swap).",
+            self.epoch() as f64,
+        );
+        b.counter(
+            "simsub_slow_queries_total",
+            "Requests whose engine latency crossed the slow-query threshold.",
+            snap.slow_queries,
+        );
+        b.counter(
+            "simsub_audit_samples_total",
+            "Served answers re-checked against ExactS by the auditor.",
+            snap.audit_samples,
+        );
+        b.counter(
+            "simsub_audit_dropped_total",
+            "Audit candidates dropped (auditor queue full or unresolvable).",
+            snap.audit_dropped,
+        );
+        b.gauge(
+            "simsub_audit_ar",
+            "Mean approximation ratio of audited answers (1.0 = exact).",
+            snap.audit_ar,
+        );
+        b.gauge(
+            "simsub_audit_mr",
+            "Mean exhaustive-ranking rank of audited answers (1 = best).",
+            snap.audit_mr,
+        );
+        b.gauge(
+            "simsub_audit_rr",
+            "Mean relative rank of audited answers.",
+            snap.audit_rr,
+        );
+        b.finish()
     }
 
     /// Stops admitting requests, drains everything already queued, and
@@ -821,6 +1109,18 @@ impl QueryEngine {
         for handle in workers.drain(..) {
             handle.join().expect("worker thread panicked");
         }
+        // Workers are gone, so no more samples can be enqueued; closing
+        // the audit channel drains the auditor the same way.
+        drop(
+            self.inner
+                .audit_tx
+                .lock()
+                .expect("audit lock poisoned")
+                .take(),
+        );
+        if let Some(auditor) = self.auditor.lock().expect("auditor lock poisoned").take() {
+            auditor.join().expect("auditor thread panicked");
+        }
     }
 }
 
@@ -830,17 +1130,21 @@ impl Drop for QueryEngine {
     }
 }
 
-fn worker_loop(inner: &Inner) {
+fn worker_loop(inner: &Inner, worker: usize) {
     loop {
         // Block for one job, then opportunistically coalesce whatever else
         // is already queued, up to the batch cap. The queue lock is held
         // only while draining — never during search work.
         let mut jobs: Vec<Job> = Vec::new();
         let max_batch = inner.runtime.max_batch.load(Ordering::Relaxed).max(1);
+        let busy_start;
         {
             let rx = inner.queue.lock().expect("queue lock poisoned");
             match rx.recv() {
-                Ok(job) => jobs.push(job),
+                Ok(job) => {
+                    busy_start = Instant::now();
+                    jobs.push(job);
+                }
                 Err(_) => return, // channel closed and drained: shutdown
             }
             while jobs.len() < max_batch {
@@ -851,9 +1155,44 @@ fn worker_loop(inner: &Inner) {
             }
         }
         let batch_size = jobs.len();
+        inner.stats.queue_depth().add(-(batch_size as i64));
+        inner.stats.inflight().add(batch_size as i64);
         inner.stats.record_batch(batch_size);
-        process_batch(inner, jobs, batch_size);
+        let timing = BatchTiming {
+            formed: Instant::now(),
+            batch_us: busy_start.elapsed().as_micros() as u64,
+            size: batch_size,
+        };
+        process_batch(inner, jobs, &timing);
+        inner
+            .stats
+            .record_worker_busy(worker, busy_start.elapsed().as_nanos() as u64);
     }
+}
+
+/// Timing shared by every response of one drained micro-batch.
+struct BatchTiming {
+    /// When the batch was fully formed — a job's queue wait ends here.
+    formed: Instant,
+    /// Time the worker spent draining/forming the batch, microseconds.
+    batch_us: u64,
+    /// Requests in the batch.
+    size: usize,
+}
+
+/// Scan-stage timing and prune counters shared by every cold response of
+/// one dispatch group.
+struct ScanTiming {
+    /// Wall-clock time of the group's corpus scan, microseconds.
+    scan_us: u64,
+    /// In-scan bound-cascade time (0 unless the group was traced).
+    bound_us: u64,
+    /// In-scan DP-kernel time (0 unless the group was traced).
+    kernel_us: u64,
+    /// The scan's prune counters.
+    prune: simsub_core::PruneStats,
+    /// When post-scan merge (cache insert + fan-out) began.
+    merge_started: Instant,
 }
 
 /// One deduplicated dispatch entry of a micro-batch: the cache key, the
@@ -866,7 +1205,7 @@ struct UniqueEntry {
     jobs: Vec<Job>,
 }
 
-fn process_batch(inner: &Inner, jobs: Vec<Job>, batch_size: usize) {
+fn process_batch(inner: &Inner, jobs: Vec<Job>, timing: &BatchTiming) {
     // Pass 1: answer cache hits, dedupe identical misses. Key matches are
     // never trusted alone — the stored/deduped request must also be
     // canonically equal under the current quantization mode (and, for
@@ -886,7 +1225,7 @@ fn process_batch(inner: &Inner, jobs: Vec<Job>, batch_size: usize) {
             });
             if let Some(entry) = hit {
                 let results = Arc::clone(&entry.results);
-                respond(inner, job, results, true, batch_size);
+                respond(inner, job, results, true, timing, None);
                 continue;
             }
             match slot_of_key.get(&job.key) {
@@ -964,6 +1303,14 @@ fn process_batch(inner: &Inner, jobs: Vec<Job>, batch_size: usize) {
             .iter()
             .map(|&slot| unique[slot].request.query.as_slice())
             .collect();
+        // A traced member turns on the in-scan per-candidate clocks for
+        // the whole group (they share one scan); untraced groups keep the
+        // near-zero disabled path.
+        let group_traced = slots
+            .iter()
+            .any(|&slot| unique[slot].jobs.iter().any(|job| job.trace));
+        let timing_guard = group_traced.then(simsub_core::scan_timing_scope);
+        let scan_started = Instant::now();
         let (all_results, scan_stats) = snapshot.snapshot.corpus.top_k_batch(
             algo.as_ref(),
             measure,
@@ -973,12 +1320,21 @@ fn process_batch(inner: &Inner, jobs: Vec<Job>, batch_size: usize) {
             inner.shard_threads,
             prune,
         );
-        inner.stats.record_scan(&scan_stats);
+        let scan_ns = scan_started.elapsed().as_nanos() as u64;
+        drop(timing_guard);
+        inner.stats.record_scan(&scan_stats, scan_ns);
         debug_assert_eq!(all_results.len(), slots.len());
+        let scan = ScanTiming {
+            scan_us: scan_ns / 1_000,
+            bound_us: scan_stats.bound_ns / 1_000,
+            kernel_us: scan_stats.kernel_ns / 1_000,
+            prune: scan_stats,
+            merge_started: Instant::now(),
+        };
 
         for (&slot, results) in slots.iter().zip(all_results) {
             let results = Arc::new(results);
-            {
+            let evicted = {
                 let mut cache = inner.cache.lock().expect("cache lock poisoned");
                 cache.insert(
                     unique[slot].key,
@@ -987,27 +1343,113 @@ fn process_batch(inner: &Inner, jobs: Vec<Job>, batch_size: usize) {
                         results: Arc::clone(&results),
                     }),
                     epoch,
-                );
-            }
+                )
+            };
+            inner.stats.record_cache_evictions(evicted as u64);
+            maybe_audit(inner, &unique[slot], &results);
             // Fan the shared answer out to every requester that asked for
             // this exact query in this batch.
             for job in unique[slot].jobs.drain(..) {
-                respond(inner, job, Arc::clone(&results), false, batch_size);
+                respond(inner, job, Arc::clone(&results), false, timing, Some(&scan));
             }
         }
     }
 }
 
-fn respond(inner: &Inner, job: Job, results: Arc<Vec<TopKResult>>, cached: bool, batch: usize) {
+/// Maybe enqueues one cold answer for the background quality auditor:
+/// with sampling fraction `f`, every `round(1/f)`-th cold answer is sent
+/// (a deterministic cadence — reproducible, and free of RNG state on the
+/// hot path). The send never blocks; a full queue drops the sample and
+/// counts it in `audit_dropped`.
+fn maybe_audit(inner: &Inner, entry: &UniqueEntry, results: &[TopKResult]) {
+    let fraction = inner.runtime.audit_sample();
+    if fraction <= 0.0 {
+        return;
+    }
+    let period = (1.0 / fraction).round().max(1.0) as u64;
+    if !inner
+        .audit_counter
+        .fetch_add(1, Ordering::Relaxed)
+        .is_multiple_of(period)
+    {
+        return;
+    }
+    let Some(top) = results.first() else {
+        return;
+    };
+    let sample = AuditSample {
+        query: entry.request.query.clone(),
+        measure: entry.request.measure,
+        trajectory_id: top.trajectory_id,
+        range: top.result.range,
+        snapshot: Arc::clone(&entry.admitted),
+    };
+    let guard = inner.audit_tx.lock().expect("audit lock poisoned");
+    if let Some(tx) = guard.as_ref() {
+        match tx.try_send(sample) {
+            // Disconnected can only race with shutdown; nothing to count.
+            Ok(()) | Err(TrySendError::Disconnected(_)) => {}
+            Err(TrySendError::Full(_)) => inner.stats.record_audit_dropped(),
+        }
+    }
+}
+
+fn respond(
+    inner: &Inner,
+    job: Job,
+    results: Arc<Vec<TopKResult>>,
+    cached: bool,
+    timing: &BatchTiming,
+    scan: Option<&ScanTiming>,
+) {
     let latency = job.submitted.elapsed();
     inner.stats.record_request(latency, cached);
+    inner.stats.inflight().add(-1);
+    let latency_us = latency.as_micros().min(u128::from(u64::MAX)) as u64;
+    let threshold = inner.runtime.slow_query_us.load(Ordering::Relaxed);
+    let slow = threshold > 0 && latency_us >= threshold;
+    // The full report is only assembled for traced or slow requests; the
+    // common path pays for a few Instant reads and nothing else.
+    let trace = (job.trace || slow).then(|| TraceReport {
+        admit_us: job.admit_ns / 1_000,
+        queue_us: timing
+            .formed
+            .saturating_duration_since(job.submitted)
+            .as_micros() as u64,
+        batch_us: timing.batch_us,
+        scan_us: scan.map_or(0, |s| s.scan_us),
+        bound_us: scan.map_or(0, |s| s.bound_us),
+        kernel_us: scan.map_or(0, |s| s.kernel_us),
+        merge_us: scan.map_or(0, |s| s.merge_started.elapsed().as_micros() as u64),
+        serialize_us: 0, // stamped by the server after rendering
+        prune: scan.map_or_else(Default::default, |s| s.prune),
+        cached,
+        batch_size: timing.size,
+    });
+    if slow {
+        let record = SlowQueryRecord {
+            latency_us,
+            trace: trace.clone().expect("slow queries always build a trace"),
+            epoch: job.admitted.epoch,
+        };
+        eprintln!("{}", record.to_json().dump());
+        {
+            let mut log = inner.slow_log.lock().expect("slow log lock poisoned");
+            if log.len() == SLOW_LOG_CAPACITY {
+                log.pop_front();
+            }
+            log.push_back(record);
+        }
+        inner.stats.record_slow_query();
+    }
     // The requester may have given up (dropped the receiver); that's fine.
     let _ = job.reply.send(QueryResponse {
         results,
         cached,
         latency,
-        batch_size: batch,
+        batch_size: timing.size,
         epoch: job.admitted.epoch,
+        trace,
     });
 }
 
@@ -1141,6 +1583,8 @@ mod tests {
                 cache_capacity: Some(2),
                 default_k: Some(7),
                 cache_key_quantize: Some(0.25),
+                slow_query_us: Some(5000),
+                audit_sample: Some(0.5),
             })
             .unwrap();
         assert!(!view.prune);
@@ -1148,6 +1592,8 @@ mod tests {
         assert_eq!(view.cache_capacity, 2);
         assert_eq!(view.default_k, 7);
         assert_eq!(view.cache_key_quantize, Some(0.25));
+        assert_eq!(view.slow_query_us, 5000);
+        assert_eq!(view.audit_sample, 0.5);
         assert_eq!(engine.default_k(), 7);
 
         // Quantum 0 switches back to exact keys.
@@ -1174,6 +1620,14 @@ mod tests {
             },
             ConfigUpdate {
                 cache_key_quantize: Some(f64::NAN),
+                ..ConfigUpdate::default()
+            },
+            ConfigUpdate {
+                audit_sample: Some(1.5),
+                ..ConfigUpdate::default()
+            },
+            ConfigUpdate {
+                audit_sample: Some(f64::NAN),
                 ..ConfigUpdate::default()
             },
         ] {

@@ -12,8 +12,11 @@
 //! | [`engine`] | [`QueryEngine`]: worker pool, MPSC queue, micro-batching, graceful shutdown; [`Corpus`]: single vs. sharded corpus snapshots; [`EngineHandle`]: epoch-versioned hot-swap cell ([`QueryEngine::swap_snapshot`] = live reload) |
 //! | [`query`] | request/response model, canonical query hash |
 //! | [`cache`] | O(1) LRU result cache with epoch-stamped entries |
-//! | [`stats`] | qps / p50 / p99 / hit-rate / swap accounting |
-//! | [`server`] | newline-delimited JSON over TCP (`simsub serve`), wire protocol v1+v2 with the admin namespace (`reload` / `configure` / `info`) |
+//! | [`stats`] | qps / p50 / p99 / hit-rate / swap / prune / audit accounting over [`metrics_registry`] primitives |
+//! | [`metrics_registry`] | dependency-free counters, gauges, mergeable power-of-two histograms, Prometheus-style text exposition |
+//! | [`trace`] | per-query stage traces (`"trace":true` on wire v2) and the slow-query log record |
+//! | `audit` (private) | sampled online quality auditor: re-runs ExactS on served answers, feeds the AR/MR/RR gauges |
+//! | [`server`] | newline-delimited JSON over TCP (`simsub serve`), wire protocol v1+v2 with the admin namespace (`reload` / `configure` / `info` / `metrics`) |
 //! | [`json`] | dependency-free JSON parse/serialize, [`json::ProtocolVersion`] envelope rules |
 //!
 //! Answers are bit-identical to the offline paths: a cache hit replays a
@@ -50,18 +53,23 @@
 //! engine.shutdown();
 //! ```
 
+mod audit;
 pub mod cache;
 pub mod engine;
 pub mod json;
+pub mod metrics_registry;
 pub mod query;
 pub mod server;
 pub mod stats;
+pub mod trace;
 
 pub use engine::{
     ConfigUpdate, ConfigView, Corpus, CorpusSnapshot, EngineConfig, EngineHandle, EpochSnapshot,
     PendingQuery, QueryEngine, ServiceError, SwapReport,
 };
 pub use json::ProtocolVersion;
+pub use metrics_registry::{Counter, Gauge, Histogram, HistogramSnapshot};
 pub use query::{AlgoSpec, MeasureSpec, QueryRequest, QueryResponse};
 pub use server::{Server, StopHandle};
 pub use stats::{ServeStats, StatsSnapshot};
+pub use trace::{SlowQueryRecord, TraceReport};

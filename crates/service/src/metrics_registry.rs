@@ -1,0 +1,455 @@
+//! Dependency-free metrics primitives: atomic counters, gauges, and
+//! log-bucketed power-of-two histograms.
+//!
+//! Everything in this module is lock-free to record and mergeable across
+//! workers, which is what lets [`crate::ServeStats`] act as a process-wide
+//! metrics registry without putting a mutex on the serve hot path:
+//!
+//! * [`Counter`] — monotonically increasing `u64` (one `fetch_add`).
+//! * [`Gauge`] — signed instantaneous value (queue depth, in-flight).
+//! * [`Histogram`] — 65 power-of-two buckets; bucket `i > 0` holds values
+//!   `v` with `2^(i-1) <= v < 2^i` (bucket 0 holds zero). Recording is a
+//!   single `fetch_add` into one bucket plus count/sum updates; merging two
+//!   histograms is a bucket-wise add, so per-worker histograms can be
+//!   combined associatively. Quantiles are answered from the cumulative
+//!   bucket counts with at most one bucket of error (the reported value is
+//!   the bucket's inclusive upper bound, within 2x of the true quantile).
+//! * [`ExpositionBuilder`] — renders Prometheus-style text exposition
+//!   (`# TYPE` headers, `_bucket{le="..."}` / `_sum` / `_count` series)
+//!   without any external crates.
+//!
+//! All atomics use [`Ordering::Relaxed`]: metrics tolerate torn cross-metric
+//! views and only need eventual per-metric consistency.
+
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+
+/// Number of histogram buckets: one for zero plus one per bit width of a
+/// `u64` value (so every `u64` lands in exactly one bucket).
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// A monotonically increasing counter (single relaxed `fetch_add` to record).
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Creates a counter starting at zero.
+    pub const fn new() -> Self {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Increments the counter by one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Increments the counter by `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Returns the current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A signed instantaneous gauge (queue depth, in-flight requests).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// Creates a gauge starting at zero.
+    pub const fn new() -> Self {
+        Gauge(AtomicI64::new(0))
+    }
+
+    /// Adds `delta` (may be negative) to the gauge.
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Sets the gauge to an absolute value.
+    #[inline]
+    pub fn set(&self, value: i64) {
+        self.0.store(value, Ordering::Relaxed);
+    }
+
+    /// Returns the current value.
+    #[inline]
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Returns the bucket index for a value: 0 for 0, else `bit_width(v)` so
+/// that bucket `i` spans `[2^(i-1), 2^i - 1]`.
+#[inline]
+pub fn bucket_index(value: u64) -> usize {
+    (u64::BITS - value.leading_zeros()) as usize
+}
+
+/// Inclusive upper bound of bucket `i` (`0`, `1`, `3`, `7`, ..., `u64::MAX`).
+#[inline]
+pub fn bucket_upper_bound(index: usize) -> u64 {
+    if index >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << index) - 1
+    }
+}
+
+/// A lock-free, mergeable histogram over power-of-two buckets.
+///
+/// `record` touches one bucket plus the count and sum — three relaxed
+/// `fetch_add`s, no locks — so concurrent workers can share one histogram
+/// or keep per-worker copies and [`Histogram::merge_from`] them later; the
+/// merge is a bucket-wise add and therefore associative and commutative.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Total number of recorded observations.
+    #[inline]
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all recorded observations (wrapping on overflow).
+    #[inline]
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Adds every bucket of `other` into `self` (associative, commutative).
+    pub fn merge_from(&self, other: &Histogram) {
+        for (dst, src) in self.buckets.iter().zip(other.buckets.iter()) {
+            let n = src.load(Ordering::Relaxed);
+            if n != 0 {
+                dst.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        self.count
+            .fetch_add(other.count.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.sum
+            .fetch_add(other.sum.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    /// Takes a point-in-time copy of the buckets for quantile queries and
+    /// text exposition. The copy is not atomic across buckets; histograms
+    /// only need eventual consistency.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Shorthand for `snapshot().quantile(q)`.
+    pub fn quantile(&self, q: f64) -> u64 {
+        self.snapshot().quantile(q)
+    }
+}
+
+/// A point-in-time copy of a [`Histogram`], used for quantile queries,
+/// wire serialization, and Prometheus exposition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket observation counts (see [`bucket_index`] for the layout).
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
+    /// Total observation count.
+    pub count: u64,
+    /// Sum of all observations.
+    pub sum: u64,
+}
+
+impl HistogramSnapshot {
+    /// An empty snapshot.
+    pub fn empty() -> Self {
+        HistogramSnapshot {
+            buckets: [0; HISTOGRAM_BUCKETS],
+            count: 0,
+            sum: 0,
+        }
+    }
+
+    /// Returns the `q`-quantile (`0.0..=1.0`) as the inclusive upper bound
+    /// of the bucket containing the target rank — at most one bucket (2x)
+    /// above the true value. Returns 0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cumulative = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            cumulative += n;
+            if cumulative >= rank {
+                return bucket_upper_bound(i);
+            }
+        }
+        bucket_upper_bound(HISTOGRAM_BUCKETS - 1)
+    }
+
+    /// Mean of the recorded values (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Non-empty `(upper_bound, count)` bucket pairs, in ascending order.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n != 0)
+            .map(|(i, &n)| (bucket_upper_bound(i), n))
+            .collect()
+    }
+}
+
+/// Renders Prometheus-style text exposition without external crates.
+///
+/// Metric families are appended in call order; each emits a `# HELP` line,
+/// a `# TYPE` line, and the sample series.
+#[derive(Debug, Default)]
+pub struct ExpositionBuilder {
+    out: String,
+}
+
+impl ExpositionBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        ExpositionBuilder { out: String::new() }
+    }
+
+    fn header(&mut self, name: &str, help: &str, kind: &str) {
+        let _ = writeln!(self.out, "# HELP {name} {help}");
+        let _ = writeln!(self.out, "# TYPE {name} {kind}");
+    }
+
+    /// Appends a counter family with a single unlabelled sample.
+    pub fn counter(&mut self, name: &str, help: &str, value: u64) -> &mut Self {
+        self.header(name, help, "counter");
+        let _ = writeln!(self.out, "{name} {value}");
+        self
+    }
+
+    /// Appends a counter family with one sample per `(label_value, value)`.
+    pub fn counter_per_label(
+        &mut self,
+        name: &str,
+        help: &str,
+        label: &str,
+        samples: &[(String, u64)],
+    ) -> &mut Self {
+        self.header(name, help, "counter");
+        for (label_value, value) in samples {
+            let _ = writeln!(self.out, "{name}{{{label}=\"{label_value}\"}} {value}");
+        }
+        self
+    }
+
+    /// Appends a gauge family with a single sample. `value` is rendered
+    /// with enough precision for ratios (AR/MR/RR, ns-per-cell).
+    pub fn gauge(&mut self, name: &str, help: &str, value: f64) -> &mut Self {
+        self.header(name, help, "gauge");
+        if value == value.trunc() && value.abs() < 1e15 {
+            let _ = writeln!(self.out, "{name} {}", value as i64);
+        } else {
+            let _ = writeln!(self.out, "{name} {value:.6}");
+        }
+        self
+    }
+
+    /// Appends a histogram family: cumulative `_bucket{le="..."}` series up
+    /// to the highest non-empty bucket, a `+Inf` bucket, `_sum`, `_count`.
+    pub fn histogram(&mut self, name: &str, help: &str, snap: &HistogramSnapshot) -> &mut Self {
+        self.header(name, help, "histogram");
+        let last = snap
+            .buckets
+            .iter()
+            .rposition(|&n| n != 0)
+            .unwrap_or(0)
+            .min(HISTOGRAM_BUCKETS - 2);
+        let mut cumulative = 0u64;
+        for i in 0..=last {
+            cumulative += snap.buckets[i];
+            let le = bucket_upper_bound(i);
+            let _ = writeln!(self.out, "{name}_bucket{{le=\"{le}\"}} {cumulative}");
+        }
+        let _ = writeln!(self.out, "{name}_bucket{{le=\"+Inf\"}} {}", snap.count);
+        let _ = writeln!(self.out, "{name}_sum {}", snap.sum);
+        let _ = writeln!(self.out, "{name}_count {}", snap.count);
+        self
+    }
+
+    /// Consumes the builder and returns the exposition text.
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn values_land_in_correct_buckets() {
+        let h = Histogram::new();
+        for v in [0u64, 1, 2, 3, 4, 7, 8, 1023, 1024, u64::MAX] {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.buckets[0], 1); // 0
+        assert_eq!(snap.buckets[1], 1); // 1
+        assert_eq!(snap.buckets[2], 2); // 2, 3
+        assert_eq!(snap.buckets[3], 2); // 4, 7
+        assert_eq!(snap.buckets[4], 1); // 8
+        assert_eq!(snap.buckets[10], 1); // 1023
+        assert_eq!(snap.buckets[11], 1); // 1024
+        assert_eq!(snap.buckets[64], 1); // u64::MAX
+        assert_eq!(snap.count, 10);
+    }
+
+    #[test]
+    fn bucket_bounds_are_powers_of_two_minus_one() {
+        assert_eq!(bucket_upper_bound(0), 0);
+        assert_eq!(bucket_upper_bound(1), 1);
+        assert_eq!(bucket_upper_bound(2), 3);
+        assert_eq!(bucket_upper_bound(10), 1023);
+        assert_eq!(bucket_upper_bound(64), u64::MAX);
+        // Every value's bucket bound is >= the value and < 2x the value.
+        for v in [1u64, 2, 3, 5, 100, 1000, 1_000_000, 1 << 40] {
+            let bound = bucket_upper_bound(bucket_index(v));
+            assert!(bound >= v);
+            assert!(bound < v.saturating_mul(2));
+        }
+    }
+
+    #[test]
+    fn quantile_error_is_at_most_one_bucket() {
+        let h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        for (q, truth) in [(0.5, 500u64), (0.99, 990), (0.999, 999)] {
+            let est = snap.quantile(q);
+            // The estimate is the bucket upper bound: >= truth, < 2x truth.
+            assert!(est >= truth, "q={q}: {est} < {truth}");
+            assert!(est < truth * 2, "q={q}: {est} >= 2*{truth}");
+        }
+        assert_eq!(snap.quantile(1.0), bucket_upper_bound(bucket_index(1000)));
+    }
+
+    #[test]
+    fn empty_histogram_quantiles_are_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.snapshot().mean(), 0.0);
+    }
+
+    #[test]
+    fn merge_is_associative_and_matches_combined_recording() {
+        let parts: Vec<Histogram> = (0..3).map(|_| Histogram::new()).collect();
+        let combined = Histogram::new();
+        for (i, v) in (0..300u64).enumerate() {
+            parts[i % 3].record(v * 17 % 4096);
+            combined.record(v * 17 % 4096);
+        }
+        // (a + b) + c
+        let left = Histogram::new();
+        left.merge_from(&parts[0]);
+        left.merge_from(&parts[1]);
+        left.merge_from(&parts[2]);
+        // a + (b + c)
+        let bc = Histogram::new();
+        bc.merge_from(&parts[1]);
+        bc.merge_from(&parts[2]);
+        let right = Histogram::new();
+        right.merge_from(&parts[0]);
+        right.merge_from(&bc);
+        assert_eq!(left.snapshot(), right.snapshot());
+        assert_eq!(left.snapshot(), combined.snapshot());
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let h = Arc::new(Histogram::new());
+        let threads: Vec<_> = (0..8)
+            .map(|t| {
+                let h = Arc::clone(&h);
+                std::thread::spawn(move || {
+                    for i in 0..10_000u64 {
+                        h.record(t * 10_000 + i);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 80_000);
+        assert_eq!(snap.buckets.iter().sum::<u64>(), 80_000);
+        let expected_sum: u64 = (0..80_000u64).sum();
+        assert_eq!(snap.sum, expected_sum);
+    }
+
+    #[test]
+    fn exposition_renders_counter_gauge_histogram() {
+        let h = Histogram::new();
+        h.record(3);
+        h.record(100);
+        let mut b = ExpositionBuilder::new();
+        b.counter("t_requests_total", "Requests.", 7)
+            .gauge("t_queue_depth", "Depth.", 2.0)
+            .histogram("t_latency_us", "Latency.", &h.snapshot());
+        let text = b.finish();
+        assert!(text.contains("# TYPE t_requests_total counter"));
+        assert!(text.contains("t_requests_total 7"));
+        assert!(text.contains("# TYPE t_queue_depth gauge"));
+        assert!(text.contains("t_queue_depth 2"));
+        assert!(text.contains("t_latency_us_bucket{le=\"3\"}"));
+        assert!(text.contains("t_latency_us_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("t_latency_us_sum 103"));
+        assert!(text.contains("t_latency_us_count 2"));
+    }
+}

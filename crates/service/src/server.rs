@@ -33,13 +33,27 @@
 //! reconfigured). Answers are byte-identical to the offline
 //! `TrajectoryDb::top_k` for the same request against the same snapshot.
 //!
+//! **Stage tracing (v2 only):** a v2 query may add `"trace": true`; its
+//! response then carries a `"trace"` object *appended after* the v1 body
+//! fields — `{"admit_us":..,"queue_us":..,"batch_us":..,"scan_us":..,
+//! "bound_us":..,"kernel_us":..,"merge_us":..,"serialize_us":..,
+//! "scanned":..,"pruned_by_kim":..,"pruned_by_mbr":..,"searched":..,
+//! "searched_cells":..,"cached":..,"batch_size":..}` (see
+//! [`crate::trace::TraceReport`]). On a v1 line the flag is ignored: v1
+//! responses never grow fields. Tracing turns on the per-candidate
+//! bound/kernel clocks for the traced query's dispatch group only;
+//! untraced traffic keeps the near-zero disabled path.
+//!
 //! ## Commands
 //!
 //! v1 commands (unchanged):
 //!
-//! - `{"cmd":"stats"}` → `{"ok":true,"stats":{...}}` (the stats object
-//!   grows fields over time — additions include `swaps` and
-//!   `cache_evicted_on_swap`).
+//! - `{"cmd":"stats"}` → `{"ok":true,"stats":{...}}`. The first fourteen
+//!   stats fields (through `cache_evicted_on_swap`) are frozen; later
+//!   fields are additive and keep growing (histogram-backed percentiles,
+//!   queue/inflight gauges, prune/cache/audit counters,
+//!   `latency_buckets`/`batch_buckets` — see
+//!   [`crate::stats::StatsSnapshot::to_json`]).
 //! - `{"cmd":"ping"}` → `{"ok":true,"pong":true}`
 //! - `{"cmd":"shutdown"}` → `{"ok":true,"bye":true}`, then the server
 //!   stops accepting, drains the engine, and exits.
@@ -67,10 +81,18 @@
 //!   finish against the old snapshot; queries admitted after the swap
 //!   see the new one. Nothing restarts, no connection drops.
 //! - `{"cmd":"configure"}` with any of `"prune":bool`, `"max_batch":N`,
-//!   `"cache_capacity":N`, `"default_k":N`, `"cache_key_quantize":Q` →
+//!   `"cache_capacity":N`, `"default_k":N`, `"cache_key_quantize":Q`,
+//!   `"slow_query_us":N` (0 disables the slow-query log),
+//!   `"audit_sample":F` (fraction in `[0,1]`, 0 disables auditing) →
 //!   applies the knobs live and answers
 //!   `{"ok":true,"configured":true,...}` echoing the full effective
 //!   configuration.
+//! - `{"cmd":"metrics"}` → `{"ok":true,"metrics":"<text>"}` where
+//!   `<text>` is the full Prometheus-style exposition
+//!   ([`QueryEngine::metrics_exposition`]): `# HELP`/`# TYPE` headers,
+//!   `simsub_*` counter/gauge series, and cumulative `_bucket{le=...}`
+//!   histograms for request latency and batch size. `simsub admin
+//!   metrics` prints it verbatim for scraping.
 //!
 //! Unknown `"cmd"` values are errors, so clients can feature-probe.
 //!
@@ -324,16 +346,35 @@ fn handle_line(line: &str, engine: &QueryEngine, stop: &AtomicBool) -> Json {
                 .unwrap_or_else(|| error_response(&format!("unknown cmd {cmd:?}")))
         }
     } else {
+        // Tracing is v2-only: the trace object is an appended body field,
+        // and v1 bodies never grow fields.
+        let trace_requested = version == ProtocolVersion::V2
+            && parsed.get("trace").and_then(Json::as_bool) == Some(true);
         match QueryRequest::from_json_with(&parsed, engine.default_k()) {
-            Ok(request) => match engine.query(request) {
-                // Queries echo the epoch they were *admitted* under,
-                // which a concurrent reload may have already left behind.
-                Ok(response) => {
-                    let epoch = response.epoch;
-                    return version.envelope(response.to_json(), id.as_ref(), epoch);
+            Ok(request) => {
+                match engine
+                    .submit_traced(request, trace_requested)
+                    .and_then(crate::engine::PendingQuery::wait)
+                {
+                    // Queries echo the epoch they were *admitted* under,
+                    // which a concurrent reload may have already left
+                    // behind.
+                    Ok(mut response) => {
+                        let epoch = response.epoch;
+                        // A slow-query outlier also carries a trace (for
+                        // the log); only echo it when it was asked for.
+                        let trace = response.trace.take().filter(|_| trace_requested);
+                        let render_started = std::time::Instant::now();
+                        let mut body = response.to_json();
+                        if let (Some(mut trace), Json::Obj(pairs)) = (trace, &mut body) {
+                            trace.serialize_us = render_started.elapsed().as_micros() as u64;
+                            pairs.push(("trace".to_string(), trace.to_json()));
+                        }
+                        return version.envelope(body, id.as_ref(), epoch);
+                    }
+                    Err(e) => error_response(&e.to_string()),
                 }
-                Err(e) => error_response(&e.to_string()),
-            },
+            }
             Err(e) => error_response(&e),
         }
     };
@@ -359,6 +400,10 @@ pub fn handle_admin_command(engine: &QueryEngine, parsed: &Json) -> Option<Json>
             ("pong", Json::Bool(true)),
         ])),
         "info" => Some(admin_info(engine)),
+        "metrics" => Some(obj(vec![
+            ("ok", Json::Bool(true)),
+            ("metrics", Json::Str(engine.metrics_exposition())),
+        ])),
         "reload" => Some(admin_reload(engine, parsed)),
         "configure" => Some(admin_configure(engine, parsed)),
         _ => None,
@@ -391,6 +436,8 @@ fn admin_info(engine: &QueryEngine) -> Json {
             "cache_key_quantize",
             Json::Num(config.cache_key_quantize.unwrap_or(0.0)),
         ),
+        ("slow_query_us", Json::Num(config.slow_query_us as f64)),
+        ("audit_sample", Json::Num(config.audit_sample)),
         ("rls_loaded", Json::Bool(snapshot.has_rls())),
         ("t2vec_loaded", Json::Bool(snapshot.has_t2vec())),
         ("swaps", Json::Num(stats.swaps as f64)),
@@ -524,6 +571,13 @@ fn admin_configure(engine: &QueryEngine, parsed: &Json) -> Json {
             None => return error_response("\"cache_key_quantize\" must be a number (0 disables)"),
         },
     };
+    let audit_sample = match parsed.get("audit_sample") {
+        None => None,
+        Some(v) => match v.as_f64() {
+            Some(f) => Some(f),
+            None => return error_response("\"audit_sample\" must be a number in [0, 1]"),
+        },
+    };
     let update = ConfigUpdate {
         prune,
         max_batch: match field_usize("max_batch") {
@@ -539,11 +593,17 @@ fn admin_configure(engine: &QueryEngine, parsed: &Json) -> Json {
             Err(e) => return error_response(&e),
         },
         cache_key_quantize,
+        slow_query_us: match field_usize("slow_query_us") {
+            Ok(v) => v.map(|us| us as u64),
+            Err(e) => return error_response(&e),
+        },
+        audit_sample,
     };
     if update == ConfigUpdate::default() {
         return error_response(
             "configure needs at least one of \"prune\", \"max_batch\", \
-             \"cache_capacity\", \"default_k\", \"cache_key_quantize\"",
+             \"cache_capacity\", \"default_k\", \"cache_key_quantize\", \
+             \"slow_query_us\", \"audit_sample\"",
         );
     }
     match engine.configure(update) {
@@ -559,6 +619,8 @@ fn admin_configure(engine: &QueryEngine, parsed: &Json) -> Json {
                 "cache_key_quantize",
                 Json::Num(view.cache_key_quantize.unwrap_or(0.0)),
             ),
+            ("slow_query_us", Json::Num(view.slow_query_us as f64)),
+            ("audit_sample", Json::Num(view.audit_sample)),
             ("workers", Json::Num(view.workers as f64)),
         ]),
         Err(e) => error_response(&e.to_string()),

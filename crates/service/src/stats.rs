@@ -1,42 +1,71 @@
-//! Aggregate serving statistics: request/hit counters on atomics, a
-//! bounded latency reservoir for percentiles, and a point-in-time
-//! [`StatsSnapshot`] with qps and p50/p99.
+//! Aggregate serving statistics — the engine's metrics registry.
+//!
+//! Every hot-path record is lock-free: counters and gauges are single
+//! relaxed atomics, and latency/batch-size distributions live in the
+//! log-bucketed [`Histogram`]s of [`crate::metrics_registry`] (which
+//! replaced the old mutex-guarded latency reservoir), so p50/p99/p999
+//! come from mergeable power-of-two buckets with at most one bucket (2x)
+//! of error. [`ServeStats::snapshot`] takes the point-in-time
+//! [`StatsSnapshot`] that backs both the `stats` wire response and the
+//! Prometheus-style `metrics` exposition.
 
 use crate::json::{obj, Json};
-use simsub_core::PruneStats;
+use crate::metrics_registry::{Counter, Gauge, Histogram, HistogramSnapshot};
+use simsub_core::{EffectivenessMetrics, PruneStats};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
-/// How many recent latencies the percentile reservoir keeps.
-const RESERVOIR_CAPACITY: usize = 8192;
-
-/// Live counters owned by the engine; cheap to update per request.
+/// Live counters owned by the engine; cheap (lock-free) to update per
+/// request.
 pub struct ServeStats {
     started: Instant,
-    requests: AtomicU64,
-    cache_hits: AtomicU64,
-    batches: AtomicU64,
-    batched_requests: AtomicU64,
+    requests: Counter,
+    cache_hits: Counter,
+    batches: Counter,
+    batched_requests: Counter,
     /// Candidate (trajectory, query) evaluations considered by
     /// cold-path corpus scans (a batched scan counts each trajectory
     /// once per query it is a candidate for).
-    scan_candidates: AtomicU64,
-    /// Of those, skipped by the lower-bound cascade before any search.
-    scan_pruned: AtomicU64,
+    scan_candidates: Counter,
+    /// Of those, skipped by the O(1) Kim-style coarse screen.
+    scan_pruned_kim: Counter,
+    /// Of those, skipped by the O(m) MBR-envelope bound.
+    scan_pruned_mbr: Counter,
     /// Of those, fully searched.
-    scan_searched: AtomicU64,
+    scan_searched: Counter,
+    /// DP cells (`data_len × query_len`) evaluated by searched
+    /// candidates — the denominator of the ns-per-cell gauge.
+    scan_searched_cells: Counter,
+    /// Wall-clock nanoseconds spent inside corpus scans (measured by the
+    /// engine around each batched scan call) — the ns-per-cell numerator.
+    scan_ns: Counter,
     /// Snapshot hot-swaps performed (`QueryEngine::swap_snapshot`).
-    swaps: AtomicU64,
+    swaps: Counter,
     /// Cache entries purged by swaps (stale-epoch evictions), summed.
-    cache_evicted_on_swap: AtomicU64,
-    latencies_us: Mutex<Reservoir>,
-}
-
-/// Fixed-size ring of recent latency samples (microseconds).
-struct Reservoir {
-    samples: Vec<u64>,
-    next: usize,
+    cache_evicted_on_swap: Counter,
+    /// Cache entries evicted by LRU capacity pressure.
+    cache_evictions: Counter,
+    /// Requests whose engine latency crossed the slow-query threshold.
+    slow_queries: Counter,
+    /// Jobs accepted by `submit` but not yet drained by a worker.
+    queue_depth: Gauge,
+    /// Jobs drained into a batch but not yet answered.
+    inflight: Gauge,
+    /// Engine latency distribution, microseconds.
+    latencies_us: Histogram,
+    /// Dispatched micro-batch size distribution.
+    batch_sizes: Histogram,
+    /// Per-worker nanoseconds spent outside the blocking queue receive.
+    worker_busy_ns: Vec<Counter>,
+    /// Quality-audit samples folded in so far.
+    audit_samples: Counter,
+    /// Audit candidates dropped because the auditor's queue was full.
+    audit_dropped: Counter,
+    // Running sums for the audit means, stored as f64 bits. The auditor
+    // thread is the only writer; readers just need a coherent f64.
+    audit_ar_sum: AtomicU64,
+    audit_mr_sum: AtomicU64,
+    audit_rr_sum: AtomicU64,
 }
 
 impl Default for ServeStats {
@@ -45,86 +74,158 @@ impl Default for ServeStats {
     }
 }
 
+fn f64_add(cell: &AtomicU64, delta: f64) {
+    let next = f64::from_bits(cell.load(Ordering::Relaxed)) + delta;
+    cell.store(next.to_bits(), Ordering::Relaxed);
+}
+
+fn f64_load(cell: &AtomicU64) -> f64 {
+    f64::from_bits(cell.load(Ordering::Relaxed))
+}
+
 impl ServeStats {
-    /// Fresh, zeroed stats anchored at "now".
+    /// Fresh, zeroed stats anchored at "now", with no per-worker busy
+    /// counters (use [`ServeStats::with_workers`] for an engine).
     pub fn new() -> Self {
+        Self::with_workers(0)
+    }
+
+    /// Fresh, zeroed stats with one busy-time counter per worker.
+    pub fn with_workers(workers: usize) -> Self {
         Self {
             started: Instant::now(),
-            requests: AtomicU64::new(0),
-            cache_hits: AtomicU64::new(0),
-            batches: AtomicU64::new(0),
-            batched_requests: AtomicU64::new(0),
-            scan_candidates: AtomicU64::new(0),
-            scan_pruned: AtomicU64::new(0),
-            scan_searched: AtomicU64::new(0),
-            swaps: AtomicU64::new(0),
-            cache_evicted_on_swap: AtomicU64::new(0),
-            latencies_us: Mutex::new(Reservoir {
-                samples: Vec::with_capacity(256),
-                next: 0,
-            }),
+            requests: Counter::new(),
+            cache_hits: Counter::new(),
+            batches: Counter::new(),
+            batched_requests: Counter::new(),
+            scan_candidates: Counter::new(),
+            scan_pruned_kim: Counter::new(),
+            scan_pruned_mbr: Counter::new(),
+            scan_searched: Counter::new(),
+            scan_searched_cells: Counter::new(),
+            scan_ns: Counter::new(),
+            swaps: Counter::new(),
+            cache_evicted_on_swap: Counter::new(),
+            cache_evictions: Counter::new(),
+            slow_queries: Counter::new(),
+            queue_depth: Gauge::new(),
+            inflight: Gauge::new(),
+            latencies_us: Histogram::new(),
+            batch_sizes: Histogram::new(),
+            worker_busy_ns: (0..workers).map(|_| Counter::new()).collect(),
+            audit_samples: Counter::new(),
+            audit_dropped: Counter::new(),
+            audit_ar_sum: AtomicU64::new(0f64.to_bits()),
+            audit_mr_sum: AtomicU64::new(0f64.to_bits()),
+            audit_rr_sum: AtomicU64::new(0f64.to_bits()),
         }
     }
 
     /// Records one answered request.
     pub fn record_request(&self, latency: Duration, cache_hit: bool) {
-        self.requests.fetch_add(1, Ordering::Relaxed);
+        self.requests.inc();
         if cache_hit {
-            self.cache_hits.fetch_add(1, Ordering::Relaxed);
+            self.cache_hits.inc();
         }
-        let us = latency.as_micros().min(u128::from(u64::MAX)) as u64;
-        let mut reservoir = self.latencies_us.lock().expect("stats lock poisoned");
-        if reservoir.samples.len() < RESERVOIR_CAPACITY {
-            reservoir.samples.push(us);
-        } else {
-            let slot = reservoir.next;
-            reservoir.samples[slot] = us;
-        }
-        reservoir.next = (reservoir.next + 1) % RESERVOIR_CAPACITY;
+        self.latencies_us
+            .record(latency.as_micros().min(u128::from(u64::MAX)) as u64);
     }
 
     /// Records one dispatched batch of `size` requests.
     pub fn record_batch(&self, size: usize) {
-        self.batches.fetch_add(1, Ordering::Relaxed);
-        self.batched_requests
-            .fetch_add(size as u64, Ordering::Relaxed);
+        self.batches.inc();
+        self.batched_requests.add(size as u64);
+        self.batch_sizes.record(size as u64);
     }
 
     /// Folds one cold-path corpus scan's prune counters into the totals.
-    pub fn record_scan(&self, scan: &PruneStats) {
-        self.scan_candidates
-            .fetch_add(scan.scanned, Ordering::Relaxed);
-        self.scan_pruned.fetch_add(scan.pruned(), Ordering::Relaxed);
-        self.scan_searched
-            .fetch_add(scan.searched, Ordering::Relaxed);
+    /// `scan_ns` is the wall-clock time of the scan call (ns-per-cell
+    /// numerator; pass 0 when unmeasured).
+    pub fn record_scan(&self, scan: &PruneStats, scan_ns: u64) {
+        self.scan_candidates.add(scan.scanned);
+        self.scan_pruned_kim.add(scan.pruned_by_kim);
+        self.scan_pruned_mbr.add(scan.pruned_by_mbr);
+        self.scan_searched.add(scan.searched);
+        self.scan_searched_cells.add(scan.searched_cells);
+        self.scan_ns.add(scan_ns);
     }
 
     /// Records one snapshot hot-swap and how many stale-epoch cache
     /// entries it purged, so swaps are observable on the `stats` wire
     /// response.
     pub fn record_swap(&self, cache_evicted: u64) {
-        self.swaps.fetch_add(1, Ordering::Relaxed);
-        self.cache_evicted_on_swap
-            .fetch_add(cache_evicted, Ordering::Relaxed);
+        self.swaps.inc();
+        self.cache_evicted_on_swap.add(cache_evicted);
+    }
+
+    /// Records cache entries evicted by LRU capacity pressure.
+    pub fn record_cache_evictions(&self, n: u64) {
+        if n != 0 {
+            self.cache_evictions.add(n);
+        }
+    }
+
+    /// Records one request that crossed the slow-query threshold.
+    pub fn record_slow_query(&self) {
+        self.slow_queries.inc();
+    }
+
+    /// Adds busy time (time not blocked on the queue) to worker `index`.
+    pub fn record_worker_busy(&self, index: usize, ns: u64) {
+        if let Some(counter) = self.worker_busy_ns.get(index) {
+            counter.add(ns);
+        }
+    }
+
+    /// Jobs accepted by `submit` but not yet drained by a worker.
+    pub fn queue_depth(&self) -> &Gauge {
+        &self.queue_depth
+    }
+
+    /// Jobs drained into a batch but not yet answered.
+    pub fn inflight(&self) -> &Gauge {
+        &self.inflight
+    }
+
+    /// Folds one quality-audit sample (AR/MR/RR of a served answer
+    /// re-checked against ExactS) into the running means. Single-writer:
+    /// only the auditor thread calls this.
+    pub fn record_audit_sample(&self, m: &EffectivenessMetrics) {
+        f64_add(&self.audit_ar_sum, m.ar);
+        f64_add(&self.audit_mr_sum, m.mr);
+        f64_add(&self.audit_rr_sum, m.rr);
+        self.audit_samples.inc();
+    }
+
+    /// Records an audit candidate dropped because the auditor's bounded
+    /// queue was full (serving never blocks on the auditor).
+    pub fn record_audit_dropped(&self) {
+        self.audit_dropped.inc();
     }
 
     /// Takes a consistent-enough point-in-time snapshot.
     pub fn snapshot(&self) -> StatsSnapshot {
-        let requests = self.requests.load(Ordering::Relaxed);
-        let cache_hits = self.cache_hits.load(Ordering::Relaxed);
-        let batches = self.batches.load(Ordering::Relaxed);
-        let batched_requests = self.batched_requests.load(Ordering::Relaxed);
-        let scan_candidates = self.scan_candidates.load(Ordering::Relaxed);
-        let scan_pruned = self.scan_pruned.load(Ordering::Relaxed);
-        let scan_searched = self.scan_searched.load(Ordering::Relaxed);
-        let swaps = self.swaps.load(Ordering::Relaxed);
-        let cache_evicted_on_swap = self.cache_evicted_on_swap.load(Ordering::Relaxed);
+        let requests = self.requests.get();
+        let cache_hits = self.cache_hits.get();
+        let batches = self.batches.get();
+        let batched_requests = self.batched_requests.get();
+        let scan_pruned_kim = self.scan_pruned_kim.get();
+        let scan_pruned_mbr = self.scan_pruned_mbr.get();
+        let scan_candidates = self.scan_candidates.get();
+        let scan_searched = self.scan_searched.get();
+        let scan_searched_cells = self.scan_searched_cells.get();
+        let scan_ns = self.scan_ns.get();
         let uptime = self.started.elapsed();
-        let mut samples = {
-            let reservoir = self.latencies_us.lock().expect("stats lock poisoned");
-            reservoir.samples.clone()
+        let latency_hist = self.latencies_us.snapshot();
+        let batch_hist = self.batch_sizes.snapshot();
+        let audit_samples = self.audit_samples.get();
+        let audit_mean = |sum: &AtomicU64| {
+            if audit_samples == 0 {
+                0.0
+            } else {
+                f64_load(sum) / audit_samples as f64
+            }
         };
-        samples.sort_unstable();
         StatsSnapshot {
             requests,
             cache_hits,
@@ -135,15 +236,35 @@ impl ServeStats {
             } else {
                 0.0
             },
-            p50_us: percentile(&samples, 0.50),
-            p99_us: percentile(&samples, 0.99),
+            p50_us: latency_hist.quantile(0.50),
+            p99_us: latency_hist.quantile(0.99),
             mean_batch: ratio(batched_requests, batches),
             scan_candidates,
-            scan_pruned,
+            scan_pruned: scan_pruned_kim + scan_pruned_mbr,
             scan_searched,
-            prune_ratio: ratio(scan_pruned, scan_candidates),
-            swaps,
-            cache_evicted_on_swap,
+            prune_ratio: ratio(scan_pruned_kim + scan_pruned_mbr, scan_candidates),
+            swaps: self.swaps.get(),
+            cache_evicted_on_swap: self.cache_evicted_on_swap.get(),
+            p999_us: latency_hist.quantile(0.999),
+            batch_p50: batch_hist.quantile(0.50),
+            batch_p99: batch_hist.quantile(0.99),
+            queue_depth: self.queue_depth.get(),
+            inflight: self.inflight.get(),
+            cache_evictions: self.cache_evictions.get(),
+            slow_queries: self.slow_queries.get(),
+            scan_pruned_kim,
+            scan_pruned_mbr,
+            scan_searched_cells,
+            scan_ns,
+            ns_per_cell: ratio(scan_ns, scan_searched_cells),
+            audit_samples,
+            audit_dropped: self.audit_dropped.get(),
+            audit_ar: audit_mean(&self.audit_ar_sum),
+            audit_mr: audit_mean(&self.audit_mr_sum),
+            audit_rr: audit_mean(&self.audit_rr_sum),
+            worker_busy_ns: self.worker_busy_ns.iter().map(Counter::get).collect(),
+            latency_hist,
+            batch_hist,
         }
     }
 }
@@ -156,16 +277,12 @@ fn ratio(num: u64, den: u64) -> f64 {
     }
 }
 
-/// Nearest-rank percentile over an already-sorted sample set.
-fn percentile(sorted: &[u64], p: f64) -> u64 {
-    if sorted.is_empty() {
-        return 0;
-    }
-    let rank = ((sorted.len() as f64 * p).ceil() as usize).clamp(1, sorted.len());
-    sorted[rank - 1]
-}
-
 /// Point-in-time view of [`ServeStats`].
+///
+/// Wire-compat contract: the first fourteen fields of
+/// [`StatsSnapshot::to_json`] (through `cache_evicted_on_swap`) are the
+/// pre-observability `stats` object and keep their names, order, and
+/// meaning forever; everything after is additive.
 #[derive(Debug, Clone, PartialEq)]
 pub struct StatsSnapshot {
     /// Requests answered so far.
@@ -178,9 +295,10 @@ pub struct StatsSnapshot {
     pub uptime: Duration,
     /// Requests per second over the whole uptime.
     pub qps: f64,
-    /// Median engine latency over the recent reservoir, microseconds.
+    /// Median engine latency from the histogram buckets, microseconds
+    /// (bucket upper bound: within 2x of the true median).
     pub p50_us: u64,
-    /// 99th-percentile engine latency, microseconds.
+    /// 99th-percentile engine latency (bucketed), microseconds.
     pub p99_us: u64,
     /// Mean micro-batch size across dispatches.
     pub mean_batch: f64,
@@ -198,10 +316,64 @@ pub struct StatsSnapshot {
     pub swaps: u64,
     /// Cache entries purged across all swaps (stale-epoch evictions).
     pub cache_evicted_on_swap: u64,
+    /// 99.9th-percentile engine latency (bucketed), microseconds.
+    pub p999_us: u64,
+    /// Median dispatched batch size (bucketed).
+    pub batch_p50: u64,
+    /// 99th-percentile dispatched batch size (bucketed).
+    pub batch_p99: u64,
+    /// Jobs accepted but not yet drained by a worker.
+    pub queue_depth: i64,
+    /// Jobs drained into a batch but not yet answered.
+    pub inflight: i64,
+    /// Cache entries evicted by LRU capacity pressure.
+    pub cache_evictions: u64,
+    /// Requests that crossed the slow-query threshold.
+    pub slow_queries: u64,
+    /// Scan candidates rejected by the O(1) Kim-style screen.
+    pub scan_pruned_kim: u64,
+    /// Scan candidates rejected by the O(m) MBR-envelope bound.
+    pub scan_pruned_mbr: u64,
+    /// DP cells evaluated by searched candidates.
+    pub scan_searched_cells: u64,
+    /// Wall-clock nanoseconds spent inside corpus scans.
+    pub scan_ns: u64,
+    /// `scan_ns / scan_searched_cells` — mean DP kernel cost.
+    pub ns_per_cell: f64,
+    /// Quality-audit samples folded in so far.
+    pub audit_samples: u64,
+    /// Audit candidates dropped (auditor queue full).
+    pub audit_dropped: u64,
+    /// Mean approximation ratio of audited answers (1.0 = exact).
+    pub audit_ar: f64,
+    /// Mean rank of audited answers in the exhaustive ranking (1 = best).
+    pub audit_mr: f64,
+    /// Mean relative rank (`rank / total subtrajectories`) of audited
+    /// answers.
+    pub audit_rr: f64,
+    /// Per-worker busy nanoseconds (time not blocked on the queue).
+    pub worker_busy_ns: Vec<u64>,
+    /// Engine latency distribution, microseconds.
+    pub latency_hist: HistogramSnapshot,
+    /// Dispatched batch size distribution.
+    pub batch_hist: HistogramSnapshot,
+}
+
+/// `[[le, count], ...]` pairs for the non-empty buckets of a histogram —
+/// the compact wire form used by the `stats` response.
+fn buckets_json(hist: &HistogramSnapshot) -> Json {
+    Json::Arr(
+        hist.nonzero_buckets()
+            .into_iter()
+            .map(|(le, n)| Json::Arr(vec![Json::Num(le as f64), Json::Num(n as f64)]))
+            .collect(),
+    )
 }
 
 impl StatsSnapshot {
-    /// Wire form for the `{"cmd":"stats"}` protocol request.
+    /// Wire form for the `{"cmd":"stats"}` protocol request. The first
+    /// fourteen fields are frozen (see the struct docs); later fields are
+    /// additive and may keep growing.
     pub fn to_json(&self) -> Json {
         obj(vec![
             ("requests", Json::Num(self.requests as f64)),
@@ -221,6 +393,28 @@ impl StatsSnapshot {
                 "cache_evicted_on_swap",
                 Json::Num(self.cache_evicted_on_swap as f64),
             ),
+            // -- additive observability fields below this line --
+            ("p999_us", Json::Num(self.p999_us as f64)),
+            ("batch_p50", Json::Num(self.batch_p50 as f64)),
+            ("batch_p99", Json::Num(self.batch_p99 as f64)),
+            ("queue_depth", Json::Num(self.queue_depth as f64)),
+            ("inflight", Json::Num(self.inflight as f64)),
+            ("cache_evictions", Json::Num(self.cache_evictions as f64)),
+            ("slow_queries", Json::Num(self.slow_queries as f64)),
+            ("scan_pruned_kim", Json::Num(self.scan_pruned_kim as f64)),
+            ("scan_pruned_mbr", Json::Num(self.scan_pruned_mbr as f64)),
+            (
+                "scan_searched_cells",
+                Json::Num(self.scan_searched_cells as f64),
+            ),
+            ("ns_per_cell", Json::Num(self.ns_per_cell)),
+            ("audit_samples", Json::Num(self.audit_samples as f64)),
+            ("audit_dropped", Json::Num(self.audit_dropped as f64)),
+            ("audit_ar", Json::Num(self.audit_ar)),
+            ("audit_mr", Json::Num(self.audit_mr)),
+            ("audit_rr", Json::Num(self.audit_rr)),
+            ("latency_buckets", buckets_json(&self.latency_hist)),
+            ("batch_buckets", buckets_json(&self.batch_hist)),
         ])
     }
 }
@@ -230,7 +424,7 @@ mod tests {
     use super::*;
 
     #[test]
-    fn counters_and_percentiles() {
+    fn counters_and_bucketed_percentiles() {
         let stats = ServeStats::new();
         for i in 1..=100u64 {
             stats.record_request(Duration::from_micros(i), i % 4 == 0);
@@ -241,10 +435,17 @@ mod tests {
         assert_eq!(snap.requests, 100);
         assert_eq!(snap.cache_hits, 25);
         assert!((snap.hit_rate - 0.25).abs() < 1e-12);
-        assert_eq!(snap.p50_us, 50);
-        assert_eq!(snap.p99_us, 99);
+        // Histogram quantiles report the bucket upper bound: within one
+        // power-of-two bucket (2x) of the true percentile.
+        assert!(snap.p50_us >= 50 && snap.p50_us < 100, "{}", snap.p50_us);
+        assert!(snap.p99_us >= 99 && snap.p99_us < 198, "{}", snap.p99_us);
+        assert!(snap.p999_us >= snap.p99_us);
         assert!((snap.mean_batch - 2.0).abs() < 1e-12);
+        assert_eq!(snap.batch_p50, 1); // batches 1 and 3: p50 bucket bound 1
+        assert!(snap.batch_p99 >= 3);
         assert!(snap.qps > 0.0);
+        assert_eq!(snap.latency_hist.count, 100);
+        assert_eq!(snap.batch_hist.count, 2);
     }
 
     #[test]
@@ -253,28 +454,46 @@ mod tests {
         assert_eq!(snap.requests, 0);
         assert_eq!(snap.p50_us, 0);
         assert_eq!(snap.p99_us, 0);
+        assert_eq!(snap.p999_us, 0);
         assert_eq!(snap.hit_rate, 0.0);
+        assert_eq!(snap.audit_ar, 0.0);
+        assert_eq!(snap.ns_per_cell, 0.0);
     }
 
     #[test]
     fn scan_counters_accumulate_and_ratio() {
         let stats = ServeStats::new();
-        stats.record_scan(&PruneStats {
-            scanned: 100,
-            pruned_by_kim: 40,
-            pruned_by_mbr: 20,
-            searched: 40,
-        });
-        stats.record_scan(&PruneStats {
-            scanned: 100,
-            pruned_by_kim: 0,
-            pruned_by_mbr: 0,
-            searched: 100,
-        });
+        stats.record_scan(
+            &PruneStats {
+                scanned: 100,
+                pruned_by_kim: 40,
+                pruned_by_mbr: 20,
+                searched: 40,
+                searched_cells: 4000,
+                ..PruneStats::default()
+            },
+            8000,
+        );
+        stats.record_scan(
+            &PruneStats {
+                scanned: 100,
+                pruned_by_kim: 0,
+                pruned_by_mbr: 0,
+                searched: 100,
+                searched_cells: 6000,
+                ..PruneStats::default()
+            },
+            12000,
+        );
         let snap = stats.snapshot();
         assert_eq!(snap.scan_candidates, 200);
         assert_eq!(snap.scan_pruned, 60);
+        assert_eq!(snap.scan_pruned_kim, 40);
+        assert_eq!(snap.scan_pruned_mbr, 20);
         assert_eq!(snap.scan_searched, 140);
+        assert_eq!(snap.scan_searched_cells, 10_000);
+        assert_eq!(snap.scan_ns, 20_000);
+        assert!((snap.ns_per_cell - 2.0).abs() < 1e-12);
         assert!((snap.prune_ratio - 0.3).abs() < 1e-12);
         assert_eq!(snap.scan_candidates, snap.scan_pruned + snap.scan_searched);
     }
@@ -293,15 +512,74 @@ mod tests {
     }
 
     #[test]
-    fn reservoir_wraps_without_growing() {
-        let stats = ServeStats::new();
-        for i in 0..(RESERVOIR_CAPACITY as u64 + 100) {
-            stats.record_request(Duration::from_micros(i), false);
-        }
+    fn gauges_and_misc_counters_flow_to_snapshot() {
+        let stats = ServeStats::with_workers(2);
+        stats.queue_depth().add(3);
+        stats.queue_depth().add(-1);
+        stats.inflight().add(5);
+        stats.record_cache_evictions(4);
+        stats.record_slow_query();
+        stats.record_worker_busy(0, 1000);
+        stats.record_worker_busy(1, 500);
+        stats.record_worker_busy(9, 999); // out of range: ignored
         let snap = stats.snapshot();
-        assert_eq!(snap.requests, RESERVOIR_CAPACITY as u64 + 100);
-        // Oldest samples were overwritten: the minimum retained latency is
-        // at least 100µs.
-        assert!(snap.p50_us >= 100);
+        assert_eq!(snap.queue_depth, 2);
+        assert_eq!(snap.inflight, 5);
+        assert_eq!(snap.cache_evictions, 4);
+        assert_eq!(snap.slow_queries, 1);
+        assert_eq!(snap.worker_busy_ns, vec![1000, 500]);
+    }
+
+    #[test]
+    fn audit_means_accumulate() {
+        let stats = ServeStats::new();
+        stats.record_audit_sample(&EffectivenessMetrics {
+            ar: 1.0,
+            mr: 1.0,
+            rr: 0.1,
+        });
+        stats.record_audit_sample(&EffectivenessMetrics {
+            ar: 1.5,
+            mr: 3.0,
+            rr: 0.3,
+        });
+        stats.record_audit_dropped();
+        let snap = stats.snapshot();
+        assert_eq!(snap.audit_samples, 2);
+        assert_eq!(snap.audit_dropped, 1);
+        assert!((snap.audit_ar - 1.25).abs() < 1e-12);
+        assert!((snap.audit_mr - 2.0).abs() < 1e-12);
+        assert!((snap.audit_rr - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_wire_json_keeps_frozen_prefix_and_grows_additively() {
+        let snap = ServeStats::new().snapshot();
+        let Json::Obj(pairs) = snap.to_json() else {
+            panic!("stats must serialize to an object")
+        };
+        let frozen = [
+            "requests",
+            "cache_hits",
+            "hit_rate",
+            "uptime_s",
+            "qps",
+            "p50_us",
+            "p99_us",
+            "mean_batch",
+            "scan_candidates",
+            "scan_pruned",
+            "scan_searched",
+            "prune_ratio",
+            "swaps",
+            "cache_evicted_on_swap",
+        ];
+        for (i, want) in frozen.iter().enumerate() {
+            assert_eq!(pairs[i].0, *want, "frozen stats field {i} moved");
+        }
+        assert!(pairs.len() > frozen.len(), "additive fields missing");
+        for key in ["p999_us", "queue_depth", "audit_ar", "latency_buckets"] {
+            assert!(pairs.iter().any(|(k, _)| k == key), "missing {key}");
+        }
     }
 }

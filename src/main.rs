@@ -112,12 +112,18 @@ fn usage() {
          \x20              [--skip K] [--no-suffix] [--no-prune]\n\
          \x20              [--shards N] [--partitioner hash|grid]\n\
          \x20              [--reload-fifo PATH]   # named pipe accepting admin JSON lines\n\
-         \x20 admin        <info|stats|ping|shutdown> [--addr HOST:PORT]\n\
+         \x20              [--slow-query-us N]    # log traces of queries slower than N µs\n\
+         \x20              [--audit-sample F]     # audit fraction F of cold answers (0..=1)\n\
+         \x20 admin        <info|stats|metrics|ping|shutdown> [--addr HOST:PORT]\n\
+         \x20              # metrics prints Prometheus-style text exposition\n\
+         \x20 admin        stats --watch SECS [--count M] [--addr HOST:PORT]\n\
+         \x20              # one delta line per tick: qps, p99, hit rate, prune ratio\n\
          \x20 admin        reload (--corpus FILE.csv | --corpus-bin FILE.ssb) [--addr HOST:PORT]\n\
          \x20              [--shards N] [--partitioner hash|grid] [--policy F] [--t2vec F]\n\
          \x20              [--skip K] [--no-suffix]\n\
          \x20 admin        configure [--addr HOST:PORT] [--prune on|off] [--batch N]\n\
-         \x20              [--cache N] [--default-k N] [--quantize Q]   # Q=0 exact keys"
+         \x20              [--cache N] [--default-k N] [--quantize Q]   # Q=0 exact keys\n\
+         \x20              [--slow-query-us N] [--audit-sample F]"
     );
 }
 
@@ -429,6 +435,10 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
     if !cache_quantize.is_finite() || cache_quantize < 0.0 {
         return Err("--cache-quantize must be finite and >= 0 (0 = exact keys)".into());
     }
+    let audit_sample: f64 = flags.parse_or("audit-sample", 0.0)?;
+    if !audit_sample.is_finite() || !(0.0..=1.0).contains(&audit_sample) {
+        return Err("--audit-sample must be a fraction in [0, 1] (0 = off)".into());
+    }
     let config = EngineConfig {
         workers: flags.parse_or("workers", EngineConfig::default().workers)?,
         max_batch: flags.parse_or("batch", EngineConfig::default().max_batch)?,
@@ -439,6 +449,8 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
         prune: !flags.switch("no-prune") && simsub::core::pruning_enabled(),
         default_k: flags.parse_or("default-k", EngineConfig::default().default_k)?,
         cache_key_quantize: (cache_quantize > 0.0).then_some(cache_quantize),
+        slow_query_us: flags.parse_or("slow-query-us", 0u64)?,
+        audit_sample,
     };
     if config.workers == 0 {
         return Err("--workers must be at least 1".into());
@@ -595,10 +607,15 @@ fn spawn_reload_fifo(
 /// answers `"ok":false`.
 fn cmd_admin(action: &str, flags: &Flags) -> Result<(), String> {
     use std::io::{BufRead, BufReader, Write};
+    if action == "stats" && (flags.get("watch").is_some() || flags.switch("watch")) {
+        return cmd_admin_stats_watch(flags);
+    }
     let mut fields: Vec<(String, Json)> = Vec::new();
     let mut field = |k: &str, v: Json| fields.push((k.to_string(), v));
     match action {
-        "info" | "stats" | "ping" | "shutdown" => field("cmd", Json::Str(action.into())),
+        "info" | "stats" | "ping" | "shutdown" | "metrics" => {
+            field("cmd", Json::Str(action.into()))
+        }
         "reload" => {
             field("cmd", Json::Str("reload".into()));
             // Paths are resolved by the *server*; make them absolute so
@@ -665,10 +682,23 @@ fn cmd_admin(action: &str, flags: &Flags) -> Result<(), String> {
                     .map_err(|_| format!("bad value for --quantize: {value}"))?;
                 field("cache_key_quantize", Json::Num(value));
             }
+            if let Some(value) = flags.get("slow-query-us") {
+                let value: u64 = value
+                    .parse()
+                    .map_err(|_| format!("bad value for --slow-query-us: {value}"))?;
+                field("slow_query_us", Json::Num(value as f64));
+            }
+            if let Some(value) = flags.get("audit-sample") {
+                let value: f64 = value
+                    .parse()
+                    .map_err(|_| format!("bad value for --audit-sample: {value}"))?;
+                field("audit_sample", Json::Num(value));
+            }
         }
         other => {
             return Err(format!(
-                "unknown admin action '{other}' (info|stats|ping|reload|configure|shutdown)"
+                "unknown admin action '{other}' \
+                 (info|stats|metrics|ping|reload|configure|shutdown)"
             ))
         }
     }
@@ -695,15 +725,111 @@ fn cmd_admin(action: &str, flags: &Flags) -> Result<(), String> {
     if response.is_empty() {
         return Err(format!("{addr} closed the connection without answering"));
     }
-    println!("{response}");
     match Json::parse(response) {
-        Ok(v) if v.get("ok").and_then(Json::as_bool) == Some(true) => Ok(()),
-        Ok(v) => Err(v
-            .get("error")
-            .and_then(Json::as_str)
-            .unwrap_or("server answered ok:false")
-            .to_string()),
-        Err(e) => Err(format!("unparseable response: {e}")),
+        Ok(v) if v.get("ok").and_then(Json::as_bool) == Some(true) => {
+            // `metrics` prints the text exposition raw (scrape-ready);
+            // everything else prints the response line verbatim.
+            match (action, v.get("metrics").and_then(Json::as_str)) {
+                ("metrics", Some(text)) => print!("{text}"),
+                _ => println!("{response}"),
+            }
+            Ok(())
+        }
+        Ok(v) => {
+            println!("{response}");
+            Err(v
+                .get("error")
+                .and_then(Json::as_str)
+                .unwrap_or("server answered ok:false")
+                .to_string())
+        }
+        Err(e) => {
+            println!("{response}");
+            Err(format!("unparseable response: {e}"))
+        }
+    }
+}
+
+/// `simsub admin stats --watch N`: polls the `stats` command over one
+/// persistent connection every `N` seconds and prints a one-line delta
+/// per tick — interval qps (from request-count deltas), bucketed p99,
+/// cache hit rate, prune ratio, and the live queue/in-flight gauges.
+/// `--count M` stops after `M` delta lines (for scripts); default runs
+/// until the connection drops or the process is killed.
+fn cmd_admin_stats_watch(flags: &Flags) -> Result<(), String> {
+    use std::io::{BufRead, BufReader, Write};
+    let interval: f64 = match flags.get("watch") {
+        None => 2.0, // bare `--watch`
+        Some(raw) => raw
+            .parse()
+            .map_err(|_| format!("bad value for --watch: {raw}"))?,
+    };
+    if !interval.is_finite() || interval <= 0.0 {
+        return Err("--watch interval must be a positive number of seconds".into());
+    }
+    let count: usize = flags.parse_or("count", 0)?; // 0 = run forever
+    let addr = flags.get("addr").unwrap_or("127.0.0.1:7878");
+    let stream =
+        std::net::TcpStream::connect(addr).map_err(|e| format!("connecting {addr}: {e}"))?;
+    let mut writer = stream.try_clone().map_err(|e| e.to_string())?;
+    let mut reader = BufReader::new(stream);
+    let line = Json::Obj(vec![
+        ("cmd".into(), Json::Str("stats".into())),
+        ("v".into(), Json::Num(2.0)),
+        (
+            "id".into(),
+            Json::Str(format!("simsub-watch-{}", std::process::id())),
+        ),
+    ])
+    .dump();
+    let mut prev: Option<(std::time::Instant, f64)> = None;
+    let mut printed = 0usize;
+    loop {
+        writer
+            .write_all(format!("{line}\n").as_bytes())
+            .and_then(|()| writer.flush())
+            .map_err(|e| format!("sending to {addr}: {e}"))?;
+        let mut response = String::new();
+        reader
+            .read_line(&mut response)
+            .map_err(|e| format!("reading from {addr}: {e}"))?;
+        if response.trim().is_empty() {
+            return Err(format!("{addr} closed the connection"));
+        }
+        let parsed =
+            Json::parse(response.trim()).map_err(|e| format!("unparseable response: {e}"))?;
+        let stats = parsed
+            .get("stats")
+            .ok_or_else(|| "response carries no \"stats\" object".to_string())?;
+        let num = |key: &str| stats.get(key).and_then(Json::as_f64).unwrap_or(0.0);
+        let now = std::time::Instant::now();
+        let requests = num("requests");
+        match prev {
+            None => println!(
+                "watching {addr} every {interval}s (qps = interval request delta; \
+                 --count N to stop after N lines)"
+            ),
+            Some((then, before)) => {
+                let dt = now.duration_since(then).as_secs_f64().max(1e-9);
+                println!(
+                    "qps={:.1} p99_us={} hit_rate={:.3} prune_ratio={:.3} \
+                     queue_depth={} inflight={} requests={}",
+                    (requests - before).max(0.0) / dt,
+                    num("p99_us") as u64,
+                    num("hit_rate"),
+                    num("prune_ratio"),
+                    num("queue_depth") as i64,
+                    num("inflight") as i64,
+                    requests as u64,
+                );
+                printed += 1;
+                if count > 0 && printed >= count {
+                    return Ok(());
+                }
+            }
+        }
+        prev = Some((now, requests));
+        std::thread::sleep(std::time::Duration::from_secs_f64(interval));
     }
 }
 

@@ -1,0 +1,409 @@
+//! Integration tests for the observability layer: mergeable histogram
+//! primitives under real concurrency, the Prometheus-style metrics
+//! exposition over the wire, stage tracing as a wire-v2 opt-in, the
+//! slow-query log, and the sampled online quality auditor's AR contract.
+//!
+//! Like `service_engine.rs`, the whole file runs under the CI env matrix
+//! (`SIMSUB_SHARDS=4`, `SIMSUB_NO_PRUNE=1`), so nothing here may assume
+//! pruning happened or a particular corpus layout.
+
+use simsub::data::{generate, DatasetSpec};
+use simsub::index::{PartitionerKind, ShardedDb, TrajectoryDb};
+use simsub::service::{
+    AlgoSpec, ConfigUpdate, CorpusSnapshot, EngineConfig, Histogram, MeasureSpec, QueryEngine,
+    QueryRequest, Server,
+};
+use simsub::trajectory::Point;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn shared_db(count: usize) -> Arc<TrajectoryDb> {
+    TrajectoryDb::build(generate(&DatasetSpec::porto(), count, 42)).into_shared()
+}
+
+/// Mirrors `service_engine.rs`: sharded snapshot when `SIMSUB_SHARDS=N`
+/// is set, so the CI matrix exercises the metrics pipeline both ways.
+fn snapshot_for(db: &Arc<TrajectoryDb>) -> CorpusSnapshot {
+    match std::env::var("SIMSUB_SHARDS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+    {
+        Some(n) if n >= 1 => CorpusSnapshot::sharded(
+            ShardedDb::build(db.to_trajectories(), n, PartitionerKind::Hash).into_shared(),
+        ),
+        _ => CorpusSnapshot::new(Arc::clone(db)),
+    }
+}
+
+fn request(query: Vec<Point>, algo: AlgoSpec, k: usize) -> QueryRequest {
+    QueryRequest {
+        query,
+        algo,
+        measure: MeasureSpec::Dtw,
+        k,
+        use_index: true,
+    }
+}
+
+/// Query slices cut from corpus trajectories (index pruning always has
+/// intersecting candidates).
+fn queries_from(db: &TrajectoryDb, n: usize) -> Vec<Vec<Point>> {
+    (0..n)
+        .map(|i| {
+            let t = db.view(i % db.len());
+            let len = (6 + i % 5).min(t.len());
+            t.to_points()[..len].to_vec()
+        })
+        .collect()
+}
+
+fn wire(addr: std::net::SocketAddr) -> (TcpStream, BufReader<TcpStream>) {
+    let stream = TcpStream::connect(addr).expect("connect");
+    let reader = BufReader::new(stream.try_clone().expect("clone"));
+    (stream, reader)
+}
+
+fn send_line(stream: &mut TcpStream, reader: &mut BufReader<TcpStream>, line: &str) -> String {
+    stream.write_all(line.as_bytes()).unwrap();
+    stream.write_all(b"\n").unwrap();
+    let mut response = String::new();
+    reader.read_line(&mut response).unwrap();
+    response
+}
+
+fn query_line(query: &[Point], extra: &str) -> String {
+    let points: Vec<String> = query.iter().map(|p| format!("[{},{}]", p.x, p.y)).collect();
+    format!(
+        "{{\"query\":[{}],\"algo\":\"exact\",\"measure\":\"dtw\",\"k\":2{extra}}}",
+        points.join(",")
+    )
+}
+
+/// Concurrent recording into one shared histogram loses no samples and
+/// keeps quantiles within one power-of-two bucket of the truth.
+#[test]
+fn histogram_concurrent_recording_is_lossless() {
+    const THREADS: u64 = 8;
+    const PER_THREAD: u64 = 1_000;
+    let hist = Arc::new(Histogram::new());
+    std::thread::scope(|scope| {
+        for _ in 0..THREADS {
+            let hist = Arc::clone(&hist);
+            scope.spawn(move || {
+                for v in 1..=PER_THREAD {
+                    hist.record(v);
+                }
+            });
+        }
+    });
+    let snap = hist.snapshot();
+    assert_eq!(snap.count, THREADS * PER_THREAD);
+    // Every thread recorded 1..=1000, so the true p50 is 500 and the true
+    // p99 is 990. Power-of-two buckets report the bucket upper bound:
+    // within [true, 2*true).
+    let p50 = snap.quantile(0.5);
+    assert!((500..1_000).contains(&p50), "p50 bucket bound: {p50}");
+    let p99 = snap.quantile(0.99);
+    assert!((990..1_980).contains(&p99), "p99 bucket bound: {p99}");
+    assert_eq!(hist.sum(), THREADS * PER_THREAD * (PER_THREAD + 1) / 2);
+}
+
+/// Cross-worker merge is bucket-wise addition: merging in any grouping
+/// yields identical buckets, counts, and quantiles (associativity is
+/// what lets per-worker histograms fold into one scrape).
+#[test]
+fn histogram_merge_is_associative_and_exact() {
+    let parts: Vec<Histogram> = (0..3)
+        .map(|p| {
+            let h = Histogram::new();
+            for v in 0..200u64 {
+                h.record(v * (p + 1));
+            }
+            h
+        })
+        .collect();
+
+    // ((a + b) + c) vs (a + (b + c)), both against a flat re-recording.
+    let left = Histogram::new();
+    left.merge_from(&parts[0]);
+    left.merge_from(&parts[1]);
+    left.merge_from(&parts[2]);
+    let right = Histogram::new();
+    let bc = Histogram::new();
+    bc.merge_from(&parts[1]);
+    bc.merge_from(&parts[2]);
+    right.merge_from(&parts[0]);
+    right.merge_from(&bc);
+    let flat = Histogram::new();
+    for (p, part) in parts.iter().enumerate() {
+        let _ = part;
+        for v in 0..200u64 {
+            flat.record(v * (p as u64 + 1));
+        }
+    }
+
+    let (l, r, f) = (left.snapshot(), right.snapshot(), flat.snapshot());
+    assert_eq!(l.count, 600);
+    assert_eq!(l.nonzero_buckets(), r.nonzero_buckets());
+    assert_eq!(l.nonzero_buckets(), f.nonzero_buckets());
+    assert_eq!(l.sum, f.sum);
+    for q in [0.5, 0.9, 0.99, 0.999] {
+        assert_eq!(l.quantile(q), f.quantile(q), "quantile {q} diverged");
+    }
+}
+
+/// `{"cmd":"metrics"}` returns the full Prometheus-style exposition with
+/// every documented series present, and the counters in it reflect the
+/// traffic just served.
+#[test]
+fn metrics_exposition_over_the_wire() {
+    let db = shared_db(16);
+    let engine = Arc::new(QueryEngine::start(
+        snapshot_for(&db),
+        EngineConfig {
+            workers: 2,
+            cache_capacity: 64,
+            ..EngineConfig::default()
+        },
+    ));
+    let server = Server::bind(Arc::clone(&engine), "127.0.0.1:0").expect("bind");
+    let (mut stream, mut reader) = wire(server.local_addr());
+    let mut send = |line: &str| send_line(&mut stream, &mut reader, line);
+
+    let queries = queries_from(&db, 3);
+    for q in &queries {
+        assert!(send(&query_line(q, "")).contains("\"ok\":true"));
+    }
+    // One repeat for a cache hit.
+    assert!(send(&query_line(&queries[0], "")).contains("\"cached\":true"));
+
+    let response = send("{\"cmd\":\"metrics\",\"v\":2}");
+    assert!(response.contains("\"ok\":true"), "metrics: {response}");
+    for series in [
+        "simsub_requests_total",
+        "simsub_cache_hits_total",
+        "simsub_cache_evictions_total",
+        "simsub_cache_evicted_on_swap_total",
+        "simsub_cache_entries",
+        "simsub_cache_capacity",
+        "simsub_queue_depth",
+        "simsub_inflight",
+        "simsub_request_latency_us",
+        "simsub_batch_size",
+        "simsub_worker_busy_ns_total",
+        "simsub_scan_candidates_total",
+        "simsub_scan_pruned_kim_total",
+        "simsub_scan_pruned_mbr_total",
+        "simsub_scan_searched_total",
+        "simsub_scan_searched_cells_total",
+        "simsub_scan_ns_total",
+        "simsub_ns_per_cell",
+        "simsub_swaps_total",
+        "simsub_epoch",
+        "simsub_slow_queries_total",
+        "simsub_audit_samples_total",
+        "simsub_audit_dropped_total",
+        "simsub_audit_ar",
+        "simsub_audit_mr",
+        "simsub_audit_rr",
+    ] {
+        assert!(
+            response.contains(series),
+            "exposition missing {series}: {response}"
+        );
+    }
+    // The exposition travels as one JSON string; the escaped newlines and
+    // HELP/TYPE comments prove it's the text format, not a JSON mirror.
+    assert!(response.contains("# HELP") && response.contains("# TYPE"));
+    assert!(
+        response.contains("simsub_requests_total 4"),
+        "served 4 requests, exposition disagrees: {response}"
+    );
+    assert!(
+        response.contains("simsub_cache_hits_total 1"),
+        "served 1 hit, exposition disagrees: {response}"
+    );
+    // Histograms expose cumulative buckets plus sum/count.
+    assert!(
+        response.contains("simsub_request_latency_us_bucket")
+            && response.contains("le=\\\"+Inf\\\"")
+            && response.contains("simsub_request_latency_us_count 4"),
+        "latency histogram malformed: {response}"
+    );
+
+    let bye = send("{\"cmd\":\"shutdown\"}");
+    assert!(bye.contains("\"bye\":true"));
+    server.wait();
+}
+
+/// `"trace":true` on a wire-v2 request echoes the per-stage breakdown;
+/// cache hits trace as cached with zero scan work; v1 and untraced v2
+/// responses never carry it (asserted in `service_engine.rs`).
+#[test]
+fn trace_is_a_wire_v2_opt_in_with_stage_breakdown() {
+    let db = shared_db(16);
+    let engine = Arc::new(QueryEngine::start(
+        snapshot_for(&db),
+        EngineConfig {
+            workers: 1,
+            cache_capacity: 64,
+            ..EngineConfig::default()
+        },
+    ));
+    let server = Server::bind(Arc::clone(&engine), "127.0.0.1:0").expect("bind");
+    let (mut stream, mut reader) = wire(server.local_addr());
+    let mut send = |line: &str| send_line(&mut stream, &mut reader, line);
+
+    let query = queries_from(&db, 1).remove(0);
+    let cold = send(&query_line(&query, ",\"v\":2,\"trace\":true"));
+    assert!(cold.contains("\"ok\":true"), "cold: {cold}");
+    assert!(cold.contains("\"trace\":{"), "no trace object: {cold}");
+    for stage in [
+        "admit_us",
+        "queue_us",
+        "batch_us",
+        "scan_us",
+        "bound_us",
+        "kernel_us",
+        "merge_us",
+        "serialize_us",
+        "scanned",
+        "searched_cells",
+        "batch_size",
+    ] {
+        assert!(
+            cold.contains(&format!("\"{stage}\":")),
+            "trace missing {stage}: {cold}"
+        );
+    }
+    assert!(cold.contains("\"cached\":false"), "cold trace: {cold}");
+    // The cold scan did real work: at least one index-surviving candidate
+    // was considered (the r-tree prefilter may retire the rest).
+    let scanned: f64 = cold
+        .split("\"scanned\":")
+        .nth(1)
+        .and_then(|rest| rest.split([',', '}']).next())
+        .and_then(|num| num.parse().ok())
+        .expect("scanned counter in trace");
+    assert!(scanned >= 1.0, "cold scan counters: {cold}");
+
+    // A cached replay still traces — with `cached:true` and no scan work.
+    let warm = send(&query_line(&query, ",\"v\":2,\"trace\":true"));
+    assert!(
+        warm.contains("\"trace\":{") && warm.contains("\"cached\":true"),
+        "warm trace: {warm}"
+    );
+    assert!(warm.contains("\"scanned\":0"), "warm scan work: {warm}");
+
+    server.stop();
+    drop(stream);
+    server.wait();
+}
+
+/// Lowering the slow-query threshold to 1µs turns every request into an
+/// outlier: the ring log captures latency + full stage trace + epoch, and
+/// the counter lands in both stats and the exposition.
+#[test]
+fn slow_query_log_captures_outliers() {
+    let db = shared_db(12);
+    let engine = QueryEngine::start(
+        snapshot_for(&db),
+        EngineConfig {
+            workers: 1,
+            cache_capacity: 0,
+            slow_query_us: 1,
+            ..EngineConfig::default()
+        },
+    );
+    for q in queries_from(&db, 4) {
+        engine.query(request(q, AlgoSpec::Exact, 2)).expect("query");
+    }
+    let slow = engine.slow_queries();
+    assert_eq!(slow.len(), 4, "every query crosses a 1µs threshold");
+    for record in &slow {
+        assert!(record.latency_us >= 1);
+        assert_eq!(record.epoch, 1);
+        assert!(!record.trace.cached);
+        assert!(record.trace.prune.scanned > 0);
+        let line = record.to_json().dump();
+        assert!(
+            line.contains("\"slow_query\":true") && line.contains("\"scan_us\":"),
+            "log line: {line}"
+        );
+    }
+    assert_eq!(engine.stats().slow_queries, 4);
+
+    // Raising the threshold back live stops the logging.
+    engine
+        .configure(ConfigUpdate {
+            slow_query_us: Some(u64::MAX),
+            ..ConfigUpdate::default()
+        })
+        .expect("configure");
+    for q in queries_from(&db, 2) {
+        engine.query(request(q, AlgoSpec::Pss, 2)).expect("query");
+    }
+    assert_eq!(engine.stats().slow_queries, 4, "threshold raise ignored");
+    engine.shutdown();
+}
+
+/// The acceptance check for live quality auditing: with `audit_sample=1`
+/// every cold answer is re-ranked exhaustively in the background, and the
+/// AR gauge lands at ≥ 1.0 (= the paper's approximation-ratio floor; PSS
+/// can only match or exceed the exact optimum it's measured against).
+#[test]
+fn auditor_reports_ar_at_least_one_for_live_pss() {
+    let db = shared_db(16);
+    let engine = QueryEngine::start(
+        snapshot_for(&db),
+        EngineConfig {
+            workers: 2,
+            cache_capacity: 0, // every answer is cold, hence auditable
+            audit_sample: 1.0,
+            ..EngineConfig::default()
+        },
+    );
+    let queries = queries_from(&db, 6);
+    for q in &queries {
+        engine
+            .query(request(q.clone(), AlgoSpec::Pss, 3))
+            .expect("query");
+    }
+
+    // The auditor is asynchronous; wait for every sample to be resolved
+    // (folded in or counted dropped).
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let stats = loop {
+        let stats = engine.stats();
+        if stats.audit_samples + stats.audit_dropped >= queries.len() as u64 {
+            break stats;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "auditor stalled: {} samples + {} dropped of {}",
+            stats.audit_samples,
+            stats.audit_dropped,
+            queries.len()
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    };
+    assert!(
+        stats.audit_samples >= 1,
+        "nothing audited: {stats:?}-ish ({} dropped)",
+        stats.audit_dropped
+    );
+    assert!(
+        stats.audit_ar >= 1.0 - 1e-9,
+        "AR below the approximation floor: {}",
+        stats.audit_ar
+    );
+    assert!(stats.audit_mr >= 1.0 - 1e-9, "MR floor: {}", stats.audit_mr);
+    assert!(
+        stats.audit_rr > 0.0 && stats.audit_rr <= 1.0 + 1e-9,
+        "RR out of range: {}",
+        stats.audit_rr
+    );
+    engine.shutdown();
+}

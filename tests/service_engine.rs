@@ -859,6 +859,105 @@ fn live_reload_over_the_wire() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// The `stats` wire response is append-only: the fourteen frozen-prefix
+/// fields keep their exact order (pre-observability clients key on it),
+/// the observability fields only ever append after them, and v1 query
+/// responses never grow fields — in particular no `trace`, even when the
+/// client tries to request one (tracing is a v2 opt-in).
+#[test]
+fn stats_wire_response_is_append_only_and_v1_stays_frozen() {
+    let db = shared_db(12);
+    let engine = Arc::new(engine_with(&db, 1));
+    let server = Server::bind(Arc::clone(&engine), "127.0.0.1:0").expect("bind");
+    let (mut stream, mut reader) = wire(server.local_addr());
+    let mut send = |line: &str| send_line(&mut stream, &mut reader, line);
+
+    let query = queries_from(&db, 1).remove(0);
+    let points: Vec<String> = query.iter().map(|p| format!("[{},{}]", p.x, p.y)).collect();
+    let body = format!(
+        "\"query\":[{}],\"algo\":\"exact\",\"measure\":\"dtw\",\"k\":2",
+        points.join(",")
+    );
+    assert!(send(&format!("{{{body}}}")).contains("\"ok\":true"));
+    assert!(send(&format!("{{{body}}}")).contains("\"cached\":true"));
+
+    let stats = send("{\"cmd\":\"stats\"}");
+    // Frozen prefix: the first fourteen stats keys, in this exact order.
+    let frozen = [
+        "requests",
+        "cache_hits",
+        "hit_rate",
+        "uptime_s",
+        "qps",
+        "p50_us",
+        "p99_us",
+        "mean_batch",
+        "scan_candidates",
+        "scan_pruned",
+        "scan_searched",
+        "prune_ratio",
+        "swaps",
+        "cache_evicted_on_swap",
+    ];
+    let mut cursor = 0;
+    for key in frozen {
+        let needle = format!("\"{key}\":");
+        let at = stats[cursor..]
+            .find(&needle)
+            .unwrap_or_else(|| panic!("frozen field {key} missing or out of order: {stats}"));
+        cursor += at + needle.len();
+    }
+    // Additive observability fields land strictly after the prefix.
+    for key in [
+        "p999_us",
+        "batch_p50",
+        "batch_p99",
+        "queue_depth",
+        "inflight",
+        "cache_evictions",
+        "slow_queries",
+        "scan_pruned_kim",
+        "scan_pruned_mbr",
+        "scan_searched_cells",
+        "ns_per_cell",
+        "audit_samples",
+        "audit_dropped",
+        "audit_ar",
+        "latency_buckets",
+        "batch_buckets",
+    ] {
+        let needle = format!("\"{key}\":");
+        assert!(
+            stats[cursor..].contains(&needle),
+            "additive field {key} missing after the frozen prefix: {stats}"
+        );
+    }
+    // Bucket pairs carry the two served requests.
+    assert!(
+        stats.contains("\"latency_buckets\":[["),
+        "latency buckets empty: {stats}"
+    );
+
+    // v1 bit-compat: `trace` never appears on a v1 response, even when
+    // the client sets the flag.
+    let v1 = send(&format!("{{{body},\"trace\":true}}"));
+    assert!(v1.contains("\"ok\":true"), "v1 traced: {v1}");
+    assert!(
+        !v1.contains("\"trace\"") && !v1.contains("\"v\":"),
+        "v1 response grew fields: {v1}"
+    );
+    // v2 without the flag stays trace-less too: it is per-request opt-in.
+    let v2_plain = send(&format!("{{{body},\"v\":2}}"));
+    assert!(
+        !v2_plain.contains("\"trace\""),
+        "untraced v2 response grew a trace: {v2_plain}"
+    );
+
+    server.stop();
+    drop(stream);
+    server.wait();
+}
+
 /// Minimal JSON string quoting for paths embedded in request lines.
 fn json_string(s: &str) -> String {
     format!("\"{}\"", s.replace('\\', "\\\\").replace('"', "\\\""))
