@@ -71,7 +71,7 @@ fn bench_suffix_precompute(c: &mut Criterion) {
     group.sample_size(10);
 
     group.bench_function("precomputed_backward_pass", |ben| {
-        ben.iter(|| black_box(suffix_similarities(&Dtw, &data, &query)))
+        ben.iter(|| black_box(suffix_similarities(&Dtw, data.as_slice(), &query)))
     });
 
     group.bench_function("recompute_each_suffix", |ben| {

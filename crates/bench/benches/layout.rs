@@ -22,7 +22,9 @@
 //! DP cell (a cell = one `(data point, query point)` DP update;
 //! ExactS: `n(n+1)/2 · m` cells per n-point trajectory, PSS: `2·n·m`
 //! counting its prefix and suffix passes) — the stable per-kernel metric
-//! future kernel work should move.
+//! future kernel work should move. The extra `pss_extend_run` scenario
+//! times the *pruned* PSS path (the bulk `extend_run` scans behind the
+//! bound cascade), normalized by `PruneStats.searched_cells`.
 //!
 //! Run with `cargo bench -p simsub-bench --bench layout`; set
 //! `SIMSUB_BENCH_SHORT=1` for the CI smoke variant.
@@ -296,6 +298,21 @@ fn main() {
         .map(|q| reference_pss_top_k(&corpus, q, K))
         .collect();
 
+    // Cell normalization for the pruned PSS scenario: the bound cascade
+    // skips trajectories, so the denominator is the *searched* cell count
+    // (`PruneStats.searched_cells` books `n·m` per searched candidate;
+    // PSS runs a prefix and a suffix pass, hence the factor 2). Pruning
+    // preserves answers (tests/prune_equivalence.rs), so the unpruned
+    // reference still pins them.
+    let cells_pss_pruned = queries
+        .iter()
+        .map(|q| {
+            let (_, stats) = db.top_k_with_stats(&Pss, &Dtw, q, K, false, true);
+            2.0 * stats.searched_cells as f64
+        })
+        .sum::<f64>()
+        / cfg.queries as f64;
+
     let measurements = [
         run_scan_scenario(
             "exacts_reference_aos",
@@ -324,6 +341,13 @@ fn main() {
             cells_pss,
             &pss_reference,
             |q| db.top_k_with_stats(&Pss, &Dtw, q, K, false, false).0,
+        ),
+        run_scan_scenario(
+            "pss_extend_run",
+            &queries,
+            cells_pss_pruned,
+            &pss_reference,
+            |q| db.top_k_with_stats(&Pss, &Dtw, q, K, false, true).0,
         ),
     ];
     let measurements = measurements.as_slice();

@@ -10,9 +10,8 @@ use simsub_trajectory::{subtrajectory_count, Point, SubtrajRange, TrajView};
 #[derive(Debug, Clone, Copy, Default)]
 pub struct ExactS;
 
-/// The scalar exhaustive sweep, shared by the AoS `search` entry and the
-/// arena-backed `search_with` (which stages its view into a contiguous
-/// buffer first) — one body, hence bitwise-identical either way.
+/// The scalar exhaustive sweep behind the AoS `search` entry (the bitwise
+/// reference for [`exact_sweep_view`]).
 fn exact_sweep(ws: &mut SearchWorkspace<'_>, data: &[Point]) -> SearchResult {
     let n = data.len();
     let mut best_range = SubtrajRange::new(0, 0);
@@ -59,15 +58,50 @@ impl SubtrajSearch for ExactS {
         // The measure's multi-start slice kernel when it has one (DTW,
         // discrete Frechet) — bit-identical to the sweep by its contract
         // (property-tested per measure and end-to-end by
-        // tests/layout_equivalence.rs) — else the scalar sweep over the
-        // staged buffer.
+        // tests/layout_equivalence.rs) — else the evaluator-driven bulk
+        // sweep straight off the view's slabs.
         if let Some(result) = ws.exact_best(data) {
             return result;
         }
-        let staged = ws.stage_points(data);
-        let result = exact_sweep(ws, staged.as_slice());
-        ws.restore_staging(staged);
-        result
+        exact_sweep_view(ws, data)
+    }
+}
+
+/// The arena-backed exhaustive sweep for measures without a multi-start
+/// slice kernel: per start point, one `init` plus **one** bulk
+/// [`simsub_measures::PrefixEvaluator::extend_run_into`] call over the
+/// entire tail, then a scalar in-order argmax over the buffered
+/// similarities — the same strict-`>` comparisons in the same order as
+/// [`exact_sweep`] (chunking invariance), with no per-candidate AoS
+/// staging copy.
+fn exact_sweep_view(ws: &mut SearchWorkspace<'_>, data: TrajView<'_>) -> SearchResult {
+    let n = data.len();
+    let (xs, ys, ts) = (data.xs(), data.ys(), data.ts());
+    let mut best_range = SubtrajRange::new(0, 0);
+    let mut best_sim = f64::NEG_INFINITY;
+    let (eval, _, sims) = ws.scan_parts();
+    for i in 0..n {
+        let sim = eval.init(Point::new(xs[i], ys[i], ts[i]));
+        if sim > best_sim {
+            best_sim = sim;
+            best_range = SubtrajRange::new(i, i);
+        }
+        if i + 1 < n {
+            sims.clear();
+            sims.resize(n - 1 - i, 0.0);
+            eval.extend_run_into(&xs[i + 1..], &ys[i + 1..], &ts[i + 1..], sims);
+            for (k, &sim) in sims.iter().enumerate() {
+                if sim > best_sim {
+                    best_sim = sim;
+                    best_range = SubtrajRange::new(i, i + 1 + k);
+                }
+            }
+        }
+    }
+    SearchResult {
+        range: best_range,
+        similarity: best_sim,
+        distance: simsub_measures::distance_from_similarity(best_sim),
     }
 }
 

@@ -20,7 +20,7 @@
 use crate::splitting::suffix_similarities;
 use crate::SearchResult;
 use simsub_measures::{Measure, PrefixEvaluator};
-use simsub_trajectory::{Point, SubtrajRange};
+use simsub_trajectory::{Point, PointSeq, SubtrajRange};
 
 /// Configuration of the splitting MDP.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -106,8 +106,12 @@ pub struct ScanStats {
 }
 
 /// One episode of the splitting MDP over a `(data, query)` pair.
-pub struct SplitEnv<'a> {
-    data: &'a [Point],
+/// Generic over [`PointSeq`] so AoS slices and columnar arena
+/// [`simsub_trajectory::TrajView`]s drive the identical episode without a
+/// staging copy (the default keeps plain `SplitEnv::new(m, &points, ...)`
+/// callers compiling unchanged).
+pub struct SplitEnv<'a, S: PointSeq = &'a [Point]> {
+    data: S,
     eval: Box<dyn PrefixEvaluator + 'a>,
     suffix: Vec<f64>,
     cfg: MdpConfig,
@@ -124,17 +128,12 @@ pub struct SplitEnv<'a> {
     done: bool,
 }
 
-impl<'a> SplitEnv<'a> {
+impl<'a, S: PointSeq> SplitEnv<'a, S> {
     /// Starts an episode: precomputes suffix similarities (if enabled) and
     /// anchors the prefix evaluator at the first point.
-    pub fn new(
-        measure: &'a dyn Measure,
-        data: &'a [Point],
-        query: &'a [Point],
-        cfg: MdpConfig,
-    ) -> Self {
+    pub fn new(measure: &'a dyn Measure, data: S, query: &'a [Point], cfg: MdpConfig) -> Self {
         assert!(
-            !data.is_empty() && !query.is_empty(),
+            !data.seq_is_empty() && !query.is_empty(),
             "inputs must be non-empty"
         );
         let suffix = if cfg.use_suffix {
@@ -143,14 +142,14 @@ impl<'a> SplitEnv<'a> {
             Vec::new()
         };
         let mut eval = measure.prefix_evaluator(query);
-        let theta_pre = eval.init(data[0]);
+        let theta_pre = eval.init(data.seq_point(0));
         let theta_suf = suffix.first().copied().unwrap_or(0.0);
         Self {
             data,
             eval,
             suffix,
             cfg,
-            n: data.len(),
+            n: data.seq_len(),
             t: 0,
             h: 0,
             theta_best: 0.0,
@@ -243,9 +242,9 @@ impl<'a> SplitEnv<'a> {
         // Lines 18-19: refresh Θpre / Θsuf. Skipped points are omitted
         // from the evaluator (the RLS-Skip prefix simplification).
         self.theta_pre = if self.t == self.h {
-            self.eval.init(self.data[self.t])
+            self.eval.init(self.data.seq_point(self.t))
         } else {
-            self.eval.extend(self.data[self.t])
+            self.eval.extend(self.data.seq_point(self.t))
         };
         if self.cfg.use_suffix {
             self.theta_suf = self.suffix[self.t];
@@ -299,7 +298,7 @@ mod tests {
         let t = walk(5, 12);
         let q = walk(6, 4);
         for pattern in 0..8u64 {
-            let mut env = SplitEnv::new(&Dtw, &t, &q, MdpConfig::rls());
+            let mut env = SplitEnv::new(&Dtw, t.as_slice(), &q, MdpConfig::rls());
             let mut total = 0.0;
             let mut step = 0u64;
             loop {
@@ -324,7 +323,7 @@ mod tests {
         // suffix a candidate; Θbest must then be at least PSS's best
         // single-point/suffix candidate value.
         let (t, q) = figure1();
-        let mut env = SplitEnv::new(&Dtw, &t, &q, MdpConfig::rls());
+        let mut env = SplitEnv::new(&Dtw, t.as_slice(), &q, MdpConfig::rls());
         loop {
             if env.step(1).done {
                 break;
@@ -341,7 +340,7 @@ mod tests {
     fn never_split_considers_full_prefixes() {
         let t = walk(9, 10);
         let q = walk(10, 4);
-        let mut env = SplitEnv::new(&Dtw, &t, &q, MdpConfig::rls());
+        let mut env = SplitEnv::new(&Dtw, t.as_slice(), &q, MdpConfig::rls());
         loop {
             if env.step(0).done {
                 break;
@@ -363,7 +362,7 @@ mod tests {
         let t = walk(13, 10);
         let q = walk(14, 3);
         let cfg = MdpConfig::rls_skip(3);
-        let mut env = SplitEnv::new(&Dtw, &t, &q, cfg);
+        let mut env = SplitEnv::new(&Dtw, t.as_slice(), &q, cfg);
         // Skip 2 points at the first step: next scanned index is 3.
         env.step(3);
         assert_eq!(env.stats().skipped, 2);
@@ -378,7 +377,7 @@ mod tests {
     fn skip_past_end_clamps_to_last_point() {
         let t = walk(15, 5);
         let q = walk(16, 3);
-        let mut env = SplitEnv::new(&Dtw, &t, &q, MdpConfig::rls_skip(10));
+        let mut env = SplitEnv::new(&Dtw, t.as_slice(), &q, MdpConfig::rls_skip(10));
         let out = env.step(11); // skip 10 points from p0 → clamped to p4
         assert!(!out.done);
         assert!(env.at_last_point());
@@ -390,7 +389,7 @@ mod tests {
     fn suffix_free_state_has_two_components() {
         let t = walk(17, 6);
         let q = walk(18, 3);
-        let env = SplitEnv::new(&Dtw, &t, &q, MdpConfig::rls_skip_plus(2));
+        let env = SplitEnv::new(&Dtw, t.as_slice(), &q, MdpConfig::rls_skip_plus(2));
         assert_eq!(env.state().len(), 2);
     }
 
@@ -398,7 +397,7 @@ mod tests {
     fn single_point_episode_terminates_immediately() {
         let t = walk(19, 1);
         let q = walk(20, 3);
-        let mut env = SplitEnv::new(&Dtw, &t, &q, MdpConfig::rls());
+        let mut env = SplitEnv::new(&Dtw, t.as_slice(), &q, MdpConfig::rls());
         assert!(env.at_last_point());
         let out = env.step(0);
         assert!(out.done);
@@ -410,7 +409,7 @@ mod tests {
     fn step_after_done_panics() {
         let t = walk(21, 1);
         let q = walk(22, 2);
-        let mut env = SplitEnv::new(&Dtw, &t, &q, MdpConfig::rls());
+        let mut env = SplitEnv::new(&Dtw, t.as_slice(), &q, MdpConfig::rls());
         env.step(0);
         env.step(0);
     }
@@ -420,7 +419,7 @@ mod tests {
     fn invalid_action_panics() {
         let t = walk(23, 4);
         let q = walk(24, 2);
-        let mut env = SplitEnv::new(&Dtw, &t, &q, MdpConfig::rls());
+        let mut env = SplitEnv::new(&Dtw, t.as_slice(), &q, MdpConfig::rls());
         env.step(2); // k = 0 → only actions 0, 1
     }
 }

@@ -3,12 +3,12 @@
 //! training loop of Algorithm 3.
 
 use crate::mdp::{MdpConfig, ScanStats, SplitEnv};
-use crate::{SearchResult, SubtrajSearch};
+use crate::{SearchResult, SearchWorkspace, SubtrajSearch};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use simsub_measures::Measure;
 use simsub_rl::{DqnAgent, DqnConfig, Policy, Transition};
-use simsub_trajectory::{Point, Trajectory};
+use simsub_trajectory::{Point, TrajView, Trajectory};
 
 /// The reinforcement-learning based search algorithm. Carries a frozen
 /// greedy [`Policy`] and the MDP configuration it was trained for:
@@ -77,6 +77,21 @@ impl SubtrajSearch for Rls {
 
     fn search(&self, measure: &dyn Measure, data: &[Point], query: &[Point]) -> SearchResult {
         self.search_with_stats(measure, data, query).0
+    }
+
+    fn search_with(&self, ws: &mut SearchWorkspace<'_>, data: TrajView<'_>) -> SearchResult {
+        assert!(!data.is_empty(), "inputs must be non-empty");
+        // The MDP environment consumes the columnar view directly
+        // (`SplitEnv` is generic over `PointSeq`) — same episode, same
+        // greedy walk, no AoS staging copy.
+        let mut env = SplitEnv::new(ws.measure(), data, ws.query(), self.cfg);
+        loop {
+            let action = self.policy.greedy_action(&env.state());
+            if env.step(action).done {
+                break;
+            }
+        }
+        env.result()
     }
 
     fn reported_similarity_is_admissible(&self) -> bool {

@@ -27,9 +27,8 @@ impl Default for SizeS {
     }
 }
 
-/// The SizeS scan body, shared by the AoS entry and the arena-backed
-/// `search_with` (which stages its view into a contiguous buffer first)
-/// — one implementation, hence bitwise-identical either way.
+/// The scalar SizeS scan body behind the AoS `search` entry (the bitwise
+/// reference for [`sizes_scan_view`]).
 fn sizes_scan(xi: usize, ws: &mut SearchWorkspace<'_>, data: &[Point]) -> SearchResult {
     let n = data.len();
     let measure = ws.measure();
@@ -82,6 +81,64 @@ fn sizes_scan(xi: usize, ws: &mut SearchWorkspace<'_>, data: &[Point]) -> Search
     }
 }
 
+/// The arena-backed SizeS scan: per start point, one `init` plus **one**
+/// bulk [`simsub_measures::PrefixEvaluator::extend_run_into`] call over
+/// the whole size window, then a scalar in-order pass over the buffered
+/// per-length similarities — the same comparisons against the same values
+/// in the same order as [`sizes_scan`] (chunking invariance), with no
+/// per-candidate AoS staging copy.
+fn sizes_scan_view(xi: usize, ws: &mut SearchWorkspace<'_>, data: TrajView<'_>) -> SearchResult {
+    let n = data.len();
+    let m = ws.query().len();
+    let min_len = m.saturating_sub(xi).max(1);
+    let max_len = (m + xi).min(n);
+    let (xs, ys, ts) = (data.xs(), data.ys(), data.ts());
+
+    let mut best_range = SubtrajRange::new(0, 0);
+    let mut best_sim = f64::NEG_INFINITY;
+    {
+        let (eval, _, sims) = ws.scan_parts();
+        for i in 0..n {
+            let sim = eval.init(Point::new(xs[i], ys[i], ts[i]));
+            if 1 >= min_len && sim > best_sim {
+                best_sim = sim;
+                best_range = SubtrajRange::new(i, i);
+            }
+            // The scalar body extends j while len <= max_len: the window
+            // covers data indices i+1 ..= i+max_len-1, clamped to the end.
+            let end = (i + max_len - 1).min(n - 1);
+            if end > i {
+                sims.clear();
+                sims.resize(end - i, 0.0);
+                eval.extend_run_into(&xs[i + 1..=end], &ys[i + 1..=end], &ts[i + 1..=end], sims);
+                for (k, &sim) in sims.iter().enumerate() {
+                    let len = k + 2;
+                    if len >= min_len && sim > best_sim {
+                        best_sim = sim;
+                        best_range = SubtrajRange::new(i, i + 1 + k);
+                    }
+                }
+            }
+        }
+    }
+    // Same fallback as the scalar body (n < m - ξ admits no candidate);
+    // cold path, so the one-off staging copy is fine here.
+    if best_sim == f64::NEG_INFINITY {
+        let (measure, staged, query) = ws.staged(data);
+        let sim = measure.similarity(staged, query);
+        return SearchResult {
+            range: SubtrajRange::new(0, n - 1),
+            similarity: sim,
+            distance: simsub_measures::distance_from_similarity(sim),
+        };
+    }
+    SearchResult {
+        range: best_range,
+        similarity: best_sim,
+        distance: simsub_measures::distance_from_similarity(best_sim),
+    }
+}
+
 impl SubtrajSearch for SizeS {
     fn name(&self) -> String {
         format!("SizeS(xi={})", self.xi)
@@ -97,10 +154,7 @@ impl SubtrajSearch for SizeS {
 
     fn search_with(&self, ws: &mut SearchWorkspace<'_>, data: TrajView<'_>) -> SearchResult {
         assert!(!data.is_empty(), "inputs must be non-empty");
-        let staged = ws.stage_points(data);
-        let result = sizes_scan(self.xi, ws, staged.as_slice());
-        ws.restore_staging(staged);
-        result
+        sizes_scan_view(self.xi, ws, data)
     }
 }
 

@@ -5,8 +5,8 @@
 //! giving `O(n1·Φini + n·Φinc)` total time.
 
 use crate::{SearchResult, SearchWorkspace, SubtrajSearch};
-use simsub_measures::Measure;
-use simsub_trajectory::{reversed_points, Point, SubtrajRange, TrajView};
+use simsub_measures::{Measure, PrefixEvaluator};
+use simsub_trajectory::{reversed_points, Point, PointSeq, SubtrajRange, TrajView};
 
 /// Precomputes all suffix similarities `Θ(T[t, n]^R, Tq^R)` for
 /// `t = 0..n-1` in one backward pass (Algorithm 2, lines 2-3):
@@ -16,21 +16,131 @@ use simsub_trajectory::{reversed_points, Point, SubtrajRange, TrajView};
 ///
 /// For DTW and Frechet these equal `Θ(T[t, n], Tq)` exactly (reversal
 /// invariance); for t2vec they are the positively-correlated surrogate the
-/// paper uses.
-pub fn suffix_similarities(measure: &dyn Measure, data: &[Point], query: &[Point]) -> Vec<f64> {
+/// paper uses. Generic over [`PointSeq`] so AoS slices and arena views
+/// run the same (hence bitwise-identical) backward chain.
+pub fn suffix_similarities<S: PointSeq>(
+    measure: &dyn Measure,
+    data: S,
+    query: &[Point],
+) -> Vec<f64> {
     assert!(
-        !data.is_empty() && !query.is_empty(),
+        !data.seq_is_empty() && !query.is_empty(),
         "inputs must be non-empty"
     );
-    let n = data.len();
+    let n = data.seq_len();
     let rq = reversed_points(query);
     let mut eval = measure.prefix_evaluator(&rq);
     let mut out = vec![0.0; n];
-    out[n - 1] = eval.init(data[n - 1]);
+    out[n - 1] = eval.init(data.seq_point(n - 1));
     for t in (0..n - 1).rev() {
-        out[t] = eval.extend(data[t]);
+        out[t] = eval.extend(data.seq_point(t));
     }
     out
+}
+
+/// A lazily-filled stream of prefix similarities over a columnar view:
+/// after [`PrefixStream::anchor`]`(h)`, `get(i)` returns
+/// `Θ(T[h, i], Tq)` — the value the scalar scan would see from
+/// `init(p_h); extend(p_{h+1}); ...; extend(p_i)` — but computed through
+/// bulk [`PrefixEvaluator::extend_run_into`] calls over the view's
+/// coordinate slabs in geometrically growing chunks.
+///
+/// Values are *speculative*: a chunk may run the evaluator past the point
+/// where the decision walk ends up splitting. That is safe because the
+/// next `anchor` re-`init`s the evaluator, fully overwriting its state,
+/// and by the `extend_run` chunking-invariance contract every buffered
+/// value is bit-identical to the scalar chain's — so the (purely scalar)
+/// decision walk reading this stream reproduces the scalar scan's
+/// comparisons, winners, and tie-breaks exactly.
+struct PrefixStream<'a, 'm> {
+    eval: &'a mut (dyn PrefixEvaluator + 'm),
+    xs: &'a [f64],
+    ys: &'a [f64],
+    ts: &'a [f64],
+    /// Precomputed DP cell rows (`rows[k * stride + j]` for data point
+    /// `k`) when the measure supports cell-row factoring; refills then go
+    /// through [`PrefixEvaluator::extend_run_rows_into`], skipping the
+    /// distance recomputation entirely. Same value bits either way.
+    rows: Option<(&'a [f64], usize)>,
+    /// Current anchor: `vals[k]` holds the prefix similarity at `h + k`.
+    h: usize,
+    vals: &'a mut Vec<f64>,
+    chunk: usize,
+}
+
+/// First speculative chunk size; doubles per refill up to [`MAX_CHUNK`].
+/// Splits are frequent early in a scan (any positive similarity beats the
+/// initial best), so speculation starts small and grows as survivorship
+/// lengthens.
+const INITIAL_CHUNK: usize = 4;
+const MAX_CHUNK: usize = 32;
+
+impl<'a, 'm> PrefixStream<'a, 'm> {
+    fn new(
+        eval: &'a mut (dyn PrefixEvaluator + 'm),
+        data: TrajView<'a>,
+        vals: &'a mut Vec<f64>,
+    ) -> Self {
+        Self::with_rows(eval, data, vals, None)
+    }
+
+    fn with_rows(
+        eval: &'a mut (dyn PrefixEvaluator + 'm),
+        data: TrajView<'a>,
+        vals: &'a mut Vec<f64>,
+        rows: Option<(&'a [f64], usize)>,
+    ) -> Self {
+        Self {
+            eval,
+            xs: data.xs(),
+            ys: data.ys(),
+            ts: data.ts(),
+            rows,
+            h: 0,
+            vals,
+            chunk: INITIAL_CHUNK,
+        }
+    }
+
+    /// Re-anchors the stream at `h`: discards any speculative values and
+    /// `init`s the evaluator at `p_h` (exactly the scalar scan's `i == h`
+    /// branch).
+    fn anchor(&mut self, h: usize) {
+        self.h = h;
+        self.vals.clear();
+        self.vals.push(
+            self.eval
+                .init(Point::new(self.xs[h], self.ys[h], self.ts[h])),
+        );
+        self.chunk = INITIAL_CHUNK;
+    }
+
+    /// The prefix similarity at absolute index `i >= h`, filling forward
+    /// in bulk as needed.
+    fn get(&mut self, i: usize) -> f64 {
+        let k = i - self.h;
+        while self.vals.len() <= k {
+            let filled = self.vals.len();
+            let start = self.h + filled;
+            let len = self.chunk.min(self.xs.len() - start);
+            self.vals.resize(filled + len, 0.0);
+            if let Some((rows, m)) = self.rows {
+                self.eval.extend_run_rows_into(
+                    &rows[start * m..(start + len) * m],
+                    &mut self.vals[filled..],
+                );
+            } else {
+                self.eval.extend_run_into(
+                    &self.xs[start..start + len],
+                    &self.ys[start..start + len],
+                    &self.ts[start..start + len],
+                    &mut self.vals[filled..],
+                );
+            }
+            self.chunk = (self.chunk * 2).min(MAX_CHUNK);
+        }
+        self.vals[k]
+    }
 }
 
 /// Prefix-Suffix Search (Algorithm 2). At each scanned point `p_i` it
@@ -67,9 +177,9 @@ impl Default for PosD {
     }
 }
 
-/// The PSS scan body, shared by the AoS entry and the arena-backed
-/// `search_with` (which stages its view into a contiguous buffer first)
-/// — one implementation, hence bitwise-identical either way.
+/// The scalar PSS scan body behind the AoS `search` entry — and the
+/// bitwise reference for [`pss_scan_view`], which walks the same decision
+/// sequence over bulk-computed prefix/suffix streams.
 fn pss_scan(ws: &mut SearchWorkspace<'_>, data: &[Point]) -> SearchResult {
     let n = data.len();
     ws.compute_suffix_similarities(data);
@@ -103,6 +213,59 @@ fn pss_scan(ws: &mut SearchWorkspace<'_>, data: &[Point]) -> SearchResult {
     }
 }
 
+/// The arena-backed PSS scan: suffix similarities through one bulk
+/// reversed `extend_run_into` pass, prefix similarities through a
+/// speculative [`PrefixStream`], and the identical decision walk as
+/// [`pss_scan`] over those values — no per-candidate AoS staging copy.
+fn pss_scan_view(ws: &mut SearchWorkspace<'_>, data: TrajView<'_>) -> SearchResult {
+    let n = data.len();
+    // When the measure factors its DP cells through coordinates only
+    // (DTW, Fréchet), fill the cell matrix once and share it between the
+    // suffix pass (reversed) and the prefix stream — PSS otherwise
+    // computes every point-pair distance twice.
+    let rows_ready = ws.prepare_cell_rows(data);
+    if rows_ready {
+        ws.compute_suffix_similarities_rows(data);
+    } else {
+        ws.compute_suffix_similarities_bulk(data);
+    }
+    let (eval, suffix, vals, rows, stride) = ws.scan_parts_rows();
+    let rows = rows_ready.then_some((rows, stride));
+    let mut stream = PrefixStream::with_rows(eval, data, vals, rows);
+
+    let mut best_sim = 0.0f64;
+    let mut best_range: Option<SubtrajRange> = None;
+    let mut h = 0usize;
+    'outer: while h < n {
+        stream.anchor(h);
+        let mut i = h;
+        loop {
+            let pre = stream.get(i);
+            let suf = suffix[i];
+            if pre.max(suf) > best_sim {
+                best_sim = pre.max(suf);
+                best_range = Some(if pre > suf {
+                    SubtrajRange::new(h, i)
+                } else {
+                    SubtrajRange::new(i, n - 1)
+                });
+                h = i + 1;
+                continue 'outer;
+            }
+            i += 1;
+            if i == n {
+                break 'outer;
+            }
+        }
+    }
+    let range = best_range.expect("similarities are positive; first point always splits");
+    SearchResult {
+        range,
+        similarity: best_sim,
+        distance: simsub_measures::distance_from_similarity(best_sim),
+    }
+}
+
 impl SubtrajSearch for Pss {
     fn name(&self) -> String {
         "PSS".to_string()
@@ -118,16 +281,12 @@ impl SubtrajSearch for Pss {
 
     fn search_with(&self, ws: &mut SearchWorkspace<'_>, data: TrajView<'_>) -> SearchResult {
         assert!(!data.is_empty(), "inputs must be non-empty");
-        // Stage the view once (see `SearchWorkspace::stage_points` for
-        // why the evaluator-driven scan prefers a contiguous buffer).
-        let staged = ws.stage_points(data);
-        let result = pss_scan(ws, staged.as_slice());
-        ws.restore_staging(staged);
-        result
+        pss_scan_view(ws, data)
     }
 }
 
-/// The POS scan body, shared by both entry points (see [`pss_scan`]).
+/// The scalar POS scan body behind the AoS `search` entry (the bitwise
+/// reference for [`pos_scan_view`]).
 fn pos_scan(ws: &mut SearchWorkspace<'_>, data: &[Point]) -> SearchResult {
     let n = data.len();
     let mut best_sim = 0.0f64;
@@ -154,6 +313,40 @@ fn pos_scan(ws: &mut SearchWorkspace<'_>, data: &[Point]) -> SearchResult {
     }
 }
 
+/// The arena-backed POS scan: [`pss_scan_view`] minus the suffix channel.
+fn pos_scan_view(ws: &mut SearchWorkspace<'_>, data: TrajView<'_>) -> SearchResult {
+    let n = data.len();
+    let (eval, _, vals) = ws.scan_parts();
+    let mut stream = PrefixStream::new(eval, data, vals);
+
+    let mut best_sim = 0.0f64;
+    let mut best_range: Option<SubtrajRange> = None;
+    let mut h = 0usize;
+    'outer: while h < n {
+        stream.anchor(h);
+        let mut i = h;
+        loop {
+            let pre = stream.get(i);
+            if pre > best_sim {
+                best_sim = pre;
+                best_range = Some(SubtrajRange::new(h, i));
+                h = i + 1;
+                continue 'outer;
+            }
+            i += 1;
+            if i == n {
+                break 'outer;
+            }
+        }
+    }
+    let range = best_range.expect("similarities are positive; first point always splits");
+    SearchResult {
+        range,
+        similarity: best_sim,
+        distance: simsub_measures::distance_from_similarity(best_sim),
+    }
+}
+
 impl SubtrajSearch for Pos {
     fn name(&self) -> String {
         "POS".to_string()
@@ -169,14 +362,12 @@ impl SubtrajSearch for Pos {
 
     fn search_with(&self, ws: &mut SearchWorkspace<'_>, data: TrajView<'_>) -> SearchResult {
         assert!(!data.is_empty(), "inputs must be non-empty");
-        let staged = ws.stage_points(data);
-        let result = pos_scan(ws, staged.as_slice());
-        ws.restore_staging(staged);
-        result
+        pos_scan_view(ws, data)
     }
 }
 
-/// The POS-D scan body, shared by both entry points (see [`pss_scan`]).
+/// The scalar POS-D scan body behind the AoS `search` entry (the bitwise
+/// reference for [`pos_d_scan_view`]).
 fn pos_d_scan(delay: usize, ws: &mut SearchWorkspace<'_>, data: &[Point]) -> SearchResult {
     let n = data.len();
     let mut best_sim = 0.0f64;
@@ -219,6 +410,54 @@ fn pos_d_scan(delay: usize, ws: &mut SearchWorkspace<'_>, data: &[Point]) -> Sea
     }
 }
 
+/// The arena-backed POS-D scan. The lookahead reads the same stream as
+/// the main walk: in the scalar body the lookahead `extend`s continue the
+/// running prefix chain, which is exactly what the stream's buffered
+/// continuation holds, so the strict-`>` argmax (earliest index wins on
+/// ties) sees bit-identical values in the identical order.
+fn pos_d_scan_view(delay: usize, ws: &mut SearchWorkspace<'_>, data: TrajView<'_>) -> SearchResult {
+    let n = data.len();
+    let (eval, _, vals) = ws.scan_parts();
+    let mut stream = PrefixStream::new(eval, data, vals);
+
+    let mut best_sim = 0.0f64;
+    let mut best_range: Option<SubtrajRange> = None;
+    let mut h = 0usize;
+    'outer: while h < n {
+        stream.anchor(h);
+        let mut i = h;
+        loop {
+            let pre = stream.get(i);
+            if pre > best_sim {
+                let mut split_at = i;
+                let mut split_sim = pre;
+                let lookahead_end = (i + delay).min(n - 1);
+                for j in i + 1..=lookahead_end {
+                    let s = stream.get(j);
+                    if s > split_sim {
+                        split_sim = s;
+                        split_at = j;
+                    }
+                }
+                best_sim = split_sim;
+                best_range = Some(SubtrajRange::new(h, split_at));
+                h = split_at + 1;
+                continue 'outer;
+            }
+            i += 1;
+            if i == n {
+                break 'outer;
+            }
+        }
+    }
+    let range = best_range.expect("similarities are positive; first point always splits");
+    SearchResult {
+        range,
+        similarity: best_sim,
+        distance: simsub_measures::distance_from_similarity(best_sim),
+    }
+}
+
 impl SubtrajSearch for PosD {
     fn name(&self) -> String {
         format!("POS-D(D={})", self.delay)
@@ -234,10 +473,7 @@ impl SubtrajSearch for PosD {
 
     fn search_with(&self, ws: &mut SearchWorkspace<'_>, data: TrajView<'_>) -> SearchResult {
         assert!(!data.is_empty(), "inputs must be non-empty");
-        let staged = ws.stage_points(data);
-        let result = pos_d_scan(self.delay, ws, staged.as_slice());
-        ws.restore_staging(staged);
-        result
+        pos_d_scan_view(self.delay, ws, data)
     }
 }
 
@@ -253,7 +489,7 @@ mod tests {
     fn suffix_similarities_match_direct_computation_dtw() {
         let t = walk(1, 10);
         let q = walk(2, 4);
-        let suf = suffix_similarities(&Dtw, &t, &q);
+        let suf = suffix_similarities(&Dtw, t.as_slice(), &q);
         for i in 0..t.len() {
             // Reversal invariance: Θ(T[i,n]^R, Tq^R) == Θ(T[i,n], Tq).
             let direct = Dtw.similarity(&t[i..], &q);
@@ -370,7 +606,7 @@ mod tests {
         fn suffix_vector_is_complete_and_positive(seed in 0u64..200, n in 1usize..12, m in 1usize..6) {
             let t = walk(seed, n);
             let q = walk(seed + 13, m);
-            let suf = suffix_similarities(&Frechet, &t, &q);
+            let suf = suffix_similarities(&Frechet, t.as_slice(), &q);
             prop_assert_eq!(suf.len(), n);
             for s in suf {
                 prop_assert!(s > 0.0 && s <= 1.0);

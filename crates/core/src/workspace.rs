@@ -15,7 +15,11 @@
 //! With the columnar corpus arena the workspace also carries:
 //! - the [`simsub_measures::DpScratch`] buffers behind the slice DP
 //!   kernels ([`SearchWorkspace::exact_best`] dispatches to
-//!   [`simsub_measures::Measure::exact_best`]), and
+//!   [`simsub_measures::Measure::exact_best`]),
+//! - the speculative-similarity and reversed-slab scratch behind the bulk
+//!   [`simsub_measures::PrefixEvaluator::extend_run`] scan paths (the
+//!   evaluator-driven algorithms feed the arena slabs to `extend_run`
+//!   directly, with no per-candidate AoS staging copy), and
 //! - a reusable AoS staging buffer ([`SearchWorkspace::staged`]) for
 //!   algorithms without a view-based override, so the default
 //!   [`crate::SubtrajSearch::search_with`] stays allocation-free after
@@ -49,6 +53,26 @@ pub struct SearchWorkspace<'m> {
     dp_scratch: DpScratch,
     /// AoS staging buffer for the default `search_with` fallback.
     staging: Vec<Point>,
+    /// Per-point similarity scratch for the bulk (`extend_run_into`) scan
+    /// bodies: speculative prefix chunks, SizeS windows, suffix staging.
+    sims: Vec<f64>,
+    /// Reversed copies of a view's coordinate slabs, feeding the suffix
+    /// evaluator through one bulk `extend_run_into` call.
+    rev_xs: Vec<f64>,
+    rev_ys: Vec<f64>,
+    rev_ts: Vec<f64>,
+    /// Precomputed DP cell rows for the whole trajectory
+    /// (`cell_rows[k * stride + j]` = the evaluator's cell input for data
+    /// point `k` against query point `j`), filled by
+    /// [`SearchWorkspace::prepare_cell_rows`] when the measure supports
+    /// [`PrefixEvaluator::fill_cell_rows`]. Shared by the prefix stream
+    /// and (reversed) the suffix pass, halving distance computation.
+    cell_rows: Vec<f64>,
+    /// `cell_rows` reversed in both dimensions — exactly the cell rows
+    /// the reversed-stream/reversed-query suffix evaluator would fill.
+    rev_cell_rows: Vec<f64>,
+    /// Row stride of `cell_rows` (the query length), 0 when inactive.
+    cell_stride: usize,
 }
 
 impl<'m> SearchWorkspace<'m> {
@@ -65,6 +89,13 @@ impl<'m> SearchWorkspace<'m> {
             suffix: Vec::new(),
             dp_scratch: DpScratch::default(),
             staging: Vec::new(),
+            sims: Vec::new(),
+            rev_xs: Vec::new(),
+            rev_ys: Vec::new(),
+            rev_ts: Vec::new(),
+            cell_rows: Vec::new(),
+            rev_cell_rows: Vec::new(),
+            cell_stride: 0,
         }
     }
 
@@ -125,33 +156,6 @@ impl<'m> SearchWorkspace<'m> {
         (self.measure, &self.staging, &self.query)
     }
 
-    /// Fills the reusable staging buffer with `data`'s points and hands
-    /// the buffer to the caller (a pointer move, no allocation after
-    /// warmup); return it with [`SearchWorkspace::restore_staging`].
-    ///
-    /// Why staging exists on the evaluator-driven hot path: the
-    /// `PrefixEvaluator` machines take one `Point` per virtual call, and
-    /// feeding them straight from the arena's three coordinate slabs
-    /// measures ~1.6 ns/DP-cell *slower* than from a contiguous AoS
-    /// buffer (three strided loads per call vs one line per ~2.7
-    /// points), while the copy itself — three sequential slab streams,
-    /// once per (trajectory, search) — amortizes to ~0.2 ns/cell. The
-    /// slice kernels that bypass the evaluator API
-    /// ([`SearchWorkspace::exact_best`], the bound cascade) consume the
-    /// slabs zero-copy.
-    pub fn stage_points<S: PointSeq>(&mut self, data: S) -> Vec<Point> {
-        let mut buf = std::mem::take(&mut self.staging);
-        buf.clear();
-        buf.extend((0..data.seq_len()).map(|i| data.seq_point(i)));
-        buf
-    }
-
-    /// Returns a buffer taken via [`SearchWorkspace::stage_points`] so
-    /// the next stage reuses its capacity.
-    pub fn restore_staging(&mut self, buf: Vec<Point>) {
-        self.staging = buf;
-    }
-
     /// Fills the suffix-similarity buffer for `data` (Algorithm 2,
     /// lines 2-3): one backward pass of a reversed-query evaluator, at
     /// `Φini + (n-1)·Φinc` cost and zero allocation after first use.
@@ -175,11 +179,144 @@ impl<'m> SearchWorkspace<'m> {
         }
     }
 
+    /// Bulk variant of [`SearchWorkspace::compute_suffix_similarities`]
+    /// for arena views: copies the view's coordinate slabs reversed (a
+    /// sequential SoA copy, not a per-point AoS round trip) and rolls the
+    /// reversed-query evaluator forward with **one**
+    /// [`PrefixEvaluator::extend_run_into`] call instead of `n - 1`
+    /// virtual `extend` calls. Bit-identical to the generic backward scan
+    /// by the `extend_run` contract (the reversed stream's point `k` *is*
+    /// `data.point(n - 1 - k)`, same coordinate bits).
+    pub fn compute_suffix_similarities_bulk(&mut self, data: TrajView<'_>) {
+        let n = data.len();
+        assert!(n > 0, "data must be non-empty");
+        if self.suffix_eval.is_none() {
+            self.reversed_query.clear();
+            self.reversed_query.extend(self.query.iter().rev().copied());
+            self.suffix_eval = Some(self.measure.make_workspace(&self.reversed_query));
+        }
+        let eval = self.suffix_eval.as_mut().expect("created above");
+        self.suffix.clear();
+        self.suffix.resize(n, 0.0);
+        self.suffix[n - 1] = eval.init(data.point(n - 1));
+        if n > 1 {
+            self.rev_xs.clear();
+            self.rev_xs.extend(data.xs().iter().rev());
+            self.rev_ys.clear();
+            self.rev_ys.extend(data.ys().iter().rev());
+            self.rev_ts.clear();
+            self.rev_ts.extend(data.ts().iter().rev());
+            self.sims.clear();
+            self.sims.resize(n - 1, 0.0);
+            eval.extend_run_into(
+                &self.rev_xs[1..],
+                &self.rev_ys[1..],
+                &self.rev_ts[1..],
+                &mut self.sims,
+            );
+            // Reversed-stream index k covers suffix start n-1-k.
+            for (k, &sim) in self.sims.iter().enumerate() {
+                self.suffix[n - 2 - k] = sim;
+            }
+        }
+    }
+
+    /// Fills the shared DP cell-row matrix for `data` through the
+    /// measure's [`PrefixEvaluator::fill_cell_rows`] kernel. Returns
+    /// `true` (and arms the rows-based scan paths) when the measure
+    /// supports cell-row factoring; `false` leaves the coordinate-fed
+    /// paths in charge. The matrix depends only on the coordinate/query
+    /// bits, so one fill serves both PSS walks: the prefix stream reads
+    /// it forward, and [`SearchWorkspace::compute_suffix_similarities_rows`]
+    /// reads it reversed in both dimensions (which is *exactly* the
+    /// matrix the reversed-query evaluator would fill for the reversed
+    /// stream — same value bits, so results stay bitwise identical).
+    pub fn prepare_cell_rows(&mut self, data: TrajView<'_>) -> bool {
+        match self
+            .prefix
+            .fill_cell_rows(data.xs(), data.ys(), data.ts(), &mut self.cell_rows)
+        {
+            Some(stride) => {
+                self.cell_stride = stride;
+                true
+            }
+            None => {
+                self.cell_stride = 0;
+                false
+            }
+        }
+    }
+
+    /// Rows-based variant of
+    /// [`SearchWorkspace::compute_suffix_similarities_bulk`]: consumes
+    /// the matrix prepared by [`SearchWorkspace::prepare_cell_rows`]
+    /// instead of refilling distances against the reversed query.
+    /// Reversing the flat matrix reverses both dimensions at once
+    /// (`rev[k * m + j] == rows[(n-1-k) * m + (m-1-j)]`), which is the
+    /// reversed-stream × reversed-query cell matrix bit for bit.
+    pub fn compute_suffix_similarities_rows(&mut self, data: TrajView<'_>) {
+        let n = data.len();
+        assert!(n > 0, "data must be non-empty");
+        let m = self.cell_stride;
+        debug_assert_eq!(self.cell_rows.len(), n * m, "prepare_cell_rows first");
+        if self.suffix_eval.is_none() {
+            self.reversed_query.clear();
+            self.reversed_query.extend(self.query.iter().rev().copied());
+            self.suffix_eval = Some(self.measure.make_workspace(&self.reversed_query));
+        }
+        let eval = self.suffix_eval.as_mut().expect("created above");
+        self.suffix.clear();
+        self.suffix.resize(n, 0.0);
+        self.suffix[n - 1] = eval.init(data.point(n - 1));
+        if n > 1 {
+            self.rev_cell_rows.clear();
+            self.rev_cell_rows.extend(self.cell_rows.iter().rev());
+            self.sims.clear();
+            self.sims.resize(n - 1, 0.0);
+            eval.extend_run_rows_into(&self.rev_cell_rows[m..], &mut self.sims);
+            // Reversed-stream index k covers suffix start n-1-k.
+            for (k, &sim) in self.sims.iter().enumerate() {
+                self.suffix[n - 2 - k] = sim;
+            }
+        }
+    }
+
     /// Split borrow: the prefix evaluator together with the suffix
     /// similarities of the last [`SearchWorkspace::compute_suffix_similarities`]
     /// call (empty if never called).
     pub fn prefix_and_suffix(&mut self) -> (&mut (dyn PrefixEvaluator + 'm), &[f64]) {
         (self.prefix.as_mut(), &self.suffix)
+    }
+
+    /// Three-way split borrow for the bulk scan bodies: the prefix
+    /// evaluator, the suffix similarities (state of the last
+    /// `compute_suffix_similarities*` call; empty if never called), and
+    /// the per-point similarity scratch buffer.
+    pub fn scan_parts(&mut self) -> (&mut (dyn PrefixEvaluator + 'm), &[f64], &mut Vec<f64>) {
+        (self.prefix.as_mut(), &self.suffix, &mut self.sims)
+    }
+
+    /// [`SearchWorkspace::scan_parts`] plus the shared cell-row matrix
+    /// of the last [`SearchWorkspace::prepare_cell_rows`] call and its
+    /// row stride, for scan bodies that feed the prefix stream from
+    /// precomputed rows.
+    #[allow(clippy::type_complexity)]
+    pub fn scan_parts_rows(
+        &mut self,
+    ) -> (
+        &mut (dyn PrefixEvaluator + 'm),
+        &[f64],
+        &mut Vec<f64>,
+        &[f64],
+        usize,
+    ) {
+        (
+            self.prefix.as_mut(),
+            &self.suffix,
+            &mut self.sims,
+            &self.cell_rows,
+            self.cell_stride,
+        )
     }
 }
 
@@ -197,7 +334,7 @@ mod tests {
         for seed in 0..5u64 {
             let data = walk(10 + seed, 9);
             ws.compute_suffix_similarities(data.as_slice());
-            let want = suffix_similarities(&Dtw, &data, &q);
+            let want = suffix_similarities(&Dtw, data.as_slice(), &q);
             let (_, got) = ws.prefix_and_suffix();
             assert_eq!(got.len(), want.len());
             for (g, w) in got.iter().zip(&want) {
@@ -215,10 +352,56 @@ mod tests {
         let view = TrajView::new(0, &xs, &ys, &ts);
         let mut ws = SearchWorkspace::new(&Dtw, &q);
         ws.compute_suffix_similarities(view);
-        let want = suffix_similarities(&Dtw, &data, &q);
+        let want = suffix_similarities(&Dtw, data.as_slice(), &q);
         let (_, got) = ws.prefix_and_suffix();
         for (g, w) in got.iter().zip(&want) {
             assert_eq!(g.to_bits(), w.to_bits());
+        }
+    }
+
+    #[test]
+    fn bulk_suffix_matches_generic_backward_scan() {
+        let q = walk(7, 6);
+        for seed in 0..6u64 {
+            let data = walk(20 + seed, 1 + seed as usize * 3);
+            let (xs, ys): (Vec<f64>, Vec<f64>) = data.iter().map(|p| (p.x, p.y)).unzip();
+            let ts: Vec<f64> = data.iter().map(|p| p.t).collect();
+            let view = TrajView::new(0, &xs, &ys, &ts);
+            let mut ws = SearchWorkspace::new(&Dtw, &q);
+            ws.compute_suffix_similarities_bulk(view);
+            let want = suffix_similarities(&Dtw, data.as_slice(), &q);
+            let (_, got) = ws.prefix_and_suffix();
+            assert_eq!(got.len(), want.len());
+            for (t, (g, w)) in got.iter().zip(&want).enumerate() {
+                assert_eq!(g.to_bits(), w.to_bits(), "seed {seed} suffix {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn rows_suffix_matches_generic_backward_scan() {
+        let q = walk(7, 6);
+        for measure in [&Dtw as &dyn Measure, &Frechet as &dyn Measure] {
+            for seed in 0..6u64 {
+                let data = walk(40 + seed, 1 + seed as usize * 3);
+                let (xs, ys): (Vec<f64>, Vec<f64>) = data.iter().map(|p| (p.x, p.y)).unzip();
+                let ts: Vec<f64> = data.iter().map(|p| p.t).collect();
+                let view = TrajView::new(0, &xs, &ys, &ts);
+                let mut ws = SearchWorkspace::new(measure, &q);
+                assert!(ws.prepare_cell_rows(view), "dtw/frechet factor cell rows");
+                ws.compute_suffix_similarities_rows(view);
+                let want = suffix_similarities(measure, data.as_slice(), &q);
+                let (_, got) = ws.prefix_and_suffix();
+                assert_eq!(got.len(), want.len());
+                for (t, (g, w)) in got.iter().zip(&want).enumerate() {
+                    assert_eq!(
+                        g.to_bits(),
+                        w.to_bits(),
+                        "{} seed {seed} suffix {t}",
+                        measure.name()
+                    );
+                }
+            }
         }
     }
 
@@ -245,7 +428,7 @@ mod tests {
         ws.reset(&q2);
         assert_eq!(ws.query(), &q2[..]);
         ws.compute_suffix_similarities(data.as_slice());
-        let want = suffix_similarities(&Frechet, &data, &q2);
+        let want = suffix_similarities(&Frechet, data.as_slice(), &q2);
         let (eval, got) = ws.prefix_and_suffix();
         for (g, w) in got.iter().zip(&want) {
             assert_eq!(g.to_bits(), w.to_bits());

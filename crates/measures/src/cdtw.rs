@@ -135,6 +135,27 @@ impl PrefixEvaluator for CdtwEvaluator {
         self.current = f64::INFINITY;
         self.initialized = false;
     }
+
+    fn extend_run(&mut self, xs: &[f64], ys: &[f64], ts: &[f64]) -> f64 {
+        // Every scalar `extend` recomputes the banded DP from scratch over
+        // the full accumulated data, so the intermediate recomputations of
+        // a point loop are dead work: appending the whole run and
+        // recomputing once yields the identical final state and value
+        // (`BandedDtwWorkspace::distance` is property-tested independent
+        // of buffer dirt) at O(n·band) instead of O(n²·band).
+        if xs.is_empty() {
+            return self.similarity();
+        }
+        assert!(self.initialized, "extend_run before init");
+        debug_assert!(xs.len() == ys.len() && xs.len() == ts.len());
+        for i in 0..xs.len() {
+            self.data.push(Point::new(xs[i], ys[i], ts[i]));
+        }
+        self.recompute();
+        self.similarity()
+    }
+    // `extend_run_into` keeps the default point loop: per-point readouts
+    // need every intermediate band recomputation anyway.
 }
 
 #[cfg(test)]

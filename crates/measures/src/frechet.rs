@@ -74,6 +74,9 @@ pub struct FrechetEvaluator {
     qy: Vec<f64>,
     row: Vec<f64>,
     dist: Vec<f64>,
+    /// Scratch for the bulk wavefront kernel (`extend_run`): per-lane
+    /// precomputed distance rows; sized on first bulk call.
+    bulk_dist: Vec<f64>,
     initialized: bool,
 }
 
@@ -88,6 +91,7 @@ impl FrechetEvaluator {
             qy,
             row: vec![0.0; query.len()],
             dist: vec![0.0; query.len()],
+            bulk_dist: Vec::new(),
             initialized: false,
         }
     }
@@ -142,6 +146,70 @@ impl PrefixEvaluator for FrechetEvaluator {
         self.dist.clear();
         self.dist.resize(query.len(), 0.0);
         self.initialized = false;
+    }
+
+    fn extend_run(&mut self, xs: &[f64], ys: &[f64], ts: &[f64]) -> f64 {
+        let _ = ts; // point distances are planar; timestamps never enter the DP
+        if xs.is_empty() {
+            return self.similarity();
+        }
+        assert!(self.initialized, "extend_run before init");
+        kernel::extend_run_wavefront::<kernel::MaxOp>(
+            &mut self.row,
+            &self.qx,
+            &self.qy,
+            xs,
+            ys,
+            &mut self.bulk_dist,
+            |_, _| {},
+        );
+        self.similarity()
+    }
+
+    fn extend_run_into(&mut self, xs: &[f64], ys: &[f64], ts: &[f64], sims: &mut [f64]) -> f64 {
+        let _ = ts;
+        if xs.is_empty() {
+            return self.similarity();
+        }
+        assert!(self.initialized, "extend_run before init");
+        kernel::extend_run_wavefront::<kernel::MaxOp>(
+            &mut self.row,
+            &self.qx,
+            &self.qy,
+            xs,
+            ys,
+            &mut self.bulk_dist,
+            |i, d| sims[i] = similarity_from_distance(d),
+        );
+        self.similarity()
+    }
+
+    fn fill_cell_rows(
+        &self,
+        xs: &[f64],
+        ys: &[f64],
+        ts: &[f64],
+        rows: &mut Vec<f64>,
+    ) -> Option<usize> {
+        let _ = ts;
+        let m = self.qx.len();
+        rows.clear();
+        rows.resize(xs.len() * m, 0.0);
+        for (k, out) in rows.chunks_exact_mut(m).enumerate() {
+            fill_point_dists(&self.qx, &self.qy, xs[k], ys[k], out);
+        }
+        Some(m)
+    }
+
+    fn extend_run_rows_into(&mut self, rows: &[f64], sims: &mut [f64]) -> f64 {
+        if rows.is_empty() {
+            return self.similarity();
+        }
+        assert!(self.initialized, "extend_run before init");
+        kernel::extend_run_wavefront_rows::<kernel::MaxOp>(&mut self.row, rows, |i, d| {
+            sims[i] = similarity_from_distance(d)
+        });
+        self.similarity()
     }
 }
 
@@ -219,6 +287,16 @@ mod tests {
     fn arb_traj(max_len: usize) -> impl Strategy<Value = Vec<Point>> {
         proptest::collection::vec((-50.0..50.0f64, -50.0..50.0f64), 1..max_len)
             .prop_map(|v| pts(&v))
+    }
+
+    /// Points on a tiny integer grid: duplicated points and bitwise-equal
+    /// distances are the norm, stressing tie-breaking.
+    fn arb_grid_traj(max_len: usize) -> impl Strategy<Value = Vec<Point>> {
+        proptest::collection::vec((0u8..3, 0u8..3), 1..max_len).prop_map(|v| {
+            v.iter()
+                .map(|&(x, y)| Point::xy(x as f64, y as f64))
+                .collect()
+        })
     }
 
     #[test]
@@ -317,6 +395,48 @@ mod tests {
                 prop_assert_eq!(fast.extend(p).to_bits(), slow.extend(p).to_bits());
                 prop_assert_eq!(fast.distance().to_bits(), slow.distance.to_bits());
             }
+        }
+
+        #[test]
+        fn wavefront_run_is_bit_identical_to_extend_loop(
+            a in arb_traj(24), b in arb_traj(12), split in 0usize..24,
+        ) {
+            let (xs, ys): (Vec<f64>, Vec<f64>) = a[1..].iter().map(|p| (p.x, p.y)).unzip();
+            let ts = vec![0.0; xs.len()];
+            let mut stepwise = FrechetEvaluator::new(&b);
+            stepwise.init(a[0]);
+            let want: Vec<f64> = a[1..].iter().map(|&p| stepwise.extend(p)).collect();
+            let mut bulk = FrechetEvaluator::new(&b);
+            bulk.init(a[0]);
+            let mut sims = vec![0.0; xs.len()];
+            let last = bulk.extend_run_into(&xs, &ys, &ts, &mut sims);
+            for (i, (&got, &expect)) in sims.iter().zip(&want).enumerate() {
+                prop_assert_eq!(got.to_bits(), expect.to_bits(), "per-point sim {i}");
+            }
+            prop_assert_eq!(last.to_bits(), stepwise.similarity().to_bits());
+            prop_assert_eq!(bulk.distance().to_bits(), stepwise.distance().to_bits());
+            let mut chunked = FrechetEvaluator::new(&b);
+            chunked.init(a[0]);
+            let s = split.min(xs.len());
+            chunked.extend_run(&xs[..s], &ys[..s], &ts[..s]);
+            chunked.extend_run(&xs[s..], &ys[s..], &ts[s..]);
+            prop_assert_eq!(chunked.distance().to_bits(), stepwise.distance().to_bits());
+        }
+
+        #[test]
+        fn exact_best_tie_breaking_on_duplicated_points(
+            a in arb_grid_traj(16), b in arb_grid_traj(8),
+        ) {
+            let (xs, ys): (Vec<f64>, Vec<f64>) = a.iter().map(|p| (p.x, p.y)).unzip();
+            let ts = vec![0.0; a.len()];
+            let view = simsub_trajectory::TrajView::new(0, &xs, &ys, &ts);
+            let mut scratch = DpScratch::default();
+            let (start, end, sim) =
+                Frechet.exact_best(view, &b, &mut scratch).expect("frechet kernel");
+            let (want_start, want_end, want_sim) =
+                crate::kernel::scalar_exact_sweep(&Frechet, &a, &b);
+            prop_assert_eq!(sim.to_bits(), want_sim.to_bits());
+            prop_assert_eq!((start, end), (want_start, want_end), "tie-breaking must match");
         }
 
         #[test]

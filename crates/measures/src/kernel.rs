@@ -29,6 +29,31 @@
 use crate::similarity_from_distance;
 use simsub_trajectory::Point;
 
+/// Branchless `min` — compiles to a bare `minsd`/`minpd` instead of the
+/// NaN-propagating blend sequence `f64::min` lowers to (5 instructions
+/// that also block packed vectorization of the DP loops). On the values
+/// in play — distances are `sqrt` of sums of squares of finite
+/// coordinates, so never NaN and never `-0.0` — this is bit-identical to
+/// `f64::min`.
+#[inline(always)]
+fn fmin(a: f64, b: f64) -> f64 {
+    if a < b {
+        a
+    } else {
+        b
+    }
+}
+
+/// Branchless `max`; see [`fmin`].
+#[inline(always)]
+fn fmax(a: f64, b: f64) -> f64 {
+    if a > b {
+        a
+    } else {
+        b
+    }
+}
+
 /// Fills `out[j] = sqrt((px - qx[j])² + (py - qy[j])²)` — the DP row's
 /// point-distance vector. 4-wide unrolled; every lane is the exact
 /// arithmetic of [`Point::dist`], so element values are bit-identical to
@@ -89,12 +114,12 @@ pub(crate) struct MaxOp;
 impl DpOp for MaxOp {
     #[inline]
     fn boundary(acc: f64, d: f64) -> f64 {
-        acc.max(d)
+        fmax(acc, d)
     }
 
     #[inline]
     fn cell(d: f64, best: f64) -> f64 {
-        d.max(best)
+        fmax(d, best)
     }
 }
 
@@ -203,7 +228,7 @@ fn extend_lane<Op: DpOp>(rows: &mut [f64], l: usize, dist: &[f64], m: usize) {
     for jj in 1..m {
         let up = rows[jj * LANES + l];
         let left = rows[(jj - 1) * LANES + l];
-        rows[jj * LANES + l] = Op::cell(dist[jj], diag.min(up).min(left));
+        rows[jj * LANES + l] = Op::cell(dist[jj], fmin(fmin(diag, up), left));
         diag = up;
     }
 }
@@ -229,9 +254,362 @@ fn extend_all_lanes<Op: DpOp>(rows: &mut [f64], dist: &[f64], m: usize) {
     for (row, &d) in (&mut groups).zip(&dist[1..m]) {
         for l in 0..LANES {
             let up = row[l];
-            row[l] = Op::cell(d, diag[l].min(up).min(left[l]));
+            row[l] = Op::cell(d, fmin(fmin(diag[l], up), left[l]));
             diag[l] = up;
             left[l] = row[l];
+        }
+    }
+}
+
+/// Queries shorter than this take the scalar per-point fallback inside
+/// [`extend_run_wavefront`]: the diagonal tile needs `m > LANES` for its
+/// phase structure, and tiny rows have nothing to vectorize anyway.
+const WAVEFRONT_MIN_M: usize = LANES + 1;
+
+/// Bulk Φinc over a run of data points for a row-rolling measure: rolls
+/// the single DP row `row` (length `m`, the query length) forward by one
+/// data point per run element, in [`LANES`]-wide **anti-diagonal SIMD**
+/// order.
+///
+/// The scalar `extend` is latency-bound: each cell's `min`/`add` chain
+/// depends on the cell to its left. Consecutive *rows*, however, only
+/// couple through the up/diag cells, so a tile of [`LANES`] rows can
+/// advance along anti-diagonals: at wavefront step `s`, lane `l`
+/// (handling data point `base + l`) computes column `j = s - l`, and the
+/// value lane `l` reads as `up` is exactly what lane `l - 1` computed one
+/// step earlier — so the whole DP state rotates through registers and the
+/// steady-state step touches memory only for one incoming row cell, one
+/// final row cell, and the four per-lane distances (precomputed as
+/// contiguous vectorized [`fill_point_dists`] rows). Four independent
+/// `min`/`add` chains advance per step, hiding the serial latency the
+/// scalar `extend` is bound by.
+///
+/// Bitwise identity with the scalar chain is by construction: every cell
+/// value is a fixed function of its three neighbors, evaluated by the
+/// same expression (`Op::cell(d, fmin(fmin(diag, up), left))`, distances via
+/// the exact `Point::dist` arithmetic; the `j == 0` boundary is
+/// `Op::cell(d, up)`, bitwise `up + d` / `up.max(d)` because both ops are
+/// commutative), so any dependency-respecting schedule produces the same
+/// bits (property-tested in `dtw.rs`/`frechet.rs` and the conformance
+/// suite).
+///
+/// `sink(i, v)` is called once per run point `i` with the row's final
+/// cell `v` (the subtrajectory distance after appending that point) at
+/// the moment it is computed — later lanes overwrite the cell, so readout
+/// happens inside the sweep. `scratch` is a reusable buffer holding the
+/// tile's precomputed distance rows (`LANES * m` cells).
+pub(crate) fn extend_run_wavefront<Op: DpOp>(
+    row: &mut [f64],
+    qx: &[f64],
+    qy: &[f64],
+    xs: &[f64],
+    ys: &[f64],
+    scratch: &mut Vec<f64>,
+    mut sink: impl FnMut(usize, f64),
+) {
+    let m = qx.len();
+    debug_assert_eq!(qy.len(), m);
+    debug_assert_eq!(row.len(), m);
+    debug_assert_eq!(xs.len(), ys.len());
+    if m < WAVEFRONT_MIN_M {
+        scratch.resize(m, 0.0);
+        let dist = &mut scratch[..m];
+        for i in 0..xs.len() {
+            fill_point_dists(qx, qy, xs[i], ys[i], dist);
+            let mut diag = row[0];
+            let mut left = Op::cell(dist[0], row[0]);
+            row[0] = left;
+            for (r, &d) in row[1..].iter_mut().zip(&dist[1..]) {
+                let up = *r;
+                *r = Op::cell(d, fmin(fmin(diag, up), left));
+                diag = up;
+                left = *r;
+            }
+            sink(i, row[m - 1]);
+        }
+        return;
+    }
+    scratch.resize(LANES * m, 0.0);
+    let dist = &mut scratch[..LANES * m];
+    let mut base = 0usize;
+    while base < xs.len() {
+        let lanes = LANES.min(xs.len() - base);
+        // Hoisted distance rows: `dist[l * m + j] = d(p_{base+l}, q_j)` —
+        // the sqrt-heavy part runs as contiguous auto-vectorized fills,
+        // keeping the DP tile's register set small enough to stay
+        // spill-free.
+        for l in 0..lanes {
+            fill_point_dists(
+                qx,
+                qy,
+                xs[base + l],
+                ys[base + l],
+                &mut dist[l * m..(l + 1) * m],
+            );
+        }
+        diagonal_tile::<Op>(row, dist, m, lanes, |l, v| sink(base + l, v));
+        base += lanes;
+    }
+}
+
+/// [`extend_run_wavefront`] minus the distance fills: advances the DP row
+/// over `rows.len() / m` run points whose per-point cell-input rows are
+/// already laid out contiguously (`rows[k * m + j]`, as produced by
+/// `PrefixEvaluator::fill_cell_rows`). The DP schedule, cell expressions,
+/// and readout are exactly the coordinate entry's, so given bitwise-equal
+/// rows the results are bitwise equal — this is the second-walk half of
+/// sharing one distance matrix between PSS's prefix and suffix passes.
+pub(crate) fn extend_run_wavefront_rows<Op: DpOp>(
+    row: &mut [f64],
+    rows: &[f64],
+    mut sink: impl FnMut(usize, f64),
+) {
+    let m = row.len();
+    debug_assert!(m > 0 && rows.len().is_multiple_of(m));
+    let n = rows.len() / m;
+    if m < WAVEFRONT_MIN_M {
+        for (i, dist) in rows.chunks_exact(m).enumerate() {
+            let mut diag = row[0];
+            let mut left = Op::cell(dist[0], row[0]);
+            row[0] = left;
+            for (r, &d) in row[1..].iter_mut().zip(&dist[1..]) {
+                let up = *r;
+                *r = Op::cell(d, fmin(fmin(diag, up), left));
+                diag = up;
+                left = *r;
+            }
+            sink(i, row[m - 1]);
+        }
+        return;
+    }
+    let mut base = 0usize;
+    while base < n {
+        let lanes = LANES.min(n - base);
+        diagonal_tile::<Op>(
+            row,
+            &rows[base * m..(base + lanes) * m],
+            m,
+            lanes,
+            |l, v| sink(base + l, v),
+        );
+        base += lanes;
+    }
+}
+
+/// One tile of [`extend_run_wavefront`]: dispatches on the (run-tail)
+/// lane count so each variant monomorphizes with fully unrolled inner
+/// loops. Requires `m > LANES` (shorter queries take the scalar fallback
+/// above).
+fn diagonal_tile<Op: DpOp>(
+    row: &mut [f64],
+    dist: &[f64],
+    m: usize,
+    lanes: usize,
+    sink: impl FnMut(usize, f64),
+) {
+    match lanes {
+        4 => diagonal_tile_4::<Op>(row, dist, m, sink),
+        3 => diagonal_tile_l::<Op, 3>(row, dist, m, sink),
+        2 => diagonal_tile_l::<Op, 2>(row, dist, m, sink),
+        _ => diagonal_tile_l::<Op, 1>(row, dist, m, sink),
+    }
+}
+
+/// The hot full-width tile, hand-scalarized: the DP state lives in named
+/// locals (not arrays) so every lane is guaranteed a register — the
+/// array form of [`diagonal_tile_l`] leaves `left[]` round-tripping the
+/// stack each step, which puts a store-to-load forward on the serial DP
+/// recurrence. Same wavefront schedule and cell expressions as the
+/// generic tile; the generic version (kept for the 1–3 lane run tail)
+/// doubles as its cross-checked reference.
+fn diagonal_tile_4<Op: DpOp>(
+    row: &mut [f64],
+    dist: &[f64],
+    m: usize,
+    mut sink: impl FnMut(usize, f64),
+) {
+    debug_assert!(m > 4 && row.len() == m && dist.len() >= 4 * m);
+    let (r0, rest) = dist[..4 * m].split_at(m);
+    let (r1, rest) = rest.split_at(m);
+    let (r2, r3) = rest.split_at(m);
+    // Ramp-up, steps s = 0..4: lane `l` enters at `s == l` on its
+    // boundary cell; lane 3's first cell (column 0) is final.
+    let mut u0 = row[0];
+    let mut v0 = Op::cell(r0[0], u0);
+    let (mut dg0, mut lf0, mut up1) = (u0, v0, v0);
+    u0 = row[1];
+    let mut v1 = Op::cell(r1[0], up1);
+    v0 = Op::cell(r0[1], fmin(fmin(dg0, u0), lf0));
+    let (mut dg1, mut lf1, mut up2) = (up1, v1, v1);
+    (dg0, lf0, up1) = (u0, v0, v0);
+    u0 = row[2];
+    let mut v2 = Op::cell(r2[0], up2);
+    v1 = Op::cell(r1[1], fmin(fmin(dg1, up1), lf1));
+    v0 = Op::cell(r0[2], fmin(fmin(dg0, u0), lf0));
+    let (mut dg2, mut lf2, up3) = (up2, v2, v2);
+    (dg1, lf1, up2) = (up1, v1, v1);
+    (dg0, lf0, up1) = (u0, v0, v0);
+    u0 = row[3];
+    let mut v3 = Op::cell(r3[0], up3);
+    v2 = Op::cell(r2[1], fmin(fmin(dg2, up2), lf2));
+    v1 = Op::cell(r1[2], fmin(fmin(dg1, up1), lf1));
+    v0 = Op::cell(r0[3], fmin(fmin(dg0, u0), lf0));
+    row[0] = v3;
+    let (mut dg3, mut lf3) = (up3, v3);
+    let mut up3 = v2;
+    (dg2, lf2, up2) = (up2, v2, v1);
+    (dg1, lf1, up1) = (up1, v1, v0);
+    (dg0, lf0) = (u0, v0);
+    // Steady state: all lanes interior, one row load (lane 0), one row
+    // store (lane 3, final for its column), four distance loads per step.
+    for s in 4..m - 1 {
+        u0 = row[s];
+        v0 = Op::cell(r0[s], fmin(fmin(dg0, u0), lf0));
+        v1 = Op::cell(r1[s - 1], fmin(fmin(dg1, up1), lf1));
+        v2 = Op::cell(r2[s - 2], fmin(fmin(dg2, up2), lf2));
+        v3 = Op::cell(r3[s - 3], fmin(fmin(dg3, up3), lf3));
+        row[s - 3] = v3;
+        (dg0, lf0) = (u0, v0);
+        (dg1, up1, lf1) = (up1, v0, v1);
+        (dg2, up2, lf2) = (up2, v1, v2);
+        (dg3, up3, lf3) = (up3, v2, v3);
+    }
+    // s == m - 1: lane 0 computes its last column and reads out.
+    u0 = row[m - 1];
+    v0 = Op::cell(r0[m - 1], fmin(fmin(dg0, u0), lf0));
+    v1 = Op::cell(r1[m - 2], fmin(fmin(dg1, up1), lf1));
+    v2 = Op::cell(r2[m - 3], fmin(fmin(dg2, up2), lf2));
+    v3 = Op::cell(r3[m - 4], fmin(fmin(dg3, up3), lf3));
+    row[m - 4] = v3;
+    sink(0, v0);
+    (dg1, up1, lf1) = (up1, v0, v1);
+    (dg2, up2, lf2) = (up2, v1, v2);
+    (dg3, up3, lf3) = (up3, v2, v3);
+    // Ramp-down, steps s = m..m+3: lane `s + 1 - m` finishes its row
+    // (column m-1) each step and reads out through the sink.
+    v1 = Op::cell(r1[m - 1], fmin(fmin(dg1, up1), lf1));
+    v2 = Op::cell(r2[m - 2], fmin(fmin(dg2, up2), lf2));
+    v3 = Op::cell(r3[m - 3], fmin(fmin(dg3, up3), lf3));
+    row[m - 3] = v3;
+    sink(1, v1);
+    (dg2, up2, lf2) = (up2, v1, v2);
+    (dg3, up3, lf3) = (up3, v2, v3);
+    v2 = Op::cell(r2[m - 1], fmin(fmin(dg2, up2), lf2));
+    v3 = Op::cell(r3[m - 2], fmin(fmin(dg3, up3), lf3));
+    row[m - 2] = v3;
+    sink(2, v2);
+    (dg3, up3, lf3) = (up3, v2, v3);
+    v3 = Op::cell(r3[m - 1], fmin(fmin(dg3, up3), lf3));
+    row[m - 1] = v3;
+    sink(3, v3);
+}
+
+/// `L` consecutive DP rows advanced along anti-diagonals with
+/// **register-rotated** state: at step `s`, lane `l` computes column
+/// `j = s - l`, and the value lane `l` needs as `up` next step is exactly
+/// lane `l - 1`'s output this step — so `up`/`diag`/`left` rotate through
+/// registers, memory traffic shrinks to one load (lane 0's incoming row
+/// cell), one store (lane `L - 1`'s final cell), and `L` distance loads
+/// per step, and no step ever reloads a cell the previous step stored
+/// (which would stall on store-to-load forwarding across the shifted
+/// window). Distances are precomputed lane-major in `dist`
+/// (`dist[l * m + j]` = lane `l` vs query column `j`) so the sqrt-heavy
+/// work runs as contiguous vectorized fills and the DP loop's live state
+/// fits the register file. The steady loop runs *ascending* over `s`
+/// with per-lane views pre-shifted by the lane's diagonal offset
+/// (`rows[l][s] == dist[l * m + s - l]`), which lets the compiler prove
+/// every index in bounds and drop the checks.
+fn diagonal_tile_l<Op: DpOp, const L: usize>(
+    row: &mut [f64],
+    dist: &[f64],
+    m: usize,
+    mut sink: impl FnMut(usize, f64),
+) {
+    debug_assert!(m > L && row.len() == m && dist.len() >= L * m);
+    let rows: [&[f64]; L] = core::array::from_fn(|l| &dist[l * (m - 1)..l * (m - 1) + m]);
+    let mut diag = [0.0f64; L];
+    let mut left = [0.0f64; L];
+    let mut up = [0.0f64; L];
+    let mut v = [0.0f64; L];
+    // Ramp-up: lane `l` enters at step `s == l` on column 0 (the boundary
+    // cell `Op::cell(d, up)`); `j <= s < L < m`, so no readouts. Lane
+    // `L - 1`'s first cell (column 0) is final.
+    for s in 0..L {
+        up[0] = row[s];
+        for l in 0..=s {
+            let j = s - l;
+            let d = dist[l * m + j];
+            v[l] = if j == 0 {
+                Op::cell(d, up[l])
+            } else {
+                Op::cell(d, fmin(fmin(diag[l], up[l]), left[l]))
+            };
+        }
+        if s == L - 1 {
+            row[0] = v[L - 1];
+        }
+        for l in (0..=s).rev() {
+            diag[l] = up[l];
+            left[l] = v[l];
+            if l + 1 < L {
+                up[l + 1] = v[l];
+            }
+        }
+    }
+    // Steady state: all lanes on interior columns, readout-free (lane 0
+    // only reaches the last column at `s == m - 1`, handled after the
+    // loop so the body stays branchless). The DP state rotates through
+    // registers; only lane `L - 1`'s cell (final for its column) is
+    // stored, trailing lane 0's load by `L - 1` columns.
+    for s in L..m - 1 {
+        up[0] = row[s];
+        for l in 0..L {
+            let d = rows[l][s];
+            v[l] = Op::cell(d, fmin(fmin(diag[l], up[l]), left[l]));
+        }
+        row[s - (L - 1)] = v[L - 1];
+        for l in (0..L).rev() {
+            diag[l] = up[l];
+            left[l] = v[l];
+            if l + 1 < L {
+                up[l + 1] = v[l];
+            }
+        }
+    }
+    // `s == m - 1`: lane 0 computes its last column and reads out.
+    {
+        up[0] = row[m - 1];
+        for l in 0..L {
+            let d = rows[l][m - 1];
+            v[l] = Op::cell(d, fmin(fmin(diag[l], up[l]), left[l]));
+        }
+        row[m - L] = v[L - 1];
+        sink(0, v[0]);
+        for l in (0..L).rev() {
+            diag[l] = up[l];
+            left[l] = v[l];
+            if l + 1 < L {
+                up[l + 1] = v[l];
+            }
+        }
+    }
+    // Ramp-down: trailing lanes drain through the last columns; lane
+    // `l == s + 1 - m` finishes its row (column m-1) each step and reads
+    // out through the sink.
+    for s in m..m + L - 1 {
+        let lo = s + 1 - m;
+        for l in lo..L {
+            let d = dist[l * m + (s - l)];
+            v[l] = Op::cell(d, fmin(fmin(diag[l], up[l]), left[l]));
+        }
+        row[s - (L - 1)] = v[L - 1];
+        sink(lo, v[lo]);
+        for l in (lo..L).rev() {
+            diag[l] = up[l];
+            left[l] = v[l];
+            if l + 1 < L {
+                up[l + 1] = v[l];
+            }
         }
     }
 }

@@ -98,6 +98,27 @@ impl LcssEvaluator {
             0
         }
     }
+
+    /// The `extend` recurrence without the trait plumbing: the shared,
+    /// statically-dispatched inner step of both `extend` and the slice
+    /// `extend_run` kernels (identical by construction).
+    #[inline]
+    fn extend_step(&mut self, p: Point) {
+        self.i += 1;
+        let mut diag = 0usize; // L(i-1, j)
+        let mut left = 0usize; // L(i, j)
+        for j in 0..self.query.len() {
+            let up = self.row[j]; // L(i-1, j+1)
+            let cell = if p.dist(self.query[j]) <= self.epsilon {
+                diag + 1
+            } else {
+                up.max(left)
+            };
+            self.row[j] = cell;
+            diag = up;
+            left = cell;
+        }
+    }
 }
 
 impl PrefixEvaluator for LcssEvaluator {
@@ -117,20 +138,7 @@ impl PrefixEvaluator for LcssEvaluator {
 
     fn extend(&mut self, p: Point) -> f64 {
         assert!(self.initialized, "extend before init");
-        self.i += 1;
-        let mut diag = 0usize; // L(i-1, j)
-        let mut left = 0usize; // L(i, j)
-        for j in 0..self.query.len() {
-            let up = self.row[j]; // L(i-1, j+1)
-            let cell = if p.dist(self.query[j]) <= self.epsilon {
-                diag + 1
-            } else {
-                up.max(left)
-            };
-            self.row[j] = cell;
-            diag = up;
-            left = cell;
-        }
+        self.extend_step(p);
         self.similarity()
     }
 
@@ -154,6 +162,34 @@ impl PrefixEvaluator for LcssEvaluator {
         self.row.resize(query.len(), 0);
         self.i = 0;
         self.initialized = false;
+    }
+
+    fn extend_run(&mut self, xs: &[f64], ys: &[f64], ts: &[f64]) -> f64 {
+        // Same point loop as the default, but over the statically
+        // dispatched step (one virtual call per run, not per point) and
+        // without the per-point similarity readout.
+        if xs.is_empty() {
+            return self.similarity();
+        }
+        assert!(self.initialized, "extend_run before init");
+        debug_assert!(xs.len() == ys.len() && xs.len() == ts.len());
+        for i in 0..xs.len() {
+            self.extend_step(Point::new(xs[i], ys[i], ts[i]));
+        }
+        self.similarity()
+    }
+
+    fn extend_run_into(&mut self, xs: &[f64], ys: &[f64], ts: &[f64], sims: &mut [f64]) -> f64 {
+        if xs.is_empty() {
+            return self.similarity();
+        }
+        assert!(self.initialized, "extend_run before init");
+        debug_assert!(xs.len() == ys.len() && xs.len() == ts.len());
+        for i in 0..xs.len() {
+            self.extend_step(Point::new(xs[i], ys[i], ts[i]));
+            sims[i] = self.similarity();
+        }
+        self.similarity()
     }
 }
 

@@ -176,6 +176,85 @@ pub trait PrefixEvaluator {
     /// exactly (bitwise) as a freshly constructed one: `init` must be
     /// called before `extend`/`similarity`/`distance` are meaningful.
     fn reset(&mut self, query: &[Point]);
+
+    /// Bulk `Φinc`: appends a whole run of data points given as coordinate
+    /// slices (the corpus arena's SoA slabs feed this directly, zero-copy)
+    /// and returns the similarity after the last point — an empty run is a
+    /// no-op returning the current similarity.
+    ///
+    /// **Contract** (property-tested in `tests/evaluator_conformance.rs`):
+    /// bit-identical to calling [`PrefixEvaluator::extend`] once per point
+    /// — same final similarity/distance bits, same evaluator state — and
+    /// chunking-invariant: `extend_run(a); extend_run(b)` is bitwise
+    /// equivalent to `extend_run(a ++ b)` for any split, including after a
+    /// [`PrefixEvaluator::reset`]. The default is exactly that point loop,
+    /// so external implementations keep compiling; the built-in evaluators
+    /// override it with slice kernels (DTW/Frechet run a 4-lane wavefront
+    /// over the DP row, cDTW batches its recomputation, the edit-family
+    /// and t2vec devirtualize the inner step).
+    fn extend_run(&mut self, xs: &[f64], ys: &[f64], ts: &[f64]) -> f64 {
+        debug_assert!(xs.len() == ys.len() && xs.len() == ts.len());
+        let mut sim = self.similarity();
+        for i in 0..xs.len() {
+            sim = self.extend(Point::new(xs[i], ys[i], ts[i]));
+        }
+        sim
+    }
+
+    /// [`PrefixEvaluator::extend_run`] with a per-point similarity
+    /// readout: `sims[i]` receives the similarity after appending point
+    /// `i` of the run (exactly what the corresponding `extend` call would
+    /// have returned, bitwise). `sims` must have at least `xs.len()`
+    /// elements. Returns the similarity after the last point (the current
+    /// similarity for an empty run). Same bitwise/chunking contract as
+    /// `extend_run`.
+    fn extend_run_into(&mut self, xs: &[f64], ys: &[f64], ts: &[f64], sims: &mut [f64]) -> f64 {
+        debug_assert!(xs.len() == ys.len() && xs.len() == ts.len());
+        let mut sim = self.similarity();
+        for i in 0..xs.len() {
+            sim = self.extend(Point::new(xs[i], ys[i], ts[i]));
+            sims[i] = sim;
+        }
+        sim
+    }
+
+    /// Pre-factored cell inputs: for evaluators whose `Φinc` chain
+    /// consumes one precomputed input row per run point (the DTW family's
+    /// Euclidean distance rows `d(p_k, q_j)`), fills `rows` with
+    /// `xs.len() * stride` values — `rows[k * stride + j]` is run point
+    /// `k`'s input against query position `j` — and returns
+    /// `Some(stride)` (the query length). Returns `None` (the default)
+    /// when the evaluator has no such factorization; callers must then
+    /// stay on the coordinate entry points.
+    ///
+    /// The rows depend only on coordinates, never on DP state, so a
+    /// caller that walks the same points twice — PSS's prefix pass plus
+    /// its reversed-stream suffix pass — can fill once and feed both
+    /// walks through [`PrefixEvaluator::extend_run_rows_into`], halving
+    /// the `sqrt`-heavy distance work. Reversing run and query reverses
+    /// the matrix in both dimensions with the same value bits, which is
+    /// how one fill serves the reversed-query suffix evaluator.
+    fn fill_cell_rows(
+        &self,
+        xs: &[f64],
+        ys: &[f64],
+        ts: &[f64],
+        rows: &mut Vec<f64>,
+    ) -> Option<usize> {
+        let _ = (xs, ys, ts, rows);
+        None
+    }
+
+    /// [`PrefixEvaluator::extend_run_into`] over cell rows produced by
+    /// [`PrefixEvaluator::fill_cell_rows`] (same stride and layout;
+    /// `rows.len() == sims.len() * stride`), bitwise-identical to the
+    /// coordinate entry points under the same contract. Only meaningful
+    /// on evaluators whose `fill_cell_rows` returns `Some`; the default
+    /// (paired with the `None` default there) panics.
+    fn extend_run_rows_into(&mut self, rows: &[f64], sims: &mut [f64]) -> f64 {
+        let _ = (rows, sims);
+        unimplemented!("extend_run_rows_into requires fill_cell_rows support")
+    }
 }
 
 /// The three instantiations evaluated in the paper, as a config-friendly

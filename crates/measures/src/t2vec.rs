@@ -369,6 +369,36 @@ impl PrefixEvaluator for T2VecEvaluator<'_> {
         self.h.iter_mut().for_each(|v| *v = 0.0);
         self.initialized = false;
     }
+
+    fn extend_run(&mut self, xs: &[f64], ys: &[f64], ts: &[f64]) -> f64 {
+        // One GRU step per point; `distance`/`similarity` are pure reads
+        // of the hidden state, so the intermediate per-point readouts of
+        // the default loop are dead work the bulk path skips.
+        if xs.is_empty() {
+            return self.similarity();
+        }
+        assert!(self.initialized, "extend_run before init");
+        debug_assert!(xs.len() == ys.len() && xs.len() == ts.len());
+        for i in 0..xs.len() {
+            let f = self.measure.norm.features(Point::new(xs[i], ys[i], ts[i]));
+            self.measure.cell.step(&mut self.h, &f);
+        }
+        self.similarity()
+    }
+
+    fn extend_run_into(&mut self, xs: &[f64], ys: &[f64], ts: &[f64], sims: &mut [f64]) -> f64 {
+        if xs.is_empty() {
+            return self.similarity();
+        }
+        assert!(self.initialized, "extend_run before init");
+        debug_assert!(xs.len() == ys.len() && xs.len() == ts.len());
+        for i in 0..xs.len() {
+            let f = self.measure.norm.features(Point::new(xs[i], ys[i], ts[i]));
+            self.measure.cell.step(&mut self.h, &f);
+            sims[i] = self.similarity();
+        }
+        self.similarity()
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,268 @@
+//! Conformance harness for the bulk evaluator kernels: for **every**
+//! measure's `PrefixEvaluator`, the slice `extend_run` /
+//! `extend_run_into` APIs must be bitwise-indistinguishable from the
+//! scalar point-by-point `extend` chain — same final similarity bits,
+//! same per-point similarity bits, invariant under chunk boundaries
+//! (`extend_run(a); extend_run(b)` ≡ `extend_run(a ++ b)`, including
+//! empty chunks), and unchanged after `reset`. On top of the kernel
+//! contract, differential tests pin the *search-path* consequence: the
+//! arena-backed PSS/SizeS split scoring must pick the identical winner
+//! index as the scalar AoS scan on tie-heavy duplicated-point corpora.
+
+mod common;
+
+use common::assert_bitwise_topk;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use simsub::core::{sort_hits_and_truncate, Pss, SizeS, SubtrajSearch, TopKResult};
+use simsub::index::TrajectoryDb;
+use simsub::measures::{Cdtw, CoordNormalizer, Dtw, Edr, Erp, Frechet, Lcss, Measure, T2Vec};
+use simsub::trajectory::{Point, Trajectory};
+
+/// All seven evaluator families under conformance. The t2vec instance is
+/// a deterministic untrained encoder — the kernel contract is about
+/// arithmetic, not model quality.
+fn all_measures() -> Vec<Box<dyn Measure>> {
+    vec![
+        Box::new(Dtw),
+        Box::new(Frechet),
+        Box::new(Cdtw::new(2)),
+        Box::new(Edr::new(0.5)),
+        Box::new(Erp::new()),
+        Box::new(Lcss::new(0.5)),
+        Box::new(T2Vec::random(7, 6, CoordNormalizer::identity())),
+    ]
+}
+
+fn pts(v: &[(f64, f64)]) -> Vec<Point> {
+    v.iter()
+        .enumerate()
+        .map(|(i, &(x, y))| Point::new(x, y, i as f64))
+        .collect()
+}
+
+fn soa(data: &[Point]) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
+    (
+        data.iter().map(|p| p.x).collect(),
+        data.iter().map(|p| p.y).collect(),
+        data.iter().map(|p| p.t).collect(),
+    )
+}
+
+/// Continuous coordinates (generic case).
+fn arb_traj(max_len: usize) -> impl Strategy<Value = Vec<Point>> {
+    proptest::collection::vec((-10.0..10.0f64, -10.0..10.0f64), 1..max_len).prop_map(|v| pts(&v))
+}
+
+/// Adversarial coordinates on a tiny integer grid: heavy point
+/// duplication produces equal distances (and therefore DP ties) all over
+/// the matrix, the regime where an order-of-evaluation slip in a bulk
+/// kernel would change a winner.
+fn arb_grid_traj(max_len: usize) -> impl Strategy<Value = Vec<Point>> {
+    proptest::collection::vec((0u8..3, 0u8..3), 1..max_len).prop_map(|v| {
+        pts(&v
+            .iter()
+            .map(|&(x, y)| (x as f64, y as f64))
+            .collect::<Vec<_>>())
+    })
+}
+
+/// The full conformance battery for one (measure, query, data) triple.
+fn check_conformance(measure: &dyn Measure, query: &[Point], data: &[Point], split: usize) {
+    // Scalar reference: init at p0, then one virtual `extend` per point,
+    // recording every intermediate similarity.
+    let mut reference = measure.prefix_evaluator(query);
+    reference.init(data[0]);
+    let mut ref_sims = Vec::with_capacity(data.len() - 1);
+    for &p in &data[1..] {
+        ref_sims.push(reference.extend(p));
+    }
+    let ref_final = reference.similarity();
+    let name = measure.name();
+
+    let (xs, ys, ts) = soa(data);
+
+    // (a) One bulk run over the whole tail (empty when |data| = 1).
+    let mut eval = measure.prefix_evaluator(query);
+    eval.init(data[0]);
+    let got = eval.extend_run(&xs[1..], &ys[1..], &ts[1..]);
+    assert_eq!(got.to_bits(), ref_final.to_bits(), "{name}: full-slab run");
+    assert_eq!(
+        eval.similarity().to_bits(),
+        ref_final.to_bits(),
+        "{name}: state after full-slab run"
+    );
+
+    // (b) Per-point readout variant.
+    let mut eval = measure.prefix_evaluator(query);
+    eval.init(data[0]);
+    let mut sims = vec![0.0; data.len() - 1];
+    let got = eval.extend_run_into(&xs[1..], &ys[1..], &ts[1..], &mut sims);
+    assert_eq!(got.to_bits(), ref_final.to_bits(), "{name}: run_into final");
+    for (i, (s, r)) in sims.iter().zip(&ref_sims).enumerate() {
+        assert_eq!(s.to_bits(), r.to_bits(), "{name}: run_into point {i}");
+    }
+
+    // (c) Chunking invariance: split the tail at an arbitrary cut (either
+    // side may be empty) — two runs must equal the one-run chain.
+    let cut = 1 + split % data.len();
+    let mut eval = measure.prefix_evaluator(query);
+    eval.init(data[0]);
+    eval.extend_run(&xs[1..cut], &ys[1..cut], &ts[1..cut]);
+    let got = eval.extend_run(&xs[cut..], &ys[cut..], &ts[cut..]);
+    assert_eq!(
+        got.to_bits(),
+        ref_final.to_bits(),
+        "{name}: chunked run (cut at {cut})"
+    );
+
+    // (d) Reuse after `reset` re-targets the same buffers: the bulk chain
+    // must reproduce the fresh-evaluator bits.
+    eval.reset(query);
+    eval.init(data[0]);
+    let got = eval.extend_run(&xs[1..], &ys[1..], &ts[1..]);
+    assert_eq!(
+        got.to_bits(),
+        ref_final.to_bits(),
+        "{name}: run after reset"
+    );
+
+    // (e) Cell-row factoring, where supported: a coordinate-only
+    // `fill_cell_rows` pass plus rows-fed `extend_run_rows_into` runs
+    // must reproduce the scalar bits too — whole tail, per point, and
+    // across an arbitrary chunk cut (the prefix stream refills in
+    // chunks). Measures without the factoring return `None` and are
+    // covered by (a)-(d) alone.
+    let mut eval = measure.prefix_evaluator(query);
+    let mut rows = Vec::new();
+    if let Some(m) = eval.fill_cell_rows(&xs, &ys, &ts, &mut rows) {
+        assert_eq!(rows.len(), data.len() * m, "{name}: cell-rows shape");
+        eval.init(data[0]);
+        let mut sims = vec![0.0; data.len() - 1];
+        let got = eval.extend_run_rows_into(&rows[m..], &mut sims);
+        assert_eq!(got.to_bits(), ref_final.to_bits(), "{name}: rows run final");
+        for (i, (s, r)) in sims.iter().zip(&ref_sims).enumerate() {
+            assert_eq!(s.to_bits(), r.to_bits(), "{name}: rows run point {i}");
+        }
+        eval.init(data[0]);
+        eval.extend_run_rows_into(&rows[m..cut * m], &mut sims[..cut - 1]);
+        let got = eval.extend_run_rows_into(&rows[cut * m..], &mut sims[cut - 1..]);
+        assert_eq!(
+            got.to_bits(),
+            ref_final.to_bits(),
+            "{name}: chunked rows run (cut at {cut})"
+        );
+        for (i, (s, r)) in sims.iter().zip(&ref_sims).enumerate() {
+            assert_eq!(s.to_bits(), r.to_bits(), "{name}: chunked rows point {i}");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The headline contract, continuous coordinates: for all seven
+    /// evaluators, bulk == scalar bitwise (final value, per-point values,
+    /// chunked calls, after reset).
+    #[test]
+    fn bulk_extend_run_matches_scalar_chain(
+        data in arb_traj(16),
+        query in arb_traj(8),
+        split in 0usize..16,
+    ) {
+        for measure in all_measures() {
+            check_conformance(measure.as_ref(), &query, &data, split);
+        }
+    }
+
+    /// The same contract under adversarial tie-heavy grid inputs
+    /// (duplicated points, equal distances everywhere).
+    #[test]
+    fn bulk_extend_run_matches_scalar_chain_on_duplicated_grid(
+        data in arb_grid_traj(16),
+        query in arb_grid_traj(6),
+        split in 0usize..16,
+    ) {
+        for measure in all_measures() {
+            check_conformance(measure.as_ref(), &query, &data, split);
+        }
+    }
+}
+
+/// Tie-heavy corpus: every trajectory walks the same 3×3 grid, so split
+/// candidates collide in score constantly — across positions within a
+/// trajectory and across trajectories in the ranking.
+fn grid_corpus(seed: u64, count: usize) -> Vec<Trajectory> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x71e5);
+    (0..count)
+        .map(|i| {
+            let len = rng.gen_range(3usize..14);
+            let coords: Vec<(f64, f64)> = (0..len)
+                .map(|_| (rng.gen_range(0u8..3) as f64, rng.gen_range(0u8..3) as f64))
+                .collect();
+            Trajectory::new_unchecked(i as u64, pts(&coords))
+        })
+        .collect()
+}
+
+/// Pre-arena reference ranking: the allocating scalar AoS `search` per
+/// trajectory, through the shared comparator.
+fn reference_top_k(
+    algo: &dyn SubtrajSearch,
+    measure: &dyn Measure,
+    corpus: &[Trajectory],
+    query: &[Point],
+    k: usize,
+) -> Vec<TopKResult> {
+    let mut hits: Vec<TopKResult> = corpus
+        .iter()
+        .map(|t| TopKResult {
+            trajectory_id: t.id,
+            result: algo.search(measure, t.points(), query),
+        })
+        .collect();
+    sort_hits_and_truncate(&mut hits, k);
+    hits
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Differential tie-breaking pin: the bulk-kernel view scans behind
+    /// `search_with` (PSS's speculative prefix stream + bulk suffix pass,
+    /// SizeS's windowed bulk scoring) must report the *identical* winner
+    /// (trajectory, split, score bits) as the scalar path on corpora
+    /// engineered for score ties.
+    #[test]
+    fn pss_and_sizes_split_winners_match_scalar_on_ties(
+        seed in 0u64..5_000,
+        count in 1usize..12,
+        k in 1usize..5,
+        qlen in 1usize..6,
+    ) {
+        let corpus = grid_corpus(seed, count);
+        let query = pts(
+            &(0..qlen)
+                .map(|i| (((seed as usize + i) % 3) as f64, ((seed as usize + 2 * i) % 3) as f64))
+                .collect::<Vec<_>>(),
+        );
+        let db = TrajectoryDb::build(corpus.clone());
+        for measure in [&Dtw as &dyn Measure, &Frechet as &dyn Measure] {
+            for algo in [
+                &Pss as &(dyn SubtrajSearch + Sync),
+                &SizeS::new(0),
+                &SizeS::new(2),
+                &SizeS::default(),
+            ] {
+                let want = reference_top_k(algo, measure, &corpus, &query, k);
+                let got = db.top_k(algo, measure, &query, k, false);
+                assert_bitwise_topk(
+                    &got,
+                    &want,
+                    &format!("measure={} algo={} k={k}", measure.name(), algo.name()),
+                );
+            }
+        }
+    }
+}

@@ -9,6 +9,9 @@
 //! prune on/off. The packed binary corpus format must round-trip the
 //! arena bit-exactly and reject corrupt or truncated files.
 
+mod common;
+
+use common::assert_bitwise_topk;
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -49,25 +52,6 @@ fn random_corpus(seed: u64, count: usize) -> Vec<Trajectory> {
         .collect()
 }
 
-/// Byte-level equality: ids, ranges, and exact score bit patterns.
-fn assert_identical(got: &[TopKResult], want: &[TopKResult], context: &str) {
-    assert_eq!(got.len(), want.len(), "hit count differs: {context}");
-    for (rank, (g, w)) in got.iter().zip(want).enumerate() {
-        assert_eq!(g.trajectory_id, w.trajectory_id, "rank {rank}: {context}");
-        assert_eq!(g.result.range, w.result.range, "rank {rank}: {context}");
-        assert_eq!(
-            g.result.distance.to_bits(),
-            w.result.distance.to_bits(),
-            "rank {rank} distance bits: {context}"
-        );
-        assert_eq!(
-            g.result.similarity.to_bits(),
-            w.result.similarity.to_bits(),
-            "rank {rank} similarity bits: {context}"
-        );
-    }
-}
-
 /// The pre-arena reference: the allocating AoS `search` per trajectory,
 /// ranked through the shared comparator. This touches neither the arena,
 /// the workspace reuse, the slice kernels, nor the bound cascade.
@@ -105,18 +89,18 @@ fn check_layout_equivalence(
     for prune in [false, true] {
         let context = format!("{context_base} prune={prune}");
         let (got, stats) = db.top_k_with_stats(algo, measure, query, k, false, prune);
-        assert_identical(&got, &want, &format!("db full scan {context}"));
+        assert_bitwise_topk(&got, &want, &format!("db full scan {context}"));
         assert!(stats.is_consistent(), "db stats: {context}");
 
         let (got_batch, _) = db.top_k_batch_with_stats(algo, measure, &[query], k, false, prune);
-        assert_identical(&got_batch[0], &want, &format!("db batch {context}"));
+        assert_bitwise_topk(&got_batch[0], &want, &format!("db batch {context}"));
 
         for shards in SHARD_COUNTS {
             for kind in [PartitionerKind::Hash, PartitionerKind::Grid] {
                 let sharded = ShardedDb::build(corpus.to_vec(), shards, kind);
                 let context = format!("{context} shards={shards} kind={}", kind.name());
                 let (got, stats) = sharded.top_k_with_stats(algo, measure, query, k, false, prune);
-                assert_identical(&got, &want, &format!("sharded {context}"));
+                assert_bitwise_topk(&got, &want, &format!("sharded {context}"));
                 assert!(stats.is_consistent(), "sharded stats: {context}");
             }
         }
@@ -132,7 +116,7 @@ fn check_layout_equivalence(
         .collect();
     let want_indexed = reference_top_k(algo, measure, &filtered, query, k);
     let got_indexed = db.top_k(algo, measure, query, k, true);
-    assert_identical(
+    assert_bitwise_topk(
         &got_indexed,
         &want_indexed,
         &format!("indexed {context_base}"),
@@ -166,7 +150,7 @@ fn check_pack_round_trip(corpus: &[Trajectory], query: &[Point], k: usize) {
         let from_packed = TrajectoryDb::from_arena(back);
         let want = from_csv_path.top_k(&ExactS, &Dtw, query, k, false);
         let got = from_packed.top_k(&ExactS, &Dtw, query, k, false);
-        assert_identical(&got, &want, "packed reload answers");
+        assert_bitwise_topk(&got, &want, "packed reload answers");
     }
 }
 
