@@ -135,6 +135,7 @@ fn main() {
 
     let (handle_load_ns, swap_ms) = control_plane_overheads(&db, &queries);
     let sweep = batcher_sweep(&db, &queries, n_workers);
+    let overload = overload_shed(&db, &queries);
 
     let out_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_service.json");
     std::fs::write(
@@ -146,6 +147,7 @@ fn main() {
             handle_load_ns,
             swap_ms,
             &sweep,
+            &overload,
         ),
     )
     .expect("writing BENCH_service.json");
@@ -218,6 +220,90 @@ fn batcher_sweep(
             point
         })
         .collect()
+}
+
+/// What bounded admission buys under overload: every client fires its
+/// whole workload at a 1-worker engine gated at `max_queue_depth`,
+/// without pacing. The gate sheds the excess with `Overloaded` (positive
+/// back-off hints) instead of queueing it, so the p99 of what *is*
+/// served stays bounded by the queue depth x scan time — the number this
+/// records — rather than growing with offered load.
+struct OverloadMeasurement {
+    offered: usize,
+    served: usize,
+    shed: usize,
+    shed_rate: f64,
+    served_p99_us: u64,
+    max_queue_depth: usize,
+}
+
+fn overload_shed(db: &Arc<TrajectoryDb>, queries: &[Vec<Point>]) -> OverloadMeasurement {
+    const MAX_QUEUE_DEPTH: usize = 32;
+    let engine = Arc::new(QueryEngine::start(
+        CorpusSnapshot::new(Arc::clone(db)),
+        EngineConfig {
+            workers: 1,
+            max_batch: 4,
+            cache_capacity: 0,
+            max_queue_depth: MAX_QUEUE_DEPTH,
+            // Pin faults disarmed so an armed SIMSUB_FAULTS (the CI chaos
+            // matrix) cannot skew the recorded numbers.
+            faults: Some(String::new()),
+            ..EngineConfig::default()
+        },
+    ));
+    let chunk = queries.len().div_ceil(CLIENT_THREADS);
+    let per_client: Vec<(usize, usize)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = queries
+            .chunks(chunk)
+            .map(|part| {
+                let engine = Arc::clone(&engine);
+                scope.spawn(move || {
+                    let mut pending = Vec::new();
+                    let mut shed = 0usize;
+                    for q in part {
+                        match engine.submit(request(q.clone())) {
+                            Ok(p) => pending.push(p),
+                            Err(simsub_service::ServiceError::Overloaded { retry_after_ms }) => {
+                                assert!(retry_after_ms >= 1, "back-off hint must be positive");
+                                shed += 1;
+                            }
+                            Err(e) => panic!("overload bench: unexpected error {e}"),
+                        }
+                    }
+                    let served = pending.len();
+                    for p in pending {
+                        p.wait().expect("admitted request must be answered");
+                    }
+                    (served, shed)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("overload client"))
+            .collect()
+    });
+    let stats = engine.stats();
+    engine.shutdown();
+    let served: usize = per_client.iter().map(|(s, _)| s).sum();
+    let shed: usize = per_client.iter().map(|(_, s)| s).sum();
+    let offered = served + shed;
+    assert_eq!(shed as u64, stats.shed, "shed accounting must reconcile");
+    let m = OverloadMeasurement {
+        offered,
+        served,
+        shed,
+        shed_rate: shed as f64 / offered as f64,
+        served_p99_us: stats.p99_us,
+        max_queue_depth: MAX_QUEUE_DEPTH,
+    };
+    println!(
+        "overload_shed offered={} served={} shed={} shed_rate={:.3} served_p99={}µs \
+         (queue_depth={}, 1 worker)",
+        m.offered, m.served, m.shed, m.shed_rate, m.served_p99_us, m.max_queue_depth
+    );
+    m
 }
 
 /// Measures what the hot-swap control plane costs the data plane: the
@@ -356,6 +442,7 @@ fn render_json(
     handle_load_ns: f64,
     swap_ms: f64,
     sweep: &[SweepPoint],
+    overload: &OverloadMeasurement,
 ) -> String {
     let mut out = String::from("{\n");
     out.push_str(&format!(
@@ -401,7 +488,18 @@ fn render_json(
         ));
     }
     out.push_str(&format!(
-        "  ],\n  \"speedup_warm_nworkers_vs_cold_1worker\": {speedup:.2},\n  \
+        "  ],\n  \"overload_shed\": {{\"offered\": {}, \"served\": {}, \"shed\": {}, \
+         \"shed_rate\": {:.3}, \"served_p99_us\": {}, \"max_queue_depth\": {}, \
+         \"workers\": 1}},\n",
+        overload.offered,
+        overload.served,
+        overload.shed,
+        overload.shed_rate,
+        overload.served_p99_us,
+        overload.max_queue_depth
+    ));
+    out.push_str(&format!(
+        "  \"speedup_warm_nworkers_vs_cold_1worker\": {speedup:.2},\n  \
          \"handle_load_ns\": {handle_load_ns:.1},\n  \"swap_ms\": {swap_ms:.3}\n}}\n"
     ));
     out

@@ -34,10 +34,24 @@
 //!   requests are computed once and fanned out.
 //! - **Graceful shutdown.** [`QueryEngine::shutdown`] stops admissions,
 //!   closes the queue, and joins the workers; already-queued requests are
-//!   drained and answered, never dropped.
+//!   drained and answered, never dropped. Worker or auditor panics during
+//!   the drain are collected into the returned [`ShutdownReport`] instead
+//!   of re-panicking mid-join.
+//! - **Bulkheads.** The serve path fails partially, never totally: each
+//!   dispatch group's scan runs under `catch_unwind`, so a panicking
+//!   query answers its waiters with [`ServiceError::Internal`] and the
+//!   worker keeps serving; a supervisor thread respawns any worker that
+//!   dies anyway; every lock recovers from poisoning. An admission gate
+//!   (`max_queue_depth`) sheds load with [`ServiceError::Overloaded`]
+//!   instead of queueing unboundedly, and per-request deadlines drop
+//!   expired work ([`ServiceError::DeadlineExceeded`]) at dequeue and
+//!   between dispatch groups rather than scanning it. The
+//!   [`crate::fault`] registry injects panics/stalls/drops at named
+//!   points so all of this is testable (`tests/robustness.rs`).
 
 use crate::audit::AuditSample;
 use crate::cache::Cache;
+use crate::fault::{lock_recover, FaultPoint, FaultRegistry};
 use crate::metrics_registry::ExpositionBuilder;
 use crate::query::{AlgoSpec, MeasureSpec, QueryRequest, QueryResponse};
 use crate::stats::{ServeStats, StatsSnapshot};
@@ -50,13 +64,14 @@ use simsub_nn::BinaryCodec;
 use simsub_rl::Policy;
 use simsub_trajectory::{CorpusArena, Point, Trajectory};
 use std::collections::{HashMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{
     channel, sync_channel, Receiver, Sender, SyncSender, TryRecvError, TrySendError,
 };
 use std::sync::{Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Bound on the auditor's sample queue: serving never blocks on the
 /// auditor, so samples beyond this backlog are dropped (and counted).
@@ -73,8 +88,21 @@ pub enum ServiceError {
     InvalidRequest(String),
     /// The engine is shutting down and no longer admits requests.
     ShuttingDown,
-    /// The engine terminated without answering (worker panic — a bug).
+    /// The engine dropped the request without answering (worker died or
+    /// the response was lost) — the wire maps this to `internal`.
     Canceled,
+    /// The admission gate shed this request: the queue already held
+    /// `max_queue_depth` jobs. The hint estimates when capacity should
+    /// free up (queue depth x median latency / workers).
+    Overloaded {
+        /// Suggested client back-off, milliseconds.
+        retry_after_ms: u64,
+    },
+    /// The request's deadline expired before a worker scanned it; the
+    /// work was dropped, not computed.
+    DeadlineExceeded,
+    /// The scan for this request panicked (caught; the worker survived).
+    Internal(String),
 }
 
 impl std::fmt::Display for ServiceError {
@@ -83,6 +111,13 @@ impl std::fmt::Display for ServiceError {
             ServiceError::InvalidRequest(msg) => write!(f, "invalid request: {msg}"),
             ServiceError::ShuttingDown => write!(f, "engine is shutting down"),
             ServiceError::Canceled => write!(f, "request canceled"),
+            ServiceError::Overloaded { retry_after_ms } => {
+                write!(f, "overloaded: queue full, retry in {retry_after_ms} ms")
+            }
+            ServiceError::DeadlineExceeded => {
+                write!(f, "deadline exceeded before the query was scanned")
+            }
+            ServiceError::Internal(msg) => write!(f, "internal error: {msg}"),
         }
     }
 }
@@ -425,18 +460,18 @@ impl EngineHandle {
     /// for as long as they need a consistent view; a concurrent swap
     /// never invalidates it.
     pub fn load(&self) -> Arc<EpochSnapshot> {
-        Arc::clone(&self.cell.read().expect("handle lock poisoned"))
+        Arc::clone(&self.cell.read().unwrap_or_else(|e| e.into_inner()))
     }
 
     /// The current epoch (shorthand for `load().epoch()`).
     pub fn epoch(&self) -> u64 {
-        self.cell.read().expect("handle lock poisoned").epoch
+        self.cell.read().unwrap_or_else(|e| e.into_inner()).epoch
     }
 
     /// Atomically replaces the snapshot, bumping the epoch. Returns the
     /// displaced and the freshly installed generations.
     pub fn swap(&self, snapshot: CorpusSnapshot) -> (Arc<EpochSnapshot>, Arc<EpochSnapshot>) {
-        let mut cell = self.cell.write().expect("handle lock poisoned");
+        let mut cell = self.cell.write().unwrap_or_else(|e| e.into_inner());
         let next = Arc::new(EpochSnapshot {
             epoch: cell.epoch + 1,
             snapshot,
@@ -505,6 +540,21 @@ pub struct EngineConfig {
     /// by the background auditor, feeding the `audit_ar`/`audit_mr`/
     /// `audit_rr` gauges. 0.0 (default) disables auditing. Tunable live.
     pub audit_sample: f64,
+    /// Admission-gate bound on the queue: a submit that would make the
+    /// queue exceed this depth is shed with
+    /// [`ServiceError::Overloaded`] instead of enqueued. 0 (default)
+    /// keeps the queue unbounded. Tunable live.
+    pub max_queue_depth: usize,
+    /// Deadline applied to requests that carry none of their own,
+    /// milliseconds: a job whose deadline expires before a worker scans
+    /// it is dropped ([`ServiceError::DeadlineExceeded`]) rather than
+    /// computed. 0 (default) means no default deadline. Tunable live.
+    pub default_deadline_ms: u64,
+    /// Fault-injection spec applied at start (see [`crate::fault`] for
+    /// the grammar). `None` (default) reads the `SIMSUB_FAULTS`
+    /// environment hatch; `Some("")` forces a disarmed registry
+    /// regardless of the environment. Tunable live via `configure`.
+    pub faults: Option<String>,
 }
 
 impl Default for EngineConfig {
@@ -518,6 +568,9 @@ impl Default for EngineConfig {
             cache_key_quantize: None,
             slow_query_us: 0,
             audit_sample: 0.0,
+            max_queue_depth: 0,
+            default_deadline_ms: 0,
+            faults: None,
         }
     }
 }
@@ -547,6 +600,14 @@ pub struct ConfigUpdate {
     pub slow_query_us: Option<u64>,
     /// Quality-audit sampling fraction, `[0, 1]` (0 disables auditing).
     pub audit_sample: Option<f64>,
+    /// Admission-gate queue bound (0 = unbounded).
+    pub max_queue_depth: Option<usize>,
+    /// Default per-request deadline, milliseconds (0 = none).
+    pub default_deadline_ms: Option<u64>,
+    /// Fault-injection spec to apply (empty string disarms; see
+    /// [`crate::fault`] for the grammar). Invalid specs are rejected
+    /// without changing anything.
+    pub faults: Option<String>,
 }
 
 /// Point-in-time view of the live engine configuration.
@@ -570,19 +631,27 @@ pub struct ConfigView {
     pub slow_query_us: u64,
     /// Quality-audit sampling fraction (0 = disabled).
     pub audit_sample: f64,
+    /// Admission-gate queue bound (0 = unbounded).
+    pub max_queue_depth: usize,
+    /// Default per-request deadline, milliseconds (0 = none).
+    pub default_deadline_ms: u64,
+    /// The fault-injection spec currently armed (empty = disarmed).
+    pub faults: String,
 }
 
 /// A submitted request's pending answer.
 #[derive(Debug)]
 pub struct PendingQuery {
-    rx: Receiver<QueryResponse>,
+    rx: Receiver<Result<QueryResponse, ServiceError>>,
 }
 
 impl PendingQuery {
-    /// Blocks until the engine answers. `Canceled` only if the engine
-    /// died without responding (worker panic).
+    /// Blocks until the engine answers — with the result, or with a
+    /// structured error ([`ServiceError::DeadlineExceeded`],
+    /// [`ServiceError::Internal`]). `Canceled` only if the engine
+    /// dropped the request entirely (worker died holding it).
     pub fn wait(self) -> Result<QueryResponse, ServiceError> {
-        self.rx.recv().map_err(|_| ServiceError::Canceled)
+        self.rx.recv().map_err(|_| ServiceError::Canceled)?
     }
 }
 
@@ -600,7 +669,19 @@ struct Job {
     /// True when the requester asked for a stage trace; enables the
     /// per-candidate scan clocks for this job's dispatch group.
     trace: bool,
-    reply: Sender<QueryResponse>,
+    /// Drop-dead time: a worker that picks this job up (or reaches it
+    /// between dispatch groups) after this instant fails it with
+    /// `DeadlineExceeded` instead of scanning. Deadlines deliberately do
+    /// NOT enter the cache key — a deadline changes *whether* work runs,
+    /// never its answer.
+    deadline: Option<Instant>,
+    reply: Sender<Result<QueryResponse, ServiceError>>,
+}
+
+impl Job {
+    fn expired(&self, now: Instant) -> bool {
+        self.deadline.is_some_and(|d| now >= d)
+    }
 }
 
 /// A cached answer carries the request it answers: the 64-bit key is an
@@ -625,6 +706,10 @@ struct Runtime {
     slow_query_us: AtomicU64,
     /// Audit sampling fraction as f64 bits; `0.0` disables auditing.
     audit_sample: AtomicU64,
+    /// Admission-gate queue bound; 0 keeps the queue unbounded.
+    max_queue_depth: AtomicUsize,
+    /// Default per-request deadline, milliseconds; 0 means none.
+    default_deadline_ms: AtomicU64,
 }
 
 impl Runtime {
@@ -658,13 +743,64 @@ struct Inner {
     audit_tx: Mutex<Option<SyncSender<AuditSample>>>,
     /// Cold answers seen by the sampler, for the 1-in-N audit cadence.
     audit_counter: AtomicU64,
+    /// Armed fault-injection points (all off unless chaos testing).
+    faults: FaultRegistry,
+    /// Set once by `shutdown`; tells the supervisor to stop respawning
+    /// workers that exit.
+    shutting_down: AtomicBool,
 }
+
+/// The worker slots, shared between the engine (shutdown joins them) and
+/// the supervisor thread (respawns a slot whose thread died). `None`
+/// means the slot's worker exited cleanly (shutdown drain) or is being
+/// replaced.
+struct WorkerPool {
+    slots: Mutex<Vec<Option<JoinHandle<()>>>>,
+}
+
+/// What [`QueryEngine::shutdown`] observed while joining the engine's
+/// threads. A fully healthy shutdown reports no panics; panics that did
+/// happen are collected here instead of re-panicking mid-drain (which
+/// would leak the remaining threads).
+#[derive(Debug, Default)]
+pub struct ShutdownReport {
+    /// Panic messages of workers that died without being respawned.
+    pub worker_panics: Vec<String>,
+    /// The auditor thread's panic message, if it died.
+    pub auditor_panic: Option<String>,
+    /// The supervisor thread's panic message, if it died.
+    pub supervisor_panic: Option<String>,
+}
+
+impl ShutdownReport {
+    /// True when every thread was joined without a panic.
+    pub fn clean(&self) -> bool {
+        self.worker_panics.is_empty()
+            && self.auditor_panic.is_none()
+            && self.supervisor_panic.is_none()
+    }
+}
+
+/// Renders a caught panic payload for error messages.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// How often the supervisor polls the worker slots for dead threads.
+const SUPERVISE_INTERVAL: Duration = Duration::from_millis(20);
 
 /// The concurrent query engine. See the module docs for the design.
 pub struct QueryEngine {
     inner: Arc<Inner>,
     sender: Mutex<Option<Sender<Job>>>,
-    workers: Mutex<Vec<JoinHandle<()>>>,
+    pool: Arc<WorkerPool>,
+    supervisor: Mutex<Option<JoinHandle<()>>>,
     auditor: Mutex<Option<JoinHandle<()>>>,
 }
 
@@ -702,6 +838,8 @@ impl QueryEngine {
                 ),
                 slow_query_us: AtomicU64::new(config.slow_query_us),
                 audit_sample: AtomicU64::new(config.audit_sample.to_bits()),
+                max_queue_depth: AtomicUsize::new(config.max_queue_depth),
+                default_deadline_ms: AtomicU64::new(config.default_deadline_ms),
             },
             workers: config.workers,
             queue: Mutex::new(rx),
@@ -709,16 +847,35 @@ impl QueryEngine {
             slow_log: Mutex::new(VecDeque::with_capacity(SLOW_LOG_CAPACITY)),
             audit_tx: Mutex::new(Some(audit_tx)),
             audit_counter: AtomicU64::new(0),
+            faults: FaultRegistry::disarmed(),
+            shutting_down: AtomicBool::new(false),
         });
-        let workers = (0..inner.workers)
-            .map(|i| {
-                let inner = Arc::clone(&inner);
-                std::thread::Builder::new()
-                    .name(format!("simsub-worker-{i}"))
-                    .spawn(move || worker_loop(&inner, i))
-                    .expect("spawning worker thread")
-            })
-            .collect();
+        // `Some(spec)` wins over the environment (an explicit empty spec
+        // pins the registry disarmed even under SIMSUB_FAULTS — the
+        // baseline engines of the chaos harness rely on this).
+        let fault_spec = config
+            .faults
+            .or_else(|| std::env::var("SIMSUB_FAULTS").ok())
+            .unwrap_or_default();
+        inner
+            .faults
+            .set_spec(&fault_spec)
+            .unwrap_or_else(|e| panic!("invalid fault spec {fault_spec:?}: {e}"));
+        let pool = Arc::new(WorkerPool {
+            slots: Mutex::new(
+                (0..inner.workers)
+                    .map(|i| Some(spawn_worker(&inner, i)))
+                    .collect(),
+            ),
+        });
+        let supervisor = {
+            let inner = Arc::clone(&inner);
+            let pool = Arc::clone(&pool);
+            std::thread::Builder::new()
+                .name("simsub-supervisor".into())
+                .spawn(move || supervise(&inner, &pool))
+                .expect("spawning supervisor thread")
+        };
         let auditor = {
             let inner = Arc::clone(&inner);
             std::thread::Builder::new()
@@ -737,7 +894,8 @@ impl QueryEngine {
         Self {
             inner,
             sender: Mutex::new(Some(tx)),
-            workers: Mutex::new(workers),
+            pool,
+            supervisor: Mutex::new(Some(supervisor)),
             auditor: Mutex::new(Some(auditor)),
         }
     }
@@ -759,6 +917,23 @@ impl QueryEngine {
         request: QueryRequest,
         trace: bool,
     ) -> Result<PendingQuery, ServiceError> {
+        self.submit_with_deadline(request, trace, None)
+    }
+
+    /// [`QueryEngine::submit_traced`] with an explicit deadline budget:
+    /// if no worker has *started* scanning the request once `deadline`
+    /// elapses, the job is dropped and answered with
+    /// [`ServiceError::DeadlineExceeded`] (checked at dequeue and again
+    /// between dispatch groups). `None` falls back to the engine's
+    /// `default_deadline_ms` (no deadline when that is 0 too). A
+    /// deadline never changes an answer — only whether the work runs —
+    /// so it does not enter the cache key.
+    pub fn submit_with_deadline(
+        &self,
+        request: QueryRequest,
+        trace: bool,
+        deadline: Option<Duration>,
+    ) -> Result<PendingQuery, ServiceError> {
         let admit_start = Instant::now();
         if request.query.is_empty() {
             return Err(ServiceError::InvalidRequest("empty query".into()));
@@ -772,6 +947,29 @@ impl QueryEngine {
         admitted.snapshot.algo(request.algo)?;
         admitted.snapshot.measure(request.measure)?;
 
+        // Admission gate: shed instead of queueing unboundedly. Shed
+        // requests still count as admitted so the reconciliation identity
+        // (admitted == answered + shed + expired + internal) holds.
+        let max_depth = self.inner.runtime.max_queue_depth.load(Ordering::Relaxed);
+        if max_depth > 0 {
+            let depth = self.inner.stats.queue_depth().get();
+            if depth >= max_depth as i64 {
+                self.inner.stats.record_admitted();
+                self.inner.stats.record_shed();
+                return Err(ServiceError::Overloaded {
+                    retry_after_ms: self.retry_after_hint(depth),
+                });
+            }
+        }
+
+        let deadline = deadline.or_else(|| {
+            let ms = self
+                .inner
+                .runtime
+                .default_deadline_ms
+                .load(Ordering::Relaxed);
+            (ms > 0).then(|| Duration::from_millis(ms))
+        });
         let (reply_tx, reply_rx) = channel();
         let job = Job {
             key: admitted.cache_key_under(&request, self.inner.runtime.quantize()),
@@ -780,15 +978,29 @@ impl QueryEngine {
             submitted: Instant::now(),
             admit_ns: admit_start.elapsed().as_nanos() as u64,
             trace,
+            deadline: deadline.map(|d| Instant::now() + d),
             reply: reply_tx,
         };
-        let guard = self.sender.lock().expect("sender lock poisoned");
+        let guard = lock_recover(&self.sender);
         let Some(tx) = guard.as_ref() else {
             return Err(ServiceError::ShuttingDown);
         };
         tx.send(job).map_err(|_| ServiceError::ShuttingDown)?;
+        self.inner.stats.record_admitted();
         self.inner.stats.queue_depth().add(1);
         Ok(PendingQuery { rx: reply_rx })
+    }
+
+    /// Back-off hint for shed requests: roughly how long the current
+    /// backlog needs to drain (`depth x median latency / workers`),
+    /// clamped to [1 ms, 10 s]. With no latency history yet, assumes
+    /// 1 ms per queued job.
+    fn retry_after_hint(&self, depth: i64) -> u64 {
+        let p50_us = self.inner.stats.latency_p50_us().max(1_000);
+        (depth.max(0) as u64)
+            .saturating_mul(p50_us)
+            .div_euclid(self.inner.workers.max(1) as u64 * 1_000)
+            .clamp(1, 10_000)
     }
 
     /// Convenience: submit and block for the answer.
@@ -836,7 +1048,7 @@ impl QueryEngine {
     pub fn swap_snapshot(&self, snapshot: CorpusSnapshot) -> SwapReport {
         let (old, new) = self.inner.handle.swap(snapshot);
         let cache_evicted = {
-            let mut cache = self.inner.cache.lock().expect("cache lock poisoned");
+            let mut cache = lock_recover(&self.inner.cache);
             cache.purge_below_epoch(new.epoch)
         };
         self.inner.stats.record_swap(cache_evicted as u64);
@@ -879,6 +1091,10 @@ impl QueryEngine {
                 ));
             }
         }
+        if let Some(spec) = &update.faults {
+            crate::fault::validate_spec(spec)
+                .map_err(|e| ServiceError::InvalidRequest(format!("faults: {e}")))?;
+        }
         if let Some(prune) = update.prune {
             self.inner.runtime.prune.store(prune, Ordering::Relaxed);
         }
@@ -912,9 +1128,27 @@ impl QueryEngine {
                 .audit_sample
                 .store(f.to_bits(), Ordering::Relaxed);
         }
+        if let Some(depth) = update.max_queue_depth {
+            self.inner
+                .runtime
+                .max_queue_depth
+                .store(depth, Ordering::Relaxed);
+        }
+        if let Some(ms) = update.default_deadline_ms {
+            self.inner
+                .runtime
+                .default_deadline_ms
+                .store(ms, Ordering::Relaxed);
+        }
+        if let Some(spec) = &update.faults {
+            self.inner
+                .faults
+                .set_spec(spec)
+                .expect("fault spec validated above");
+        }
         if let Some(capacity) = update.cache_capacity {
             let evicted = {
-                let mut cache = self.inner.cache.lock().expect("cache lock poisoned");
+                let mut cache = lock_recover(&self.inner.cache);
                 cache.set_capacity(capacity)
             };
             self.inner.stats.record_cache_evictions(evicted as u64);
@@ -926,7 +1160,7 @@ impl QueryEngine {
     /// tracks [`QueryEngine::configure`]).
     pub fn config_view(&self) -> ConfigView {
         let (cache_capacity, cache_len) = {
-            let cache = self.inner.cache.lock().expect("cache lock poisoned");
+            let cache = lock_recover(&self.inner.cache);
             (cache.capacity(), cache.len())
         };
         ConfigView {
@@ -939,19 +1173,20 @@ impl QueryEngine {
             cache_key_quantize: self.inner.runtime.quantize(),
             slow_query_us: self.inner.runtime.slow_query_us.load(Ordering::Relaxed),
             audit_sample: self.inner.runtime.audit_sample(),
+            max_queue_depth: self.inner.runtime.max_queue_depth.load(Ordering::Relaxed),
+            default_deadline_ms: self
+                .inner
+                .runtime
+                .default_deadline_ms
+                .load(Ordering::Relaxed),
+            faults: self.inner.faults.spec(),
         }
     }
 
     /// The newest retained slow-query records (oldest first; bounded
     /// ring). Empty unless `slow_query_us` is set and queries crossed it.
     pub fn slow_queries(&self) -> Vec<SlowQueryRecord> {
-        self.inner
-            .slow_log
-            .lock()
-            .expect("slow log lock poisoned")
-            .iter()
-            .cloned()
-            .collect()
+        lock_recover(&self.inner.slow_log).iter().cloned().collect()
     }
 
     /// Prometheus-style text exposition of every engine metric — the
@@ -1094,44 +1329,148 @@ impl QueryEngine {
             "Mean relative rank of audited answers.",
             snap.audit_rr,
         );
+        b.counter(
+            "simsub_admitted_total",
+            "Requests that passed validation at submit (including shed).",
+            snap.admitted,
+        );
+        b.counter(
+            "simsub_shed_total",
+            "Requests rejected by the admission gate (queue full).",
+            snap.shed,
+        );
+        b.counter(
+            "simsub_deadline_expired_total",
+            "Jobs dropped because their deadline expired before scanning.",
+            snap.deadline_expired,
+        );
+        b.counter(
+            "simsub_internal_errors_total",
+            "Jobs answered with a structured internal error.",
+            snap.internal_errors,
+        );
+        b.counter(
+            "simsub_worker_panics_total",
+            "Worker-thread panics observed (caught or supervisor-detected).",
+            snap.worker_panics,
+        );
+        b.counter(
+            "simsub_worker_restarts_total",
+            "Worker threads respawned by the supervisor.",
+            snap.worker_restarts,
+        );
+        b.gauge(
+            "simsub_faults_armed",
+            "1 when at least one fault-injection point is armed.",
+            if self.inner.faults.armed() { 1.0 } else { 0.0 },
+        );
+        b.counter_per_label(
+            "simsub_fault_injections_total",
+            "Times each fault-injection point fired.",
+            "point",
+            &self.inner.faults.fired_counts(),
+        );
         b.finish()
     }
 
     /// Stops admitting requests, drains everything already queued, and
-    /// joins the workers. Idempotent; concurrent `submit`s race safely
-    /// (they either enqueue before the close — and are answered — or get
-    /// [`ServiceError::ShuttingDown`]).
-    pub fn shutdown(&self) {
+    /// joins the engine's threads. Idempotent; concurrent `submit`s race
+    /// safely (they either enqueue before the close — and are answered —
+    /// or get [`ServiceError::ShuttingDown`]).
+    ///
+    /// Panic-tolerant: a worker or auditor that panicked (or panics
+    /// mid-drain) is reported in the returned [`ShutdownReport`] instead
+    /// of re-panicking here — the remaining threads are always joined.
+    pub fn shutdown(&self) -> ShutdownReport {
+        let mut report = ShutdownReport::default();
+        // Stop the supervisor first so a worker finishing its drain is
+        // not mistaken for a death to respawn.
+        self.inner.shutting_down.store(true, Ordering::SeqCst);
+        if let Some(supervisor) = lock_recover(&self.supervisor).take() {
+            if let Err(payload) = supervisor.join() {
+                report.supervisor_panic = Some(panic_message(payload));
+            }
+        }
         // Closing the channel (dropping the sender) is the drain signal:
         // workers keep recv()ing until the queue is empty, then exit.
-        drop(self.sender.lock().expect("sender lock poisoned").take());
-        let mut workers = self.workers.lock().expect("workers lock poisoned");
-        for handle in workers.drain(..) {
-            handle.join().expect("worker thread panicked");
+        drop(lock_recover(&self.sender).take());
+        let mut slots = lock_recover(&self.pool.slots);
+        for slot in slots.iter_mut() {
+            if let Some(handle) = slot.take() {
+                if let Err(payload) = handle.join() {
+                    self.inner.stats.record_worker_panic();
+                    report.worker_panics.push(panic_message(payload));
+                }
+            }
         }
+        drop(slots);
         // Workers are gone, so no more samples can be enqueued; closing
         // the audit channel drains the auditor the same way.
-        drop(
-            self.inner
-                .audit_tx
-                .lock()
-                .expect("audit lock poisoned")
-                .take(),
-        );
-        if let Some(auditor) = self.auditor.lock().expect("auditor lock poisoned").take() {
-            auditor.join().expect("auditor thread panicked");
+        drop(lock_recover(&self.inner.audit_tx).take());
+        if let Some(auditor) = lock_recover(&self.auditor).take() {
+            if let Err(payload) = auditor.join() {
+                report.auditor_panic = Some(panic_message(payload));
+            }
         }
+        report
     }
 }
 
 impl Drop for QueryEngine {
     fn drop(&mut self) {
-        self.shutdown();
+        let report = self.shutdown();
+        for msg in &report.worker_panics {
+            eprintln!("simsub: worker panicked during shutdown: {msg}");
+        }
+    }
+}
+
+fn spawn_worker(inner: &Arc<Inner>, worker: usize) -> JoinHandle<()> {
+    let inner = Arc::clone(inner);
+    std::thread::Builder::new()
+        .name(format!("simsub-worker-{worker}"))
+        .spawn(move || worker_loop(&inner, worker))
+        .expect("spawning worker thread")
+}
+
+/// The supervisor loop: polls the worker slots and respawns any worker
+/// that died from a panic (a clean exit only happens during shutdown and
+/// is left alone). Jobs the dead worker had already drained are lost —
+/// their waiters observe [`ServiceError::Canceled`] — but the pool's
+/// capacity is restored, so one poisoned query cannot shrink the engine
+/// forever.
+fn supervise(inner: &Arc<Inner>, pool: &WorkerPool) {
+    while !inner.shutting_down.load(Ordering::SeqCst) {
+        std::thread::sleep(SUPERVISE_INTERVAL);
+        let mut slots = lock_recover(&pool.slots);
+        for (index, slot) in slots.iter_mut().enumerate() {
+            let finished = slot.as_ref().is_some_and(JoinHandle::is_finished);
+            if !finished {
+                continue;
+            }
+            let handle = slot.take().expect("slot checked non-empty");
+            match handle.join() {
+                // Clean exit: the queue closed (shutdown drain); never
+                // respawn into a closing engine.
+                Ok(()) => {}
+                Err(_payload) => {
+                    inner.stats.record_worker_panic();
+                    if !inner.shutting_down.load(Ordering::SeqCst) {
+                        *slot = Some(spawn_worker(inner, index));
+                        inner.stats.record_worker_restart();
+                    }
+                }
+            }
+        }
     }
 }
 
 fn worker_loop(inner: &Inner, worker: usize) {
     loop {
+        // Chaos hook: dies *outside* the dispatch catch_unwind, before
+        // any job is held, so the supervisor's respawn path is exercised
+        // without losing work.
+        inner.faults.maybe_panic(FaultPoint::PanicInWorker);
         // Block for one job, then opportunistically coalesce whatever else
         // is already queued, up to the batch cap. The queue lock is held
         // only while draining — never during search work.
@@ -1139,7 +1478,7 @@ fn worker_loop(inner: &Inner, worker: usize) {
         let max_batch = inner.runtime.max_batch.load(Ordering::Relaxed).max(1);
         let busy_start;
         {
-            let rx = inner.queue.lock().expect("queue lock poisoned");
+            let rx = lock_recover(&inner.queue);
             match rx.recv() {
                 Ok(job) => {
                     busy_start = Instant::now();
@@ -1216,8 +1555,16 @@ fn process_batch(inner: &Inner, jobs: Vec<Job>, timing: &BatchTiming) {
     let mut unique: Vec<UniqueEntry> = Vec::new();
     let mut slot_of_key: HashMap<u64, usize> = HashMap::new();
     {
-        let mut cache = inner.cache.lock().expect("cache lock poisoned");
+        let mut cache = lock_recover(&inner.cache);
+        inner.faults.sleep_if(FaultPoint::CacheLockStall);
+        let dequeued = Instant::now();
         for job in jobs {
+            // Deadline check at dequeue: work already expired is dropped
+            // before any lookup or scan.
+            if job.expired(dequeued) {
+                fail_job(inner, job, ServiceError::DeadlineExceeded);
+                continue;
+            }
             let hit = cache.get(&job.key).filter(|entry| {
                 entry
                     .request
@@ -1285,45 +1632,92 @@ fn process_batch(inner: &Inner, jobs: Vec<Job>, timing: &BatchTiming) {
 
     let prune = inner.runtime.prune.load(Ordering::Relaxed);
     for ((epoch, algo_spec, measure_spec, k, use_index), slots) in groups {
+        // Deadline check between dispatch groups: a slow earlier group
+        // may have expired jobs waiting in this one — drop them before
+        // scanning. A slot whose waiters all expired is not scanned.
+        let group_started = Instant::now();
+        let mut live_slots: Vec<usize> = Vec::with_capacity(slots.len());
+        for slot in slots {
+            let waiting = std::mem::take(&mut unique[slot].jobs);
+            let (kept, expired): (Vec<Job>, Vec<Job>) = waiting
+                .into_iter()
+                .partition(|job| !job.expired(group_started));
+            for job in expired {
+                fail_job(inner, job, ServiceError::DeadlineExceeded);
+            }
+            if !kept.is_empty() {
+                unique[slot].jobs = kept;
+                live_slots.push(slot);
+            }
+        }
+        if live_slots.is_empty() {
+            continue;
+        }
         // All slots in a group share one generation (the epoch is in the
         // group key, and epochs uniquely name generations).
-        let snapshot = Arc::clone(&unique[slots[0]].admitted);
+        let snapshot = Arc::clone(&unique[live_slots[0]].admitted);
         debug_assert_eq!(snapshot.epoch, epoch);
-        // Specs were validated at submit time against this same
-        // generation; resolution cannot fail here.
-        let algo = snapshot
-            .snapshot
-            .algo(algo_spec)
-            .expect("algo validated at submit");
-        let measure = snapshot
-            .snapshot
-            .measure(measure_spec)
-            .expect("measure validated at submit");
-        let queries: Vec<&[Point]> = slots
+        let queries: Vec<&[Point]> = live_slots
             .iter()
             .map(|&slot| unique[slot].request.query.as_slice())
             .collect();
         // A traced member turns on the in-scan per-candidate clocks for
         // the whole group (they share one scan); untraced groups keep the
         // near-zero disabled path.
-        let group_traced = slots
+        let group_traced = live_slots
             .iter()
             .any(|&slot| unique[slot].jobs.iter().any(|job| job.trace));
-        let timing_guard = group_traced.then(simsub_core::scan_timing_scope);
+        inner.faults.sleep_if(FaultPoint::SlowScan);
         let scan_started = Instant::now();
-        let (all_results, scan_stats) = snapshot.snapshot.corpus.top_k_batch(
-            algo.as_ref(),
-            measure,
-            &queries,
-            k,
-            use_index,
-            inner.shard_threads,
-            prune,
-        );
+        // The scan is the bulkhead boundary: a panic anywhere inside it
+        // (the chaos hook, the algorithm, the measure, the index) is
+        // caught here, every waiter of this group gets a structured
+        // `internal` error, and the worker moves on to the next group.
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            inner.faults.maybe_panic(FaultPoint::PanicInScan);
+            // Specs were validated at submit time against this same
+            // generation; resolution cannot fail here.
+            let algo = snapshot
+                .snapshot
+                .algo(algo_spec)
+                .expect("algo validated at submit");
+            let measure = snapshot
+                .snapshot
+                .measure(measure_spec)
+                .expect("measure validated at submit");
+            let timing_guard = group_traced.then(simsub_core::scan_timing_scope);
+            let result = snapshot.snapshot.corpus.top_k_batch(
+                algo.as_ref(),
+                measure,
+                &queries,
+                k,
+                use_index,
+                inner.shard_threads,
+                prune,
+            );
+            drop(timing_guard);
+            result
+        }));
         let scan_ns = scan_started.elapsed().as_nanos() as u64;
-        drop(timing_guard);
+        let (all_results, scan_stats) = match outcome {
+            Ok(result) => result,
+            Err(payload) => {
+                inner.stats.record_worker_panic();
+                let msg = panic_message(payload);
+                for &slot in &live_slots {
+                    for job in unique[slot].jobs.drain(..) {
+                        fail_job(
+                            inner,
+                            job,
+                            ServiceError::Internal(format!("scan panicked: {msg}")),
+                        );
+                    }
+                }
+                continue;
+            }
+        };
         inner.stats.record_scan(&scan_stats, scan_ns);
-        debug_assert_eq!(all_results.len(), slots.len());
+        debug_assert_eq!(all_results.len(), live_slots.len());
         let scan = ScanTiming {
             scan_us: scan_ns / 1_000,
             bound_us: scan_stats.bound_ns / 1_000,
@@ -1332,10 +1726,10 @@ fn process_batch(inner: &Inner, jobs: Vec<Job>, timing: &BatchTiming) {
             merge_started: Instant::now(),
         };
 
-        for (&slot, results) in slots.iter().zip(all_results) {
+        for (&slot, results) in live_slots.iter().zip(all_results) {
             let results = Arc::new(results);
             let evicted = {
-                let mut cache = inner.cache.lock().expect("cache lock poisoned");
+                let mut cache = lock_recover(&inner.cache);
                 cache.insert(
                     unique[slot].key,
                     Arc::new(CachedAnswer {
@@ -1354,6 +1748,19 @@ fn process_batch(inner: &Inner, jobs: Vec<Job>, timing: &BatchTiming) {
             }
         }
     }
+}
+
+/// Fails one drained job with a structured error: counts it, releases
+/// its inflight slot, and answers its waiter. The send is best-effort —
+/// the requester may have given up.
+fn fail_job(inner: &Inner, job: Job, err: ServiceError) {
+    match &err {
+        ServiceError::DeadlineExceeded => inner.stats.record_deadline_expired(),
+        ServiceError::Internal(_) => inner.stats.record_internal_error(),
+        _ => {}
+    }
+    inner.stats.inflight().add(-1);
+    let _ = job.reply.send(Err(err));
 }
 
 /// Maybe enqueues one cold answer for the background quality auditor:
@@ -1384,7 +1791,7 @@ fn maybe_audit(inner: &Inner, entry: &UniqueEntry, results: &[TopKResult]) {
         range: top.result.range,
         snapshot: Arc::clone(&entry.admitted),
     };
-    let guard = inner.audit_tx.lock().expect("audit lock poisoned");
+    let guard = lock_recover(&inner.audit_tx);
     if let Some(tx) = guard.as_ref() {
         match tx.try_send(sample) {
             // Disconnected can only race with shutdown; nothing to count.
@@ -1402,6 +1809,14 @@ fn respond(
     timing: &BatchTiming,
     scan: Option<&ScanTiming>,
 ) {
+    // Chaos hook: lose the answer instead of sending it. The waiter
+    // observes a canceled request (mapped to `internal` on the wire), and
+    // the loss is counted so stats still reconcile.
+    if inner.faults.fire(FaultPoint::DropResponse) {
+        inner.stats.record_internal_error();
+        inner.stats.inflight().add(-1);
+        return;
+    }
     let latency = job.submitted.elapsed();
     inner.stats.record_request(latency, cached);
     inner.stats.inflight().add(-1);
@@ -1434,7 +1849,7 @@ fn respond(
         };
         eprintln!("{}", record.to_json().dump());
         {
-            let mut log = inner.slow_log.lock().expect("slow log lock poisoned");
+            let mut log = lock_recover(&inner.slow_log);
             if log.len() == SLOW_LOG_CAPACITY {
                 log.pop_front();
             }
@@ -1443,14 +1858,14 @@ fn respond(
         inner.stats.record_slow_query();
     }
     // The requester may have given up (dropped the receiver); that's fine.
-    let _ = job.reply.send(QueryResponse {
+    let _ = job.reply.send(Ok(QueryResponse {
         results,
         cached,
         latency,
         batch_size: timing.size,
         epoch: job.admitted.epoch,
         trace,
-    });
+    }));
 }
 
 #[cfg(test)]
@@ -1585,6 +2000,9 @@ mod tests {
                 cache_key_quantize: Some(0.25),
                 slow_query_us: Some(5000),
                 audit_sample: Some(0.5),
+                max_queue_depth: Some(32),
+                default_deadline_ms: Some(750),
+                faults: Some("slow_scan=n:100:1".into()),
             })
             .unwrap();
         assert!(!view.prune);
@@ -1594,7 +2012,19 @@ mod tests {
         assert_eq!(view.cache_key_quantize, Some(0.25));
         assert_eq!(view.slow_query_us, 5000);
         assert_eq!(view.audit_sample, 0.5);
+        assert_eq!(view.max_queue_depth, 32);
+        assert_eq!(view.default_deadline_ms, 750);
+        assert_eq!(view.faults, "slow_scan=n:100:1");
         assert_eq!(engine.default_k(), 7);
+
+        // Empty spec disarms fault injection.
+        let view = engine
+            .configure(ConfigUpdate {
+                faults: Some(String::new()),
+                ..ConfigUpdate::default()
+            })
+            .unwrap();
+        assert_eq!(view.faults, "");
 
         // Quantum 0 switches back to exact keys.
         let view = engine
@@ -1628,6 +2058,10 @@ mod tests {
             },
             ConfigUpdate {
                 audit_sample: Some(f64::NAN),
+                ..ConfigUpdate::default()
+            },
+            ConfigUpdate {
+                faults: Some("not_a_point=n:1".into()),
                 ..ConfigUpdate::default()
             },
         ] {

@@ -47,7 +47,7 @@ impl Json {
     pub fn parse(input: &str) -> Result<Json, JsonError> {
         let bytes = input.as_bytes();
         let mut pos = 0;
-        let value = parse_value(bytes, &mut pos)?;
+        let value = parse_value(bytes, &mut pos, 0)?;
         skip_ws(bytes, &mut pos);
         if pos != bytes.len() {
             return Err(JsonError {
@@ -263,14 +263,24 @@ fn fail<T>(msg: &str, at: usize) -> Result<T, JsonError> {
     })
 }
 
-fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
+/// Maximum container nesting the parser accepts. The parser is
+/// recursive, so untrusted input like `[[[[...` would otherwise turn
+/// stack depth into an attacker-controlled quantity and overflow —
+/// aborting the whole process, not just the connection. 128 levels is
+/// far beyond any legitimate request on this protocol.
+const MAX_DEPTH: usize = 128;
+
+fn parse_value(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Json, JsonError> {
     skip_ws(bytes, pos);
     let Some(&b) = bytes.get(*pos) else {
         return fail("unexpected end of input", *pos);
     };
+    if depth >= MAX_DEPTH && matches!(b, b'{' | b'[') {
+        return fail("nesting too deep", *pos);
+    }
     match b {
-        b'{' => parse_obj(bytes, pos),
-        b'[' => parse_arr(bytes, pos),
+        b'{' => parse_obj(bytes, pos, depth),
+        b'[' => parse_arr(bytes, pos, depth),
         b'"' => Ok(Json::Str(parse_string(bytes, pos)?)),
         b't' => parse_lit(bytes, pos, "true", Json::Bool(true)),
         b'f' => parse_lit(bytes, pos, "false", Json::Bool(false)),
@@ -394,7 +404,7 @@ fn parse_hex4(bytes: &[u8], pos: &mut usize) -> Result<u32, JsonError> {
     }
 }
 
-fn parse_arr(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
+fn parse_arr(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Json, JsonError> {
     *pos += 1; // consume '['
     let mut items = Vec::new();
     skip_ws(bytes, pos);
@@ -403,7 +413,7 @@ fn parse_arr(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
         return Ok(Json::Arr(items));
     }
     loop {
-        items.push(parse_value(bytes, pos)?);
+        items.push(parse_value(bytes, pos, depth + 1)?);
         skip_ws(bytes, pos);
         match bytes.get(*pos) {
             Some(b',') => {
@@ -418,7 +428,7 @@ fn parse_arr(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
     }
 }
 
-fn parse_obj(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
+fn parse_obj(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Json, JsonError> {
     *pos += 1; // consume '{'
     let mut pairs = Vec::new();
     skip_ws(bytes, pos);
@@ -437,7 +447,7 @@ fn parse_obj(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
             return fail("expected ':'", *pos);
         }
         *pos += 1;
-        let value = parse_value(bytes, pos)?;
+        let value = parse_value(bytes, pos, depth + 1)?;
         pairs.push((key, value));
         skip_ws(bytes, pos);
         match bytes.get(*pos) {
@@ -469,6 +479,34 @@ mod tests {
         let pts = v.get("query").unwrap().as_array().unwrap();
         assert_eq!(pts[0].as_array().unwrap()[1].as_f64(), Some(-2.0));
         assert_eq!(Json::parse(&v.dump()).unwrap(), v);
+    }
+
+    #[test]
+    fn nesting_depth_is_capped() {
+        // At the cap: parses. One past: a clean error, not a stack
+        // overflow (which would abort the whole process).
+        let deep_ok = format!("{}0{}", "[".repeat(MAX_DEPTH), "]".repeat(MAX_DEPTH));
+        assert!(Json::parse(&deep_ok).is_ok());
+        let too_deep = format!(
+            "{}0{}",
+            "[".repeat(MAX_DEPTH + 1),
+            "]".repeat(MAX_DEPTH + 1)
+        );
+        let err = Json::parse(&too_deep).unwrap_err();
+        assert!(err.msg.contains("nesting too deep"), "{err}");
+        // Unclosed garbage at huge depth must also fail cleanly.
+        let unclosed = "[{\"a\":".repeat(10_000);
+        assert!(Json::parse(&unclosed).is_err());
+        // Objects count toward the same budget.
+        let objs = format!(
+            "{}1{}",
+            "{\"k\":".repeat(MAX_DEPTH + 1),
+            "}".repeat(MAX_DEPTH + 1)
+        );
+        assert!(Json::parse(&objs)
+            .unwrap_err()
+            .msg
+            .contains("nesting too deep"));
     }
 
     #[test]

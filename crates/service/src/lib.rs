@@ -9,7 +9,8 @@
 //!
 //! | module | contents |
 //! |--------|----------|
-//! | [`engine`] | [`QueryEngine`]: worker pool, MPSC queue, micro-batching, graceful shutdown; [`Corpus`]: single vs. sharded corpus snapshots; [`EngineHandle`]: epoch-versioned hot-swap cell ([`QueryEngine::swap_snapshot`] = live reload) |
+//! | [`engine`] | [`QueryEngine`]: worker pool, MPSC queue, micro-batching, graceful shutdown; [`Corpus`]: single vs. sharded corpus snapshots; [`EngineHandle`]: epoch-versioned hot-swap cell ([`QueryEngine::swap_snapshot`] = live reload); bulkheads: panic-isolated dispatch, worker supervision, bounded admission with deadlines |
+//! | [`fault`] | named fault-injection points for chaos testing (`SIMSUB_FAULTS`, admin `configure`); zero-cost when disarmed |
 //! | [`query`] | request/response model, canonical query hash |
 //! | [`cache`] | O(1) LRU result cache with epoch-stamped entries |
 //! | [`stats`] | qps / p50 / p99 / hit-rate / swap / prune / audit accounting over [`metrics_registry`] primitives |
@@ -56,6 +57,7 @@
 mod audit;
 pub mod cache;
 pub mod engine;
+pub mod fault;
 pub mod json;
 pub mod metrics_registry;
 pub mod query;
@@ -65,8 +67,9 @@ pub mod trace;
 
 pub use engine::{
     ConfigUpdate, ConfigView, Corpus, CorpusSnapshot, EngineConfig, EngineHandle, EpochSnapshot,
-    PendingQuery, QueryEngine, ServiceError, SwapReport,
+    PendingQuery, QueryEngine, ServiceError, ShutdownReport, SwapReport,
 };
+pub use fault::{FaultPoint, FaultRegistry};
 pub use json::ProtocolVersion;
 pub use metrics_registry::{Counter, Gauge, Histogram, HistogramSnapshot};
 pub use query::{AlgoSpec, MeasureSpec, QueryRequest, QueryResponse};

@@ -5,8 +5,34 @@
 //! a **query** (has a `"query"` field) or a **command** (has a `"cmd"`
 //! field). Every response is a single object starting with `"ok":
 //! true|false`; on `"ok":false` an `"error"` string says why and the
-//! connection stays open. Lines over 4 MiB are rejected and the
-//! connection closed.
+//! connection stays open — including for oversized lines: a line over
+//! 4 MiB is answered with the structured `request_too_large` error, the
+//! rest of the line is drained and discarded, and the connection keeps
+//! serving (the server never buffers more than the cap per connection).
+//! A line that is not valid UTF-8 gets an error response the same way.
+//!
+//! ## Error contract
+//!
+//! Most `"ok":false` responses carry free-text `"error"` strings
+//! (validation failures, bad JSON — match on `"ok"`, not the text).
+//! Four conditions are **structured** — their `"error"` value is a fixed
+//! token clients may dispatch on:
+//!
+//! - `{"ok":false,"error":"overloaded","retry_after_ms":N}` — the
+//!   admission gate shed the request (queue at `max_queue_depth`); `N`
+//!   estimates when capacity frees up. Back off and retry.
+//! - `{"ok":false,"error":"deadline_exceeded"}` — the request's
+//!   `deadline_ms` expired before a worker started its scan; the work
+//!   was dropped, not computed.
+//! - `{"ok":false,"error":"request_too_large","limit_bytes":N}` — the
+//!   request line exceeded `N` bytes; the line was discarded, the
+//!   connection stays open.
+//! - `{"ok":false,"error":"internal","detail":"..."}` — the scan
+//!   panicked (caught; the worker survived) or the engine lost the
+//!   response. The request may be retried; answers are never partial.
+//!
+//! Structured errors follow the envelope rules of the request's version
+//! like any other response (v2 lines get `"v"`/`"id"`/`"epoch"`).
 //!
 //! ## Versioning (protocol v2)
 //!
@@ -32,6 +58,16 @@
 //! `index` to `true`, and `k` to the engine's `default_k` knob (1 unless
 //! reconfigured). Answers are byte-identical to the offline
 //! `TrajectoryDb::top_k` for the same request against the same snapshot.
+//!
+//! **Deadlines (v2 only):** a v2 query may add `"deadline_ms": N` (a
+//! positive integer). If no worker has *started* scanning the request
+//! within `N` milliseconds of admission, it is dropped and answered with
+//! the structured `deadline_exceeded` error instead of queueing further
+//! (checked at dequeue and between dispatch groups). A deadline never
+//! changes an answer — only whether the work runs — and does not affect
+//! cache identity. Engines started with `--default-deadline-ms` apply
+//! that budget to requests that carry none. On a v1 line the field is
+//! ignored, like `"trace"`: v1 semantics never change.
 //!
 //! **Stage tracing (v2 only):** a v2 query may add `"trace": true`; its
 //! response then carries a `"trace"` object *appended after* the v1 body
@@ -83,10 +119,13 @@
 //! - `{"cmd":"configure"}` with any of `"prune":bool`, `"max_batch":N`,
 //!   `"cache_capacity":N`, `"default_k":N`, `"cache_key_quantize":Q`,
 //!   `"slow_query_us":N` (0 disables the slow-query log),
-//!   `"audit_sample":F` (fraction in `[0,1]`, 0 disables auditing) →
-//!   applies the knobs live and answers
-//!   `{"ok":true,"configured":true,...}` echoing the full effective
-//!   configuration.
+//!   `"audit_sample":F` (fraction in `[0,1]`, 0 disables auditing),
+//!   `"max_queue_depth":N` (admission-gate bound; 0 = unbounded),
+//!   `"default_deadline_ms":N` (deadline for requests that carry none;
+//!   0 = none), `"faults":"spec"` (fault-injection spec, see
+//!   [`crate::fault`]; `""` disarms) → applies the knobs live and
+//!   answers `{"ok":true,"configured":true,...}` echoing the full
+//!   effective configuration.
 //! - `{"cmd":"metrics"}` → `{"ok":true,"metrics":"<text>"}` where
 //!   `<text>` is the full Prometheus-style exposition
 //!   ([`QueryEngine::metrics_exposition`]): `# HELP`/`# TYPE` headers,
@@ -124,12 +163,12 @@
 //!   computed from the *actual* request — quantization never perturbs a
 //!   search, only cache identity.
 
-use crate::engine::{ConfigUpdate, CorpusSnapshot, QueryEngine};
+use crate::engine::{ConfigUpdate, CorpusSnapshot, QueryEngine, ServiceError};
 use crate::json::{obj, Json, ProtocolVersion};
 use crate::query::QueryRequest;
 use simsub_core::MdpConfig;
 use simsub_index::PartitionerKind;
-use std::io::{BufRead, BufReader, ErrorKind, Write};
+use std::io::{BufRead, BufReader, ErrorKind, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -193,10 +232,14 @@ impl Server {
     }
 
     /// Blocks until the server stops: joins the accept loop (which joins
-    /// every connection), then drains and shuts down the engine.
+    /// every connection), then drains and shuts down the engine. A
+    /// panicked accept thread is reported, not propagated — the engine
+    /// drain still runs.
     pub fn wait(mut self) {
         if let Some(handle) = self.accept_thread.take() {
-            handle.join().expect("accept thread panicked");
+            if handle.join().is_err() {
+                eprintln!("simsub: accept thread panicked");
+            }
         }
         self.engine.shutdown();
     }
@@ -206,7 +249,9 @@ impl Drop for Server {
     fn drop(&mut self) {
         self.stop();
         if let Some(handle) = self.accept_thread.take() {
-            handle.join().expect("accept thread panicked");
+            if handle.join().is_err() {
+                eprintln!("simsub: accept thread panicked");
+            }
         }
     }
 }
@@ -242,7 +287,7 @@ fn accept_loop(listener: &TcpListener, engine: &Arc<QueryEngine>, stop: &Arc<Ato
                         let _ = serve_connection(stream, &engine, &stop);
                     })
                     .expect("spawning connection thread");
-                let mut connections = connections.lock().expect("connections lock");
+                let mut connections = connections.lock().unwrap_or_else(|e| e.into_inner());
                 // Reap finished connections so a long-lived server doesn't
                 // accumulate one handle per connection ever served.
                 connections.retain(|h| !h.is_finished());
@@ -254,8 +299,16 @@ fn accept_loop(listener: &TcpListener, engine: &Arc<QueryEngine>, stop: &Arc<Ato
             Err(_) => break,
         }
     }
-    for handle in connections.lock().expect("connections lock").drain(..) {
-        handle.join().expect("connection thread panicked");
+    for handle in connections
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .drain(..)
+    {
+        // A connection thread that panicked already lost only its own
+        // client; the server's teardown must still join the rest.
+        if handle.join().is_err() {
+            eprintln!("simsub: connection thread panicked");
+        }
     }
 }
 
@@ -269,39 +322,57 @@ fn serve_connection(
     stream.set_read_timeout(Some(Duration::from_millis(200)))?;
     let mut writer = stream.try_clone()?;
     let mut reader = BufReader::new(stream);
-    let mut line = String::new();
+    let mut buf: Vec<u8> = Vec::new();
     loop {
         if stop.load(Ordering::SeqCst) {
             return Ok(());
         }
-        // A timeout can fire mid-line with the prefix already consumed
-        // into `line`, so the buffer is only cleared after a complete
-        // line is handled — partial reads accumulate across timeouts.
-        let eof = match reader.read_line(&mut line) {
-            Ok(0) => return Ok(()), // client closed
-            // A line without a trailing newline means EOF: answer it,
-            // then close.
-            Ok(_) => !line.ends_with('\n'),
-            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
-                if line.len() > MAX_LINE_BYTES {
-                    overlong_line_response(&mut writer)?;
-                    return Ok(());
+        // Bounded read: `take` caps how much of the line is ever
+        // buffered (one byte past the limit, to tell "exactly at the
+        // cap" from "over it"), so one client cannot grow memory without
+        // bound. A timeout can fire mid-line with a prefix already
+        // consumed into `buf`, so the buffer is only cleared after a
+        // complete line is handled — partial reads accumulate.
+        let budget = (MAX_LINE_BYTES + 1 - buf.len()) as u64;
+        let eof = match (&mut reader).take(budget).read_until(b'\n', &mut buf) {
+            // No bytes and no prior partial: the client closed cleanly.
+            // With a partial, EOF means a final line without newline.
+            Ok(0) if buf.is_empty() => return Ok(()),
+            Ok(0) => true,
+            Ok(_) if buf.last() == Some(&b'\n') => false,
+            Ok(_) => {
+                if buf.len() > MAX_LINE_BYTES {
+                    // Oversized: answer the structured error, discard the
+                    // rest of the line, and keep serving the connection.
+                    request_too_large_response(&mut writer)?;
+                    buf.clear();
+                    if drain_oversized_line(&mut reader, stop)? {
+                        continue;
+                    }
+                    return Ok(()); // EOF or stop while draining
                 }
+                // Under the cap with no newline: the reader hit real EOF
+                // (the take budget was not exhausted). Final line.
+                true
+            }
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
                 continue;
             }
             Err(e) => return Err(e),
         };
-        if line.len() > MAX_LINE_BYTES {
-            overlong_line_response(&mut writer)?;
-            return Ok(());
-        }
-        if !line.trim().is_empty() {
-            let response = handle_line(line.trim(), engine, stop);
+        let end = buf.len() - usize::from(buf.last() == Some(&b'\n'));
+        // Invalid UTF-8 is a per-line error, not a connection killer.
+        let response = match std::str::from_utf8(&buf[..end]) {
+            Ok(text) if text.trim().is_empty() => None,
+            Ok(text) => Some(handle_line(text.trim(), engine, stop)),
+            Err(_) => Some(error_response("request line is not valid UTF-8")),
+        };
+        if let Some(response) = response {
             writer.write_all(response.dump().as_bytes())?;
             writer.write_all(b"\n")?;
             writer.flush()?;
         }
-        line.clear();
+        buf.clear();
         if eof || stop.load(Ordering::SeqCst) {
             return Ok(());
         }
@@ -312,9 +383,44 @@ fn serve_connection(
 /// newline must not be able to grow the buffer without limit.
 const MAX_LINE_BYTES: usize = 4 << 20;
 
-/// Tells the client why it is being disconnected, best-effort.
-fn overlong_line_response(writer: &mut TcpStream) -> std::io::Result<()> {
-    let response = error_response(&format!("request line exceeds {MAX_LINE_BYTES} bytes"));
+/// Discards the remainder of an oversized line in bounded chunks.
+/// `Ok(true)` once the terminating newline is consumed (the connection
+/// can keep serving); `Ok(false)` when the client hit EOF or the server
+/// is stopping.
+fn drain_oversized_line(
+    reader: &mut BufReader<TcpStream>,
+    stop: &AtomicBool,
+) -> std::io::Result<bool> {
+    let mut scratch: Vec<u8> = Vec::new();
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            return Ok(false);
+        }
+        scratch.clear();
+        match (&mut *reader)
+            .take(64 * 1024)
+            .read_until(b'\n', &mut scratch)
+        {
+            Ok(0) => return Ok(false), // EOF mid-line
+            Ok(_) => {
+                if scratch.last() == Some(&b'\n') {
+                    return Ok(true);
+                }
+            }
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {}
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// The structured `request_too_large` error (see the module docs): sent
+/// in place of the oversized line's response; the connection stays open.
+fn request_too_large_response(writer: &mut TcpStream) -> std::io::Result<()> {
+    let response = obj(vec![
+        ("ok", Json::Bool(false)),
+        ("error", Json::Str("request_too_large".into())),
+        ("limit_bytes", Json::Num(MAX_LINE_BYTES as f64)),
+    ]);
     writer.write_all(response.dump().as_bytes())?;
     writer.write_all(b"\n")?;
     writer.flush()
@@ -325,6 +431,37 @@ fn error_response(msg: &str) -> Json {
         ("ok", Json::Bool(false)),
         ("error", Json::Str(msg.into())),
     ])
+}
+
+/// The structured `internal` error body (see the module docs).
+fn internal_error_response(detail: &str) -> Json {
+    obj(vec![
+        ("ok", Json::Bool(false)),
+        ("error", Json::Str("internal".into())),
+        ("detail", Json::Str(detail.into())),
+    ])
+}
+
+/// Maps an engine error onto the wire error contract: the structured
+/// tokens for overload/deadline/internal conditions, legacy free-text
+/// for validation and shutdown.
+fn service_error_response(e: &ServiceError) -> Json {
+    match e {
+        ServiceError::Overloaded { retry_after_ms } => obj(vec![
+            ("ok", Json::Bool(false)),
+            ("error", Json::Str("overloaded".into())),
+            ("retry_after_ms", Json::Num(*retry_after_ms as f64)),
+        ]),
+        ServiceError::DeadlineExceeded => obj(vec![
+            ("ok", Json::Bool(false)),
+            ("error", Json::Str("deadline_exceeded".into())),
+        ]),
+        ServiceError::Internal(detail) => internal_error_response(detail),
+        ServiceError::Canceled => {
+            internal_error_response("engine dropped the request (worker died or response lost)")
+        }
+        other => error_response(&other.to_string()),
+    }
 }
 
 fn handle_line(line: &str, engine: &QueryEngine, stop: &AtomicBool) -> Json {
@@ -350,10 +487,27 @@ fn handle_line(line: &str, engine: &QueryEngine, stop: &AtomicBool) -> Json {
         // and v1 bodies never grow fields.
         let trace_requested = version == ProtocolVersion::V2
             && parsed.get("trace").and_then(Json::as_bool) == Some(true);
-        match QueryRequest::from_json_with(&parsed, engine.default_k()) {
-            Ok(request) => {
+        // Deadlines are v2-only too: on a v1 line the field is ignored
+        // (like "trace") so v1 semantics never change.
+        let deadline = match parsed
+            .get("deadline_ms")
+            .filter(|_| version == ProtocolVersion::V2)
+        {
+            None => Ok(None),
+            Some(v) => match v.as_usize().filter(|&ms| ms > 0) {
+                Some(ms) => Ok(Some(Duration::from_millis(ms as u64))),
+                None => Err("\"deadline_ms\" must be a positive integer (milliseconds)"),
+            },
+        };
+        match (
+            QueryRequest::from_json_with(&parsed, engine.default_k()),
+            deadline,
+        ) {
+            (Err(e), _) => error_response(&e),
+            (Ok(_), Err(e)) => error_response(e),
+            (Ok(request), Ok(deadline)) => {
                 match engine
-                    .submit_traced(request, trace_requested)
+                    .submit_with_deadline(request, trace_requested, deadline)
                     .and_then(crate::engine::PendingQuery::wait)
                 {
                     // Queries echo the epoch they were *admitted* under,
@@ -372,10 +526,9 @@ fn handle_line(line: &str, engine: &QueryEngine, stop: &AtomicBool) -> Json {
                         }
                         return version.envelope(body, id.as_ref(), epoch);
                     }
-                    Err(e) => error_response(&e.to_string()),
+                    Err(e) => service_error_response(&e),
                 }
             }
-            Err(e) => error_response(&e),
         }
     };
     version.envelope(body, id.as_ref(), engine.epoch())
@@ -438,6 +591,12 @@ fn admin_info(engine: &QueryEngine) -> Json {
         ),
         ("slow_query_us", Json::Num(config.slow_query_us as f64)),
         ("audit_sample", Json::Num(config.audit_sample)),
+        ("max_queue_depth", Json::Num(config.max_queue_depth as f64)),
+        (
+            "default_deadline_ms",
+            Json::Num(config.default_deadline_ms as f64),
+        ),
+        ("faults", Json::Str(config.faults.clone())),
         ("rls_loaded", Json::Bool(snapshot.has_rls())),
         ("t2vec_loaded", Json::Bool(snapshot.has_t2vec())),
         ("swaps", Json::Num(stats.swaps as f64)),
@@ -598,12 +757,30 @@ fn admin_configure(engine: &QueryEngine, parsed: &Json) -> Json {
             Err(e) => return error_response(&e),
         },
         audit_sample,
+        max_queue_depth: match field_usize("max_queue_depth") {
+            Ok(v) => v,
+            Err(e) => return error_response(&e),
+        },
+        default_deadline_ms: match field_usize("default_deadline_ms") {
+            Ok(v) => v.map(|ms| ms as u64),
+            Err(e) => return error_response(&e),
+        },
+        faults: match parsed.get("faults") {
+            None => None,
+            Some(v) => match v.as_str() {
+                Some(spec) => Some(spec.to_string()),
+                None => {
+                    return error_response("\"faults\" must be a string fault spec (\"\" disarms)")
+                }
+            },
+        },
     };
     if update == ConfigUpdate::default() {
         return error_response(
             "configure needs at least one of \"prune\", \"max_batch\", \
              \"cache_capacity\", \"default_k\", \"cache_key_quantize\", \
-             \"slow_query_us\", \"audit_sample\"",
+             \"slow_query_us\", \"audit_sample\", \"max_queue_depth\", \
+             \"default_deadline_ms\", \"faults\"",
         );
     }
     match engine.configure(update) {
@@ -621,6 +798,12 @@ fn admin_configure(engine: &QueryEngine, parsed: &Json) -> Json {
             ),
             ("slow_query_us", Json::Num(view.slow_query_us as f64)),
             ("audit_sample", Json::Num(view.audit_sample)),
+            ("max_queue_depth", Json::Num(view.max_queue_depth as f64)),
+            (
+                "default_deadline_ms",
+                Json::Num(view.default_deadline_ms as f64),
+            ),
+            ("faults", Json::Str(view.faults.clone())),
             ("workers", Json::Num(view.workers as f64)),
         ]),
         Err(e) => error_response(&e.to_string()),

@@ -47,6 +47,23 @@ pub struct ServeStats {
     cache_evictions: Counter,
     /// Requests whose engine latency crossed the slow-query threshold.
     slow_queries: Counter,
+    /// Requests that passed validation at `submit` (including those the
+    /// admission gate then shed). Reconciliation identity:
+    /// `admitted == requests + shed + deadline_expired + internal_errors`.
+    admitted: Counter,
+    /// Requests rejected by the admission gate (queue full).
+    shed: Counter,
+    /// Jobs dropped because their deadline expired before (or between)
+    /// scans.
+    deadline_expired: Counter,
+    /// Jobs answered with a structured internal error (scan panicked, or
+    /// the response was lost before reaching the waiter).
+    internal_errors: Counter,
+    /// Worker-thread panics observed (caught at dispatch or detected by
+    /// the supervisor).
+    worker_panics: Counter,
+    /// Worker threads respawned by the supervisor.
+    worker_restarts: Counter,
     /// Jobs accepted by `submit` but not yet drained by a worker.
     queue_depth: Gauge,
     /// Jobs drained into a batch but not yet answered.
@@ -108,6 +125,12 @@ impl ServeStats {
             cache_evicted_on_swap: Counter::new(),
             cache_evictions: Counter::new(),
             slow_queries: Counter::new(),
+            admitted: Counter::new(),
+            shed: Counter::new(),
+            deadline_expired: Counter::new(),
+            internal_errors: Counter::new(),
+            worker_panics: Counter::new(),
+            worker_restarts: Counter::new(),
             queue_depth: Gauge::new(),
             inflight: Gauge::new(),
             latencies_us: Histogram::new(),
@@ -168,6 +191,45 @@ impl ServeStats {
     /// Records one request that crossed the slow-query threshold.
     pub fn record_slow_query(&self) {
         self.slow_queries.inc();
+    }
+
+    /// Records one request that passed validation at `submit` (counted
+    /// even when the admission gate then sheds it, so admitted
+    /// reconciles against answered + shed + expired + internal).
+    pub fn record_admitted(&self) {
+        self.admitted.inc();
+    }
+
+    /// Records one request rejected by the admission gate (queue full).
+    pub fn record_shed(&self) {
+        self.shed.inc();
+    }
+
+    /// Records one job dropped because its deadline expired before it
+    /// was scanned.
+    pub fn record_deadline_expired(&self) {
+        self.deadline_expired.inc();
+    }
+
+    /// Records one job answered with a structured internal error.
+    pub fn record_internal_error(&self) {
+        self.internal_errors.inc();
+    }
+
+    /// Records one observed worker-thread panic.
+    pub fn record_worker_panic(&self) {
+        self.worker_panics.inc();
+    }
+
+    /// Records one worker thread respawned by the supervisor.
+    pub fn record_worker_restart(&self) {
+        self.worker_restarts.inc();
+    }
+
+    /// Bucketed median engine latency in microseconds (0 when idle) —
+    /// the admission gate's input for sizing `retry_after_ms` hints.
+    pub fn latency_p50_us(&self) -> u64 {
+        self.latencies_us.quantile(0.50)
     }
 
     /// Adds busy time (time not blocked on the queue) to worker `index`.
@@ -252,6 +314,12 @@ impl ServeStats {
             inflight: self.inflight.get(),
             cache_evictions: self.cache_evictions.get(),
             slow_queries: self.slow_queries.get(),
+            admitted: self.admitted.get(),
+            shed: self.shed.get(),
+            deadline_expired: self.deadline_expired.get(),
+            internal_errors: self.internal_errors.get(),
+            worker_panics: self.worker_panics.get(),
+            worker_restarts: self.worker_restarts.get(),
             scan_pruned_kim,
             scan_pruned_mbr,
             scan_searched_cells,
@@ -330,6 +398,20 @@ pub struct StatsSnapshot {
     pub cache_evictions: u64,
     /// Requests that crossed the slow-query threshold.
     pub slow_queries: u64,
+    /// Requests that passed validation at `submit` (including shed
+    /// ones). `admitted == requests + shed + deadline_expired +
+    /// internal_errors` once the engine is quiescent.
+    pub admitted: u64,
+    /// Requests rejected by the admission gate (queue full).
+    pub shed: u64,
+    /// Jobs dropped because their deadline expired before being scanned.
+    pub deadline_expired: u64,
+    /// Jobs answered with a structured internal error.
+    pub internal_errors: u64,
+    /// Worker-thread panics observed.
+    pub worker_panics: u64,
+    /// Worker threads respawned by the supervisor.
+    pub worker_restarts: u64,
     /// Scan candidates rejected by the O(1) Kim-style screen.
     pub scan_pruned_kim: u64,
     /// Scan candidates rejected by the O(m) MBR-envelope bound.
@@ -413,6 +495,12 @@ impl StatsSnapshot {
             ("audit_ar", Json::Num(self.audit_ar)),
             ("audit_mr", Json::Num(self.audit_mr)),
             ("audit_rr", Json::Num(self.audit_rr)),
+            ("admitted", Json::Num(self.admitted as f64)),
+            ("shed", Json::Num(self.shed as f64)),
+            ("deadline_expired", Json::Num(self.deadline_expired as f64)),
+            ("internal_errors", Json::Num(self.internal_errors as f64)),
+            ("worker_panics", Json::Num(self.worker_panics as f64)),
+            ("worker_restarts", Json::Num(self.worker_restarts as f64)),
             ("latency_buckets", buckets_json(&self.latency_hist)),
             ("batch_buckets", buckets_json(&self.batch_hist)),
         ])
@@ -578,8 +666,50 @@ mod tests {
             assert_eq!(pairs[i].0, *want, "frozen stats field {i} moved");
         }
         assert!(pairs.len() > frozen.len(), "additive fields missing");
-        for key in ["p999_us", "queue_depth", "audit_ar", "latency_buckets"] {
+        for key in [
+            "p999_us",
+            "queue_depth",
+            "audit_ar",
+            "admitted",
+            "shed",
+            "deadline_expired",
+            "internal_errors",
+            "worker_panics",
+            "worker_restarts",
+            "latency_buckets",
+        ] {
             assert!(pairs.iter().any(|(k, _)| k == key), "missing {key}");
         }
+    }
+
+    #[test]
+    fn robustness_counters_flow_to_snapshot() {
+        let stats = ServeStats::new();
+        stats.record_admitted();
+        stats.record_admitted();
+        stats.record_admitted();
+        stats.record_shed();
+        stats.record_deadline_expired();
+        stats.record_internal_error();
+        stats.record_worker_panic();
+        stats.record_worker_restart();
+        let snap = stats.snapshot();
+        assert_eq!(snap.admitted, 3);
+        assert_eq!(snap.shed, 1);
+        assert_eq!(snap.deadline_expired, 1);
+        assert_eq!(snap.internal_errors, 1);
+        assert_eq!(snap.worker_panics, 1);
+        assert_eq!(snap.worker_restarts, 1);
+    }
+
+    #[test]
+    fn latency_p50_accessor_tracks_histogram() {
+        let stats = ServeStats::new();
+        assert_eq!(stats.latency_p50_us(), 0);
+        for _ in 0..10 {
+            stats.record_request(Duration::from_micros(100), false);
+        }
+        let p50 = stats.latency_p50_us();
+        assert!((100..200).contains(&p50), "{p50}");
     }
 }

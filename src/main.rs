@@ -114,6 +114,9 @@ fn usage() {
          \x20              [--reload-fifo PATH]   # named pipe accepting admin JSON lines\n\
          \x20              [--slow-query-us N]    # log traces of queries slower than N µs\n\
          \x20              [--audit-sample F]     # audit fraction F of cold answers (0..=1)\n\
+         \x20              [--max-queue-depth N]  # shed queries past N queued (0 = unbounded)\n\
+         \x20              [--default-deadline-ms N]  # deadline for queries without one (0 = none)\n\
+         \x20              [--faults SPEC]        # arm fault injection (chaos testing)\n\
          \x20 admin        <info|stats|metrics|ping|shutdown> [--addr HOST:PORT]\n\
          \x20              # metrics prints Prometheus-style text exposition\n\
          \x20 admin        stats --watch SECS [--count M] [--addr HOST:PORT]\n\
@@ -123,7 +126,9 @@ fn usage() {
          \x20              [--skip K] [--no-suffix]\n\
          \x20 admin        configure [--addr HOST:PORT] [--prune on|off] [--batch N]\n\
          \x20              [--cache N] [--default-k N] [--quantize Q]   # Q=0 exact keys\n\
-         \x20              [--slow-query-us N] [--audit-sample F]"
+         \x20              [--slow-query-us N] [--audit-sample F]\n\
+         \x20              [--max-queue-depth N] [--default-deadline-ms N]\n\
+         \x20              [--faults SPEC]   # SPEC like \"slow_scan=p:0.1:5\"; \"off\" disarms"
     );
 }
 
@@ -451,6 +456,17 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
         cache_key_quantize: (cache_quantize > 0.0).then_some(cache_quantize),
         slow_query_us: flags.parse_or("slow-query-us", 0u64)?,
         audit_sample,
+        max_queue_depth: flags.parse_or("max-queue-depth", 0usize)?,
+        default_deadline_ms: flags.parse_or("default-deadline-ms", 0u64)?,
+        // `--faults off` forces disarmed even when SIMSUB_FAULTS is set;
+        // no flag defers to the environment hatch.
+        faults: flags.get("faults").map(|s| {
+            if s == "off" {
+                String::new()
+            } else {
+                s.to_string()
+            }
+        }),
     };
     if config.workers == 0 {
         return Err("--workers must be at least 1".into());
@@ -693,6 +709,22 @@ fn cmd_admin(action: &str, flags: &Flags) -> Result<(), String> {
                     .parse()
                     .map_err(|_| format!("bad value for --audit-sample: {value}"))?;
                 field("audit_sample", Json::Num(value));
+            }
+            if let Some(value) = flags.get("max-queue-depth") {
+                let value: usize = value
+                    .parse()
+                    .map_err(|_| format!("bad value for --max-queue-depth: {value}"))?;
+                field("max_queue_depth", Json::Num(value as f64));
+            }
+            if let Some(value) = flags.get("default-deadline-ms") {
+                let value: u64 = value
+                    .parse()
+                    .map_err(|_| format!("bad value for --default-deadline-ms: {value}"))?;
+                field("default_deadline_ms", Json::Num(value as f64));
+            }
+            if let Some(spec) = flags.get("faults") {
+                let spec = if spec == "off" { "" } else { spec };
+                field("faults", Json::Str(spec.to_string()));
             }
         }
         other => {
