@@ -39,10 +39,10 @@
 //! envelope only for survivors. [`PruneStats`] counts what each stage
 //! rejected so serving layers can report prune ratios.
 
+use crate::sync::atomic::{AtomicU64, Ordering};
+use crate::sync::OnceLock;
 use simsub_measures::{similarity_from_distance, DistanceAggregate, Measure};
 use simsub_trajectory::{Mbr, Point};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::OnceLock;
 
 /// Counters describing one (or many merged) pruned corpus scans.
 /// Invariant: `scanned == pruned_by_kim + pruned_by_mbr + searched`
@@ -116,6 +116,7 @@ static SCAN_TIMING: AtomicU64 = AtomicU64::new(0);
 /// complete. With no guard live, kernels skip every clock read — the
 /// disabled path costs one relaxed load per scan.
 pub fn scan_timing_scope() -> ScanTimingGuard {
+    // ordering: relaxed — the guard count only gates instrumentation.
     SCAN_TIMING.fetch_add(1, Ordering::Relaxed);
     ScanTimingGuard(())
 }
@@ -123,6 +124,7 @@ pub fn scan_timing_scope() -> ScanTimingGuard {
 /// True while at least one [`scan_timing_scope`] guard is live.
 #[inline]
 pub fn scan_timing_enabled() -> bool {
+    // ordering: relaxed — a stale view widens or narrows timing, nothing else.
     SCAN_TIMING.load(Ordering::Relaxed) != 0
 }
 
@@ -133,6 +135,7 @@ pub struct ScanTimingGuard(());
 
 impl Drop for ScanTimingGuard {
     fn drop(&mut self) {
+        // ordering: relaxed — matching decrement of scan_timing_scope.
         SCAN_TIMING.fetch_sub(1, Ordering::Relaxed);
     }
 }
@@ -267,19 +270,21 @@ impl SharedSimFloor {
 
     /// The current floor.
     pub fn get(&self) -> f64 {
+        // ordering: relaxed — a stale floor only misses a prune, never an answer.
         f64::from_bits(self.bits.load(Ordering::Relaxed))
     }
 
     /// Raises the floor to `v` if higher (CAS loop; relaxed ordering is
     /// enough — a stale read only costs a missed prune, never an answer).
     pub fn raise(&self, v: f64) {
+        // ordering: relaxed — CAS loop re-reads on failure; monotonic max.
         let mut cur = self.bits.load(Ordering::Relaxed);
         while v > f64::from_bits(cur) {
             match self.bits.compare_exchange_weak(
                 cur,
                 v.to_bits(),
-                Ordering::Relaxed,
-                Ordering::Relaxed,
+                Ordering::Relaxed, // ordering: relaxed — the float payload is self-contained
+                Ordering::Relaxed, // ordering: relaxed — the failure value only feeds the retry
             ) {
                 Ok(_) => return,
                 Err(actual) => cur = actual,

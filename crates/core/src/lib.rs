@@ -36,6 +36,7 @@ mod simtra;
 mod sizes;
 mod splitting;
 mod spring;
+pub mod sync;
 mod topk;
 mod ucr;
 mod workspace;

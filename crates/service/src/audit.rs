@@ -25,9 +25,9 @@
 
 use crate::engine::EpochSnapshot;
 use crate::query::MeasureSpec;
+use crate::sync::Arc;
 use simsub_core::{exhaustive_ranking, EffectivenessMetrics};
 use simsub_trajectory::{Point, SubtrajRange};
-use std::sync::Arc;
 
 /// Trajectories longer than this are not audited (the exhaustive ranking
 /// enumerates all `O(n²)` subtrajectories); skips count as dropped.

@@ -372,7 +372,7 @@ mod tests {
 
     #[test]
     fn eviction_drops_values_immediately() {
-        use std::sync::Arc;
+        use crate::sync::Arc;
         let payload = Arc::new(vec![1u8; 16]);
         let mut cache = LruCache::new(4);
         cache.insert(1, Arc::clone(&payload));

@@ -51,10 +51,15 @@
 
 use crate::audit::AuditSample;
 use crate::cache::Cache;
-use crate::fault::{lock_recover, FaultPoint, FaultRegistry};
+use crate::fault::{lock_recover, read_recover, write_recover, FaultPoint, FaultRegistry};
 use crate::metrics_registry::ExpositionBuilder;
 use crate::query::{AlgoSpec, MeasureSpec, QueryRequest, QueryResponse};
 use crate::stats::{ServeStats, StatsSnapshot};
+use crate::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use crate::sync::mpsc::{
+    channel, sync_channel, Receiver, Sender, SyncSender, TryRecvError, TrySendError,
+};
+use crate::sync::{Arc, Mutex, RwLock};
 use crate::trace::{SlowQueryRecord, TraceReport};
 use simsub_core::ExactS;
 use simsub_core::{MdpConfig, Pos, PosD, Pss, Rls, SizeS, Spring, SubtrajSearch, TopKResult};
@@ -65,11 +70,6 @@ use simsub_rl::Policy;
 use simsub_trajectory::{CorpusArena, Point, Trajectory};
 use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::mpsc::{
-    channel, sync_channel, Receiver, Sender, SyncSender, TryRecvError, TrySendError,
-};
-use std::sync::{Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -460,18 +460,18 @@ impl EngineHandle {
     /// for as long as they need a consistent view; a concurrent swap
     /// never invalidates it.
     pub fn load(&self) -> Arc<EpochSnapshot> {
-        Arc::clone(&self.cell.read().unwrap_or_else(|e| e.into_inner()))
+        Arc::clone(&read_recover(&self.cell))
     }
 
     /// The current epoch (shorthand for `load().epoch()`).
     pub fn epoch(&self) -> u64 {
-        self.cell.read().unwrap_or_else(|e| e.into_inner()).epoch
+        read_recover(&self.cell).epoch
     }
 
     /// Atomically replaces the snapshot, bumping the epoch. Returns the
     /// displaced and the freshly installed generations.
     pub fn swap(&self, snapshot: CorpusSnapshot) -> (Arc<EpochSnapshot>, Arc<EpochSnapshot>) {
-        let mut cell = self.cell.write().unwrap_or_else(|e| e.into_inner());
+        let mut cell = write_recover(&self.cell);
         let next = Arc::new(EpochSnapshot {
             epoch: cell.epoch + 1,
             snapshot,
@@ -715,12 +715,14 @@ struct Runtime {
 impl Runtime {
     /// The current quantized-key quantum, `None` for exact keys.
     fn quantize(&self) -> Option<f64> {
+        // ordering: relaxed — independent config cell; readers may lag a configure.
         let q = f64::from_bits(self.cache_key_quantize.load(Ordering::Relaxed));
         (q > 0.0).then_some(q)
     }
 
     /// The current audit sampling fraction (0.0 = auditing off).
     fn audit_sample(&self) -> f64 {
+        // ordering: relaxed — independent config cell; readers may lag a configure.
         f64::from_bits(self.audit_sample.load(Ordering::Relaxed))
     }
 }
@@ -950,6 +952,7 @@ impl QueryEngine {
         // Admission gate: shed instead of queueing unboundedly. Shed
         // requests still count as admitted so the reconciliation identity
         // (admitted == answered + shed + expired + internal) holds.
+        // ordering: relaxed — config cell; a stale bound sheds or admits one request late.
         let max_depth = self.inner.runtime.max_queue_depth.load(Ordering::Relaxed);
         if max_depth > 0 {
             let depth = self.inner.stats.queue_depth().get();
@@ -967,7 +970,7 @@ impl QueryEngine {
                 .inner
                 .runtime
                 .default_deadline_ms
-                .load(Ordering::Relaxed);
+                .load(Ordering::Relaxed); // ordering: relaxed config cell
             (ms > 0).then(|| Duration::from_millis(ms))
         });
         let (reply_tx, reply_rx) = channel();
@@ -1030,6 +1033,7 @@ impl QueryEngine {
 
     /// The `k` applied to wire requests that omit `"k"`.
     pub fn default_k(&self) -> usize {
+        // ordering: relaxed — config cell; no cross-field consistency is promised.
         self.inner.runtime.default_k.load(Ordering::Relaxed)
     }
 
@@ -1096,49 +1100,49 @@ impl QueryEngine {
                 .map_err(|e| ServiceError::InvalidRequest(format!("faults: {e}")))?;
         }
         if let Some(prune) = update.prune {
-            self.inner.runtime.prune.store(prune, Ordering::Relaxed);
+            self.inner.runtime.prune.store(prune, Ordering::Relaxed); // ordering: relaxed config cell
         }
         if let Some(max_batch) = update.max_batch {
             self.inner
                 .runtime
                 .max_batch
-                .store(max_batch, Ordering::Relaxed);
+                .store(max_batch, Ordering::Relaxed); // ordering: relaxed config cell
         }
         if let Some(default_k) = update.default_k {
             self.inner
                 .runtime
                 .default_k
-                .store(default_k, Ordering::Relaxed);
+                .store(default_k, Ordering::Relaxed); // ordering: relaxed config cell
         }
         if let Some(q) = update.cache_key_quantize {
             self.inner
                 .runtime
                 .cache_key_quantize
-                .store(q.to_bits(), Ordering::Relaxed);
+                .store(q.to_bits(), Ordering::Relaxed); // ordering: relaxed config cell
         }
         if let Some(us) = update.slow_query_us {
             self.inner
                 .runtime
                 .slow_query_us
-                .store(us, Ordering::Relaxed);
+                .store(us, Ordering::Relaxed); // ordering: relaxed config cell
         }
         if let Some(f) = update.audit_sample {
             self.inner
                 .runtime
                 .audit_sample
-                .store(f.to_bits(), Ordering::Relaxed);
+                .store(f.to_bits(), Ordering::Relaxed); // ordering: relaxed config cell
         }
         if let Some(depth) = update.max_queue_depth {
             self.inner
                 .runtime
                 .max_queue_depth
-                .store(depth, Ordering::Relaxed);
+                .store(depth, Ordering::Relaxed); // ordering: relaxed config cell
         }
         if let Some(ms) = update.default_deadline_ms {
             self.inner
                 .runtime
                 .default_deadline_ms
-                .store(ms, Ordering::Relaxed);
+                .store(ms, Ordering::Relaxed); // ordering: relaxed config cell
         }
         if let Some(spec) = &update.faults {
             self.inner
@@ -1165,20 +1169,20 @@ impl QueryEngine {
         };
         ConfigView {
             workers: self.inner.workers,
-            max_batch: self.inner.runtime.max_batch.load(Ordering::Relaxed),
+            max_batch: self.inner.runtime.max_batch.load(Ordering::Relaxed), // ordering: relaxed config read
             cache_capacity,
             cache_len,
-            prune: self.inner.runtime.prune.load(Ordering::Relaxed),
-            default_k: self.inner.runtime.default_k.load(Ordering::Relaxed),
+            prune: self.inner.runtime.prune.load(Ordering::Relaxed), // ordering: relaxed config read
+            default_k: self.inner.runtime.default_k.load(Ordering::Relaxed), // ordering: relaxed config read
             cache_key_quantize: self.inner.runtime.quantize(),
-            slow_query_us: self.inner.runtime.slow_query_us.load(Ordering::Relaxed),
+            slow_query_us: self.inner.runtime.slow_query_us.load(Ordering::Relaxed), // ordering: relaxed config read
             audit_sample: self.inner.runtime.audit_sample(),
-            max_queue_depth: self.inner.runtime.max_queue_depth.load(Ordering::Relaxed),
+            max_queue_depth: self.inner.runtime.max_queue_depth.load(Ordering::Relaxed), // ordering: relaxed config read
             default_deadline_ms: self
                 .inner
                 .runtime
                 .default_deadline_ms
-                .load(Ordering::Relaxed),
+                .load(Ordering::Relaxed), // ordering: relaxed config read
             faults: self.inner.faults.spec(),
         }
     }
@@ -1385,6 +1389,7 @@ impl QueryEngine {
         let mut report = ShutdownReport::default();
         // Stop the supervisor first so a worker finishing its drain is
         // not mistaken for a death to respawn.
+        // ordering: SeqCst — totally ordered with supervise()'s loads, so no respawn can be decided after this store is visible.
         self.inner.shutting_down.store(true, Ordering::SeqCst);
         if let Some(supervisor) = lock_recover(&self.supervisor).take() {
             if let Err(payload) = supervisor.join() {
@@ -1440,6 +1445,7 @@ fn spawn_worker(inner: &Arc<Inner>, worker: usize) -> JoinHandle<()> {
 /// capacity is restored, so one poisoned query cannot shrink the engine
 /// forever.
 fn supervise(inner: &Arc<Inner>, pool: &WorkerPool) {
+    // ordering: SeqCst — pairs with shutdown()'s store; see the respawn check below.
     while !inner.shutting_down.load(Ordering::SeqCst) {
         std::thread::sleep(SUPERVISE_INTERVAL);
         let mut slots = lock_recover(&pool.slots);
@@ -1455,6 +1461,7 @@ fn supervise(inner: &Arc<Inner>, pool: &WorkerPool) {
                 Ok(()) => {}
                 Err(_payload) => {
                     inner.stats.record_worker_panic();
+                    // ordering: SeqCst — a shutdown store ordered before this load forbids the respawn.
                     if !inner.shutting_down.load(Ordering::SeqCst) {
                         *slot = Some(spawn_worker(inner, index));
                         inner.stats.record_worker_restart();
@@ -1475,6 +1482,7 @@ fn worker_loop(inner: &Inner, worker: usize) {
         // is already queued, up to the batch cap. The queue lock is held
         // only while draining — never during search work.
         let mut jobs: Vec<Job> = Vec::new();
+        // ordering: relaxed — config cell; a racing configure applies to the next batch.
         let max_batch = inner.runtime.max_batch.load(Ordering::Relaxed).max(1);
         let busy_start;
         {
@@ -1630,6 +1638,7 @@ fn process_batch(inner: &Inner, jobs: Vec<Job>, timing: &BatchTiming) {
             .push(slot);
     }
 
+    // ordering: relaxed — config cell; a racing configure applies to the next drain.
     let prune = inner.runtime.prune.load(Ordering::Relaxed);
     for ((epoch, algo_spec, measure_spec, k, use_index), slots) in groups {
         // Deadline check between dispatch groups: a slow earlier group
@@ -1776,7 +1785,7 @@ fn maybe_audit(inner: &Inner, entry: &UniqueEntry, results: &[TopKResult]) {
     let period = (1.0 / fraction).round().max(1.0) as u64;
     if !inner
         .audit_counter
-        .fetch_add(1, Ordering::Relaxed)
+        .fetch_add(1, Ordering::Relaxed) // ordering: relaxed — sampling counter; carries no data
         .is_multiple_of(period)
     {
         return;
@@ -1821,6 +1830,7 @@ fn respond(
     inner.stats.record_request(latency, cached);
     inner.stats.inflight().add(-1);
     let latency_us = latency.as_micros().min(u128::from(u64::MAX)) as u64;
+    // ordering: relaxed — config cell; the threshold may lag a configure.
     let threshold = inner.runtime.slow_query_us.load(Ordering::Relaxed);
     let slow = threshold > 0 && latency_us >= threshold;
     // The full report is only assembled for traced or slow requests; the

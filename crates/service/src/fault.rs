@@ -45,8 +45,8 @@
 //! same fault schedule on every run — chaos tests are reproducible.
 
 use crate::metrics_registry::Counter;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
-use std::sync::Mutex;
+use crate::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use crate::sync::Mutex;
 use std::time::Duration;
 
 /// Default sleep for the sleeping points when the spec omits `:ms`.
@@ -183,20 +183,21 @@ impl FaultRegistry {
                 .map(|&(_, trigger, ms)| (trigger, ms));
             match entry {
                 Some((Trigger::Probability(p), ms)) => {
-                    point.threshold.store(p.to_bits(), Ordering::Relaxed);
-                    point.sleep_ms.store(ms, Ordering::Relaxed);
-                    point.mode.store(MODE_PROBABILITY, Ordering::Relaxed);
+                    point.threshold.store(p.to_bits(), Ordering::Relaxed); // ordering: relaxed — armed's SeqCst store below publishes this
+                    point.sleep_ms.store(ms, Ordering::Relaxed); // ordering: relaxed — armed's SeqCst store below publishes this
+                    point.mode.store(MODE_PROBABILITY, Ordering::Relaxed); // ordering: relaxed — armed's SeqCst store below publishes this
                 }
                 Some((Trigger::EveryNth(n), ms)) => {
-                    point.threshold.store(n, Ordering::Relaxed);
-                    point.sleep_ms.store(ms, Ordering::Relaxed);
-                    point.mode.store(MODE_EVERY_NTH, Ordering::Relaxed);
+                    point.threshold.store(n, Ordering::Relaxed); // ordering: relaxed — armed's SeqCst store below publishes this
+                    point.sleep_ms.store(ms, Ordering::Relaxed); // ordering: relaxed — armed's SeqCst store below publishes this
+                    point.mode.store(MODE_EVERY_NTH, Ordering::Relaxed); // ordering: relaxed — armed's SeqCst store below publishes this
                 }
-                None => point.mode.store(MODE_OFF, Ordering::Relaxed),
+                None => point.mode.store(MODE_OFF, Ordering::Relaxed), // ordering: relaxed — disarming needs no publication
             }
         }
         *lock_recover(&self.spec) = spec.trim().to_string();
-        // Armed last, so a worker that sees the flag also sees triggers.
+        // ordering: SeqCst, and armed last — a worker that sees the flag
+        // also sees the trigger cells stored above.
         self.armed.store(!parsed.is_empty(), Ordering::SeqCst);
         Ok(())
     }
@@ -208,6 +209,7 @@ impl FaultRegistry {
 
     /// True when at least one point is armed.
     pub fn armed(&self) -> bool {
+        // ordering: relaxed — advisory read, display only.
         self.armed.load(Ordering::Relaxed)
     }
 
@@ -215,6 +217,7 @@ impl FaultRegistry {
     /// the fault now. The fully-disarmed path is one relaxed load.
     #[inline]
     pub fn fire(&self, point: FaultPoint) -> bool {
+        // ordering: relaxed — a disarm may race one in-flight fire; harmless.
         if !self.armed.load(Ordering::Relaxed) {
             return false;
         }
@@ -224,14 +227,17 @@ impl FaultRegistry {
     #[cold]
     fn fire_slow(&self, point: FaultPoint) -> bool {
         let state = &self.points[point.index()];
+        // ordering: relaxed — a stale mode fires or skips one fault, never corrupts.
         let mode = state.mode.load(Ordering::Relaxed);
         if mode == MODE_OFF {
             return false;
         }
         // 1-based occurrence count: `n:3` fires on the 3rd, 6th, ...
+        // ordering: relaxed — per-point counter; exact interleaving is immaterial.
         let occurrence = state.seen.fetch_add(1, Ordering::Relaxed) + 1;
         let hit = match mode {
             MODE_PROBABILITY => {
+                // ordering: relaxed — published by armed before workers can get here.
                 let p = f64::from_bits(state.threshold.load(Ordering::Relaxed));
                 // Deterministic "randomness": hash the occurrence index so
                 // a spec replays the same fault schedule every run.
@@ -239,6 +245,7 @@ impl FaultRegistry {
                 ((h >> 11) as f64 / (1u64 << 53) as f64) < p
             }
             MODE_EVERY_NTH => {
+                // ordering: relaxed — published by armed before workers can get here.
                 let n = state.threshold.load(Ordering::Relaxed).max(1);
                 occurrence.is_multiple_of(n)
             }
@@ -255,6 +262,7 @@ impl FaultRegistry {
     #[inline]
     pub fn sleep_if(&self, point: FaultPoint) {
         if self.fire(point) {
+            // ordering: relaxed — published by armed before workers can get here.
             let ms = self.points[point.index()].sleep_ms.load(Ordering::Relaxed);
             std::thread::sleep(Duration::from_millis(ms));
         }
@@ -381,10 +389,29 @@ fn splitmix64(mut x: u64) -> u64 {
 
 /// Mutex lock with poison recovery: a panic while holding the lock (the
 /// whole point of fault injection) must not cascade into panics on every
-/// other thread that touches it.
-pub(crate) fn lock_recover<T>(lock: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+/// other thread that touches it. The `lock-unwrap` lint rule bans inline
+/// `unwrap`/`expect`/`unwrap_or_else` on serve-path locks, so this family
+/// of helpers is the only sanctioned way to take one.
+pub(crate) fn lock_recover<T>(lock: &Mutex<T>) -> crate::sync::MutexGuard<'_, T> {
     lock.lock()
-        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .unwrap_or_else(crate::sync::PoisonError::into_inner)
+}
+
+/// Shared-mode [`lock_recover`] for `RwLock` (see above for why poison is
+/// recovered rather than propagated).
+pub(crate) fn read_recover<T>(
+    lock: &crate::sync::RwLock<T>,
+) -> crate::sync::RwLockReadGuard<'_, T> {
+    lock.read()
+        .unwrap_or_else(crate::sync::PoisonError::into_inner)
+}
+
+/// Exclusive-mode [`lock_recover`] for `RwLock`.
+pub(crate) fn write_recover<T>(
+    lock: &crate::sync::RwLock<T>,
+) -> crate::sync::RwLockWriteGuard<'_, T> {
+    lock.write()
+        .unwrap_or_else(crate::sync::PoisonError::into_inner)
 }
 
 #[cfg(test)]
@@ -478,6 +505,6 @@ mod tests {
         let reg = FaultRegistry::disarmed();
         reg.set_spec("slow_scan=n:1:999999999").unwrap();
         let state = &reg.points[FaultPoint::SlowScan.index()];
-        assert_eq!(state.sleep_ms.load(Ordering::Relaxed), MAX_SLEEP_MS);
+        assert_eq!(state.sleep_ms.load(Ordering::Relaxed), MAX_SLEEP_MS); // ordering: relaxed — single-threaded test
     }
 }

@@ -63,6 +63,7 @@ pub mod metrics_registry;
 pub mod query;
 pub mod server;
 pub mod stats;
+pub mod sync;
 pub mod trace;
 
 pub use engine::{

@@ -21,8 +21,8 @@
 //! All atomics use [`Ordering::Relaxed`]: metrics tolerate torn cross-metric
 //! views and only need eventual per-metric consistency.
 
+use crate::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::fmt::Write as _;
-use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 
 /// Number of histogram buckets: one for zero plus one per bit width of a
 /// `u64` value (so every `u64` lands in exactly one bucket).
@@ -47,13 +47,13 @@ impl Counter {
     /// Increments the counter by `n`.
     #[inline]
     pub fn add(&self, n: u64) {
-        self.0.fetch_add(n, Ordering::Relaxed);
+        self.0.fetch_add(n, Ordering::Relaxed); // ordering: relaxed per module contract
     }
 
     /// Returns the current value.
     #[inline]
     pub fn get(&self) -> u64 {
-        self.0.load(Ordering::Relaxed)
+        self.0.load(Ordering::Relaxed) // ordering: relaxed per module contract
     }
 }
 
@@ -70,19 +70,19 @@ impl Gauge {
     /// Adds `delta` (may be negative) to the gauge.
     #[inline]
     pub fn add(&self, delta: i64) {
-        self.0.fetch_add(delta, Ordering::Relaxed);
+        self.0.fetch_add(delta, Ordering::Relaxed); // ordering: relaxed per module contract
     }
 
     /// Sets the gauge to an absolute value.
     #[inline]
     pub fn set(&self, value: i64) {
-        self.0.store(value, Ordering::Relaxed);
+        self.0.store(value, Ordering::Relaxed); // ordering: relaxed per module contract
     }
 
     /// Returns the current value.
     #[inline]
     pub fn get(&self) -> i64 {
-        self.0.load(Ordering::Relaxed)
+        self.0.load(Ordering::Relaxed) // ordering: relaxed per module contract
     }
 }
 
@@ -135,35 +135,35 @@ impl Histogram {
     /// Records one observation.
     #[inline]
     pub fn record(&self, value: u64) {
-        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
-        self.count.fetch_add(1, Ordering::Relaxed);
-        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed); // ordering: relaxed per module contract
+        self.count.fetch_add(1, Ordering::Relaxed); // ordering: relaxed per module contract
+        self.sum.fetch_add(value, Ordering::Relaxed); // ordering: relaxed per module contract
     }
 
     /// Total number of recorded observations.
     #[inline]
     pub fn count(&self) -> u64 {
-        self.count.load(Ordering::Relaxed)
+        self.count.load(Ordering::Relaxed) // ordering: relaxed per module contract
     }
 
     /// Sum of all recorded observations (wrapping on overflow).
     #[inline]
     pub fn sum(&self) -> u64 {
-        self.sum.load(Ordering::Relaxed)
+        self.sum.load(Ordering::Relaxed) // ordering: relaxed per module contract
     }
 
     /// Adds every bucket of `other` into `self` (associative, commutative).
     pub fn merge_from(&self, other: &Histogram) {
         for (dst, src) in self.buckets.iter().zip(other.buckets.iter()) {
-            let n = src.load(Ordering::Relaxed);
+            let n = src.load(Ordering::Relaxed); // ordering: relaxed per module contract
             if n != 0 {
-                dst.fetch_add(n, Ordering::Relaxed);
+                dst.fetch_add(n, Ordering::Relaxed); // ordering: relaxed per module contract
             }
         }
         self.count
-            .fetch_add(other.count.load(Ordering::Relaxed), Ordering::Relaxed);
+            .fetch_add(other.count.load(Ordering::Relaxed), Ordering::Relaxed); // ordering: relaxed per module contract
         self.sum
-            .fetch_add(other.sum.load(Ordering::Relaxed), Ordering::Relaxed);
+            .fetch_add(other.sum.load(Ordering::Relaxed), Ordering::Relaxed); // ordering: relaxed per module contract
     }
 
     /// Takes a point-in-time copy of the buckets for quantile queries and
@@ -171,9 +171,9 @@ impl Histogram {
     /// only need eventual consistency.
     pub fn snapshot(&self) -> HistogramSnapshot {
         HistogramSnapshot {
-            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
-            count: self.count.load(Ordering::Relaxed),
-            sum: self.sum.load(Ordering::Relaxed),
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)), // ordering: relaxed per module contract
+            count: self.count.load(Ordering::Relaxed), // ordering: relaxed per module contract
+            sum: self.sum.load(Ordering::Relaxed),     // ordering: relaxed per module contract
         }
     }
 
@@ -328,7 +328,7 @@ impl ExpositionBuilder {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::Arc;
+    use crate::sync::Arc;
 
     #[test]
     fn values_land_in_correct_buckets() {

@@ -285,7 +285,7 @@ impl QueryRequest {
 pub struct QueryResponse {
     /// Ranked hits (best first), exactly what the offline
     /// `TrajectoryDb::top_k` returns for the same request.
-    pub results: std::sync::Arc<Vec<TopKResult>>,
+    pub results: crate::sync::Arc<Vec<TopKResult>>,
     /// Whether the answer came out of the result cache.
     pub cached: bool,
     /// End-to-end latency inside the engine (submit → response).

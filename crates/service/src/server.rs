@@ -164,15 +164,16 @@
 //!   search, only cache identity.
 
 use crate::engine::{ConfigUpdate, CorpusSnapshot, QueryEngine, ServiceError};
+use crate::fault::lock_recover;
 use crate::json::{obj, Json, ProtocolVersion};
 use crate::query::QueryRequest;
+use crate::sync::atomic::{AtomicBool, Ordering};
+use crate::sync::{Arc, Mutex};
 use simsub_core::MdpConfig;
 use simsub_index::PartitionerKind;
 use std::io::{BufRead, BufReader, ErrorKind, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::path::Path;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -216,11 +217,13 @@ impl Server {
 
     /// True once a `shutdown` command (or [`Server::stop`]) was seen.
     pub fn is_stopped(&self) -> bool {
+        // ordering: SeqCst — cold stop flag; strongest order keeps shutdown reasoning simple.
         self.stop.load(Ordering::SeqCst)
     }
 
     /// Requests a stop (same effect as the wire `shutdown` command).
     pub fn stop(&self) {
+        // ordering: SeqCst — cold stop flag; strongest order keeps shutdown reasoning simple.
         self.stop.store(true, Ordering::SeqCst);
     }
 
@@ -263,17 +266,20 @@ pub struct StopHandle(Arc<AtomicBool>);
 impl StopHandle {
     /// Requests the server stop (same effect as the wire `shutdown`).
     pub fn stop(&self) {
+        // ordering: SeqCst — cold stop flag; strongest order keeps shutdown reasoning simple.
         self.0.store(true, Ordering::SeqCst);
     }
 
     /// True once a stop was requested.
     pub fn is_stopped(&self) -> bool {
+        // ordering: SeqCst — cold stop flag; strongest order keeps shutdown reasoning simple.
         self.0.load(Ordering::SeqCst)
     }
 }
 
 fn accept_loop(listener: &TcpListener, engine: &Arc<QueryEngine>, stop: &Arc<AtomicBool>) {
     let connections: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::default();
+    // ordering: SeqCst — cold stop flag; strongest order keeps shutdown reasoning simple.
     while !stop.load(Ordering::SeqCst) {
         match listener.accept() {
             Ok((stream, _peer)) => {
@@ -287,7 +293,7 @@ fn accept_loop(listener: &TcpListener, engine: &Arc<QueryEngine>, stop: &Arc<Ato
                         let _ = serve_connection(stream, &engine, &stop);
                     })
                     .expect("spawning connection thread");
-                let mut connections = connections.lock().unwrap_or_else(|e| e.into_inner());
+                let mut connections = lock_recover(&connections);
                 // Reap finished connections so a long-lived server doesn't
                 // accumulate one handle per connection ever served.
                 connections.retain(|h| !h.is_finished());
@@ -299,11 +305,7 @@ fn accept_loop(listener: &TcpListener, engine: &Arc<QueryEngine>, stop: &Arc<Ato
             Err(_) => break,
         }
     }
-    for handle in connections
-        .lock()
-        .unwrap_or_else(|e| e.into_inner())
-        .drain(..)
-    {
+    for handle in lock_recover(&connections).drain(..) {
         // A connection thread that panicked already lost only its own
         // client; the server's teardown must still join the rest.
         if handle.join().is_err() {
@@ -324,6 +326,7 @@ fn serve_connection(
     let mut reader = BufReader::new(stream);
     let mut buf: Vec<u8> = Vec::new();
     loop {
+        // ordering: SeqCst — cold stop flag; strongest order keeps shutdown reasoning simple.
         if stop.load(Ordering::SeqCst) {
             return Ok(());
         }
@@ -373,6 +376,7 @@ fn serve_connection(
             writer.flush()?;
         }
         buf.clear();
+        // ordering: SeqCst — cold stop flag; strongest order keeps shutdown reasoning simple.
         if eof || stop.load(Ordering::SeqCst) {
             return Ok(());
         }
@@ -393,6 +397,7 @@ fn drain_oversized_line(
 ) -> std::io::Result<bool> {
     let mut scratch: Vec<u8> = Vec::new();
     loop {
+        // ordering: SeqCst — cold stop flag; strongest order keeps shutdown reasoning simple.
         if stop.load(Ordering::SeqCst) {
             return Ok(false);
         }
@@ -476,6 +481,7 @@ fn handle_line(line: &str, engine: &QueryEngine, stop: &AtomicBool) -> Json {
     };
     let body = if let Some(cmd) = parsed.get("cmd").and_then(Json::as_str) {
         if cmd == "shutdown" {
+            // ordering: SeqCst — cold stop flag; strongest order keeps shutdown reasoning simple.
             stop.store(true, Ordering::SeqCst);
             obj(vec![("ok", Json::Bool(true)), ("bye", Json::Bool(true))])
         } else {

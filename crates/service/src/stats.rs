@@ -11,8 +11,8 @@
 
 use crate::json::{obj, Json};
 use crate::metrics_registry::{Counter, Gauge, Histogram, HistogramSnapshot};
+use crate::sync::atomic::{AtomicU64, Ordering};
 use simsub_core::{EffectivenessMetrics, PruneStats};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 /// Live counters owned by the engine; cheap (lock-free) to update per
@@ -92,11 +92,15 @@ impl Default for ServeStats {
 }
 
 fn f64_add(cell: &AtomicU64, delta: f64) {
+    // ordering: relaxed — each f64 cell has a single writer (the audit
+    // path), so this non-atomic read-modify-store never races a peer.
     let next = f64::from_bits(cell.load(Ordering::Relaxed)) + delta;
+    // ordering: relaxed — single writer, see above.
     cell.store(next.to_bits(), Ordering::Relaxed);
 }
 
 fn f64_load(cell: &AtomicU64) -> f64 {
+    // ordering: relaxed — advisory snapshot read.
     f64::from_bits(cell.load(Ordering::Relaxed))
 }
 
@@ -314,6 +318,13 @@ impl ServeStats {
             inflight: self.inflight.get(),
             cache_evictions: self.cache_evictions.get(),
             slow_queries: self.slow_queries.get(),
+            // The four reconciliation counters below are independent relaxed
+            // cells: a mid-flight snapshot may transiently see an outcome
+            // before its admission (`admitted < requests + shed + expired +
+            // internal`). Upgrading the loads to SeqCst would not close that
+            // window — the admission and outcome increments are separate RMWs
+            // — so the identity is only asserted on a quiesced engine and
+            // live exposition treats it as eventually consistent.
             admitted: self.admitted.get(),
             shed: self.shed.get(),
             deadline_expired: self.deadline_expired.get(),

@@ -1,0 +1,32 @@
+//! Synchronization facade for the serve path.
+//!
+//! Every crate-internal use of a sync primitive imports from this module
+//! instead of `std::sync` (enforced by `cargo xtask lint`, rule
+//! `std-sync-import`). Normally it re-exports `std` unchanged; compiled
+//! with `RUSTFLAGS="--cfg simsub_loom"` it swaps in the instrumented types
+//! from the vendored loom shim, so the model-checked suite in
+//! `tests/model_check.rs` can explore interleavings of the *real*
+//! engine/cache/stats code, not a transliteration.
+//!
+//! `Arc` and `mpsc` stay `std` in both modes: `Arc` handles cross the
+//! crate boundary (e.g. `simsub_index::TrajectoryDb` snapshots), and the
+//! worker queue's `mpsc` channels are exercised by the protocol models at
+//! a higher level. Models that want an instrumented `Arc` use
+//! `loom::sync::Arc` directly.
+
+#[cfg(simsub_loom)]
+pub use loom::sync::{Condvar, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
+#[cfg(not(simsub_loom))]
+pub use std::sync::{Condvar, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+pub use std::sync::{mpsc, Arc, LockResult, OnceLock, PoisonError, TryLockError, TryLockResult};
+
+/// Atomic types, instrumented under `--cfg simsub_loom`.
+pub mod atomic {
+    #[cfg(simsub_loom)]
+    pub use loom::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, AtomicU8, AtomicUsize};
+    #[cfg(not(simsub_loom))]
+    pub use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, AtomicU8, AtomicUsize};
+
+    pub use std::sync::atomic::Ordering;
+}

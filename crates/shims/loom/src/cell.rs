@@ -1,0 +1,66 @@
+//! Race-checked plain memory: the model-checking replacement for
+//! `std::cell::UnsafeCell`. Every access is checked against the vector
+//! clocks of every concurrent access; a pair not ordered by happens-before
+//! fails the model with a data-race report.
+
+use std::panic::Location;
+
+use crate::rt;
+
+/// Instrumented [`std::cell::UnsafeCell`]. Accesses go through
+/// [`UnsafeCell::with`] / [`UnsafeCell::with_mut`] so the checker sees
+/// them; outside a model they are plain pointer accesses.
+#[derive(Debug, Default)]
+pub struct UnsafeCell<T: ?Sized> {
+    inner: std::cell::UnsafeCell<T>,
+}
+
+// Deliberately Sync: the whole point is to let models share the cell across
+// threads and have the checker — not the type system — catch the races.
+unsafe impl<T: ?Sized + Send> Sync for UnsafeCell<T> {}
+
+impl<T> UnsafeCell<T> {
+    /// Creates a new cell. `const`, matching `std`.
+    pub const fn new(value: T) -> Self {
+        UnsafeCell {
+            inner: std::cell::UnsafeCell::new(value),
+        }
+    }
+
+    /// Consumes the cell, returning the value.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner()
+    }
+}
+
+impl<T: ?Sized> UnsafeCell<T> {
+    fn addr(&self) -> usize {
+        self as *const _ as *const () as usize
+    }
+
+    /// Immutable access; checked as a read.
+    ///
+    /// # Safety contract
+    /// The pointer is valid for the duration of the closure; the checker
+    /// (not the borrow checker) enforces exclusivity across threads.
+    #[track_caller]
+    pub fn with<R>(&self, f: impl FnOnce(*const T) -> R) -> R {
+        rt::cell_access(self.addr(), false, Location::caller());
+        f(self.inner.get())
+    }
+
+    /// Mutable access; checked as a write.
+    ///
+    /// # Safety contract
+    /// Same as [`UnsafeCell::with`], for a writable pointer.
+    #[track_caller]
+    pub fn with_mut<R>(&self, f: impl FnOnce(*mut T) -> R) -> R {
+        rt::cell_access(self.addr(), true, Location::caller());
+        f(self.inner.get())
+    }
+
+    /// Returns a mutable reference to the value (no checking needed).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut()
+    }
+}

@@ -1,0 +1,56 @@
+//! Offline shim of the `loom` model checker, sized for this workspace.
+//!
+//! The real loom crate explores thread interleavings by running a program
+//! many times under a controlled scheduler and checking each execution
+//! against the C11 memory model. This shim reproduces the parts the simsub
+//! serve path needs, with no external dependencies:
+//!
+//! - **Instrumented primitives** ([`sync::Mutex`], [`sync::RwLock`],
+//!   [`sync::Condvar`], [`sync::atomic`], [`sync::Arc`], [`thread::spawn`],
+//!   [`cell::UnsafeCell`]) that behave exactly like their `std`
+//!   counterparts outside a model, and hand control to the scheduler at
+//!   every visible operation inside one. Values live in the real `std`
+//!   primitives, so the wrappers are `const`-constructible and zero-state
+//!   when no model is running.
+//! - **A deterministic scheduler** ([`model::Builder`]) that runs the model
+//!   closure repeatedly, enumerating schedules depth-first with an optional
+//!   preemption bound, and falling back to seeded pseudo-random schedules
+//!   when a model is too large to exhaust.
+//! - **A vector-clock happens-before checker** that reports data races on
+//!   [`cell::UnsafeCell`] accesses, deadlocks, and — because exploration
+//!   itself is sequentially consistent — every place where an atomic load
+//!   observed a cross-thread write without a happens-before edge, i.e. the
+//!   `Relaxed`-ordering assumptions the exploration silently relied on.
+//!
+//! Facade-covered crates (`simsub-service`, `simsub-core`) route their sync
+//! imports through a `sync` facade module that re-exports `std::sync`
+//! normally and this shim's instrumented types under `--cfg simsub_loom`;
+//! see `crates/service/src/sync.rs`.
+//!
+//! # Example
+//!
+//! ```
+//! use std::sync::Arc;
+//!
+//! let report = loom::model(|| {
+//!     let counter = Arc::new(loom::sync::atomic::AtomicU64::new(0));
+//!     let c2 = Arc::clone(&counter);
+//!     let t = loom::thread::spawn(move || {
+//!         c2.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+//!     });
+//!     counter.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+//!     t.join().unwrap();
+//!     assert_eq!(counter.load(std::sync::atomic::Ordering::SeqCst), 2);
+//! });
+//! assert!(report.complete);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cell;
+pub mod model;
+mod rt;
+pub mod sync;
+pub mod thread;
+
+pub use model::{model, Builder, Failure, Report};

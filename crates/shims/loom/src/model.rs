@@ -1,0 +1,114 @@
+//! Model entry points: run a closure under every schedule the budget
+//! allows, and report what was explored.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::rt;
+
+/// Exploration statistics for a completed (non-failing) model run.
+#[derive(Clone, Debug)]
+pub struct Report {
+    /// Number of distinct executions (interleavings) run to completion.
+    pub interleavings: usize,
+    /// Largest number of preemptive context switches seen in any single
+    /// execution.
+    pub max_preemptions: usize,
+    /// True when the schedule space was exhausted within the DFS budget
+    /// (false when the seeded-random fallback had to take over).
+    pub complete: bool,
+    /// Deduplicated descriptions of every atomic load that observed a
+    /// cross-thread write without a happens-before edge — the `Relaxed`
+    /// assumptions this sequentially-consistent exploration relied on.
+    pub relaxed: Vec<String>,
+    /// Wall-clock time spent exploring.
+    pub wall: Duration,
+}
+
+/// A failing execution: the first assertion failure, panic, data race, or
+/// deadlock the exploration found.
+#[derive(Clone, Debug)]
+pub struct Failure {
+    /// Human-readable description of what went wrong.
+    pub message: String,
+    /// The schedule that produced it: thread id chosen at each decision
+    /// point, in order.
+    pub trace: Vec<usize>,
+    /// How many interleavings ran before the failure surfaced.
+    pub interleavings: usize,
+}
+
+impl std::fmt::Display for Failure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "model failed after {} interleavings: {}\n  schedule: {:?}",
+            self.interleavings, self.message, self.trace
+        )
+    }
+}
+
+/// Configures how much of the schedule space to explore.
+#[derive(Clone, Debug)]
+pub struct Builder {
+    /// Max preemptive context switches per execution (`None` = unbounded).
+    /// Most real bugs surface within 2–3 preemptions; bounding keeps big
+    /// models tractable.
+    pub preemption_bound: Option<usize>,
+    /// DFS budget: stop recording new schedules after this many executions.
+    pub max_executions: usize,
+    /// Extra seeded-random executions to run if the DFS budget is spent
+    /// before the space is exhausted. Zero disables the fallback.
+    pub random_fallback: usize,
+    /// Seed for the random fallback; same seed, same schedules.
+    pub seed: u64,
+}
+
+impl Default for Builder {
+    fn default() -> Self {
+        Builder {
+            preemption_bound: None,
+            max_executions: 200_000,
+            random_fallback: 2_000,
+            seed: 0x5eed_1e55_c0ff_ee00,
+        }
+    }
+}
+
+impl Builder {
+    /// A builder with the default budget (exhaustive up to 200k
+    /// interleavings, then 2k random schedules).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Explore `f`, returning the first failure instead of panicking.
+    /// Use this to assert that a seeded bug *is* caught.
+    pub fn check_result<F>(&self, f: F) -> Result<Report, Failure>
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        rt::explore(self, Arc::new(f))
+    }
+
+    /// Explore `f`; panics with the failing schedule if any execution
+    /// fails.
+    pub fn check<F>(&self, f: F) -> Report
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        match self.check_result(f) {
+            Ok(report) => report,
+            Err(failure) => panic!("{failure}"),
+        }
+    }
+}
+
+/// Explore `f` with the default [`Builder`]; panics on the first failing
+/// schedule, otherwise returns exploration stats.
+pub fn model<F>(f: F) -> Report
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    Builder::new().check(f)
+}

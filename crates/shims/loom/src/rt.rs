@@ -1,0 +1,925 @@
+//! Scheduler runtime: one execution = one deterministic interleaving.
+//!
+//! All model threads are real OS threads, but at most one is ever *logically*
+//! running: every instrumented operation starts with a call into
+//! [`yield_point`], which parks the caller until the scheduler grants it the
+//! baton. Schedule decisions (which runnable thread performs its next
+//! operation) are recorded on a path; after an execution completes, the
+//! driver backtracks to the deepest decision with an unexplored alternative
+//! and replays. This is classic stateless model checking with a preemption
+//! bound, plus a seeded-random fallback once the DFS budget is spent.
+//!
+//! Vector clocks are maintained per thread and per synchronization object so
+//! the checker can tell which pairs of accesses are ordered by
+//! happens-before. Because exploration executes sequentially consistently,
+//! a `Relaxed` operation cannot *misbehave* here — instead, every load that
+//! observes a cross-thread write without a happens-before edge is recorded
+//! as a "relaxed reliance": a spot where correctness depends on ordering
+//! the model never actually checked.
+
+use std::collections::{BTreeSet, HashMap};
+use std::panic::Location;
+use std::sync::atomic::Ordering;
+use std::sync::{Condvar as StdCondvar, Mutex as StdMutex, MutexGuard as StdMutexGuard, OnceLock};
+use std::time::Instant;
+
+use crate::model::{Builder, Failure, Report};
+
+type ExecGuard = StdMutexGuard<'static, Option<Exec>>;
+
+/// Panic payload used to unwind model threads when an execution aborts
+/// (failure found, or driver tearing down). Caught by the thread wrapper.
+pub(crate) struct AbortExecution;
+
+/// Vector clock: component `i` counts epochs of thread `i`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+struct VClock(Vec<u32>);
+
+impl VClock {
+    fn get(&self, i: usize) -> u32 {
+        self.0.get(i).copied().unwrap_or(0)
+    }
+
+    fn bump(&mut self, i: usize) {
+        if self.0.len() <= i {
+            self.0.resize(i + 1, 0);
+        }
+        self.0[i] += 1;
+    }
+
+    fn join(&mut self, other: &VClock) {
+        if self.0.len() < other.0.len() {
+            self.0.resize(other.0.len(), 0);
+        }
+        for (a, b) in self.0.iter_mut().zip(other.0.iter()) {
+            *a = (*a).max(*b);
+        }
+    }
+
+    /// `self ≤ other` pointwise: the moment captured by `self`
+    /// happened-before the moment captured by `other`.
+    fn le(&self, other: &VClock) -> bool {
+        (0..self.0.len().max(other.0.len())).all(|i| self.get(i) <= other.get(i))
+    }
+}
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Run {
+    Runnable,
+    BlockedLock(usize),
+    BlockedCond(usize),
+    BlockedJoin(usize),
+    Done,
+}
+
+struct ThreadState {
+    run: Run,
+    clock: VClock,
+    finished: Option<VClock>,
+}
+
+#[derive(Default)]
+struct LockState {
+    writer: Option<usize>,
+    readers: Vec<usize>,
+    sync: VClock,
+}
+
+struct AtomicWrite {
+    tid: usize,
+    clock: VClock,
+    relaxed: bool,
+    loc: &'static Location<'static>,
+}
+
+#[derive(Default)]
+struct AtomicState {
+    /// Clock published by the release store (and its release sequence)
+    /// whose value the next acquire load would observe. `None` after a
+    /// plain relaxed store: reading that value creates no happens-before
+    /// edge.
+    msg: Option<VClock>,
+    last_write: Option<AtomicWrite>,
+}
+
+#[derive(Default)]
+struct CellState {
+    write: Option<(usize, VClock, &'static Location<'static>)>,
+    reads: HashMap<usize, (VClock, &'static Location<'static>)>,
+}
+
+#[derive(Default)]
+struct CondState {
+    waiters: Vec<usize>,
+    sync: VClock,
+}
+
+/// One schedule decision: the eligible set at this depth, and which member
+/// the current exploration picks. Backtracking advances `idx`.
+struct Choice {
+    options: Vec<usize>,
+    idx: usize,
+}
+
+struct Exec {
+    threads: Vec<ThreadState>,
+    /// Thread currently holding the baton (allowed to run), if any.
+    cur: Option<usize>,
+    /// The baton holder has been granted exactly one operation and has not
+    /// consumed it yet.
+    granted: bool,
+    depth: usize,
+    path: Vec<Choice>,
+    trace: Vec<usize>,
+    preemptions: usize,
+    bound: Option<usize>,
+    /// `Some(rng_state)` switches scheduling from DFS replay to seeded
+    /// pseudo-random choices.
+    rng: Option<u64>,
+    locks: HashMap<usize, LockState>,
+    atomics: HashMap<usize, AtomicState>,
+    cells: HashMap<usize, CellState>,
+    conds: HashMap<usize, CondState>,
+    aborting: bool,
+    failure: Option<String>,
+    relaxed: BTreeSet<String>,
+    /// OS threads whose wrapper has not yet returned.
+    live: usize,
+    os_handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+struct Rt {
+    exec: StdMutex<Option<Exec>>,
+    cv: StdCondvar,
+    /// Serializes whole explorations: `cargo test` runs tests concurrently
+    /// and the runtime state above is process-global.
+    model_lock: StdMutex<()>,
+}
+
+fn rt() -> &'static Rt {
+    static RT: OnceLock<Rt> = OnceLock::new();
+    RT.get_or_init(|| Rt {
+        exec: StdMutex::new(None),
+        cv: StdCondvar::new(),
+        model_lock: StdMutex::new(()),
+    })
+}
+
+thread_local! {
+    static TID: std::cell::Cell<Option<usize>> = const { std::cell::Cell::new(None) };
+}
+
+/// True when the calling thread belongs to the currently running model.
+/// Non-model threads (including other tests running in parallel) always see
+/// `false` and fall through to plain `std` behavior.
+pub(crate) fn in_model() -> bool {
+    TID.with(|t| t.get().is_some())
+}
+
+fn tid() -> usize {
+    TID.with(|t| t.get())
+        .expect("model op outside a model thread")
+}
+
+fn lock_exec() -> ExecGuard {
+    rt().exec.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn wait_exec(guard: ExecGuard) -> ExecGuard {
+    rt().cv.wait(guard).unwrap_or_else(|e| e.into_inner())
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Record a failure (first one wins) and abort the execution: every parked
+/// model thread wakes, sees `aborting`, and unwinds via [`AbortExecution`].
+fn fail(exec: &mut Exec, msg: String) {
+    if exec.failure.is_none() {
+        exec.failure = Some(msg);
+    }
+    exec.aborting = true;
+    rt().cv.notify_all();
+}
+
+fn abort_unwind() -> ! {
+    std::panic::panic_any(AbortExecution)
+}
+
+/// Pick the next thread to run. `me` is the decision maker — the thread
+/// that currently holds the baton (it may itself be runnable, blocked, or
+/// done). Grants the baton to the selection and wakes everyone so the
+/// selected thread can proceed.
+fn schedule_inner(exec: &mut Exec, me: usize) {
+    if exec.aborting {
+        return;
+    }
+    let runnable: Vec<usize> = exec
+        .threads
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| t.run == Run::Runnable)
+        .map(|(i, _)| i)
+        .collect();
+    if runnable.is_empty() {
+        if exec.threads.iter().all(|t| t.run == Run::Done) {
+            exec.cur = None;
+            exec.granted = false;
+            rt().cv.notify_all();
+        } else {
+            let states: Vec<String> = exec
+                .threads
+                .iter()
+                .enumerate()
+                .map(|(i, t)| format!("t{i}:{:?}", t.run))
+                .collect();
+            fail(
+                exec,
+                format!("deadlock: no runnable thread [{}]", states.join(" ")),
+            );
+        }
+        return;
+    }
+
+    let me_runnable = exec.threads[me].run == Run::Runnable;
+    let bounded = exec.bound.is_some_and(|b| exec.preemptions >= b);
+    let sel = if let Some(state) = exec.rng.as_mut() {
+        if bounded && me_runnable {
+            me
+        } else {
+            let r = splitmix64(state);
+            runnable[(r as usize) % runnable.len()]
+        }
+    } else if exec.depth < exec.path.len() {
+        // Replay of the prefix recorded by a previous execution.
+        let c = &exec.path[exec.depth];
+        c.options[c.idx.min(c.options.len() - 1)]
+    } else {
+        // Extending the path: record a fresh decision point.
+        let options = if bounded && me_runnable {
+            vec![me]
+        } else {
+            runnable.clone()
+        };
+        let first = options[0];
+        exec.path.push(Choice { options, idx: 0 });
+        first
+    };
+    exec.depth += 1;
+    exec.trace.push(sel);
+    if sel != me && me_runnable {
+        exec.preemptions += 1;
+    }
+    exec.cur = Some(sel);
+    exec.granted = true;
+    rt().cv.notify_all();
+}
+
+/// Park until this thread holds the baton with a fresh grant, then consume
+/// the grant and return. If the caller already holds the baton with its
+/// grant consumed (it just performed an operation), it makes the next
+/// schedule decision first — that is how decision points interleave with
+/// operations one-for-one.
+fn yield_point(mut guard: ExecGuard, me: usize) -> ExecGuard {
+    {
+        let exec = guard.as_mut().expect("yield_point without execution");
+        if exec.aborting {
+            abort_unwind();
+        }
+        if exec.cur == Some(me) && !exec.granted {
+            schedule_inner(exec, me);
+        }
+    }
+    loop {
+        {
+            let exec = guard.as_mut().expect("yield_point without execution");
+            if exec.aborting {
+                abort_unwind();
+            }
+            if exec.cur == Some(me) && exec.granted {
+                exec.granted = false;
+                return guard;
+            }
+        }
+        guard = wait_exec(guard);
+    }
+}
+
+/// Park as `Blocked*` until another thread makes us runnable and the
+/// scheduler grants the baton. The caller must already have set its `run`
+/// state and must currently hold the baton (grant consumed).
+fn block_here(mut guard: ExecGuard, me: usize) -> ExecGuard {
+    {
+        let exec = guard.as_mut().expect("block without execution");
+        schedule_inner(exec, me);
+    }
+    loop {
+        {
+            let exec = guard.as_mut().expect("block without execution");
+            if exec.aborting {
+                abort_unwind();
+            }
+            if exec.cur == Some(me) && exec.granted {
+                exec.granted = false;
+                return guard;
+            }
+        }
+        guard = wait_exec(guard);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Locks (Mutex = exclusive only; RwLock = shared or exclusive)
+// ---------------------------------------------------------------------------
+
+/// Acquire `addr` (shared if `shared`), blocking logically until available.
+pub(crate) fn lock_acquire(addr: usize, shared: bool) {
+    if !in_model() {
+        return;
+    }
+    let me = tid();
+    let mut guard = lock_exec();
+    loop {
+        guard = yield_point(guard, me);
+        let exec = guard.as_mut().expect("acquire without execution");
+        let st = exec.locks.entry(addr).or_default();
+        let free = if shared {
+            st.writer.is_none()
+        } else {
+            st.writer.is_none() && st.readers.is_empty()
+        };
+        if free {
+            if shared {
+                st.readers.push(me);
+            } else {
+                st.writer = Some(me);
+            }
+            let sync = st.sync.clone();
+            exec.threads[me].clock.join(&sync);
+            return;
+        }
+        exec.threads[me].run = Run::BlockedLock(addr);
+        guard = block_here(guard, me);
+        // Woken by a release: loop and retry (another thread may have
+        // grabbed the lock first — that is a real interleaving).
+    }
+}
+
+/// Try to acquire without blocking; returns false if held.
+pub(crate) fn lock_try_acquire(addr: usize, shared: bool) -> bool {
+    if !in_model() {
+        return true;
+    }
+    let me = tid();
+    let mut guard = lock_exec();
+    guard = yield_point(guard, me);
+    let exec = guard.as_mut().expect("try_acquire without execution");
+    let st = exec.locks.entry(addr).or_default();
+    let free = if shared {
+        st.writer.is_none()
+    } else {
+        st.writer.is_none() && st.readers.is_empty()
+    };
+    if free {
+        if shared {
+            st.readers.push(me);
+        } else {
+            st.writer = Some(me);
+        }
+        let sync = st.sync.clone();
+        exec.threads[me].clock.join(&sync);
+    }
+    free
+}
+
+/// Release `addr`. No schedule point: a release cannot block, so it is
+/// folded into the same step as the operation that precedes it.
+pub(crate) fn lock_release(addr: usize, shared: bool) {
+    if !in_model() {
+        return;
+    }
+    let me = tid();
+    let mut guard = lock_exec();
+    let Some(exec) = guard.as_mut() else { return };
+    let Some(st) = exec.locks.get_mut(&addr) else {
+        return;
+    };
+    if shared {
+        st.readers.retain(|&t| t != me);
+    } else {
+        st.writer = None;
+    }
+    let clock = exec.threads[me].clock.clone();
+    let st = exec.locks.get_mut(&addr).expect("lock state present");
+    st.sync.join(&clock);
+    exec.threads[me].clock.bump(me);
+    if exec.aborting {
+        return;
+    }
+    for t in exec.threads.iter_mut() {
+        if t.run == Run::BlockedLock(addr) {
+            t.run = Run::Runnable;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Atomics
+// ---------------------------------------------------------------------------
+
+fn is_acquire(ord: Ordering) -> bool {
+    matches!(ord, Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+fn is_release(ord: Ordering) -> bool {
+    matches!(ord, Ordering::Release | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+/// Happens-before bookkeeping for one atomic access. `load`/`store`
+/// describe the access shape (an RMW is both). Must run while the caller
+/// holds the baton.
+fn record_atomic(
+    exec: &mut Exec,
+    me: usize,
+    addr: usize,
+    load: bool,
+    store: bool,
+    ord: Ordering,
+    loc: &'static Location<'static>,
+) {
+    exec.atomics.entry(addr).or_default();
+    if load {
+        let msg = exec.atomics[&addr].msg.clone();
+        if is_acquire(ord) {
+            if let Some(msg) = &msg {
+                exec.threads[me].clock.join(msg);
+            }
+        }
+        let my_clock = exec.threads[me].clock.clone();
+        let st = exec.atomics.get_mut(&addr).expect("atomic state present");
+        let mut observation = None;
+        if let Some(w) = &st.last_write {
+            if w.tid != me && !w.clock.le(&my_clock) {
+                let why = if w.relaxed {
+                    "the write is Relaxed"
+                } else {
+                    "this load is Relaxed"
+                };
+                observation = Some(format!(
+                    "atomic load at {loc} observes the write at {} without happens-before ({why})",
+                    w.loc
+                ));
+            }
+        }
+        if let Some(obs) = observation {
+            exec.relaxed.insert(obs);
+        }
+    }
+    if store {
+        let clock = exec.threads[me].clock.clone();
+        let st = exec.atomics.get_mut(&addr).expect("atomic state present");
+        if load {
+            // RMW: continues the release sequence of a prior release store
+            // regardless of its own ordering.
+            let mut msg = st.msg.take().unwrap_or_default();
+            if is_release(ord) {
+                msg.join(&clock);
+            }
+            st.msg = Some(msg);
+        } else {
+            st.msg = if is_release(ord) {
+                Some(clock.clone())
+            } else {
+                None
+            };
+        }
+        st.last_write = Some(AtomicWrite {
+            tid: me,
+            clock,
+            relaxed: !is_release(ord),
+            loc,
+        });
+        exec.threads[me].clock.bump(me);
+    }
+}
+
+/// Schedule point + happens-before bookkeeping for a fixed-shape atomic
+/// access (plain load, plain store, or an unconditional RMW). The value
+/// itself is handled by the caller on the real `std` atomic; the caller is
+/// still the sole granted thread when this returns, so performing the real
+/// operation right after is exclusive.
+pub(crate) fn atomic_op(
+    addr: usize,
+    load: bool,
+    store: bool,
+    ord: Ordering,
+    loc: &'static Location<'static>,
+) {
+    if !in_model() {
+        return;
+    }
+    let me = tid();
+    let mut guard = lock_exec();
+    guard = yield_point(guard, me);
+    let exec = guard.as_mut().expect("atomic op without execution");
+    record_atomic(exec, me, addr, load, store, ord, loc);
+}
+
+/// Compare-exchange: the access shape depends on the outcome, so the real
+/// operation runs between the schedule point and the bookkeeping.
+pub(crate) fn atomic_cas<T>(
+    addr: usize,
+    success: Ordering,
+    failure: Ordering,
+    loc: &'static Location<'static>,
+    op: impl FnOnce() -> Result<T, T>,
+) -> Result<T, T> {
+    if !in_model() {
+        return op();
+    }
+    let me = tid();
+    let mut guard = lock_exec();
+    guard = yield_point(guard, me);
+    let result = op();
+    let exec = guard.as_mut().expect("atomic cas without execution");
+    match &result {
+        Ok(_) => record_atomic(exec, me, addr, true, true, success, loc),
+        Err(_) => record_atomic(exec, me, addr, true, false, failure, loc),
+    }
+    result
+}
+
+// ---------------------------------------------------------------------------
+// Cells (data-race detection on plain memory)
+// ---------------------------------------------------------------------------
+
+/// Check one plain-memory access against every concurrent access recorded
+/// for this cell; a pair not ordered by happens-before is a data race and
+/// fails the execution.
+pub(crate) fn cell_access(addr: usize, write: bool, loc: &'static Location<'static>) {
+    if !in_model() {
+        return;
+    }
+    let me = tid();
+    let mut guard = lock_exec();
+    guard = yield_point(guard, me);
+    let exec = guard.as_mut().expect("cell access without execution");
+    let my_clock = exec.threads[me].clock.clone();
+    let kind = if write { "write" } else { "read" };
+
+    let conflict: Option<String> = {
+        let st = exec.cells.entry(addr).or_default();
+        let write_race = match &st.write {
+            Some((wtid, wclock, wloc)) if *wtid != me && !wclock.le(&my_clock) => Some(format!(
+                "data race: {kind} at {loc} is concurrent with the write at {wloc}"
+            )),
+            _ => None,
+        };
+        let read_race = if write {
+            st.reads
+                .iter()
+                .find(|(rtid, (rclock, _))| **rtid != me && !rclock.le(&my_clock))
+                .map(|(_, (_, rloc))| {
+                    format!("data race: write at {loc} is concurrent with the read at {rloc}")
+                })
+        } else {
+            None
+        };
+        write_race.or(read_race)
+    };
+    if let Some(msg) = conflict {
+        fail(exec, msg);
+        abort_unwind();
+    }
+    let st = exec.cells.entry(addr).or_default();
+    if write {
+        st.write = Some((me, my_clock, loc));
+        st.reads.clear();
+        exec.threads[me].clock.bump(me);
+    } else {
+        st.reads.insert(me, (my_clock, loc));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Condvar
+// ---------------------------------------------------------------------------
+
+/// Atomically release the mutex at `lock_addr` and wait on the condvar at
+/// `cv_addr`. Returns with the mutex *not* reacquired — the caller
+/// reacquires through the normal `lock_acquire` path.
+pub(crate) fn cond_wait(cv_addr: usize, lock_addr: usize) {
+    if !in_model() {
+        return;
+    }
+    let me = tid();
+    let mut guard = lock_exec();
+    guard = yield_point(guard, me);
+    let exec = guard.as_mut().expect("cond wait without execution");
+
+    // Release the mutex (mirrors lock_release, inline because we already
+    // hold the runtime lock).
+    if let Some(st) = exec.locks.get_mut(&lock_addr) {
+        st.writer = None;
+        let clock = exec.threads[me].clock.clone();
+        st.sync.join(&clock);
+        exec.threads[me].clock.bump(me);
+        for t in exec.threads.iter_mut() {
+            if t.run == Run::BlockedLock(lock_addr) {
+                t.run = Run::Runnable;
+            }
+        }
+    }
+    exec.conds.entry(cv_addr).or_default().waiters.push(me);
+    exec.threads[me].run = Run::BlockedCond(cv_addr);
+    guard = block_here(guard, me);
+    let exec = guard.as_mut().expect("cond wake without execution");
+    let sync = exec.conds.entry(cv_addr).or_default().sync.clone();
+    exec.threads[me].clock.join(&sync);
+}
+
+/// Wake one (`all == false`) or all waiters, establishing a happens-before
+/// edge from the notifier to each woken thread.
+pub(crate) fn cond_notify(cv_addr: usize, all: bool) {
+    if !in_model() {
+        return;
+    }
+    let me = tid();
+    let mut guard = lock_exec();
+    guard = yield_point(guard, me);
+    let exec = guard.as_mut().expect("cond notify without execution");
+    let clock = exec.threads[me].clock.clone();
+    let st = exec.conds.entry(cv_addr).or_default();
+    st.sync.join(&clock);
+    let n = if all {
+        st.waiters.len()
+    } else {
+        st.waiters.len().min(1)
+    };
+    let woken: Vec<usize> = st.waiters.drain(..n).collect();
+    for t in woken {
+        exec.threads[t].run = Run::Runnable;
+    }
+    exec.threads[me].clock.bump(me);
+}
+
+// ---------------------------------------------------------------------------
+// Threads
+// ---------------------------------------------------------------------------
+
+/// Register a child thread (clock inherits the parent's — the spawn edge)
+/// and start its OS thread. Gives the scheduler a decision point first, so
+/// spawn order itself is explored.
+pub(crate) fn spawn_model(f: Box<dyn FnOnce() + Send>) -> usize {
+    let me = tid();
+    let child = {
+        let mut guard = lock_exec();
+        guard = yield_point(guard, me);
+        let exec = guard.as_mut().expect("spawn without execution");
+        let child = exec.threads.len();
+        let mut clock = exec.threads[me].clock.clone();
+        clock.bump(child);
+        exec.threads.push(ThreadState {
+            run: Run::Runnable,
+            clock,
+            finished: None,
+        });
+        exec.threads[me].clock.bump(me);
+        exec.live += 1;
+        child
+    };
+    let handle = std::thread::Builder::new()
+        .name(format!("loom-model-{child}"))
+        .spawn(move || thread_main(child, f))
+        .expect("spawning model thread");
+    let mut guard = lock_exec();
+    if let Some(exec) = guard.as_mut() {
+        exec.os_handles.push(handle);
+    }
+    child
+}
+
+/// Body wrapper for every model thread, including the root closure.
+fn thread_main(me: usize, f: Box<dyn FnOnce() + Send>) {
+    TID.with(|t| t.set(Some(me)));
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
+    TID.with(|t| t.set(None));
+
+    let mut guard = lock_exec();
+    let Some(exec) = guard.as_mut() else { return };
+    if let Err(payload) = outcome {
+        if payload.downcast_ref::<AbortExecution>().is_none() {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "model thread panicked (non-string payload)".into());
+            fail(exec, format!("thread {me} panicked: {msg}"));
+        }
+    }
+    exec.threads[me].run = Run::Done;
+    let clock = exec.threads[me].clock.clone();
+    exec.threads[me].finished = Some(clock);
+    for t in exec.threads.iter_mut() {
+        if t.run == Run::BlockedJoin(me) {
+            t.run = Run::Runnable;
+        }
+    }
+    if !exec.aborting && exec.cur == Some(me) {
+        schedule_inner(exec, me);
+    }
+    exec.live -= 1;
+    rt().cv.notify_all();
+}
+
+/// Logical join: block until `target` is done, then inherit its clock (the
+/// join edge).
+pub(crate) fn join_thread(target: usize) {
+    if !in_model() {
+        return;
+    }
+    let me = tid();
+    let mut guard = lock_exec();
+    guard = yield_point(guard, me);
+    let exec = guard.as_mut().expect("join without execution");
+    if exec.threads[target].run != Run::Done {
+        exec.threads[me].run = Run::BlockedJoin(target);
+        guard = block_here(guard, me);
+    }
+    let exec = guard.as_mut().expect("join wake without execution");
+    let finished = exec.threads[target]
+        .finished
+        .clone()
+        .expect("joined thread has a final clock");
+    exec.threads[me].clock.join(&finished);
+}
+
+/// A voluntary scheduling point with no memory effect.
+pub(crate) fn yield_now() {
+    if !in_model() {
+        return;
+    }
+    let me = tid();
+    let guard = lock_exec();
+    drop(yield_point(guard, me));
+}
+
+// ---------------------------------------------------------------------------
+// Driver
+// ---------------------------------------------------------------------------
+
+/// After a completed execution, advance the deepest decision with an
+/// unexplored alternative and drop everything below it. Returns false when
+/// the space is exhausted.
+fn backtrack(path: &mut Vec<Choice>) -> bool {
+    while let Some(last) = path.last_mut() {
+        if last.idx + 1 < last.options.len() {
+            last.idx += 1;
+            return true;
+        }
+        path.pop();
+    }
+    false
+}
+
+struct ExecOutcome {
+    failure: Option<String>,
+    trace: Vec<usize>,
+    preemptions: usize,
+    relaxed: BTreeSet<String>,
+}
+
+fn run_one(
+    path: Vec<Choice>,
+    rng: Option<u64>,
+    bound: Option<usize>,
+    f: std::sync::Arc<dyn Fn() + Send + Sync>,
+) -> (Vec<Choice>, ExecOutcome) {
+    {
+        let mut guard = lock_exec();
+        *guard = Some(Exec {
+            threads: vec![ThreadState {
+                run: Run::Runnable,
+                clock: {
+                    let mut c = VClock::default();
+                    c.bump(0);
+                    c
+                },
+                finished: None,
+            }],
+            cur: Some(0),
+            granted: true,
+            depth: 0,
+            path,
+            trace: Vec::new(),
+            preemptions: 0,
+            bound,
+            rng,
+            locks: HashMap::new(),
+            atomics: HashMap::new(),
+            cells: HashMap::new(),
+            conds: HashMap::new(),
+            aborting: false,
+            failure: None,
+            relaxed: BTreeSet::new(),
+            live: 1,
+            os_handles: Vec::new(),
+        });
+    }
+    let root = std::thread::Builder::new()
+        .name("loom-model-0".into())
+        .spawn(move || thread_main(0, Box::new(move || f())))
+        .expect("spawning model root thread");
+
+    // Wait for every model OS thread (not just the root) to unwind.
+    let mut guard = lock_exec();
+    loop {
+        match guard.as_ref() {
+            Some(exec) if exec.live == 0 => break,
+            Some(_) => guard = wait_exec(guard),
+            None => unreachable!("execution removed while driver waits"),
+        }
+    }
+    let exec = guard.take().expect("execution present at teardown");
+    drop(guard);
+    let _ = root.join();
+    for h in exec.os_handles {
+        let _ = h.join();
+    }
+    (
+        exec.path,
+        ExecOutcome {
+            failure: exec.failure,
+            trace: exec.trace,
+            preemptions: exec.preemptions,
+            relaxed: exec.relaxed,
+        },
+    )
+}
+
+/// Exhaustively explore schedules of `f` (DFS up to the builder's budget,
+/// then seeded-random), returning stats or the first failure.
+pub(crate) fn explore(
+    b: &Builder,
+    f: std::sync::Arc<dyn Fn() + Send + Sync>,
+) -> Result<Report, Failure> {
+    let _serial = rt().model_lock.lock().unwrap_or_else(|e| e.into_inner());
+    let start = Instant::now();
+    let mut path: Vec<Choice> = Vec::new();
+    let mut interleavings = 0usize;
+    let mut max_preemptions = 0usize;
+    let mut relaxed = BTreeSet::new();
+    let mut complete = false;
+    let mut rng: Option<u64> = None;
+    let mut random_left = b.random_fallback;
+
+    loop {
+        let (next_path, out) = run_one(
+            std::mem::take(&mut path),
+            rng,
+            b.preemption_bound,
+            f.clone(),
+        );
+        path = next_path;
+        interleavings += 1;
+        max_preemptions = max_preemptions.max(out.preemptions);
+        relaxed.extend(out.relaxed);
+        if let Some(message) = out.failure {
+            return Err(Failure {
+                message,
+                trace: out.trace,
+                interleavings,
+            });
+        }
+        if rng.is_none() {
+            if !backtrack(&mut path) {
+                complete = true;
+                break;
+            }
+            if interleavings >= b.max_executions {
+                if b.random_fallback == 0 {
+                    break;
+                }
+                rng = Some(b.seed | 1);
+            }
+        } else {
+            random_left -= 1;
+            if random_left == 0 {
+                break;
+            }
+            rng = rng.map(|s| s.wrapping_add(0x1234_5678));
+        }
+    }
+    Ok(Report {
+        interleavings,
+        max_preemptions,
+        complete,
+        relaxed: relaxed.into_iter().collect(),
+        wall: start.elapsed(),
+    })
+}

@@ -1,0 +1,91 @@
+//! Instrumented `Arc`: drops participate in happens-before checking, which
+//! is where real-world `Arc` bugs live (the final drop must observe every
+//! other handle's writes).
+
+use std::ops::Deref;
+use std::panic::Location;
+use std::sync::atomic::Ordering;
+use std::sync::Arc as StdArc;
+
+use crate::rt;
+
+/// Instrumented [`std::sync::Arc`]. Cloning is free; each drop is a
+/// release on the shared refcount, and the final drop additionally
+/// acquires, mirroring the real implementation.
+pub struct Arc<T: ?Sized> {
+    inner: Option<StdArc<T>>,
+}
+
+impl<T> Arc<T> {
+    /// Allocates a new reference-counted value.
+    pub fn new(value: T) -> Self {
+        Arc {
+            inner: Some(StdArc::new(value)),
+        }
+    }
+
+    /// Returns the inner value if this is the last handle.
+    pub fn try_unwrap(mut this: Self) -> Result<T, Self> {
+        let inner = this.inner.take().expect("arc present until drop");
+        StdArc::try_unwrap(inner).map_err(|inner| Arc { inner: Some(inner) })
+    }
+}
+
+impl<T: ?Sized> Arc<T> {
+    fn std(&self) -> &StdArc<T> {
+        self.inner.as_ref().expect("arc present until drop")
+    }
+
+    /// Number of live handles.
+    pub fn strong_count(this: &Self) -> usize {
+        StdArc::strong_count(this.std())
+    }
+
+    /// Whether two handles point at the same allocation.
+    pub fn ptr_eq(this: &Self, other: &Self) -> bool {
+        StdArc::ptr_eq(this.std(), other.std())
+    }
+}
+
+impl<T: ?Sized> Clone for Arc<T> {
+    fn clone(&self) -> Self {
+        Arc {
+            inner: Some(StdArc::clone(self.std())),
+        }
+    }
+}
+
+impl<T: ?Sized> Deref for Arc<T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.std()
+    }
+}
+
+impl<T: ?Sized> Drop for Arc<T> {
+    #[track_caller]
+    fn drop(&mut self) {
+        let Some(inner) = self.inner.take() else {
+            return;
+        };
+        if rt::in_model() {
+            let addr = StdArc::as_ptr(&inner) as *const () as usize;
+            // The model runs one thread at a time, so the count is stable
+            // between this read and the drop below.
+            let last = StdArc::strong_count(&inner) == 1;
+            let ord = if last {
+                Ordering::AcqRel
+            } else {
+                Ordering::Release
+            };
+            rt::atomic_op(addr, last, true, ord, Location::caller());
+        }
+        drop(inner);
+    }
+}
+
+impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for Arc<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.std().fmt(f)
+    }
+}

@@ -1,0 +1,258 @@
+//! Instrumented atomics. Values live in the real `std` atomics (so
+//! constructors stay `const` and out-of-model behavior is plain `std`);
+//! inside a model every access is a schedule point and feeds the
+//! happens-before checker, which reports loads that observe cross-thread
+//! writes without an ordering edge.
+
+use std::panic::Location;
+use std::sync::atomic as std_atomic;
+
+pub use std::sync::atomic::Ordering;
+
+use crate::rt;
+
+macro_rules! atomic_int {
+    ($(#[$doc:meta])* $name:ident, $std:ident, $prim:ty) => {
+        $(#[$doc])*
+        #[derive(Debug, Default)]
+        pub struct $name {
+            inner: std_atomic::$std,
+        }
+
+        impl $name {
+            /// Creates a new atomic. `const`, matching `std`.
+            pub const fn new(value: $prim) -> Self {
+                $name { inner: std_atomic::$std::new(value) }
+            }
+
+            fn addr(&self) -> usize {
+                self as *const _ as usize
+            }
+
+            /// Loads the value.
+            #[track_caller]
+            pub fn load(&self, order: Ordering) -> $prim {
+                rt::atomic_op(self.addr(), true, false, order, Location::caller());
+                self.inner.load(order)
+            }
+
+            /// Stores a value.
+            #[track_caller]
+            pub fn store(&self, value: $prim, order: Ordering) {
+                rt::atomic_op(self.addr(), false, true, order, Location::caller());
+                self.inner.store(value, order)
+            }
+
+            /// Swaps the value, returning the previous one.
+            #[track_caller]
+            pub fn swap(&self, value: $prim, order: Ordering) -> $prim {
+                rt::atomic_op(self.addr(), true, true, order, Location::caller());
+                self.inner.swap(value, order)
+            }
+
+            /// Adds to the value, returning the previous one.
+            #[track_caller]
+            pub fn fetch_add(&self, value: $prim, order: Ordering) -> $prim {
+                rt::atomic_op(self.addr(), true, true, order, Location::caller());
+                self.inner.fetch_add(value, order)
+            }
+
+            /// Subtracts from the value, returning the previous one.
+            #[track_caller]
+            pub fn fetch_sub(&self, value: $prim, order: Ordering) -> $prim {
+                rt::atomic_op(self.addr(), true, true, order, Location::caller());
+                self.inner.fetch_sub(value, order)
+            }
+
+            /// Bitwise-ors the value, returning the previous one.
+            #[track_caller]
+            pub fn fetch_or(&self, value: $prim, order: Ordering) -> $prim {
+                rt::atomic_op(self.addr(), true, true, order, Location::caller());
+                self.inner.fetch_or(value, order)
+            }
+
+            /// Bitwise-ands the value, returning the previous one.
+            #[track_caller]
+            pub fn fetch_and(&self, value: $prim, order: Ordering) -> $prim {
+                rt::atomic_op(self.addr(), true, true, order, Location::caller());
+                self.inner.fetch_and(value, order)
+            }
+
+            /// Stores the maximum of the value and `value`, returning the
+            /// previous one.
+            #[track_caller]
+            pub fn fetch_max(&self, value: $prim, order: Ordering) -> $prim {
+                rt::atomic_op(self.addr(), true, true, order, Location::caller());
+                self.inner.fetch_max(value, order)
+            }
+
+            /// Stores the minimum of the value and `value`, returning the
+            /// previous one.
+            #[track_caller]
+            pub fn fetch_min(&self, value: $prim, order: Ordering) -> $prim {
+                rt::atomic_op(self.addr(), true, true, order, Location::caller());
+                self.inner.fetch_min(value, order)
+            }
+
+            /// Compare-and-swap; a store happens (and `success` ordering
+            /// applies) only when the current value equals `current`.
+            #[track_caller]
+            pub fn compare_exchange(
+                &self,
+                current: $prim,
+                new: $prim,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$prim, $prim> {
+                rt::atomic_cas(self.addr(), success, failure, Location::caller(), || {
+                    self.inner.compare_exchange(current, new, success, failure)
+                })
+            }
+
+            /// Like [`Self::compare_exchange`]; under a model spurious
+            /// failures are not simulated, so it is exactly as strong.
+            #[track_caller]
+            pub fn compare_exchange_weak(
+                &self,
+                current: $prim,
+                new: $prim,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$prim, $prim> {
+                rt::atomic_cas(self.addr(), success, failure, Location::caller(), || {
+                    self.inner.compare_exchange_weak(current, new, success, failure)
+                })
+            }
+
+            /// Consumes the atomic, returning the value.
+            pub fn into_inner(self) -> $prim {
+                self.inner.into_inner()
+            }
+
+            /// Returns a mutable reference to the value (no atomics
+            /// needed).
+            pub fn get_mut(&mut self) -> &mut $prim {
+                self.inner.get_mut()
+            }
+        }
+    };
+}
+
+atomic_int!(
+    /// Instrumented [`std::sync::atomic::AtomicU8`].
+    AtomicU8,
+    AtomicU8,
+    u8
+);
+atomic_int!(
+    /// Instrumented [`std::sync::atomic::AtomicU64`].
+    AtomicU64,
+    AtomicU64,
+    u64
+);
+atomic_int!(
+    /// Instrumented [`std::sync::atomic::AtomicUsize`].
+    AtomicUsize,
+    AtomicUsize,
+    usize
+);
+atomic_int!(
+    /// Instrumented [`std::sync::atomic::AtomicI64`].
+    AtomicI64,
+    AtomicI64,
+    i64
+);
+
+/// Instrumented [`std::sync::atomic::AtomicBool`].
+#[derive(Debug, Default)]
+pub struct AtomicBool {
+    inner: std_atomic::AtomicBool,
+}
+
+impl AtomicBool {
+    /// Creates a new atomic. `const`, matching `std`.
+    pub const fn new(value: bool) -> Self {
+        AtomicBool {
+            inner: std_atomic::AtomicBool::new(value),
+        }
+    }
+
+    fn addr(&self) -> usize {
+        self as *const _ as usize
+    }
+
+    /// Loads the value.
+    #[track_caller]
+    pub fn load(&self, order: Ordering) -> bool {
+        rt::atomic_op(self.addr(), true, false, order, Location::caller());
+        self.inner.load(order)
+    }
+
+    /// Stores a value.
+    #[track_caller]
+    pub fn store(&self, value: bool, order: Ordering) {
+        rt::atomic_op(self.addr(), false, true, order, Location::caller());
+        self.inner.store(value, order)
+    }
+
+    /// Swaps the value, returning the previous one.
+    #[track_caller]
+    pub fn swap(&self, value: bool, order: Ordering) -> bool {
+        rt::atomic_op(self.addr(), true, true, order, Location::caller());
+        self.inner.swap(value, order)
+    }
+
+    /// Bitwise-ors the value, returning the previous one.
+    #[track_caller]
+    pub fn fetch_or(&self, value: bool, order: Ordering) -> bool {
+        rt::atomic_op(self.addr(), true, true, order, Location::caller());
+        self.inner.fetch_or(value, order)
+    }
+
+    /// Bitwise-ands the value, returning the previous one.
+    #[track_caller]
+    pub fn fetch_and(&self, value: bool, order: Ordering) -> bool {
+        rt::atomic_op(self.addr(), true, true, order, Location::caller());
+        self.inner.fetch_and(value, order)
+    }
+
+    /// Compare-and-swap; a store happens only on success.
+    #[track_caller]
+    pub fn compare_exchange(
+        &self,
+        current: bool,
+        new: bool,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<bool, bool> {
+        rt::atomic_cas(self.addr(), success, failure, Location::caller(), || {
+            self.inner.compare_exchange(current, new, success, failure)
+        })
+    }
+
+    /// Like [`Self::compare_exchange`]; spurious failures are not
+    /// simulated.
+    #[track_caller]
+    pub fn compare_exchange_weak(
+        &self,
+        current: bool,
+        new: bool,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<bool, bool> {
+        rt::atomic_cas(self.addr(), success, failure, Location::caller(), || {
+            self.inner
+                .compare_exchange_weak(current, new, success, failure)
+        })
+    }
+
+    /// Consumes the atomic, returning the value.
+    pub fn into_inner(self) -> bool {
+        self.inner.into_inner()
+    }
+
+    /// Returns a mutable reference to the value (no atomics needed).
+    pub fn get_mut(&mut self) -> &mut bool {
+        self.inner.get_mut()
+    }
+}

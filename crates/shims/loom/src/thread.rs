@@ -1,0 +1,91 @@
+//! Instrumented thread spawn/join. Inside a model, spawned closures become
+//! model threads under the deterministic scheduler (spawn and join are
+//! happens-before edges); outside one this is plain `std::thread`.
+
+use std::sync::{Arc as StdArc, Mutex as StdMutex};
+
+use crate::rt;
+
+enum Imp<T> {
+    Std(std::thread::JoinHandle<T>),
+    Model {
+        tid: usize,
+        result: StdArc<StdMutex<Option<T>>>,
+    },
+}
+
+/// Handle for a spawned thread; mirrors [`std::thread::JoinHandle`].
+pub struct JoinHandle<T> {
+    imp: Imp<T>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Waits for the thread to finish and returns its result.
+    pub fn join(self) -> std::thread::Result<T> {
+        match self.imp {
+            Imp::Std(handle) => handle.join(),
+            Imp::Model { tid, result } => {
+                rt::join_thread(tid);
+                match result.lock().unwrap_or_else(|e| e.into_inner()).take() {
+                    Some(value) => Ok(value),
+                    // Unreachable in practice: a panicking model thread
+                    // fails the whole execution, unwinding the joiner
+                    // before join returns.
+                    None => Err(Box::new("model thread panicked".to_string())),
+                }
+            }
+        }
+    }
+
+    /// Whether the thread has finished. Only meaningful outside a model
+    /// (model code should join instead of polling).
+    pub fn is_finished(&self) -> bool {
+        match &self.imp {
+            Imp::Std(handle) => handle.is_finished(),
+            Imp::Model { result, .. } => result.lock().unwrap_or_else(|e| e.into_inner()).is_some(),
+        }
+    }
+}
+
+/// Spawns a thread; a model thread when called inside a model.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    if rt::in_model() {
+        let result = StdArc::new(StdMutex::new(None));
+        let slot = StdArc::clone(&result);
+        let tid = rt::spawn_model(Box::new(move || {
+            let value = f();
+            *slot.lock().unwrap_or_else(|e| e.into_inner()) = Some(value);
+        }));
+        JoinHandle {
+            imp: Imp::Model { tid, result },
+        }
+    } else {
+        JoinHandle {
+            imp: Imp::Std(std::thread::spawn(f)),
+        }
+    }
+}
+
+/// A voluntary scheduling point inside a model; `std::thread::yield_now`
+/// otherwise.
+pub fn yield_now() {
+    if rt::in_model() {
+        rt::yield_now();
+    } else {
+        std::thread::yield_now();
+    }
+}
+
+/// Inside a model, sleeping is just a scheduling point (model time does not
+/// advance); otherwise a real sleep.
+pub fn sleep(dur: std::time::Duration) {
+    if rt::in_model() {
+        rt::yield_now();
+    } else {
+        std::thread::sleep(dur);
+    }
+}

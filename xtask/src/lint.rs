@@ -1,0 +1,45 @@
+//! CLI plumbing for `cargo xtask lint`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+/// Runs the lint command. Accepts `--allowlist <file>` and an optional
+/// repo root (defaults to the workspace root via `CARGO_MANIFEST_DIR`).
+pub fn run(args: &[String]) -> ExitCode {
+    let mut allowlist: Option<PathBuf> = None;
+    let mut root: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--allowlist" => match it.next() {
+                Some(path) => allowlist = Some(PathBuf::from(path)),
+                None => {
+                    eprintln!("--allowlist requires a file argument\n{}", crate::USAGE);
+                    return ExitCode::FAILURE;
+                }
+            },
+            other if root.is_none() && !other.starts_with('-') => {
+                root = Some(PathBuf::from(other));
+            }
+            other => {
+                eprintln!("unknown lint argument: {other}\n{}", crate::USAGE);
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let root = root.unwrap_or_else(default_root);
+    let allowlist = allowlist.unwrap_or_else(|| root.join("xtask/lint-allow.txt"));
+    crate::run_lint(&root, &allowlist)
+}
+
+/// The workspace root: parent of this crate's manifest dir when running
+/// under cargo, the current directory otherwise.
+fn default_root() -> PathBuf {
+    match std::env::var_os("CARGO_MANIFEST_DIR") {
+        Some(dir) => {
+            let dir = PathBuf::from(dir);
+            dir.parent().map(PathBuf::from).unwrap_or(dir)
+        }
+        None => PathBuf::from("."),
+    }
+}

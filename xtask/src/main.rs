@@ -1,0 +1,19 @@
+//! `cargo xtask` — workspace automation entry point.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => xtask::lint::run(&args[1..]),
+        Some(other) => {
+            eprintln!("unknown xtask command: {other}\n");
+            eprintln!("{}", xtask::USAGE);
+            ExitCode::FAILURE
+        }
+        None => {
+            eprintln!("{}", xtask::USAGE);
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,206 @@
+//! Token-level source scanning without a parser dependency.
+//!
+//! The linter needs two views of a file:
+//!
+//! 1. A *code stream*: the source with comments and string literals
+//!    blanked out and all whitespace removed, each remaining character
+//!    tagged with its 1-based line. Substring search over this stream
+//!    matches token sequences even when they span lines
+//!    (e.g. `.lock()\n.unwrap_or_else(`).
+//! 2. Per-line *code/comment splits*, for rules about the comments
+//!    themselves (the `// ordering:` justification rule).
+
+/// The source with strings/comments removed: `chars[i]` is a code
+/// character, `lines[i]` its 1-based source line.
+pub struct CodeStream {
+    /// Code characters with all whitespace removed.
+    pub chars: Vec<char>,
+    /// Parallel 1-based line number for each character.
+    pub lines: Vec<usize>,
+}
+
+impl CodeStream {
+    /// Finds every occurrence of `needle` (itself whitespace-free),
+    /// returning the source line where each match starts.
+    pub fn find_all(&self, needle: &str) -> Vec<usize> {
+        let needle: Vec<char> = needle.chars().collect();
+        let mut out = Vec::new();
+        if needle.is_empty() || self.chars.len() < needle.len() {
+            return out;
+        }
+        for start in 0..=(self.chars.len() - needle.len()) {
+            if self.chars[start..start + needle.len()] == needle[..] {
+                out.push(self.lines[start]);
+            }
+        }
+        out
+    }
+}
+
+/// One source line split at the first line-comment marker outside a
+/// string.
+pub struct LineView<'a> {
+    /// Code portion (may still contain string literals, blanked).
+    pub code: String,
+    /// Comment portion including the `//`, empty if none.
+    pub comment: String,
+    /// The raw line, untouched.
+    pub raw: &'a str,
+}
+
+enum State {
+    Normal,
+    InString { raw_hashes: Option<usize> },
+    InBlockComment { depth: usize },
+}
+
+/// Scans the file once, producing both views. The tokenizer understands
+/// line/block comments (nested), double-quoted and raw strings, char
+/// literals (including `'"'`), and leaves lifetimes alone.
+pub fn scan(content: &str) -> (CodeStream, Vec<LineView<'_>>) {
+    let mut stream = CodeStream {
+        chars: Vec::new(),
+        lines: Vec::new(),
+    };
+    let mut views: Vec<LineView<'_>> = Vec::new();
+    let mut state = State::Normal;
+
+    for (idx, raw) in content.lines().enumerate() {
+        let line_no = idx + 1;
+        let chars: Vec<char> = raw.chars().collect();
+        let mut code = String::new();
+        let mut comment = String::new();
+        let mut i = 0;
+        while i < chars.len() {
+            match state {
+                State::Normal => {
+                    let c = chars[i];
+                    let next = chars.get(i + 1).copied();
+                    if c == '/' && next == Some('/') {
+                        comment = chars[i..].iter().collect();
+                        break;
+                    }
+                    if c == '/' && next == Some('*') {
+                        state = State::InBlockComment { depth: 1 };
+                        i += 2;
+                        continue;
+                    }
+                    if c == 'r'
+                        && (next == Some('"') || next == Some('#'))
+                        && looks_like_raw_string(&chars, i)
+                    {
+                        let hashes = count_hashes(&chars, i + 1);
+                        if chars.get(i + 1 + hashes) == Some(&'"') {
+                            state = State::InString {
+                                raw_hashes: Some(hashes),
+                            };
+                            code.push(' ');
+                            i += 2 + hashes;
+                            continue;
+                        }
+                    }
+                    if c == '"' {
+                        state = State::InString { raw_hashes: None };
+                        code.push(' ');
+                        i += 1;
+                        continue;
+                    }
+                    if c == '\'' {
+                        // Char literal vs lifetime: a literal closes with a
+                        // tick within a few chars ('x', '\n', '\u{1F600}').
+                        if let Some(end) = char_literal_end(&chars, i) {
+                            code.push(' ');
+                            i = end + 1;
+                            continue;
+                        }
+                    }
+                    code.push(c);
+                    i += 1;
+                }
+                State::InString { raw_hashes } => match raw_hashes {
+                    None => {
+                        if chars[i] == '\\' {
+                            i += 2;
+                        } else if chars[i] == '"' {
+                            state = State::Normal;
+                            i += 1;
+                        } else {
+                            i += 1;
+                        }
+                    }
+                    Some(hashes) => {
+                        if chars[i] == '"' && closes_raw(&chars, i, hashes) {
+                            state = State::Normal;
+                            i += 1 + hashes;
+                        } else {
+                            i += 1;
+                        }
+                    }
+                },
+                State::InBlockComment { depth } => {
+                    let next = chars.get(i + 1).copied();
+                    if chars[i] == '*' && next == Some('/') {
+                        state = if depth == 1 {
+                            State::Normal
+                        } else {
+                            State::InBlockComment { depth: depth - 1 }
+                        };
+                        i += 2;
+                    } else if chars[i] == '/' && next == Some('*') {
+                        state = State::InBlockComment { depth: depth + 1 };
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+        }
+        // A non-raw string literal cannot span lines unless escaped; be
+        // lenient and stay in-string (multiline strings exist via `\`).
+        for c in code.chars().filter(|c| !c.is_whitespace()) {
+            stream.chars.push(c);
+            stream.lines.push(line_no);
+        }
+        views.push(LineView { code, comment, raw });
+    }
+    (stream, views)
+}
+
+fn looks_like_raw_string(chars: &[char], i: usize) -> bool {
+    // `r"..."` or `r#"..."#`; avoid matching identifiers ending in r by
+    // requiring the previous char to be a non-identifier char.
+    if i > 0 {
+        let prev = chars[i - 1];
+        if prev.is_alphanumeric() || prev == '_' {
+            return false;
+        }
+    }
+    true
+}
+
+fn count_hashes(chars: &[char], mut i: usize) -> usize {
+    let mut n = 0;
+    while chars.get(i) == Some(&'#') {
+        n += 1;
+        i += 1;
+    }
+    n
+}
+
+fn closes_raw(chars: &[char], i: usize, hashes: usize) -> bool {
+    (1..=hashes).all(|k| chars.get(i + k) == Some(&'#'))
+}
+
+fn char_literal_end(chars: &[char], i: usize) -> Option<usize> {
+    // chars[i] == '\''. Simple forms: 'x', '\n', '\\', '\'', '\u{...}'.
+    let second = chars.get(i + 1)?;
+    if *second == '\\' {
+        // Escape: find the closing quote within a bounded window
+        // (unicode escapes are the longest: '\u{10FFFF}').
+        (i + 3..(i + 13).min(chars.len())).find(|&j| chars[j] == '\'')
+    } else if chars.get(i + 2) == Some(&'\'') {
+        Some(i + 2)
+    } else {
+        None // lifetime like 'a or 'static
+    }
+}

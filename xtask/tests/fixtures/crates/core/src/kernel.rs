@@ -1,0 +1,5 @@
+// Kernel fixture: wall clocks are banned in core/measures sources.
+fn timed() -> u64 {
+    let t0 = std::time::Instant::now();
+    t0.elapsed().as_nanos() as u64
+}

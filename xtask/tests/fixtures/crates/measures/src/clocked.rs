@@ -1,0 +1,11 @@
+// Measures fixture: SystemTime is a kernel-clock violation here (both
+// on the signature line and the call line)...
+fn stamp() -> std::time::SystemTime {
+    std::time::SystemTime::now()
+}
+
+// ...but lock-unwrap and std-sync-import are scoped to other crates, so
+// neither may fire in this file.
+fn out_of_scope(m: &std::sync::Mutex<u32>) -> u32 {
+    *m.lock().unwrap()
+}

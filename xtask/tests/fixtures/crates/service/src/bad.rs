@@ -1,0 +1,40 @@
+// Seeded lint violations — fixture for xtask/tests/lint_fixtures.rs.
+// Never compiled: it only has to *scan* like Rust.
+use std::sync::Mutex;
+
+fn inline_unwrap(m: &Mutex<u32>) -> u32 {
+    *m.lock().unwrap()
+}
+
+fn cross_line(m: &Mutex<u32>) -> u32 {
+    *m.lock()
+        .expect("poisoned")
+}
+
+fn recover_inline(m: &Mutex<u32>) -> u32 {
+    *m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn naked_ordering(flag: &AtomicBool) -> bool {
+    flag.load(Ordering::SeqCst)
+}
+
+fn stale_comment(flag: &AtomicBool) -> bool {
+    // ordering: relaxed — this justification is one line out of reach.
+    //
+    //
+    flag.load(Ordering::Relaxed)
+}
+
+// None of the matches below may fire: they sit in comments or strings.
+// .lock().unwrap() — comment
+const DOC: &str = "use std::sync::Mutex; m.lock().unwrap(); Ordering::SeqCst";
+
+fn justified(flag: &AtomicBool) -> bool {
+    // ordering: SeqCst — a fixture justification inside reach.
+    flag.load(Ordering::SeqCst)
+}
+
+fn io_read_takes_args_and_is_fine(r: &mut impl std::io::Read, buf: &mut [u8]) {
+    r.read(buf).unwrap();
+}

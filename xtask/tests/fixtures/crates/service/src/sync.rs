@@ -1,0 +1,3 @@
+// Facade fixture: `sync.rs` is the one sanctioned home for std::sync in
+// a facade-covered crate, so nothing here may fire.
+pub use std::sync::Mutex;
