@@ -50,6 +50,7 @@
 //!   points so all of this is testable (`tests/robustness.rs`).
 
 use crate::audit::AuditSample;
+use crate::batcher;
 use crate::cache::Cache;
 use crate::fault::{lock_recover, read_recover, write_recover, FaultPoint, FaultRegistry};
 use crate::metrics_registry::ExpositionBuilder;
@@ -57,7 +58,7 @@ use crate::query::{AlgoSpec, MeasureSpec, QueryRequest, QueryResponse};
 use crate::stats::{ServeStats, StatsSnapshot};
 use crate::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use crate::sync::mpsc::{
-    channel, sync_channel, Receiver, Sender, SyncSender, TryRecvError, TrySendError,
+    channel, sync_channel, Receiver, SendError, Sender, SyncSender, TrySendError,
 };
 use crate::sync::{Arc, Mutex, RwLock};
 use crate::trace::{SlowQueryRecord, TraceReport};
@@ -555,6 +556,18 @@ pub struct EngineConfig {
     /// environment hatch; `Some("")` forces a disarmed registry
     /// regardless of the environment. Tunable live via `configure`.
     pub faults: Option<String>,
+    /// Upper bound, microseconds, on how long a worker that already
+    /// holds at least one job may wait for more arrivals before
+    /// dispatching (the shared micro-batcher window; see
+    /// [`crate::batcher`]). The wait actually used adapts to load —
+    /// `min(batch_window_us, latency_p50 / 8)`, further capped by the
+    /// first job's deadline — so an idle engine dispatches immediately
+    /// and only a busy one pays a small coalescing delay to recover
+    /// cold-path batching across many workers. 0 disables holding
+    /// (PR 9 behavior: drain-what's-queued only). Only engines with
+    /// ≥ 2 workers hold — a single worker batches naturally via its
+    /// own backlog. Tunable live through [`QueryEngine::configure`].
+    pub batch_window_us: u64,
 }
 
 impl Default for EngineConfig {
@@ -571,6 +584,7 @@ impl Default for EngineConfig {
             max_queue_depth: 0,
             default_deadline_ms: 0,
             faults: None,
+            batch_window_us: 2_000,
         }
     }
 }
@@ -608,6 +622,8 @@ pub struct ConfigUpdate {
     /// [`crate::fault`] for the grammar). Invalid specs are rejected
     /// without changing anything.
     pub faults: Option<String>,
+    /// Micro-batcher hold window cap, microseconds (0 disables holding).
+    pub batch_window_us: Option<u64>,
 }
 
 /// Point-in-time view of the live engine configuration.
@@ -637,6 +653,8 @@ pub struct ConfigView {
     pub default_deadline_ms: u64,
     /// The fault-injection spec currently armed (empty = disarmed).
     pub faults: String,
+    /// Micro-batcher hold window cap, microseconds (0 = disabled).
+    pub batch_window_us: u64,
 }
 
 /// A submitted request's pending answer.
@@ -652,6 +670,85 @@ impl PendingQuery {
     /// dropped the request entirely (worker died holding it).
     pub fn wait(self) -> Result<QueryResponse, ServiceError> {
         self.rx.recv().map_err(|_| ServiceError::Canceled)?
+    }
+}
+
+/// A completion to run with a job's answer. Runs on the worker thread
+/// that finished the job, so it must be quick and must not panic —
+/// the reactor's completion pushes onto a queue and wakes the poller.
+pub type CompletionFn = Box<dyn FnOnce(Result<QueryResponse, ServiceError>) + Send + 'static>;
+
+enum ReplySink {
+    /// The blocking channel a [`PendingQuery`] waits on.
+    Channel(Sender<Result<QueryResponse, ServiceError>>),
+    /// A callback invoked on the worker thread (reactor serving).
+    Callback(CompletionFn),
+}
+
+/// How a job's answer gets back to its requester. Delivery is
+/// guaranteed: a `Reply` dropped unused — a worker died holding the
+/// job, a fault ate the response, shutdown lost a drained batch —
+/// delivers [`ServiceError::Canceled`] from `Drop`, so a callback
+/// requester (the reactor, which must retire every in-flight id to
+/// drain its connections) always hears back exactly once.
+struct Reply {
+    sink: Option<ReplySink>,
+}
+
+impl Reply {
+    fn channel(tx: Sender<Result<QueryResponse, ServiceError>>) -> Reply {
+        Reply {
+            sink: Some(ReplySink::Channel(tx)),
+        }
+    }
+
+    fn callback(f: CompletionFn) -> Reply {
+        Reply {
+            sink: Some(ReplySink::Callback(f)),
+        }
+    }
+
+    /// Delivers the answer. Best-effort on the channel path (the
+    /// requester may have given up and dropped the receiver).
+    fn deliver(mut self, result: Result<QueryResponse, ServiceError>) {
+        match self.sink.take() {
+            Some(ReplySink::Channel(tx)) => {
+                let _ = tx.send(result);
+            }
+            Some(ReplySink::Callback(f)) => f(result),
+            None => {}
+        }
+    }
+
+    /// Defuses the drop guard without delivering anything. Used on
+    /// synchronous submit failures, where the error goes back through
+    /// the `Result` return instead (a completion must never fire for a
+    /// request whose submit returned `Err`).
+    fn disarm(&mut self) {
+        self.sink = None;
+    }
+}
+
+impl Drop for Reply {
+    fn drop(&mut self) {
+        match self.sink.take() {
+            Some(ReplySink::Channel(tx)) => {
+                let _ = tx.send(Err(ServiceError::Canceled));
+            }
+            Some(ReplySink::Callback(f)) => f(Err(ServiceError::Canceled)),
+            None => {}
+        }
+    }
+}
+
+impl std::fmt::Debug for Reply {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let kind = match &self.sink {
+            Some(ReplySink::Channel(_)) => "channel",
+            Some(ReplySink::Callback(_)) => "callback",
+            None => "delivered",
+        };
+        f.debug_tuple("Reply").field(&kind).finish()
     }
 }
 
@@ -675,7 +772,7 @@ struct Job {
     /// NOT enter the cache key — a deadline changes *whether* work runs,
     /// never its answer.
     deadline: Option<Instant>,
-    reply: Sender<Result<QueryResponse, ServiceError>>,
+    reply: Reply,
 }
 
 impl Job {
@@ -710,6 +807,8 @@ struct Runtime {
     max_queue_depth: AtomicUsize,
     /// Default per-request deadline, milliseconds; 0 means none.
     default_deadline_ms: AtomicU64,
+    /// Micro-batcher hold window cap, microseconds; 0 disables holding.
+    batch_window_us: AtomicU64,
 }
 
 impl Runtime {
@@ -842,6 +941,7 @@ impl QueryEngine {
                 audit_sample: AtomicU64::new(config.audit_sample.to_bits()),
                 max_queue_depth: AtomicUsize::new(config.max_queue_depth),
                 default_deadline_ms: AtomicU64::new(config.default_deadline_ms),
+                batch_window_us: AtomicU64::new(config.batch_window_us),
             },
             workers: config.workers,
             queue: Mutex::new(rx),
@@ -936,7 +1036,92 @@ impl QueryEngine {
         trace: bool,
         deadline: Option<Duration>,
     ) -> Result<PendingQuery, ServiceError> {
+        let (reply_tx, reply_rx) = channel();
+        self.admit(request, trace, deadline, Reply::channel(reply_tx))?;
+        Ok(PendingQuery { rx: reply_rx })
+    }
+
+    /// [`QueryEngine::submit_with_deadline`] for callers that cannot
+    /// block — the reactor serve path. Instead of returning a handle to
+    /// `wait` on, the engine runs `completion` with the answer on the
+    /// worker thread that finishes the job. The completion fires
+    /// **exactly once** for every admitted request, no matter how the
+    /// job ends (answered, deadline-expired, worker panic, fault-eaten
+    /// response, shutdown drain — the last three deliver
+    /// [`ServiceError::Canceled`]); it must be quick and panic-free. A
+    /// submit that returns `Err` was *not* admitted and the completion
+    /// is dropped without running — synchronous errors travel on the
+    /// return value only.
+    pub fn submit_with_completion(
+        &self,
+        request: QueryRequest,
+        trace: bool,
+        deadline: Option<Duration>,
+        completion: CompletionFn,
+    ) -> Result<(), ServiceError> {
+        self.admit(request, trace, deadline, Reply::callback(completion))
+    }
+
+    /// Shared admission path: validation, snapshot pinning, the
+    /// admission gate, and the enqueue. On `Err` the reply is disarmed —
+    /// never delivered — so the error surfaces exactly once, through the
+    /// return value.
+    fn admit(
+        &self,
+        request: QueryRequest,
+        trace: bool,
+        deadline: Option<Duration>,
+        mut reply: Reply,
+    ) -> Result<(), ServiceError> {
         let admit_start = Instant::now();
+        let admitted = match self.preflight(&request) {
+            Ok(snapshot) => snapshot,
+            Err(e) => {
+                reply.disarm();
+                return Err(e);
+            }
+        };
+        let deadline = deadline.or_else(|| {
+            let ms = self
+                .inner
+                .runtime
+                .default_deadline_ms
+                .load(Ordering::Relaxed); // ordering: relaxed config cell
+            (ms > 0).then(|| Duration::from_millis(ms))
+        });
+        let job = Job {
+            key: admitted.cache_key_under(&request, self.inner.runtime.quantize()),
+            admitted,
+            request,
+            submitted: Instant::now(),
+            admit_ns: admit_start.elapsed().as_nanos() as u64,
+            trace,
+            deadline: deadline.map(|d| Instant::now() + d),
+            reply,
+        };
+        let guard = lock_recover(&self.sender);
+        let Some(tx) = guard.as_ref() else {
+            let mut job = job;
+            job.reply.disarm();
+            return Err(ServiceError::ShuttingDown);
+        };
+        match tx.send(job) {
+            Ok(()) => {
+                self.inner.stats.record_admitted();
+                self.inner.stats.queue_depth().add(1);
+                Ok(())
+            }
+            Err(SendError(mut job)) => {
+                job.reply.disarm();
+                Err(ServiceError::ShuttingDown)
+            }
+        }
+    }
+
+    /// The synchronous half of admission: request validation, snapshot
+    /// pinning, and the shed gate. Factored out of [`Self::admit`] so
+    /// the error paths stay `?`-shaped without touching the reply guard.
+    fn preflight(&self, request: &QueryRequest) -> Result<Arc<EpochSnapshot>, ServiceError> {
         if request.query.is_empty() {
             return Err(ServiceError::InvalidRequest("empty query".into()));
         }
@@ -964,34 +1149,7 @@ impl QueryEngine {
                 });
             }
         }
-
-        let deadline = deadline.or_else(|| {
-            let ms = self
-                .inner
-                .runtime
-                .default_deadline_ms
-                .load(Ordering::Relaxed); // ordering: relaxed config cell
-            (ms > 0).then(|| Duration::from_millis(ms))
-        });
-        let (reply_tx, reply_rx) = channel();
-        let job = Job {
-            key: admitted.cache_key_under(&request, self.inner.runtime.quantize()),
-            admitted,
-            request,
-            submitted: Instant::now(),
-            admit_ns: admit_start.elapsed().as_nanos() as u64,
-            trace,
-            deadline: deadline.map(|d| Instant::now() + d),
-            reply: reply_tx,
-        };
-        let guard = lock_recover(&self.sender);
-        let Some(tx) = guard.as_ref() else {
-            return Err(ServiceError::ShuttingDown);
-        };
-        tx.send(job).map_err(|_| ServiceError::ShuttingDown)?;
-        self.inner.stats.record_admitted();
-        self.inner.stats.queue_depth().add(1);
-        Ok(PendingQuery { rx: reply_rx })
+        Ok(admitted)
     }
 
     /// Back-off hint for shed requests: roughly how long the current
@@ -1014,6 +1172,12 @@ impl QueryEngine {
     /// Current aggregate statistics.
     pub fn stats(&self) -> StatsSnapshot {
         self.inner.stats.snapshot()
+    }
+
+    /// The live stats registry, for the serving layer's own recorders
+    /// (accept errors, open connections).
+    pub(crate) fn serve_stats(&self) -> &ServeStats {
+        &self.inner.stats
     }
 
     /// The hot-swap cell holding the serving snapshot.
@@ -1144,6 +1308,12 @@ impl QueryEngine {
                 .default_deadline_ms
                 .store(ms, Ordering::Relaxed); // ordering: relaxed config cell
         }
+        if let Some(us) = update.batch_window_us {
+            self.inner
+                .runtime
+                .batch_window_us
+                .store(us, Ordering::Relaxed); // ordering: relaxed config cell
+        }
         if let Some(spec) = &update.faults {
             self.inner
                 .faults
@@ -1184,6 +1354,7 @@ impl QueryEngine {
                 .default_deadline_ms
                 .load(Ordering::Relaxed), // ordering: relaxed config read
             faults: self.inner.faults.spec(),
+            batch_window_us: self.inner.runtime.batch_window_us.load(Ordering::Relaxed), // ordering: relaxed config read
         }
     }
 
@@ -1363,6 +1534,16 @@ impl QueryEngine {
             "Worker threads respawned by the supervisor.",
             snap.worker_restarts,
         );
+        b.counter(
+            "simsub_accept_errors_total",
+            "Failed accept() calls the serving layer survived.",
+            snap.accept_errors,
+        );
+        b.gauge(
+            "simsub_open_connections",
+            "Connections the serving layer currently holds open.",
+            snap.open_connections as f64,
+        );
         b.gauge(
             "simsub_faults_armed",
             "1 when at least one fault-injection point is armed.",
@@ -1478,9 +1659,14 @@ fn worker_loop(inner: &Inner, worker: usize) {
         // any job is held, so the supervisor's respawn path is exercised
         // without losing work.
         inner.faults.maybe_panic(FaultPoint::PanicInWorker);
-        // Block for one job, then opportunistically coalesce whatever else
-        // is already queued, up to the batch cap. The queue lock is held
-        // only while draining — never during search work.
+        // Block for one job, then coalesce more into the batch: whatever
+        // is already queued, and — on multi-worker engines — arrivals
+        // within a short adaptive hold window (the shared micro-batcher;
+        // see `crate::batcher` for why N idle workers destroy batching
+        // without it). The queue lock is held while draining and holding
+        // — that is what makes the batcher *shared*: the holding worker
+        // collects the burst instead of N peers splitting it into
+        // singletons — but never during search work.
         let mut jobs: Vec<Job> = Vec::new();
         // ordering: relaxed — config cell; a racing configure applies to the next batch.
         let max_batch = inner.runtime.max_batch.load(Ordering::Relaxed).max(1);
@@ -1494,12 +1680,19 @@ fn worker_loop(inner: &Inner, worker: usize) {
                 }
                 Err(_) => return, // channel closed and drained: shutdown
             }
-            while jobs.len() < max_batch {
-                match rx.try_recv() {
-                    Ok(job) => jobs.push(job),
-                    Err(TryRecvError::Empty | TryRecvError::Disconnected) => break,
-                }
-            }
+            let hold_until = if inner.workers > 1 {
+                // ordering: relaxed — config cell; a racing configure applies to the next batch.
+                let cap_us = inner.runtime.batch_window_us.load(Ordering::Relaxed);
+                batcher::hold_until(
+                    busy_start,
+                    cap_us,
+                    inner.stats.latency_p50_us(),
+                    jobs[0].deadline,
+                )
+            } else {
+                None
+            };
+            batcher::fill(&rx, &mut jobs, max_batch, hold_until);
         }
         let batch_size = jobs.len();
         inner.stats.queue_depth().add(-(batch_size as i64));
@@ -1760,8 +1953,7 @@ fn process_batch(inner: &Inner, jobs: Vec<Job>, timing: &BatchTiming) {
 }
 
 /// Fails one drained job with a structured error: counts it, releases
-/// its inflight slot, and answers its waiter. The send is best-effort —
-/// the requester may have given up.
+/// its inflight slot, and answers its waiter.
 fn fail_job(inner: &Inner, job: Job, err: ServiceError) {
     match &err {
         ServiceError::DeadlineExceeded => inner.stats.record_deadline_expired(),
@@ -1769,7 +1961,7 @@ fn fail_job(inner: &Inner, job: Job, err: ServiceError) {
         _ => {}
     }
     inner.stats.inflight().add(-1);
-    let _ = job.reply.send(Err(err));
+    job.reply.deliver(Err(err));
 }
 
 /// Maybe enqueues one cold answer for the background quality auditor:
@@ -1819,8 +2011,9 @@ fn respond(
     scan: Option<&ScanTiming>,
 ) {
     // Chaos hook: lose the answer instead of sending it. The waiter
-    // observes a canceled request (mapped to `internal` on the wire), and
-    // the loss is counted so stats still reconcile.
+    // observes a canceled request (mapped to `internal` on the wire —
+    // `Reply`'s drop guard converts the discarded job into a `Canceled`
+    // delivery), and the loss is counted so stats still reconcile.
     if inner.faults.fire(FaultPoint::DropResponse) {
         inner.stats.record_internal_error();
         inner.stats.inflight().add(-1);
@@ -1867,13 +2060,13 @@ fn respond(
         }
         inner.stats.record_slow_query();
     }
-    // The requester may have given up (dropped the receiver); that's fine.
-    let _ = job.reply.send(Ok(QueryResponse {
+    let epoch = job.admitted.epoch;
+    job.reply.deliver(Ok(QueryResponse {
         results,
         cached,
         latency,
         batch_size: timing.size,
-        epoch: job.admitted.epoch,
+        epoch,
         trace,
     }));
 }
@@ -2005,6 +2198,7 @@ mod tests {
             .configure(ConfigUpdate {
                 prune: Some(false),
                 max_batch: Some(4),
+                batch_window_us: Some(1_500),
                 cache_capacity: Some(2),
                 default_k: Some(7),
                 cache_key_quantize: Some(0.25),
@@ -2019,6 +2213,7 @@ mod tests {
         assert_eq!(view.max_batch, 4);
         assert_eq!(view.cache_capacity, 2);
         assert_eq!(view.default_k, 7);
+        assert_eq!(view.batch_window_us, 1_500);
         assert_eq!(view.cache_key_quantize, Some(0.25));
         assert_eq!(view.slow_query_us, 5000);
         assert_eq!(view.audit_sample, 0.5);

@@ -9,7 +9,9 @@
 //!
 //! | module | contents |
 //! |--------|----------|
-//! | [`engine`] | [`QueryEngine`]: worker pool, MPSC queue, micro-batching, graceful shutdown; [`Corpus`]: single vs. sharded corpus snapshots; [`EngineHandle`]: epoch-versioned hot-swap cell ([`QueryEngine::swap_snapshot`] = live reload); bulkheads: panic-isolated dispatch, worker supervision, bounded admission with deadlines |
+//! | [`engine`] | [`QueryEngine`]: worker pool, MPSC queue, micro-batching, graceful shutdown; [`Corpus`]: single vs. sharded corpus snapshots; [`EngineHandle`]: epoch-versioned hot-swap cell ([`QueryEngine::swap_snapshot`] = live reload); bulkheads: panic-isolated dispatch, worker supervision, bounded admission with deadlines; completion-based submission ([`QueryEngine::submit_with_completion`]) for non-blocking callers |
+//! | `batcher` (private) | the shared micro-batcher: windowed queue drain that recovers cold-path batching on multi-worker pools |
+//! | `reactor` (private) | readiness-polled serve loop (epoll via the vendored `polling` shim): 10k+ connections on one thread, pipelined out-of-order responses by wire-v2 `"id"` |
 //! | [`fault`] | named fault-injection points for chaos testing (`SIMSUB_FAULTS`, admin `configure`); zero-cost when disarmed |
 //! | [`query`] | request/response model, canonical query hash |
 //! | [`cache`] | O(1) LRU result cache with epoch-stamped entries |
@@ -55,25 +57,28 @@
 //! ```
 
 mod audit;
+mod batcher;
 pub mod cache;
 pub mod engine;
 pub mod fault;
 pub mod json;
 pub mod metrics_registry;
 pub mod query;
+mod reactor;
 pub mod server;
 pub mod stats;
 pub mod sync;
 pub mod trace;
 
 pub use engine::{
-    ConfigUpdate, ConfigView, Corpus, CorpusSnapshot, EngineConfig, EngineHandle, EpochSnapshot,
-    PendingQuery, QueryEngine, ServiceError, ShutdownReport, SwapReport,
+    CompletionFn, ConfigUpdate, ConfigView, Corpus, CorpusSnapshot, EngineConfig, EngineHandle,
+    EpochSnapshot, PendingQuery, QueryEngine, ServiceError, ShutdownReport, SwapReport,
 };
 pub use fault::{FaultPoint, FaultRegistry};
 pub use json::ProtocolVersion;
 pub use metrics_registry::{Counter, Gauge, Histogram, HistogramSnapshot};
+pub use polling::raise_nofile_limit;
 pub use query::{AlgoSpec, MeasureSpec, QueryRequest, QueryResponse};
-pub use server::{Server, StopHandle};
+pub use server::{IoModel, Server, StopHandle};
 pub use stats::{ServeStats, StatsSnapshot};
 pub use trace::{SlowQueryRecord, TraceReport};

@@ -34,6 +34,37 @@
 //! Structured errors follow the envelope rules of the request's version
 //! like any other response (v2 lines get `"v"`/`"id"`/`"epoch"`).
 //!
+//! ## Connection models & response ordering
+//!
+//! The server runs one of two io-models (`simsub serve --io-model`, env
+//! `SIMSUB_IO_MODEL`, default `reactor`):
+//!
+//! - **`reactor`** — one readiness-polled thread (epoll via the vendored
+//!   `polling` shim) owns every connection: nonblocking sockets,
+//!   per-connection buffers, newline framing across partial reads,
+//!   write-interest re-arming on partial writes. Scales to tens of
+//!   thousands of idle connections without per-connection threads, and
+//!   a pipelined connection can have many queries in flight at once.
+//! - **`threads`** — the legacy thread-per-connection loop (blocking
+//!   reads, one OS thread per client). Byte-identical responses.
+//!
+//! **Ordering contract (normative for both models):**
+//!
+//! - A response to a request that carried an `"id"` (wire v2) is matched
+//!   to its request *by the echoed `"id"`, never by arrival order*. A
+//!   pipelined connection may send many such requests before reading;
+//!   the server may answer them **out of order** — fast queries overtake
+//!   a slow head-of-line query. Every admitted request gets exactly one
+//!   response.
+//! - Requests *without* an `"id"` — every v1 line, and v2 lines that
+//!   omit it — are answered **strictly in submission order** relative to
+//!   each other, on both io-models, forever. Clients that never send
+//!   ids keep matching responses by counting lines, exactly as before
+//!   v2 existed.
+//!
+//! The `threads` model happens to never reorder anything (it is strictly
+//! sequential); the contract above is what clients may *rely* on.
+//!
 //! ## Versioning (protocol v2)
 //!
 //! - A request line may carry `"v": 1|2` and (v2 only) an `"id"` — any
@@ -117,6 +148,8 @@
 //!   finish against the old snapshot; queries admitted after the swap
 //!   see the new one. Nothing restarts, no connection drops.
 //! - `{"cmd":"configure"}` with any of `"prune":bool`, `"max_batch":N`,
+//!   `"batch_window_us":N` (shared micro-batcher coalescing window cap
+//!   in µs; 0 disables holding, see `crate::batcher`),
 //!   `"cache_capacity":N`, `"default_k":N`, `"cache_key_quantize":Q`,
 //!   `"slow_query_us":N` (0 disables the slow-query log),
 //!   `"audit_sample":F` (fraction in `[0,1]`, 0 disables auditing),
@@ -166,7 +199,7 @@
 use crate::engine::{ConfigUpdate, CorpusSnapshot, QueryEngine, ServiceError};
 use crate::fault::lock_recover;
 use crate::json::{obj, Json, ProtocolVersion};
-use crate::query::QueryRequest;
+use crate::query::{QueryRequest, QueryResponse};
 use crate::sync::atomic::{AtomicBool, Ordering};
 use crate::sync::{Arc, Mutex};
 use simsub_core::MdpConfig;
@@ -177,42 +210,141 @@ use std::path::Path;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+/// How the server multiplexes connections; see the module docs
+/// ("Connection models & response ordering"). Responses are
+/// byte-identical across models — only scheduling differs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IoModel {
+    /// One readiness-polled thread owns every connection (epoll via the
+    /// vendored `polling` shim). The default: 10k+ connections without
+    /// per-connection threads, pipelined out-of-order responses.
+    Reactor,
+    /// The legacy blocking loop: one OS thread per connection.
+    Threads,
+}
+
+impl IoModel {
+    /// Reads `SIMSUB_IO_MODEL` (`reactor` / `threads`); unset or
+    /// unrecognized values fall back to the reactor with a warning.
+    pub fn from_env() -> IoModel {
+        match std::env::var("SIMSUB_IO_MODEL") {
+            Ok(v) => v.parse().unwrap_or_else(|e: String| {
+                eprintln!("simsub: {e}; serving with the reactor");
+                IoModel::Reactor
+            }),
+            Err(_) => IoModel::Reactor,
+        }
+    }
+}
+
+impl std::str::FromStr for IoModel {
+    type Err = String;
+    fn from_str(s: &str) -> Result<IoModel, String> {
+        match s {
+            "reactor" => Ok(IoModel::Reactor),
+            "threads" => Ok(IoModel::Threads),
+            other => Err(format!(
+                "unknown io model {other:?} (expected \"reactor\" or \"threads\")"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for IoModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            IoModel::Reactor => "reactor",
+            IoModel::Threads => "threads",
+        })
+    }
+}
+
 /// A running TCP server wrapping a [`QueryEngine`].
 pub struct Server {
     engine: Arc<QueryEngine>,
     local_addr: std::net::SocketAddr,
     stop: Arc<AtomicBool>,
-    accept_thread: Option<JoinHandle<()>>,
+    serve_thread: Option<JoinHandle<()>>,
+    io_model: IoModel,
+    /// Kicks the reactor out of its poll wait when `stop` flips, so
+    /// [`Server::stop`] takes effect immediately instead of at the next
+    /// poll timeout. `None` under the threads model.
+    waker: Option<Arc<polling::Waker>>,
 }
 
 impl Server {
     /// Binds `addr` (e.g. `"127.0.0.1:7878"`; port 0 picks a free port)
-    /// and starts accepting connections.
+    /// and starts accepting connections under the io-model selected by
+    /// `SIMSUB_IO_MODEL` (default: [`IoModel::Reactor`]).
     pub fn bind(engine: Arc<QueryEngine>, addr: &str) -> std::io::Result<Server> {
+        Server::bind_with(engine, addr, IoModel::from_env())
+    }
+
+    /// Binds `addr` under an explicit io-model. Asking for the reactor
+    /// on a platform without readiness polling falls back to the
+    /// threads model (with a warning) rather than failing the bind.
+    pub fn bind_with(
+        engine: Arc<QueryEngine>,
+        addr: &str,
+        io_model: IoModel,
+    ) -> std::io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
-        // Non-blocking accept so the loop can observe the stop flag.
+        // Non-blocking accept in both models: the reactor polls for
+        // readiness, the legacy loop polls the stop flag.
         listener.set_nonblocking(true)?;
         let stop = Arc::new(AtomicBool::new(false));
-        let accept_thread = {
+        let parts = match io_model {
+            IoModel::Reactor => match crate::reactor::ReactorParts::new() {
+                Ok(parts) => Some(parts),
+                Err(e) => {
+                    eprintln!(
+                        "simsub: readiness polling unavailable ({e}); \
+                         falling back to thread-per-connection"
+                    );
+                    None
+                }
+            },
+            IoModel::Threads => None,
+        };
+        let io_model = if parts.is_some() {
+            IoModel::Reactor
+        } else {
+            IoModel::Threads
+        };
+        let waker = parts.as_ref().map(|p| Arc::clone(&p.waker));
+        let serve_thread = {
             let engine = Arc::clone(&engine);
             let stop = Arc::clone(&stop);
-            std::thread::Builder::new()
-                .name("simsub-accept".into())
-                .spawn(move || accept_loop(&listener, &engine, &stop))
-                .expect("spawning accept thread")
+            match parts {
+                Some(parts) => std::thread::Builder::new()
+                    .name("simsub-reactor".into())
+                    .spawn(move || crate::reactor::run(parts, listener, &engine, &stop))
+                    .expect("spawning reactor thread"),
+                None => std::thread::Builder::new()
+                    .name("simsub-accept".into())
+                    .spawn(move || accept_loop(&listener, &engine, &stop))
+                    .expect("spawning accept thread"),
+            }
         };
         Ok(Server {
             engine,
             local_addr,
             stop,
-            accept_thread: Some(accept_thread),
+            serve_thread: Some(serve_thread),
+            io_model,
+            waker,
         })
     }
 
     /// The bound address (useful with port 0).
     pub fn local_addr(&self) -> std::net::SocketAddr {
         self.local_addr
+    }
+
+    /// The io-model actually serving (after any platform fallback).
+    pub fn io_model(&self) -> IoModel {
+        self.io_model
     }
 
     /// True once a `shutdown` command (or [`Server::stop`]) was seen.
@@ -225,6 +357,9 @@ impl Server {
     pub fn stop(&self) {
         // ordering: SeqCst — cold stop flag; strongest order keeps shutdown reasoning simple.
         self.stop.store(true, Ordering::SeqCst);
+        if let Some(waker) = &self.waker {
+            let _ = waker.wake();
+        }
     }
 
     /// A clonable handle that can request (and observe) the stop from
@@ -234,14 +369,14 @@ impl Server {
         StopHandle(Arc::clone(&self.stop))
     }
 
-    /// Blocks until the server stops: joins the accept loop (which joins
+    /// Blocks until the server stops: joins the serve loop (which drains
     /// every connection), then drains and shuts down the engine. A
-    /// panicked accept thread is reported, not propagated — the engine
+    /// panicked serve thread is reported, not propagated — the engine
     /// drain still runs.
     pub fn wait(mut self) {
-        if let Some(handle) = self.accept_thread.take() {
+        if let Some(handle) = self.serve_thread.take() {
             if handle.join().is_err() {
-                eprintln!("simsub: accept thread panicked");
+                eprintln!("simsub: serve thread panicked");
             }
         }
         self.engine.shutdown();
@@ -251,9 +386,9 @@ impl Server {
 impl Drop for Server {
     fn drop(&mut self) {
         self.stop();
-        if let Some(handle) = self.accept_thread.take() {
+        if let Some(handle) = self.serve_thread.take() {
             if handle.join().is_err() {
-                eprintln!("simsub: accept thread panicked");
+                eprintln!("simsub: serve thread panicked");
             }
         }
     }
@@ -277,6 +412,12 @@ impl StopHandle {
     }
 }
 
+/// `accept(2)` errno values that mean "file descriptors exhausted":
+/// transient starvation, not a dead listener — back off and keep serving.
+pub(crate) const ENFILE: i32 = 23;
+/// See [`ENFILE`].
+pub(crate) const EMFILE: i32 = 24;
+
 fn accept_loop(listener: &TcpListener, engine: &Arc<QueryEngine>, stop: &Arc<AtomicBool>) {
     let connections: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::default();
     // ordering: SeqCst — cold stop flag; strongest order keeps shutdown reasoning simple.
@@ -288,9 +429,11 @@ fn accept_loop(listener: &TcpListener, engine: &Arc<QueryEngine>, stop: &Arc<Ato
                 let handle = std::thread::Builder::new()
                     .name("simsub-conn".into())
                     .spawn(move || {
+                        engine.serve_stats().open_connections().add(1);
                         // Errors are per-connection: a broken client must
                         // not take the server down.
                         let _ = serve_connection(stream, &engine, &stop);
+                        engine.serve_stats().open_connections().add(-1);
                     })
                     .expect("spawning connection thread");
                 let mut connections = lock_recover(&connections);
@@ -302,7 +445,26 @@ fn accept_loop(listener: &TcpListener, engine: &Arc<QueryEngine>, stop: &Arc<Ato
             Err(e) if e.kind() == ErrorKind::WouldBlock => {
                 std::thread::sleep(Duration::from_millis(10));
             }
-            Err(_) => break,
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) => {
+                engine.serve_stats().record_accept_error();
+                match e.raw_os_error() {
+                    // EMFILE/ENFILE: the process (or host) is out of fds.
+                    // Established connections closing will free some —
+                    // back off and keep serving instead of killing the
+                    // accept loop (and with it every future client).
+                    Some(EMFILE | ENFILE) => {
+                        std::thread::sleep(Duration::from_millis(100));
+                    }
+                    // A connection that died between accept readiness and
+                    // accept() is the peer's problem, not ours.
+                    _ if e.kind() == ErrorKind::ConnectionAborted => {}
+                    _ => {
+                        eprintln!("simsub: accept failed, stopping listener: {e}");
+                        break;
+                    }
+                }
+            }
         }
     }
     for handle in lock_recover(&connections).drain(..) {
@@ -385,7 +547,7 @@ fn serve_connection(
 
 /// Upper bound on one request line; a client streaming data without a
 /// newline must not be able to grow the buffer without limit.
-const MAX_LINE_BYTES: usize = 4 << 20;
+pub(crate) const MAX_LINE_BYTES: usize = 4 << 20;
 
 /// Discards the remainder of an oversized line in bounded chunks.
 /// `Ok(true)` once the terminating newline is consumed (the connection
@@ -418,20 +580,24 @@ fn drain_oversized_line(
     }
 }
 
-/// The structured `request_too_large` error (see the module docs): sent
-/// in place of the oversized line's response; the connection stays open.
-fn request_too_large_response(writer: &mut TcpStream) -> std::io::Result<()> {
-    let response = obj(vec![
+/// The structured `request_too_large` error body (see the module docs):
+/// sent in place of the oversized line's response; the connection stays
+/// open.
+pub(crate) fn request_too_large_body() -> Json {
+    obj(vec![
         ("ok", Json::Bool(false)),
         ("error", Json::Str("request_too_large".into())),
         ("limit_bytes", Json::Num(MAX_LINE_BYTES as f64)),
-    ]);
-    writer.write_all(response.dump().as_bytes())?;
+    ])
+}
+
+fn request_too_large_response(writer: &mut TcpStream) -> std::io::Result<()> {
+    writer.write_all(request_too_large_body().dump().as_bytes())?;
     writer.write_all(b"\n")?;
     writer.flush()
 }
 
-fn error_response(msg: &str) -> Json {
+pub(crate) fn error_response(msg: &str) -> Json {
     obj(vec![
         ("ok", Json::Bool(false)),
         ("error", Json::Str(msg.into())),
@@ -450,7 +616,7 @@ fn internal_error_response(detail: &str) -> Json {
 /// Maps an engine error onto the wire error contract: the structured
 /// tokens for overload/deadline/internal conditions, legacy free-text
 /// for validation and shutdown.
-fn service_error_response(e: &ServiceError) -> Json {
+pub(crate) fn service_error_response(e: &ServiceError) -> Json {
     match e {
         ServiceError::Overloaded { retry_after_ms } => obj(vec![
             ("ok", Json::Bool(false)),
@@ -469,24 +635,64 @@ fn service_error_response(e: &ServiceError) -> Json {
     }
 }
 
-fn handle_line(line: &str, engine: &QueryEngine, stop: &AtomicBool) -> Json {
+/// One request line, classified: its envelope (version + optional id)
+/// plus what has to happen to produce the response body.
+pub(crate) struct LineOutcome {
+    pub(crate) version: ProtocolVersion,
+    pub(crate) id: Option<Json>,
+    pub(crate) job: LineJob,
+}
+
+/// The work a request line calls for. Splitting classification from
+/// execution lets the blocking loop and the reactor share one parser:
+/// the blocking loop executes each job inline, the reactor submits
+/// queries with a completion and runs `reload` off the polling thread.
+pub(crate) enum LineJob {
+    /// The body is ready now (commands, validation errors). The caller
+    /// wraps it in the version envelope with the current engine epoch.
+    Immediate(Json),
+    /// `shutdown`: deliver the body, then set the stop flag.
+    Shutdown(Json),
+    /// `reload`, carrying the parsed command: heavy (file reads + index
+    /// build), so the reactor must not run it on the polling thread.
+    Reload(Json),
+    /// A query to submit to the engine.
+    Query {
+        request: QueryRequest,
+        trace: bool,
+        deadline: Option<Duration>,
+    },
+}
+
+pub(crate) fn classify_line(line: &str, engine: &QueryEngine) -> LineOutcome {
+    // Unparseable lines have no trustworthy envelope: answer in v1
+    // (whose envelope is the identity, preserving the legacy bytes).
+    let v1_error = |body: Json| LineOutcome {
+        version: ProtocolVersion::V1,
+        id: None,
+        job: LineJob::Immediate(body),
+    };
     let parsed = match Json::parse(line) {
         Ok(v) => v,
-        // Unparseable lines have no trustworthy envelope: answer in v1.
-        Err(e) => return error_response(&format!("bad json: {e}")),
+        Err(e) => return v1_error(error_response(&format!("bad json: {e}"))),
     };
     let (version, id) = match ProtocolVersion::of_request(&parsed) {
         Ok(envelope) => envelope,
-        Err(e) => return error_response(&e),
+        Err(e) => return v1_error(error_response(&e)),
     };
-    let body = if let Some(cmd) = parsed.get("cmd").and_then(Json::as_str) {
+    let job = if let Some(cmd) = parsed.get("cmd").and_then(Json::as_str) {
         if cmd == "shutdown" {
-            // ordering: SeqCst — cold stop flag; strongest order keeps shutdown reasoning simple.
-            stop.store(true, Ordering::SeqCst);
-            obj(vec![("ok", Json::Bool(true)), ("bye", Json::Bool(true))])
+            LineJob::Shutdown(obj(vec![
+                ("ok", Json::Bool(true)),
+                ("bye", Json::Bool(true)),
+            ]))
+        } else if cmd == "reload" {
+            LineJob::Reload(parsed)
         } else {
-            handle_admin_command(engine, &parsed)
-                .unwrap_or_else(|| error_response(&format!("unknown cmd {cmd:?}")))
+            LineJob::Immediate(
+                handle_admin_command(engine, &parsed)
+                    .unwrap_or_else(|| error_response(&format!("unknown cmd {cmd:?}"))),
+            )
         }
     } else {
         // Tracing is v2-only: the trace object is an appended body field,
@@ -509,32 +715,71 @@ fn handle_line(line: &str, engine: &QueryEngine, stop: &AtomicBool) -> Json {
             QueryRequest::from_json_with(&parsed, engine.default_k()),
             deadline,
         ) {
-            (Err(e), _) => error_response(&e),
-            (Ok(_), Err(e)) => error_response(e),
-            (Ok(request), Ok(deadline)) => {
-                match engine
-                    .submit_with_deadline(request, trace_requested, deadline)
-                    .and_then(crate::engine::PendingQuery::wait)
-                {
-                    // Queries echo the epoch they were *admitted* under,
-                    // which a concurrent reload may have already left
-                    // behind.
-                    Ok(mut response) => {
-                        let epoch = response.epoch;
-                        // A slow-query outlier also carries a trace (for
-                        // the log); only echo it when it was asked for.
-                        let trace = response.trace.take().filter(|_| trace_requested);
-                        let render_started = std::time::Instant::now();
-                        let mut body = response.to_json();
-                        if let (Some(mut trace), Json::Obj(pairs)) = (trace, &mut body) {
-                            trace.serialize_us = render_started.elapsed().as_micros() as u64;
-                            pairs.push(("trace".to_string(), trace.to_json()));
-                        }
-                        return version.envelope(body, id.as_ref(), epoch);
-                    }
-                    Err(e) => service_error_response(&e),
-                }
+            (Err(e), _) => LineJob::Immediate(error_response(&e)),
+            (Ok(_), Err(e)) => LineJob::Immediate(error_response(e)),
+            (Ok(request), Ok(deadline)) => LineJob::Query {
+                request,
+                trace: trace_requested,
+                deadline,
+            },
+        }
+    };
+    LineOutcome { version, id, job }
+}
+
+/// Renders a finished query into its wire response. Queries echo the
+/// epoch they were *admitted* under (which a concurrent reload may have
+/// already left behind); errors echo `error_epoch` — the epoch current
+/// when the line was handled.
+pub(crate) fn render_query_outcome(
+    outcome: Result<QueryResponse, ServiceError>,
+    trace_requested: bool,
+    version: ProtocolVersion,
+    id: Option<&Json>,
+    error_epoch: u64,
+) -> Json {
+    match outcome {
+        Ok(mut response) => {
+            let epoch = response.epoch;
+            // A slow-query outlier also carries a trace (for the log);
+            // only echo it when it was asked for.
+            let trace = response.trace.take().filter(|_| trace_requested);
+            let render_started = std::time::Instant::now();
+            let mut body = response.to_json();
+            if let (Some(mut trace), Json::Obj(pairs)) = (trace, &mut body) {
+                trace.serialize_us = render_started.elapsed().as_micros() as u64;
+                pairs.push(("trace".to_string(), trace.to_json()));
             }
+            version.envelope(body, id, epoch)
+        }
+        Err(e) => version.envelope(service_error_response(&e), id, error_epoch),
+    }
+}
+
+fn handle_line(line: &str, engine: &QueryEngine, stop: &AtomicBool) -> Json {
+    let LineOutcome { version, id, job } = classify_line(line, engine);
+    let body = match job {
+        LineJob::Immediate(body) => body,
+        LineJob::Shutdown(body) => {
+            // ordering: SeqCst — cold stop flag; strongest order keeps shutdown reasoning simple.
+            stop.store(true, Ordering::SeqCst);
+            body
+        }
+        LineJob::Reload(parsed) => admin_reload(engine, &parsed),
+        LineJob::Query {
+            request,
+            trace,
+            deadline,
+        } => {
+            return render_query_outcome(
+                engine
+                    .submit_with_deadline(request, trace, deadline)
+                    .and_then(crate::engine::PendingQuery::wait),
+                trace,
+                version,
+                id.as_ref(),
+                engine.epoch(),
+            );
         }
     };
     version.envelope(body, id.as_ref(), engine.epoch())
@@ -588,6 +833,7 @@ fn admin_info(engine: &QueryEngine) -> Json {
         ("workers", Json::Num(config.workers as f64)),
         ("prune", Json::Bool(config.prune)),
         ("max_batch", Json::Num(config.max_batch as f64)),
+        ("batch_window_us", Json::Num(config.batch_window_us as f64)),
         ("cache_capacity", Json::Num(config.cache_capacity as f64)),
         ("cache_len", Json::Num(config.cache_len as f64)),
         ("default_k", Json::Num(config.default_k as f64)),
@@ -614,7 +860,7 @@ fn admin_info(engine: &QueryEngine) -> Json {
 /// `{"cmd":"reload",...}`: builds a fresh [`CorpusSnapshot`] from
 /// server-side files and hot-swaps it in. The reply reports the epoch
 /// bump and how many stale cache entries died with the old snapshot.
-fn admin_reload(engine: &QueryEngine, parsed: &Json) -> Json {
+pub(crate) fn admin_reload(engine: &QueryEngine, parsed: &Json) -> Json {
     match build_snapshot(parsed) {
         Ok(snapshot) => {
             let report = engine.swap_snapshot(snapshot);
@@ -749,6 +995,10 @@ fn admin_configure(engine: &QueryEngine, parsed: &Json) -> Json {
             Ok(v) => v,
             Err(e) => return error_response(&e),
         },
+        batch_window_us: match field_usize("batch_window_us") {
+            Ok(v) => v.map(|us| us as u64),
+            Err(e) => return error_response(&e),
+        },
         cache_capacity: match field_usize("cache_capacity") {
             Ok(v) => v,
             Err(e) => return error_response(&e),
@@ -784,9 +1034,9 @@ fn admin_configure(engine: &QueryEngine, parsed: &Json) -> Json {
     if update == ConfigUpdate::default() {
         return error_response(
             "configure needs at least one of \"prune\", \"max_batch\", \
-             \"cache_capacity\", \"default_k\", \"cache_key_quantize\", \
-             \"slow_query_us\", \"audit_sample\", \"max_queue_depth\", \
-             \"default_deadline_ms\", \"faults\"",
+             \"batch_window_us\", \"cache_capacity\", \"default_k\", \
+             \"cache_key_quantize\", \"slow_query_us\", \"audit_sample\", \
+             \"max_queue_depth\", \"default_deadline_ms\", \"faults\"",
         );
     }
     match engine.configure(update) {
@@ -795,6 +1045,7 @@ fn admin_configure(engine: &QueryEngine, parsed: &Json) -> Json {
             ("configured", Json::Bool(true)),
             ("prune", Json::Bool(view.prune)),
             ("max_batch", Json::Num(view.max_batch as f64)),
+            ("batch_window_us", Json::Num(view.batch_window_us as f64)),
             ("cache_capacity", Json::Num(view.cache_capacity as f64)),
             ("cache_len", Json::Num(view.cache_len as f64)),
             ("default_k", Json::Num(view.default_k as f64)),

@@ -64,6 +64,12 @@ pub struct ServeStats {
     worker_panics: Counter,
     /// Worker threads respawned by the supervisor.
     worker_restarts: Counter,
+    /// `accept` failures observed by the serving layer (fd exhaustion,
+    /// transient socket errors). Serving continues; the failure is
+    /// counted here and the accept loop backs off.
+    accept_errors: Counter,
+    /// Connections the serving layer currently holds open.
+    open_connections: Gauge,
     /// Jobs accepted by `submit` but not yet drained by a worker.
     queue_depth: Gauge,
     /// Jobs drained into a batch but not yet answered.
@@ -135,6 +141,8 @@ impl ServeStats {
             internal_errors: Counter::new(),
             worker_panics: Counter::new(),
             worker_restarts: Counter::new(),
+            accept_errors: Counter::new(),
+            open_connections: Gauge::new(),
             queue_depth: Gauge::new(),
             inflight: Gauge::new(),
             latencies_us: Histogram::new(),
@@ -228,6 +236,17 @@ impl ServeStats {
     /// Records one worker thread respawned by the supervisor.
     pub fn record_worker_restart(&self) {
         self.worker_restarts.inc();
+    }
+
+    /// Records one failed `accept` call (fd exhaustion, transient
+    /// socket error) the serving layer survived.
+    pub fn record_accept_error(&self) {
+        self.accept_errors.inc();
+    }
+
+    /// Connections the serving layer currently holds open.
+    pub fn open_connections(&self) -> &Gauge {
+        &self.open_connections
     }
 
     /// Bucketed median engine latency in microseconds (0 when idle) —
@@ -331,6 +350,8 @@ impl ServeStats {
             internal_errors: self.internal_errors.get(),
             worker_panics: self.worker_panics.get(),
             worker_restarts: self.worker_restarts.get(),
+            accept_errors: self.accept_errors.get(),
+            open_connections: self.open_connections.get(),
             scan_pruned_kim,
             scan_pruned_mbr,
             scan_searched_cells,
@@ -423,6 +444,10 @@ pub struct StatsSnapshot {
     pub worker_panics: u64,
     /// Worker threads respawned by the supervisor.
     pub worker_restarts: u64,
+    /// `accept` failures the serving layer survived.
+    pub accept_errors: u64,
+    /// Connections the serving layer currently holds open.
+    pub open_connections: i64,
     /// Scan candidates rejected by the O(1) Kim-style screen.
     pub scan_pruned_kim: u64,
     /// Scan candidates rejected by the O(m) MBR-envelope bound.
@@ -512,6 +537,8 @@ impl StatsSnapshot {
             ("internal_errors", Json::Num(self.internal_errors as f64)),
             ("worker_panics", Json::Num(self.worker_panics as f64)),
             ("worker_restarts", Json::Num(self.worker_restarts as f64)),
+            ("accept_errors", Json::Num(self.accept_errors as f64)),
+            ("open_connections", Json::Num(self.open_connections as f64)),
             ("latency_buckets", buckets_json(&self.latency_hist)),
             ("batch_buckets", buckets_json(&self.batch_hist)),
         ])

@@ -107,7 +107,9 @@ fn usage() {
          \x20              --algo ... --measure ... [--index rtree|none] [--threads T]\n\
          \x20              [--no-prune] [--shards N] [--partitioner hash|grid]\n\
          \x20 serve        (--corpus FILE.csv | --corpus-bin FILE.ssb) [--addr HOST:PORT]\n\
+         \x20              [--io-model reactor|threads]  # default reactor (epoll, 10k+ conns)\n\
          \x20              [--workers N] [--batch B] [--cache N] [--cache-quantize Q]\n\
+         \x20              [--batch-window-us N]  # micro-batch coalescing window cap (0 = off)\n\
          \x20              [--default-k N] [--policy POLICY.ssub] [--t2vec MODEL.ssub]\n\
          \x20              [--skip K] [--no-suffix] [--no-prune]\n\
          \x20              [--shards N] [--partitioner hash|grid]\n\
@@ -447,6 +449,8 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
     let config = EngineConfig {
         workers: flags.parse_or("workers", EngineConfig::default().workers)?,
         max_batch: flags.parse_or("batch", EngineConfig::default().max_batch)?,
+        batch_window_us: flags
+            .parse_or("batch-window-us", EngineConfig::default().batch_window_us)?,
         cache_capacity: flags.parse_or("cache", EngineConfig::default().cache_capacity)?,
         // `--no-prune` forces the reference scan; otherwise the
         // SIMSUB_NO_PRUNE environment hatch decides (answers are
@@ -498,8 +502,14 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
         (c.len(), c.total_points(), c.shard_count())
     };
     let engine = Arc::new(QueryEngine::start(snapshot, config));
-    let server =
-        Server::bind(Arc::clone(&engine), &addr).map_err(|e| format!("binding {addr}: {e}"))?;
+    // `--io-model reactor|threads` wins; otherwise SIMSUB_IO_MODEL, and
+    // the reactor by default.
+    let io_model = match flags.get("io-model") {
+        Some(s) => s.parse().map_err(|e: String| format!("--io-model: {e}"))?,
+        None => simsub::service::IoModel::from_env(),
+    };
+    let server = Server::bind_with(Arc::clone(&engine), &addr, io_model)
+        .map_err(|e| format!("binding {addr}: {e}"))?;
     if let Some(fifo) = flags.get("reload-fifo") {
         spawn_reload_fifo(
             PathBuf::from(fifo),
@@ -508,14 +518,15 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
         )?;
     }
     println!(
-        "serving {} trajectories / {} points in {} shard(s) on {} with {} workers, prune={} \
-         (newline-JSON, protocol v1+v2; send {{\"cmd\":\"shutdown\"}} to stop)",
+        "serving {} trajectories / {} points in {} shard(s) on {} with {} workers, prune={}, \
+         io-model={} (newline-JSON, protocol v1+v2; send {{\"cmd\":\"shutdown\"}} to stop)",
         corpus_len,
         corpus_points,
         shard_count,
         server.local_addr(),
         workers,
-        if prune { "on" } else { "off" }
+        if prune { "on" } else { "off" },
+        server.io_model()
     );
     server.wait();
     println!("server stopped");

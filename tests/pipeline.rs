@@ -1,0 +1,197 @@
+//! Pipelining and response-ordering contract tests (the wire spec's
+//! "Connection models & response ordering" section).
+//!
+//! One connection sends many queries before reading anything back. A
+//! fault-injected `slow_scan` makes the head-of-line query the slow one
+//! (the later queries were pre-warmed into the result cache, and cache
+//! hits never reach the scan fault point), so head-of-line blocking is
+//! observable: under the reactor, id-carrying responses may overtake it
+//! (and the test demands they do); id-less responses must never
+//! reorder; and under the threads model everything stays strictly
+//! sequential.
+
+use simsub::data::{generate, DatasetSpec};
+use simsub::index::TrajectoryDb;
+use simsub::service::{CorpusSnapshot, EngineConfig, IoModel, QueryEngine, Server};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn shared_db(count: usize) -> Arc<TrajectoryDb> {
+    TrajectoryDb::build(generate(&DatasetSpec::porto(), count, 42)).into_shared()
+}
+
+/// Two workers and a result cache, no faults armed yet: the fault is
+/// armed over the wire *after* the fast queries are warmed, so only the
+/// cold head-of-line query's scan sleeps.
+fn engine_two_workers(db: &Arc<TrajectoryDb>) -> Arc<QueryEngine> {
+    Arc::new(QueryEngine::start(
+        CorpusSnapshot::new(Arc::clone(db)),
+        EngineConfig {
+            workers: 2,
+            max_batch: 8,
+            cache_capacity: 64,
+            ..EngineConfig::default()
+        },
+    ))
+}
+
+fn query_json(db: &TrajectoryDb, i: usize, k: usize, id: Option<&str>) -> String {
+    let t = db.view(i % db.len());
+    let len = (6 + i % 5).min(t.len());
+    let points: Vec<String> = t.to_points()[..len]
+        .iter()
+        .map(|p| format!("[{},{}]", p.x, p.y))
+        .collect();
+    let id_field = id.map(|id| format!("\"id\":\"{id}\",")).unwrap_or_default();
+    format!(
+        "{{{id_field}\"query\":[{}],\"algo\":\"exact\",\"measure\":\"dtw\",\"k\":{k}}}",
+        points.join(",")
+    )
+}
+
+/// Runs every line through a scratch connection to populate the result
+/// cache, then arms `slow_scan` so the next *cold* scan sleeps
+/// `slow_ms`. `n:1` fires on every scan occurrence, but the warmed
+/// queries are cache hits from here on and never reach the fault point.
+fn warm_then_arm(addr: std::net::SocketAddr, lines: &[String], slow_ms: u64) {
+    let mut stream = TcpStream::connect(addr).expect("connect warm");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let arm = format!("{{\"cmd\":\"configure\",\"faults\":\"slow_scan=n:1:{slow_ms}\"}}");
+    for line in lines.iter().chain(std::iter::once(&arm)) {
+        stream.write_all(line.as_bytes()).expect("write warm");
+        stream.write_all(b"\n").expect("write warm");
+        let mut response = String::new();
+        reader.read_line(&mut response).expect("read warm");
+        assert!(
+            response.contains("\"ok\":true"),
+            "warm-up request failed: {response}"
+        );
+    }
+}
+
+/// Sends `lines` down one connection without reading, then collects one
+/// response line per request.
+fn pipeline(addr: std::net::SocketAddr, head: &str, rest: &[String]) -> Vec<String> {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    stream.write_all(head.as_bytes()).expect("write head");
+    stream.write_all(b"\n").expect("write head");
+    stream.flush().expect("flush head");
+    // Let the head query reach a worker (and start its slow scan)
+    // before the rest of the pipeline lands.
+    std::thread::sleep(Duration::from_millis(150));
+    let mut burst = String::new();
+    for line in rest {
+        burst.push_str(line);
+        burst.push('\n');
+    }
+    stream.write_all(burst.as_bytes()).expect("write burst");
+    stream.flush().expect("flush burst");
+    let mut responses = Vec::new();
+    for _ in 0..=rest.len() {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("read response");
+        assert!(!line.is_empty(), "connection closed early");
+        responses.push(line);
+    }
+    responses
+}
+
+#[test]
+fn reactor_answers_pipelined_ids_out_of_order() {
+    let db = shared_db(20);
+    let engine = engine_two_workers(&db);
+    let server = Server::bind_with(Arc::clone(&engine), "127.0.0.1:0", IoModel::Reactor)
+        .expect("bind reactor");
+    assert_eq!(server.io_model(), IoModel::Reactor);
+
+    let slow = query_json(&db, 0, 2, Some("slow"));
+    let fast: Vec<String> = (0..4)
+        .map(|i| query_json(&db, i + 1, 2, Some(&format!("fast-{i}"))))
+        .collect();
+    warm_then_arm(server.local_addr(), &fast, 600);
+    let responses = pipeline(server.local_addr(), &slow, &fast);
+
+    // Every request got exactly one answer, matched by id.
+    assert!(responses.iter().all(|r| r.contains("\"ok\":true")));
+    for i in 0..4 {
+        let needle = format!("\"id\":\"fast-{i}\"");
+        assert_eq!(
+            responses.iter().filter(|r| r.contains(&needle)).count(),
+            1,
+            "{needle} not answered exactly once: {responses:?}"
+        );
+    }
+    // The head-of-line query was slow; the reactor answered the other
+    // four while it scanned, so it must come back LAST — out of
+    // submission order.
+    assert!(
+        responses[4].contains("\"id\":\"slow\""),
+        "slow head-of-line query did not finish last: {responses:?}"
+    );
+
+    server.stop();
+    server.wait();
+}
+
+#[test]
+fn threads_model_answers_strictly_in_order() {
+    let db = shared_db(20);
+    let engine = engine_two_workers(&db);
+    let server = Server::bind_with(Arc::clone(&engine), "127.0.0.1:0", IoModel::Threads)
+        .expect("bind threads");
+    assert_eq!(server.io_model(), IoModel::Threads);
+
+    let slow = query_json(&db, 0, 2, Some("slow"));
+    let fast: Vec<String> = (0..3)
+        .map(|i| query_json(&db, i + 1, 2, Some(&format!("fast-{i}"))))
+        .collect();
+    warm_then_arm(server.local_addr(), &fast, 300);
+    let responses = pipeline(server.local_addr(), &slow, &fast);
+
+    // The blocking loop handles one line at a time: submission order,
+    // slow head first, despite the pipelined burst behind it.
+    assert!(responses[0].contains("\"id\":\"slow\""), "{responses:?}");
+    for i in 0..3 {
+        assert!(
+            responses[i + 1].contains(&format!("\"id\":\"fast-{i}\"")),
+            "threads model reordered responses: {responses:?}"
+        );
+    }
+
+    server.stop();
+    server.wait();
+}
+
+#[test]
+fn reactor_keeps_idless_responses_in_submission_order() {
+    let db = shared_db(20);
+    let engine = engine_two_workers(&db);
+    let server = Server::bind_with(Arc::clone(&engine), "127.0.0.1:0", IoModel::Reactor)
+        .expect("bind reactor");
+    assert_eq!(server.io_model(), IoModel::Reactor);
+
+    // No ids anywhere: the strict-order lane. Query i is a prefix of
+    // trajectory i, so its top hit is trajectory i at distance 0 —
+    // that's the fingerprint that tells the responses apart. The later
+    // queries finish first (cache hits) but the reactor must hold them
+    // until the slow head's response has been written.
+    let slow = query_json(&db, 0, 2, None);
+    let rest: Vec<String> = (0..3).map(|i| query_json(&db, i + 1, 2, None)).collect();
+    warm_then_arm(server.local_addr(), &rest, 400);
+    let responses = pipeline(server.local_addr(), &slow, &rest);
+
+    assert!(responses.iter().all(|r| r.contains("\"ok\":true")));
+    for (i, response) in responses.iter().enumerate() {
+        let top = format!("\"results\":[{{\"trajectory_id\":{i},");
+        assert!(
+            response.contains(&top),
+            "id-less response {i} out of order (expected top hit {i}): {responses:?}"
+        );
+    }
+
+    server.stop();
+    server.wait();
+}
